@@ -1,0 +1,71 @@
+//! Throughput of the bounds computations themselves: the paper's use-case
+//! (2) is "quick evaluation of many different parameter settings", so the
+//! bounds must be cheap. Sweeps the number of curve increments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smx::bounds::{
+    incremental_bounds, pointwise_bounds, random_baseline, BoundsEnvelope, SizeRatio,
+};
+use smx::eval::{Counts, PrCurve};
+use std::hint::black_box;
+
+/// A synthetic S1 curve with `n` increments and a plausible composition.
+fn synthetic_curve(n: usize) -> (PrCurve, Vec<usize>) {
+    let truth = 10 * n;
+    let mut answers = 0usize;
+    let mut correct = 0usize;
+    let mut counts = Vec::with_capacity(n);
+    let mut sizes = Vec::with_capacity(n);
+    for i in 0..n {
+        answers += 20 + 3 * i;
+        correct = (correct + 7).min(truth.min(answers));
+        counts.push((i as f64 / n as f64, Counts::new(answers, correct)));
+        sizes.push((answers as f64 * 0.8) as usize);
+    }
+    (PrCurve::from_counts(truth, counts).expect("valid synthetic curve"), sizes)
+}
+
+fn bench_pointwise(c: &mut Criterion) {
+    let ratio = SizeRatio::new(0.8).expect("in range");
+    c.bench_function("pointwise_bounds", |b| {
+        b.iter(|| black_box(pointwise_bounds(black_box(0.375), black_box(0.15), ratio)))
+    });
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_bounds");
+    for n in [10usize, 100, 1000] {
+        let (curve, sizes) = synthetic_curve(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(incremental_bounds(black_box(&curve), black_box(&sizes))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_baseline(c: &mut Criterion) {
+    let (curve, sizes) = synthetic_curve(100);
+    c.bench_function("random_baseline_100", |b| {
+        b.iter(|| black_box(random_baseline(black_box(&curve), black_box(&sizes))))
+    });
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("envelope_from_sizes");
+    for n in [10usize, 100] {
+        let (curve, sizes) = synthetic_curve(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(BoundsEnvelope::from_sizes(black_box(&curve), black_box(&sizes))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pointwise,
+    bench_incremental,
+    bench_random_baseline,
+    bench_envelope
+);
+criterion_main!(benches);

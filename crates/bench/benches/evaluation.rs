@@ -1,0 +1,44 @@
+//! Evaluation-machinery throughput: curve measurement, interpolation,
+//! pooling — the per-sweep bookkeeping around the bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smx::eval::{pool_depth_k, AnswerId, AnswerSet, GroundTruth, InterpolatedCurve, PrCurve};
+use std::hint::black_box;
+
+fn fixture(n: usize) -> (AnswerSet, GroundTruth, Vec<f64>) {
+    let answers = AnswerSet::new((0..n as u64).map(|i| (AnswerId(i), i as f64 / n as f64)))
+        .expect("finite scores");
+    let truth = GroundTruth::new((0..n as u64).filter(|i| i % 7 == 0).map(AnswerId));
+    let grid: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+    (answers, truth, grid)
+}
+
+fn bench_measure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pr_curve_measure");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (answers, truth, grid) = fixture(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(PrCurve::measure(&answers, &truth, &grid)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpolate(c: &mut Criterion) {
+    let (answers, truth, grid) = fixture(10_000);
+    let curve = PrCurve::measure(&answers, &truth, &grid).expect("valid fixture");
+    c.bench_function("eleven_point_interpolation", |b| {
+        b.iter(|| black_box(InterpolatedCurve::eleven_point(black_box(&curve))))
+    });
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let (a1, truth, _) = fixture(10_000);
+    let a2 = a1.filter(|id| id.0 % 2 == 0);
+    c.bench_function("pool_depth_100", |b| {
+        b.iter(|| black_box(pool_depth_k(&[&a1, &a2], 100, &truth)).pool_size())
+    });
+}
+
+criterion_group!(benches, bench_measure, bench_interpolate, bench_pooling);
+criterion_main!(benches);

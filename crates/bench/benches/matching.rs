@@ -1,0 +1,76 @@
+//! The efficiency side of the trade-off: wall-clock of S1 vs the
+//! non-exhaustive improvements on the same problem. This is the paper's
+//! *motivation* — S2 exists because S1 is exponential — so the bench
+//! reports both runtimes and answer counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smx::matching::{
+    BeamMatcher, ClusterMatcher, ExhaustiveMatcher, MappingRegistry, MatchProblem, Matcher,
+    ObjectiveFunction, ParallelExhaustiveMatcher, TopKMatcher,
+};
+use smx::synth::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn problem(derived: usize, host_nodes: usize) -> MatchProblem {
+    let sc = Scenario::generate(ScenarioConfig {
+        derived_schemas: derived,
+        noise_schemas: derived / 2,
+        personal_nodes: 4,
+        host_nodes,
+        perturbation_strength: 0.7,
+        ..Default::default()
+    });
+    MatchProblem::new(sc.personal, sc.repository).expect("non-empty personal schema")
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let problem = problem(8, 9);
+    let delta_max = 0.3;
+    let mut group = c.benchmark_group("matchers");
+    group.sample_size(10);
+    let matchers: Vec<(&str, Box<dyn Matcher>)> = vec![
+        ("s1_exhaustive", Box::new(ExhaustiveMatcher::default())),
+        (
+            "s1_parallel",
+            Box::new(ParallelExhaustiveMatcher::new(ObjectiveFunction::default(), 4)),
+        ),
+        ("s2_beam32", Box::new(BeamMatcher::new(ObjectiveFunction::default(), 32))),
+        (
+            "s2_cluster4",
+            Box::new(ClusterMatcher::new(ObjectiveFunction::default(), 0.55, 4)),
+        ),
+        ("s2_top100", Box::new(TopKMatcher::new(ObjectiveFunction::default(), 100))),
+    ];
+    for (name, matcher) in &matchers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let registry = MappingRegistry::new();
+                black_box(matcher.run(black_box(&problem), delta_max, &registry)).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_repository_scaling(c: &mut Criterion) {
+    // S1 runtime vs repository size — the scalability wall the paper's
+    // clustering work attacks.
+    let mut group = c.benchmark_group("s1_vs_repository_size");
+    group.sample_size(10);
+    for schemas in [4usize, 8, 16] {
+        let problem = problem(schemas, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(schemas), &schemas, |b, _| {
+            b.iter(|| {
+                let registry = MappingRegistry::new();
+                black_box(
+                    ExhaustiveMatcher::default().run(black_box(&problem), 0.3, &registry),
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers, bench_repository_scaling);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 6: the 11-point interpolated P/R curve derived from Figure 5's
+//! measured curve (standard max-interpolation at recall 0, 0.1, …, 1).
+
+use smx::eval::InterpolatedCurve;
+use smx_bench::{f, print_series, standard_experiment, GRID_POINTS};
+
+fn main() {
+    let exp = standard_experiment();
+    let s1 = exp.run_s1();
+    let measured = exp.measured_curve(&s1, GRID_POINTS).expect("non-empty truth and grid");
+    let interpolated = InterpolatedCurve::eleven_point(&measured);
+
+    let rows: Vec<Vec<String>> = interpolated
+        .points()
+        .iter()
+        .map(|&(r, p)| vec![f(r), f(p)])
+        .collect();
+    print_series(
+        "Figure 6: S1 interpolated (11-point) P/R curve",
+        &["recall_level", "precision"],
+        &rows,
+    );
+    println!("11-point mean average precision: {}", f(interpolated.mean_average_precision()));
+}

@@ -1,0 +1,40 @@
+//! Figure 9: best/worst-case P/R envelope for a hypothetical improvement
+//! with a fixed answer-size ratio Â = 0.9 at every threshold.
+//!
+//! The series shows the paper's qualitative shape: the envelope hugs S1's
+//! curve (Â is close to 1) and the worst case degrades faster at higher
+//! recall.
+
+use smx::bounds::{BoundsEnvelope, SizeRatio};
+use smx_bench::{f, print_series, standard_experiment, GRID_POINTS};
+
+fn main() {
+    let exp = standard_experiment();
+    let s1 = exp.run_s1();
+    let s1_curve = exp.measured_curve(&s1, GRID_POINTS).expect("non-empty truth and grid");
+    let ratio = SizeRatio::new(0.9).expect("0.9 in range");
+    let env = BoundsEnvelope::fixed_ratio(&s1_curve, ratio).expect("consistent grid");
+
+    let rows: Vec<Vec<String>> = env
+        .points()
+        .iter()
+        .map(|p| {
+            vec![
+                f(p.threshold),
+                f(p.s1.recall),
+                f(p.s1.precision),
+                f(p.incremental.best.recall),
+                f(p.incremental.best.precision),
+                f(p.incremental.worst.recall),
+                f(p.incremental.worst.precision),
+            ]
+        })
+        .collect();
+    print_series(
+        "Figure 9: envelope at fixed ratio 0.9",
+        &["delta", "R_s1", "P_s1", "R_best", "P_best", "R_worst", "P_worst"],
+        &rows,
+    );
+    let (dp, dr) = env.max_guaranteed_loss();
+    println!("max guaranteed loss vs S1: precision {} recall {}", f(dp), f(dr));
+}

@@ -1,0 +1,48 @@
+//! Figure 10: measured answer-size-ratio curves Â(δ) for the two real S2
+//! improvements.
+//!
+//! * S2-one — beam search: ratio declines smoothly with δ (the beam keeps
+//!   the head of the ranking and loses ever more of the tail);
+//! * S2-two — cluster-restricted search: whole score bands disappear, so
+//!   the ratio drops to a plateau (the paper: "of the answers with a score
+//!   higher than 0.13, only about 25–30% is retained").
+
+use smx::bounds::ratio_curve_between;
+use smx_bench::{f, print_series, standard_experiment, GRID_POINTS};
+
+fn main() {
+    let exp = standard_experiment();
+    let s1 = exp.run_s1();
+    let s2_one = exp.run_s2_beam(60);
+    let s2_two = exp.run_s2_cluster(0.55, 4);
+    let grid = exp.rank_grid(&s1, GRID_POINTS);
+
+    let one = ratio_curve_between(&s2_one, &s1, &grid).expect("beam ⊆ S1");
+    let two = ratio_curve_between(&s2_two, &s1, &grid).expect("cluster ⊆ S1");
+
+    println!(
+        "S1: {} answers; S2-one (beam): {}; S2-two (cluster): {}",
+        s1.len(),
+        s2_one.len(),
+        s2_two.len()
+    );
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .map(|&t| {
+            vec![
+                f(t),
+                s1.count_at(t).to_string(),
+                s2_one.count_at(t).to_string(),
+                f(one.at(t).expect("on grid").get()),
+                s2_two.count_at(t).to_string(),
+                f(two.at(t).expect("on grid").get()),
+            ]
+        })
+        .collect();
+    print_series(
+        "Figure 10: answer size ratio vs threshold",
+        &["delta", "A_s1", "A_s2one", "ratio_s2one", "A_s2two", "ratio_s2two"],
+        &rows,
+    );
+    println!("mean ratio S2-one = {}  S2-two = {}", f(one.mean()), f(two.mean()));
+}

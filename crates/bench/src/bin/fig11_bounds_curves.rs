@@ -1,0 +1,63 @@
+//! Figure 11: best/worst/random P/R envelopes for the two real
+//! improvements S2-one (beam) and S2-two (cluster-restricted).
+//!
+//! Since the scenario generator knows the ground truth, this binary also
+//! prints the *actual* P/R of each S2 — which the paper could not know —
+//! and verifies it lies inside the computed envelope at every threshold.
+
+use smx::eval::AnswerSet;
+use smx::pipeline::Experiment;
+use smx_bench::{f, print_series, standard_experiment, GRID_POINTS};
+
+fn report(exp: &Experiment, label: &str, s1_curve: &smx::eval::PrCurve, s2: &AnswerSet) {
+    let env = exp.envelope(s1_curve, s2).expect("S2 ⊆ S1");
+    let actual = exp
+        .curve_on_grid(s2, &s1_curve.thresholds())
+        .expect("grid and truth are non-empty");
+    let rows: Vec<Vec<String>> = env
+        .points()
+        .iter()
+        .zip(actual.points())
+        .map(|(p, a)| {
+            vec![
+                f(p.threshold),
+                f(p.ratio.get()),
+                f(p.s1.recall),
+                f(p.s1.precision),
+                f(p.incremental.best.recall),
+                f(p.incremental.best.precision),
+                f(p.incremental.worst.recall),
+                f(p.incremental.worst.precision),
+                f(p.random.recall),
+                f(p.random.precision),
+                f(a.recall),
+                f(a.precision),
+            ]
+        })
+        .collect();
+    print_series(
+        &format!("Figure 11: envelope for {label}"),
+        &[
+            "delta", "ratio", "R_s1", "P_s1", "R_best", "P_best", "R_worst", "P_worst",
+            "R_random", "P_random", "R_actual", "P_actual",
+        ],
+        &rows,
+    );
+    match env.first_violation(&actual, 1e-9) {
+        None => println!("containment check: actual P/R inside bounds at every δ ✓"),
+        Some(t) => println!("containment VIOLATED at δ = {t} ✗"),
+    }
+    println!();
+}
+
+fn main() {
+    let exp = standard_experiment();
+    let s1 = exp.run_s1();
+    let s1_curve = exp.measured_curve(&s1, GRID_POINTS).expect("non-empty truth and grid");
+    println!("|H| = {}, S1 answers = {}", exp.truth.len(), s1.len());
+
+    let s2_one = exp.run_s2_beam(60);
+    let s2_two = exp.run_s2_cluster(0.55, 4);
+    report(&exp, "S2-one (beam width 60)", &s1_curve, &s2_one);
+    report(&exp, "S2-two (cluster, 4 fragments)", &s1_curve, &s2_two);
+}

@@ -1,0 +1,82 @@
+//! Figure 13: sub-increment interpolation boundaries, with the paper's
+//! literal numbers — |H| = 100, anchors (δ1: 50 answers / 30 correct) and
+//! (δ2: 70 / 36) — sweeping every intermediate answer count 50..=70.
+//!
+//! Each row is one of the paper's thick bound segments: worst endpoint,
+//! best endpoint, and the mid-point (the safest interpolation choice).
+
+use smx::bounds::{midpoint_rule, sub_increment_bounds, sub_increment_sweep};
+use smx::eval::Counts;
+use smx_bench::{f, print_series};
+
+fn main() {
+    let anchor1 = Counts::new(50, 30);
+    let anchor2 = Counts::new(70, 36);
+    let truth = 100;
+
+    let sweep = sub_increment_sweep(anchor1, anchor2, truth).expect("valid anchors");
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|seg| {
+            let mid = seg.midpoint();
+            vec![
+                seg.answers.to_string(),
+                format!("{}..{}", seg.t_range.0, seg.t_range.1),
+                f(seg.worst.0),
+                f(seg.worst.1),
+                f(seg.best.0),
+                f(seg.best.1),
+                f(mid.0),
+                f(mid.1),
+            ]
+        })
+        .collect();
+    print_series(
+        "Figure 13: sub-increment bound segments (|H|=100, anchors 30/50 and 36/70)",
+        &["A'", "T_range", "R_worst", "P_worst", "R_best", "P_best", "R_mid", "P_mid"],
+        &rows,
+    );
+
+    // The paper's worked δ′ with 54 answers.
+    let seg = sub_increment_bounds(anchor1, anchor2, truth, 54).expect("54 within anchors");
+    println!("paper check, A' = 54:");
+    println!(
+        "  worst = ({}, {})  expected (30/100, 30/54) = ({}, {})",
+        f(seg.worst.0),
+        f(seg.worst.1),
+        f(0.30),
+        f(30.0 / 54.0)
+    );
+    println!(
+        "  best  = ({}, {})  expected (34/100, 34/54) = ({}, {})",
+        f(seg.best.0),
+        f(seg.best.1),
+        f(0.34),
+        f(34.0 / 54.0)
+    );
+    assert!((seg.worst.1 - 30.0 / 54.0).abs() < 1e-12);
+    assert!((seg.best.1 - 34.0 / 54.0).abs() < 1e-12);
+
+    // Mid-point rule vs naive linear interpolation (the paper: "not the
+    // same as linear interpolation").
+    let mids = midpoint_rule(anchor1, anchor2, truth).expect("valid anchors");
+    let lin = |a_prime: f64| {
+        let t = (a_prime - 50.0) / 20.0;
+        (0.30 + t * 0.06, 0.60 + t * (36.0 / 70.0 - 0.60))
+    };
+    let rows: Vec<Vec<String>> = mids
+        .iter()
+        .enumerate()
+        .step_by(5)
+        .map(|(i, &(r, p))| {
+            let (lr, lp) = lin(50.0 + i as f64);
+            vec![(50 + i).to_string(), f(r), f(p), f(lr), f(lp)]
+        })
+        .collect();
+    print_series(
+        "Figure 13 (rule): mid-point rule vs linear interpolation",
+        &["A'", "R_mid", "P_mid", "R_linear", "P_linear"],
+        &rows,
+    );
+    println!("literal segment endpoints reproduced exactly.");
+}

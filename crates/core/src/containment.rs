@@ -1,0 +1,99 @@
+//! Verifying the sub-selection premise and deriving ratio curves from
+//! actual answer sets.
+//!
+//! The bounds are only valid under the paper's premise: S2 uses the same
+//! objective function as S1, hence `A_S2^δ ⊆ A_S1^δ` for *every* δ. Given
+//! both systems' actual outputs, [`verify_subset_at_all_thresholds`]
+//! checks the premise exactly, and [`ratio_curve_between`] measures the
+//! `Â(δ)` curve (Figure 10) that the envelope consumes.
+
+use crate::error::BoundsError;
+use crate::ratio::RatioCurve;
+use smx_eval::AnswerSet;
+
+/// Check that `s2 ⊆ s1` as ranked runs: every S2 answer appears in S1
+/// **with the same score**. Together with set inclusion this implies
+/// `A_S2^δ ⊆ A_S1^δ` at every threshold, which is what the bounds need.
+pub fn verify_subset_at_all_thresholds(
+    s2: &AnswerSet,
+    s1: &AnswerSet,
+) -> Result<(), BoundsError> {
+    s2.is_subset_of(s1)?;
+    if !s2.scores_consistent_with(s1) {
+        return Err(BoundsError::BadAnchors(
+            "S2 assigns different scores than S1 — not the same objective function",
+        ));
+    }
+    Ok(())
+}
+
+/// Measure the size-ratio curve `Â(δ) = |A_S2^δ| / |A_S1^δ|` at the given
+/// thresholds. Verifies the premise first.
+pub fn ratio_curve_between(
+    s2: &AnswerSet,
+    s1: &AnswerSet,
+    thresholds: &[f64],
+) -> Result<RatioCurve, BoundsError> {
+    verify_subset_at_all_thresholds(s2, s1)?;
+    RatioCurve::from_counts(
+        thresholds
+            .iter()
+            .map(|&t| (t, s2.count_at(t), s1.count_at(t))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_eval::AnswerId;
+
+    fn s1() -> AnswerSet {
+        AnswerSet::new((1..=10).map(|i| (AnswerId(i), i as f64 / 10.0))).unwrap()
+    }
+
+    #[test]
+    fn subset_with_same_scores_accepted() {
+        let s1 = s1();
+        let s2 = s1.filter(|id| id.0 % 2 == 0);
+        assert!(verify_subset_at_all_thresholds(&s2, &s1).is_ok());
+    }
+
+    #[test]
+    fn foreign_answer_rejected() {
+        let s1 = s1();
+        let s2 = AnswerSet::new([(AnswerId(99), 0.5)]).unwrap();
+        assert!(matches!(
+            verify_subset_at_all_thresholds(&s2, &s1),
+            Err(BoundsError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn rescored_answer_rejected() {
+        let s1 = s1();
+        // Same id, different score — a different objective function.
+        let s2 = AnswerSet::new([(AnswerId(3), 0.9)]).unwrap();
+        assert!(matches!(
+            verify_subset_at_all_thresholds(&s2, &s1),
+            Err(BoundsError::BadAnchors(_))
+        ));
+    }
+
+    #[test]
+    fn ratio_curve_measures_per_threshold() {
+        let s1 = s1();
+        let s2 = s1.filter(|id| id.0 <= 5 || id.0 == 10);
+        let curve = ratio_curve_between(&s2, &s1, &[0.5, 1.0]).unwrap();
+        assert!((curve.at(0.5).unwrap().get() - 1.0).abs() < 1e-12);
+        assert!((curve.at(1.0).unwrap().get() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_one_below_any_answer() {
+        let s1 = s1();
+        let s2 = s1.filter(|id| id.0 > 5);
+        let curve = ratio_curve_between(&s2, &s1, &[0.05]).unwrap();
+        // Both empty at δ=0.05: ratio defined as 1.
+        assert!(curve.at(0.05).unwrap().is_one());
+    }
+}

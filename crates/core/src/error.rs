@@ -1,0 +1,97 @@
+//! Error type for bounds computations.
+
+use smx_eval::EvalError;
+
+/// Errors produced while deriving effectiveness bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundsError {
+    /// A size ratio was outside `[0, 1]` or non-finite.
+    InvalidRatio(f64),
+    /// `|A_S2| > |A_S1|` at some threshold — S2 is not a sub-selection,
+    /// so the "same objective function" premise is violated.
+    NotASubSelection {
+        /// Threshold at which the violation was observed.
+        threshold: f64,
+        /// S1's answer count there.
+        s1: usize,
+        /// S2's answer count there.
+        s2: usize,
+    },
+    /// Input series have mismatched lengths.
+    LengthMismatch {
+        /// Required number of entries (the S1 grid size).
+        expected: usize,
+        /// Number actually provided.
+        got: usize,
+    },
+    /// S2's answer counts decreased with rising threshold.
+    NonMonotoneSizes {
+        /// The threshold at which the count decreased.
+        threshold: f64,
+    },
+    /// The assumed `|H|` must be positive.
+    InvalidTruthSize,
+    /// An anchor pair for sub-increment bounds was inconsistent
+    /// (`counts at δ2` must dominate `counts at δ1`).
+    BadAnchors(&'static str),
+    /// Propagated evaluation error.
+    Eval(EvalError),
+}
+
+impl From<EvalError> for BoundsError {
+    fn from(e: EvalError) -> Self {
+        BoundsError::Eval(e)
+    }
+}
+
+impl std::fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundsError::InvalidRatio(r) => write!(f, "size ratio {r} outside [0, 1]"),
+            BoundsError::NotASubSelection { threshold, s1, s2 } => write!(
+                f,
+                "S2 produced {s2} answers but S1 only {s1} at threshold {threshold}; \
+                 S2 is not a sub-selection of S1"
+            ),
+            BoundsError::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} size entries, got {got}")
+            }
+            BoundsError::NonMonotoneSizes { threshold } => {
+                write!(f, "S2 answer counts decrease at threshold {threshold}")
+            }
+            BoundsError::InvalidTruthSize => write!(f, "assumed |H| must be positive"),
+            BoundsError::BadAnchors(msg) => write!(f, "inconsistent anchor points: {msg}"),
+            BoundsError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BoundsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BoundsError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(BoundsError::InvalidRatio(1.5).to_string().contains("1.5"));
+        let e = BoundsError::NotASubSelection { threshold: 0.2, s1: 10, s2: 12 };
+        assert!(e.to_string().contains("not a sub-selection"));
+        assert!(BoundsError::from(EvalError::EmptyTruth).to_string().contains("evaluation"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = BoundsError::from(EvalError::EmptyTruth);
+        assert!(e.source().is_some());
+        assert!(BoundsError::InvalidTruthSize.source().is_none());
+    }
+}

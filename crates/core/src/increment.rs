@@ -1,0 +1,202 @@
+//! Threshold increments — Equations (7)–(8) of §3.2.
+//!
+//! An increment `δ1 − δ2` contains the answers ranked between two
+//! thresholds: `Â^{δ1−δ2} = A^{δ2} \ A^{δ1}`. In count space its
+//! precision/recall are simply the count *deltas*; in ratio space the
+//! paper derives
+//!
+//! ```text
+//! P̂ = (R2 − R1) / (R2/P2 − R1/P1)      (7)   — independent of |H|
+//! R̂ = R2 − R1                          (8)
+//! ```
+//!
+//! [`curve_increments`] decomposes a measured curve into increments and
+//! [`recombine_increments`] rebuilds cumulative points, so bounds can be
+//! computed increment-by-increment and summed back (§3.2 step 4).
+
+use crate::error::BoundsError;
+use serde::{Deserialize, Serialize};
+use smx_eval::{Counts, PrCurve};
+
+/// One increment of a measured curve, in count space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncrementCounts {
+    /// Lower threshold (exclusive side); the first increment starts at 0.
+    pub from: f64,
+    /// Upper threshold (inclusive side).
+    pub to: f64,
+    /// `(|Â|, |T̂|)` — answers and correct answers ranked in `(from, to]`.
+    pub counts: Counts,
+}
+
+impl IncrementCounts {
+    /// Increment precision `|T̂|/|Â|` (1 for an empty increment).
+    pub fn precision(&self) -> f64 {
+        self.counts.precision()
+    }
+
+    /// Increment recall `|T̂|/|H|`.
+    pub fn recall(&self, truth_size: usize) -> f64 {
+        self.counts.recall(truth_size)
+    }
+}
+
+/// Decompose a measured curve into per-threshold increments. The first
+/// increment spans from threshold `0` (an empty answer set — the paper's
+/// `0 − δ1` increment) to the curve's first point.
+pub fn curve_increments(curve: &PrCurve) -> Vec<IncrementCounts> {
+    let mut prev_threshold = 0.0;
+    let mut prev_counts = Counts::default();
+    curve
+        .points()
+        .iter()
+        .map(|p| {
+            let inc = IncrementCounts {
+                from: prev_threshold,
+                to: p.threshold,
+                counts: p.counts - prev_counts,
+            };
+            prev_threshold = p.threshold;
+            prev_counts = p.counts;
+            inc
+        })
+        .collect()
+}
+
+/// Rebuild cumulative `(threshold, Counts)` points from increments —
+/// the inverse of [`curve_increments`].
+pub fn recombine_increments(increments: &[IncrementCounts]) -> Vec<(f64, Counts)> {
+    let mut acc = Counts::default();
+    increments
+        .iter()
+        .map(|inc| {
+            acc = acc + inc.counts;
+            (inc.to, acc)
+        })
+        .collect()
+}
+
+/// Equation (7): increment precision from two cumulative `(P, R)` points.
+///
+/// Independent of `|H|` — this is what makes the incremental technique
+/// applicable to published curves. Returns an error when the denominator
+/// is zero (no growth in answer count between the thresholds).
+pub fn increment_precision(p1: f64, r1: f64, p2: f64, r2: f64) -> Result<f64, BoundsError> {
+    // R/P = |A|/|H| (cumulative); the denominator is the answer growth
+    // normalised by |H|. A zero-precision anchor with nonzero answers
+    // makes |A|/|H| unrecoverable from (P, R) alone — the special case
+    // §3.2 step 4 points out; count space must be used instead. (An empty
+    // answer set has P = 1 by convention, so p = 0 here means |A| > 0.)
+    if p1 <= 0.0 || p2 <= 0.0 {
+        return Err(BoundsError::BadAnchors(
+            "zero precision at an anchor: |A|/|H| unrecoverable from (P, R)",
+        ));
+    }
+    let a1_over_h = r1 / p1;
+    let a2_over_h = r2 / p2;
+    let denom = a2_over_h - a1_over_h;
+    if denom <= 0.0 {
+        return Err(BoundsError::BadAnchors("no answer growth between thresholds"));
+    }
+    Ok(((r2 - r1) / denom).clamp(0.0, 1.0))
+}
+
+/// Equation (8): increment recall `R̂ = R2 − R1`.
+pub fn increment_recall(r1: f64, r2: f64) -> f64 {
+    (r2 - r1).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_eval::{AnswerId, AnswerSet, GroundTruth};
+
+    fn figure8_s1_curve() -> PrCurve {
+        // |H| = 100; S1 has 15/40 at δ1=0.1 and 27/72 at δ2=0.2.
+        PrCurve::from_counts(100, [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))])
+            .unwrap()
+    }
+
+    #[test]
+    fn figure8_increments() {
+        let incs = curve_increments(&figure8_s1_curve());
+        assert_eq!(incs.len(), 2);
+        assert_eq!(incs[0].counts, Counts::new(40, 15));
+        // Second increment: 12 correct, 20 incorrect (Figure 8, left).
+        assert_eq!(incs[1].counts, Counts::new(32, 12));
+        assert_eq!(incs[1].counts.incorrect(), 20);
+        assert_eq!((incs[0].from, incs[0].to), (0.0, 0.1));
+        assert_eq!((incs[1].from, incs[1].to), (0.1, 0.2));
+    }
+
+    #[test]
+    fn recombine_is_inverse() {
+        let curve = figure8_s1_curve();
+        let incs = curve_increments(&curve);
+        let rebuilt = recombine_increments(&incs);
+        let original: Vec<(f64, Counts)> =
+            curve.points().iter().map(|p| (p.threshold, p.counts)).collect();
+        assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn equation7_matches_count_space() {
+        // Figure 8: P̂^{δ1−δ2}_S1 = 12/32 = 3/8.
+        let p = increment_precision(0.375, 0.15, 0.375, 0.27).unwrap();
+        assert!((p - 0.375).abs() < 1e-12);
+        // And note the paper's observation: Eq. 7 is independent of |H|.
+        let p_other_h = increment_precision(0.375, 0.15 / 3.0, 0.375, 0.27 / 3.0).unwrap();
+        assert!((p_other_h - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation7_error_on_no_growth() {
+        assert!(increment_precision(0.5, 0.3, 0.5, 0.3).is_err());
+        // Shrinking answer sets are invalid anchors, too.
+        assert!(increment_precision(0.5, 0.3, 0.9, 0.3).is_err());
+    }
+
+    #[test]
+    fn equation8_recall_delta() {
+        assert!((increment_recall(0.15, 0.27) - 0.12).abs() < 1e-12);
+        assert_eq!(increment_recall(0.3, 0.2), 0.0);
+    }
+
+    #[test]
+    fn increments_from_real_measurement() {
+        let answers =
+            AnswerSet::new((1..=10).map(|i| (AnswerId(i), (i as f64 / 10.0).min(0.9)))).unwrap();
+        let truth = GroundTruth::new([2, 3, 7].map(AnswerId));
+        let curve = PrCurve::measure_at_all_scores(&answers, &truth).unwrap();
+        let incs = curve_increments(&curve);
+        // Increment counts sum to the final cumulative counts.
+        let total = incs.iter().fold(Counts::default(), |acc, i| acc + i.counts);
+        assert_eq!(total, curve.points().last().unwrap().counts);
+        // Each increment matches Eq. 7 evaluated on the cumulative curve,
+        // whenever the increment is non-empty.
+        let pts = curve.points();
+        for (k, inc) in incs.iter().enumerate().skip(1) {
+            if inc.counts.answers == 0 {
+                continue;
+            }
+            let (prev, cur) = (&pts[k - 1], &pts[k]);
+            // Eq. 7 needs positive precision at both anchors (§3.2 step 4).
+            if prev.precision <= 0.0 || cur.precision <= 0.0 {
+                continue;
+            }
+            let p_hat =
+                increment_precision(prev.precision, prev.recall, cur.precision, cur.recall)
+                    .unwrap();
+            assert!((p_hat - inc.precision()).abs() < 1e-9);
+            let r_hat = increment_recall(prev.recall, cur.recall);
+            assert!((r_hat - inc.recall(truth.len())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn increment_pr_accessors() {
+        let inc = IncrementCounts { from: 0.0, to: 0.1, counts: Counts::new(8, 2) };
+        assert!((inc.precision() - 0.25).abs() < 1e-12);
+        assert!((inc.recall(10) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,284 @@
+//! The incremental bound procedure of §3.2 (four steps).
+//!
+//! Computing the worst case independently at each threshold ignores what
+//! is already known about *earlier* thresholds: if 7 of S2's first 32
+//! answers are provably correct, a later threshold cannot drop below
+//! those 7. The paper's procedure:
+//!
+//! 1. fix the threshold grid `0, δ1, …, δn` of the original measurements;
+//! 2. decompose S1's curve into increments (Equations 7–8 / count deltas);
+//! 3. apply the best/worst-case formulas (Eqs. 1–6) to every increment;
+//! 4. accumulate increment bounds back into per-threshold bounds.
+//!
+//! In count space the accumulation is exact integer arithmetic. The
+//! worked example of Figure 8 (naive worst-case precision `1/16` at δ2
+//! tightening to `7/48`) is a unit test below.
+
+use crate::error::BoundsError;
+use crate::increment::curve_increments;
+use crate::pointwise::{
+    best_case_counts, pointwise_bounds_from_counts, worst_case_counts, PointBounds, PrEstimate,
+};
+use serde::{Deserialize, Serialize};
+use smx_eval::{Counts, PrCurve};
+
+/// Bounds at one threshold of the grid, naive and incremental.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalPoint {
+    /// The threshold δ.
+    pub threshold: f64,
+    /// S1's cumulative counts at δ.
+    pub s1: Counts,
+    /// S2's cumulative answer count at δ.
+    pub a2: usize,
+    /// `|T2|` range `[worst, best]` from the incremental accumulation.
+    pub t2_range: (usize, usize),
+    /// Per-threshold (naive) bounds, Equations (1)–(6) applied directly.
+    pub naive: PointBounds,
+    /// Incremental bounds — never looser than `naive`.
+    pub incremental: PointBounds,
+}
+
+/// The full incremental-bounds result over a threshold grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalBounds {
+    truth_size: usize,
+    points: Vec<IncrementalPoint>,
+}
+
+impl IncrementalBounds {
+    /// `|H|` of the S1 measurement.
+    pub fn truth_size(&self) -> usize {
+        self.truth_size
+    }
+
+    /// Per-threshold bound points, ascending in threshold.
+    pub fn points(&self) -> &[IncrementalPoint] {
+        &self.points
+    }
+
+    /// The point at exactly `threshold`, if on the grid.
+    pub fn point_at(&self, threshold: f64) -> Option<&IncrementalPoint> {
+        self.points.iter().find(|p| p.threshold == threshold)
+    }
+}
+
+/// Run the four-step procedure.
+///
+/// `s1_curve` is S1's measured curve (with counts); `a2_sizes[i]` is S2's
+/// cumulative answer count at the `i`-th threshold of the curve's grid.
+///
+/// Fails when the sizes are inconsistent with S2 being a sub-selection of
+/// S1 under a shared objective function: lengths must match, `a2` must be
+/// non-decreasing, and each increment of S2 must fit inside S1's
+/// increment (`Δa2 ≤ Δa1`).
+pub fn incremental_bounds(
+    s1_curve: &PrCurve,
+    a2_sizes: &[usize],
+) -> Result<IncrementalBounds, BoundsError> {
+    let points = s1_curve.points();
+    if a2_sizes.len() != points.len() {
+        return Err(BoundsError::LengthMismatch { expected: points.len(), got: a2_sizes.len() });
+    }
+    // Validate monotonicity and per-increment containment.
+    let mut prev_a2 = 0usize;
+    let mut prev_a1 = 0usize;
+    for (p, &a2) in points.iter().zip(a2_sizes) {
+        if a2 < prev_a2 {
+            return Err(BoundsError::NonMonotoneSizes { threshold: p.threshold });
+        }
+        if a2 > p.counts.answers {
+            return Err(BoundsError::NotASubSelection {
+                threshold: p.threshold,
+                s1: p.counts.answers,
+                s2: a2,
+            });
+        }
+        let delta_a1 = p.counts.answers - prev_a1;
+        let delta_a2 = a2 - prev_a2;
+        if delta_a2 > delta_a1 {
+            // More new S2 answers than S1 produced in this score band —
+            // impossible under a shared objective function.
+            return Err(BoundsError::NotASubSelection {
+                threshold: p.threshold,
+                s1: delta_a1,
+                s2: delta_a2,
+            });
+        }
+        prev_a2 = a2;
+        prev_a1 = p.counts.answers;
+    }
+
+    let truth_size = s1_curve.truth_size();
+    let incs1 = curve_increments(s1_curve);
+    let mut t2_best_sum = 0usize;
+    let mut t2_worst_sum = 0usize;
+    let mut prev_a2 = 0usize;
+    let mut out = Vec::with_capacity(points.len());
+    for ((p, &a2), inc1) in points.iter().zip(a2_sizes).zip(&incs1) {
+        let delta_a2 = a2 - prev_a2;
+        // Step 3: pointwise formulas on the increment.
+        t2_best_sum += best_case_counts(inc1.counts, delta_a2).correct;
+        t2_worst_sum += worst_case_counts(inc1.counts, delta_a2).correct;
+        prev_a2 = a2;
+        // Step 4: accumulate back to cumulative bounds at this threshold.
+        let best = Counts::new(a2, t2_best_sum);
+        let worst = Counts::new(a2, t2_worst_sum);
+        let incremental = PointBounds {
+            best: PrEstimate::new(best.precision(), best.recall(truth_size)),
+            worst: PrEstimate::new(worst.precision(), worst.recall(truth_size)),
+        };
+        let naive = pointwise_bounds_from_counts(p.counts, truth_size, a2)
+            .expect("validated above");
+        out.push(IncrementalPoint {
+            threshold: p.threshold,
+            s1: p.counts,
+            a2,
+            t2_range: (t2_worst_sum, t2_best_sum),
+            naive,
+            incremental,
+        });
+    }
+    Ok(IncrementalBounds { truth_size, points: out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The literal numbers of Figure 8.
+    fn figure8() -> (PrCurve, Vec<usize>) {
+        let curve = PrCurve::from_counts(
+            100,
+            [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))],
+        )
+        .unwrap();
+        (curve, vec![32, 48])
+    }
+
+    #[test]
+    fn figure8_exact_numbers() {
+        let (curve, sizes) = figure8();
+        let bounds = incremental_bounds(&curve, &sizes).unwrap();
+        let d1 = bounds.point_at(0.1).unwrap();
+        let d2 = bounds.point_at(0.2).unwrap();
+
+        // δ1: naive and incremental agree on the first increment: P ≥ 7/32.
+        assert!((d1.naive.worst.precision - 7.0 / 32.0).abs() < 1e-12);
+        assert!((d1.incremental.worst.precision - 7.0 / 32.0).abs() < 1e-12);
+        assert_eq!(d1.t2_range.0, 7);
+
+        // δ2: naive worst is 1/16; incremental tightens it to 7/48.
+        assert!((d2.naive.worst.precision - 1.0 / 16.0).abs() < 1e-12);
+        assert!((d2.incremental.worst.precision - 7.0 / 48.0).abs() < 1e-12);
+        // Second increment contributes no guaranteed-correct answers:
+        // worst T2 stays 7 (the paper: "41 incorrect answers and no
+        // correct ones" in S2's worst-case second increment).
+        assert_eq!(d2.t2_range.0, 7);
+    }
+
+    #[test]
+    fn figure8_best_case_side() {
+        let (curve, sizes) = figure8();
+        let bounds = incremental_bounds(&curve, &sizes).unwrap();
+        let d2 = bounds.point_at(0.2).unwrap();
+        // Best case: increment 1 keeps min(15, 32) = 15; increment 2 keeps
+        // min(12, 16) = 12 → T2 ≤ 27 of 48.
+        assert_eq!(d2.t2_range.1, 27);
+        assert!((d2.incremental.best.precision - 27.0 / 48.0).abs() < 1e-12);
+        // Naive best: min(27, 48) = 27 → same here (best tightening shows
+        // up only when an early increment saturates).
+        assert!((d2.naive.best.precision - 27.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_never_looser_than_naive() {
+        let curve = PrCurve::from_counts(
+            50,
+            [
+                (0.05, Counts::new(10, 6)),
+                (0.10, Counts::new(25, 11)),
+                (0.15, Counts::new(45, 13)),
+                (0.25, Counts::new(80, 20)),
+            ],
+        )
+        .unwrap();
+        for sizes in [[10, 20, 30, 40], [2, 12, 30, 62], [0, 0, 10, 45], [10, 25, 45, 80]] {
+            let b = incremental_bounds(&curve, &sizes).unwrap();
+            for p in b.points() {
+                assert!(p.incremental.worst.precision >= p.naive.worst.precision - 1e-12);
+                assert!(p.incremental.worst.recall >= p.naive.worst.recall - 1e-12);
+                assert!(p.incremental.best.precision <= p.naive.best.precision + 1e-12);
+                assert!(p.incremental.best.recall <= p.naive.best.recall + 1e-12);
+                assert!(p.t2_range.0 <= p.t2_range.1);
+            }
+        }
+    }
+
+    #[test]
+    fn best_case_tightening_shows_when_early_increment_saturates() {
+        // S1: first increment all correct (10/10), second all incorrect
+        // additions (10 answers, 0 correct).
+        let curve = PrCurve::from_counts(
+            20,
+            [(0.1, Counts::new(10, 10)), (0.2, Counts::new(20, 10))],
+        )
+        .unwrap();
+        // S2 keeps 2 early answers and everything late: naive best at δ2 is
+        // min(10, 12) = 10, but only 2 early answers were kept and the late
+        // increment holds no correct ones → incremental best is 2.
+        let b = incremental_bounds(&curve, &[2, 12]).unwrap();
+        let d2 = b.point_at(0.2).unwrap();
+        assert_eq!(d2.t2_range.1, 2);
+        assert!((d2.naive.best.precision - 10.0 / 12.0).abs() < 1e-12);
+        assert!((d2.incremental.best.precision - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_one_everywhere_collapses() {
+        let (curve, _) = figure8();
+        let sizes: Vec<usize> = curve.points().iter().map(|p| p.counts.answers).collect();
+        let b = incremental_bounds(&curve, &sizes).unwrap();
+        for (p, orig) in b.points().iter().zip(curve.points()) {
+            for est in [p.incremental.best, p.incremental.worst, p.naive.best, p.naive.worst] {
+                assert!((est.precision - orig.precision).abs() < 1e-12);
+                assert!((est.recall - orig.recall).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (curve, _) = figure8();
+        assert!(matches!(
+            incremental_bounds(&curve, &[32]),
+            Err(BoundsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            incremental_bounds(&curve, &[32, 30]),
+            Err(BoundsError::NonMonotoneSizes { .. })
+        ));
+        assert!(matches!(
+            incremental_bounds(&curve, &[41, 48]),
+            Err(BoundsError::NotASubSelection { .. })
+        ));
+        // Cumulatively fine (34 ≤ 40, 72 ≤ 72) but the second S2 increment
+        // (38) exceeds S1's (32).
+        assert!(matches!(
+            incremental_bounds(&curve, &[34, 72]),
+            Err(BoundsError::NotASubSelection { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_s2_everywhere() {
+        let (curve, _) = figure8();
+        let b = incremental_bounds(&curve, &[0, 0]).unwrap();
+        for p in b.points() {
+            assert_eq!(p.t2_range, (0, 0));
+            // Empty-set conventions: precision 1, recall 0.
+            assert_eq!(p.incremental.best, PrEstimate::new(1.0, 0.0));
+            assert_eq!(p.incremental.worst, PrEstimate::new(1.0, 0.0));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Using a published *interpolated* P/R curve as input — §4.1, Figure 12.
+//!
+//! An 11-point interpolated curve lacks the threshold↔point correspondence
+//! because `|A^δ| = R·|H| / P` and `|H|` is unknown. Guessing `|H|`
+//! recovers a measured-style curve: at each interpolated point,
+//! `|T| = R·|H|` and `|A| = |T| / P` (rounded). [`measured_from_interpolated`]
+//! performs that reconstruction; [`h_sensitivity_sweep`] quantifies how
+//! sensitive the resulting bounds are to the guess — the paper "suspects
+//! a rough estimate suffices", and the Figure 12 harness prints the sweep
+//! that tests the suspicion.
+
+use crate::envelope::BoundsEnvelope;
+use crate::error::BoundsError;
+use crate::ratio::SizeRatio;
+use smx_eval::{Counts, EvalError, InterpolatedCurve, PrCurve};
+
+/// Reconstruct a measured-style curve from an interpolated one under an
+/// assumed `|H|`.
+///
+/// Points with zero recall *and* zero precision contribute nothing and are
+/// skipped; remaining points are assigned synthetic thresholds equal to
+/// their recall level (any strictly increasing labelling works — the
+/// bounds only use the grid ordering). Counts are rounded to the nearest
+/// integer and forced monotone, mirroring what a practitioner reading
+/// numbers off a published plot would do.
+pub fn measured_from_interpolated(
+    interp: &InterpolatedCurve,
+    assumed_truth_size: usize,
+) -> Result<PrCurve, BoundsError> {
+    if assumed_truth_size == 0 {
+        return Err(BoundsError::InvalidTruthSize);
+    }
+    let mut counts: Vec<(f64, Counts)> = Vec::with_capacity(interp.len());
+    let mut prev = Counts::default();
+    for &(recall, precision) in interp.points() {
+        let correct = (recall * assumed_truth_size as f64).round() as usize;
+        if correct == 0 && precision <= 0.0 {
+            continue;
+        }
+        let answers = if precision > 0.0 {
+            (correct as f64 / precision).round() as usize
+        } else {
+            // R > 0 with P = 0 is inconsistent; treat as unusable point.
+            continue;
+        };
+        // Force monotone growth (rounded published numbers can jitter).
+        let answers = answers.max(prev.answers + 1);
+        let correct = correct.clamp(prev.correct, answers.min(assumed_truth_size));
+        let c = Counts::new(answers, correct);
+        counts.push(((recall).max(0.0), c));
+        prev = c;
+    }
+    if counts.is_empty() {
+        return Err(BoundsError::Eval(EvalError::EmptyCurve));
+    }
+    // Synthetic strictly-increasing thresholds: the recall levels, nudged
+    // where equal.
+    let mut last = f64::NEG_INFINITY;
+    for (t, _) in counts.iter_mut() {
+        if *t <= last {
+            *t = last + 1e-6;
+        }
+        last = *t;
+    }
+    Ok(PrCurve::from_counts(assumed_truth_size, counts)?)
+}
+
+/// For each candidate `|H|`, reconstruct the measured curve and compute a
+/// fixed-ratio envelope, returning `(|H|, envelope)` pairs. Comparing the
+/// envelopes across the sweep shows the impact of the guess (§4.1's open
+/// question).
+pub fn h_sensitivity_sweep(
+    interp: &InterpolatedCurve,
+    h_values: &[usize],
+    ratio: SizeRatio,
+) -> Result<Vec<(usize, BoundsEnvelope)>, BoundsError> {
+    h_values
+        .iter()
+        .map(|&h| {
+            let curve = measured_from_interpolated(interp, h)?;
+            let env = BoundsEnvelope::fixed_ratio(&curve, ratio)?;
+            Ok((h, env))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_eval::{AnswerId, AnswerSet, GroundTruth};
+
+    fn some_measured_curve() -> PrCurve {
+        let answers =
+            AnswerSet::new((1..=200).map(|i| (AnswerId(i), i as f64 / 200.0))).unwrap();
+        let truth = GroundTruth::new((1..=200).filter(|i| i % 3 == 0).map(AnswerId));
+        PrCurve::measure(
+            &answers,
+            &truth,
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstruction_with_true_h_recovers_counts() {
+        let measured = some_measured_curve();
+        let interp = InterpolatedCurve::from_points(
+            measured.points().iter().map(|p| (p.recall, p.precision)),
+        )
+        .unwrap();
+        let rebuilt = measured_from_interpolated(&interp, measured.truth_size()).unwrap();
+        // With the *true* |H| the counts round back exactly (up to the
+        // forced-monotone nudge, which does not fire here).
+        for (orig, back) in measured.points().iter().zip(rebuilt.points()) {
+            assert_eq!(orig.counts, back.counts, "at recall {}", orig.recall);
+        }
+    }
+
+    #[test]
+    fn reconstruction_scales_linearly_in_h() {
+        let interp =
+            InterpolatedCurve::from_points([(0.1, 0.8), (0.3, 0.6), (0.5, 0.4)]).unwrap();
+        let small = measured_from_interpolated(&interp, 100).unwrap();
+        let big = measured_from_interpolated(&interp, 10_000).unwrap();
+        for (s, b) in small.points().iter().zip(big.points()) {
+            // |A| and |T| scale by ~100 (rounding aside).
+            let factor = b.counts.answers as f64 / s.counts.answers as f64;
+            assert!((factor - 100.0).abs() < 5.0, "factor {factor}");
+            // P/R are preserved up to the rounding error of the small |H|.
+            assert!((s.precision - b.precision).abs() < 0.05);
+            assert!((s.recall - b.recall).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn zero_h_rejected_and_degenerate_curve_rejected() {
+        let interp = InterpolatedCurve::from_points([(0.5, 0.5)]).unwrap();
+        assert!(matches!(
+            measured_from_interpolated(&interp, 0),
+            Err(BoundsError::InvalidTruthSize)
+        ));
+        let unusable = InterpolatedCurve::from_points([(0.0, 0.0)]).unwrap();
+        assert!(measured_from_interpolated(&unusable, 100).is_err());
+    }
+
+    #[test]
+    fn sensitivity_sweep_bounds_stay_close_for_rough_h() {
+        // The paper's suspicion: a rough |H| estimate gives nearly the
+        // same bounds. Compare worst-case precision at matching grid
+        // positions for |H| and 2·|H|.
+        let measured = some_measured_curve();
+        let interp = InterpolatedCurve::from_points(
+            measured.points().iter().map(|p| (p.recall, p.precision)),
+        )
+        .unwrap();
+        let sweep = h_sensitivity_sweep(
+            &interp,
+            &[measured.truth_size(), measured.truth_size() * 2],
+            SizeRatio::new(0.9).unwrap(),
+        )
+        .unwrap();
+        let (a, b) = (&sweep[0].1, &sweep[1].1);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.points().iter().zip(b.points()) {
+            assert!(
+                (pa.incremental.worst.precision - pb.incremental.worst.precision).abs() < 0.05,
+                "worst precision drifted: {} vs {}",
+                pa.incremental.worst.precision,
+                pb.incremental.worst.precision
+            );
+        }
+    }
+}

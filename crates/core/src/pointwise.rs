@@ -1,0 +1,240 @@
+//! Per-threshold best/worst-case bounds — Equations (1)–(6) of §3.1.
+//!
+//! At one threshold δ, S1 produced `|A1|` answers of which `|T1|` are
+//! correct, and S2 produced `|A2| ≤ |A1|` answers. Which of S1's answers
+//! S2 kept is unknown, so (Figure 7):
+//!
+//! * **best case** — S2 missed only incorrect answers:
+//!   `|T2| = min(|T1|, |A2|)` (Eq. 1), giving
+//!   `P2 = min(P1/Â, 1)` (Eq. 2) and `R2 = R1·min(1, Â/P1)` (Eq. 3);
+//! * **worst case** — S2 missed the most correct answers possible:
+//!   `|T2| = max(0, |A2| − (|A1| − |T1|))` (Eq. 4), giving
+//!   `P2 = max(0, 1 − (1−P1)/Â)` (Eq. 5) and
+//!   `R2 = max(0, R1·((Â−1)/P1 + 1))` (Eq. 6),
+//!
+//! where `Â = |A2|/|A1|` is the size ratio. Both an exact count-space form
+//! and the paper's closed-form ratio-space form are provided; property
+//! tests assert they agree wherever both apply.
+//!
+//! Conventions at the edges: an empty S2 answer set (`Â = 0`) has
+//! precision 1 (no wrong answers) and recall 0, matching
+//! [`Counts::precision`]; `P1 = 0` forces `T1 = 0`, so both cases give
+//! recall 0.
+
+use crate::error::BoundsError;
+use crate::ratio::SizeRatio;
+use serde::{Deserialize, Serialize};
+use smx_eval::Counts;
+
+/// A `(precision, recall)` pair describing one hypothetical outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrEstimate {
+    /// Precision in `[0, 1]`.
+    pub precision: f64,
+    /// Recall in `[0, 1]`.
+    pub recall: f64,
+}
+
+impl PrEstimate {
+    /// Construct, clamping tiny numeric overshoot into `[0, 1]`.
+    pub fn new(precision: f64, recall: f64) -> Self {
+        PrEstimate { precision: precision.clamp(0.0, 1.0), recall: recall.clamp(0.0, 1.0) }
+    }
+}
+
+/// Best- and worst-case `(P, R)` for S2 at one threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointBounds {
+    /// Equations (2)–(3): S2 missed only incorrect answers.
+    pub best: PrEstimate,
+    /// Equations (5)–(6): S2 missed the most correct answers possible.
+    pub worst: PrEstimate,
+}
+
+impl PointBounds {
+    /// Whether an actual measurement lies inside the bounds
+    /// (with numeric tolerance `eps`).
+    pub fn contains(&self, actual: PrEstimate, eps: f64) -> bool {
+        actual.precision >= self.worst.precision - eps
+            && actual.precision <= self.best.precision + eps
+            && actual.recall >= self.worst.recall - eps
+            && actual.recall <= self.best.recall + eps
+    }
+}
+
+/// Equation (1): best-case counts for S2 — it kept as many correct answers
+/// as fit: `|T2| = min(|T1|, |A2|)`.
+pub fn best_case_counts(s1: Counts, a2: usize) -> Counts {
+    Counts::new(a2, s1.correct.min(a2))
+}
+
+/// Equation (4): worst-case counts for S2 — it kept as many *incorrect*
+/// answers as fit: `|T2| = max(0, |A2| − (|A1| − |T1|))`.
+pub fn worst_case_counts(s1: Counts, a2: usize) -> Counts {
+    Counts::new(a2, a2.saturating_sub(s1.incorrect()))
+}
+
+/// Equations (2), (3), (5), (6) in ratio space: bounds from S1's measured
+/// `(P1, R1)` and the size ratio `Â`.
+pub fn pointwise_bounds(p1: f64, r1: f64, ratio: SizeRatio) -> PointBounds {
+    let a = ratio.get();
+    if ratio.is_zero() {
+        // S2 returned nothing: empty-set precision convention, zero recall.
+        let empty = PrEstimate::new(1.0, 0.0);
+        return PointBounds { best: empty, worst: empty };
+    }
+    let best_p = if p1 <= 0.0 { 0.0 } else { (p1 / a).min(1.0) };
+    let best_r = if p1 <= 0.0 { 0.0 } else { r1 * (a / p1).min(1.0) };
+    let worst_p = (1.0 - (1.0 - p1) / a).max(0.0);
+    let worst_r = if p1 <= 0.0 { 0.0 } else { (r1 * ((a - 1.0) / p1 + 1.0)).max(0.0) };
+    // p1 == 0 with an empty answer set: P1 is conventionally 1 there, so
+    // p1 == 0 implies A1 > 0 and T1 = 0; best precision is then 0 as well.
+    PointBounds {
+        best: PrEstimate::new(best_p, best_r),
+        worst: PrEstimate::new(worst_p, worst_r),
+    }
+}
+
+/// Exact count-space bounds: S1's counts at δ, `|H|`, and S2's answer
+/// count there. Fails if `a2 > |A1|` (not a sub-selection).
+pub fn pointwise_bounds_from_counts(
+    s1: Counts,
+    truth_size: usize,
+    a2: usize,
+) -> Result<PointBounds, BoundsError> {
+    if a2 > s1.answers {
+        return Err(BoundsError::NotASubSelection { threshold: f64::NAN, s1: s1.answers, s2: a2 });
+    }
+    let best = best_case_counts(s1, a2);
+    let worst = worst_case_counts(s1, a2);
+    Ok(PointBounds {
+        best: PrEstimate::new(best.precision(), best.recall(truth_size)),
+        worst: PrEstimate::new(worst.precision(), worst.recall(truth_size)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio(x: f64) -> SizeRatio {
+        SizeRatio::new(x).unwrap()
+    }
+
+    #[test]
+    fn figure8_naive_worst_case() {
+        // S1: P = 3/8 at both thresholds; 40 and 72 answers; S2: 32, 48.
+        let s1_d1 = Counts::new(40, 15);
+        let s1_d2 = Counts::new(72, 27);
+        let w1 = worst_case_counts(s1_d1, 32);
+        assert_eq!(w1.correct, 7);
+        assert!((w1.precision() - 7.0 / 32.0).abs() < 1e-12);
+        let w2 = worst_case_counts(s1_d2, 48);
+        assert_eq!(w2.correct, 3);
+        assert!((w2.precision() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure8_in_ratio_space() {
+        // Same numbers through Equation (5).
+        let b1 = pointwise_bounds(3.0 / 8.0, 15.0 / 100.0, ratio(32.0 / 40.0));
+        assert!((b1.worst.precision - 7.0 / 32.0).abs() < 1e-12);
+        let b2 = pointwise_bounds(3.0 / 8.0, 27.0 / 100.0, ratio(48.0 / 72.0));
+        assert!((b2.worst.precision - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_case_counts_cap_at_a2_and_t1() {
+        let s1 = Counts::new(10, 6);
+        assert_eq!(best_case_counts(s1, 4), Counts::new(4, 4)); // Figure 7(a)
+        assert_eq!(best_case_counts(s1, 8), Counts::new(8, 6)); // Figure 7(b)
+    }
+
+    #[test]
+    fn worst_case_counts_detached_or_overlapping() {
+        let s1 = Counts::new(10, 6);
+        assert_eq!(worst_case_counts(s1, 3), Counts::new(3, 0)); // Figure 7(c)
+        assert_eq!(worst_case_counts(s1, 8), Counts::new(8, 4)); // Figure 7(d)
+    }
+
+    #[test]
+    fn ratio_one_collapses_to_original() {
+        for (p1, r1) in [(0.375, 0.15), (1.0, 1.0), (0.2, 0.9)] {
+            let b = pointwise_bounds(p1, r1, SizeRatio::ONE);
+            assert!((b.best.precision - p1).abs() < 1e-12);
+            assert!((b.worst.precision - p1).abs() < 1e-12);
+            assert!((b.best.recall - r1).abs() < 1e-12);
+            assert!((b.worst.recall - r1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ratio_zero_uses_empty_conventions() {
+        let b = pointwise_bounds(0.4, 0.3, SizeRatio::ZERO);
+        assert_eq!(b.best, PrEstimate::new(1.0, 0.0));
+        assert_eq!(b.worst, PrEstimate::new(1.0, 0.0));
+        // Count space agrees.
+        let c = pointwise_bounds_from_counts(Counts::new(10, 4), 8, 0).unwrap();
+        assert_eq!(c.best, PrEstimate::new(1.0, 0.0));
+        assert_eq!(c.worst, PrEstimate::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn p1_zero_means_nothing_correct_anywhere() {
+        let b = pointwise_bounds(0.0, 0.0, ratio(0.5));
+        assert_eq!(b.best, PrEstimate::new(0.0, 0.0));
+        assert_eq!(b.worst, PrEstimate::new(0.0, 0.0));
+        let c = pointwise_bounds_from_counts(Counts::new(10, 0), 5, 5).unwrap();
+        assert_eq!(c.best, PrEstimate::new(0.0, 0.0));
+        assert_eq!(c.worst, PrEstimate::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn count_and_ratio_space_agree() {
+        let truth = 100;
+        for (a1, t1) in [(40, 15), (72, 27), (10, 10), (50, 1)] {
+            let s1 = Counts::new(a1, t1);
+            for a2 in [0, 1, a1 / 3, a1 / 2, a1 - 1, a1] {
+                let from_counts = pointwise_bounds_from_counts(s1, truth, a2).unwrap();
+                let from_ratio = pointwise_bounds(
+                    s1.precision(),
+                    s1.recall(truth),
+                    SizeRatio::from_counts(a2, a1).unwrap(),
+                );
+                for (x, y) in [
+                    (from_counts.best.precision, from_ratio.best.precision),
+                    (from_counts.best.recall, from_ratio.best.recall),
+                    (from_counts.worst.precision, from_ratio.worst.precision),
+                    (from_counts.worst.recall, from_ratio.worst.recall),
+                ] {
+                    assert!((x - y).abs() < 1e-9, "{s1:?} a2={a2}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_never_exceeds_best() {
+        for p1 in [0.0, 0.1, 0.375, 0.9, 1.0] {
+            for r1 in [0.0, 0.2, 0.8, 1.0] {
+                for a in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                    let b = pointwise_bounds(p1, r1, ratio(a));
+                    assert!(b.worst.precision <= b.best.precision + 1e-12);
+                    assert!(b.worst.recall <= b.best.recall + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_a_subselection_rejected() {
+        assert!(pointwise_bounds_from_counts(Counts::new(10, 4), 8, 11).is_err());
+    }
+
+    #[test]
+    fn contains_with_tolerance() {
+        let b = pointwise_bounds(0.5, 0.5, ratio(0.8));
+        assert!(b.contains(PrEstimate::new(0.5, 0.45), 1e-9));
+        assert!(!b.contains(PrEstimate::new(1.0, 1.0), 1e-9));
+    }
+}

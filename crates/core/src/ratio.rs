@@ -1,0 +1,193 @@
+//! Answer-set size ratios `Â = |A_S2| / |A_S1|`.
+//!
+//! The size ratio is the *only* experimental input the bounds need about
+//! S2. A [`SizeRatio`] is a validated scalar in `[0, 1]`; a [`RatioCurve`]
+//! records the ratio as a function of the threshold δ (Figure 10).
+
+use crate::error::BoundsError;
+use serde::{Deserialize, Serialize};
+
+/// A validated size ratio in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SizeRatio(f64);
+
+impl SizeRatio {
+    /// The ratio `1`: S2 produced exactly as many answers as S1 (and hence
+    /// — under the shared objective function — exactly the same answers).
+    pub const ONE: SizeRatio = SizeRatio(1.0);
+    /// The ratio `0`: S2 produced nothing.
+    pub const ZERO: SizeRatio = SizeRatio(0.0);
+
+    /// Validate a raw ratio.
+    pub fn new(ratio: f64) -> Result<Self, BoundsError> {
+        if ratio.is_finite() && (0.0..=1.0).contains(&ratio) {
+            Ok(SizeRatio(ratio))
+        } else {
+            Err(BoundsError::InvalidRatio(ratio))
+        }
+    }
+
+    /// Ratio from answer counts; requires `s2 ≤ s1`. When `s1 == 0` (both
+    /// empty) the ratio is defined as `1` — equal answer sets.
+    pub fn from_counts(s2: usize, s1: usize) -> Result<Self, BoundsError> {
+        if s2 > s1 {
+            return Err(BoundsError::NotASubSelection { threshold: f64::NAN, s1, s2 });
+        }
+        if s1 == 0 {
+            return Ok(SizeRatio::ONE);
+        }
+        Ok(SizeRatio(s2 as f64 / s1 as f64))
+    }
+
+    /// The ratio value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this is exactly 1 (bounds collapse onto S1's curve).
+    pub fn is_one(self) -> bool {
+        self.0 == 1.0
+    }
+
+    /// Whether this is exactly 0 (S2 returns nothing).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl std::fmt::Display for SizeRatio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+/// The measured ratio `Â(δ)` over a threshold sweep (Figure 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RatioCurve {
+    points: Vec<(f64, SizeRatio)>,
+}
+
+impl RatioCurve {
+    /// Build from `(threshold, ratio)` pairs; sorted by threshold.
+    pub fn new(points: impl IntoIterator<Item = (f64, SizeRatio)>) -> Self {
+        let mut points: Vec<(f64, SizeRatio)> = points.into_iter().collect();
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite thresholds"));
+        RatioCurve { points }
+    }
+
+    /// Build from per-threshold `(threshold, |A_S2|, |A_S1|)` counts.
+    pub fn from_counts(
+        counts: impl IntoIterator<Item = (f64, usize, usize)>,
+    ) -> Result<Self, BoundsError> {
+        let mut points = Vec::new();
+        for (threshold, s2, s1) in counts {
+            let ratio = SizeRatio::from_counts(s2, s1).map_err(|e| match e {
+                BoundsError::NotASubSelection { s1, s2, .. } => {
+                    BoundsError::NotASubSelection { threshold, s1, s2 }
+                }
+                other => other,
+            })?;
+            points.push((threshold, ratio));
+        }
+        Ok(RatioCurve::new(points))
+    }
+
+    /// A constant ratio at each of the given thresholds (Figure 9's
+    /// hypothetical system).
+    pub fn constant(thresholds: &[f64], ratio: SizeRatio) -> Self {
+        RatioCurve::new(thresholds.iter().map(|&t| (t, ratio)))
+    }
+
+    /// The `(threshold, ratio)` points, ascending in threshold.
+    pub fn points(&self) -> &[(f64, SizeRatio)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The ratio at exactly `threshold`, if measured there.
+    pub fn at(&self, threshold: f64) -> Option<SizeRatio> {
+        self.points
+            .iter()
+            .find(|(t, _)| *t == threshold)
+            .map(|&(_, r)| r)
+    }
+
+    /// Mean ratio across the sweep — a one-number summary of how much of
+    /// the search S2 retains.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        self.points.iter().map(|(_, r)| r.get()).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_validation() {
+        assert!(SizeRatio::new(0.5).is_ok());
+        assert!(SizeRatio::new(0.0).is_ok());
+        assert!(SizeRatio::new(1.0).is_ok());
+        assert!(SizeRatio::new(-0.1).is_err());
+        assert!(SizeRatio::new(1.1).is_err());
+        assert!(SizeRatio::new(f64::NAN).is_err());
+        assert!(SizeRatio::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ratio_from_counts() {
+        assert_eq!(SizeRatio::from_counts(32, 40).unwrap().get(), 0.8);
+        assert!(SizeRatio::from_counts(0, 0).unwrap().is_one());
+        assert!(SizeRatio::from_counts(0, 5).unwrap().is_zero());
+        assert!(matches!(
+            SizeRatio::from_counts(6, 5),
+            Err(BoundsError::NotASubSelection { .. })
+        ));
+    }
+
+    #[test]
+    fn curve_sorted_and_lookup() {
+        let c = RatioCurve::new([
+            (0.2, SizeRatio::new(0.5).unwrap()),
+            (0.1, SizeRatio::new(0.9).unwrap()),
+        ]);
+        assert_eq!(c.points()[0].0, 0.1);
+        assert_eq!(c.at(0.2).unwrap().get(), 0.5);
+        assert_eq!(c.at(0.15), None);
+        assert!((c.mean() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_from_counts_checks_subset() {
+        let ok = RatioCurve::from_counts([(0.1, 32, 40), (0.2, 48, 72)]).unwrap();
+        assert!((ok.at(0.1).unwrap().get() - 0.8).abs() < 1e-12);
+        assert!((ok.at(0.2).unwrap().get() - 2.0 / 3.0).abs() < 1e-12);
+        let bad = RatioCurve::from_counts([(0.1, 50, 40)]);
+        assert!(matches!(
+            bad,
+            Err(BoundsError::NotASubSelection { threshold, s1: 40, s2: 50 }) if threshold == 0.1
+        ));
+    }
+
+    #[test]
+    fn constant_curve() {
+        let c = RatioCurve::constant(&[0.1, 0.2, 0.3], SizeRatio::new(0.9).unwrap());
+        assert_eq!(c.len(), 3);
+        assert!(c.points().iter().all(|(_, r)| r.get() == 0.9));
+        assert!(RatioCurve::default().is_empty());
+        assert_eq!(RatioCurve::default().mean(), 1.0);
+    }
+}

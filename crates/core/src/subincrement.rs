@@ -1,0 +1,228 @@
+//! Sub-increment interpolation bounds — §4.2, Figure 13.
+//!
+//! Between two measured anchors `(δ1, |A1|, |T1|)` and `(δ2, |A2|, |T2|)`,
+//! a rebuilt system observed at an intermediate threshold δ′ produces some
+//! `A′` answers with `A1 ≤ A′ ≤ A2`. How many of the `A′ − A1` extra
+//! answers are correct is unknown, but it is boxed in:
+//!
+//! ```text
+//! extra_correct ∈ [ max(0, (A′−A1) − (ΔA − ΔT)),  min(A′−A1, ΔT) ]
+//! ```
+//!
+//! with `ΔA = A2−A1`, `ΔT = T2−T1`. Each admissible `T′` yields the point
+//! `(T′/|H|, T′/A′)`; the set of them is a **line segment** on the P/R
+//! plane (the paper's thick `δ′` line). The safest single interpolation
+//! choice is the segment's midpoint (§4.2's closing observation).
+
+use crate::error::BoundsError;
+use serde::{Deserialize, Serialize};
+use smx_eval::Counts;
+
+/// The bound segment for one intermediate answer count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubIncrementBound {
+    /// The intermediate answer count `A′`.
+    pub answers: usize,
+    /// Admissible range of `T′` (inclusive).
+    pub t_range: (usize, usize),
+    /// Worst endpoint `(recall, precision)` — fewest correct extras.
+    pub worst: (f64, f64),
+    /// Best endpoint `(recall, precision)` — most correct extras.
+    pub best: (f64, f64),
+}
+
+impl SubIncrementBound {
+    /// Segment midpoint `(recall, precision)` — the minimal-error
+    /// interpolation choice.
+    pub fn midpoint(&self) -> (f64, f64) {
+        (
+            (self.worst.0 + self.best.0) / 2.0,
+            (self.worst.1 + self.best.1) / 2.0,
+        )
+    }
+
+    /// Whether an actual `(recall, precision)` measurement lies on the
+    /// segment (within `eps` along both axes).
+    pub fn contains(&self, recall: f64, precision: f64, eps: f64) -> bool {
+        recall >= self.worst.0 - eps
+            && recall <= self.best.0 + eps
+            && precision >= self.worst.1.min(self.best.1) - eps
+            && precision <= self.worst.1.max(self.best.1) + eps
+    }
+}
+
+/// Bound the P/R point of an intermediate threshold with `a_prime` answers
+/// between `anchor1` (at δ1) and `anchor2` (at δ2), given `|H|`.
+pub fn sub_increment_bounds(
+    anchor1: Counts,
+    anchor2: Counts,
+    truth_size: usize,
+    a_prime: usize,
+) -> Result<SubIncrementBound, BoundsError> {
+    if truth_size == 0 {
+        return Err(BoundsError::InvalidTruthSize);
+    }
+    if anchor2.answers < anchor1.answers || anchor2.correct < anchor1.correct {
+        return Err(BoundsError::BadAnchors("second anchor must dominate the first"));
+    }
+    if a_prime < anchor1.answers || a_prime > anchor2.answers {
+        return Err(BoundsError::BadAnchors("A' must lie between the anchors' answer counts"));
+    }
+    let delta_t = anchor2.correct - anchor1.correct;
+    let delta_i = (anchor2.answers - anchor1.answers) - delta_t;
+    let extra = a_prime - anchor1.answers;
+    let lo = anchor1.correct + extra.saturating_sub(delta_i);
+    let hi = anchor1.correct + extra.min(delta_t);
+    let point = |t: usize| -> (f64, f64) {
+        let recall = t as f64 / truth_size as f64;
+        let precision = if a_prime == 0 { 1.0 } else { t as f64 / a_prime as f64 };
+        (recall, precision)
+    };
+    Ok(SubIncrementBound {
+        answers: a_prime,
+        t_range: (lo, hi),
+        worst: point(lo),
+        best: point(hi),
+    })
+}
+
+/// Sweep every intermediate answer count `A1..=A2`, producing the family
+/// of segments Figure 13 plots.
+pub fn sub_increment_sweep(
+    anchor1: Counts,
+    anchor2: Counts,
+    truth_size: usize,
+) -> Result<Vec<SubIncrementBound>, BoundsError> {
+    (anchor1.answers..=anchor2.answers)
+        .map(|a| sub_increment_bounds(anchor1, anchor2, truth_size, a))
+        .collect()
+}
+
+/// The mid-point interpolation rule: the `(recall, precision)` choices
+/// with the smallest worst-case error for each intermediate count.
+pub fn midpoint_rule(
+    anchor1: Counts,
+    anchor2: Counts,
+    truth_size: usize,
+) -> Result<Vec<(f64, f64)>, BoundsError> {
+    Ok(sub_increment_sweep(anchor1, anchor2, truth_size)?
+        .iter()
+        .map(SubIncrementBound::midpoint)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 13's literal numbers: |H| = 100, anchors (50, 30) and
+    /// (70, 36); rebuilt system shows 54 answers at δ′.
+    fn figure13() -> (Counts, Counts, usize) {
+        (Counts::new(50, 30), Counts::new(70, 36), 100)
+    }
+
+    #[test]
+    fn figure13_exact_segment() {
+        let (a1, a2, h) = figure13();
+        let seg = sub_increment_bounds(a1, a2, h, 54).unwrap();
+        // Worst: the 4 extras all incorrect → (30/100, 30/54).
+        assert_eq!(seg.t_range, (30, 34));
+        assert!((seg.worst.0 - 0.30).abs() < 1e-12);
+        assert!((seg.worst.1 - 30.0 / 54.0).abs() < 1e-12);
+        // Best: all 4 correct → (34/100, 34/54).
+        assert!((seg.best.0 - 0.34).abs() < 1e-12);
+        assert!((seg.best.1 - 34.0 / 54.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extras_capped_by_increment_composition() {
+        let (a1, a2, h) = figure13();
+        // ΔT = 6, ΔI = 14. At A' = 68 the 18 extras contain at least
+        // 18 − 14 = 4 and at most 6 correct ones.
+        let seg = sub_increment_bounds(a1, a2, h, 68).unwrap();
+        assert_eq!(seg.t_range, (34, 36));
+        assert!((seg.best.1 - 36.0 / 68.0).abs() < 1e-12);
+        assert!((seg.worst.1 - 34.0 / 68.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_degenerates_at_anchor_points() {
+        let (a1, a2, h) = figure13();
+        let at1 = sub_increment_bounds(a1, a2, h, 50).unwrap();
+        assert_eq!(at1.t_range, (30, 30));
+        assert_eq!(at1.worst, at1.best);
+        let at2 = sub_increment_bounds(a1, a2, h, 70).unwrap();
+        assert_eq!(at2.t_range, (36, 36));
+        assert!((at2.best.0 - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_not_linear_interpolation() {
+        // The paper: "taking the point halfway between worst and best case
+        // is not the same as linear interpolation between δ1 and δ2."
+        let (a1, a2, h) = figure13();
+        let mids = midpoint_rule(a1, a2, h).unwrap();
+        // Linear interpolation of (R, P) between the anchors at A' = 60:
+        let t = (60.0 - 50.0) / 20.0;
+        let lin_r = 0.30 + t * (0.36 - 0.30);
+        let lin_p = 0.60 + t * (36.0 / 70.0 - 0.60);
+        let mid = mids[10]; // A' = 60
+        assert!(
+            (mid.0 - lin_r).abs() > 1e-6 || (mid.1 - lin_p).abs() > 1e-6,
+            "midpoint {mid:?} should differ from linear ({lin_r}, {lin_p})"
+        );
+    }
+
+    #[test]
+    fn three_sections_in_midpoints() {
+        // Near the anchors only a few extras are unknown; the midpoint
+        // trajectory has three regimes (paper: "three sections observable
+        // in the halfway-points"): T-range width grows, saturates at
+        // min(ΔT, ΔI), then shrinks.
+        let (a1, a2, h) = figure13();
+        let widths: Vec<usize> = sub_increment_sweep(a1, a2, h)
+            .unwrap()
+            .iter()
+            .map(|s| s.t_range.1 - s.t_range.0)
+            .collect();
+        let max_width = *widths.iter().max().unwrap();
+        assert_eq!(max_width, 6); // min(ΔT, ΔI) = min(6, 14)
+        // Monotone up to the plateau, monotone down after it.
+        let first_max = widths.iter().position(|&w| w == max_width).unwrap();
+        let last_max = widths.iter().rposition(|&w| w == max_width).unwrap();
+        assert!(widths[..first_max].windows(2).all(|w| w[0] <= w[1]));
+        assert!(widths[last_max..].windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn segment_contains_every_admissible_t() {
+        let (a1, a2, h) = figure13();
+        let seg = sub_increment_bounds(a1, a2, h, 60).unwrap();
+        for t in seg.t_range.0..=seg.t_range.1 {
+            let r = t as f64 / h as f64;
+            let p = t as f64 / 60.0;
+            assert!(seg.contains(r, p, 1e-12));
+        }
+        // Outside the range: not contained.
+        let t_out = seg.t_range.1 + 1;
+        assert!(!seg.contains(t_out as f64 / h as f64, t_out as f64 / 60.0, 1e-12));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (a1, a2, h) = figure13();
+        assert!(sub_increment_bounds(a1, a2, 0, 54).is_err());
+        assert!(sub_increment_bounds(a1, a2, h, 49).is_err());
+        assert!(sub_increment_bounds(a1, a2, h, 71).is_err());
+        assert!(sub_increment_bounds(a2, a1, h, 60).is_err());
+    }
+
+    #[test]
+    fn sweep_covers_every_count_once() {
+        let (a1, a2, h) = figure13();
+        let sweep = sub_increment_sweep(a1, a2, h).unwrap();
+        assert_eq!(sweep.len(), 21);
+        assert_eq!(sweep[0].answers, 50);
+        assert_eq!(sweep[20].answers, 70);
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's central claim as a property test: for **any** ground truth
+//! `H`, any exhaustive run S1, and any sub-selection S2 ⊆ S1, the measured
+//! `(P, R)` of S2 lies inside the `[worst, best]` bounds computed *without
+//! H* — at every threshold, both for the naive per-threshold bounds and
+//! the tighter incremental ones.
+
+use proptest::prelude::*;
+use smx_core::*;
+use smx_eval::{AnswerId, AnswerSet, Counts, GroundTruth, PrCurve};
+
+/// A full random scenario: S1's scored answers, a ground truth over them
+/// (plus some never-retrieved correct answers), and a keep-mask for S2.
+#[derive(Debug, Clone)]
+struct Scenario {
+    s1: AnswerSet,
+    s2: AnswerSet,
+    truth: GroundTruth,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        // Scores on a coarse grid to exercise ties.
+        proptest::collection::vec(0u32..12, 2..60),
+        // Correctness mask for retrieved answers.
+        proptest::collection::vec(any::<bool>(), 2..60),
+        // Keep mask for S2.
+        proptest::collection::vec(any::<bool>(), 2..60),
+        // Correct answers never retrieved by S1 (they only affect |H|).
+        0usize..5,
+    )
+        .prop_map(|(scores, correct_mask, keep_mask, unretrieved)| {
+            let s1 = AnswerSet::new(
+                scores
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (AnswerId(i as u64), s as f64 / 12.0)),
+            )
+            .expect("finite scores");
+            let truth = GroundTruth::new(
+                scores
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| correct_mask.get(*i).copied().unwrap_or(false))
+                    .map(|(i, _)| AnswerId(i as u64))
+                    .chain((0..unretrieved).map(|k| AnswerId(1_000_000 + k as u64))),
+            );
+            let s2 = s1.filter(|id| keep_mask.get(id.0 as usize).copied().unwrap_or(false));
+            Scenario { s1, s2, truth }
+        })
+        .prop_filter("need at least one correct retrieved answer", |sc| {
+            sc.s1.ids().any(|id| sc.truth.contains(id))
+        })
+}
+
+fn measured(answers: &AnswerSet, truth: &GroundTruth, grid: &[f64]) -> PrCurve {
+    PrCurve::measure(answers, truth, grid).expect("non-empty truth and grid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The theorem: bounds computed from S1's curve + S2's sizes contain
+    /// S2's actual (P, R) at every grid threshold.
+    #[test]
+    fn bounds_contain_actual(sc in scenario()) {
+        let grid = sc.s1.distinct_scores();
+        let s1_curve = measured(&sc.s1, &sc.truth, &grid);
+        let s2_curve = measured(&sc.s2, &sc.truth, &grid);
+        let sizes: Vec<usize> = grid.iter().map(|&t| sc.s2.count_at(t)).collect();
+
+        let env = BoundsEnvelope::from_sizes(&s1_curve, &sizes).unwrap();
+        prop_assert!(
+            env.contains(&s2_curve, 1e-9),
+            "violation at {:?}",
+            env.first_violation(&s2_curve, 1e-9)
+        );
+    }
+
+    /// Incremental bounds are never looser than naive bounds, and both
+    /// contain the actual value.
+    #[test]
+    fn incremental_tighter_than_naive(sc in scenario()) {
+        let grid = sc.s1.distinct_scores();
+        let s1_curve = measured(&sc.s1, &sc.truth, &grid);
+        let sizes: Vec<usize> = grid.iter().map(|&t| sc.s2.count_at(t)).collect();
+        let bounds = incremental_bounds(&s1_curve, &sizes).unwrap();
+        for (p, &t) in bounds.points().iter().zip(&grid) {
+            let actual = Counts::measure(&sc.s2, &sc.truth, t);
+            let est = PrEstimate::new(actual.precision(), actual.recall(sc.truth.len()));
+            prop_assert!(p.naive.contains(est, 1e-9), "naive bounds violated at {t}");
+            prop_assert!(p.incremental.contains(est, 1e-9), "incremental bounds violated at {t}");
+            prop_assert!(p.incremental.worst.precision >= p.naive.worst.precision - 1e-12);
+            prop_assert!(p.incremental.worst.recall >= p.naive.worst.recall - 1e-12);
+            prop_assert!(p.incremental.best.precision <= p.naive.best.precision + 1e-12);
+            prop_assert!(p.incremental.best.recall <= p.naive.best.recall + 1e-12);
+            // T2 count range brackets the actual number of correct answers.
+            prop_assert!(p.t2_range.0 <= actual.correct && actual.correct <= p.t2_range.1);
+        }
+    }
+
+    /// Count-space and ratio-space pointwise bounds agree on exact inputs.
+    #[test]
+    fn count_and_ratio_space_agree(a1 in 1usize..200, t_frac in 0.0f64..=1.0, a2_frac in 0.0f64..=1.0, h_extra in 0usize..50) {
+        let t1 = (a1 as f64 * t_frac).round() as usize;
+        let a2 = (a1 as f64 * a2_frac).round() as usize;
+        let truth = t1 + h_extra;
+        prop_assume!(truth > 0);
+        let s1 = Counts::new(a1, t1);
+        let from_counts = pointwise_bounds_from_counts(s1, truth, a2).unwrap();
+        let from_ratio = pointwise_bounds(
+            s1.precision(),
+            s1.recall(truth),
+            SizeRatio::from_counts(a2, a1).unwrap(),
+        );
+        for (x, y) in [
+            (from_counts.best.precision, from_ratio.best.precision),
+            (from_counts.best.recall, from_ratio.best.recall),
+            (from_counts.worst.precision, from_ratio.worst.precision),
+            (from_counts.worst.recall, from_ratio.worst.recall),
+        ] {
+            prop_assert!((x - y).abs() < 1e-9, "count {x} vs ratio {y} for {s1:?} a2={a2}");
+        }
+    }
+
+    /// The random baseline lies between worst and best, and equals the
+    /// empirical mean over many random sub-selections (law of large
+    /// numbers, loose tolerance).
+    #[test]
+    fn random_baseline_is_between_bounds(sc in scenario()) {
+        let grid = sc.s1.distinct_scores();
+        let s1_curve = measured(&sc.s1, &sc.truth, &grid);
+        let sizes: Vec<usize> = grid.iter().map(|&t| sc.s2.count_at(t)).collect();
+        let rand = random_baseline(&s1_curve, &sizes).unwrap();
+        let bounds = incremental_bounds(&s1_curve, &sizes).unwrap();
+        for (r, b) in rand.iter().zip(bounds.points()) {
+            prop_assert!(r.precision + 1e-9 >= b.incremental.worst.precision);
+            prop_assert!(r.precision <= b.incremental.best.precision + 1e-9);
+            prop_assert!(r.recall + 1e-9 >= b.incremental.worst.recall);
+            prop_assert!(r.recall <= b.incremental.best.recall + 1e-9);
+        }
+    }
+
+    /// Sub-increment segments contain the actual intermediate point for
+    /// any threshold between two anchors of the real S1 run.
+    #[test]
+    fn subincrement_contains_actual(sc in scenario(), pick in any::<prop::sample::Index>()) {
+        let grid = sc.s1.distinct_scores();
+        prop_assume!(grid.len() >= 3);
+        let k = 1 + pick.index(grid.len() - 2); // an interior grid point
+        let (lo, hi) = (grid[0], *grid.last().unwrap());
+        let anchor1 = Counts::measure(&sc.s1, &sc.truth, lo);
+        let anchor2 = Counts::measure(&sc.s1, &sc.truth, hi);
+        let mid = Counts::measure(&sc.s1, &sc.truth, grid[k]);
+        let seg = sub_increment_bounds(anchor1, anchor2, sc.truth.len(), mid.answers).unwrap();
+        let r = mid.recall(sc.truth.len());
+        let p = mid.precision();
+        prop_assert!(seg.contains(r, p, 1e-9), "mid {mid:?} outside segment {seg:?}");
+        prop_assert!(seg.t_range.0 <= mid.correct && mid.correct <= seg.t_range.1);
+    }
+
+    /// Reconstructing a measured curve from its own interpolation with the
+    /// true |H| yields bounds consistent with the originals.
+    #[test]
+    fn interpolated_roundtrip_bounds(sc in scenario()) {
+        let grid = sc.s1.distinct_scores();
+        let s1_curve = measured(&sc.s1, &sc.truth, &grid);
+        // Use the curve's own points as the "published" interpolation.
+        let interp = smx_eval::InterpolatedCurve::from_points(
+            s1_curve.points().iter().map(|p| (p.recall, p.precision)),
+        ).unwrap();
+        if let Ok(rebuilt) = measured_from_interpolated(&interp, sc.truth.len()) {
+            // Recall values must match the original curve's (same |H|).
+            for p in rebuilt.points() {
+                prop_assert!(p.recall <= 1.0 + 1e-9);
+                prop_assert!(p.precision <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure-shape regression tests: the qualitative claims the paper makes
+//! about its own plots, asserted on deterministic synthetic curves so
+//! they cannot silently drift.
+
+use smx_core::*;
+use smx_eval::{Counts, PrCurve};
+
+/// A 10-increment S1 curve with declining per-increment precision —
+/// the classic measured-curve regime of Figure 5.
+fn classic_s1() -> PrCurve {
+    let mut answers = 0;
+    let mut correct = 0;
+    let counts: Vec<(f64, Counts)> = (1..=10)
+        .map(|i| {
+            answers += 10 * i;
+            correct += (12 - i).min(10 * i);
+            (i as f64 / 10.0, Counts::new(answers, correct))
+        })
+        .collect();
+    PrCurve::from_counts(80, counts).expect("valid synthetic curve")
+}
+
+/// §3.3: "for Â = 1 ... the best and worst case bounds are exactly the
+/// same and equal to the original P/R curve".
+#[test]
+fn ratio_one_gives_absolute_certainty() {
+    let curve = classic_s1();
+    let env = BoundsEnvelope::fixed_ratio(&curve, SizeRatio::ONE).expect("consistent grid");
+    for (p, orig) in env.points().iter().zip(curve.points()) {
+        for est in [p.incremental.best, p.incremental.worst, p.naive.best, p.naive.worst, p.random]
+        {
+            assert!((est.precision - orig.precision).abs() < 1e-9);
+            assert!((est.recall - orig.recall).abs() < 1e-9);
+        }
+    }
+}
+
+/// §3.3: "the bigger the answer size A_S2, the better the chances to
+/// acquire narrow bounds" — envelope width shrinks monotonically in Â.
+#[test]
+fn envelope_narrows_as_ratio_grows() {
+    let curve = classic_s1();
+    let mut prev_width = f64::INFINITY;
+    for ratio in [0.2, 0.4, 0.6, 0.8, 0.95, 1.0] {
+        let env = BoundsEnvelope::fixed_ratio(&curve, SizeRatio::new(ratio).expect("in range"))
+            .expect("consistent grid");
+        let width: f64 = env
+            .points()
+            .iter()
+            .map(|p| p.incremental.best.precision - p.incremental.worst.precision)
+            .sum();
+        assert!(
+            width <= prev_width + 1e-9,
+            "width {width} at ratio {ratio} exceeds {prev_width}"
+        );
+        prev_width = width;
+    }
+}
+
+/// §3.3 / conclusion: the worst case is loosest at the high-recall end —
+/// the guaranteed-recall gap to S1 grows along the sweep (each extra
+/// increment adds more answers whose correctness the worst case writes
+/// off).
+#[test]
+fn worst_case_degrades_with_threshold() {
+    let curve = classic_s1();
+    let env = BoundsEnvelope::fixed_ratio(&curve, SizeRatio::new(0.7).expect("in range"))
+        .expect("consistent grid");
+    let gaps: Vec<f64> = env
+        .points()
+        .iter()
+        .map(|p| p.s1.recall - p.incremental.worst.recall)
+        .collect();
+    let first_half: f64 = gaps[..gaps.len() / 2].iter().sum();
+    let second_half: f64 = gaps[gaps.len() / 2..].iter().sum();
+    assert!(
+        second_half >= first_half,
+        "worst-case recall gap should grow along the sweep: {first_half} vs {second_half}"
+    );
+}
+
+/// §3.4: "the random system ... gives a more useful lower bound, since it
+/// produces a narrower interval" — random sits strictly above worst
+/// whenever the bounds are non-trivial.
+#[test]
+fn random_is_a_narrower_lower_bound() {
+    let curve = classic_s1();
+    let env = BoundsEnvelope::fixed_ratio(&curve, SizeRatio::new(0.5).expect("in range"))
+        .expect("consistent grid");
+    let mut strictly_above = 0;
+    for p in env.points() {
+        assert!(p.random.precision >= p.incremental.worst.precision - 1e-9);
+        assert!(p.random.recall >= p.incremental.worst.recall - 1e-9);
+        if p.random.precision > p.incremental.worst.precision + 1e-9 {
+            strictly_above += 1;
+        }
+    }
+    assert!(strictly_above > env.len() / 2, "random baseline never improved on worst case");
+}
+
+/// Conclusion: "for the top-N ... we can give useful, i.e., narrow
+/// effectiveness bounds" — the head of the sweep has narrower bounds than
+/// the tail for a declining-ratio system.
+#[test]
+fn topn_region_has_narrow_bounds() {
+    let curve = classic_s1();
+    // Ratio declines along the sweep, like Figure 10's systems.
+    let ratios = RatioCurve::new(curve.thresholds().iter().enumerate().map(|(i, &t)| {
+        (t, SizeRatio::new(1.0 - 0.08 * i as f64).expect("in range"))
+    }));
+    let env = BoundsEnvelope::from_ratio_curve(&curve, &ratios).expect("consistent grid");
+    let head = &env.points()[0];
+    let tail = env.points().last().expect("non-empty");
+    let head_width = head.incremental.best.precision - head.incremental.worst.precision;
+    let tail_width = tail.incremental.best.precision - tail.incremental.worst.precision;
+    assert!(
+        head_width < tail_width,
+        "head width {head_width} should be narrower than tail {tail_width}"
+    );
+}
+
+/// The "trade-off at most x%" claim is monotone: keeping more answers
+/// never worsens the guaranteed loss.
+#[test]
+fn guaranteed_loss_monotone_in_ratio() {
+    let curve = classic_s1();
+    let mut prev = (f64::INFINITY, f64::INFINITY);
+    for ratio in [0.3, 0.5, 0.7, 0.9, 1.0] {
+        let env = BoundsEnvelope::fixed_ratio(&curve, SizeRatio::new(ratio).expect("in range"))
+            .expect("consistent grid");
+        let (dp, dr) = env.max_guaranteed_loss();
+        assert!(dp <= prev.0 + 1e-9, "precision loss grew with ratio {ratio}");
+        assert!(dr <= prev.1 + 1e-9, "recall loss grew with ratio {ratio}");
+        prev = (dp, dr);
+    }
+    assert!(prev.0.abs() < 1e-9 && prev.1.abs() < 1e-9, "ratio 1 must have zero loss");
+}

@@ -1,0 +1,249 @@
+//! Scored answer sets.
+//!
+//! An [`AnswerSet`] holds the output of one matching-system run: answers
+//! with their objective-function score Δ(a), kept sorted ascending (better
+//! answers first). `A_S^δ` slicing, subset checks, and the extraction of
+//! natural threshold grids all live here.
+
+use crate::error::EvalError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Opaque identity of an answer (a schema mapping, a document, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AnswerId(pub u64);
+
+impl std::fmt::Display for AnswerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// An answer with its objective score; **lower is better** (Δ measures
+/// difference).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredAnswer {
+    /// Answer identity.
+    pub id: AnswerId,
+    /// Objective-function value Δ(a); finite, lower ranks higher.
+    pub score: f64,
+}
+
+/// A system's ranked output: answers sorted by `(score, id)` ascending.
+///
+/// Sorting by id second makes runs deterministic under score ties, which
+/// the paper explicitly allows ("we do not exclude a situation where
+/// Δ(a1) = Δ(a2)").
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AnswerSet {
+    answers: Vec<ScoredAnswer>,
+}
+
+impl AnswerSet {
+    /// Build from unsorted `(id, score)` pairs. Rejects non-finite scores
+    /// and duplicate ids.
+    pub fn new(pairs: impl IntoIterator<Item = (AnswerId, f64)>) -> Result<Self, EvalError> {
+        let mut answers: Vec<ScoredAnswer> = pairs
+            .into_iter()
+            .map(|(id, score)| ScoredAnswer { id, score })
+            .collect();
+        for a in &answers {
+            if !a.score.is_finite() {
+                return Err(EvalError::InvalidScore { id: a.id.0, score: a.score });
+            }
+        }
+        answers.sort_by(|x, y| {
+            x.score
+                .partial_cmp(&y.score)
+                .expect("scores are finite")
+                .then(x.id.cmp(&y.id))
+        });
+        for w in answers.windows(2) {
+            if w[0].id == w[1].id {
+                return Err(EvalError::InvalidScore { id: w[0].id.0, score: f64::NAN });
+            }
+        }
+        // Re-check duplicates across different scores too.
+        let mut ids: Vec<AnswerId> = answers.iter().map(|a| a.id).collect();
+        ids.sort();
+        for w in ids.windows(2) {
+            if w[0] == w[1] {
+                return Err(EvalError::InvalidScore { id: w[0].0, score: f64::NAN });
+            }
+        }
+        Ok(AnswerSet { answers })
+    }
+
+    /// The empty answer set.
+    pub fn empty() -> Self {
+        AnswerSet::default()
+    }
+
+    /// Number of answers (at threshold ∞).
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// All answers, best (lowest score) first.
+    pub fn answers(&self) -> &[ScoredAnswer] {
+        &self.answers
+    }
+
+    /// Iterate over ids, best first.
+    pub fn ids(&self) -> impl Iterator<Item = AnswerId> + '_ {
+        self.answers.iter().map(|a| a.id)
+    }
+
+    /// The score of `id`, if present.
+    pub fn score_of(&self, id: AnswerId) -> Option<f64> {
+        self.answers.iter().find(|a| a.id == id).map(|a| a.score)
+    }
+
+    /// The slice `A^δ`: all answers with score ≤ `threshold`.
+    pub fn at_threshold(&self, threshold: f64) -> &[ScoredAnswer] {
+        let end = self.answers.partition_point(|a| a.score <= threshold);
+        &self.answers[..end]
+    }
+
+    /// `|A^δ|`.
+    pub fn count_at(&self, threshold: f64) -> usize {
+        self.at_threshold(threshold).len()
+    }
+
+    /// The first `n` answers (top-N by rank).
+    pub fn top_n(&self, n: usize) -> &[ScoredAnswer] {
+        &self.answers[..n.min(self.answers.len())]
+    }
+
+    /// Distinct score values in ascending order — the natural threshold
+    /// grid of this run (each distinct score starts a new increment).
+    pub fn distinct_scores(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = Vec::new();
+        for a in &self.answers {
+            if out.last().is_none_or(|&last| a.score > last) {
+                out.push(a.score);
+            }
+        }
+        out
+    }
+
+    /// Check `self ⊆ other` as id sets (any threshold): every answer of
+    /// `self` must appear in `other`.
+    pub fn is_subset_of(&self, other: &AnswerSet) -> Result<(), EvalError> {
+        let other_ids: std::collections::HashSet<AnswerId> = other.ids().collect();
+        for a in &self.answers {
+            if !other_ids.contains(&a.id) {
+                return Err(EvalError::NotASubset { missing: a.id.0 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that shared ids carry identical scores — the paper's "same
+    /// objective function" requirement that makes `A_S2^δ ⊆ A_S1^δ` hold
+    /// at *every* δ, not just overall.
+    pub fn scores_consistent_with(&self, other: &AnswerSet) -> bool {
+        let other_scores: HashMap<AnswerId, f64> =
+            other.answers.iter().map(|a| (a.id, a.score)).collect();
+        self.answers
+            .iter()
+            .all(|a| other_scores.get(&a.id).is_none_or(|&s| s == a.score))
+    }
+
+    /// Restrict to the ids accepted by `keep` (retains scores and order) —
+    /// used to model non-exhaustive systems as selections from S1's run.
+    pub fn filter(&self, mut keep: impl FnMut(AnswerId) -> bool) -> AnswerSet {
+        AnswerSet {
+            answers: self.answers.iter().copied().filter(|a| keep(a.id)).collect(),
+        }
+    }
+}
+
+impl FromIterator<ScoredAnswer> for AnswerSet {
+    /// Collect scored answers; panics on non-finite scores (use
+    /// [`AnswerSet::new`] for fallible construction).
+    fn from_iter<T: IntoIterator<Item = ScoredAnswer>>(iter: T) -> Self {
+        AnswerSet::new(iter.into_iter().map(|a| (a.id, a.score)))
+            .expect("finite scores and unique ids")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(u64, f64)]) -> AnswerSet {
+        AnswerSet::new(pairs.iter().map(|&(id, s)| (AnswerId(id), s))).unwrap()
+    }
+
+    #[test]
+    fn sorted_by_score_then_id() {
+        let s = set(&[(3, 0.2), (1, 0.1), (2, 0.2)]);
+        let ids: Vec<u64> = s.ids().map(|i| i.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(AnswerSet::new([(AnswerId(1), f64::NAN)]).is_err());
+        assert!(AnswerSet::new([(AnswerId(1), f64::INFINITY)]).is_err());
+        assert!(AnswerSet::new([(AnswerId(1), 0.1), (AnswerId(1), 0.2)]).is_err());
+    }
+
+    #[test]
+    fn threshold_slicing_is_inclusive() {
+        let s = set(&[(1, 0.1), (2, 0.2), (3, 0.3)]);
+        assert_eq!(s.count_at(0.0), 0);
+        assert_eq!(s.count_at(0.1), 1);
+        assert_eq!(s.count_at(0.2), 2);
+        assert_eq!(s.count_at(0.25), 2);
+        assert_eq!(s.count_at(1.0), 3);
+        // Monotone: increasing δ never removes answers (Figure 1).
+        assert!(s.count_at(0.1) <= s.count_at(0.2));
+    }
+
+    #[test]
+    fn ties_included_together() {
+        let s = set(&[(1, 0.5), (2, 0.5), (3, 0.5)]);
+        assert_eq!(s.count_at(0.5), 3);
+        assert_eq!(s.count_at(0.49), 0);
+        assert_eq!(s.distinct_scores(), vec![0.5]);
+    }
+
+    #[test]
+    fn top_n_clamps() {
+        let s = set(&[(1, 0.1), (2, 0.2)]);
+        assert_eq!(s.top_n(1).len(), 1);
+        assert_eq!(s.top_n(10).len(), 2);
+        assert_eq!(s.top_n(0).len(), 0);
+    }
+
+    #[test]
+    fn distinct_scores_ascending() {
+        let s = set(&[(1, 0.3), (2, 0.1), (3, 0.3), (4, 0.2)]);
+        assert_eq!(s.distinct_scores(), vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn subset_and_consistency() {
+        let s1 = set(&[(1, 0.1), (2, 0.2), (3, 0.3)]);
+        let s2 = s1.filter(|id| id.0 != 2);
+        assert!(s2.is_subset_of(&s1).is_ok());
+        assert!(s2.scores_consistent_with(&s1));
+        assert_eq!(s1.is_subset_of(&s2), Err(EvalError::NotASubset { missing: 2 }));
+        let shifted = set(&[(1, 0.9)]);
+        assert!(!shifted.scores_consistent_with(&s1));
+    }
+
+    #[test]
+    fn score_lookup() {
+        let s = set(&[(7, 0.25)]);
+        assert_eq!(s.score_of(AnswerId(7)), Some(0.25));
+        assert_eq!(s.score_of(AnswerId(8)), None);
+    }
+}

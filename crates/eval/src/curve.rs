@@ -1,0 +1,261 @@
+//! Measured P/R curves (Figure 5 of the paper).
+//!
+//! A measured curve is obtained by sweeping the threshold δ over a grid
+//! (often the answer set's own distinct scores) and recording `(δ, |A^δ|,
+//! |T^δ|, P^δ, R^δ)` at each point. Because `A^δ1 ⊆ A^δ2` for `δ1 ≤ δ2`,
+//! answer and correct counts are non-decreasing along the curve — an
+//! invariant [`PrCurve::validate`] checks.
+
+use crate::answer::AnswerSet;
+use crate::error::EvalError;
+use crate::metrics::Counts;
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// One point of a measured P/R curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// The threshold δ at which the measurement was taken.
+    pub threshold: f64,
+    /// `(|A^δ|, |T^δ|)`.
+    pub counts: Counts,
+    /// Precision `|T^δ|/|A^δ|`.
+    pub precision: f64,
+    /// Recall `|T^δ|/|H|`.
+    pub recall: f64,
+}
+
+/// A measured P/R curve: points sorted by ascending threshold, plus `|H|`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrCurve {
+    truth_size: usize,
+    points: Vec<PrPoint>,
+}
+
+impl PrCurve {
+    /// Measure a curve for `answers` against `truth` at the given
+    /// thresholds (sorted ascending automatically; duplicates removed).
+    pub fn measure(
+        answers: &AnswerSet,
+        truth: &GroundTruth,
+        thresholds: &[f64],
+    ) -> Result<Self, EvalError> {
+        if truth.is_empty() {
+            return Err(EvalError::EmptyTruth);
+        }
+        let mut grid: Vec<f64> = thresholds
+            .iter()
+            .copied()
+            .filter(|t| t.is_finite())
+            .collect();
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        grid.dedup();
+        if grid.is_empty() {
+            return Err(EvalError::EmptyCurve);
+        }
+        let points = grid
+            .into_iter()
+            .map(|threshold| {
+                let counts = Counts::measure(answers, truth, threshold);
+                PrPoint {
+                    threshold,
+                    counts,
+                    precision: counts.precision(),
+                    recall: counts.recall(truth.len()),
+                }
+            })
+            .collect();
+        Ok(PrCurve { truth_size: truth.len(), points })
+    }
+
+    /// Measure a curve at every distinct score of `answers` — the finest
+    /// grid this run supports.
+    pub fn measure_at_all_scores(
+        answers: &AnswerSet,
+        truth: &GroundTruth,
+    ) -> Result<Self, EvalError> {
+        PrCurve::measure(answers, truth, &answers.distinct_scores())
+    }
+
+    /// Build a curve from pre-computed counts (e.g. published tables).
+    /// `counts` must be sorted by threshold with non-decreasing sizes.
+    pub fn from_counts(
+        truth_size: usize,
+        counts: impl IntoIterator<Item = (f64, Counts)>,
+    ) -> Result<Self, EvalError> {
+        if truth_size == 0 {
+            return Err(EvalError::EmptyTruth);
+        }
+        let points: Vec<PrPoint> = counts
+            .into_iter()
+            .map(|(threshold, c)| PrPoint {
+                threshold,
+                counts: c,
+                precision: c.precision(),
+                recall: c.recall(truth_size),
+            })
+            .collect();
+        let curve = PrCurve { truth_size, points };
+        curve.validate()?;
+        Ok(curve)
+    }
+
+    /// `|H|` used for recall.
+    pub fn truth_size(&self) -> usize {
+        self.truth_size
+    }
+
+    /// The curve's points, ascending in threshold.
+    pub fn points(&self) -> &[PrPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point measured at exactly `threshold`, if any.
+    pub fn point_at(&self, threshold: f64) -> Option<&PrPoint> {
+        self.points.iter().find(|p| p.threshold == threshold)
+    }
+
+    /// The thresholds of the grid.
+    pub fn thresholds(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.threshold).collect()
+    }
+
+    /// Validate curve invariants: non-empty, sorted thresholds, counts
+    /// consistent with P/R, non-decreasing answer/correct counts, P/R in
+    /// `[0, 1]`.
+    pub fn validate(&self) -> Result<(), EvalError> {
+        if self.points.is_empty() {
+            return Err(EvalError::EmptyCurve);
+        }
+        for w in self.points.windows(2) {
+            if w[0].threshold >= w[1].threshold {
+                return Err(EvalError::UnsortedCurve);
+            }
+            if w[1].counts.answers < w[0].counts.answers
+                || w[1].counts.correct < w[0].counts.correct
+            {
+                return Err(EvalError::UnsortedCurve);
+            }
+        }
+        for p in &self.points {
+            if !(0.0..=1.0).contains(&p.precision) {
+                return Err(EvalError::OutOfRange { what: "precision", value: p.precision });
+            }
+            if !(0.0..=1.0).contains(&p.recall) {
+                return Err(EvalError::OutOfRange { what: "recall", value: p.recall });
+            }
+            if p.counts.correct > p.counts.answers {
+                return Err(EvalError::OutOfRange {
+                    what: "correct>answers",
+                    value: p.counts.correct as f64,
+                });
+            }
+            if p.counts.correct > self.truth_size {
+                return Err(EvalError::OutOfRange {
+                    what: "correct>|H|",
+                    value: p.counts.correct as f64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the curve as `(recall, precision)` pairs for plotting.
+    pub fn recall_precision_series(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.recall, p.precision)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::AnswerId;
+
+    fn fixture() -> (AnswerSet, GroundTruth) {
+        // Scores 0.1..=0.8; correct ids: 1, 3, 4, 8 and one never-retrieved.
+        let answers = AnswerSet::new((1..=8).map(|i| (AnswerId(i), i as f64 / 10.0))).unwrap();
+        let truth = GroundTruth::new([1, 3, 4, 8, 99].map(AnswerId));
+        (answers, truth)
+    }
+
+    #[test]
+    fn measured_curve_points() {
+        let (answers, truth) = fixture();
+        let curve = PrCurve::measure(&answers, &truth, &[0.2, 0.4, 0.8]).unwrap();
+        assert_eq!(curve.len(), 3);
+        let p = curve.point_at(0.4).unwrap();
+        assert_eq!(p.counts, Counts::new(4, 3));
+        assert!((p.precision - 0.75).abs() < 1e-12);
+        assert!((p.recall - 0.6).abs() < 1e-12);
+        assert!(curve.validate().is_ok());
+    }
+
+    #[test]
+    fn grid_is_sorted_and_deduped() {
+        let (answers, truth) = fixture();
+        let curve = PrCurve::measure(&answers, &truth, &[0.4, 0.2, 0.4, f64::NAN]).unwrap();
+        assert_eq!(curve.thresholds(), vec![0.2, 0.4]);
+    }
+
+    #[test]
+    fn all_scores_grid() {
+        let (answers, truth) = fixture();
+        let curve = PrCurve::measure_at_all_scores(&answers, &truth).unwrap();
+        assert_eq!(curve.len(), 8);
+        // Final point retrieves everything retrievable.
+        let last = curve.points().last().unwrap();
+        assert_eq!(last.counts, Counts::new(8, 4));
+        assert!((last.recall - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_and_grid_rejected() {
+        let (answers, _) = fixture();
+        assert_eq!(
+            PrCurve::measure(&answers, &GroundTruth::default(), &[0.1]),
+            Err(EvalError::EmptyTruth)
+        );
+        let truth = GroundTruth::new([AnswerId(1)]);
+        assert_eq!(PrCurve::measure(&answers, &truth, &[]), Err(EvalError::EmptyCurve));
+    }
+
+    #[test]
+    fn from_counts_validates() {
+        let ok = PrCurve::from_counts(
+            8,
+            [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))],
+        );
+        assert!(ok.is_err()); // correct 15 > |H| 8
+        let ok = PrCurve::from_counts(
+            100,
+            [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))],
+        )
+        .unwrap();
+        assert!((ok.points()[0].precision - 0.375).abs() < 1e-12);
+        // Decreasing counts rejected.
+        let bad = PrCurve::from_counts(
+            100,
+            [(0.1, Counts::new(40, 15)), (0.2, Counts::new(30, 15))],
+        );
+        assert_eq!(bad, Err(EvalError::UnsortedCurve));
+    }
+
+    #[test]
+    fn series_for_plotting() {
+        let (answers, truth) = fixture();
+        let curve = PrCurve::measure(&answers, &truth, &[0.2, 0.8]).unwrap();
+        let series = curve.recall_precision_series();
+        assert_eq!(series.len(), 2);
+        assert!(series[0].0 <= series[1].0);
+    }
+}

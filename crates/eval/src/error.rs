@@ -1,0 +1,64 @@
+//! Error type for evaluation operations.
+
+/// Errors produced while assembling or evaluating answer sets and curves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A score was NaN or infinite (also used for duplicate ids).
+    InvalidScore {
+        /// The offending answer id.
+        id: u64,
+        /// The offending score.
+        score: f64,
+    },
+    /// The ground truth is empty, so recall is undefined.
+    EmptyTruth,
+    /// A curve needs at least one threshold point.
+    EmptyCurve,
+    /// Curve points are not sorted by threshold.
+    UnsortedCurve,
+    /// An operation required `subset ⊆ superset` but an id was missing.
+    NotASubset {
+        /// The id present in the subset but absent from the superset.
+        missing: u64,
+    },
+    /// Precision/recall input out of the unit interval.
+    OutOfRange {
+        /// Which quantity was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::InvalidScore { id, score } => {
+                write!(f, "answer {id} has non-finite score {score}")
+            }
+            EvalError::EmptyTruth => write!(f, "ground truth is empty; recall undefined"),
+            EvalError::EmptyCurve => write!(f, "curve has no points"),
+            EvalError::UnsortedCurve => write!(f, "curve points not sorted by threshold"),
+            EvalError::NotASubset { missing } => {
+                write!(f, "answer {missing} of the improved system is absent from the original")
+            }
+            EvalError::OutOfRange { what, value } => {
+                write!(f, "{what} = {value} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(EvalError::EmptyTruth.to_string().contains("recall undefined"));
+        assert!(EvalError::NotASubset { missing: 9 }.to_string().contains('9'));
+        assert!(EvalError::InvalidScore { id: 1, score: f64::NAN }.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Interpolated P/R curves (Figure 6 of the paper).
+//!
+//! The standard IR convention: at each of the 11 recall levels
+//! `0, 0.1, …, 1`, interpolated precision is the *maximum* precision at any
+//! measured point with recall ≥ that level. The paper's §4.1 shows such a
+//! published curve can still feed the bounds technique once `|H|` is
+//! guessed; [`InterpolatedCurve`] is the input type for that path.
+
+use crate::curve::PrCurve;
+use crate::error::EvalError;
+use serde::{Deserialize, Serialize};
+
+/// The 11 standard recall levels `0.0, 0.1, …, 1.0`.
+pub const STANDARD_RECALL_LEVELS: [f64; 11] =
+    [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// An interpolated P/R curve: `(recall_level, precision)` pairs, ascending
+/// in recall. Unlike a measured curve it carries **no thresholds and no
+/// |H|** — exactly the information loss §4.1 is about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterpolatedCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl InterpolatedCurve {
+    /// Interpolate `measured` at the 11 standard recall levels.
+    pub fn eleven_point(measured: &PrCurve) -> Self {
+        Self::at_levels(measured, &STANDARD_RECALL_LEVELS)
+    }
+
+    /// Interpolate `measured` at arbitrary recall levels using the max
+    /// convention: `P_interp(r) = max { P(p) | R(p) ≥ r }`, and `0` when no
+    /// measured point reaches `r`.
+    pub fn at_levels(measured: &PrCurve, levels: &[f64]) -> Self {
+        let mut points: Vec<(f64, f64)> = levels
+            .iter()
+            .map(|&r| {
+                let p = measured
+                    .points()
+                    .iter()
+                    .filter(|pt| pt.recall >= r - 1e-12)
+                    .map(|pt| pt.precision)
+                    .fold(0.0_f64, f64::max);
+                (r, p)
+            })
+            .collect();
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite recall levels"));
+        InterpolatedCurve { points }
+    }
+
+    /// Build directly from `(recall, precision)` pairs (e.g. read off a
+    /// published plot). Pairs are sorted by recall; values validated into
+    /// `[0, 1]`.
+    pub fn from_points(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<Self, EvalError> {
+        let mut points: Vec<(f64, f64)> = pairs.into_iter().collect();
+        if points.is_empty() {
+            return Err(EvalError::EmptyCurve);
+        }
+        for &(r, p) in &points {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(EvalError::OutOfRange { what: "recall", value: r });
+            }
+            if !(0.0..=1.0).contains(&p) {
+                return Err(EvalError::OutOfRange { what: "precision", value: p });
+            }
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        Ok(InterpolatedCurve { points })
+    }
+
+    /// The `(recall, precision)` pairs, ascending in recall.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Interpolated precision at recall `r`: the stored value at the first
+    /// level ≥ `r` when the max convention was used; linear interpolation
+    /// between surrounding points otherwise.
+    pub fn precision_at(&self, r: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        if r <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        for w in self.points.windows(2) {
+            let ((r0, p0), (r1, p1)) = (w[0], w[1]);
+            if r <= r1 {
+                if (r1 - r0).abs() < 1e-15 {
+                    return p1;
+                }
+                let t = (r - r0) / (r1 - r0);
+                return p0 + t * (p1 - p0);
+            }
+        }
+        self.points.last().expect("non-empty").1
+    }
+
+    /// Mean of the stored precisions — the classic "11-point average".
+    pub fn mean_average_precision(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, p)| p).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::{AnswerId, AnswerSet};
+    use crate::truth::GroundTruth;
+
+    fn measured() -> PrCurve {
+        // 10 answers, correct = {1,2,5,9}; truth size 4.
+        let answers = AnswerSet::new((1..=10).map(|i| (AnswerId(i), i as f64 / 10.0))).unwrap();
+        let truth = GroundTruth::new([1, 2, 5, 9].map(AnswerId));
+        PrCurve::measure_at_all_scores(&answers, &truth).unwrap()
+    }
+
+    #[test]
+    fn eleven_point_interpolation_is_max_to_the_right() {
+        let curve = InterpolatedCurve::eleven_point(&measured());
+        assert_eq!(curve.len(), 11);
+        // Monotone non-increasing precision across recall levels.
+        for w in curve.points().windows(2) {
+            assert!(w[0].1 >= w[1].1, "interpolated precision must not increase");
+        }
+        // At recall 0 the best precision anywhere applies (1.0 at δ=0.1..0.2).
+        assert_eq!(curve.points()[0], (0.0, 1.0));
+        // At recall 1.0 all 4 correct among 9 or 10 answers: max is 4/9.
+        let last = curve.points().last().unwrap();
+        assert!((last.1 - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolated_precision_never_below_measured_at_same_recall() {
+        let m = measured();
+        let i = InterpolatedCurve::eleven_point(&m);
+        for p in m.points() {
+            // At each measured recall, find the nearest level below.
+            let level = (p.recall * 10.0).floor() / 10.0;
+            assert!(
+                i.precision_at(level) + 1e-12 >= p.precision,
+                "level {level}: {} < {}",
+                i.precision_at(level),
+                p.precision
+            );
+        }
+    }
+
+    #[test]
+    fn from_points_validation() {
+        assert!(InterpolatedCurve::from_points([]).is_err());
+        assert!(InterpolatedCurve::from_points([(1.5, 0.5)]).is_err());
+        assert!(InterpolatedCurve::from_points([(0.5, -0.1)]).is_err());
+        let c = InterpolatedCurve::from_points([(0.5, 0.6), (0.0, 1.0)]).unwrap();
+        assert_eq!(c.points()[0].0, 0.0); // sorted
+    }
+
+    #[test]
+    fn precision_at_linear_between_points() {
+        let c = InterpolatedCurve::from_points([(0.0, 1.0), (1.0, 0.0)]).unwrap();
+        assert!((c.precision_at(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(c.precision_at(0.0), 1.0);
+        assert_eq!(c.precision_at(1.0), 0.0);
+        // Clamped outside.
+        assert_eq!(c.precision_at(-0.5), 1.0);
+        assert_eq!(c.precision_at(2.0), 0.0);
+    }
+
+    #[test]
+    fn map_is_mean() {
+        let c = InterpolatedCurve::from_points([(0.0, 1.0), (0.5, 0.5), (1.0, 0.0)]).unwrap();
+        assert!((c.mean_average_precision() - 0.5).abs() < 1e-12);
+    }
+}

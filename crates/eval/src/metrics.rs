@@ -1,0 +1,172 @@
+//! Precision and recall from counts (Figure 2 of the paper).
+//!
+//! `P = |T| / |A|`, `R = |T| / |H|`, with the conventions `P = 1` for an
+//! empty answer set (no wrong answers were produced) — callers who prefer
+//! `P = 0` there can branch on [`Counts::is_empty`].
+
+use crate::answer::AnswerSet;
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// The integer sizes behind one (threshold, system) measurement:
+/// `answers = |A^δ|`, `correct = |T^δ| = |H ∩ A^δ|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Counts {
+    /// `|A^δ|` — answers produced.
+    pub answers: usize,
+    /// `|T^δ|` — correct answers among them.
+    pub correct: usize,
+}
+
+impl Counts {
+    /// Construct counts; `correct` is clamped to `answers`.
+    pub fn new(answers: usize, correct: usize) -> Self {
+        Counts { answers, correct: correct.min(answers) }
+    }
+
+    /// Measure counts of `answers` at `threshold` against `truth`.
+    pub fn measure(answers: &AnswerSet, truth: &GroundTruth, threshold: f64) -> Self {
+        Counts {
+            answers: answers.count_at(threshold),
+            correct: truth.true_positives_at(answers, threshold),
+        }
+    }
+
+    /// Whether no answers were produced.
+    pub fn is_empty(self) -> bool {
+        self.answers == 0
+    }
+
+    /// Precision `|T|/|A|`; `1.0` for an empty answer set.
+    pub fn precision(self) -> f64 {
+        if self.answers == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.answers as f64
+        }
+    }
+
+    /// Recall `|T|/|H|` for a truth of size `truth_size`; `0.0` when the
+    /// truth is empty (nothing to find).
+    pub fn recall(self, truth_size: usize) -> f64 {
+        if truth_size == 0 {
+            0.0
+        } else {
+            self.correct as f64 / truth_size as f64
+        }
+    }
+
+    /// Incorrect answers `|A| - |T|`.
+    pub fn incorrect(self) -> usize {
+        self.answers - self.correct
+    }
+}
+
+impl std::ops::Sub for Counts {
+    type Output = Counts;
+    /// Increment counts: `self - earlier` for `earlier ⊆ self` (saturating).
+    fn sub(self, earlier: Counts) -> Counts {
+        Counts {
+            answers: self.answers.saturating_sub(earlier.answers),
+            correct: self.correct.saturating_sub(earlier.correct),
+        }
+    }
+}
+
+impl std::ops::Add for Counts {
+    type Output = Counts;
+    fn add(self, other: Counts) -> Counts {
+        Counts { answers: self.answers + other.answers, correct: self.correct + other.correct }
+    }
+}
+
+/// Free-function precision for `(correct, answers)` counts.
+pub fn precision(correct: usize, answers: usize) -> f64 {
+    Counts::new(answers, correct).precision()
+}
+
+/// Free-function recall for `(correct, truth_size)` counts.
+pub fn recall(correct: usize, truth_size: usize) -> f64 {
+    if truth_size == 0 {
+        0.0
+    } else {
+        correct as f64 / truth_size as f64
+    }
+}
+
+/// Harmonic mean of precision and recall; `0` when both are `0`.
+pub fn f1_score(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::AnswerId;
+
+    #[test]
+    fn precision_recall_basics() {
+        let c = Counts::new(8, 3);
+        assert!((c.precision() - 0.375).abs() < 1e-12);
+        assert!((c.recall(6) - 0.5).abs() < 1e-12);
+        assert_eq!(c.incorrect(), 5);
+    }
+
+    #[test]
+    fn conventions_on_empty() {
+        let c = Counts::new(0, 0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(10), 0.0);
+        assert_eq!(Counts::new(5, 2).recall(0), 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn correct_clamped_to_answers() {
+        let c = Counts::new(3, 7);
+        assert_eq!(c.correct, 3);
+        assert_eq!(c.precision(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let big = Counts::new(10, 4);
+        let small = Counts::new(6, 1);
+        let inc = big - small;
+        assert_eq!(inc, Counts::new(4, 3));
+        assert_eq!(small + inc, big);
+        // Saturating on misuse.
+        assert_eq!(small - big, Counts::new(0, 0));
+    }
+
+    #[test]
+    fn measure_against_answer_set() {
+        let answers = AnswerSet::new([
+            (AnswerId(1), 0.1),
+            (AnswerId(2), 0.2),
+            (AnswerId(3), 0.3),
+        ])
+        .unwrap();
+        let truth = GroundTruth::new([AnswerId(2), AnswerId(3)]);
+        let c = Counts::measure(&answers, &truth, 0.2);
+        assert_eq!(c, Counts::new(2, 1));
+    }
+
+    #[test]
+    fn f1() {
+        assert_eq!(f1_score(0.0, 0.0), 0.0);
+        assert_eq!(f1_score(1.0, 1.0), 1.0);
+        assert!((f1_score(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_functions() {
+        assert_eq!(precision(3, 8), 0.375);
+        assert_eq!(recall(3, 6), 0.5);
+        assert_eq!(recall(3, 0), 0.0);
+    }
+}

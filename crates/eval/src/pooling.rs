@@ -1,0 +1,162 @@
+//! Pooling-based judgment construction — the related-work alternatives the
+//! paper positions its bounds against.
+//!
+//! * [`pool_depth_k`] implements TREC pooling (Harman): the union of each
+//!   participating system's top-`k` answers forms the pool; only pooled
+//!   answers are judged. Metrics computed against a [`PooledTruth`] are
+//!   *estimates*, whereas the bounds of `smx-core` are guarantees — the
+//!   `pooling_vs_bounds` example quantifies the gap.
+//! * [`shallow_pool_estimate`] implements Zobel's extrapolation: judge a
+//!   shallow pool, fit the rate at which new relevant answers appear, and
+//!   predict how many remain further down the ranking.
+
+use crate::answer::{AnswerId, AnswerSet};
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Ground truth restricted to a judged pool.
+///
+/// `truth()` behaves like a normal [`GroundTruth`] for metric computation;
+/// `pool()` records which answers were actually judged, so callers can
+/// distinguish "judged incorrect" from "never judged".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PooledTruth {
+    pool: BTreeSet<AnswerId>,
+    truth: GroundTruth,
+}
+
+impl PooledTruth {
+    /// Judged (pooled) answer ids.
+    pub fn pool(&self) -> impl Iterator<Item = AnswerId> + '_ {
+        self.pool.iter().copied()
+    }
+
+    /// Number of judged answers.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The judged-correct subset usable as a [`GroundTruth`].
+    pub fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+
+    /// Whether `id` was judged at all.
+    pub fn judged(&self, id: AnswerId) -> bool {
+        self.pool.contains(&id)
+    }
+}
+
+/// TREC pooling at depth `k`: pool the union of every system's top-`k`
+/// answers and judge exactly those against `full_truth` (standing in for
+/// the human assessor).
+pub fn pool_depth_k(systems: &[&AnswerSet], k: usize, full_truth: &GroundTruth) -> PooledTruth {
+    let mut pool: BTreeSet<AnswerId> = BTreeSet::new();
+    for sys in systems {
+        pool.extend(sys.top_n(k).iter().map(|a| a.id));
+    }
+    let truth = full_truth.filter(|id| pool.contains(&id));
+    PooledTruth { pool, truth }
+}
+
+/// Zobel-style shallow-pool extrapolation.
+///
+/// Judge the top `shallow` answers of `ranked` (against `truth` as the
+/// assessor), fit the per-rank rate of newly found relevant answers over
+/// the judged prefix, and extrapolate linearly with depth decay to predict
+/// the number of relevant answers in the next `horizon` ranks.
+///
+/// Returns `(found_in_pool, predicted_additional)`.
+pub fn shallow_pool_estimate(
+    ranked: &AnswerSet,
+    truth: &GroundTruth,
+    shallow: usize,
+    horizon: usize,
+) -> (usize, f64) {
+    let judged = ranked.top_n(shallow);
+    let found = judged.iter().filter(|a| truth.contains(a.id)).count();
+    if judged.is_empty() || horizon == 0 {
+        return (found, 0.0);
+    }
+    // Rate over the second half of the judged prefix approximates the
+    // marginal rate at the pool boundary (relevance density decays with
+    // rank, so the overall average would over-predict).
+    let half = judged.len() / 2;
+    let tail = &judged[half..];
+    let tail_found = tail.iter().filter(|a| truth.contains(a.id)).count();
+    let rate = tail_found as f64 / tail.len() as f64;
+    let remaining = ranked.len().saturating_sub(judged.len()).min(horizon);
+    (found, rate * remaining as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answers(ids: &[u64]) -> AnswerSet {
+        AnswerSet::new(
+            ids.iter()
+                .enumerate()
+                .map(|(rank, &id)| (AnswerId(id), (rank + 1) as f64 * 0.01)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pool_unions_topk() {
+        let s1 = answers(&[1, 2, 3, 4]);
+        let s2 = answers(&[3, 4, 5, 6]);
+        let full = GroundTruth::new([2, 5, 42].map(AnswerId));
+        let pooled = pool_depth_k(&[&s1, &s2], 2, &full);
+        // Pool = {1,2} ∪ {3,4} = {1,2,3,4}.
+        assert_eq!(pooled.pool_size(), 4);
+        assert!(pooled.judged(AnswerId(1)));
+        assert!(!pooled.judged(AnswerId(5)));
+        // Judged truth loses both 5 (below depth) and 42 (never retrieved).
+        assert_eq!(pooled.truth().len(), 1);
+        assert!(pooled.truth().contains(AnswerId(2)));
+    }
+
+    #[test]
+    fn deeper_pools_find_no_fewer_relevant() {
+        let s1 = answers(&[1, 2, 3, 4, 5, 6]);
+        let full = GroundTruth::new([2, 4, 6].map(AnswerId));
+        let shallow = pool_depth_k(&[&s1], 2, &full);
+        let deep = pool_depth_k(&[&s1], 6, &full);
+        assert!(deep.truth().len() >= shallow.truth().len());
+        assert_eq!(deep.truth().len(), 3);
+    }
+
+    #[test]
+    fn pooled_metrics_overestimate_precision_never_recall_target() {
+        // Classic pooling bias: unjudged relevant answers make pooled
+        // truth smaller, so recall against pooled truth looks better.
+        let sys = answers(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let full = GroundTruth::new([7, 8].map(AnswerId));
+        let pooled = pool_depth_k(&[&sys], 4, &full);
+        assert_eq!(pooled.truth().len(), 0); // everything relevant is deep
+    }
+
+    #[test]
+    fn shallow_pool_extrapolates() {
+        // Relevant at every 2nd rank in the whole list.
+        let ids: Vec<u64> = (1..=40).collect();
+        let sys = answers(&ids);
+        let truth = GroundTruth::new((1..=40).filter(|i| i % 2 == 0).map(AnswerId));
+        let (found, predicted) = shallow_pool_estimate(&sys, &truth, 10, 30);
+        assert_eq!(found, 5);
+        // Tail of the judged prefix is ranks 6..10 with 3 relevant → rate
+        // 0.6; 30 unjudged ranks remain → prediction 18 (true value 15 —
+        // an *estimate*, which is exactly the paper's point).
+        assert!((predicted - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shallow_pool_degenerate() {
+        let sys = answers(&[1, 2]);
+        let truth = GroundTruth::new([1].map(AnswerId));
+        assert_eq!(shallow_pool_estimate(&sys, &truth, 0, 10), (0, 0.0));
+        assert_eq!(shallow_pool_estimate(&sys, &truth, 2, 0), (1, 0.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Precision/recall at a result-list cut (top-N).
+//!
+//! The paper's conclusion notes that for retrieval systems the top-N is
+//! "usually the most interesting" region and the one where the bounds stay
+//! narrow; these helpers measure that region directly.
+
+use crate::answer::AnswerSet;
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// Precision of the first `n` ranked answers.
+pub fn precision_at(answers: &AnswerSet, truth: &GroundTruth, n: usize) -> f64 {
+    let top = answers.top_n(n);
+    if top.is_empty() {
+        return 1.0;
+    }
+    let correct = top.iter().filter(|a| truth.contains(a.id)).count();
+    correct as f64 / top.len() as f64
+}
+
+/// Recall of the first `n` ranked answers.
+pub fn recall_at(answers: &AnswerSet, truth: &GroundTruth, n: usize) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let correct = answers.top_n(n).iter().filter(|a| truth.contains(a.id)).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// P@N / R@N at several cuts in one pass, for reporting tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopNReport {
+    /// `(n, precision@n, recall@n)` rows, ascending in `n`.
+    pub rows: Vec<(usize, f64, f64)>,
+}
+
+impl TopNReport {
+    /// Evaluate at each cut in `ns` (sorted, deduped).
+    pub fn evaluate(answers: &AnswerSet, truth: &GroundTruth, ns: &[usize]) -> Self {
+        let mut cuts: Vec<usize> = ns.to_vec();
+        cuts.sort_unstable();
+        cuts.dedup();
+        TopNReport {
+            rows: cuts
+                .into_iter()
+                .map(|n| (n, precision_at(answers, truth, n), recall_at(answers, truth, n)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::AnswerId;
+
+    fn fixture() -> (AnswerSet, GroundTruth) {
+        let answers = AnswerSet::new((1..=6).map(|i| (AnswerId(i), i as f64))).unwrap();
+        let truth = GroundTruth::new([1, 3, 6].map(AnswerId));
+        (answers, truth)
+    }
+
+    #[test]
+    fn precision_and_recall_at_cuts() {
+        let (a, h) = fixture();
+        assert_eq!(precision_at(&a, &h, 1), 1.0);
+        assert!((precision_at(&a, &h, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at(&a, &h, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at(&a, &h, 6), 1.0);
+    }
+
+    #[test]
+    fn cut_beyond_list_is_total() {
+        let (a, h) = fixture();
+        assert_eq!(precision_at(&a, &h, 100), 0.5);
+        assert_eq!(recall_at(&a, &h, 100), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cuts() {
+        let (a, h) = fixture();
+        assert_eq!(precision_at(&a, &h, 0), 1.0);
+        assert_eq!(recall_at(&a, &h, 0), 0.0);
+        assert_eq!(recall_at(&a, &GroundTruth::default(), 3), 0.0);
+    }
+
+    #[test]
+    fn report_rows_sorted() {
+        let (a, h) = fixture();
+        let rep = TopNReport::evaluate(&a, &h, &[5, 1, 3, 3]);
+        let ns: Vec<usize> = rep.rows.iter().map(|r| r.0).collect();
+        assert_eq!(ns, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn recall_monotone_in_n() {
+        let (a, h) = fixture();
+        let rep = TopNReport::evaluate(&a, &h, &[1, 2, 3, 4, 5, 6]);
+        for w in rep.rows.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+    }
+}

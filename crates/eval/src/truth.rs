@@ -1,0 +1,112 @@
+//! Ground truth `H`: the set of correct answers for one matching problem.
+
+use crate::answer::{AnswerId, AnswerSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The human-judged (or generator-known) set of correct answers.
+///
+/// The paper's central premise is that `H` is *unavailable* on large
+/// collections; in this reproduction `H` comes from the synthetic-scenario
+/// generator and is used (a) to measure S1's P/R curve on the small
+/// collection and (b) to *verify* that the bounds computed without `H`
+/// really contain the actual values.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    correct: BTreeSet<AnswerId>,
+}
+
+impl GroundTruth {
+    /// Ground truth from a collection of correct ids.
+    pub fn new(ids: impl IntoIterator<Item = AnswerId>) -> Self {
+        GroundTruth { correct: ids.into_iter().collect() }
+    }
+
+    /// `|H|`.
+    pub fn len(&self) -> usize {
+        self.correct.len()
+    }
+
+    /// Whether `H` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.correct.is_empty()
+    }
+
+    /// Whether `id` is a correct answer.
+    pub fn contains(&self, id: AnswerId) -> bool {
+        self.correct.contains(&id)
+    }
+
+    /// Iterate over the correct ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = AnswerId> + '_ {
+        self.correct.iter().copied()
+    }
+
+    /// `|T^δ| = |H ∩ A^δ|`: correct answers among `answers` at `threshold`.
+    pub fn true_positives_at(&self, answers: &AnswerSet, threshold: f64) -> usize {
+        answers
+            .at_threshold(threshold)
+            .iter()
+            .filter(|a| self.contains(a.id))
+            .count()
+    }
+
+    /// Restrict the truth to ids satisfying `keep` (used by pooling).
+    pub fn filter(&self, mut keep: impl FnMut(AnswerId) -> bool) -> GroundTruth {
+        GroundTruth { correct: self.correct.iter().copied().filter(|&id| keep(id)).collect() }
+    }
+
+    /// Union of two truths.
+    pub fn union(&self, other: &GroundTruth) -> GroundTruth {
+        GroundTruth { correct: self.correct.union(&other.correct).copied().collect() }
+    }
+}
+
+impl FromIterator<AnswerId> for GroundTruth {
+    fn from_iter<T: IntoIterator<Item = AnswerId>>(iter: T) -> Self {
+        GroundTruth::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> impl Iterator<Item = AnswerId> + '_ {
+        v.iter().map(|&i| AnswerId(i))
+    }
+
+    #[test]
+    fn membership_and_len() {
+        let h = GroundTruth::new(ids(&[1, 2, 2, 3]));
+        assert_eq!(h.len(), 3);
+        assert!(h.contains(AnswerId(2)));
+        assert!(!h.contains(AnswerId(4)));
+        assert!(!h.is_empty());
+        assert!(GroundTruth::default().is_empty());
+    }
+
+    #[test]
+    fn true_positives_at_threshold() {
+        let answers = AnswerSet::new([
+            (AnswerId(1), 0.1),
+            (AnswerId(2), 0.2),
+            (AnswerId(3), 0.3),
+            (AnswerId(4), 0.4),
+        ])
+        .unwrap();
+        let h = GroundTruth::new(ids(&[2, 4, 9]));
+        assert_eq!(h.true_positives_at(&answers, 0.05), 0);
+        assert_eq!(h.true_positives_at(&answers, 0.2), 1);
+        assert_eq!(h.true_positives_at(&answers, 0.4), 2);
+        // id 9 is correct but never retrieved — affects recall only.
+    }
+
+    #[test]
+    fn filter_and_union() {
+        let a = GroundTruth::new(ids(&[1, 2, 3]));
+        let b = GroundTruth::new(ids(&[3, 4]));
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.filter(|id| id.0 > 1).len(), 2);
+    }
+}

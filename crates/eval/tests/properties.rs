@@ -1,0 +1,108 @@
+//! Property tests for the evaluation substrate.
+
+use proptest::prelude::*;
+use smx_eval::*;
+
+/// Random answer set: ids 0..n with random scores on a coarse grid (coarse
+/// so ties actually occur).
+fn answer_set(max: usize) -> impl Strategy<Value = AnswerSet> {
+    proptest::collection::vec(0u32..20, 1..max).prop_map(|scores| {
+        AnswerSet::new(
+            scores
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (AnswerId(i as u64), s as f64 / 20.0)),
+        )
+        .expect("finite scores, unique ids")
+    })
+}
+
+/// Random subset of ids 0..n as ground truth (never empty).
+fn truth(max: usize) -> impl Strategy<Value = GroundTruth> {
+    proptest::collection::btree_set(0u64..max as u64, 1..max)
+        .prop_map(|s| GroundTruth::new(s.into_iter().map(AnswerId)))
+}
+
+proptest! {
+    #[test]
+    fn threshold_slices_are_monotone(answers in answer_set(40), t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(answers.count_at(lo) <= answers.count_at(hi));
+        // A^lo is a prefix of A^hi.
+        let a_lo = answers.at_threshold(lo);
+        let a_hi = answers.at_threshold(hi);
+        prop_assert_eq!(a_lo, &a_hi[..a_lo.len()]);
+    }
+
+    #[test]
+    fn counts_and_metrics_agree(answers in answer_set(40), h in truth(40), t in 0.0f64..1.0) {
+        let c = Counts::measure(&answers, &h, t);
+        prop_assert!(c.correct <= c.answers);
+        prop_assert!(c.correct <= h.len());
+        let p = c.precision();
+        let r = c.recall(h.len());
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Hand-recompute from raw sets.
+        let manual: usize = answers.at_threshold(t).iter().filter(|a| h.contains(a.id)).count();
+        prop_assert_eq!(c.correct, manual);
+    }
+
+    #[test]
+    fn measured_curve_validates(answers in answer_set(40), h in truth(40)) {
+        let curve = PrCurve::measure_at_all_scores(&answers, &h).unwrap();
+        prop_assert!(curve.validate().is_ok());
+        // Recall non-decreasing along the curve.
+        for w in curve.points().windows(2) {
+            prop_assert!(w[0].recall <= w[1].recall + 1e-12);
+        }
+        // Last point sees the whole answer set.
+        prop_assert_eq!(curve.points().last().unwrap().counts.answers, answers.len());
+    }
+
+    #[test]
+    fn interpolated_precision_monotone_nonincreasing(answers in answer_set(40), h in truth(40)) {
+        let curve = PrCurve::measure_at_all_scores(&answers, &h).unwrap();
+        let interp = InterpolatedCurve::eleven_point(&curve);
+        prop_assert_eq!(interp.len(), 11);
+        for w in interp.points().windows(2) {
+            prop_assert!(w[0].1 + 1e-12 >= w[1].1);
+        }
+        for &(r, p) in interp.points() {
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn filter_preserves_order_and_scores(answers in answer_set(40)) {
+        let sub = answers.filter(|id| id.0 % 2 == 0);
+        prop_assert!(sub.is_subset_of(&answers).is_ok());
+        prop_assert!(sub.scores_consistent_with(&answers));
+        // Subset at every threshold, too (same objective function).
+        for t in answers.distinct_scores() {
+            prop_assert!(sub.count_at(t) <= answers.count_at(t));
+        }
+    }
+
+    #[test]
+    fn topn_recall_monotone(answers in answer_set(40), h in truth(40)) {
+        let mut prev = 0.0;
+        for n in 0..=answers.len() {
+            let r = recall_at(&answers, &h, n);
+            prop_assert!(r + 1e-12 >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn pooling_truth_shrinks_with_depth(answers in answer_set(40), h in truth(40), k in 0usize..40) {
+        let pooled = pool_depth_k(&[&answers], k, &h);
+        prop_assert!(pooled.truth().len() <= h.len());
+        prop_assert!(pooled.pool_size() <= k.min(answers.len()));
+        // Every judged-correct answer is in the full truth.
+        for id in pooled.truth().ids() {
+            prop_assert!(h.contains(id));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for matcher construction and execution.
+
+/// Errors produced by matchers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchError {
+    /// The personal schema is empty — nothing to map.
+    EmptyPersonalSchema,
+    /// A matcher parameter was out of range.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::EmptyPersonalSchema => write!(f, "personal schema has no elements"),
+            MatchError::BadParameter { what, value } => {
+                write!(f, "parameter {what} = {value} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(MatchError::EmptyPersonalSchema.to_string().contains("no elements"));
+        let e = MatchError::BadParameter { what: "beam width", value: 0.0 };
+        assert!(e.to_string().contains("beam width"));
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! Schema matchers: an exhaustive system S1 and several non-exhaustive
+//! improvements S2, all sharing **one objective function** Δ — the
+//! precondition of the effectiveness-bounds technique.
+//!
+//! A schema mapping assigns every element of the personal schema to a
+//! distinct element of one repository schema; its quality is the
+//! difference score Δ ∈ [0, 1] (lower = better) computed by
+//! [`ObjectiveFunction`] from name similarity, type compatibility, and
+//! structural coherence. The search space is exponential in the personal
+//! schema's size ([`space`] counts it), which is why the paper needs
+//! non-exhaustive improvements:
+//!
+//! * [`exhaustive`] — S1: branch-and-bound enumeration, provably complete
+//!   for every threshold δ ≤ δ_max (the admissible bound only prunes
+//!   branches that cannot reach δ_max); [`brute_force`] is the
+//!   no-pruning reference it is tested against;
+//! * [`beam`] — S2-one style: per-schema beam search; loses answers
+//!   smoothly as δ grows (compare Figure 10's S2-one);
+//! * [`cluster_search`] — S2-two style (\[16\] in the paper): match only
+//!   inside the top-ranked clusters' fragments; loses whole score bands
+//!   (Figure 10's S2-two);
+//! * [`topk`] — \[17\]-style early termination: exactly the top-k answers;
+//! * [`sampler`] — the per-increment random selector of §3.4, used to
+//!   validate Equations (9)–(10) empirically;
+//! * [`parallel`] — crossbeam work-stealing version of S1 (identical
+//!   output, faster wall-clock).
+//!
+//! All matchers return [`smx_eval::AnswerSet`]s whose ids come from a
+//! shared [`MappingRegistry`], so S1's and S2's answers are directly
+//! comparable — the invariant `A_S2^δ ⊆ A_S1^δ` is asserted in tests.
+
+pub mod beam;
+pub mod brute_force;
+pub mod cluster_search;
+pub mod error;
+pub mod exhaustive;
+pub mod mapping;
+pub mod matcher;
+pub mod objective;
+pub mod parallel;
+pub mod problem;
+pub mod sampler;
+pub mod space;
+pub mod topk;
+
+pub use beam::BeamMatcher;
+pub use brute_force::BruteForceMatcher;
+pub use cluster_search::ClusterMatcher;
+pub use error::MatchError;
+pub use exhaustive::ExhaustiveMatcher;
+pub use mapping::{Mapping, MappingRegistry};
+pub use matcher::Matcher;
+pub use objective::{ObjectiveConfig, ObjectiveFunction};
+pub use parallel::ParallelExhaustiveMatcher;
+pub use problem::MatchProblem;
+pub use sampler::random_selection;
+pub use space::{falling_factorial, search_space_size};
+pub use topk::TopKMatcher;

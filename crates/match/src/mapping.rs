@@ -1,0 +1,171 @@
+//! Schema mappings and the mapping-id registry.
+//!
+//! A [`Mapping`] assigns the `i`-th personal-schema node (arena order) to
+//! `targets[i]` within one repository schema. The [`MappingRegistry`]
+//! interns mappings into stable [`AnswerId`]s so that an S1 run and any
+//! number of S2 runs refer to the *same* answer with the same id — the
+//! prerequisite for comparing their answer sets.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use smx_eval::AnswerId;
+use smx_repo::SchemaId;
+use smx_xml::NodeId;
+use std::collections::HashMap;
+
+/// One candidate answer: a total, injective assignment of personal nodes
+/// to nodes of a single repository schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Mapping {
+    /// The repository schema the personal schema is mapped into.
+    pub schema: SchemaId,
+    /// `targets[i]` is the image of the personal node with arena index `i`.
+    pub targets: Vec<NodeId>,
+}
+
+impl Mapping {
+    /// Number of mapped personal nodes.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the mapping maps nothing.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Whether the assignment is injective (no two personal nodes share a
+    /// target).
+    pub fn is_injective(&self) -> bool {
+        let mut seen: Vec<NodeId> = self.targets.clone();
+        seen.sort();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+}
+
+impl std::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}→[", self.schema)?;
+        for (i, t) in self.targets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Thread-safe interning of mappings to [`AnswerId`]s.
+///
+/// Ids are assigned in first-seen order; the registry also supports
+/// reverse lookup so reported answers can be rendered as paths.
+#[derive(Debug, Default)]
+pub struct MappingRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    ids: HashMap<Mapping, AnswerId>,
+    reverse: Vec<Mapping>,
+}
+
+impl MappingRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        MappingRegistry::default()
+    }
+
+    /// Intern `mapping`, returning its stable id.
+    pub fn intern(&self, mapping: Mapping) -> AnswerId {
+        let mut inner = self.inner.lock();
+        if let Some(&id) = inner.ids.get(&mapping) {
+            return id;
+        }
+        let id = AnswerId(inner.reverse.len() as u64);
+        inner.reverse.push(mapping.clone());
+        inner.ids.insert(mapping, id);
+        id
+    }
+
+    /// The mapping behind `id`, if interned.
+    pub fn resolve(&self, id: AnswerId) -> Option<Mapping> {
+        self.inner.lock().reverse.get(id.0 as usize).cloned()
+    }
+
+    /// Number of interned mappings.
+    pub fn len(&self) -> usize {
+        self.inner.lock().reverse.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(schema: u32, targets: &[u32]) -> Mapping {
+        Mapping {
+            schema: SchemaId(schema),
+            targets: targets.iter().map(|&t| NodeId(t)).collect(),
+        }
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let reg = MappingRegistry::new();
+        let a = reg.intern(mapping(0, &[1, 2]));
+        let b = reg.intern(mapping(0, &[1, 3]));
+        let a_again = reg.intern(mapping(0, &[1, 2]));
+        assert_eq!(a, a_again);
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.resolve(a), Some(mapping(0, &[1, 2])));
+        assert_eq!(reg.resolve(AnswerId(99)), None);
+    }
+
+    #[test]
+    fn distinct_schemas_distinct_ids() {
+        let reg = MappingRegistry::new();
+        let a = reg.intern(mapping(0, &[1]));
+        let b = reg.intern(mapping(1, &[1]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn injectivity_check() {
+        assert!(mapping(0, &[1, 2, 3]).is_injective());
+        assert!(!mapping(0, &[1, 2, 1]).is_injective());
+        assert!(mapping(0, &[]).is_injective());
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let reg = std::sync::Arc::new(MappingRegistry::new());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    reg.intern(mapping(i % 10, &[i, t % 2]));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 10 schemas × 100 i-values × 2 t-parities… but i determines both:
+        // (i % 10, [i, t%2]) — 100 × 2 distinct mappings.
+        assert_eq!(reg.len(), 200);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(mapping(2, &[0, 5]).to_string(), "s2→[n0,n5]");
+    }
+}

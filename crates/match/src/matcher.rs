@@ -1,0 +1,25 @@
+//! The matcher interface.
+
+use crate::mapping::MappingRegistry;
+use crate::problem::MatchProblem;
+use smx_eval::AnswerSet;
+
+/// A matching system: given a problem and a maximum threshold, produce the
+/// scored answer set `A^δmax`.
+///
+/// Matchers must score answers with the shared
+/// [`ObjectiveFunction`](crate::ObjectiveFunction) and intern them in the
+/// caller's [`MappingRegistry`], so different systems' answer sets can be
+/// compared id-for-id.
+pub trait Matcher {
+    /// Human-readable system name (used in reports: "S1", "S2-beam", …).
+    fn name(&self) -> &str;
+
+    /// Run the matcher, returning all found mappings with Δ ≤ `delta_max`.
+    fn run(
+        &self,
+        problem: &MatchProblem,
+        delta_max: f64,
+        registry: &MappingRegistry,
+    ) -> AnswerSet;
+}

@@ -1,0 +1,113 @@
+//! Parallel exhaustive matcher — identical output to S1, faster wall
+//! clock.
+//!
+//! Repository schemas are distributed over a crossbeam scoped-thread pool;
+//! each worker runs the same branch-and-bound per schema; results are
+//! merged. Because scoring goes through the shared
+//! [`ObjectiveFunction`] code path, the merged
+//! answer set is *equal* (ids and scores) to the sequential matcher's —
+//! asserted by a test, since the entire bounds methodology rests on
+//! score-identical runs.
+
+use crate::exhaustive::ExhaustiveMatcher;
+use crate::mapping::MappingRegistry;
+use crate::matcher::Matcher;
+use crate::objective::ObjectiveFunction;
+use crate::problem::MatchProblem;
+use smx_eval::{AnswerId, AnswerSet};
+use smx_repo::SchemaId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Multi-threaded S1.
+#[derive(Debug, Clone)]
+pub struct ParallelExhaustiveMatcher {
+    inner: ExhaustiveMatcher,
+    threads: usize,
+}
+
+impl ParallelExhaustiveMatcher {
+    /// Build with a shared objective function and a worker count
+    /// (`0` = number of available CPUs).
+    pub fn new(objective: ObjectiveFunction, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            threads
+        };
+        ParallelExhaustiveMatcher { inner: ExhaustiveMatcher::new(objective), threads }
+    }
+}
+
+impl Matcher for ParallelExhaustiveMatcher {
+    fn name(&self) -> &str {
+        "S1-parallel"
+    }
+
+    fn run(
+        &self,
+        problem: &MatchProblem,
+        delta_max: f64,
+        registry: &MappingRegistry,
+    ) -> AnswerSet {
+        let schema_ids: Vec<SchemaId> = problem.repository().schema_ids().collect();
+        let next = AtomicUsize::new(0);
+        let mut all: Vec<(AnswerId, f64)> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..self.threads.min(schema_ids.len().max(1)) {
+                let next = &next;
+                let schema_ids = &schema_ids;
+                let inner = &self.inner;
+                handles.push(scope.spawn(move |_| {
+                    let mut local: Vec<(AnswerId, f64)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&sid) = schema_ids.get(i) else { break };
+                        let schema = problem.repository().schema(sid);
+                        inner.search_schema(
+                            problem, sid, schema, delta_max, registry, &mut local,
+                        );
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                all.extend(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        AnswerSet::new(all).expect("finite costs, unique interned ids")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_synth::{Scenario, ScenarioConfig};
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let sc = Scenario::generate(ScenarioConfig {
+            derived_schemas: 6,
+            noise_schemas: 4,
+            personal_nodes: 4,
+            host_nodes: 8,
+            ..Default::default()
+        });
+        let problem = MatchProblem::new(sc.personal, sc.repository).unwrap();
+        // One shared registry so ids are comparable.
+        let registry = MappingRegistry::new();
+        let sequential = ExhaustiveMatcher::default().run(&problem, 0.45, &registry);
+        for threads in [1, 2, 4] {
+            let parallel = ParallelExhaustiveMatcher::new(ObjectiveFunction::default(), threads)
+                .run(&problem, 0.45, &registry);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let m = ParallelExhaustiveMatcher::new(ObjectiveFunction::default(), 0);
+        assert!(m.threads >= 1);
+    }
+}

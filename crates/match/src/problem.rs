@@ -1,0 +1,88 @@
+//! The matching problem `Q`: a personal schema against a repository.
+
+use crate::error::MatchError;
+use smx_repo::Repository;
+use smx_xml::{NodeId, Schema};
+
+/// One matching problem: the user's personal schema and the repository it
+/// is matched against.
+#[derive(Debug, Clone)]
+pub struct MatchProblem {
+    personal: Schema,
+    repository: Repository,
+    /// Personal node ids in arena order (parents precede children, which
+    /// the assignment loops rely on).
+    personal_order: Vec<NodeId>,
+}
+
+impl MatchProblem {
+    /// Create a problem; fails on an empty personal schema.
+    pub fn new(personal: Schema, repository: Repository) -> Result<Self, MatchError> {
+        if personal.is_empty() {
+            return Err(MatchError::EmptyPersonalSchema);
+        }
+        let personal_order: Vec<NodeId> = personal.node_ids().collect();
+        Ok(MatchProblem { personal, repository, personal_order })
+    }
+
+    /// The personal schema.
+    pub fn personal(&self) -> &Schema {
+        &self.personal
+    }
+
+    /// The repository.
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// Personal nodes in assignment order (arena order: parents first).
+    pub fn personal_order(&self) -> &[NodeId] {
+        &self.personal_order
+    }
+
+    /// Number of personal nodes `k` — the exponent of the search space.
+    pub fn personal_size(&self) -> usize {
+        self.personal_order.len()
+    }
+
+    /// Number of parent→child edges in the personal schema.
+    pub fn personal_edges(&self) -> usize {
+        self.personal_order
+            .iter()
+            .filter(|&&id| self.personal.node(id).parent.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    #[test]
+    fn construction_and_accessors() {
+        let personal = SchemaBuilder::new("p")
+            .root("book")
+            .leaf("title", PrimitiveType::String)
+            .leaf("year", PrimitiveType::Integer)
+            .build();
+        let problem = MatchProblem::new(personal, Repository::new()).unwrap();
+        assert_eq!(problem.personal_size(), 3);
+        assert_eq!(problem.personal_edges(), 2);
+        // Arena order keeps parents before children.
+        let order = problem.personal_order();
+        for (i, &id) in order.iter().enumerate() {
+            if let Some(p) = problem.personal().node(id).parent {
+                assert!(order[..i].contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_personal_rejected() {
+        assert_eq!(
+            MatchProblem::new(Schema::new("p"), Repository::new()).unwrap_err(),
+            MatchError::EmptyPersonalSchema
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! The per-increment random selector of §3.4.
+//!
+//! Not a real matcher — a *hypothetical* improvement used as a baseline:
+//! it executes S1 and keeps, within each threshold increment, a uniformly
+//! random subset of the answers, sized to match a target system's counts.
+//! Its expected P/R is given by Equations (9)–(10); the empirical runs
+//! produced here let tests and benches confirm that.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use smx_eval::{AnswerSet, ScoredAnswer};
+
+/// Randomly select, per increment of `grid`, `sizes[i]` answers from S1's
+/// answers in that increment (`sizes` are cumulative counts aligned with
+/// `grid`, exactly like the bounds API takes them).
+///
+/// Panics if `sizes` is not a feasible cumulative profile for `s1` (more
+/// selected than available in some increment) — callers derive sizes from
+/// a real S2 run, where feasibility holds by construction.
+pub fn random_selection(
+    s1: &AnswerSet,
+    grid: &[f64],
+    sizes: &[usize],
+    rng: &mut StdRng,
+) -> AnswerSet {
+    assert_eq!(grid.len(), sizes.len(), "grid and sizes must align");
+    let mut selected: Vec<ScoredAnswer> = Vec::new();
+    let mut prev_threshold = f64::NEG_INFINITY;
+    let mut prev_cum = 0usize;
+    for (&threshold, &cum) in grid.iter().zip(sizes) {
+        let take = cum.checked_sub(prev_cum).expect("sizes must be non-decreasing");
+        let band: Vec<ScoredAnswer> = s1
+            .answers()
+            .iter()
+            .filter(|a| a.score > prev_threshold && a.score <= threshold)
+            .copied()
+            .collect();
+        assert!(
+            take <= band.len(),
+            "cannot select {take} answers from an increment of {}",
+            band.len()
+        );
+        let picked = band.choose_multiple(rng, take);
+        selected.extend(picked.copied());
+        prev_threshold = threshold;
+        prev_cum = cum;
+    }
+    selected.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_eval::AnswerId;
+
+    fn s1() -> AnswerSet {
+        // Scores 0.25/0.5/0.75/1.0 — exactly representable, so threshold
+        // slicing is crisp.
+        AnswerSet::new((0..20).map(|i| (AnswerId(i), (i / 5 + 1) as f64 * 0.25))).unwrap()
+    }
+
+    #[test]
+    fn respects_increment_sizes() {
+        // 4 increments of 5 answers each (scores 0.25, 0.5, 0.75, 1.0).
+        let s1 = s1();
+        let grid = [0.25, 0.5, 0.75, 1.0];
+        let sizes = [3, 7, 8, 12];
+        let mut rng = StdRng::seed_from_u64(5);
+        let s2 = random_selection(&s1, &grid, &sizes, &mut rng);
+        for (&t, &c) in grid.iter().zip(&sizes) {
+            assert_eq!(s2.count_at(t), c, "at δ={t}");
+        }
+        s2.is_subset_of(&s1).unwrap();
+        assert!(s2.scores_consistent_with(&s1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s1 = s1();
+        let grid = [0.5, 1.0];
+        let sizes = [4, 9];
+        let a = random_selection(&s1, &grid, &sizes, &mut StdRng::seed_from_u64(1));
+        let b = random_selection(&s1, &grid, &sizes, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn infeasible_sizes_panic() {
+        let s1 = s1();
+        random_selection(&s1, &[0.25], &[9], &mut StdRng::seed_from_u64(1));
+    }
+
+    #[test]
+    fn empirical_mean_matches_equation_9_and_10() {
+        use smx_eval::{Counts, GroundTruth, PrCurve};
+        use smx_core::random_baseline_from_counts;
+        // S1 with known composition: correct ids are multiples of 3.
+        let s1 = s1();
+        let truth = GroundTruth::new((0..20).filter(|i| i % 3 == 0).map(AnswerId));
+        let grid = [0.25, 0.5, 0.75, 1.0];
+        let sizes = [2, 6, 10, 14];
+        let s1_curve = PrCurve::measure(&s1, &truth, &grid).unwrap();
+        let predicted = random_baseline_from_counts(&s1_curve, &sizes).unwrap();
+        // Monte Carlo.
+        let runs = 3000;
+        let mut mean_correct = vec![0.0f64; grid.len()];
+        for seed in 0..runs {
+            let s2 = random_selection(&s1, &grid, &sizes, &mut StdRng::seed_from_u64(seed));
+            for (j, &t) in grid.iter().enumerate() {
+                mean_correct[j] += Counts::measure(&s2, &truth, t).correct as f64;
+            }
+        }
+        for (j, p) in predicted.iter().enumerate() {
+            let empirical = mean_correct[j] / runs as f64;
+            assert!(
+                (empirical - p.expected_correct).abs() < 0.15,
+                "increment {j}: empirical {empirical} vs predicted {}",
+                p.expected_correct
+            );
+        }
+    }
+}

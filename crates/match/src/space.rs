@@ -1,0 +1,93 @@
+//! Search-space accounting.
+//!
+//! The paper motivates non-exhaustive search with the exponential cost of
+//! exhaustive mapping enumeration (\[15\]): a personal schema with `k`
+//! elements matched injectively into a schema of `n` elements admits
+//! `P(n, k) = n!/(n−k)!` assignments, summed over every repository
+//! schema. These helpers compute that number (saturating at `u128::MAX`)
+//! for reports and benches.
+
+use crate::problem::MatchProblem;
+
+/// Falling factorial `n · (n−1) ⋯ (n−k+1)`, saturating.
+pub fn falling_factorial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let mut total: u128 = 1;
+    for i in 0..k {
+        total = total.saturating_mul((n - i) as u128);
+    }
+    total
+}
+
+/// Total injective-assignment count across the repository.
+pub fn search_space_size(problem: &MatchProblem) -> u128 {
+    let k = problem.personal_size();
+    problem
+        .repository()
+        .iter()
+        .map(|(_, s)| falling_factorial(s.len(), k))
+        .fold(0u128, u128::saturating_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_repo::Repository;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    #[test]
+    fn falling_factorial_basics() {
+        assert_eq!(falling_factorial(5, 0), 1);
+        assert_eq!(falling_factorial(5, 1), 5);
+        assert_eq!(falling_factorial(5, 2), 20);
+        assert_eq!(falling_factorial(5, 5), 120);
+        assert_eq!(falling_factorial(3, 4), 0);
+        // Saturation instead of overflow.
+        assert_eq!(falling_factorial(1000, 50), u128::MAX);
+    }
+
+    #[test]
+    fn space_sums_over_schemas() {
+        let personal = SchemaBuilder::new("p")
+            .root("a")
+            .leaf("b", PrimitiveType::String)
+            .build();
+        let mut repo = Repository::new();
+        repo.add(
+            SchemaBuilder::new("x")
+                .root("r")
+                .leaf("c", PrimitiveType::String)
+                .leaf("d", PrimitiveType::String)
+                .build(),
+        ); // 3 nodes → P(3,2) = 6
+        repo.add(SchemaBuilder::new("y").root("only").build()); // 1 node → 0
+        let problem = MatchProblem::new(personal, repo).unwrap();
+        assert_eq!(search_space_size(&problem), 6);
+    }
+
+    #[test]
+    fn exponential_growth_with_k() {
+        // Same repository, growing personal schema: the space explodes.
+        let mut repo = Repository::new();
+        let mut b = SchemaBuilder::new("big").root("r");
+        for i in 0..14 {
+            b = b.leaf(format!("leaf{i}"), PrimitiveType::String);
+        }
+        repo.add(b.build());
+        let mut prev = 0u128;
+        for k in 1..=6 {
+            let mut builder = SchemaBuilder::new("p").root("q");
+            for i in 1..k {
+                builder = builder.leaf(format!("n{i}"), PrimitiveType::String);
+            }
+            let problem = MatchProblem::new(builder.build(), repo.clone()).unwrap();
+            let size = search_space_size(&problem);
+            assert!(size > prev, "k={k}");
+            prev = size;
+        }
+        // k = 6 into 15 nodes: P(15,6) = 3,603,600.
+        assert_eq!(prev, 3_603_600);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-matcher invariants over generated scenarios: every S2 is a
+//! score-consistent subset of S1 at every threshold — the premise of the
+//! effectiveness-bounds technique — and S1 is complete w.r.t. brute force.
+
+use smx_match::*;
+use smx_synth::{Domain, Scenario, ScenarioConfig};
+
+fn problem(seed: u64, domain: Domain) -> MatchProblem {
+    let sc = Scenario::generate(ScenarioConfig {
+        domain,
+        derived_schemas: 4,
+        noise_schemas: 3,
+        personal_nodes: 4,
+        host_nodes: 7,
+        perturbation_strength: 0.5,
+        seed,
+    });
+    MatchProblem::new(sc.personal, sc.repository).unwrap()
+}
+
+#[test]
+fn every_s2_is_score_consistent_subset_of_s1() {
+    for (seed, domain) in [(1, Domain::Publications), (2, Domain::Commerce), (3, Domain::Travel)]
+    {
+        let problem = problem(seed, domain);
+        let registry = MappingRegistry::new();
+        let delta_max = 0.45;
+        let s1 = ExhaustiveMatcher::default().run(&problem, delta_max, &registry);
+        let s2s: Vec<(&str, smx_eval::AnswerSet)> = vec![
+            (
+                "beam",
+                BeamMatcher::new(ObjectiveFunction::default(), 12).run(
+                    &problem,
+                    delta_max,
+                    &registry,
+                ),
+            ),
+            (
+                "cluster",
+                ClusterMatcher::new(ObjectiveFunction::default(), 0.5, 3).run(
+                    &problem,
+                    delta_max,
+                    &registry,
+                ),
+            ),
+            (
+                "topk",
+                TopKMatcher::new(ObjectiveFunction::default(), 25).run(
+                    &problem,
+                    delta_max,
+                    &registry,
+                ),
+            ),
+        ];
+        for (name, s2) in &s2s {
+            s2.is_subset_of(&s1)
+                .unwrap_or_else(|e| panic!("seed {seed}: {name} not a subset: {e}"));
+            assert!(
+                s2.scores_consistent_with(&s1),
+                "seed {seed}: {name} rescored answers"
+            );
+            // Subset at every threshold of S1's grid, not just overall.
+            for t in s1.distinct_scores() {
+                assert!(
+                    s2.count_at(t) <= s1.count_at(t),
+                    "seed {seed}: {name} exceeds S1 at δ={t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_is_complete_against_brute_force_on_scenarios() {
+    // Tiny scenario so brute force stays feasible.
+    let sc = Scenario::generate(ScenarioConfig {
+        derived_schemas: 2,
+        noise_schemas: 1,
+        personal_nodes: 3,
+        host_nodes: 6,
+        ..Default::default()
+    });
+    let problem = MatchProblem::new(sc.personal, sc.repository).unwrap();
+    for delta_max in [0.2, 0.4, 0.7] {
+        let reg_a = MappingRegistry::new();
+        let reg_b = MappingRegistry::new();
+        let fast = ExhaustiveMatcher::default().run(&problem, delta_max, &reg_a);
+        let slow = BruteForceMatcher::default().run(&problem, delta_max, &reg_b);
+        assert_eq!(fast.len(), slow.len(), "δ={delta_max}");
+    }
+}
+
+#[test]
+fn ratio_profiles_have_expected_shapes() {
+    // Beam loses answers smoothly; top-k cuts sharply: check the ratio at
+    // the head vs the tail of the score range.
+    let problem = problem(7, Domain::Publications);
+    let registry = MappingRegistry::new();
+    let delta_max = 0.45;
+    let s1 = ExhaustiveMatcher::default().run(&problem, delta_max, &registry);
+    if s1.len() < 20 {
+        return; // degenerate scenario; other seeds cover the shape check
+    }
+    let beam = BeamMatcher::new(ObjectiveFunction::default(), 8).run(&problem, delta_max, &registry);
+    let k = s1.len() / 4;
+    let topk = TopKMatcher::new(ObjectiveFunction::default(), k).run(&problem, delta_max, &registry);
+    let scores = s1.distinct_scores();
+    let head = scores[scores.len() / 5];
+    let tail = *scores.last().unwrap();
+    // Top-k: ratio 1 at the k-th score, 0 growth after.
+    let kth_score = s1.answers()[k - 1].score;
+    assert_eq!(topk.count_at(kth_score), s1.count_at(kth_score).min(k));
+    assert_eq!(topk.count_at(tail), k);
+    // Beam keeps the head better than the tail (relative retention).
+    let beam_head_ratio = beam.count_at(head) as f64 / s1.count_at(head).max(1) as f64;
+    let beam_tail_ratio = beam.count_at(tail) as f64 / s1.count_at(tail) as f64;
+    assert!(
+        beam_head_ratio >= beam_tail_ratio,
+        "beam head {beam_head_ratio} vs tail {beam_tail_ratio}"
+    );
+}

@@ -1,0 +1,301 @@
+//! Element clustering over a repository.
+//!
+//! Two methods with the same output type:
+//!
+//! * [`greedy_clustering`] — single-pass leader clustering: each element
+//!   joins the first cluster whose centroid is at least `threshold`
+//!   similar, else founds a new one. `O(n·c)`; this is the rough-but-fast
+//!   method a scalable matcher uses online.
+//! * [`agglomerative_clustering`] — average-linkage bottom-up merging to a
+//!   target cluster count. `O(n³)` reference implementation for quality
+//!   comparisons and the clustering ablation bench.
+//!
+//! Cluster quality is summarised by [`Clustering::mean_intra_similarity`]
+//! (cohesion) and ranked against a query with [`Clustering::rank_against`].
+
+use crate::feature::{element_features, ElementFeatures};
+use crate::repository::{ElementRef, Repository};
+use serde::{Deserialize, Serialize};
+
+/// One cluster: members plus their centroid feature bag.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The elements in this cluster.
+    pub members: Vec<ElementRef>,
+    /// Sum of member feature bags (cosine against it acts as an
+    /// average-linkage approximation).
+    pub centroid: ElementFeatures,
+}
+
+impl Cluster {
+    fn singleton(eref: ElementRef, features: ElementFeatures) -> Self {
+        Cluster { members: vec![eref], centroid: features }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// A complete clustering of a repository's elements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Clustering {
+    clusters: Vec<Cluster>,
+}
+
+impl Clustering {
+    /// The clusters, in construction order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Total elements across clusters.
+    pub fn total_members(&self) -> usize {
+        self.clusters.iter().map(Cluster::len).sum()
+    }
+
+    /// Mean pairwise member-to-centroid similarity — a cheap cohesion
+    /// measure in `[0, 1]` (1 = perfectly tight clusters).
+    pub fn mean_intra_similarity(&self, repo: &Repository) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for c in &self.clusters {
+            for &m in &c.members {
+                total += element_features(repo, m).cosine(&c.centroid);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            1.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Rank cluster indices by centroid similarity to `query`, best first.
+    pub fn rank_against(&self, query: &ElementFeatures) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, query.cosine(&c.centroid)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+/// Single-pass leader clustering at a similarity `threshold` in `[0, 1]`.
+pub fn greedy_clustering(repo: &Repository, threshold: f64) -> Clustering {
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for eref in repo.elements() {
+        let features = element_features(repo, eref);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in clusters.iter().enumerate() {
+            let sim = features.cosine(&c.centroid);
+            if sim >= threshold && best.is_none_or(|(_, b)| sim > b) {
+                best = Some((i, sim));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                clusters[i].members.push(eref);
+                clusters[i].centroid.merge(&features);
+            }
+            None => clusters.push(Cluster::singleton(eref, features)),
+        }
+    }
+    Clustering { clusters }
+}
+
+/// Average-linkage agglomerative clustering down to `target` clusters.
+pub fn agglomerative_clustering(repo: &Repository, target: usize) -> Clustering {
+    let elements: Vec<ElementRef> = repo.elements().collect();
+    let features: Vec<ElementFeatures> =
+        elements.iter().map(|&e| element_features(repo, e)).collect();
+    let n = elements.len();
+    if n == 0 {
+        return Clustering::default();
+    }
+    let target = target.clamp(1, n);
+    // Active clusters as member-index lists.
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    // Pairwise element similarity matrix (upper triangle).
+    let sim = |a: usize, b: usize| features[a].cosine(&features[b]);
+    let mut matrix = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = sim(i, j);
+            matrix[i * n + j] = s;
+            matrix[j * n + i] = s;
+        }
+    }
+    // Average linkage between groups.
+    let linkage = |ga: &[usize], gb: &[usize], matrix: &[f64]| -> f64 {
+        let mut total = 0.0;
+        for &a in ga {
+            for &b in gb {
+                total += matrix[a * n + b];
+            }
+        }
+        total / (ga.len() * gb.len()) as f64
+    };
+    while groups.len() > target {
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                let l = linkage(&groups[i], &groups[j], &matrix);
+                if l > best.2 {
+                    best = (i, j, l);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        let merged = groups.swap_remove(j);
+        groups[i].extend(merged);
+    }
+    let clusters = groups
+        .into_iter()
+        .map(|g| {
+            let mut centroid = ElementFeatures::default();
+            let members: Vec<ElementRef> = g
+                .iter()
+                .map(|&idx| {
+                    centroid.merge(&features[idx]);
+                    elements[idx]
+                })
+                .collect();
+            Cluster { members, centroid }
+        })
+        .collect();
+    Clustering { clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::query_features;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    /// Two clearly-separated topic groups: book-ish and order-ish names.
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.add(
+            SchemaBuilder::new("bib")
+                .root("bib")
+                .child("book", |b| {
+                    b.leaf("bookTitle", PrimitiveType::String)
+                        .leaf("bookAuthor", PrimitiveType::String)
+                })
+                .build(),
+        );
+        r.add(
+            SchemaBuilder::new("shop")
+                .root("shop")
+                .child("order", |o| {
+                    o.leaf("orderDate", PrimitiveType::Date)
+                        .leaf("orderTotal", PrimitiveType::Decimal)
+                })
+                .build(),
+        );
+        r
+    }
+
+    #[test]
+    fn greedy_covers_every_element_once() {
+        let r = repo();
+        let clustering = greedy_clustering(&r, 0.3);
+        assert_eq!(clustering.total_members(), r.total_elements());
+        // No element in two clusters.
+        let mut seen: Vec<ElementRef> = clustering
+            .clusters()
+            .iter()
+            .flat_map(|c| c.members.iter().copied())
+            .collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), r.total_elements());
+    }
+
+    #[test]
+    fn greedy_threshold_extremes() {
+        let r = repo();
+        // Threshold 0 keeps everything joinable: few clusters.
+        let loose = greedy_clustering(&r, 0.0);
+        // Threshold just above 1 is unreachable: all singletons.
+        let strict = greedy_clustering(&r, 1.01);
+        assert_eq!(strict.len(), r.total_elements());
+        assert!(loose.len() <= strict.len());
+    }
+
+    #[test]
+    fn agglomerative_reaches_target() {
+        let r = repo();
+        for target in [1, 2, 4, 8] {
+            let clustering = agglomerative_clustering(&r, target);
+            assert_eq!(clustering.len(), target.min(r.total_elements()));
+            assert_eq!(clustering.total_members(), r.total_elements());
+        }
+    }
+
+    #[test]
+    fn agglomerative_groups_topics() {
+        let r = repo();
+        let clustering = agglomerative_clustering(&r, 2);
+        // With two clusters, book-ish leaves should not share a cluster
+        // with order-ish leaves.
+        let find = |name: &str| -> usize {
+            clustering
+                .clusters()
+                .iter()
+                .position(|c| c.members.iter().any(|&m| r.element_name(m) == name))
+                .unwrap()
+        };
+        assert_eq!(find("bookTitle"), find("bookAuthor"));
+        assert_eq!(find("orderDate"), find("orderTotal"));
+        assert_ne!(find("bookTitle"), find("orderDate"));
+    }
+
+    #[test]
+    fn ranking_prefers_matching_topic() {
+        let r = repo();
+        let clustering = agglomerative_clustering(&r, 2);
+        let q = query_features(&["book", "title", "author"]);
+        let ranked = clustering.rank_against(&q);
+        let top = &clustering.clusters()[ranked[0].0];
+        assert!(top.members.iter().any(|&m| r.element_name(m) == "bookTitle"));
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn cohesion_improves_with_more_clusters() {
+        let r = repo();
+        let coarse = agglomerative_clustering(&r, 1);
+        let fine = agglomerative_clustering(&r, 4);
+        assert!(fine.mean_intra_similarity(&r) >= coarse.mean_intra_similarity(&r) - 1e-9);
+    }
+
+    #[test]
+    fn empty_repository_clusters() {
+        let r = Repository::new();
+        assert!(greedy_clustering(&r, 0.5).is_empty());
+        assert!(agglomerative_clustering(&r, 3).is_empty());
+        assert_eq!(Clustering::default().mean_intra_similarity(&r), 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Token feature vectors for repository elements.
+//!
+//! An element's cluster identity is determined by its own name tokens
+//! (weight 1.0), its parent's and grandparent's name tokens (path context,
+//! decayed weights), and a token for its primitive type. Similarity is the
+//! cosine over these weighted token bags.
+
+use crate::repository::{ElementRef, Repository};
+use serde::{Deserialize, Serialize};
+use smx_text::split_identifier;
+use std::collections::BTreeMap;
+
+/// Decay applied per ancestor level when collecting context tokens.
+const CONTEXT_DECAY: f64 = 0.5;
+/// How many ancestor levels contribute context tokens.
+const CONTEXT_LEVELS: usize = 2;
+/// Weight of the type token.
+const TYPE_WEIGHT: f64 = 0.25;
+
+/// A weighted bag of tokens describing one element.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ElementFeatures {
+    weights: BTreeMap<String, f64>,
+    norm: f64,
+}
+
+impl ElementFeatures {
+    /// Build from explicit `(token, weight)` pairs (weights accumulate).
+    pub fn from_weights(pairs: impl IntoIterator<Item = (String, f64)>) -> Self {
+        let mut weights: BTreeMap<String, f64> = BTreeMap::new();
+        for (token, w) in pairs {
+            if w > 0.0 {
+                *weights.entry(token).or_insert(0.0) += w;
+            }
+        }
+        let norm = weights.values().map(|w| w * w).sum::<f64>().sqrt();
+        ElementFeatures { weights, norm }
+    }
+
+    /// The token weights.
+    pub fn weights(&self) -> &BTreeMap<String, f64> {
+        &self.weights
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Merge another feature bag into this one (used for centroids).
+    pub fn merge(&mut self, other: &ElementFeatures) {
+        for (t, w) in &other.weights {
+            *self.weights.entry(t.clone()).or_insert(0.0) += w;
+        }
+        self.norm = self.weights.values().map(|w| w * w).sum::<f64>().sqrt();
+    }
+
+    /// Cosine similarity with another bag, in `[0, 1]`.
+    pub fn cosine(&self, other: &ElementFeatures) -> f64 {
+        if self.norm == 0.0 || other.norm == 0.0 {
+            return if self.is_empty() && other.is_empty() { 1.0 } else { 0.0 };
+        }
+        // Iterate the smaller map.
+        let (small, large) = if self.weights.len() <= other.weights.len() {
+            (&self.weights, &other.weights)
+        } else {
+            (&other.weights, &self.weights)
+        };
+        let dot: f64 = small
+            .iter()
+            .filter_map(|(t, w)| large.get(t).map(|v| w * v))
+            .sum();
+        (dot / (self.norm * other.norm)).clamp(0.0, 1.0)
+    }
+}
+
+/// Extract features for one repository element.
+pub fn element_features(repo: &Repository, eref: ElementRef) -> ElementFeatures {
+    let schema = repo.schema(eref.schema);
+    let node = schema.node(eref.node);
+    let mut pairs: Vec<(String, f64)> = split_identifier(&node.name)
+        .into_iter()
+        .map(|t| (t.0, 1.0))
+        .collect();
+    let mut weight = CONTEXT_DECAY;
+    for ancestor in schema.ancestors(eref.node).into_iter().take(CONTEXT_LEVELS) {
+        for t in split_identifier(&schema.node(ancestor).name) {
+            pairs.push((t.0, weight));
+        }
+        weight *= CONTEXT_DECAY;
+    }
+    pairs.push((format!("ty:{}", node.ty.name()), TYPE_WEIGHT));
+    ElementFeatures::from_weights(pairs)
+}
+
+/// Similarity between two elements' features.
+pub fn feature_similarity(repo: &Repository, a: ElementRef, b: ElementRef) -> f64 {
+    element_features(repo, a).cosine(&element_features(repo, b))
+}
+
+/// Features of a free-standing query token bag (e.g. the whole personal
+/// schema), for ranking clusters against a query.
+pub fn query_features(names: &[&str]) -> ElementFeatures {
+    ElementFeatures::from_weights(
+        names
+            .iter()
+            .flat_map(|n| split_identifier(n))
+            .map(|t| (t.0, 1.0)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::SchemaId;
+    use smx_xml::{NodeId, PrimitiveType, SchemaBuilder};
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.add(
+            SchemaBuilder::new("shop")
+                .root("shop")
+                .child("customerOrder", |o| {
+                    o.leaf("orderDate", PrimitiveType::Date)
+                        .leaf("customerName", PrimitiveType::String)
+                })
+                .child("stock", |s| s.leaf("itemName", PrimitiveType::String))
+                .build(),
+        );
+        r
+    }
+
+    fn eref(node: u32) -> ElementRef {
+        ElementRef { schema: SchemaId(0), node: NodeId(node) }
+    }
+
+    #[test]
+    fn features_include_context_and_type() {
+        let r = repo();
+        // Node 2 = orderDate under customerOrder under shop.
+        let f = element_features(&r, eref(2));
+        assert!(f.weights().contains_key("order"));
+        assert!(f.weights().contains_key("date"));
+        assert!(f.weights().contains_key("customer")); // parent context
+        assert!(f.weights().contains_key("shop")); // grandparent context
+        assert!(f.weights().contains_key("ty:date"));
+        // Own tokens outweigh context tokens.
+        assert!(f.weights()["date"] > f.weights()["shop"]);
+    }
+
+    #[test]
+    fn cosine_identity_and_range() {
+        let r = repo();
+        let f = element_features(&r, eref(3));
+        assert!((f.cosine(&f) - 1.0).abs() < 1e-12);
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                let s = feature_similarity(&r, eref(a), eref(b));
+                assert!((0.0..=1.0 + 1e-12).contains(&s));
+                let sym = feature_similarity(&r, eref(b), eref(a));
+                assert!((s - sym).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn related_names_score_higher() {
+        let r = repo();
+        // customerName (3) vs itemName (5): share "name".
+        let related = feature_similarity(&r, eref(3), eref(5));
+        // orderDate (2) vs itemName (5): nothing shared but context.
+        let unrelated = feature_similarity(&r, eref(2), eref(5));
+        assert!(related > unrelated, "{related} vs {unrelated}");
+    }
+
+    #[test]
+    fn merge_builds_centroids() {
+        let r = repo();
+        let mut centroid = element_features(&r, eref(2));
+        centroid.merge(&element_features(&r, eref(3)));
+        assert!(centroid.weights().contains_key("date"));
+        assert!(centroid.weights().contains_key("name"));
+        // Centroid is similar to both members.
+        assert!(centroid.cosine(&element_features(&r, eref(2))) > 0.5);
+        assert!(centroid.cosine(&element_features(&r, eref(3))) > 0.5);
+    }
+
+    #[test]
+    fn empty_bags() {
+        let empty = ElementFeatures::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.cosine(&empty), 1.0);
+        let f = query_features(&["order"]);
+        assert_eq!(empty.cosine(&f), 0.0);
+    }
+
+    #[test]
+    fn query_features_tokenize() {
+        let q = query_features(&["custOrder", "price"]);
+        assert!(q.weights().contains_key("cust"));
+        assert!(q.weights().contains_key("order"));
+        assert!(q.weights().contains_key("price"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Schema fragments induced by a cluster selection.
+//!
+//! A cluster-restricted matcher only targets elements of the chosen
+//! clusters. Grouped per schema and closed under ancestors (so paths stay
+//! resolvable), those elements form a [`Fragment`] — the unit of
+//! non-exhaustive search in the paper's reference \[16\].
+
+use crate::cluster::Clustering;
+use crate::repository::{ElementRef, Repository, SchemaId};
+use serde::{Deserialize, Serialize};
+use smx_xml::NodeId;
+use std::collections::BTreeSet;
+
+/// The searchable part of one schema under a cluster selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fragment {
+    /// The schema this fragment belongs to.
+    pub schema: SchemaId,
+    /// Cluster members in this schema (the *allowed mapping targets*).
+    pub members: BTreeSet<NodeId>,
+    /// Members plus all their ancestors (the connected cover).
+    pub cover: BTreeSet<NodeId>,
+}
+
+impl Fragment {
+    /// Whether `node` is an allowed mapping target.
+    pub fn allows(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Fraction of the schema's elements inside the cover.
+    pub fn coverage(&self, repo: &Repository) -> f64 {
+        let total = repo.schema(self.schema).len();
+        if total == 0 {
+            0.0
+        } else {
+            self.cover.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Build per-schema fragments from the `selected` cluster indices of a
+/// clustering. Schemas with no selected member produce no fragment — the
+/// matcher skips them entirely (that is where the efficiency comes from).
+pub fn fragments_for_clusters(
+    repo: &Repository,
+    clustering: &Clustering,
+    selected: &[usize],
+) -> Vec<Fragment> {
+    let mut per_schema: std::collections::BTreeMap<SchemaId, BTreeSet<NodeId>> =
+        std::collections::BTreeMap::new();
+    for &idx in selected {
+        let Some(cluster) = clustering.clusters().get(idx) else { continue };
+        for &ElementRef { schema, node } in &cluster.members {
+            per_schema.entry(schema).or_default().insert(node);
+        }
+    }
+    per_schema
+        .into_iter()
+        .map(|(schema, members)| {
+            let s = repo.schema(schema);
+            let mut cover = members.clone();
+            for &m in &members {
+                cover.extend(s.ancestors(m));
+            }
+            Fragment { schema, members, cover }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::greedy_clustering;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.add(
+            SchemaBuilder::new("bib")
+                .root("bib")
+                .child("book", |b| {
+                    b.leaf("bookTitle", PrimitiveType::String)
+                        .leaf("bookAuthor", PrimitiveType::String)
+                })
+                .child("journal", |j| j.leaf("issn", PrimitiveType::Id))
+                .build(),
+        );
+        r.add(
+            SchemaBuilder::new("shop")
+                .root("shop")
+                .leaf("orderTotal", PrimitiveType::Decimal)
+                .build(),
+        );
+        r
+    }
+
+    #[test]
+    fn fragments_cover_ancestors() {
+        let r = repo();
+        // All-singleton clustering so we can select precisely.
+        let clustering = greedy_clustering(&r, 1.01);
+        // Find the cluster holding bookTitle.
+        let idx = clustering
+            .clusters()
+            .iter()
+            .position(|c| c.members.iter().any(|&m| r.element_name(m) == "bookTitle"))
+            .unwrap();
+        let frags = fragments_for_clusters(&r, &clustering, &[idx]);
+        assert_eq!(frags.len(), 1);
+        let f = &frags[0];
+        assert_eq!(f.members.len(), 1);
+        // Cover = bookTitle + book + bib.
+        assert_eq!(f.cover.len(), 3);
+        assert!(f.allows(*f.members.iter().next().unwrap()));
+        let coverage = f.coverage(&r);
+        assert!((coverage - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unselected_schemas_produce_no_fragment() {
+        let r = repo();
+        let clustering = greedy_clustering(&r, 1.01);
+        let bib_only: Vec<usize> = clustering
+            .clusters()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.members[0].schema == SchemaId(0))
+            .map(|(i, _)| i)
+            .collect();
+        let frags = fragments_for_clusters(&r, &clustering, &bib_only);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].schema, SchemaId(0));
+        assert_eq!(frags[0].members.len(), 6);
+    }
+
+    #[test]
+    fn empty_selection_and_bogus_indices() {
+        let r = repo();
+        let clustering = greedy_clustering(&r, 0.5);
+        assert!(fragments_for_clusters(&r, &clustering, &[]).is_empty());
+        assert!(fragments_for_clusters(&r, &clustering, &[999]).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Token inverted index over repository elements.
+//!
+//! Maps each name token to the elements whose (tokenised) name contains
+//! it. Used to seed cluster ranking and by the top-k matcher to find
+//! promising schemas without scanning everything.
+
+use crate::repository::{ElementRef, Repository, SchemaId};
+use serde::{Deserialize, Serialize};
+use smx_text::split_identifier;
+use std::collections::BTreeMap;
+
+/// Inverted index `token → sorted element list`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TokenIndex {
+    postings: BTreeMap<String, Vec<ElementRef>>,
+}
+
+impl TokenIndex {
+    /// Build the index over every element of `repo`.
+    pub fn build(repo: &Repository) -> Self {
+        let mut postings: BTreeMap<String, Vec<ElementRef>> = BTreeMap::new();
+        for eref in repo.elements() {
+            for token in split_identifier(repo.element_name(eref)) {
+                postings.entry(token.0).or_default().push(eref);
+            }
+        }
+        TokenIndex { postings }
+    }
+
+    /// Elements whose name contains `token` (exact token match).
+    pub fn lookup(&self, token: &str) -> &[ElementRef] {
+        self.postings.get(token).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct tokens.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// All distinct tokens in sorted order.
+    pub fn tokens(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(String::as_str)
+    }
+
+    /// Schemas ranked by how many query tokens they contain (hit count,
+    /// ties by id). The cheap pre-filter of the top-k matcher.
+    pub fn rank_schemas(&self, query_tokens: &[&str]) -> Vec<(SchemaId, usize)> {
+        let mut hits: BTreeMap<SchemaId, usize> = BTreeMap::new();
+        for &tok in query_tokens {
+            for t in split_identifier(tok) {
+                for eref in self.lookup(t.as_str()) {
+                    *hits.entry(eref.schema).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(SchemaId, usize)> = hits.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.add(
+            SchemaBuilder::new("bib")
+                .root("bib")
+                .child("book", |b| b.leaf("bookTitle", PrimitiveType::String))
+                .build(),
+        );
+        r.add(
+            SchemaBuilder::new("library")
+                .root("library")
+                .leaf("title", PrimitiveType::String)
+                .build(),
+        );
+        r
+    }
+
+    #[test]
+    fn lookup_tokenised_names() {
+        let idx = TokenIndex::build(&repo());
+        // "bookTitle" contributes tokens "book" and "title".
+        assert_eq!(idx.lookup("title").len(), 2);
+        assert_eq!(idx.lookup("book").len(), 2); // element `book` + bookTitle
+        assert!(idx.lookup("zzz").is_empty());
+        assert!(idx.vocabulary_size() >= 4);
+    }
+
+    #[test]
+    fn rank_schemas_by_hits() {
+        let idx = TokenIndex::build(&repo());
+        let ranked = idx.rank_schemas(&["bookTitle"]);
+        // Schema 0 has both "book" (twice) and "title"; schema 1 only "title".
+        assert_eq!(ranked[0].0, SchemaId(0));
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let idx = TokenIndex::build(&Repository::new());
+        assert_eq!(idx.vocabulary_size(), 0);
+        assert!(idx.rank_schemas(&["anything"]).is_empty());
+        let idx = TokenIndex::build(&repo());
+        assert!(idx.rank_schemas(&[]).is_empty());
+    }
+
+    #[test]
+    fn tokens_sorted() {
+        let idx = TokenIndex::build(&repo());
+        let toks: Vec<&str> = idx.tokens().collect();
+        let mut sorted = toks.clone();
+        sorted.sort();
+        assert_eq!(toks, sorted);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Schema repository and element clustering.
+//!
+//! The paper's motivating system matches a small personal schema against a
+//! *large repository* of XML schemas and gains efficiency by clustering
+//! repository elements, then searching only the most promising clusters
+//! (\[16\] in the paper). This crate provides that substrate:
+//!
+//! * [`repository`] — a collection of named schemas with global
+//!   [`ElementRef`] addressing,
+//! * [`feature`] — token-based feature vectors for repository elements
+//!   (name, path context, type),
+//! * [`cluster`] — greedy leader clustering (the fast method a scalable
+//!   matcher would use) and average-linkage agglomerative clustering (the
+//!   reference method), plus quality measures,
+//! * [`fragment`] — per-schema fragments induced by a cluster selection:
+//!   the element sets a cluster-restricted matcher is allowed to target,
+//! * [`index`] — a token inverted index used to seed cluster ranking.
+
+pub mod cluster;
+pub mod feature;
+pub mod fragment;
+pub mod index;
+pub mod repository;
+
+pub use cluster::{agglomerative_clustering, greedy_clustering, Cluster, Clustering};
+pub use feature::{element_features, feature_similarity, query_features, ElementFeatures};
+pub use fragment::{fragments_for_clusters, Fragment};
+pub use index::TokenIndex;
+pub use repository::{ElementRef, Repository, SchemaId};

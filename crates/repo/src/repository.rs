@@ -1,0 +1,158 @@
+//! A repository of XML schemas with global element addressing.
+
+use serde::{Deserialize, Serialize};
+use smx_xml::{NodeId, Schema};
+
+/// Dense index of a schema within a [`Repository`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SchemaId(pub u32);
+
+impl SchemaId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SchemaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A globally addressed repository element: `(schema, node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ElementRef {
+    /// The schema containing the element.
+    pub schema: SchemaId,
+    /// The element inside that schema.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for ElementRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.schema, self.node)
+    }
+}
+
+/// An ordered collection of schemas.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Repository {
+    schemas: Vec<Schema>,
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Add a schema, returning its id.
+    pub fn add(&mut self, schema: Schema) -> SchemaId {
+        let id = SchemaId(self.schemas.len() as u32);
+        self.schemas.push(schema);
+        id
+    }
+
+    /// Number of schemas.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether the repository holds no schemas.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Borrow a schema.
+    pub fn schema(&self, id: SchemaId) -> &Schema {
+        &self.schemas[id.index()]
+    }
+
+    /// Iterate over `(id, schema)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SchemaId, &Schema)> {
+        self.schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SchemaId(i as u32), s))
+    }
+
+    /// All schema ids.
+    pub fn schema_ids(&self) -> impl ExactSizeIterator<Item = SchemaId> {
+        (0..self.schemas.len() as u32).map(SchemaId)
+    }
+
+    /// Total number of elements across all schemas.
+    pub fn total_elements(&self) -> usize {
+        self.schemas.iter().map(Schema::len).sum()
+    }
+
+    /// Iterate over every element in the repository.
+    pub fn elements(&self) -> impl Iterator<Item = ElementRef> + '_ {
+        self.iter().flat_map(|(sid, schema)| {
+            schema.node_ids().map(move |node| ElementRef { schema: sid, node })
+        })
+    }
+
+    /// The name of the element `eref` points at.
+    pub fn element_name(&self, eref: ElementRef) -> &str {
+        &self.schema(eref.schema).node(eref.node).name
+    }
+
+    /// Find schemas by name.
+    pub fn find_schema(&self, name: &str) -> Option<SchemaId> {
+        self.iter().find(|(_, s)| s.name() == name).map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.add(
+            SchemaBuilder::new("bib")
+                .root("bib")
+                .child("book", |b| b.leaf("title", PrimitiveType::String))
+                .build(),
+        );
+        r.add(
+            SchemaBuilder::new("shop")
+                .root("shop")
+                .leaf("order", PrimitiveType::String)
+                .build(),
+        );
+        r
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let r = repo();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_elements(), 5);
+        assert_eq!(r.schema(SchemaId(0)).name(), "bib");
+        assert_eq!(r.find_schema("shop"), Some(SchemaId(1)));
+        assert_eq!(r.find_schema("nope"), None);
+    }
+
+    #[test]
+    fn element_iteration_and_names() {
+        let r = repo();
+        let elements: Vec<ElementRef> = r.elements().collect();
+        assert_eq!(elements.len(), 5);
+        let names: Vec<&str> = elements.iter().map(|&e| r.element_name(e)).collect();
+        assert_eq!(names, vec!["bib", "book", "title", "shop", "order"]);
+        assert_eq!(elements[2].to_string(), "s0:n2");
+    }
+
+    #[test]
+    fn empty_repository() {
+        let r = Repository::new();
+        assert!(r.is_empty());
+        assert_eq!(r.total_elements(), 0);
+        assert_eq!(r.elements().count(), 0);
+    }
+}

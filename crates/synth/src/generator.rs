@@ -1,0 +1,159 @@
+//! Seeded random schema generation.
+
+use crate::vocab::{Domain, Vocabulary};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use smx_xml::{Node, NodeId, Occurs, PrimitiveType, Schema};
+
+/// Shape parameters for generated schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemaGenConfig {
+    /// Vocabulary domain to draw names from.
+    pub domain: Domain,
+    /// Total number of nodes (including the root); at least 1.
+    pub nodes: usize,
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Maximum children per node.
+    pub max_fanout: usize,
+}
+
+impl Default for SchemaGenConfig {
+    fn default() -> Self {
+        SchemaGenConfig {
+            domain: Domain::Publications,
+            nodes: 12,
+            max_depth: 4,
+            max_fanout: 5,
+        }
+    }
+}
+
+fn random_leaf_type(rng: &mut StdRng) -> PrimitiveType {
+    use PrimitiveType::*;
+    *[String, Integer, Decimal, Date, Boolean, Id]
+        .choose(rng)
+        .expect("non-empty")
+}
+
+fn random_occurs(rng: &mut StdRng) -> Occurs {
+    *[Occurs::ONE, Occurs::ONE, Occurs::OPTIONAL, Occurs::MANY, Occurs::ANY]
+        .choose(rng)
+        .expect("non-empty")
+}
+
+/// Generate a random schema with `config`'s shape, named `name`, driven by
+/// `rng`. Names are drawn from the domain vocabulary with numeric
+/// suffixes when the pool is exhausted, so names within one schema stay
+/// unique.
+pub fn generate_schema(name: &str, config: &SchemaGenConfig, rng: &mut StdRng) -> Schema {
+    let vocab = Vocabulary::for_domain(config.domain);
+    let mut schema = Schema::new(name);
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let fresh_name = |pool: &[&'static str], rng: &mut StdRng, used: &mut std::collections::HashSet<String>| {
+        for _ in 0..8 {
+            let cand = *pool.choose(rng).expect("non-empty pool");
+            if used.insert(cand.to_owned()) {
+                return cand.to_owned();
+            }
+        }
+        // Pool exhausted: suffix a counter.
+        let mut i = 2;
+        loop {
+            let cand = format!("{}{}", pool.choose(rng).expect("non-empty"), i);
+            if used.insert(cand.clone()) {
+                return cand;
+            }
+            i += 1;
+        }
+    };
+
+    let root_name = fresh_name(vocab.containers(), rng, &mut used);
+    let root = schema.add_root(Node::element(root_name)).expect("fresh schema");
+    // Interior candidates: nodes that may still receive children.
+    let mut open: Vec<NodeId> = vec![root];
+    while schema.len() < config.nodes.max(1) && !open.is_empty() {
+        let slot = rng.random_range(0..open.len());
+        let parent = open[slot];
+        let depth = schema.depth(parent);
+        let want_leaf = depth + 1 >= config.max_depth || rng.random_bool(0.55);
+        let mut node = if want_leaf {
+            let mut n = Node::element(fresh_name(vocab.leaves(), rng, &mut used));
+            n.ty = random_leaf_type(rng);
+            n
+        } else {
+            Node::element(fresh_name(vocab.containers(), rng, &mut used))
+        };
+        node.occurs = random_occurs(rng);
+        let id = schema.add_child(parent, node).expect("parent exists");
+        if !want_leaf {
+            open.push(id);
+        }
+        if schema.node(parent).children.len() >= config.max_fanout {
+            open.retain(|&p| p != parent);
+        }
+    }
+    debug_assert!(schema.validate().is_ok());
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_xml::SchemaStats;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn respects_node_budget_and_validates() {
+        for seed in 0..20 {
+            let cfg = SchemaGenConfig { nodes: 15, ..Default::default() };
+            let s = generate_schema("test", &cfg, &mut rng(seed));
+            assert!(s.validate().is_ok());
+            assert!(s.len() <= 15);
+            assert!(s.len() >= 1);
+        }
+    }
+
+    #[test]
+    fn respects_depth_and_fanout() {
+        let cfg = SchemaGenConfig { nodes: 40, max_depth: 3, max_fanout: 4, ..Default::default() };
+        for seed in 0..10 {
+            let s = generate_schema("t", &cfg, &mut rng(seed));
+            let stats = SchemaStats::of(&s);
+            assert!(stats.max_depth <= 3, "depth {}", stats.max_depth);
+            assert!(stats.max_fanout <= 4, "fanout {}", stats.max_fanout);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SchemaGenConfig::default();
+        let a = generate_schema("x", &cfg, &mut rng(7));
+        let b = generate_schema("x", &cfg, &mut rng(7));
+        assert_eq!(a, b);
+        let c = generate_schema("x", &cfg, &mut rng(8));
+        assert!(!a.structural_eq(&c) || a == c); // almost surely different
+    }
+
+    #[test]
+    fn names_unique_within_schema() {
+        let cfg = SchemaGenConfig { nodes: 60, max_depth: 6, max_fanout: 6, ..Default::default() };
+        let s = generate_schema("big", &cfg, &mut rng(3));
+        let mut names: Vec<&str> = s.node_ids().map(|id| s.node(id).name.as_str()).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn single_node_schema() {
+        let cfg = SchemaGenConfig { nodes: 1, ..Default::default() };
+        let s = generate_schema("one", &cfg, &mut rng(1));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Synthetic schema-matching scenarios with known ground truth.
+//!
+//! The paper's central premise is that large-scale validation lacks human
+//! judgments. This crate *replaces the human* the way Sayyadian et al.'s
+//! synthetic-scenario tuning does (\[14\] in the paper): a small **personal
+//! schema** is generated, perturbed copies of it (renames, drops, noise
+//! insertions) are embedded into larger host schemas, and everything is
+//! packed into a repository. Because the generator knows which embedded
+//! element each personal element became, the *correct mappings* are known
+//! exactly — giving us an `H` to (a) measure S1's curve on and (b) verify
+//! the bounds against.
+//!
+//! * [`vocab`] — domain vocabularies (publications, commerce, HR, travel)
+//!   with synonym and abbreviation tables,
+//! * [`generator`] — seeded random schema generation with configurable
+//!   shape,
+//! * [`perturb`] — name/structure perturbations with provenance tracking,
+//! * [`scenario`] — end-to-end scenario assembly: personal schema,
+//!   repository, and the set of correct element correspondences.
+//!
+//! All randomness flows through a caller-provided [`rand::rngs::StdRng`]
+//! seed, so scenarios are exactly reproducible.
+
+pub mod generator;
+pub mod perturb;
+pub mod scenario;
+pub mod vocab;
+
+pub use generator::{generate_schema, SchemaGenConfig};
+pub use perturb::{perturb_schema, Perturbation, PerturbationKind, Provenance};
+pub use scenario::{CorrectMapping, Scenario, ScenarioConfig};
+pub use vocab::{Domain, Vocabulary};

@@ -1,0 +1,269 @@
+//! End-to-end scenario assembly.
+//!
+//! A scenario is one matching problem `Q` with machine-known ground truth:
+//!
+//! 1. generate a small **personal schema** from a domain vocabulary;
+//! 2. build `derived_schemas` repository schemas, each a random *host*
+//!    schema with a **perturbed copy** of the personal schema grafted
+//!    into it — the graft images are the correct mapping targets;
+//! 3. add `noise_schemas` plain random schemas from the same domain
+//!    (hard negatives: they reuse the same vocabulary);
+//! 4. record, per derived schema whose personal copy survived perturbation
+//!    completely, the [`CorrectMapping`] from personal elements to graft
+//!    images. Partial survivals stay in the repository as distractors but
+//!    contribute no correct mapping — like a human judge rejecting an
+//!    incomplete match.
+
+use crate::generator::{generate_schema, SchemaGenConfig};
+use crate::perturb::perturb_schema;
+use crate::vocab::{Domain, Vocabulary};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use smx_repo::{Repository, SchemaId};
+use smx_xml::{NodeId, Schema};
+
+/// Scenario shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Vocabulary domain.
+    pub domain: Domain,
+    /// Personal-schema size in nodes (root + leaves/containers).
+    pub personal_nodes: usize,
+    /// Number of repository schemas containing a grafted copy.
+    pub derived_schemas: usize,
+    /// Number of pure-noise repository schemas.
+    pub noise_schemas: usize,
+    /// Size of each host/noise schema in nodes.
+    pub host_nodes: usize,
+    /// Perturbation strength in `[0, 1]` applied to grafted copies.
+    pub perturbation_strength: f64,
+    /// RNG seed — scenarios are fully reproducible.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            domain: Domain::Publications,
+            personal_nodes: 5,
+            derived_schemas: 25,
+            noise_schemas: 15,
+            host_nodes: 10,
+            perturbation_strength: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// One known-correct mapping: personal node → repository node, for every
+/// personal node, all within one repository schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrectMapping {
+    /// The repository schema containing the graft.
+    pub schema: SchemaId,
+    /// `(personal node, repository node)` pairs in personal preorder.
+    pub targets: Vec<(NodeId, NodeId)>,
+}
+
+/// A complete matching problem with known ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The user's personal schema (the query).
+    pub personal: Schema,
+    /// The repository to search.
+    pub repository: Repository,
+    /// The known-correct mappings — the scenario's `H` in element terms.
+    pub correct: Vec<CorrectMapping>,
+    /// The configuration that produced this scenario.
+    pub config: ScenarioConfig,
+}
+
+/// Graft `sub`'s tree under `at` in `host`; returns `sub`-id → `host`-id.
+fn graft(host: &mut Schema, at: NodeId, sub: &Schema) -> Vec<Option<NodeId>> {
+    let mut map: Vec<Option<NodeId>> = vec![None; sub.len()];
+    let Some(sub_root) = sub.root() else { return map };
+    fn rec(
+        host: &mut Schema,
+        parent: NodeId,
+        sub: &Schema,
+        node: NodeId,
+        map: &mut Vec<Option<NodeId>>,
+    ) {
+        let new_id = host
+            .add_child(parent, sub.node(node).clone_shallow())
+            .expect("parent exists");
+        map[node.index()] = Some(new_id);
+        for &c in &sub.node(node).children {
+            rec(host, new_id, sub, c, map);
+        }
+    }
+    rec(host, at, sub, sub_root, &mut map);
+    map
+}
+
+/// Shallow node clone without tree links (used by [`graft`]).
+trait CloneShallow {
+    fn clone_shallow(&self) -> smx_xml::Node;
+}
+
+impl CloneShallow for smx_xml::Node {
+    fn clone_shallow(&self) -> smx_xml::Node {
+        let mut n = smx_xml::Node::element(self.name.clone());
+        n.kind = self.kind;
+        n.ty = self.ty;
+        n.occurs = self.occurs;
+        n
+    }
+}
+
+impl Scenario {
+    /// Generate a scenario from `config`.
+    pub fn generate(config: ScenarioConfig) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let vocab = Vocabulary::for_domain(config.domain);
+        let personal_cfg = SchemaGenConfig {
+            domain: config.domain,
+            nodes: config.personal_nodes,
+            max_depth: 2,
+            max_fanout: config.personal_nodes,
+        };
+        let mut personal = generate_schema("personal", &personal_cfg, &mut rng);
+        personal.set_name("personal");
+
+        let host_cfg = SchemaGenConfig {
+            domain: config.domain,
+            nodes: config.host_nodes,
+            max_depth: 4,
+            max_fanout: 4,
+        };
+        let mut repository = Repository::new();
+        let mut correct = Vec::new();
+        for d in 0..config.derived_schemas {
+            let mut host = generate_schema(&format!("derived{d}"), &host_cfg, &mut rng);
+            let (copy, prov) =
+                perturb_schema(&personal, &vocab, config.perturbation_strength, &mut rng);
+            // Graft under a random host node.
+            let at_idx = rng.random_range(0..host.len());
+            let at = host.node_ids().nth(at_idx).expect("index in range");
+            let graft_map = graft(&mut host, at, &copy);
+            let schema_id = repository.add(host);
+            // Full survival ⇒ a correct mapping; partial ⇒ distractor only.
+            let mut targets = Vec::with_capacity(personal.len());
+            let mut complete = true;
+            for u in personal.node_ids() {
+                match prov.image_of(u).and_then(|v| graft_map[v.index()]) {
+                    Some(g) => targets.push((u, g)),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                correct.push(CorrectMapping { schema: schema_id, targets });
+            }
+        }
+        for n in 0..config.noise_schemas {
+            let noise = generate_schema(&format!("noise{n}"), &host_cfg, &mut rng);
+            repository.add(noise);
+        }
+        Scenario { personal, repository, correct, config }
+    }
+
+    /// `|H|` in mapping terms: the number of known-correct mappings.
+    pub fn truth_size(&self) -> usize {
+        self.correct.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_reproducibly() {
+        let a = Scenario::generate(ScenarioConfig::default());
+        let b = Scenario::generate(ScenarioConfig::default());
+        assert_eq!(a.personal, b.personal);
+        assert_eq!(a.repository, b.repository);
+        assert_eq!(a.correct, b.correct);
+        let c = Scenario::generate(ScenarioConfig { seed: 43, ..Default::default() });
+        assert!(a.repository != c.repository);
+    }
+
+    #[test]
+    fn repository_has_expected_schema_count() {
+        let cfg = ScenarioConfig { derived_schemas: 12, noise_schemas: 7, ..Default::default() };
+        let sc = Scenario::generate(cfg);
+        assert_eq!(sc.repository.len(), 19);
+        assert!(sc.personal.validate().is_ok());
+        for (_, schema) in sc.repository.iter() {
+            assert!(schema.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn correct_mappings_point_at_real_similar_elements() {
+        let sc = Scenario::generate(ScenarioConfig::default());
+        assert!(sc.truth_size() > 0, "no complete graft survived");
+        for cm in &sc.correct {
+            assert_eq!(cm.targets.len(), sc.personal.len());
+            let schema = sc.repository.schema(cm.schema);
+            for &(p, r) in &cm.targets {
+                assert!(p.index() < sc.personal.len());
+                assert!(r.index() < schema.len());
+                // Graft preserves the type unless perturbed; at default
+                // strength names stay relatable via the vocabulary — at
+                // minimum the target exists and is reachable.
+                assert!(schema.try_node(r).is_ok());
+            }
+            // Structural shape preserved: the image of the personal root is
+            // an ancestor of (or equal to) every other image.
+            let root_img = cm.targets[0].1;
+            for &(_, r) in &cm.targets[1..] {
+                assert!(
+                    schema.is_ancestor(root_img, r),
+                    "root image {root_img} not an ancestor of {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_strength_grafts_are_verbatim_copies() {
+        let cfg = ScenarioConfig { perturbation_strength: 0.0, ..Default::default() };
+        let sc = Scenario::generate(cfg);
+        // Every derived schema yields a complete correct mapping.
+        assert_eq!(sc.truth_size(), cfg.derived_schemas);
+        for cm in &sc.correct {
+            let schema = sc.repository.schema(cm.schema);
+            for &(p, r) in &cm.targets {
+                assert_eq!(sc.personal.node(p).name, schema.node(r).name);
+                assert_eq!(sc.personal.node(p).ty, schema.node(r).ty);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_perturbation_loses_some_mappings() {
+        let light = Scenario::generate(ScenarioConfig {
+            perturbation_strength: 0.1,
+            seed: 7,
+            ..Default::default()
+        });
+        let heavy = Scenario::generate(ScenarioConfig {
+            perturbation_strength: 1.0,
+            seed: 7,
+            ..Default::default()
+        });
+        assert!(heavy.truth_size() <= light.truth_size());
+    }
+
+    #[test]
+    fn personal_schema_is_small() {
+        let sc = Scenario::generate(ScenarioConfig { personal_nodes: 4, ..Default::default() });
+        assert!(sc.personal.len() <= 4);
+        assert!(sc.personal.len() >= 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Domain vocabularies with synonym and abbreviation tables.
+//!
+//! Generated schemas draw element names from a domain's word pool;
+//! perturbations rename through the synonym/abbreviation tables, which is
+//! what makes matched pairs *similar but not identical* — the regime where
+//! matching heuristics (and hence the effectiveness trade-off) are
+//! interesting.
+
+use serde::{Deserialize, Serialize};
+
+/// Built-in vocabulary domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Books, articles, authors — the classic `bib` examples.
+    Publications,
+    /// Customers, orders, products.
+    Commerce,
+    /// Employees, departments, salaries.
+    HumanResources,
+    /// Trips, bookings, hotels.
+    Travel,
+}
+
+impl Domain {
+    /// All built-in domains.
+    pub const ALL: [Domain; 4] = [
+        Domain::Publications,
+        Domain::Commerce,
+        Domain::HumanResources,
+        Domain::Travel,
+    ];
+}
+
+/// A word pool with synonym and abbreviation tables.
+///
+/// Not serialisable: vocabularies are static tables reconstructed from
+/// their [`Domain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vocabulary {
+    domain: Domain,
+    containers: Vec<&'static str>,
+    leaves: Vec<&'static str>,
+    synonyms: Vec<(&'static str, &'static str)>,
+    abbreviations: Vec<(&'static str, &'static str)>,
+}
+
+impl Vocabulary {
+    /// The built-in vocabulary for `domain`.
+    pub fn for_domain(domain: Domain) -> Self {
+        match domain {
+            Domain::Publications => Vocabulary {
+                domain,
+                containers: vec![
+                    "bibliography", "book", "article", "journal", "proceedings", "chapter",
+                    "authorList", "publisherInfo", "edition", "series",
+                ],
+                leaves: vec![
+                    "title", "subtitle", "author", "editor", "year", "isbn", "issn", "publisher",
+                    "pages", "volume", "issue", "abstract", "keyword", "language", "price",
+                ],
+                synonyms: vec![
+                    ("author", "writer"),
+                    ("author", "creator"),
+                    ("title", "name"),
+                    ("year", "pubYear"),
+                    ("publisher", "press"),
+                    ("price", "cost"),
+                    ("abstract", "summary"),
+                    ("keyword", "term"),
+                ],
+                abbreviations: vec![
+                    ("publisher", "publ"),
+                    ("volume", "vol"),
+                    ("number", "no"),
+                    ("abstract", "abstr"),
+                    ("edition", "ed"),
+                ],
+            },
+            Domain::Commerce => Vocabulary {
+                domain,
+                containers: vec![
+                    "store", "customer", "order", "orderLine", "product", "invoice", "payment",
+                    "shipment", "cart", "catalog",
+                ],
+                leaves: vec![
+                    "customerName", "orderDate", "quantity", "unitPrice", "totalAmount", "sku",
+                    "address", "city", "zipCode", "email", "phone", "status", "discount",
+                    "currency", "taxRate",
+                ],
+                synonyms: vec![
+                    ("customerName", "clientName"),
+                    ("orderDate", "purchaseDate"),
+                    ("quantity", "amount"),
+                    ("unitPrice", "itemCost"),
+                    ("totalAmount", "grandTotal"),
+                    ("address", "street"),
+                    ("zipCode", "postalCode"),
+                    ("phone", "telephone"),
+                ],
+                abbreviations: vec![
+                    ("customerName", "custName"),
+                    ("quantity", "qty"),
+                    ("number", "num"),
+                    ("address", "addr"),
+                    ("telephone", "tel"),
+                ],
+            },
+            Domain::HumanResources => Vocabulary {
+                domain,
+                containers: vec![
+                    "company", "employee", "department", "position", "contract", "team",
+                    "payroll", "benefits", "review", "office",
+                ],
+                leaves: vec![
+                    "firstName", "lastName", "salary", "hireDate", "employeeId", "manager",
+                    "grade", "bonus", "location", "budget", "headcount", "startDate", "endDate",
+                ],
+                synonyms: vec![
+                    ("salary", "wage"),
+                    ("salary", "compensation"),
+                    ("manager", "supervisor"),
+                    ("hireDate", "joinDate"),
+                    ("location", "site"),
+                    ("grade", "level"),
+                ],
+                abbreviations: vec![
+                    ("employeeId", "empId"),
+                    ("department", "dept"),
+                    ("manager", "mgr"),
+                    ("number", "nr"),
+                ],
+            },
+            Domain::Travel => Vocabulary {
+                domain,
+                containers: vec![
+                    "agency", "trip", "booking", "hotel", "flight", "itinerary", "passenger",
+                    "vehicle", "excursion", "insurance",
+                ],
+                leaves: vec![
+                    "destination", "departureDate", "returnDate", "airline", "seatClass",
+                    "roomType", "checkIn", "checkOut", "fare", "duration", "rating", "guests",
+                ],
+                synonyms: vec![
+                    ("destination", "target"),
+                    ("departureDate", "startDate"),
+                    ("fare", "price"),
+                    ("duration", "length"),
+                    ("guests", "occupants"),
+                    ("rating", "stars"),
+                ],
+                abbreviations: vec![
+                    ("departureDate", "depDate"),
+                    ("destination", "dest"),
+                    ("passenger", "pax"),
+                    ("number", "no"),
+                ],
+            },
+        }
+    }
+
+    /// This vocabulary's domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Container (interior-node) name pool.
+    pub fn containers(&self) -> &[&'static str] {
+        &self.containers
+    }
+
+    /// Leaf name pool.
+    pub fn leaves(&self) -> &[&'static str] {
+        &self.leaves
+    }
+
+    /// Synonyms of `name` (both directions of the table).
+    pub fn synonyms_of(&self, name: &str) -> Vec<&'static str> {
+        self.synonyms
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == name {
+                    Some(b)
+                } else if b == name {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Abbreviations of `name`.
+    pub fn abbreviations_of(&self, name: &str) -> Vec<&'static str> {
+        self.abbreviations
+            .iter()
+            .filter_map(|&(full, short)| (full == name).then_some(short))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_have_nonempty_pools() {
+        for d in Domain::ALL {
+            let v = Vocabulary::for_domain(d);
+            assert!(v.containers().len() >= 8, "{d:?} containers");
+            assert!(v.leaves().len() >= 10, "{d:?} leaves");
+            assert!(!v.synonyms_of(v.synonyms[0].0).is_empty());
+            assert_eq!(v.domain(), d);
+        }
+    }
+
+    #[test]
+    fn synonyms_bidirectional() {
+        let v = Vocabulary::for_domain(Domain::Publications);
+        assert!(v.synonyms_of("author").contains(&"writer"));
+        assert!(v.synonyms_of("writer").contains(&"author"));
+        assert!(v.synonyms_of("qwerty").is_empty());
+    }
+
+    #[test]
+    fn abbreviations_one_directional() {
+        let v = Vocabulary::for_domain(Domain::Commerce);
+        assert!(v.abbreviations_of("quantity").contains(&"qty"));
+        assert!(v.abbreviations_of("qty").is_empty());
+    }
+
+    #[test]
+    fn pools_are_distinct_words() {
+        for d in Domain::ALL {
+            let v = Vocabulary::for_domain(d);
+            let mut all: Vec<&str> = v.containers().to_vec();
+            all.extend(v.leaves());
+            let n = all.len();
+            all.sort();
+            all.dedup();
+            assert_eq!(all.len(), n, "{d:?} has duplicate pool entries");
+        }
+    }
+}

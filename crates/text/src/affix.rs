@@ -1,0 +1,94 @@
+//! Prefix/suffix (affix) similarity.
+//!
+//! Element names in related schemas frequently share stems with differing
+//! affixes (`custName` / `customerName`, `zip` / `zipCode`). Affix
+//! similarity scores the length of the shared prefix or suffix relative to
+//! the shorter input, which is robust against elongation.
+
+use crate::clamp01;
+
+/// Length (in scalar values) of the longest common prefix of `a` and `b`.
+pub fn common_prefix_len(a: &str, b: &str) -> usize {
+    a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count()
+}
+
+/// Length (in scalar values) of the longest common suffix of `a` and `b`.
+pub fn common_suffix_len(a: &str, b: &str) -> usize {
+    a.chars()
+        .rev()
+        .zip(b.chars().rev())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Shared-prefix length divided by the shorter string's length.
+///
+/// Two empty strings are identical, hence `1.0`.
+///
+/// ```
+/// assert_eq!(smx_text::prefix_similarity("zipcode", "zip"), 1.0);
+/// assert_eq!(smx_text::prefix_similarity("abc", "xbc"), 0.0);
+/// ```
+pub fn prefix_similarity(a: &str, b: &str) -> f64 {
+    let min_len = a.chars().count().min(b.chars().count());
+    if min_len == 0 {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    clamp01(common_prefix_len(a, b) as f64 / min_len as f64)
+}
+
+/// Shared-suffix length divided by the shorter string's length.
+///
+/// ```
+/// assert_eq!(smx_text::suffix_similarity("custName", "Name"), 1.0);
+/// ```
+pub fn suffix_similarity(a: &str, b: &str) -> f64 {
+    let min_len = a.chars().count().min(b.chars().count());
+    if min_len == 0 {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    clamp01(common_suffix_len(a, b) as f64 / min_len as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_lengths() {
+        assert_eq!(common_prefix_len("", ""), 0);
+        assert_eq!(common_prefix_len("abc", "abd"), 2);
+        assert_eq!(common_prefix_len("abc", "abc"), 3);
+        assert_eq!(common_prefix_len("abc", "xyz"), 0);
+    }
+
+    #[test]
+    fn suffix_lengths() {
+        assert_eq!(common_suffix_len("abc", "xbc"), 2);
+        assert_eq!(common_suffix_len("name", "custname"), 4);
+        assert_eq!(common_suffix_len("a", "b"), 0);
+    }
+
+    #[test]
+    fn similarity_range_and_identity() {
+        assert_eq!(prefix_similarity("", ""), 1.0);
+        assert_eq!(suffix_similarity("", ""), 1.0);
+        assert_eq!(prefix_similarity("", "x"), 0.0);
+        assert_eq!(prefix_similarity("same", "same"), 1.0);
+        assert_eq!(suffix_similarity("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("zip", "zipcode"), ("custno", "custnum"), ("", "z")] {
+            assert_eq!(prefix_similarity(a, b), prefix_similarity(b, a));
+            assert_eq!(suffix_similarity(a, b), suffix_similarity(b, a));
+        }
+    }
+
+    #[test]
+    fn unicode_scalars() {
+        assert_eq!(common_prefix_len("naïve", "naïf"), 3);
+        assert_eq!(common_suffix_len("café", "né"), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Concurrent memoisation of pairwise similarity scores.
+//!
+//! A matcher evaluates the same name pair many times (the same repository
+//! element is a candidate for several personal-schema elements, across
+//! thresholds and across S1/S2 runs). [`SimilarityCache`] wraps any
+//! `Fn(&str, &str) -> f64` and memoises results under a canonicalised
+//! (sorted) key so the symmetric pair is stored once.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A thread-safe memo table for a symmetric string-pair similarity.
+pub struct SimilarityCache<F> {
+    func: F,
+    map: RwLock<HashMap<(String, String), f64>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl<F: Fn(&str, &str) -> f64> SimilarityCache<F> {
+    /// Wrap `func` (assumed symmetric) in a cache.
+    pub fn new(func: F) -> Self {
+        Self {
+            func,
+            map: RwLock::new(HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_owned(), b.to_owned())
+        } else {
+            (b.to_owned(), a.to_owned())
+        }
+    }
+
+    /// Cached similarity of `(a, b)`.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let key = Self::key(a, b);
+        if let Some(&v) = self.map.read().get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return v;
+        }
+        let v = (self.func)(a, b);
+        self.map.write().insert(key, v);
+        self.misses.fetch_add(1, Relaxed);
+        v
+    }
+
+    /// Number of entries currently memoised.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// `(hits, misses)` counters since creation or the last [`clear`](Self::clear).
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
+    /// Drop all memoised entries and reset counters.
+    pub fn clear(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.map.write().clear();
+        self.hits.store(0, Relaxed);
+        self.misses.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn caches_symmetric_pairs_once() {
+        let calls = AtomicUsize::new(0);
+        let cache = SimilarityCache::new(|a: &str, b: &str| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if a == b {
+                1.0
+            } else {
+                0.5
+            }
+        });
+        assert_eq!(cache.similarity("x", "y"), 0.5);
+        assert_eq!(cache.similarity("y", "x"), 0.5);
+        assert_eq!(cache.similarity("x", "y"), 0.5);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let cache = SimilarityCache::new(|_: &str, _: &str| 0.0);
+        cache.similarity("a", "b");
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let cache = std::sync::Arc::new(SimilarityCache::new(|a: &str, b: &str| {
+            smx_levenshtein(a, b)
+        }));
+        fn smx_levenshtein(a: &str, b: &str) -> f64 {
+            crate::levenshtein_similarity(a, b)
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let a = format!("name{}", i % 5);
+                    let b = format!("name{}", (i + 1) % 5);
+                    let _ = c.similarity(&a, &b);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 5);
+    }
+}

@@ -1,0 +1,178 @@
+//! Weighted combinations of similarity measures.
+//!
+//! Real matchers (COMA, Cupid) combine several base measures. A
+//! [`WeightedSimilarity`] holds `(measure, weight)` pairs and computes the
+//! weighted arithmetic mean; [`NameSimilarity`] is the crate's default mix
+//! used by the matching objective function.
+
+use crate::jaro::jaro_winkler;
+use crate::levenshtein::levenshtein_similarity;
+use crate::ngram::trigram_similarity;
+use crate::normalize::normalize_identifier;
+use crate::token::token_set_similarity;
+use crate::clamp01;
+
+/// A named base measure selectable in a [`WeightedSimilarity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityMeasure {
+    /// Normalised Levenshtein over normalised identifiers.
+    Levenshtein,
+    /// Jaro–Winkler over normalised identifiers.
+    JaroWinkler,
+    /// Trigram Dice over normalised identifiers.
+    Trigram,
+    /// Token-set similarity (Dice ⊔ Monge–Elkan) over raw identifiers.
+    TokenSet,
+}
+
+impl SimilarityMeasure {
+    /// Evaluate this measure on a pair of raw identifier names.
+    pub fn eval(self, a: &str, b: &str) -> f64 {
+        match self {
+            SimilarityMeasure::Levenshtein => {
+                levenshtein_similarity(&normalize_identifier(a), &normalize_identifier(b))
+            }
+            SimilarityMeasure::JaroWinkler => {
+                jaro_winkler(&normalize_identifier(a), &normalize_identifier(b))
+            }
+            SimilarityMeasure::Trigram => {
+                trigram_similarity(&normalize_identifier(a), &normalize_identifier(b))
+            }
+            SimilarityMeasure::TokenSet => token_set_similarity(a, b),
+        }
+    }
+}
+
+/// Weighted arithmetic mean of base measures.
+///
+/// Weights need not sum to one; they are renormalised at evaluation time.
+/// An empty combination scores `0` for distinct inputs and `1` for equal
+/// ones (degenerate but total).
+#[derive(Debug, Clone)]
+pub struct WeightedSimilarity {
+    components: Vec<(SimilarityMeasure, f64)>,
+}
+
+impl WeightedSimilarity {
+    /// Create a combination from `(measure, weight)` pairs. Non-positive
+    /// weights are dropped.
+    pub fn new(components: impl IntoIterator<Item = (SimilarityMeasure, f64)>) -> Self {
+        Self {
+            components: components
+                .into_iter()
+                .filter(|&(_, w)| w > 0.0 && w.is_finite())
+                .collect(),
+        }
+    }
+
+    /// The `(measure, weight)` pairs in this combination.
+    pub fn components(&self) -> &[(SimilarityMeasure, f64)] {
+        &self.components
+    }
+
+    /// Evaluate the weighted mean on a pair of names.
+    pub fn eval(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let total_weight: f64 = self.components.iter().map(|&(_, w)| w).sum();
+        if total_weight <= 0.0 {
+            return 0.0;
+        }
+        let score: f64 = self
+            .components
+            .iter()
+            .map(|&(m, w)| w * m.eval(a, b))
+            .sum();
+        clamp01(score / total_weight)
+    }
+}
+
+/// The default name-similarity mix used by the matching objective function:
+/// trigram 0.3, Jaro–Winkler 0.3, token-set 0.3, Levenshtein 0.1.
+///
+/// The exact weights are not load-bearing for the bounds technique (the
+/// paper only requires that S1 and S2 share *one* objective function); they
+/// are chosen so that both character-level typos and token-level renames
+/// score smoothly.
+#[derive(Debug, Clone)]
+pub struct NameSimilarity {
+    inner: WeightedSimilarity,
+}
+
+impl Default for NameSimilarity {
+    fn default() -> Self {
+        Self {
+            inner: WeightedSimilarity::new([
+                (SimilarityMeasure::Trigram, 0.3),
+                (SimilarityMeasure::JaroWinkler, 0.3),
+                (SimilarityMeasure::TokenSet, 0.3),
+                (SimilarityMeasure::Levenshtein, 0.1),
+            ]),
+        }
+    }
+}
+
+impl NameSimilarity {
+    /// Similarity of two element names in `[0, 1]`.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        self.inner.eval(a, b)
+    }
+
+    /// Dissimilarity `1 - similarity`, the quantity objective functions sum.
+    pub fn distance(&self, a: &str, b: &str) -> f64 {
+        1.0 - self.similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_renormalised() {
+        let half = WeightedSimilarity::new([(SimilarityMeasure::Levenshtein, 0.5)]);
+        let twice = WeightedSimilarity::new([(SimilarityMeasure::Levenshtein, 2.0)]);
+        assert!((half.eval("order", "ordre") - twice.eval("order", "ordre")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonpositive_weights_dropped() {
+        let w = WeightedSimilarity::new([
+            (SimilarityMeasure::Levenshtein, -1.0),
+            (SimilarityMeasure::Trigram, f64::NAN),
+        ]);
+        assert!(w.components().is_empty());
+        assert_eq!(w.eval("a", "b"), 0.0);
+        assert_eq!(w.eval("a", "a"), 1.0);
+    }
+
+    #[test]
+    fn default_mix_orders_sensibly() {
+        let sim = NameSimilarity::default();
+        let close = sim.similarity("customerName", "custName");
+        let far = sim.similarity("customerName", "isbn");
+        assert!(close > far, "close={close} far={far}");
+        assert!(close > 0.5);
+        assert!(far < 0.4);
+    }
+
+    #[test]
+    fn identity_and_range() {
+        let sim = NameSimilarity::default();
+        assert_eq!(sim.similarity("publisher", "publisher"), 1.0);
+        for (a, b) in [("a", "b"), ("pubYear", "year"), ("", "x")] {
+            let s = sim.similarity(a, b);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((sim.distance(a, b) - (1.0 - s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let sim = NameSimilarity::default();
+        for (a, b) in [("orderLine", "lineOrder"), ("title", "subtitle")] {
+            assert!((sim.similarity(a, b) - sim.similarity(b, a)).abs() < 1e-12);
+        }
+    }
+}

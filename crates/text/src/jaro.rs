@@ -1,0 +1,123 @@
+//! Jaro and Jaro–Winkler similarity.
+//!
+//! Jaro similarity rewards matching characters within a sliding window and
+//! penalises transpositions; Winkler's variant boosts pairs sharing a common
+//! prefix, which suits identifier names (`custNo` vs `custNum`).
+
+use crate::clamp01;
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Matching window is `max(|a|,|b|)/2 - 1` as in the original definition.
+///
+/// ```
+/// let s = smx_text::jaro("martha", "marhta");
+/// assert!((s - 0.944_444_444).abs() < 1e-6);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let (n, m) = (ac.len(), bc.len());
+    if n == 0 && m == 0 {
+        return 1.0;
+    }
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let window = (n.max(m) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; m];
+    let mut a_matches: Vec<char> = Vec::new();
+    for (i, ai) in ac.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(m);
+        for j in lo..hi {
+            if !b_matched[j] && bc[j] == *ai {
+                b_matched[j] = true;
+                a_matches.push(*ai);
+                break;
+            }
+        }
+    }
+    let matches = a_matches.len();
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions: compare the matched characters in order.
+    let b_matches: Vec<char> = bc
+        .iter()
+        .zip(b_matched.iter())
+        .filter_map(|(c, &hit)| hit.then_some(*c))
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let mf = matches as f64;
+    clamp01((mf / n as f64 + mf / m as f64 + (mf - transpositions as f64) / mf) / 3.0)
+}
+
+/// Jaro–Winkler similarity with the standard scaling factor `p = 0.1` and
+/// prefix length capped at 4.
+///
+/// ```
+/// assert!(smx_text::jaro_winkler("price", "prices") > smx_text::jaro("price", "prices"));
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const SCALING: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    clamp01(j + prefix as f64 * SCALING * (1.0 - j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("dwayne", "duane") - 0.822_222_222).abs() < 1e-6);
+        assert!((jaro("dixon", "dicksonx") - 0.766_666_666).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaro_edge_cases() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "abc"), 0.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_is_symmetric() {
+        for (a, b) in [("martha", "marhta"), ("crate", "trace"), ("a", "ab")] {
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn winkler_boost_only_with_shared_prefix() {
+        // No shared prefix: winkler equals jaro.
+        assert_eq!(jaro_winkler("abcd", "xbcd"), jaro("abcd", "xbcd"));
+        // Shared prefix: strictly boosted (unless already 1).
+        assert!(jaro_winkler("orderline", "orderitem") > jaro("orderline", "orderitem"));
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn winkler_prefix_capped_at_four() {
+        let a = "abcdefgh";
+        let b = "abcdefxx";
+        let j = jaro(a, b);
+        let expected = j + 4.0 * 0.1 * (1.0 - j);
+        assert!((jaro_winkler(a, b) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Edit-distance measures.
+//!
+//! [`levenshtein`] is the classic insert/delete/substitute distance;
+//! [`damerau_levenshtein`] additionally allows adjacent transpositions,
+//! which matters for typo-ridden element names (`adress`, `recieve`).
+//! [`levenshtein_similarity`] normalises the distance into a `[0, 1]`
+//! similarity by dividing by the longer input's length.
+
+use crate::clamp01;
+
+/// Levenshtein edit distance between `a` and `b`, in Unicode scalar values.
+///
+/// Uses the two-row dynamic program: `O(|a|·|b|)` time, `O(min(|a|,|b|))`
+/// space. Distances are exact, not approximations.
+///
+/// ```
+/// assert_eq!(smx_text::levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(smx_text::levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    // Keep the shorter string in the inner dimension to minimise the row.
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        if ac.len() <= bc.len() {
+            (ac, bc)
+        } else {
+            (bc, ac)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Damerau–Levenshtein distance (optimal string alignment variant):
+/// Levenshtein plus adjacent-transposition as a unit-cost edit.
+///
+/// ```
+/// assert_eq!(smx_text::damerau_levenshtein("ab", "ba"), 1);
+/// assert_eq!(smx_text::levenshtein("ab", "ba"), 2);
+/// ```
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let (n, m) = (ac.len(), bc.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev1: Vec<usize> = (0..=m).collect();
+    let mut cur: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(ac[i - 1] != bc[j - 1]);
+            let mut best = (prev1[j - 1] + cost)
+                .min(prev1[j] + 1)
+                .min(cur[j - 1] + 1);
+            if i > 1 && j > 1 && ac[i - 1] == bc[j - 2] && ac[i - 2] == bc[j - 1] {
+                best = best.min(prev2[j - 2] + 1);
+            }
+            cur[j] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev1);
+        std::mem::swap(&mut prev1, &mut cur);
+    }
+    prev1[m]
+}
+
+/// Normalised Levenshtein similarity: `1 - dist / max(|a|, |b|)`.
+///
+/// Returns `1.0` for two empty strings (they are identical).
+///
+/// ```
+/// let s = smx_text::levenshtein_similarity("author", "authors");
+/// assert!((s - 6.0 / 7.0).abs() < 1e-12);
+/// ```
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    clamp01(1.0 - levenshtein(a, b) as f64 / max_len as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("book", "back"), 2);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        for (a, b) in [("kitten", "sitting"), ("schema", "schemata"), ("", "x")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn distance_unicode_is_scalar_based() {
+        // 2 scalar substitutions, regardless of UTF-8 byte widths.
+        assert_eq!(levenshtein("naïve", "naive"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_once() {
+        assert_eq!(damerau_levenshtein("author", "auhtor"), 1);
+        assert_eq!(damerau_levenshtein("ca", "abc"), 3);
+        assert_eq!(damerau_levenshtein("", "abc"), 3);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein() {
+        for (a, b) in [("ab", "ba"), ("price", "pierce"), ("isbn", "issn")] {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b));
+        }
+    }
+
+    #[test]
+    fn similarity_range_and_identity() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("title", "title"), 1.0);
+        assert_eq!(levenshtein_similarity("a", "b"), 0.0);
+        let s = levenshtein_similarity("publisher", "publish");
+        assert!(s > 0.7 && s < 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_distance() {
+        let (a, b, c) = ("order", "ordre", "odors");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

@@ -1,0 +1,136 @@
+//! Character n-gram similarity.
+//!
+//! Strings are padded with `#` sentinels so that affixes contribute their
+//! own grams (the COMA convention); profiles are multisets, and Jaccard /
+//! Dice are computed over multiset intersections.
+
+use crate::clamp01;
+use std::collections::HashMap;
+
+/// Sentinel used to pad strings before gram extraction.
+const PAD: char = '#';
+
+/// Multiset of character `n`-grams of `s`, with `n-1` sentinel pads on each
+/// side. Keys are gram strings, values are occurrence counts.
+///
+/// For `n == 0` the profile is empty; for an empty string it is empty too.
+///
+/// ```
+/// let p = smx_text::ngram_profile("ab", 2);
+/// assert_eq!(p.get("#a"), Some(&1));
+/// assert_eq!(p.get("ab"), Some(&1));
+/// assert_eq!(p.get("b#"), Some(&1));
+/// ```
+pub fn ngram_profile(s: &str, n: usize) -> HashMap<String, u32> {
+    let mut profile = HashMap::new();
+    if n == 0 || s.is_empty() {
+        return profile;
+    }
+    let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (n - 1));
+    padded.extend(std::iter::repeat(PAD).take(n - 1));
+    padded.extend(s.chars());
+    padded.extend(std::iter::repeat(PAD).take(n - 1));
+    for window in padded.windows(n) {
+        let gram: String = window.iter().collect();
+        *profile.entry(gram).or_insert(0) += 1;
+    }
+    profile
+}
+
+fn multiset_sizes(a: &HashMap<String, u32>, b: &HashMap<String, u32>) -> (u64, u64, u64) {
+    let inter: u64 = a
+        .iter()
+        .map(|(g, &ca)| u64::from(ca.min(b.get(g).copied().unwrap_or(0))))
+        .sum();
+    let size_a: u64 = a.values().map(|&c| u64::from(c)).sum();
+    let size_b: u64 = b.values().map(|&c| u64::from(c)).sum();
+    (inter, size_a, size_b)
+}
+
+/// Multiset Jaccard similarity of the `n`-gram profiles of `a` and `b`.
+pub fn jaccard_ngram(a: &str, b: &str, n: usize) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let (inter, sa, sb) = multiset_sizes(&ngram_profile(a, n), &ngram_profile(b, n));
+    let union = sa + sb - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    clamp01(inter as f64 / union as f64)
+}
+
+/// Multiset Dice coefficient of the `n`-gram profiles of `a` and `b`:
+/// `2·|A ∩ B| / (|A| + |B|)`.
+pub fn dice_ngram(a: &str, b: &str, n: usize) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let (inter, sa, sb) = multiset_sizes(&ngram_profile(a, n), &ngram_profile(b, n));
+    if sa + sb == 0 {
+        return 1.0;
+    }
+    clamp01(2.0 * inter as f64 / (sa + sb) as f64)
+}
+
+/// Trigram Dice similarity — the most common n-gram configuration in the
+/// schema-matching literature.
+///
+/// ```
+/// assert!(smx_text::trigram_similarity("telephone", "phone") > 0.3);
+/// assert_eq!(smx_text::trigram_similarity("x", "x"), 1.0);
+/// ```
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    dice_ngram(a, b, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_counts_duplicates() {
+        let p = ngram_profile("aaa", 2);
+        // #a, aa, aa, a#
+        assert_eq!(p.get("aa"), Some(&2));
+        assert_eq!(p.get("#a"), Some(&1));
+        assert_eq!(p.get("a#"), Some(&1));
+    }
+
+    #[test]
+    fn profile_edge_cases() {
+        assert!(ngram_profile("", 3).is_empty());
+        assert!(ngram_profile("abc", 0).is_empty());
+        // n=1 means no padding.
+        let p = ngram_profile("ab", 1);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn jaccard_and_dice_basics() {
+        assert_eq!(jaccard_ngram("", "", 3), 1.0);
+        assert_eq!(dice_ngram("", "", 3), 1.0);
+        assert_eq!(jaccard_ngram("abc", "abc", 3), 1.0);
+        assert_eq!(jaccard_ngram("abc", "xyz", 3), 0.0);
+        let j = jaccard_ngram("night", "nacht", 2);
+        let d = dice_ngram("night", "nacht", 2);
+        assert!(j > 0.0 && j < 1.0);
+        // Dice ≥ Jaccard always.
+        assert!(d >= j);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("orders", "order"), ("isbn", "issn"), ("", "q")] {
+            assert!((jaccard_ngram(a, b, 3) - jaccard_ngram(b, a, 3)).abs() < 1e-12);
+            assert!((dice_ngram(a, b, 3) - dice_ngram(b, a, 3)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn padding_makes_short_strings_comparable() {
+        // Without padding "ab" has no trigram at all; with padding it does.
+        assert!(trigram_similarity("ab", "ab") == 1.0);
+        assert!(trigram_similarity("ab", "ac") > 0.0);
+    }
+}

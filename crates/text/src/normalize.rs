@@ -1,0 +1,172 @@
+//! Identifier tokenisation and normalisation.
+//!
+//! Schema element names are identifiers (`custOrderLine`, `Cust_Order_No`,
+//! `ISBN13`); before any token-level comparison they must be split into
+//! word tokens and case-folded. The splitter understands camelCase,
+//! PascalCase, snake_case, kebab-case, digit runs, and acronym runs
+//! (`XMLSchema` → `xml`, `schema`).
+
+use serde::{Deserialize, Serialize};
+
+/// A normalised (lower-cased) word token extracted from an identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Token(pub String);
+
+impl Token {
+    /// The token's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum CharClass {
+    Lower,
+    Upper,
+    Digit,
+    Other,
+}
+
+fn classify(c: char) -> CharClass {
+    if c.is_lowercase() {
+        CharClass::Lower
+    } else if c.is_uppercase() {
+        CharClass::Upper
+    } else if c.is_ascii_digit() {
+        CharClass::Digit
+    } else {
+        CharClass::Other
+    }
+}
+
+/// Split an identifier into lower-cased word tokens.
+///
+/// Boundaries: any non-alphanumeric character; lower→Upper transitions
+/// (`custName`); Upper-run→lower transitions keep the last upper with the
+/// following lowers (`XMLSchema` → `xml` + `schema`); letter↔digit
+/// transitions (`isbn13` → `isbn` + `13`).
+///
+/// ```
+/// use smx_text::split_identifier;
+/// let toks: Vec<String> = split_identifier("custOrder_No2")
+///     .into_iter().map(|t| t.0).collect();
+/// assert_eq!(toks, vec!["cust", "order", "no", "2"]);
+/// ```
+pub fn split_identifier(name: &str) -> Vec<Token> {
+    let chars: Vec<char> = name.chars().collect();
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, tokens: &mut Vec<Token>| {
+        if !cur.is_empty() {
+            tokens.push(Token(cur.to_lowercase()));
+            cur.clear();
+        }
+    };
+    for i in 0..chars.len() {
+        let c = chars[i];
+        let class = classify(c);
+        if class == CharClass::Other {
+            flush(&mut cur, &mut tokens);
+            continue;
+        }
+        if !cur.is_empty() {
+            // When `cur` is non-empty the previous char was pushed, so it is
+            // `chars[i - 1]` (an Other char would have flushed and skipped).
+            let prev = classify(chars[i - 1]);
+            let boundary = match (prev, class) {
+                (CharClass::Lower, CharClass::Upper) => true,
+                (CharClass::Upper, CharClass::Upper) => {
+                    // Acronym run ending: `XMLS|chema` — break before the
+                    // upper that is followed by a lower.
+                    matches!(chars.get(i + 1).map(|&n| classify(n)), Some(CharClass::Lower))
+                }
+                (CharClass::Digit, CharClass::Lower | CharClass::Upper) => true,
+                (CharClass::Lower | CharClass::Upper, CharClass::Digit) => true,
+                _ => false,
+            };
+            if boundary {
+                flush(&mut cur, &mut tokens);
+            }
+        }
+        cur.push(c);
+    }
+    flush(&mut cur, &mut tokens);
+    tokens
+}
+
+/// Normalise an identifier into a single spaceless lower-case string of its
+/// tokens — the canonical form compared by character-level measures.
+///
+/// ```
+/// assert_eq!(smx_text::normalize_identifier("Cust_Order-No"), "custorderno");
+/// ```
+pub fn normalize_identifier(name: &str) -> String {
+    split_identifier(name)
+        .into_iter()
+        .map(|t| t.0)
+        .collect::<Vec<_>>()
+        .concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        split_identifier(s).into_iter().map(|t| t.0).collect()
+    }
+
+    #[test]
+    fn camel_and_pascal() {
+        assert_eq!(toks("custName"), vec!["cust", "name"]);
+        assert_eq!(toks("CustName"), vec!["cust", "name"]);
+        assert_eq!(toks("orderLineItem"), vec!["order", "line", "item"]);
+    }
+
+    #[test]
+    fn snake_kebab_and_spaces() {
+        assert_eq!(toks("cust_name"), vec!["cust", "name"]);
+        assert_eq!(toks("cust-name"), vec!["cust", "name"]);
+        assert_eq!(toks("cust name"), vec!["cust", "name"]);
+        assert_eq!(toks("__x__"), vec!["x"]);
+    }
+
+    #[test]
+    fn acronym_runs() {
+        assert_eq!(toks("XMLSchema"), vec!["xml", "schema"]);
+        assert_eq!(toks("parseXML"), vec!["parse", "xml"]);
+        assert_eq!(toks("HTTPSPort"), vec!["https", "port"]);
+    }
+
+    #[test]
+    fn digit_runs() {
+        assert_eq!(toks("isbn13"), vec!["isbn", "13"]);
+        assert_eq!(toks("i18n"), vec!["i", "18", "n"]);
+        assert_eq!(toks("42"), vec!["42"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(toks("").is_empty());
+        assert!(toks("--__--").is_empty());
+    }
+
+    #[test]
+    fn normalize_concatenates() {
+        assert_eq!(normalize_identifier("OrderLine"), "orderline");
+        assert_eq!(normalize_identifier("ISBN_13"), "isbn13");
+        assert_eq!(normalize_identifier(""), "");
+    }
+
+    #[test]
+    fn idempotent_on_normalized() {
+        let n = normalize_identifier("PubYear2004");
+        assert_eq!(normalize_identifier(&n), n);
+    }
+}

@@ -1,0 +1,100 @@
+//! Crate-wide property tests: every similarity is in [0,1], symmetric, and
+//! scores identical inputs as 1.
+
+use proptest::prelude::*;
+use smx_text::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9_\\- ]{0,16}").unwrap()
+}
+
+/// All (name, function) pairs under test.
+fn all_measures() -> Vec<(&'static str, fn(&str, &str) -> f64)> {
+    vec![
+        ("levenshtein", levenshtein_similarity),
+        ("jaro", jaro),
+        ("jaro_winkler", jaro_winkler),
+        ("trigram", trigram_similarity),
+        ("jaccard_tokens", jaccard_tokens),
+        ("dice_tokens", dice_tokens),
+        ("overlap_tokens", overlap_tokens),
+        ("monge_elkan", monge_elkan),
+        ("token_set", token_set_similarity),
+        ("prefix", prefix_similarity),
+        ("suffix", suffix_similarity),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn scores_in_unit_interval(a in ident(), b in ident()) {
+        for (name, f) in all_measures() {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{name}({a:?},{b:?}) = {s}");
+        }
+    }
+
+    #[test]
+    fn scores_symmetric(a in ident(), b in ident()) {
+        for (name, f) in all_measures() {
+            prop_assert!((f(&a, &b) - f(&b, &a)).abs() < 1e-12, "{name} asymmetric on {a:?},{b:?}");
+        }
+    }
+
+    #[test]
+    fn identical_inputs_score_one(a in ident()) {
+        for (name, f) in all_measures() {
+            let s = f(&a, &a);
+            prop_assert!((s - 1.0).abs() < 1e-12, "{name}({a:?},{a:?}) = {s}");
+        }
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in ident(), b in ident(), c in ident()) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn damerau_le_levenshtein(a in ident(), b in ident()) {
+        prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+    }
+
+    #[test]
+    fn levenshtein_distance_bounds(a in ident(), b in ident()) {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d >= la.abs_diff(lb));
+        prop_assert!(d <= la.max(lb));
+    }
+
+    #[test]
+    fn split_tokens_nonempty_lowercase(a in ident()) {
+        for t in split_identifier(&a) {
+            prop_assert!(!t.as_str().is_empty());
+            prop_assert_eq!(t.as_str().to_lowercase(), t.as_str());
+        }
+    }
+
+    #[test]
+    fn normalize_idempotent(a in ident()) {
+        let once = normalize_identifier(&a);
+        prop_assert_eq!(normalize_identifier(&once), once.clone());
+    }
+
+    #[test]
+    fn combined_default_consistent(a in ident(), b in ident()) {
+        let sim = NameSimilarity::default();
+        let s = sim.similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((sim.similarity(&b, &a) - s).abs() < 1e-12);
+        prop_assert!((sim.distance(&a, &b) - (1.0 - s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_transparent(a in ident(), b in ident()) {
+        let cache = SimilarityCache::new(jaro_winkler);
+        prop_assert_eq!(cache.similarity(&a, &b), jaro_winkler(&a, &b));
+        // Second lookup returns the identical value.
+        prop_assert_eq!(cache.similarity(&b, &a), jaro_winkler(&a, &b));
+    }
+}

@@ -1,0 +1,160 @@
+//! Fluent schema construction.
+//!
+//! ```
+//! use smx_xml::{SchemaBuilder, PrimitiveType, Occurs};
+//!
+//! let schema = SchemaBuilder::new("bib")
+//!     .root("bib")
+//!     .child("book", |b| {
+//!         b.occurs(Occurs::MANY)
+//!             .leaf("title", PrimitiveType::String)
+//!             .leaf("year", PrimitiveType::Integer)
+//!             .child("author", |a| {
+//!                 a.leaf("first", PrimitiveType::String)
+//!                     .leaf("last", PrimitiveType::String)
+//!             })
+//!     })
+//!     .build();
+//! assert_eq!(schema.len(), 7);
+//! assert!(schema.validate().is_ok());
+//! ```
+
+use crate::node::{Node, NodeId, NodeKind, Occurs, PrimitiveType};
+use crate::schema::Schema;
+
+/// Top-level builder; create with [`SchemaBuilder::new`], set the root with
+/// [`root`](Self::root), then add children through the returned scope.
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+impl SchemaBuilder {
+    /// Start building a schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder { schema: Schema::new(name) }
+    }
+
+    /// Install the root element and open its scope.
+    pub fn root(mut self, name: impl Into<String>) -> NodeScope {
+        let root = self
+            .schema
+            .add_root(Node::element(name))
+            .expect("builder installs exactly one root");
+        NodeScope { schema: self.schema, current: root }
+    }
+}
+
+/// A scope positioned at one node; children are added to it.
+pub struct NodeScope {
+    schema: Schema,
+    current: NodeId,
+}
+
+impl NodeScope {
+    /// Set the occurrence constraint of the current node.
+    pub fn occurs(mut self, occurs: Occurs) -> Self {
+        self.schema.node_mut(self.current).occurs = occurs;
+        self
+    }
+
+    /// Set the primitive type of the current node.
+    pub fn ty(mut self, ty: PrimitiveType) -> Self {
+        self.schema.node_mut(self.current).ty = ty;
+        self
+    }
+
+    /// Add a leaf element child with the given type.
+    pub fn leaf(mut self, name: impl Into<String>, ty: PrimitiveType) -> Self {
+        let mut node = Node::element(name);
+        node.ty = ty;
+        self.schema
+            .add_child(self.current, node)
+            .expect("current node exists");
+        self
+    }
+
+    /// Add an attribute child with the given type.
+    pub fn attribute(mut self, name: impl Into<String>, ty: PrimitiveType) -> Self {
+        let mut node = Node::element(name);
+        node.kind = NodeKind::Attribute;
+        node.ty = ty;
+        node.occurs = Occurs::OPTIONAL;
+        self.schema
+            .add_child(self.current, node)
+            .expect("current node exists");
+        self
+    }
+
+    /// Add a complex child and configure it inside `f`.
+    pub fn child(mut self, name: impl Into<String>, f: impl FnOnce(NodeScope) -> NodeScope) -> Self {
+        let id = self
+            .schema
+            .add_child(self.current, Node::element(name))
+            .expect("current node exists");
+        let inner = f(NodeScope { schema: self.schema, current: id });
+        NodeScope { schema: inner.schema, current: self.current }
+    }
+
+    /// Finish building and return the schema.
+    pub fn build(self) -> Schema {
+        debug_assert!(self.schema.validate().is_ok());
+        self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+
+    #[test]
+    fn builds_nested_structure() {
+        let s = SchemaBuilder::new("shop")
+            .root("shop")
+            .child("order", |o| {
+                o.occurs(Occurs::ANY)
+                    .attribute("id", PrimitiveType::Id)
+                    .leaf("date", PrimitiveType::Date)
+                    .child("line", |l| {
+                        l.occurs(Occurs::MANY)
+                            .leaf("sku", PrimitiveType::String)
+                            .leaf("qty", PrimitiveType::Integer)
+                    })
+            })
+            .build();
+        assert_eq!(s.len(), 7);
+        assert!(s.validate().is_ok());
+        let line_qty = Path::parse("/shop/order/line/qty").resolve(&s).unwrap();
+        assert_eq!(s.node(line_qty).ty, PrimitiveType::Integer);
+        let order = Path::parse("/shop/order").resolve(&s).unwrap();
+        assert_eq!(s.node(order).occurs, Occurs::ANY);
+        let id = Path::parse("/shop/order/id").resolve(&s).unwrap();
+        assert_eq!(s.node(id).kind, NodeKind::Attribute);
+        assert_eq!(s.node(id).occurs, Occurs::OPTIONAL);
+    }
+
+    #[test]
+    fn scope_returns_to_parent_after_child() {
+        let s = SchemaBuilder::new("t")
+            .root("r")
+            .child("a", |a| a.leaf("x", PrimitiveType::String))
+            .child("b", |b| b)
+            .build();
+        // Both a and b must be children of the root.
+        let root = s.root().unwrap();
+        let names: Vec<&str> = s
+            .node(root)
+            .children
+            .iter()
+            .map(|&c| s.node(c).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn root_type_and_occurs_settable() {
+        let s = SchemaBuilder::new("t").root("r").ty(PrimitiveType::String).build();
+        let root = s.root().unwrap();
+        assert_eq!(s.node(root).ty, PrimitiveType::String);
+    }
+}

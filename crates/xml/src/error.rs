@@ -1,0 +1,55 @@
+//! Error type shared by the schema model and its text-format parser.
+
+/// Errors produced while building, mutating, or parsing schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// A node id does not exist in the arena.
+    UnknownNode(usize),
+    /// An operation that requires an empty schema found an existing root.
+    RootAlreadySet,
+    /// An operation that requires a root found none.
+    NoRoot,
+    /// Parse error with 1-based line and a message.
+    Parse {
+        /// 1-based input line of the error.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A schema invariant was violated (message explains which).
+    Invariant(String),
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            XmlError::RootAlreadySet => write!(f, "schema already has a root element"),
+            XmlError::NoRoot => write!(f, "schema has no root element"),
+            XmlError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            XmlError::Invariant(msg) => write!(f, "schema invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(XmlError::UnknownNode(3).to_string(), "unknown node id 3");
+        assert_eq!(XmlError::NoRoot.to_string(), "schema has no root element");
+        let p = XmlError::Parse { line: 7, message: "bad tag".into() };
+        assert!(p.to_string().contains("line 7"));
+        assert!(p.to_string().contains("bad tag"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<XmlError>();
+    }
+}

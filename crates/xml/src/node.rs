@@ -1,0 +1,251 @@
+//! Element declarations: names, kinds, primitive types, occurrence
+//! constraints.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense index of a node in a [`Schema`](crate::Schema) arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Whether a declaration is an element or an attribute.
+///
+/// Attributes are modelled as leaf children with `NodeKind::Attribute`,
+/// which is how most matchers flatten them anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum NodeKind {
+    /// An XML element declaration.
+    #[default]
+    Element,
+    /// An XML attribute declaration (always a leaf).
+    Attribute,
+}
+
+/// The primitive value type of a leaf, or `Complex` for interior nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PrimitiveType {
+    /// Interior node with element content.
+    #[default]
+    Complex,
+    /// Character data.
+    String,
+    /// Integral number.
+    Integer,
+    /// Decimal number.
+    Decimal,
+    /// Calendar date.
+    Date,
+    /// Boolean.
+    Boolean,
+    /// Identifier / key.
+    Id,
+}
+
+impl PrimitiveType {
+    /// Lower-case name used by the text format.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimitiveType::Complex => "complex",
+            PrimitiveType::String => "string",
+            PrimitiveType::Integer => "integer",
+            PrimitiveType::Decimal => "decimal",
+            PrimitiveType::Date => "date",
+            PrimitiveType::Boolean => "boolean",
+            PrimitiveType::Id => "id",
+        }
+    }
+
+    /// Parse a type from its text-format name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "complex" => PrimitiveType::Complex,
+            "string" => PrimitiveType::String,
+            "integer" => PrimitiveType::Integer,
+            "decimal" => PrimitiveType::Decimal,
+            "date" => PrimitiveType::Date,
+            "boolean" => PrimitiveType::Boolean,
+            "id" => PrimitiveType::Id,
+            _ => return None,
+        })
+    }
+
+    /// Type-compatibility score in `[0,1]` used by objective functions:
+    /// identical types 1.0, numeric-vs-numeric 0.8, anything-vs-string 0.6,
+    /// complex-vs-leaf 0.2, otherwise 0.4.
+    pub fn compatibility(self, other: Self) -> f64 {
+        use PrimitiveType::*;
+        if self == other {
+            return 1.0;
+        }
+        match (self, other) {
+            (Integer, Decimal) | (Decimal, Integer) => 0.8,
+            (String, _) | (_, String) => 0.6,
+            (Complex, _) | (_, Complex) => 0.2,
+            _ => 0.4,
+        }
+    }
+}
+
+impl std::fmt::Display for PrimitiveType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Occurrence constraint `min..max` where `max = None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Occurs {
+    /// Minimum number of occurrences.
+    pub min: u32,
+    /// Maximum number of occurrences; `None` is unbounded (`*`).
+    pub max: Option<u32>,
+}
+
+impl Occurs {
+    /// Exactly one occurrence (`1..1`).
+    pub const ONE: Occurs = Occurs { min: 1, max: Some(1) };
+    /// Optional occurrence (`0..1`).
+    pub const OPTIONAL: Occurs = Occurs { min: 0, max: Some(1) };
+    /// One or more (`1..*`).
+    pub const MANY: Occurs = Occurs { min: 1, max: None };
+    /// Zero or more (`0..*`).
+    pub const ANY: Occurs = Occurs { min: 0, max: None };
+
+    /// Whether the constraint admits `n` occurrences.
+    pub fn admits(self, n: u32) -> bool {
+        n >= self.min && self.max.is_none_or(|m| n <= m)
+    }
+
+    /// Parse the text-format spelling `min..max` or `min..*`.
+    pub fn from_spec(s: &str) -> Option<Self> {
+        let (lo, hi) = s.split_once("..")?;
+        let min: u32 = lo.parse().ok()?;
+        let max = if hi == "*" { None } else { Some(hi.parse().ok()?) };
+        if let Some(m) = max {
+            if m < min {
+                return None;
+            }
+        }
+        Some(Occurs { min, max })
+    }
+}
+
+impl Default for Occurs {
+    fn default() -> Self {
+        Occurs::ONE
+    }
+}
+
+impl std::fmt::Display for Occurs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.max {
+            Some(m) => write!(f, "{}..{}", self.min, m),
+            None => write!(f, "{}..*", self.min),
+        }
+    }
+}
+
+/// One element/attribute declaration inside a schema arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Element or attribute name (an identifier, e.g. `orderLine`).
+    pub name: String,
+    /// Element vs attribute.
+    pub kind: NodeKind,
+    /// Value type (interior nodes are `Complex`).
+    pub ty: PrimitiveType,
+    /// Occurrence constraint relative to the parent.
+    pub occurs: Occurs,
+    /// Parent node; `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// A fresh element node with the given name and defaults elsewhere.
+    pub fn element(name: impl Into<String>) -> Self {
+        Node {
+            name: name.into(),
+            kind: NodeKind::Element,
+            ty: PrimitiveType::Complex,
+            occurs: Occurs::ONE,
+            parent: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Whether this node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurs_spec_roundtrip() {
+        for spec in ["1..1", "0..1", "1..*", "0..*", "2..5"] {
+            let o = Occurs::from_spec(spec).unwrap();
+            assert_eq!(o.to_string(), spec);
+        }
+        assert_eq!(Occurs::from_spec("5..2"), None);
+        assert_eq!(Occurs::from_spec("x..1"), None);
+        assert_eq!(Occurs::from_spec("1"), None);
+    }
+
+    #[test]
+    fn occurs_admits() {
+        assert!(Occurs::ONE.admits(1));
+        assert!(!Occurs::ONE.admits(0));
+        assert!(!Occurs::ONE.admits(2));
+        assert!(Occurs::ANY.admits(0));
+        assert!(Occurs::ANY.admits(100));
+        assert!(Occurs::MANY.admits(3));
+        assert!(!Occurs::MANY.admits(0));
+    }
+
+    #[test]
+    fn primitive_type_names_roundtrip() {
+        use PrimitiveType::*;
+        for t in [Complex, String, Integer, Decimal, Date, Boolean, Id] {
+            assert_eq!(PrimitiveType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(PrimitiveType::from_name("float"), None);
+    }
+
+    #[test]
+    fn type_compatibility_ordering() {
+        use PrimitiveType::*;
+        assert_eq!(Integer.compatibility(Integer), 1.0);
+        assert!(Integer.compatibility(Decimal) > Integer.compatibility(Date));
+        assert!(String.compatibility(Date) > Complex.compatibility(Date));
+        // Symmetric.
+        assert_eq!(Integer.compatibility(Complex), Complex.compatibility(Integer));
+    }
+
+    #[test]
+    fn node_constructors() {
+        let n = Node::element("book");
+        assert_eq!(n.name, "book");
+        assert!(n.is_leaf());
+        assert_eq!(n.occurs, Occurs::ONE);
+        assert_eq!(NodeId(4).index(), 4);
+        assert_eq!(NodeId(4).to_string(), "n4");
+    }
+}

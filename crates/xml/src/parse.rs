@@ -1,0 +1,363 @@
+//! Recursive-descent parser for the compact XML text format emitted by
+//! [`crate::serialize`].
+//!
+//! The grammar (whitespace-insensitive between tokens):
+//!
+//! ```text
+//! schema   := '<schema' attrs '>' element? '</schema>'
+//! element  := '<' tagname attrs ('/>' | '>' element* '</' tagname '>')
+//! tagname  := 'element' | 'attribute'
+//! attrs    := (name '=' '"' value '"')*
+//! ```
+//!
+//! Errors carry 1-based line numbers.
+
+use crate::error::XmlError;
+use crate::node::{Node, NodeId, NodeKind, Occurs, PrimitiveType};
+use crate::schema::Schema;
+use std::collections::HashMap;
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+/// A start tag with its attributes; `self_closing` distinguishes `<x/>`.
+#[derive(Debug)]
+struct StartTag {
+    name: String,
+    attrs: HashMap<String, String>,
+    self_closing: bool,
+}
+
+#[derive(Debug)]
+enum Token {
+    Start(StartTag),
+    End(String),
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { chars: input.chars().peekable(), line: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError::Parse { line: self.line, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> String {
+        let mut name = String::new();
+        while matches!(self.chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_' || *c == '-')
+        {
+            name.push(self.bump().unwrap());
+        }
+        name
+    }
+
+    fn read_quoted(&mut self) -> Result<String, XmlError> {
+        if self.bump() != Some('"') {
+            return Err(self.err("expected opening quote"));
+        }
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('&') => {
+                    let mut entity = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(';') => break,
+                            Some(c) => entity.push(c),
+                            None => return Err(self.err("unterminated entity")),
+                        }
+                    }
+                    value.push(match entity.as_str() {
+                        "amp" => '&',
+                        "lt" => '<',
+                        "gt" => '>',
+                        "quot" => '"',
+                        "apos" => '\'',
+                        other => return Err(self.err(format!("unknown entity &{other};"))),
+                    });
+                }
+                Some(c) => value.push(c),
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+        Ok(value)
+    }
+
+    fn next_token(&mut self) -> Result<Token, XmlError> {
+        self.skip_ws();
+        match self.chars.peek() {
+            None => Ok(Token::Eof),
+            Some('<') => {
+                self.bump();
+                if self.chars.peek() == Some(&'/') {
+                    self.bump();
+                    let name = self.read_name();
+                    self.skip_ws();
+                    if self.bump() != Some('>') {
+                        return Err(self.err("expected '>' after end tag"));
+                    }
+                    return Ok(Token::End(name));
+                }
+                let name = self.read_name();
+                if name.is_empty() {
+                    return Err(self.err("expected tag name after '<'"));
+                }
+                let mut attrs = HashMap::new();
+                loop {
+                    self.skip_ws();
+                    match self.chars.peek() {
+                        Some('>') => {
+                            self.bump();
+                            return Ok(Token::Start(StartTag { name, attrs, self_closing: false }));
+                        }
+                        Some('/') => {
+                            self.bump();
+                            if self.bump() != Some('>') {
+                                return Err(self.err("expected '>' after '/'"));
+                            }
+                            return Ok(Token::Start(StartTag { name, attrs, self_closing: true }));
+                        }
+                        Some(c) if c.is_alphanumeric() || *c == '_' => {
+                            let attr_name = self.read_name();
+                            self.skip_ws();
+                            if self.bump() != Some('=') {
+                                return Err(self.err(format!("expected '=' after attribute {attr_name}")));
+                            }
+                            self.skip_ws();
+                            let value = self.read_quoted()?;
+                            if attrs.insert(attr_name.clone(), value).is_some() {
+                                return Err(self.err(format!("duplicate attribute {attr_name}")));
+                            }
+                        }
+                        Some(c) => {
+                            let c = *c;
+                            return Err(self.err(format!("unexpected character {c:?} in tag")));
+                        }
+                        None => return Err(self.err("unterminated tag")),
+                    }
+                }
+            }
+            Some(c) => {
+                let c = *c;
+                Err(self.err(format!("unexpected character {c:?}; expected '<'")))
+            }
+        }
+    }
+}
+
+fn node_from_tag(lexer: &Lexer<'_>, tag: &StartTag) -> Result<Node, XmlError> {
+    let kind = match tag.name.as_str() {
+        "element" => NodeKind::Element,
+        "attribute" => NodeKind::Attribute,
+        other => return Err(lexer.err(format!("unexpected tag <{other}>"))),
+    };
+    let name = tag
+        .attrs
+        .get("name")
+        .ok_or_else(|| lexer.err("missing name attribute"))?
+        .clone();
+    let ty = match tag.attrs.get("type") {
+        Some(t) => PrimitiveType::from_name(t)
+            .ok_or_else(|| lexer.err(format!("unknown type {t:?}")))?,
+        None => PrimitiveType::Complex,
+    };
+    let occurs = match tag.attrs.get("occurs") {
+        Some(o) => Occurs::from_spec(o)
+            .ok_or_else(|| lexer.err(format!("invalid occurs spec {o:?}")))?,
+        None => Occurs::ONE,
+    };
+    let mut node = Node::element(name);
+    node.kind = kind;
+    node.ty = ty;
+    node.occurs = occurs;
+    Ok(node)
+}
+
+/// Parse children of `parent` until the matching end tag for `parent_tag`.
+fn parse_children(
+    lexer: &mut Lexer<'_>,
+    schema: &mut Schema,
+    parent: NodeId,
+    parent_tag: &str,
+) -> Result<(), XmlError> {
+    loop {
+        match lexer.next_token()? {
+            Token::Start(tag) => {
+                let node = node_from_tag(lexer, &tag)?;
+                let id = schema
+                    .add_child(parent, node)
+                    .map_err(|e| lexer.err(e.to_string()))?;
+                if !tag.self_closing {
+                    parse_children(lexer, schema, id, &tag.name)?;
+                }
+            }
+            Token::End(name) if name == parent_tag => return Ok(()),
+            Token::End(name) => {
+                return Err(lexer.err(format!("mismatched end tag </{name}>, expected </{parent_tag}>")))
+            }
+            Token::Eof => return Err(lexer.err(format!("missing end tag </{parent_tag}>"))),
+        }
+    }
+}
+
+/// Parse a schema from the compact text format.
+///
+/// ```
+/// let text = "<schema name=\"bib\">\n  <element name=\"bib\"/>\n</schema>";
+/// let schema = smx_xml::parse_schema(text).unwrap();
+/// assert_eq!(schema.name(), "bib");
+/// assert_eq!(schema.len(), 1);
+/// ```
+pub fn parse_schema(input: &str) -> Result<Schema, XmlError> {
+    let mut lexer = Lexer::new(input);
+    let schema_tag = match lexer.next_token()? {
+        Token::Start(tag) if tag.name == "schema" => tag,
+        Token::Start(tag) => {
+            return Err(lexer.err(format!("expected <schema>, found <{}>", tag.name)))
+        }
+        Token::End(name) => return Err(lexer.err(format!("expected <schema>, found </{name}>"))),
+        Token::Eof => return Err(lexer.err("empty input")),
+    };
+    let name = schema_tag
+        .attrs
+        .get("name")
+        .ok_or_else(|| lexer.err("schema tag missing name attribute"))?
+        .clone();
+    let mut schema = Schema::new(name);
+    if schema_tag.self_closing {
+        return match lexer.next_token()? {
+            Token::Eof => Ok(schema),
+            _ => Err(lexer.err("content after </schema>")),
+        };
+    }
+    // Optional single root element, then </schema>.
+    loop {
+        match lexer.next_token()? {
+            Token::Start(tag) => {
+                if schema.root().is_some() {
+                    return Err(lexer.err("multiple root elements"));
+                }
+                let node = node_from_tag(&lexer, &tag)?;
+                let root = schema.add_root(node).map_err(|e| lexer.err(e.to_string()))?;
+                if !tag.self_closing {
+                    parse_children(&mut lexer, &mut schema, root, &tag.name)?;
+                }
+            }
+            Token::End(name) if name == "schema" => break,
+            Token::End(name) => return Err(lexer.err(format!("mismatched end tag </{name}>"))),
+            Token::Eof => return Err(lexer.err("missing </schema>")),
+        }
+    }
+    // Trailing garbage check.
+    match lexer.next_token()? {
+        Token::Eof => Ok(schema),
+        _ => Err(lexer.err("content after </schema>")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::node::PrimitiveType;
+    use crate::serialize::schema_to_string;
+
+    #[test]
+    fn roundtrip_nested() {
+        let original = SchemaBuilder::new("shop")
+            .root("shop")
+            .child("order", |o| {
+                o.occurs(Occurs::ANY)
+                    .attribute("id", PrimitiveType::Id)
+                    .leaf("date", PrimitiveType::Date)
+                    .child("line", |l| {
+                        l.occurs(Occurs::MANY)
+                            .leaf("sku", PrimitiveType::String)
+                            .leaf("qty", PrimitiveType::Integer)
+                    })
+            })
+            .build();
+        let text = schema_to_string(&original);
+        let parsed = parse_schema(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parses_minimal_forms() {
+        let s = parse_schema("<schema name=\"e\"></schema>").unwrap();
+        assert!(s.is_empty());
+        let s = parse_schema("<schema name=\"e\"/>").unwrap();
+        assert!(s.is_empty());
+        let s = parse_schema("<schema name=\"x\"><element name=\"r\"/></schema>").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.node(s.root().unwrap()).ty, PrimitiveType::Complex);
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let s = parse_schema("<schema name=\"a&amp;b\"><element name=\"x&lt;y\"/></schema>")
+            .unwrap();
+        assert_eq!(s.name(), "a&b");
+        assert_eq!(s.node(s.root().unwrap()).name, "x<y");
+    }
+
+    #[test]
+    fn error_cases_carry_lines() {
+        let cases = [
+            ("", "empty input"),
+            ("<schema name=\"x\">", "missing </schema>"),
+            ("<bogus name=\"x\"/>", "expected <schema>"),
+            ("<schema name=\"x\"><element/></schema>", "missing name"),
+            ("<schema name=\"x\"><element name=\"a\" type=\"float\"/></schema>", "unknown type"),
+            ("<schema name=\"x\"><element name=\"a\" occurs=\"5..2\"/></schema>", "invalid occurs"),
+            (
+                "<schema name=\"x\"><element name=\"a\"/><element name=\"b\"/></schema>",
+                "multiple root",
+            ),
+            ("<schema name=\"x\"><element name=\"a\"></schema>", "mismatched end tag"),
+            ("<schema name=\"x\"/>junk", "unexpected character"),
+            ("<schema name=\"x\"/><element name=\"y\"/>", "content after"),
+            ("<schema name=\"x\" name=\"y\"/>", "duplicate attribute"),
+        ];
+        for (input, needle) in cases {
+            let err = parse_schema(input).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "input {input:?}: {msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let input = "<schema name=\"x\">\n  <element name=\"a\">\n  </wrong>\n</schema>";
+        match parse_schema(input).unwrap_err() {
+            XmlError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let dense = "<schema name=\"x\"><element name=\"r\"><element name=\"c\"/></element></schema>";
+        let spaced = "<schema  name = \"x\" >\n\n  <element  name=\"r\" >\n    <element name=\"c\" />\n  </element>\n</schema>\n";
+        assert_eq!(parse_schema(dense).unwrap(), parse_schema(spaced).unwrap());
+    }
+}

@@ -1,0 +1,176 @@
+//! Root-to-element paths.
+//!
+//! A [`Path`] is the sequence of element names from the schema root down to
+//! a node, displayed XPath-style (`/bib/book/title`). Paths are how mapping
+//! targets are reported to users and how clustering features describe an
+//! element's context.
+
+use crate::node::NodeId;
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// A sequence of element names from the root (inclusive) to a node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Path {
+    segments: Vec<String>,
+}
+
+impl Path {
+    /// Path from explicit segments.
+    pub fn new(segments: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Path { segments: segments.into_iter().map(Into::into).collect() }
+    }
+
+    /// The path of `id` within `schema`.
+    pub fn of(schema: &Schema, id: NodeId) -> Self {
+        let mut segments: Vec<String> = schema
+            .ancestors(id)
+            .into_iter()
+            .map(|a| schema.node(a).name.clone())
+            .collect();
+        segments.reverse();
+        segments.push(schema.node(id).name.clone());
+        Path { segments }
+    }
+
+    /// Parse the `/a/b/c` spelling. Empty string or `/` is the empty path.
+    pub fn parse(s: &str) -> Self {
+        Path {
+            segments: s
+                .split('/')
+                .filter(|seg| !seg.is_empty())
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+
+    /// The path's segments, root first.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the path has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The final segment (the element's own name), if any.
+    pub fn leaf(&self) -> Option<&str> {
+        self.segments.last().map(String::as_str)
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.segments.len() >= self.segments.len()
+            && other.segments[..self.segments.len()] == self.segments[..]
+    }
+
+    /// Resolve this path inside `schema`: follow name-matched children from
+    /// the root. Returns the first match in document order.
+    pub fn resolve(&self, schema: &Schema) -> Option<NodeId> {
+        let root = schema.root()?;
+        let mut iter = self.segments.iter();
+        let first = iter.next()?;
+        if schema.node(root).name != *first {
+            return None;
+        }
+        let mut cur = root;
+        for seg in iter {
+            cur = *schema
+                .node(cur)
+                .children
+                .iter()
+                .find(|&&c| schema.node(c).name == *seg)?;
+        }
+        Some(cur)
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.segments.is_empty() {
+            return f.write_str("/");
+        }
+        for seg in &self.segments {
+            write!(f, "/{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("bib");
+        let root = s.add_root(Node::element("bib")).unwrap();
+        let book = s.add_child(root, Node::element("book")).unwrap();
+        s.add_child(book, Node::element("title")).unwrap();
+        s.add_child(book, Node::element("author")).unwrap();
+        let article = s.add_child(root, Node::element("article")).unwrap();
+        s.add_child(article, Node::element("title")).unwrap();
+        s
+    }
+
+    #[test]
+    fn path_of_and_display() {
+        let s = schema();
+        let title = s.node_ids().nth(2).unwrap();
+        let p = Path::of(&s, title);
+        assert_eq!(p.to_string(), "/bib/book/title");
+        assert_eq!(p.leaf(), Some("title"));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for text in ["/a", "/a/b/c", "/"] {
+            let p = Path::parse(text);
+            assert_eq!(p.to_string(), text);
+        }
+        assert_eq!(Path::parse(""), Path::default());
+        assert_eq!(Path::parse("").to_string(), "/");
+    }
+
+    #[test]
+    fn resolve_follows_names() {
+        let s = schema();
+        let p = Path::parse("/bib/book/title");
+        let id = p.resolve(&s).unwrap();
+        assert_eq!(Path::of(&s, id), p);
+        // First match in document order: /bib/book/title, not article's.
+        assert_eq!(s.depth(id), 2);
+        assert!(Path::parse("/bib/journal").resolve(&s).is_none());
+        assert!(Path::parse("/wrongroot").resolve(&s).is_none());
+        assert!(Path::parse("/").resolve(&s).is_none());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = Path::parse("/bib/book");
+        let b = Path::parse("/bib/book/title");
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(Path::default().is_prefix_of(&a));
+        assert!(!Path::parse("/bib/article").is_prefix_of(&b));
+    }
+
+    #[test]
+    fn every_node_path_resolves_to_itself_or_earlier_sibling() {
+        let s = schema();
+        for id in s.node_ids() {
+            let p = Path::of(&s, id);
+            let resolved = p.resolve(&s).unwrap();
+            // Same path (duplicate names resolve to first in doc order).
+            assert_eq!(Path::of(&s, resolved), p);
+        }
+    }
+}

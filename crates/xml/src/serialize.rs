@@ -1,0 +1,119 @@
+//! Writer for the compact XML text format.
+//!
+//! The format is a strict XML subset, one element per line, two-space
+//! indentation:
+//!
+//! ```xml
+//! <schema name="bib">
+//!   <element name="book" type="complex" occurs="1..*">
+//!     <element name="title" type="string" occurs="1..1"/>
+//!   </element>
+//! </schema>
+//! ```
+//!
+//! Attribute declarations use the tag `<attribute .../>`. The parser in
+//! [`crate::parse`] accepts exactly what this writer emits (plus arbitrary
+//! whitespace), and `parse(serialize(s)) == s` is property-tested.
+
+use crate::node::{NodeId, NodeKind};
+use crate::schema::Schema;
+use std::fmt::Write as _;
+
+/// Escape the five XML special characters in an attribute value.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_node(schema: &Schema, id: NodeId, depth: usize, out: &mut String) {
+    let node = schema.node(id);
+    let tag = match node.kind {
+        NodeKind::Element => "element",
+        NodeKind::Attribute => "attribute",
+    };
+    let indent = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{indent}<{tag} name=\"{}\" type=\"{}\" occurs=\"{}\"",
+        escape(&node.name),
+        node.ty.name(),
+        node.occurs
+    );
+    if node.children.is_empty() {
+        out.push_str("/>\n");
+    } else {
+        out.push_str(">\n");
+        for &c in &node.children {
+            write_node(schema, c, depth + 1, out);
+        }
+        let _ = writeln!(out, "{indent}</{tag}>");
+    }
+}
+
+/// Serialize a schema to the compact text format.
+pub fn schema_to_string(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<schema name=\"{}\">", escape(schema.name()));
+    if let Some(root) = schema.root() {
+        write_node(schema, root, 1, &mut out);
+    }
+    out.push_str("</schema>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::node::{Occurs, PrimitiveType};
+
+    #[test]
+    fn serializes_nested_schema() {
+        let s = SchemaBuilder::new("bib")
+            .root("bib")
+            .child("book", |b| {
+                b.occurs(Occurs::MANY).leaf("title", PrimitiveType::String)
+            })
+            .build();
+        let text = schema_to_string(&s);
+        assert!(text.contains("<schema name=\"bib\">"));
+        assert!(text.contains("<element name=\"book\" type=\"complex\" occurs=\"1..*\">"));
+        assert!(text.contains("    <element name=\"title\" type=\"string\" occurs=\"1..1\"/>"));
+        assert!(text.ends_with("</schema>\n"));
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+        let mut s = crate::Schema::new("we\"ird");
+        s.add_root(crate::Node::element("r&d")).unwrap();
+        let text = schema_to_string(&s);
+        assert!(text.contains("we&quot;ird"));
+        assert!(text.contains("r&amp;d"));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = crate::Schema::new("empty");
+        assert_eq!(schema_to_string(&s), "<schema name=\"empty\">\n</schema>\n");
+    }
+
+    #[test]
+    fn attribute_nodes_use_attribute_tag() {
+        let s = SchemaBuilder::new("t")
+            .root("r")
+            .attribute("id", PrimitiveType::Id)
+            .build();
+        assert!(schema_to_string(&s).contains("<attribute name=\"id\" type=\"id\" occurs=\"0..1\"/>"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Structural statistics over schemas, used for repository reporting and to
+//! sanity-check synthetic generators against target shapes.
+
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one schema tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemaStats {
+    /// Total number of nodes.
+    pub node_count: usize,
+    /// Number of leaves.
+    pub leaf_count: usize,
+    /// Maximum depth (root = 0); 0 for an empty schema too.
+    pub max_depth: usize,
+    /// Mean number of children over interior (non-leaf) nodes.
+    pub avg_fanout: f64,
+    /// Maximum number of children of any node.
+    pub max_fanout: usize,
+}
+
+impl SchemaStats {
+    /// Compute statistics for `schema`.
+    pub fn of(schema: &Schema) -> Self {
+        let mut leaf_count = 0;
+        let mut max_depth = 0;
+        let mut interior = 0usize;
+        let mut child_total = 0usize;
+        let mut max_fanout = 0;
+        for id in schema.node_ids() {
+            let node = schema.node(id);
+            if node.is_leaf() {
+                leaf_count += 1;
+            } else {
+                interior += 1;
+                child_total += node.children.len();
+                max_fanout = max_fanout.max(node.children.len());
+            }
+            max_depth = max_depth.max(schema.depth(id));
+        }
+        SchemaStats {
+            node_count: schema.len(),
+            leaf_count,
+            max_depth,
+            avg_fanout: if interior == 0 { 0.0 } else { child_total as f64 / interior as f64 },
+            max_fanout,
+        }
+    }
+}
+
+impl std::fmt::Display for SchemaStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} leaves), depth {}, fanout avg {:.2} max {}",
+            self.node_count, self.leaf_count, self.max_depth, self.avg_fanout, self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::node::PrimitiveType;
+
+    #[test]
+    fn stats_of_small_tree() {
+        let s = SchemaBuilder::new("t")
+            .root("r")
+            .child("a", |a| {
+                a.leaf("x", PrimitiveType::String).leaf("y", PrimitiveType::String)
+            })
+            .leaf("z", PrimitiveType::String)
+            .build();
+        let st = SchemaStats::of(&s);
+        assert_eq!(st.node_count, 5);
+        assert_eq!(st.leaf_count, 3);
+        assert_eq!(st.max_depth, 2);
+        assert_eq!(st.max_fanout, 2);
+        // interior nodes: r (2 children), a (2 children) → avg 2.0
+        assert!((st.avg_fanout - 2.0).abs() < 1e-12);
+        assert!(st.to_string().contains("5 nodes"));
+    }
+
+    #[test]
+    fn stats_of_empty_and_singleton() {
+        let empty = Schema::new("e");
+        let st = SchemaStats::of(&empty);
+        assert_eq!(st.node_count, 0);
+        assert_eq!(st.avg_fanout, 0.0);
+
+        let mut single = Schema::new("s");
+        single.add_root(crate::Node::element("only")).unwrap();
+        let st = SchemaStats::of(&single);
+        assert_eq!(st.node_count, 1);
+        assert_eq!(st.leaf_count, 1);
+        assert_eq!(st.max_depth, 0);
+    }
+}

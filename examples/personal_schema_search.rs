@@ -1,0 +1,73 @@
+//! The paper's motivating workload: a user's small *personal schema*
+//! searched against a large schema repository, made scalable with
+//! clustering ([16] in the paper) — and the effectiveness price of that
+//! scalability, bounded without human judgments.
+//!
+//! Sweeps the number of searched cluster fragments F: fewer fragments =
+//! faster but more answers missed. For each F the example prints the
+//! speed proxy (mappings evaluated), the answer-size ratio, and the
+//! guaranteed worst-case precision at the head of the ranking.
+//!
+//! Run with: `cargo run --release --example personal_schema_search`
+
+use smx::matching::search_space_size;
+use smx::pipeline::Experiment;
+use smx::synth::{Domain, ScenarioConfig};
+use std::time::Instant;
+
+fn main() {
+    let exp = Experiment::generate(
+        ScenarioConfig {
+            domain: Domain::Commerce,
+            derived_schemas: 25,
+            noise_schemas: 15,
+            personal_nodes: 5,
+            host_nodes: 11,
+            perturbation_strength: 0.85,
+            seed: 11,
+            ..Default::default()
+        },
+        0.25,
+    );
+    println!(
+        "personal schema '{}' ({} elements) vs {} schemas / {} elements",
+        exp.scenario.personal.node(exp.scenario.personal.root().expect("root")).name,
+        exp.scenario.personal.len(),
+        exp.scenario.repository.len(),
+        exp.scenario.repository.total_elements(),
+    );
+    println!(
+        "full injective search space: {} mappings (exhaustive search is exponential)",
+        search_space_size(&exp.problem)
+    );
+
+    let t0 = Instant::now();
+    let s1 = exp.run_s1();
+    let s1_time = t0.elapsed();
+    let s1_curve = exp.measured_curve(&s1, 14).expect("non-empty truth and grid");
+    println!("\nS1 exhaustive: {} answers in {:.1?}", s1.len(), s1_time);
+
+    println!("\nF  answers  ratio   time      worst-P@head  worst-P@tail");
+    for fragments in [1usize, 2, 4, 8, 16] {
+        let t0 = Instant::now();
+        let s2 = exp.run_s2_cluster(0.55, fragments);
+        let elapsed = t0.elapsed();
+        let env = exp.envelope(&s1_curve, &s2).expect("S2 ⊆ S1");
+        let head = env.points().first().expect("non-empty envelope");
+        let tail = env.points().last().expect("non-empty envelope");
+        println!(
+            "{fragments:>2}  {:>7}  {:.3}  {:>8.1?}  {:>12.3}  {:>12.3}",
+            s2.len(),
+            s2.len() as f64 / s1.len() as f64,
+            elapsed,
+            head.incremental.worst.precision,
+            tail.incremental.worst.precision,
+        );
+    }
+    println!(
+        "\nreading: more fragments → more of S1's answers retained → tighter \
+         worst-case guarantees, at more search cost. The paper's conclusion: \
+         for the top of the ranking (head), guarantees stay useful even under \
+         aggressive restriction."
+    );
+}

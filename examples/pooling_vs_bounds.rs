@@ -1,0 +1,88 @@
+//! Use-case (3) from the paper: "assess the accuracy of an effectiveness
+//! estimate acquired using other validation techniques."
+//!
+//! The other technique here is TREC-style pooling (Harman; [10] in the
+//! paper): judge only the union of the systems' top-k answers, compute
+//! P/R against the pooled judgments, and hope the bias is small. The
+//! bounds tell us — analytically, for free — how far such an estimate can
+//! possibly be from the truth, and the generator's full ground truth
+//! shows where both actually land.
+//!
+//! Run with: `cargo run --release --example pooling_vs_bounds`
+
+use smx::eval::{pool_depth_k, Counts, PrCurve};
+use smx::pipeline::Experiment;
+use smx::synth::ScenarioConfig;
+
+fn main() {
+    let exp = Experiment::generate(
+        ScenarioConfig {
+            derived_schemas: 24,
+            noise_schemas: 12,
+            personal_nodes: 5,
+            host_nodes: 10,
+            perturbation_strength: 0.9,
+            seed: 5,
+            ..Default::default()
+        },
+        0.25,
+    );
+    let s1 = exp.run_s1();
+    let s2 = exp.run_s2_beam(40);
+    let s1_curve = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+    let grid = s1_curve.thresholds();
+
+    // Pooled judging at depth 100: the "human" only sees the pool.
+    let pooled = pool_depth_k(&[&s1, &s2], 100, &exp.truth);
+    println!(
+        "pool of depth 100 over two systems: {} answers judged, {} of {} correct \
+         mappings discovered by the pool",
+        pooled.pool_size(),
+        pooled.truth().len(),
+        exp.truth.len()
+    );
+
+    // The bounds need no judging at all.
+    let env = exp.envelope(&s1_curve, &s2).expect("S2 ⊆ S1");
+
+    println!(
+        "\nδ        pooled-P  actual-P  [worst, best]      pooled-R  actual-R  [worst, best]"
+    );
+    for (p, env_p) in grid.iter().zip(env.points()) {
+        let pooled_counts = Counts::measure(&s2, pooled.truth(), *p);
+        let actual_counts = Counts::measure(&s2, &exp.truth, *p);
+        println!(
+            "{:.4}   {:>7.3}  {:>8.3}  [{:.3}, {:.3}]   {:>8.3}  {:>8.3}  [{:.3}, {:.3}]",
+            p,
+            pooled_counts.precision(),
+            actual_counts.precision(),
+            env_p.incremental.worst.precision,
+            env_p.incremental.best.precision,
+            pooled_counts.recall(pooled.truth().len().max(1)),
+            actual_counts.recall(exp.truth.len()),
+            env_p.incremental.worst.recall,
+            env_p.incremental.best.recall,
+        );
+    }
+
+    // Quantify pooling bias vs the guarantees.
+    let actual = exp.curve_on_grid(&s2, &grid).expect("same grid");
+    let pooled_curve = PrCurve::measure(&s2, pooled.truth(), &grid);
+    match pooled_curve {
+        Ok(pc) => {
+            let max_bias = pc
+                .points()
+                .iter()
+                .zip(actual.points())
+                .map(|(a, b)| (a.recall - b.recall).abs())
+                .fold(0.0f64, f64::max);
+            println!("\nmax pooling recall bias on this scenario: {max_bias:.3}");
+        }
+        Err(e) => println!("\npooled truth unusable: {e}"),
+    }
+    println!(
+        "pooling gives a point estimate with unknown bias; the bounds give a \
+         guaranteed interval with zero judging effort — and the actual values \
+         above confirm both."
+    );
+}

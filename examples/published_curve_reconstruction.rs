@@ -1,0 +1,60 @@
+//! §4.1's scenario: you want to improve *someone else's* published system.
+//! All you have is (a) their 11-point interpolated P/R curve from the
+//! paper and (b) a reconstruction of their system (same objective
+//! function). Their test collection — and |H| — are unavailable.
+//!
+//! The technique: guess |H|, convert the interpolated curve back into a
+//! measured-style curve, and compute bounds for your improvement from
+//! answer-set sizes alone. This example also sweeps the |H| guess to show
+//! the bounds barely move (the paper's suspicion, quantified).
+//!
+//! Run with: `cargo run --release --example published_curve_reconstruction`
+
+use smx::bounds::{measured_from_interpolated, BoundsEnvelope, SizeRatio};
+use smx::eval::InterpolatedCurve;
+use smx::pipeline::Experiment;
+use smx::synth::ScenarioConfig;
+
+fn main() {
+    // Play the role of the original authors: run S1, publish only the
+    // interpolated curve.
+    let exp = Experiment::generate(
+        ScenarioConfig {
+            derived_schemas: 25,
+            noise_schemas: 12,
+            personal_nodes: 5,
+            host_nodes: 10,
+            perturbation_strength: 0.9,
+            seed: 23,
+            ..Default::default()
+        },
+        0.25,
+    );
+    let s1 = exp.run_s1();
+    let full_curve = exp.measured_curve(&s1, 16).expect("non-empty truth and grid");
+    let published = InterpolatedCurve::eleven_point(&full_curve);
+    println!("published 11-point curve (all anyone outside the lab ever sees):");
+    for &(r, p) in published.points() {
+        println!("  recall {r:.1}  precision {p:.4}");
+    }
+    println!("(true |H| = {} — unknown to the reconstructor)\n", exp.truth.len());
+
+    // Now the reconstructor: guess |H| and derive bounds for an improved
+    // system with a measured answer-size ratio of 0.85.
+    let ratio = SizeRatio::new(0.85).expect("in range");
+    println!("assumed|H|  worst-case precision at each reconstructed grid point");
+    for guess in [50usize, 500, 5_000, 15_000, 50_000] {
+        let rebuilt = measured_from_interpolated(&published, guess).expect("reconstructible");
+        let env = BoundsEnvelope::fixed_ratio(&rebuilt, ratio).expect("consistent grid");
+        let series: Vec<String> = env
+            .points()
+            .iter()
+            .map(|p| format!("{:.3}", p.incremental.worst.precision))
+            .collect();
+        println!("{guess:>9}  {}", series.join(" "));
+    }
+    println!(
+        "\nthe worst-case series stabilises after the first order of magnitude: \
+         a rough |H| estimate suffices, as §4.1 suspected."
+    );
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! `smx` — umbrella crate for the ICDE 2006 "Effectiveness Bounds for
+//! Non-Exhaustive Schema Matching Systems" reproduction.
+//!
+//! Re-exports the workspace crates under stable module names and provides
+//! the [`pipeline`] glue that examples, integration tests, and the figure
+//! harness share:
+//!
+//! * [`text`] — string similarity primitives,
+//! * [`xml`] — the XML schema model,
+//! * [`eval`] — retrieval evaluation (answer sets, P/R curves, pooling),
+//! * [`bounds`] — the paper's contribution: effectiveness bounds,
+//! * [`repo`] — schema repository and clustering,
+//! * [`synth`] — synthetic scenarios with known ground truth,
+//! * [`matching`] — exhaustive S1 and non-exhaustive S2 matchers,
+//! * [`pipeline`] — scenario → matcher → curve → bounds wiring.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub mod pipeline;
+
+pub use smx_core as bounds;
+pub use smx_eval as eval;
+pub use smx_match as matching;
+pub use smx_repo as repo;
+pub use smx_synth as synth;
+pub use smx_text as text;
+pub use smx_xml as xml;

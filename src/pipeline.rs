@@ -1,0 +1,222 @@
+//! End-to-end experiment wiring: scenario → matchers → measured curves →
+//! effectiveness bounds.
+//!
+//! Everything the figure harness, the examples, and the integration tests
+//! share lives here, so a complete experiment is a few lines:
+//!
+//! ```
+//! use smx::pipeline::Experiment;
+//! use smx::synth::ScenarioConfig;
+//!
+//! let exp = Experiment::generate(ScenarioConfig {
+//!     derived_schemas: 4, noise_schemas: 2, personal_nodes: 4,
+//!     host_nodes: 7, ..Default::default()
+//! }, 0.45);
+//! let s1 = exp.run_s1();
+//! let curve = exp.measured_curve(&s1, 10).unwrap();
+//! assert!(curve.validate().is_ok());
+//! ```
+
+use smx_core::{BoundsEnvelope, BoundsError};
+use smx_eval::{AnswerSet, EvalError, GroundTruth, PrCurve};
+use smx_match::{
+    BeamMatcher, ClusterMatcher, ExhaustiveMatcher, Mapping, MappingRegistry, MatchProblem,
+    Matcher, ObjectiveFunction, TopKMatcher,
+};
+use smx_synth::{Scenario, ScenarioConfig};
+
+/// A scenario wired to matchers with a shared registry and ground truth
+/// in mapping-id space.
+pub struct Experiment {
+    /// The generated scenario (personal schema, repository, correct
+    /// element assignments).
+    pub scenario: Scenario,
+    /// The matching problem built from the scenario.
+    pub problem: MatchProblem,
+    /// Shared mapping-id registry — S1 and every S2 intern through it.
+    pub registry: MappingRegistry,
+    /// `H` as answer ids: the scenario's correct mappings, interned.
+    pub truth: GroundTruth,
+    /// The maximum threshold δ_max the systems search up to.
+    pub delta_max: f64,
+}
+
+impl Experiment {
+    /// Generate a scenario and set up the experiment.
+    pub fn generate(config: ScenarioConfig, delta_max: f64) -> Experiment {
+        let scenario = Scenario::generate(config);
+        Self::from_scenario(scenario, delta_max)
+    }
+
+    /// Wire an existing scenario.
+    pub fn from_scenario(scenario: Scenario, delta_max: f64) -> Experiment {
+        let problem = MatchProblem::new(scenario.personal.clone(), scenario.repository.clone())
+            .expect("scenario personal schema is non-empty");
+        let registry = MappingRegistry::new();
+        let truth = GroundTruth::new(scenario.correct.iter().map(|cm| {
+            registry.intern(Mapping {
+                schema: cm.schema,
+                targets: cm.targets.iter().map(|&(_, r)| r).collect(),
+            })
+        }));
+        Experiment { scenario, problem, registry, truth, delta_max }
+    }
+
+    /// Run the exhaustive S1.
+    pub fn run_s1(&self) -> AnswerSet {
+        ExhaustiveMatcher::default().run(&self.problem, self.delta_max, &self.registry)
+    }
+
+    /// Run the beam-search S2 ("S2-one" in the figures).
+    pub fn run_s2_beam(&self, width: usize) -> AnswerSet {
+        BeamMatcher::new(ObjectiveFunction::default(), width).run(
+            &self.problem,
+            self.delta_max,
+            &self.registry,
+        )
+    }
+
+    /// Run the cluster-restricted S2 ("S2-two" in the figures).
+    pub fn run_s2_cluster(&self, threshold: f64, fragments: usize) -> AnswerSet {
+        ClusterMatcher::new(ObjectiveFunction::default(), threshold, fragments).run(
+            &self.problem,
+            self.delta_max,
+            &self.registry,
+        )
+    }
+
+    /// Run the top-k S2.
+    pub fn run_s2_topk(&self, k: usize) -> AnswerSet {
+        TopKMatcher::new(ObjectiveFunction::default(), k).run(
+            &self.problem,
+            self.delta_max,
+            &self.registry,
+        )
+    }
+
+    /// An evenly thinned threshold grid over `answers`' distinct scores,
+    /// at most `points` thresholds, always including the last score.
+    pub fn grid(&self, answers: &AnswerSet, points: usize) -> Vec<f64> {
+        let scores = answers.distinct_scores();
+        if scores.len() <= points.max(1) {
+            return scores;
+        }
+        let step = scores.len() as f64 / points as f64;
+        let mut grid: Vec<f64> = (1..=points)
+            .map(|i| scores[((i as f64 * step) as usize).min(scores.len() - 1)])
+            .collect();
+        grid.dedup();
+        grid
+    }
+
+    /// A rank-based threshold grid: thresholds at geometrically spaced
+    /// ranks of `answers`, from about `|H|/2` to the full list. This
+    /// concentrates grid points where the P/R trade-off actually happens
+    /// (the head of the ranking) instead of the noise tail — the region
+    /// the paper's δ ∈ [0, 0.25] sweeps cover.
+    pub fn rank_grid(&self, answers: &AnswerSet, points: usize) -> Vec<f64> {
+        let n = answers.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let lo = (self.truth.len() / 2).clamp(2, n);
+        let factor = (n as f64 / lo as f64).powf(1.0 / points.max(1) as f64);
+        let mut grid: Vec<f64> = Vec::with_capacity(points + 1);
+        let mut rank = lo as f64;
+        for _ in 0..=points {
+            let idx = (rank.round() as usize).clamp(1, n) - 1;
+            grid.push(answers.answers()[idx].score);
+            rank *= factor;
+        }
+        grid.push(answers.answers()[n - 1].score);
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        grid.dedup();
+        grid
+    }
+
+    /// Measure a P/R curve for `answers` against the experiment's truth on
+    /// a thinned grid of at most `points` thresholds (taken from the
+    /// answers' own scores).
+    pub fn measured_curve(
+        &self,
+        answers: &AnswerSet,
+        points: usize,
+    ) -> Result<PrCurve, EvalError> {
+        PrCurve::measure(answers, &self.truth, &self.rank_grid(answers, points))
+    }
+
+    /// Measure a P/R curve on an explicit grid.
+    pub fn curve_on_grid(
+        &self,
+        answers: &AnswerSet,
+        grid: &[f64],
+    ) -> Result<PrCurve, EvalError> {
+        PrCurve::measure(answers, &self.truth, grid)
+    }
+
+    /// Compute the bounds envelope for an S2 run against an S1 curve — the
+    /// production entry point that *never touches* `self.truth`.
+    pub fn envelope(
+        &self,
+        s1_curve: &PrCurve,
+        s2: &AnswerSet,
+    ) -> Result<BoundsEnvelope, BoundsError> {
+        BoundsEnvelope::from_answer_sets(s1_curve, s2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn experiment() -> Experiment {
+        Experiment::generate(
+            ScenarioConfig {
+                derived_schemas: 4,
+                noise_schemas: 2,
+                personal_nodes: 4,
+                host_nodes: 7,
+                ..Default::default()
+            },
+            0.45,
+        )
+    }
+
+    #[test]
+    fn truth_ids_are_interned_in_shared_registry() {
+        let exp = experiment();
+        assert_eq!(exp.truth.len(), exp.scenario.truth_size());
+        // Running S1 after interning the truth keeps ids consistent:
+        let s1 = exp.run_s1();
+        // any retrieved correct answer has a score.
+        let retrieved_correct =
+            exp.truth.ids().filter(|&id| s1.score_of(id).is_some()).count();
+        assert!(retrieved_correct > 0, "S1 found none of the planted mappings");
+    }
+
+    #[test]
+    fn grid_thinning_preserves_extent() {
+        let exp = experiment();
+        let s1 = exp.run_s1();
+        let grid = exp.grid(&s1, 10);
+        assert!(grid.len() <= 10);
+        let all = s1.distinct_scores();
+        assert_eq!(grid.last(), all.last());
+    }
+
+    #[test]
+    fn envelope_contains_actual_s2_curve() {
+        let exp = experiment();
+        let s1 = exp.run_s1();
+        let s1_curve = exp.measured_curve(&s1, 12).unwrap();
+        for s2 in [exp.run_s2_beam(8), exp.run_s2_cluster(0.5, 3), exp.run_s2_topk(20)] {
+            let env = exp.envelope(&s1_curve, &s2).unwrap();
+            let actual = exp.curve_on_grid(&s2, &s1_curve.thresholds()).unwrap();
+            assert!(
+                env.contains(&actual, 1e-9),
+                "violation at {:?}",
+                env.first_violation(&actual, 1e-9)
+            );
+        }
+    }
+}

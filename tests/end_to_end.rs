@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: the full pipeline from scenario
+//! generation through matching to bounds, asserting the paper's claims on
+//! real (generated) workloads.
+
+use smx::bounds::{incremental_bounds, ratio_curve_between, BoundsEnvelope, SizeRatio};
+use smx::eval::{Counts, InterpolatedCurve};
+use smx::pipeline::Experiment;
+use smx::synth::{Domain, ScenarioConfig};
+
+fn experiment(seed: u64) -> Experiment {
+    Experiment::generate(
+        ScenarioConfig {
+            derived_schemas: 10,
+            noise_schemas: 6,
+            personal_nodes: 4,
+            host_nodes: 8,
+            perturbation_strength: 0.8,
+            seed,
+            ..Default::default()
+        },
+        0.3,
+    )
+}
+
+/// The central end-to-end claim: for real matchers on generated
+/// scenarios, bounds computed without ground truth contain the actual
+/// effectiveness of every S2 variant at every threshold.
+#[test]
+fn bounds_contain_actual_for_all_matchers_and_seeds() {
+    for seed in [3, 17, 42] {
+        let exp = experiment(seed);
+        if exp.truth.is_empty() {
+            continue;
+        }
+        let s1 = exp.run_s1();
+        let s1_curve = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+        let s2s = [
+            ("beam", exp.run_s2_beam(10)),
+            ("cluster", exp.run_s2_cluster(0.55, 3)),
+            ("topk", exp.run_s2_topk(40)),
+        ];
+        for (name, s2) in &s2s {
+            let env = exp.envelope(&s1_curve, s2).expect("S2 ⊆ S1");
+            let actual = exp
+                .curve_on_grid(s2, &s1_curve.thresholds())
+                .expect("same grid");
+            assert!(
+                env.contains(&actual, 1e-9),
+                "seed {seed} {name}: violation at {:?}",
+                env.first_violation(&actual, 1e-9)
+            );
+        }
+    }
+}
+
+/// The premise check rejects systems with a different objective function.
+#[test]
+fn foreign_objective_function_is_rejected() {
+    let exp = experiment(5);
+    let s1 = exp.run_s1();
+    // Rescore some answers: not the same objective function anymore.
+    let tampered = smx::eval::AnswerSet::new(
+        s1.answers()
+            .iter()
+            .take(50)
+            .map(|a| (a.id, a.score * 0.5)),
+    )
+    .expect("finite scores");
+    let grid = exp.rank_grid(&s1, 8);
+    assert!(ratio_curve_between(&tampered, &s1, &grid).is_err());
+}
+
+/// Incremental bounds are at least as tight as naive ones on real runs.
+#[test]
+fn incremental_tightens_naive_on_real_runs() {
+    let exp = experiment(11);
+    let s1 = exp.run_s1();
+    let s1_curve = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+    let s2 = exp.run_s2_cluster(0.55, 3);
+    let sizes: Vec<usize> = s1_curve
+        .points()
+        .iter()
+        .map(|p| s2.count_at(p.threshold))
+        .collect();
+    let bounds = incremental_bounds(&s1_curve, &sizes).expect("consistent sizes");
+    let mut strictly_tighter = 0;
+    for p in bounds.points() {
+        assert!(p.incremental.worst.precision >= p.naive.worst.precision - 1e-12);
+        assert!(p.incremental.best.precision <= p.naive.best.precision + 1e-12);
+        if p.incremental.worst.precision > p.naive.worst.precision + 1e-9 {
+            strictly_tighter += 1;
+        }
+    }
+    assert!(
+        strictly_tighter > 0,
+        "incremental bounds never strictly improved on naive — unexpected for a \
+         cluster-restricted S2"
+    );
+}
+
+/// Figure-9 style sanity: a fixed-ratio envelope brackets S1's own curve
+/// and collapses to it at ratio 1.
+#[test]
+fn fixed_ratio_envelope_brackets_s1() {
+    let exp = experiment(13);
+    let s1 = exp.run_s1();
+    let s1_curve = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+    let env9 = BoundsEnvelope::fixed_ratio(&s1_curve, SizeRatio::new(0.9).expect("in range"))
+        .expect("consistent grid");
+    for (p, orig) in env9.points().iter().zip(s1_curve.points()) {
+        assert!(p.incremental.worst.precision <= orig.precision + 1e-9);
+        assert!(p.incremental.best.recall <= orig.recall + 1e-9);
+    }
+    let env1 = BoundsEnvelope::fixed_ratio(&s1_curve, SizeRatio::ONE).expect("consistent grid");
+    for (p, orig) in env1.points().iter().zip(s1_curve.points()) {
+        assert!((p.incremental.worst.precision - orig.precision).abs() < 1e-9);
+        assert!((p.incremental.best.recall - orig.recall).abs() < 1e-9);
+    }
+}
+
+/// §4.1 roundtrip on a real curve: reconstructing the measured curve from
+/// its own interpolation with the true |H| preserves counts.
+#[test]
+fn interpolated_reconstruction_roundtrip() {
+    let exp = experiment(19);
+    let s1 = exp.run_s1();
+    let measured = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+    let interp = InterpolatedCurve::from_points(
+        measured.points().iter().map(|p| (p.recall, p.precision)),
+    )
+    .expect("valid points");
+    let rebuilt = smx::bounds::measured_from_interpolated(&interp, exp.truth.len())
+        .expect("reconstructible");
+    // Same |H| ⇒ counts match (the curve's recall values are exact
+    // multiples of 1/|H|).
+    for (orig, back) in measured.points().iter().zip(rebuilt.points()) {
+        assert_eq!(orig.counts.correct, back.counts.correct);
+        let err = orig.counts.answers.abs_diff(back.counts.answers);
+        assert!(
+            err <= 1,
+            "answers {} vs {}",
+            orig.counts.answers,
+            back.counts.answers
+        );
+    }
+}
+
+/// Scenario ground truth survives the mapping-id roundtrip: interned ids
+/// resolve back to the planted assignments.
+#[test]
+fn truth_ids_resolve_to_planted_mappings() {
+    let exp = experiment(23);
+    for (cm, id) in exp.scenario.correct.iter().zip(exp.truth.ids()) {
+        let mapping = exp.registry.resolve(id).expect("interned");
+        assert_eq!(mapping.schema, cm.schema);
+        assert_eq!(
+            mapping.targets,
+            cm.targets.iter().map(|&(_, r)| r).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Different vocabulary domains all produce workable scenarios.
+#[test]
+fn all_domains_produce_valid_pipelines() {
+    for domain in Domain::ALL {
+        let exp = Experiment::generate(
+            ScenarioConfig {
+                domain,
+                derived_schemas: 6,
+                noise_schemas: 3,
+                personal_nodes: 4,
+                host_nodes: 7,
+                perturbation_strength: 0.6,
+                seed: 31,
+                ..Default::default()
+            },
+            0.3,
+        );
+        let s1 = exp.run_s1();
+        assert!(!s1.is_empty(), "{domain:?}: S1 found nothing");
+        if exp.truth.is_empty() {
+            continue;
+        }
+        let curve = exp.measured_curve(&s1, 8).expect("non-empty truth and grid");
+        assert!(curve.validate().is_ok(), "{domain:?}");
+        // Recall reaches something: at least one planted mapping retrieved.
+        let last = curve.points().last().expect("non-empty curve");
+        assert!(last.counts.correct > 0, "{domain:?}: nothing correct retrieved");
+    }
+}
+
+/// Top-N reporting and threshold slicing agree with counts (Figure 2's
+/// definitions applied through two different code paths).
+#[test]
+fn topn_and_threshold_views_agree() {
+    let exp = experiment(29);
+    let s1 = exp.run_s1();
+    let n = 25.min(s1.len());
+    if n == 0 {
+        return;
+    }
+    let p_at_n = smx::eval::precision_at(&s1, &exp.truth, n);
+    let nth_score = s1.answers()[n - 1].score;
+    let counts = Counts::measure(&s1, &exp.truth, nth_score);
+    // The threshold view can include ties beyond rank n, so compare via
+    // counts when sizes agree.
+    if counts.answers == n {
+        assert!((counts.precision() - p_at_n).abs() < 1e-12);
+    }
+}
