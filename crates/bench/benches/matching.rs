@@ -2,6 +2,12 @@
 //! non-exhaustive improvements on the same problem. This is the paper's
 //! *motivation* — S2 exists because S1 is exponential — so the bench
 //! reports both runtimes and answer counts.
+//!
+//! `s1_exhaustive_direct` is the pre-engine baseline (string similarity
+//! recomputed every run, as the seed implementation did);
+//! `s1_exhaustive` reads the problem's precomputed `CostMatrix`. Their
+//! ratio is the scoring engine's speedup — tracked in
+//! `BENCH_matching.json` via `scripts/bench_matching.sh`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smx::matching::{
@@ -29,6 +35,10 @@ fn bench_matchers(c: &mut Criterion) {
     let mut group = c.benchmark_group("matchers");
     group.sample_size(10);
     let matchers: Vec<(&str, Box<dyn Matcher>)> = vec![
+        (
+            "s1_exhaustive_direct",
+            Box::new(ExhaustiveMatcher::direct(ObjectiveFunction::default())),
+        ),
         ("s1_exhaustive", Box::new(ExhaustiveMatcher::default())),
         (
             "s1_parallel",
@@ -49,6 +59,26 @@ fn bench_matchers(c: &mut Criterion) {
             })
         });
     }
+    // Cold-problem variant: the engine cache is per-MatchProblem, so a
+    // brand-new problem pays the CostMatrix fill. Timing problem
+    // construction + run keeps the headline steady-state number honest.
+    let personal = problem.personal().clone();
+    let repository = problem.repository().clone();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("s1_exhaustive_cold"),
+        &0,
+        |b, _| {
+            b.iter(|| {
+                let cold = MatchProblem::new(personal.clone(), repository.clone())
+                    .expect("non-empty personal schema");
+                let registry = MappingRegistry::new();
+                black_box(
+                    ExhaustiveMatcher::default().run(black_box(&cold), delta_max, &registry),
+                )
+                .len()
+            })
+        },
+    );
     group.finish();
 }
 

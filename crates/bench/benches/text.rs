@@ -16,8 +16,10 @@ const PAIRS: [(&str, &str); 5] = [
     ("isbn", "issn"),
 ];
 
+type Kernel = fn(&str, &str) -> f64;
+
 fn bench_kernels(c: &mut Criterion) {
-    let kernels: [(&str, fn(&str, &str) -> f64); 4] = [
+    let kernels: [(&str, Kernel); 4] = [
         ("levenshtein", levenshtein_similarity),
         ("jaro_winkler", jaro_winkler),
         ("trigram", trigram_similarity),

@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn standard_experiment_builds() {
         let exp = standard_experiment();
-        assert!(exp.truth.len() > 0);
+        assert!(!exp.truth.is_empty());
         assert_eq!(exp.scenario.repository.len(), 42);
     }
 

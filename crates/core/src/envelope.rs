@@ -175,7 +175,7 @@ pub fn ratio_space_point(p1: f64, r1: f64, ratio: SizeRatio) -> PointBounds {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smx_eval::{AnswerId, Counts, GroundTruth};
+    use smx_eval::{AnswerId, Counts};
 
     fn s1_curve() -> PrCurve {
         PrCurve::from_counts(

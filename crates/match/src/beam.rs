@@ -47,29 +47,35 @@ impl Matcher for BeamMatcher {
     ) -> AnswerSet {
         let k = problem.personal_size();
         let personal = problem.personal();
+        let matrix = problem.cost_matrix(&self.objective);
         let mut found: Vec<(AnswerId, f64)> = Vec::new();
         for (sid, schema) in problem.repository().iter() {
-            let nodes: Vec<NodeId> = schema.node_ids().collect();
-            if nodes.len() < k {
+            let n = schema.len();
+            if n < k {
                 continue;
             }
+            let table = matrix.table(sid);
             // Beam of partial assignments: (partial cost, chosen indices).
             let mut beam: Vec<(f64, Vec<usize>)> = vec![(0.0, Vec::new())];
             for level in 0..k {
                 let pid = problem.personal_order()[level];
                 let parent = personal.node(pid).parent;
+                let row = table.row(level);
                 let mut next: Vec<(f64, Vec<usize>)> = Vec::new();
                 for (partial, chosen) in &beam {
-                    for cand in 0..nodes.len() {
+                    for (cand, &node_cost) in row.iter().enumerate() {
                         if chosen.contains(&cand) {
                             continue; // injectivity
                         }
-                        let mut step =
-                            self.objective.node_cost(personal, pid, schema, nodes[cand]);
+                        let mut step = node_cost;
                         if let Some(p) = parent {
-                            let parent_target = nodes[chosen[p.index()]];
+                            let parent_target = NodeId(chosen[p.index()] as u32);
                             step += self.objective.config().structure_weight
-                                * self.objective.edge_penalty(schema, parent_target, nodes[cand]);
+                                * self.objective.edge_penalty(
+                                    schema,
+                                    parent_target,
+                                    NodeId(cand as u32),
+                                );
                         }
                         let mut extended = chosen.clone();
                         extended.push(cand);
@@ -89,9 +95,10 @@ impl Matcher for BeamMatcher {
                 if chosen.len() != k {
                     continue;
                 }
-                let assignment: Vec<NodeId> = chosen.iter().map(|&i| nodes[i]).collect();
+                let assignment: Vec<NodeId> =
+                    chosen.iter().map(|&i| NodeId(i as u32)).collect();
                 // Shared scoring path ⇒ identical Δ as S1 for this mapping.
-                let score = self.objective.mapping_cost(problem, sid, &assignment);
+                let score = matrix.mapping_cost(problem, sid, &assignment);
                 if score <= delta_max {
                     let id = registry.intern(Mapping { schema: sid, targets: assignment });
                     found.push((id, score));

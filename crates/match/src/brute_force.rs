@@ -6,6 +6,7 @@
 //! ground truth against which [`ExhaustiveMatcher`](crate::exhaustive)'s
 //! pruning is proven complete.
 
+use crate::exhaustive::ScoringMode;
 use crate::mapping::{Mapping, MappingRegistry};
 use crate::matcher::Matcher;
 use crate::objective::ObjectiveFunction;
@@ -17,12 +18,25 @@ use smx_xml::NodeId;
 #[derive(Debug, Clone, Default)]
 pub struct BruteForceMatcher {
     objective: ObjectiveFunction,
+    mode: ScoringMode,
 }
 
 impl BruteForceMatcher {
-    /// Build with a shared objective function.
+    /// Build with a shared objective function (matrix-backed scoring).
     pub fn new(objective: ObjectiveFunction) -> Self {
-        BruteForceMatcher { objective }
+        BruteForceMatcher { objective, mode: ScoringMode::Precomputed }
+    }
+
+    /// Build a matcher that scores through the raw
+    /// [`ObjectiveFunction`] path instead of the precomputed matrix —
+    /// the fully independent reference for score-identity tests.
+    pub fn direct(objective: ObjectiveFunction) -> Self {
+        BruteForceMatcher { objective, mode: ScoringMode::Direct }
+    }
+
+    /// The scoring mode.
+    pub fn mode(&self) -> ScoringMode {
+        self.mode
     }
 }
 
@@ -38,6 +52,10 @@ impl Matcher for BruteForceMatcher {
         registry: &MappingRegistry,
     ) -> AnswerSet {
         let k = problem.personal_size();
+        let matrix = match self.mode {
+            ScoringMode::Precomputed => Some(problem.cost_matrix(&self.objective)),
+            ScoringMode::Direct => None,
+        };
         let mut found: Vec<(smx_eval::AnswerId, f64)> = Vec::new();
         for (sid, schema) in problem.repository().iter() {
             let nodes: Vec<NodeId> = schema.node_ids().collect();
@@ -59,7 +77,10 @@ impl Matcher for BruteForceMatcher {
                 }
                 if injective {
                     let targets: Vec<NodeId> = idx.iter().map(|&i| nodes[i]).collect();
-                    let cost = self.objective.mapping_cost(problem, sid, &targets);
+                    let cost = match &matrix {
+                        Some(m) => m.mapping_cost(problem, sid, &targets),
+                        None => self.objective.mapping_cost(problem, sid, &targets),
+                    };
                     if cost <= delta_max {
                         let id = registry.intern(Mapping { schema: sid, targets });
                         found.push((id, cost));

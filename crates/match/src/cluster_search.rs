@@ -70,19 +70,21 @@ impl Matcher for ClusterMatcher {
         let fragments: Vec<Fragment> = fragments_for_clusters(repo, &clustering, &selected);
 
         // 2. Exhaustively search each fragment's schema with targets
-        //    restricted to the fragment cover.
+        //    restricted to the fragment cover. Scores come from the
+        //    problem's precomputed cost matrix (fragment covers are plain
+        //    index subsets of it).
         let k = problem.personal_size();
+        let matrix = problem.cost_matrix(&self.objective);
         let mut found: Vec<(AnswerId, f64)> = Vec::new();
         for fragment in &fragments {
-            let schema = repo.schema(fragment.schema);
             let nodes: Vec<NodeId> = fragment.cover.iter().copied().collect();
             if nodes.len() < k {
                 continue;
             }
             let mut chosen: Vec<usize> = Vec::with_capacity(k);
             search(
-                self,
                 problem,
+                &matrix,
                 fragment,
                 &nodes,
                 delta_max,
@@ -91,9 +93,10 @@ impl Matcher for ClusterMatcher {
                 &mut found,
             );
 
+            #[allow(clippy::too_many_arguments)]
             fn search(
-                m: &ClusterMatcher,
                 problem: &MatchProblem,
+                matrix: &crate::cost_matrix::CostMatrix,
                 fragment: &Fragment,
                 nodes: &[NodeId],
                 delta_max: f64,
@@ -105,8 +108,7 @@ impl Matcher for ClusterMatcher {
                 if chosen.len() == k {
                     let assignment: Vec<NodeId> =
                         chosen.iter().map(|&i| nodes[i]).collect();
-                    let score =
-                        m.objective.mapping_cost(problem, fragment.schema, &assignment);
+                    let score = matrix.mapping_cost(problem, fragment.schema, &assignment);
                     if score <= delta_max {
                         let id = registry.intern(Mapping {
                             schema: fragment.schema,
@@ -121,11 +123,10 @@ impl Matcher for ClusterMatcher {
                         continue;
                     }
                     chosen.push(cand);
-                    search(m, problem, fragment, nodes, delta_max, registry, chosen, found);
+                    search(problem, matrix, fragment, nodes, delta_max, registry, chosen, found);
                     chosen.pop();
                 }
             }
-            let _ = schema;
         }
         AnswerSet::new(found).expect("finite costs, unique interned ids")
     }

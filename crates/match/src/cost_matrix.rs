@@ -1,0 +1,370 @@
+//! The precomputed cost-matrix scoring engine.
+//!
+//! Every matcher scores mappings from the same leaves: per-node
+//! assignment costs (name dissimilarity blended with type
+//! incompatibility) and per-edge structural penalties. The node costs are
+//! by far the expensive part — full string similarity per
+//! `(personal_name, repo_name)` pair — and the same *distinct* pair
+//! recurs across schemas, matchers, and runs. [`CostMatrix`] evaluates
+//! them exactly once:
+//!
+//! 1. all element names are interned through
+//!    [`smx_repo::LabelInterner`], so a name distance is computed per
+//!    distinct label pair, not per node pair;
+//! 2. per repository schema, the dense `k × n` node-cost table is filled
+//!    from the memoised distances plus the (cheap) type blend;
+//! 3. per-level row minima and their suffix sums — the admissible
+//!    branch-and-bound bounds — are precomputed alongside.
+//!
+//! Matchers read costs and bounds with plain indexed loads (no locks, no
+//! string traffic, no allocation). The engine is cached inside
+//! [`MatchProblem`] behind a `OnceLock`, so S1 and every S2 variant share
+//! one fill.
+//!
+//! **Score identity.** The bounds methodology requires S1 and S2 to share
+//! Δ *exactly*. The matrix fill funnels through the same
+//! [`ObjectiveFunction::blend`] / `name_distance` code the direct
+//! [`ObjectiveFunction::node_cost`] path uses, and
+//! [`CostMatrix::mapping_cost`] replicates
+//! [`ObjectiveFunction::mapping_cost`]'s summation order term by term —
+//! so matrix-backed scores are **bitwise identical** to direct
+//! evaluation. `tests/score_identity.rs` asserts this for all matchers.
+
+use crate::objective::{ObjectiveConfig, ObjectiveFunction};
+use crate::problem::MatchProblem;
+use smx_repo::{LabelId, LabelInterner, SchemaId};
+use smx_xml::{NodeId, Schema};
+
+/// Dense per-schema node-cost table with branch-and-bound bounds.
+#[derive(Debug, Clone)]
+pub struct SchemaTable {
+    /// Number of schema nodes (columns).
+    n: usize,
+    /// `k × n` node costs, level-major: `costs[level * n + node]`.
+    costs: Vec<f64>,
+    /// Per-level minimum node cost (the admissible per-node bound).
+    row_min: Vec<f64>,
+    /// Suffix sums of `row_min`: `suffix_min[i] = Σ_{j≥i} row_min[j]`,
+    /// with `suffix_min[k] = 0` — the optimistic completion cost used to
+    /// prune.
+    suffix_min: Vec<f64>,
+}
+
+impl SchemaTable {
+    fn from_costs(k: usize, n: usize, costs: Vec<f64>) -> Self {
+        debug_assert_eq!(costs.len(), k * n);
+        let row_min: Vec<f64> = (0..k)
+            .map(|level| {
+                costs[level * n..(level + 1) * n]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let mut suffix_min = vec![0.0f64; k + 1];
+        for i in (0..k).rev() {
+            suffix_min[i] = suffix_min[i + 1] + row_min[i];
+        }
+        SchemaTable { n, costs, row_min, suffix_min }
+    }
+
+    /// Direct (non-memoised) fill: every cell goes through
+    /// [`ObjectiveFunction::node_cost`] on raw strings. This is the
+    /// pre-engine evaluation path, kept as the baseline the benches and
+    /// the score-identity tests compare the matrix against.
+    pub fn compute_direct(
+        problem: &MatchProblem,
+        schema: &Schema,
+        objective: &ObjectiveFunction,
+    ) -> Self {
+        let personal = problem.personal();
+        let k = problem.personal_size();
+        let n = schema.len();
+        let mut costs = Vec::with_capacity(k * n);
+        for &pid in problem.personal_order() {
+            for t in schema.node_ids() {
+                costs.push(objective.node_cost(personal, pid, schema, t));
+            }
+        }
+        SchemaTable::from_costs(k, n, costs)
+    }
+
+    /// Number of schema nodes (columns).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Node cost of assigning personal level `level` to the schema node
+    /// with arena index `node` — one indexed load.
+    #[inline]
+    pub fn cost(&self, level: usize, node: usize) -> f64 {
+        self.costs[level * self.n + node]
+    }
+
+    /// The whole cost row of `level`.
+    #[inline]
+    pub fn row(&self, level: usize) -> &[f64] {
+        &self.costs[level * self.n..(level + 1) * self.n]
+    }
+
+    /// Minimum node cost at `level` — replaces the `O(n)` rescan of
+    /// `ObjectiveFunction::min_node_cost`.
+    #[inline]
+    pub fn row_min(&self, level: usize) -> f64 {
+        self.row_min[level]
+    }
+
+    /// Suffix sums of per-level minima (`suffix_min()[k] == 0`).
+    #[inline]
+    pub fn suffix_min(&self) -> &[f64] {
+        &self.suffix_min
+    }
+}
+
+/// Precomputed node costs and admissible bounds for one
+/// [`MatchProblem`] under one [`ObjectiveFunction`].
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    objective: ObjectiveFunction,
+    /// Normalisation denominator `k + e · structure_weight`.
+    denom: f64,
+    /// One table per repository schema, indexed by `SchemaId`.
+    tables: Vec<SchemaTable>,
+}
+
+impl CostMatrix {
+    /// Precompute the engine: intern labels, evaluate each distinct
+    /// `(personal_label, repo_label)` name distance once, fill every
+    /// schema's cost table and bounds.
+    pub fn build(problem: &MatchProblem, objective: &ObjectiveFunction) -> Self {
+        let personal = problem.personal();
+        let k = problem.personal_size();
+        let mut interner = LabelInterner::new();
+        // Personal labels first: their ids form the distance-table rows.
+        let personal_labels: Vec<LabelId> = problem
+            .personal_order()
+            .iter()
+            .map(|&pid| interner.intern(&personal.node(pid).name))
+            .collect();
+        let personal_distinct = interner.len();
+        // Intern every repository label (per-schema, arena order).
+        let schema_labels: Vec<Vec<LabelId>> = problem
+            .repository()
+            .iter()
+            .map(|(_, schema)| interner.intern_schema(schema))
+            .collect();
+        // One name distance per distinct (personal label, any label) pair.
+        let total = interner.len();
+        let mut name_dist = vec![0.0f64; personal_distinct * total];
+        for p in 0..personal_distinct {
+            let p_name = interner.resolve(LabelId(p as u32));
+            for t in 0..total {
+                name_dist[p * total + t] =
+                    objective.name_distance(p_name, interner.resolve(LabelId(t as u32)));
+            }
+        }
+        // Fill each schema's k × n table from the memoised distances.
+        let personal_types: Vec<_> = problem
+            .personal_order()
+            .iter()
+            .map(|&pid| personal.node(pid).ty)
+            .collect();
+        let tables: Vec<SchemaTable> = problem
+            .repository()
+            .iter()
+            .zip(&schema_labels)
+            .map(|((_, schema), labels)| {
+                let n = schema.len();
+                let mut costs = Vec::with_capacity(k * n);
+                for level in 0..k {
+                    let p_row = personal_labels[level].index() * total;
+                    let p_ty = personal_types[level];
+                    for (t, target) in schema.node_ids().enumerate() {
+                        let nd = name_dist[p_row + labels[t].index()];
+                        let td = 1.0 - p_ty.compatibility(schema.node(target).ty);
+                        costs.push(objective.blend(nd, td));
+                    }
+                }
+                SchemaTable::from_costs(k, n, costs)
+            })
+            .collect();
+        let denom = k as f64
+            + problem.personal_edges() as f64 * objective.config().structure_weight;
+        CostMatrix { objective: objective.clone(), denom, tables }
+    }
+
+    /// The objective the matrix was built for.
+    pub fn objective(&self) -> &ObjectiveFunction {
+        &self.objective
+    }
+
+    /// The objective's weights (used to detect config mismatches).
+    pub fn config(&self) -> ObjectiveConfig {
+        self.objective.config()
+    }
+
+    /// The shared normalisation denominator `k + e · structure_weight`.
+    #[inline]
+    pub fn denom(&self) -> f64 {
+        self.denom
+    }
+
+    /// The table of `sid`.
+    #[inline]
+    pub fn table(&self, sid: SchemaId) -> &SchemaTable {
+        &self.tables[sid.index()]
+    }
+
+    /// Δ of a full assignment, read from the matrix. Term order replicates
+    /// [`ObjectiveFunction::mapping_cost`] exactly, so the result is
+    /// bitwise identical to direct evaluation.
+    pub fn mapping_cost(
+        &self,
+        problem: &MatchProblem,
+        schema_id: SchemaId,
+        targets: &[NodeId],
+    ) -> f64 {
+        let personal = problem.personal();
+        let schema = problem.repository().schema(schema_id);
+        let table = self.table(schema_id);
+        debug_assert_eq!(targets.len(), problem.personal_size());
+        let structure_weight = self.objective.config().structure_weight;
+        let mut total = 0.0;
+        for (i, &pid) in problem.personal_order().iter().enumerate() {
+            total += table.cost(i, targets[i].index());
+            if let Some(parent) = personal.node(pid).parent {
+                let parent_target = targets[parent.index()];
+                total += structure_weight
+                    * self.objective.edge_penalty(schema, parent_target, targets[i]);
+            }
+        }
+        total / self.denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_repo::Repository;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    fn fixture() -> MatchProblem {
+        let personal = SchemaBuilder::new("p")
+            .root("book")
+            .leaf("title", PrimitiveType::String)
+            .leaf("year", PrimitiveType::Integer)
+            .build();
+        let mut repo = Repository::new();
+        repo.add(
+            SchemaBuilder::new("bib")
+                .root("bibliography")
+                .child("book", |b| {
+                    b.leaf("title", PrimitiveType::String)
+                        .leaf("year", PrimitiveType::Integer)
+                        .leaf("price", PrimitiveType::Decimal)
+                })
+                .build(),
+        );
+        repo.add(
+            SchemaBuilder::new("shop")
+                .root("store")
+                .child("book", |o| o.leaf("title", PrimitiveType::String))
+                .build(),
+        );
+        MatchProblem::new(personal, repo).unwrap()
+    }
+
+    #[test]
+    fn matrix_cells_match_direct_node_cost_bitwise() {
+        let problem = fixture();
+        let objective = ObjectiveFunction::default();
+        let matrix = CostMatrix::build(&problem, &objective);
+        let personal = problem.personal();
+        for (sid, schema) in problem.repository().iter() {
+            let table = matrix.table(sid);
+            assert_eq!(table.node_count(), schema.len());
+            for (level, &pid) in problem.personal_order().iter().enumerate() {
+                for t in schema.node_ids() {
+                    let direct = objective.node_cost(personal, pid, schema, t);
+                    let precomputed = table.cost(level, t.index());
+                    assert_eq!(
+                        precomputed.to_bits(),
+                        direct.to_bits(),
+                        "{sid} level {level} target {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_min_matches_min_node_cost_bitwise() {
+        let problem = fixture();
+        let objective = ObjectiveFunction::default();
+        let matrix = CostMatrix::build(&problem, &objective);
+        let personal = problem.personal();
+        for (sid, schema) in problem.repository().iter() {
+            let table = matrix.table(sid);
+            for (level, &pid) in problem.personal_order().iter().enumerate() {
+                let direct = objective.min_node_cost(personal, pid, schema);
+                assert_eq!(table.row_min(level).to_bits(), direct.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_min_is_admissible() {
+        let problem = fixture();
+        let matrix = CostMatrix::build(&problem, &ObjectiveFunction::default());
+        for (sid, schema) in problem.repository().iter() {
+            let table = matrix.table(sid);
+            let k = problem.personal_size();
+            assert_eq!(table.suffix_min().len(), k + 1);
+            assert_eq!(table.suffix_min()[k], 0.0);
+            for level in 0..k {
+                // Suffix is the sum of minima, hence ≤ any concrete
+                // completion's node costs.
+                let any_completion: f64 =
+                    (level..k).map(|l| table.cost(l, l % schema.len())).sum();
+                assert!(table.suffix_min()[level] <= any_completion + 1e-12);
+                assert!(table.suffix_min()[level] >= table.suffix_min()[level + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_cost_matches_objective_bitwise() {
+        let problem = fixture();
+        let objective = ObjectiveFunction::default();
+        let matrix = CostMatrix::build(&problem, &objective);
+        let sid = SchemaId(0);
+        for targets in [
+            [NodeId(1), NodeId(2), NodeId(3)],
+            [NodeId(4), NodeId(0), NodeId(1)],
+            [NodeId(0), NodeId(4), NodeId(2)],
+        ] {
+            let direct = objective.mapping_cost(&problem, sid, &targets);
+            let precomputed = matrix.mapping_cost(&problem, sid, &targets);
+            assert_eq!(precomputed.to_bits(), direct.to_bits(), "{targets:?}");
+        }
+    }
+
+    #[test]
+    fn direct_table_equals_memoised_table() {
+        let problem = fixture();
+        let objective = ObjectiveFunction::default();
+        let matrix = CostMatrix::build(&problem, &objective);
+        for (sid, schema) in problem.repository().iter() {
+            let direct = SchemaTable::compute_direct(&problem, schema, &objective);
+            let fast = matrix.table(sid);
+            assert_eq!(direct.costs.len(), fast.costs.len());
+            for (a, b) in direct.costs.iter().zip(&fast.costs) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in direct.suffix_min.iter().zip(&fast.suffix_min) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

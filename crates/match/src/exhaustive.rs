@@ -7,25 +7,55 @@
 //! is pruned only when even this optimistic completion exceeds δ_max —
 //! therefore every mapping with Δ ≤ δ_max is found, which is what
 //! "exhaustive for threshold δ" means in the paper (§2.1).
+//!
+//! Node costs and bounds come from the problem's precomputed
+//! [`CostMatrix`] (see [`crate::cost_matrix`]); the
+//! [`ExhaustiveMatcher::direct`] constructor keeps the old
+//! recompute-per-run evaluation as a benchmark baseline and score-identity
+//! reference.
 
+use crate::cost_matrix::{CostMatrix, SchemaTable};
 use crate::mapping::{Mapping, MappingRegistry};
 use crate::matcher::Matcher;
 use crate::objective::ObjectiveFunction;
 use crate::problem::MatchProblem;
 use smx_eval::{AnswerId, AnswerSet};
 use smx_repo::SchemaId;
-use smx_xml::{NodeId, Schema};
+use smx_xml::NodeId;
+
+/// How a matcher obtains node costs and final mapping scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Read from the problem's cached [`CostMatrix`] (the fast default).
+    #[default]
+    Precomputed,
+    /// Recompute string similarity per run — the pre-engine behaviour,
+    /// kept as the benchmark baseline and as an identity reference.
+    Direct,
+}
 
 /// The exhaustive branch-and-bound matcher (the paper's S1).
 #[derive(Debug, Clone, Default)]
 pub struct ExhaustiveMatcher {
     objective: ObjectiveFunction,
+    mode: ScoringMode,
 }
 
 impl ExhaustiveMatcher {
-    /// Build with a shared objective function.
+    /// Build with a shared objective function (matrix-backed scoring).
     pub fn new(objective: ObjectiveFunction) -> Self {
-        ExhaustiveMatcher { objective }
+        ExhaustiveMatcher { objective, mode: ScoringMode::Precomputed }
+    }
+
+    /// Build a matcher that bypasses the precomputed engine and evaluates
+    /// the objective directly, as the seed implementation did.
+    pub fn direct(objective: ObjectiveFunction) -> Self {
+        ExhaustiveMatcher { objective, mode: ScoringMode::Direct }
+    }
+
+    /// The scoring mode.
+    pub fn mode(&self) -> ScoringMode {
+        self.mode
     }
 
     /// Search one repository schema, appending `(id, score)` pairs.
@@ -34,50 +64,41 @@ impl ExhaustiveMatcher {
         &self,
         problem: &MatchProblem,
         sid: SchemaId,
-        schema: &Schema,
+        matrix: Option<&CostMatrix>,
         delta_max: f64,
         registry: &MappingRegistry,
         found: &mut Vec<(AnswerId, f64)>,
     ) {
         let k = problem.personal_size();
-        let nodes: Vec<NodeId> = schema.node_ids().collect();
-        if nodes.len() < k {
+        let schema = problem.repository().schema(sid);
+        if schema.len() < k {
             return;
         }
-        let personal = problem.personal();
-        // Node-cost table [personal index][schema node index].
-        let cost: Vec<Vec<f64>> = problem
-            .personal_order()
-            .iter()
-            .map(|&pid| {
-                nodes
-                    .iter()
-                    .map(|&t| self.objective.node_cost(personal, pid, schema, t))
-                    .collect()
-            })
-            .collect();
-        // Suffix sums of per-node minima: remaining_min[i] = Σ_{j≥i} min_j.
-        let mut remaining_min = vec![0.0f64; k + 1];
-        for i in (0..k).rev() {
-            let row_min = cost[i].iter().copied().fold(f64::INFINITY, f64::min);
-            remaining_min[i] = remaining_min[i + 1] + row_min;
-        }
+        // Matrix mode: indexed loads from the shared engine. Direct mode:
+        // a fresh per-run table through the raw string path.
+        let direct_table;
+        let table: &SchemaTable = match matrix {
+            Some(m) => m.table(sid),
+            None => {
+                direct_table = SchemaTable::compute_direct(problem, schema, &self.objective);
+                &direct_table
+            }
+        };
         let denom = k as f64
             + problem.personal_edges() as f64 * self.objective.config().structure_weight;
         let budget = delta_max * denom + 1e-12; // un-normalised cost budget
         let structure_weight = self.objective.config().structure_weight;
 
         let mut targets: Vec<usize> = vec![usize::MAX; k];
-        let mut used = vec![false; nodes.len()];
+        let mut used = vec![false; schema.len()];
 
         struct Ctx<'a> {
             problem: &'a MatchProblem,
             objective: &'a ObjectiveFunction,
-            schema: &'a Schema,
+            matrix: Option<&'a CostMatrix>,
+            schema: &'a smx_xml::Schema,
             sid: SchemaId,
-            nodes: &'a [NodeId],
-            cost: &'a [Vec<f64>],
-            remaining_min: &'a [f64],
+            table: &'a SchemaTable,
             budget: f64,
             delta_max: f64,
             structure_weight: f64,
@@ -94,11 +115,15 @@ impl ExhaustiveMatcher {
         ) {
             let k = targets.len();
             if level == k {
-                let assignment: Vec<NodeId> = targets.iter().map(|&i| ctx.nodes[i]).collect();
+                let assignment: Vec<NodeId> =
+                    targets.iter().map(|&i| NodeId(i as u32)).collect();
                 // Re-score through the shared code path so every matcher
                 // reports bitwise-identical Δ for the same mapping (the
                 // accumulated `partial` has a different summation order).
-                let score = ctx.objective.mapping_cost(ctx.problem, ctx.sid, &assignment);
+                let score = match ctx.matrix {
+                    Some(m) => m.mapping_cost(ctx.problem, ctx.sid, &assignment),
+                    None => ctx.objective.mapping_cost(ctx.problem, ctx.sid, &assignment),
+                };
                 if score <= ctx.delta_max {
                     let id = ctx.registry.intern(Mapping { schema: ctx.sid, targets: assignment });
                     found.push((id, score));
@@ -107,19 +132,21 @@ impl ExhaustiveMatcher {
             }
             let pid = ctx.problem.personal_order()[level];
             let parent = ctx.problem.personal().node(pid).parent;
-            for cand in 0..ctx.nodes.len() {
+            let suffix = ctx.table.suffix_min()[level + 1];
+            let row = ctx.table.row(level);
+            for (cand, &node_cost) in row.iter().enumerate() {
                 if used[cand] {
                     continue;
                 }
-                let mut step = ctx.cost[level][cand];
+                let mut step = node_cost;
                 if let Some(p) = parent {
-                    let parent_target = ctx.nodes[targets[p.index()]];
+                    let parent_target = NodeId(targets[p.index()] as u32);
                     step += ctx.structure_weight
                         * ctx
                             .objective
-                            .edge_penalty(ctx.schema, parent_target, ctx.nodes[cand]);
+                            .edge_penalty(ctx.schema, parent_target, NodeId(cand as u32));
                 }
-                let lower_bound = partial + step + ctx.remaining_min[level + 1];
+                let lower_bound = partial + step + suffix;
                 if lower_bound > ctx.budget {
                     continue; // admissible prune: no completion can reach δ_max
                 }
@@ -134,17 +161,24 @@ impl ExhaustiveMatcher {
         let ctx = Ctx {
             problem,
             objective: &self.objective,
+            matrix,
             schema,
             sid,
-            nodes: &nodes,
-            cost: &cost,
-            remaining_min: &remaining_min,
+            table,
             budget,
             delta_max,
             structure_weight,
             registry,
         };
         dfs(&ctx, 0, 0.0, &mut targets, &mut used, found);
+    }
+
+    /// The matrix to search with (`None` in direct mode).
+    pub(crate) fn engine(&self, problem: &MatchProblem) -> Option<std::sync::Arc<CostMatrix>> {
+        match self.mode {
+            ScoringMode::Precomputed => Some(problem.cost_matrix(&self.objective)),
+            ScoringMode::Direct => None,
+        }
     }
 }
 
@@ -159,9 +193,10 @@ impl Matcher for ExhaustiveMatcher {
         delta_max: f64,
         registry: &MappingRegistry,
     ) -> AnswerSet {
+        let matrix = self.engine(problem);
         let mut found = Vec::new();
-        for (sid, schema) in problem.repository().iter() {
-            self.search_schema(problem, sid, schema, delta_max, registry, &mut found);
+        for sid in problem.repository().schema_ids() {
+            self.search_schema(problem, sid, matrix.as_deref(), delta_max, registry, &mut found);
         }
         AnswerSet::new(found).expect("finite costs, unique interned ids")
     }

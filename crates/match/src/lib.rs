@@ -24,8 +24,34 @@
 //! * [`topk`] — \[17\]-style early termination: exactly the top-k answers;
 //! * [`sampler`] — the per-increment random selector of §3.4, used to
 //!   validate Equations (9)–(10) empirically;
-//! * [`parallel`] — crossbeam work-stealing version of S1 (identical
+//! * [`parallel`] — scoped-thread work-stealing version of S1 (identical
 //!   output, faster wall-clock).
+//!
+//! # The scoring engine
+//!
+//! All matchers score through the problem's precomputed
+//! [`CostMatrix`] ([`cost_matrix`]): at first use per
+//! [`MatchProblem`], element names are interned
+//! ([`smx_repo::LabelInterner`]) and each *distinct*
+//! `(personal_name, repo_name)` pair is evaluated once; the dense
+//! `k × n` node-cost table per schema, per-level row minima, and their
+//! suffix sums (the admissible branch-and-bound bounds) are then plain
+//! `Vec<f64>` lookups. The engine lives behind a `OnceLock` in the
+//! problem, so post-initialisation reads are lock-free and allocation-free
+//! — safe to share across the parallel matcher's workers.
+//!
+//! **Score-identity invariant.** The bounds methodology requires S1 and
+//! every S2 to share Δ *exactly*. The matrix fill reuses
+//! [`ObjectiveFunction::blend`] and
+//! [`ObjectiveFunction::name_distance`], and
+//! [`CostMatrix::mapping_cost`] replicates
+//! [`ObjectiveFunction::mapping_cost`] term by term, so matrix-backed
+//! scores are **bitwise identical** (`f64::to_bits`) to direct
+//! evaluation. `ExhaustiveMatcher::direct` /
+//! `BruteForceMatcher::direct` keep the recompute-every-time path alive
+//! as the reference; `tests/score_identity.rs` asserts the invariant
+//! across all matchers, and `benches/matching.rs` measures the speedup
+//! the engine buys.
 //!
 //! All matchers return [`smx_eval::AnswerSet`]s whose ids come from a
 //! shared [`MappingRegistry`], so S1's and S2's answers are directly
@@ -34,6 +60,7 @@
 pub mod beam;
 pub mod brute_force;
 pub mod cluster_search;
+pub mod cost_matrix;
 pub mod error;
 pub mod exhaustive;
 pub mod mapping;
@@ -48,8 +75,9 @@ pub mod topk;
 pub use beam::BeamMatcher;
 pub use brute_force::BruteForceMatcher;
 pub use cluster_search::ClusterMatcher;
+pub use cost_matrix::{CostMatrix, SchemaTable};
 pub use error::MatchError;
-pub use exhaustive::ExhaustiveMatcher;
+pub use exhaustive::{ExhaustiveMatcher, ScoringMode};
 pub use mapping::{Mapping, MappingRegistry};
 pub use matcher::Matcher;
 pub use objective::{ObjectiveConfig, ObjectiveFunction};

@@ -52,6 +52,25 @@ impl ObjectiveFunction {
         self.config
     }
 
+    /// Name dissimilarity of two raw element names — the expensive leaf
+    /// of [`node_cost`](Self::node_cost). Exposed so precomputed scoring
+    /// engines ([`CostMatrix`](crate::CostMatrix)) can evaluate it once
+    /// per *distinct* label pair and still reproduce `node_cost` bitwise.
+    pub fn name_distance(&self, a: &str, b: &str) -> f64 {
+        self.names.distance(a, b)
+    }
+
+    /// The single blend formula combining a name distance and a type
+    /// distance into a node cost. Every code path that produces node
+    /// costs (direct evaluation and the precomputed matrix fill) funnels
+    /// through this, which is what makes their scores bitwise identical.
+    #[inline]
+    pub fn blend(&self, name_dist: f64, type_dist: f64) -> f64 {
+        let w = self.config;
+        (w.name_weight * name_dist + w.type_weight * type_dist)
+            / (w.name_weight + w.type_weight)
+    }
+
     /// Cost in `[0, 1]` of assigning `personal_node` to `target` in
     /// `schema` — name dissimilarity blended with type incompatibility.
     pub fn node_cost(
@@ -65,9 +84,7 @@ impl ObjectiveFunction {
         let t = schema.node(target);
         let name_dist = self.names.distance(&p.name, &t.name);
         let type_dist = 1.0 - p.ty.compatibility(t.ty);
-        let w = self.config;
-        (w.name_weight * name_dist + w.type_weight * type_dist)
-            / (w.name_weight + w.type_weight)
+        self.blend(name_dist, type_dist)
     }
 
     /// Penalty in `[0, 1]` for one personal edge `(parent, child)` whose

@@ -1,9 +1,10 @@
 //! Parallel exhaustive matcher — identical output to S1, faster wall
 //! clock.
 //!
-//! Repository schemas are distributed over a crossbeam scoped-thread pool;
-//! each worker runs the same branch-and-bound per schema; results are
-//! merged. Because scoring goes through the shared
+//! Repository schemas are distributed over `std::thread::scope` workers
+//! pulling from an atomic cursor; each worker runs the same
+//! branch-and-bound per schema; results are merged. Because scoring goes
+//! through the shared precomputed cost matrix and
 //! [`ObjectiveFunction`] code path, the merged
 //! answer set is *equal* (ids and scores) to the sequential matcher's —
 //! asserted by a test, since the entire bounds methodology rests on
@@ -50,22 +51,25 @@ impl Matcher for ParallelExhaustiveMatcher {
         registry: &MappingRegistry,
     ) -> AnswerSet {
         let schema_ids: Vec<SchemaId> = problem.repository().schema_ids().collect();
+        // Build (or fetch) the shared engine once, before fanning out, so
+        // workers only perform lock-free reads.
+        let matrix = self.inner.engine(problem);
         let next = AtomicUsize::new(0);
         let mut all: Vec<(AnswerId, f64)> = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..self.threads.min(schema_ids.len().max(1)) {
                 let next = &next;
                 let schema_ids = &schema_ids;
                 let inner = &self.inner;
-                handles.push(scope.spawn(move |_| {
+                let matrix = matrix.as_deref();
+                handles.push(scope.spawn(move || {
                     let mut local: Vec<(AnswerId, f64)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&sid) = schema_ids.get(i) else { break };
-                        let schema = problem.repository().schema(sid);
                         inner.search_schema(
-                            problem, sid, schema, delta_max, registry, &mut local,
+                            problem, sid, matrix, delta_max, registry, &mut local,
                         );
                     }
                     local
@@ -74,8 +78,7 @@ impl Matcher for ParallelExhaustiveMatcher {
             for h in handles {
                 all.extend(h.join().expect("worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         AnswerSet::new(all).expect("finite costs, unique interned ids")
     }
 }

@@ -1,8 +1,11 @@
 //! The matching problem `Q`: a personal schema against a repository.
 
+use crate::cost_matrix::CostMatrix;
 use crate::error::MatchError;
+use crate::objective::ObjectiveFunction;
 use smx_repo::Repository;
 use smx_xml::{NodeId, Schema};
+use std::sync::{Arc, OnceLock};
 
 /// One matching problem: the user's personal schema and the repository it
 /// is matched against.
@@ -13,6 +16,9 @@ pub struct MatchProblem {
     /// Personal node ids in arena order (parents precede children, which
     /// the assignment loops rely on).
     personal_order: Vec<NodeId>,
+    /// Lazily built scoring engine, shared by every matcher run against
+    /// this problem. `OnceLock` keeps post-initialisation reads lock-free.
+    engine: OnceLock<Arc<CostMatrix>>,
 }
 
 impl MatchProblem {
@@ -22,7 +28,25 @@ impl MatchProblem {
             return Err(MatchError::EmptyPersonalSchema);
         }
         let personal_order: Vec<NodeId> = personal.node_ids().collect();
-        Ok(MatchProblem { personal, repository, personal_order })
+        Ok(MatchProblem { personal, repository, personal_order, engine: OnceLock::new() })
+    }
+
+    /// The precomputed [`CostMatrix`] for `objective`, built on first use
+    /// and cached for the lifetime of the problem.
+    ///
+    /// The cache is keyed by the first objective seen — the paper's
+    /// methodology runs every matcher with *one* shared Δ, so that is the
+    /// overwhelmingly common case. A call with a different
+    /// [`ObjectiveConfig`](crate::ObjectiveConfig) gets a freshly built
+    /// (uncached) matrix rather than a wrong one.
+    pub fn cost_matrix(&self, objective: &ObjectiveFunction) -> Arc<CostMatrix> {
+        let cached =
+            self.engine.get_or_init(|| Arc::new(CostMatrix::build(self, objective)));
+        if cached.config() == objective.config() {
+            Arc::clone(cached)
+        } else {
+            Arc::new(CostMatrix::build(self, objective))
+        }
     }
 
     /// The personal schema.
@@ -69,6 +93,20 @@ mod tests {
         let problem = MatchProblem::new(personal, Repository::new()).unwrap();
         assert_eq!(problem.personal_size(), 3);
         assert_eq!(problem.personal_edges(), 2);
+        // The engine cache hands out the same matrix for the same config
+        // and a fresh one for a different config.
+        let obj = ObjectiveFunction::default();
+        let a = problem.cost_matrix(&obj);
+        let b = problem.cost_matrix(&obj);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let other = ObjectiveFunction::new(crate::ObjectiveConfig {
+            name_weight: 0.5,
+            type_weight: 0.5,
+            structure_weight: 0.3,
+        });
+        let c = problem.cost_matrix(&other);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(c.config(), other.config());
         // Arena order keeps parents before children.
         let order = problem.personal_order();
         for (i, &id) in order.iter().enumerate() {

@@ -74,30 +74,13 @@ impl Matcher for TopKMatcher {
         registry: &MappingRegistry,
     ) -> AnswerSet {
         let k = problem.personal_size();
-        let personal = problem.personal();
+        let matrix = problem.cost_matrix(&self.objective);
         let mut heap: BinaryHeap<Held> = BinaryHeap::new();
         for (sid, schema) in problem.repository().iter() {
-            let nodes: Vec<NodeId> = schema.node_ids().collect();
-            if nodes.len() < k {
+            if schema.len() < k {
                 continue;
             }
-            let cost: Vec<Vec<f64>> = problem
-                .personal_order()
-                .iter()
-                .map(|&pid| {
-                    nodes
-                        .iter()
-                        .map(|&t| self.objective.node_cost(personal, pid, schema, t))
-                        .collect()
-                })
-                .collect();
-            let mut remaining_min = vec![0.0f64; k + 1];
-            for i in (0..k).rev() {
-                let row_min = cost[i].iter().copied().fold(f64::INFINITY, f64::min);
-                remaining_min[i] = remaining_min[i + 1] + row_min;
-            }
-            let denom = k as f64
-                + problem.personal_edges() as f64 * self.objective.config().structure_weight;
+            let table = matrix.table(sid);
             let mut chosen: Vec<usize> = Vec::with_capacity(k);
 
             #[allow(clippy::too_many_arguments)]
@@ -106,10 +89,8 @@ impl Matcher for TopKMatcher {
                 problem: &MatchProblem,
                 sid: smx_repo::SchemaId,
                 schema: &smx_xml::Schema,
-                nodes: &[NodeId],
-                cost: &[Vec<f64>],
-                remaining_min: &[f64],
-                denom: f64,
+                matrix: &crate::cost_matrix::CostMatrix,
+                table: &crate::cost_matrix::SchemaTable,
                 delta_max: f64,
                 registry: &MappingRegistry,
                 partial: f64,
@@ -124,10 +105,11 @@ impl Matcher for TopKMatcher {
                 } else {
                     delta_max
                 };
-                let budget = dynamic * denom + 1e-12;
+                let budget = dynamic * matrix.denom() + 1e-12;
                 if chosen.len() == k {
-                    let assignment: Vec<NodeId> = chosen.iter().map(|&i| nodes[i]).collect();
-                    let score = m.objective.mapping_cost(problem, sid, &assignment);
+                    let assignment: Vec<NodeId> =
+                        chosen.iter().map(|&i| NodeId(i as u32)).collect();
+                    let score = matrix.mapping_cost(problem, sid, &assignment);
                     if score <= delta_max {
                         let id = registry
                             .intern(Mapping { schema: sid, targets: assignment });
@@ -141,23 +123,29 @@ impl Matcher for TopKMatcher {
                 let level = chosen.len();
                 let pid = problem.personal_order()[level];
                 let parent = problem.personal().node(pid).parent;
-                for cand in 0..nodes.len() {
+                let suffix = table.suffix_min()[level + 1];
+                let row = table.row(level);
+                for (cand, &node_cost) in row.iter().enumerate() {
                     if chosen.contains(&cand) {
                         continue;
                     }
-                    let mut step = cost[level][cand];
+                    let mut step = node_cost;
                     if let Some(p) = parent {
-                        let parent_target = nodes[chosen[p.index()]];
+                        let parent_target = NodeId(chosen[p.index()] as u32);
                         step += m.objective.config().structure_weight
-                            * m.objective.edge_penalty(schema, parent_target, nodes[cand]);
+                            * m.objective.edge_penalty(
+                                schema,
+                                parent_target,
+                                NodeId(cand as u32),
+                            );
                     }
-                    if partial + step + remaining_min[level + 1] > budget {
+                    if partial + step + suffix > budget {
                         continue;
                     }
                     chosen.push(cand);
                     dfs(
-                        m, problem, sid, schema, nodes, cost, remaining_min, denom,
-                        delta_max, registry, partial + step, chosen, heap,
+                        m, problem, sid, schema, matrix, table, delta_max, registry,
+                        partial + step, chosen, heap,
                     );
                     chosen.pop();
                 }
@@ -167,10 +155,8 @@ impl Matcher for TopKMatcher {
                 problem,
                 sid,
                 schema,
-                &nodes,
-                &cost,
-                &remaining_min,
-                denom,
+                &matrix,
+                table,
                 delta_max,
                 registry,
                 0.0,

@@ -1,0 +1,119 @@
+//! Label interning: one id per distinct element name.
+//!
+//! Matching workloads score the same `(personal_name, repo_name)` string
+//! pair many times — the same vocabulary word appears across dozens of
+//! repository schemas. Interning maps every distinct name to a dense
+//! [`LabelId`] once, so downstream scoring engines (the match crate's
+//! `CostMatrix`) can memoise per *distinct pair* and compare labels by
+//! `u32` instead of re-walking strings.
+
+use smx_xml::Schema;
+use std::collections::HashMap;
+
+/// Dense id of one distinct label (element name) in a [`LabelInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The id as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional map between distinct label strings and dense [`LabelId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct LabelInterner {
+    ids: HashMap<String, LabelId>,
+    labels: Vec<String>,
+}
+
+impl LabelInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        LabelInterner::default()
+    }
+
+    /// Intern `label`, returning its stable id (allocating only on first
+    /// sight of a distinct label).
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = LabelId(self.labels.len() as u32);
+        self.labels.push(label.to_owned());
+        self.ids.insert(label.to_owned(), id);
+        id
+    }
+
+    /// The id of `label` if it was interned.
+    pub fn get(&self, label: &str) -> Option<LabelId> {
+        self.ids.get(label).copied()
+    }
+
+    /// The label behind `id`.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether nothing was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Intern every node name of `schema`, returning per-node label ids in
+    /// arena order (`result[node.index()]` is the node's label).
+    pub fn intern_schema(&mut self, schema: &Schema) -> Vec<LabelId> {
+        schema.node_ids().map(|id| self.intern(&schema.node(id).name)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    #[test]
+    fn interning_dedupes_and_resolves() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("title");
+        let b = interner.intern("year");
+        let a_again = interner.intern("title");
+        assert_eq!(a, a_again);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), "title");
+        assert_eq!(interner.get("year"), Some(b));
+        assert_eq!(interner.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let interner = LabelInterner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.len(), 0);
+    }
+
+    #[test]
+    fn schema_labels_in_arena_order() {
+        let schema = SchemaBuilder::new("bib")
+            .root("book")
+            .leaf("title", PrimitiveType::String)
+            .leaf("title", PrimitiveType::String) // duplicate name, distinct node
+            .build();
+        let mut interner = LabelInterner::new();
+        let labels = interner.intern_schema(&schema);
+        assert_eq!(labels.len(), schema.len());
+        assert_eq!(interner.len(), 2); // "book", "title"
+        assert_eq!(labels[1], labels[2]); // both "title" nodes share a label
+        for (i, id) in schema.node_ids().enumerate() {
+            assert_eq!(interner.resolve(labels[i]), schema.node(id).name);
+        }
+    }
+}

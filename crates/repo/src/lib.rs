@@ -9,6 +9,9 @@
 //!
 //! * [`repository`] — a collection of named schemas with global
 //!   [`ElementRef`] addressing,
+//! * [`intern`] — dense [`LabelId`]s for distinct element names, so
+//!   scoring engines compare and memoise names by `u32` instead of by
+//!   string,
 //! * [`feature`] — token-based feature vectors for repository elements
 //!   (name, path context, type),
 //! * [`cluster`] — greedy leader clustering (the fast method a scalable
@@ -22,10 +25,12 @@ pub mod cluster;
 pub mod feature;
 pub mod fragment;
 pub mod index;
+pub mod intern;
 pub mod repository;
 
 pub use cluster::{agglomerative_clustering, greedy_clustering, Cluster, Clustering};
 pub use feature::{element_features, feature_similarity, query_features, ElementFeatures};
 pub use fragment::{fragments_for_clusters, Fragment};
 pub use index::TokenIndex;
+pub use intern::{LabelId, LabelInterner};
 pub use repository::{ElementRef, Repository, SchemaId};

@@ -114,7 +114,7 @@ mod tests {
             let s = generate_schema("test", &cfg, &mut rng(seed));
             assert!(s.validate().is_ok());
             assert!(s.len() <= 15);
-            assert!(s.len() >= 1);
+            assert!(!s.is_empty());
         }
     }
 

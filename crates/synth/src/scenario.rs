@@ -264,6 +264,6 @@ mod tests {
     fn personal_schema_is_small() {
         let sc = Scenario::generate(ScenarioConfig { personal_nodes: 4, ..Default::default() });
         assert!(sc.personal.len() <= 4);
-        assert!(sc.personal.len() >= 1);
+        assert!(!sc.personal.is_empty());
     }
 }

@@ -5,9 +5,70 @@
 //! thresholds and across S1/S2 runs). [`SimilarityCache`] wraps any
 //! `Fn(&str, &str) -> f64` and memoises results under a canonicalised
 //! (sorted) key so the symmetric pair is stored once.
+//!
+//! This is the *fallback* memoisation for callers that do not intern
+//! their labels (ad-hoc API use, one-off comparisons). The matching
+//! pipeline's hot path instead precomputes per-problem cost matrices over
+//! interned labels (`smx-match`'s `CostMatrix`), and deliberately does
+//! **not** route through this cache: the sorted-key canonicalisation
+//! returns `f(min(a,b), max(a,b))`, which is only safe for functions
+//! that are *bitwise* symmetric — the matchers' score-identity invariant
+//! demands exact argument order instead.
 
 use parking_lot::RwLock;
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Borrowed view of a canonicalised (sorted) string pair, used to probe
+/// the memo table without allocating owned keys on the hit path.
+///
+/// The `Hash` implementation must match the derived `Hash` of
+/// `(String, String)` exactly (hash the first string, then the second),
+/// so a `&dyn PairKey` probe finds entries inserted under owned keys.
+trait PairKey {
+    fn first(&self) -> &str;
+    fn second(&self) -> &str;
+}
+
+impl PairKey for (String, String) {
+    fn first(&self) -> &str {
+        &self.0
+    }
+    fn second(&self) -> &str {
+        &self.1
+    }
+}
+
+impl PairKey for (&str, &str) {
+    fn first(&self) -> &str {
+        self.0
+    }
+    fn second(&self) -> &str {
+        self.1
+    }
+}
+
+impl Hash for dyn PairKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.first().hash(state);
+        self.second().hash(state);
+    }
+}
+
+impl PartialEq for dyn PairKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.first() == other.first() && self.second() == other.second()
+    }
+}
+
+impl Eq for dyn PairKey + '_ {}
+
+impl<'a> Borrow<dyn PairKey + 'a> for (String, String) {
+    fn borrow(&self) -> &(dyn PairKey + 'a) {
+        self
+    }
+}
 
 /// A thread-safe memo table for a symmetric string-pair similarity.
 pub struct SimilarityCache<F> {
@@ -28,24 +89,18 @@ impl<F: Fn(&str, &str) -> f64> SimilarityCache<F> {
         }
     }
 
-    fn key(a: &str, b: &str) -> (String, String) {
-        if a <= b {
-            (a.to_owned(), b.to_owned())
-        } else {
-            (b.to_owned(), a.to_owned())
-        }
-    }
-
-    /// Cached similarity of `(a, b)`.
+    /// Cached similarity of `(a, b)`. Hits allocate nothing: the map is
+    /// probed through a borrowed canonicalised key; owned `String`s are
+    /// built only when inserting a freshly computed miss.
     pub fn similarity(&self, a: &str, b: &str) -> f64 {
         use std::sync::atomic::Ordering::Relaxed;
-        let key = Self::key(a, b);
-        if let Some(&v) = self.map.read().get(&key) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&v) = self.map.read().get(&(lo, hi) as &dyn PairKey) {
             self.hits.fetch_add(1, Relaxed);
             return v;
         }
         let v = (self.func)(a, b);
-        self.map.write().insert(key, v);
+        self.map.write().insert((lo.to_owned(), hi.to_owned()), v);
         self.misses.fetch_add(1, Relaxed);
         v
     }
@@ -108,6 +163,24 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn borrowed_probe_matches_owned_key() {
+        // A hit through the &dyn PairKey probe must find entries inserted
+        // under owned (String, String) keys — i.e. the Hash/Eq impls agree.
+        let calls = AtomicUsize::new(0);
+        let cache = SimilarityCache::new(|_: &str, _: &str| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            0.75
+        });
+        for (a, b) in [("alpha", "beta"), ("beta", "alpha"), ("", "x"), ("x", "")] {
+            cache.similarity(a, b);
+            cache.similarity(a, b);
+        }
+        // Two distinct canonical pairs → exactly two underlying calls.
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.stats().0, 6);
     }
 
     #[test]

@@ -27,9 +27,9 @@ pub fn ngram_profile(s: &str, n: usize) -> HashMap<String, u32> {
         return profile;
     }
     let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (n - 1));
-    padded.extend(std::iter::repeat(PAD).take(n - 1));
+    padded.extend(std::iter::repeat_n(PAD, n - 1));
     padded.extend(s.chars());
-    padded.extend(std::iter::repeat(PAD).take(n - 1));
+    padded.extend(std::iter::repeat_n(PAD, n - 1));
     for window in padded.windows(n) {
         let gram: String = window.iter().collect();
         *profile.entry(gram).or_insert(0) += 1;

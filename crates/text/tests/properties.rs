@@ -8,8 +8,10 @@ fn ident() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[A-Za-z0-9_\\- ]{0,16}").unwrap()
 }
 
+type Measure = fn(&str, &str) -> f64;
+
 /// All (name, function) pairs under test.
-fn all_measures() -> Vec<(&'static str, fn(&str, &str) -> f64)> {
+fn all_measures() -> Vec<(&'static str, Measure)> {
     vec![
         ("levenshtein", levenshtein_similarity),
         ("jaro", jaro),

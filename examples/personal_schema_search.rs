@@ -25,7 +25,6 @@ fn main() {
             host_nodes: 11,
             perturbation_strength: 0.85,
             seed: 11,
-            ..Default::default()
         },
         0.25,
     );

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run the matching benches and write BENCH_matching.json at the repo root.
+#
+#   scripts/bench_matching.sh
+#
+# The mini-criterion harness (vendor/criterion) appends one JSON line per
+# bench to $SMX_BENCH_JSON; this script collects them into a single JSON
+# document with the engine speedup (direct / matrix-backed exhaustive)
+# called out, so the perf trajectory is tracked across PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+SMX_BENCH_JSON="$raw" cargo bench -p smx-bench --bench matching
+
+python3 - "$raw" <<'EOF'
+import json, sys
+
+entries = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            e = json.loads(line)
+            entries[e["bench"]] = e["ns_per_iter"]
+
+direct = entries.get("matchers/s1_exhaustive_direct")
+matrix = entries.get("matchers/s1_exhaustive")
+cold = entries.get("matchers/s1_exhaustive_cold")
+doc = {
+    "bench": "benches/matching.rs",
+    "unit": "ns_per_iter",
+    "results": entries,
+    "exhaustive_speedup": {
+        "before_direct_ns": direct,
+        # Steady state: the problem's CostMatrix is already built (every
+        # run after the first against a MatchProblem).
+        "after_cost_matrix_warm_ns": matrix,
+        "warm_speedup_x": round(direct / matrix, 2) if direct and matrix else None,
+        # Cold: fresh MatchProblem, so the fill is paid inside the loop.
+        "after_cost_matrix_cold_ns": cold,
+        "cold_speedup_x": round(direct / cold, 2) if direct and cold else None,
+    },
+}
+with open("BENCH_matching.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_matching.json")
+print(json.dumps(doc["exhaustive_speedup"], indent=2))
+EOF

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint, and bench-compile the workspace.
+#
+#   scripts/verify.sh
+#
+# Steps (all must pass):
+#   1. release build of every crate
+#   2. full test suite
+#   3. clippy with warnings denied (all targets: libs, tests, benches,
+#      examples, figure binaries)
+#   4. benches compile (`cargo bench --no-run`) so perf regressions can
+#      always be measured
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/4] cargo build --release"
+cargo build --release
+
+echo "== [2/4] cargo test -q"
+cargo test -q
+
+echo "== [3/4] cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== [4/4] cargo bench --no-run"
+cargo bench -p smx-bench --no-run
+
+echo "verify: OK"

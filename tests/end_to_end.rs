@@ -173,7 +173,6 @@ fn all_domains_produce_valid_pipelines() {
                 host_nodes: 7,
                 perturbation_strength: 0.6,
                 seed: 31,
-                ..Default::default()
             },
             0.3,
         );

@@ -1,0 +1,225 @@
+//! Offline mini-`criterion`.
+//!
+//! A wall-clock micro-benchmark harness exposing the criterion API subset
+//! the workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size` /
+//! `bench_with_input` / `finish`, [`BenchmarkId::from_parameter`], and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per bench, a short calibration run sizes batches so
+//! one sample takes ≈10 ms, then `sample_size` samples are timed and the
+//! median per-iteration time is reported. Set `SMX_BENCH_JSON=<path>` to
+//! append one JSON line per bench (`{"bench": .., "ns_per_iter": ..}`) —
+//! the repo's `scripts/bench_matching.sh` uses this to build
+//! `BENCH_matching.json`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one bench within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from the parameter's `Display` form.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Per-iteration timing callback holder.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the last `iter` call.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, storing the median per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in ~10ms?
+        let calib_start = Instant::now();
+        std::hint::black_box(f());
+        let one = calib_start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (Duration::from_millis(10).as_nanos() / one.as_nanos()).clamp(1, 10_000) as usize;
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.result_ns = per_iter_ns[per_iter_ns.len() / 2];
+    }
+}
+
+/// The harness: owns the CLI filter and the JSON sink.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 20,
+            json_path: std::env::var("SMX_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from CLI args: the first non-flag argument is a substring
+    /// filter on bench names (cargo-bench passes `--bench` etc., which are
+    /// ignored).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter, ..Criterion::default() }
+    }
+
+    fn record(&mut self, name: &str, ns: f64) {
+        println!("bench: {name:<44} {:>14.1} ns/iter", ns);
+        if let Some(path) = &self.json_path {
+            use std::io::Write;
+            let line = format!("{{\"bench\":\"{name}\",\"ns_per_iter\":{ns:.1}}}\n");
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+        }
+    }
+
+    fn skipped(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    /// Benchmark a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if self.skipped(name) {
+            return;
+        }
+        let mut bencher = Bencher { samples: self.sample_size, result_ns: 0.0 };
+        f(&mut bencher);
+        self.record(name, bencher.result_ns);
+    }
+
+    /// Open a named bench group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Print the closing summary (no-op placeholder for API parity).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benches sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.skipped(&full) {
+            return;
+        }
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher { samples, result_ns: 0.0 };
+        f(&mut bencher, input);
+        let ns = bencher.result_ns;
+        self.criterion.record(&full, ns);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect bench functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion { filter: None, sample_size: 3, json_path: None };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion {
+            filter: Some("matching".into()),
+            sample_size: 3,
+            json_path: None,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(!ran);
+        let mut group = c.benchmark_group("matching");
+        let mut ran_group = false;
+        group.sample_size(2).bench_with_input(
+            BenchmarkId::from_parameter("x"),
+            &1,
+            |b, _| {
+                b.iter(|| ());
+                ran_group = true;
+            },
+        );
+        group.finish();
+        assert!(ran_group);
+    }
+}

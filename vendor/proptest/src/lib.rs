@@ -1,0 +1,366 @@
+//! Offline mini-`proptest`.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the narrow slice of proptest's API the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_filter`, range and tuple
+//! strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`option::of`], [`string::string_regex`] (character-class + bounded
+//! repetition subset), [`sample::Index`], `any::<bool>()`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!` /
+//! `prop_oneof!` macros.
+//!
+//! Differences from real proptest: no shrinking (failures report the
+//! generated inputs via the assertion message), and cases are generated
+//! from a per-test deterministic seed so failures reproduce exactly.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.len.clone());
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with *target* sizes drawn from `len`.
+    /// Because elements may collide, the realised set can be smaller; at
+    /// least one element is kept whenever `len` requires a non-empty set.
+    pub fn btree_set<S>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.len.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(16).max(16) {
+                out.insert(self.element.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `Some(inner)` three times out of four, `None`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.usize_in(0..4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// Random index helper (proptest's `sample` module subset).
+pub mod sample {
+    use crate::strategy::{Arbitrary, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// A size-agnostic random index: resolved against a concrete
+    /// collection length with [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        /// This index reduced into `0..size`. Panics when `size == 0`.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            self.0 % size
+        }
+    }
+
+    /// Strategy behind `any::<Index>()`.
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Index {
+            Index(rng.usize_in(0..usize::MAX))
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+
+        fn arbitrary() -> IndexStrategy {
+            IndexStrategy
+        }
+    }
+}
+
+/// String strategies from a regex subset.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error from [`string_regex`] on unsupported or malformed patterns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// Candidate characters (closed class or a single literal).
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy for strings matching a regex subset: literal characters,
+    /// `[...]` classes with ranges and escapes, and `{n}` / `{m,n}` / `?`
+    /// / `*` / `+` quantifiers (unbounded repetition is capped at 8).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.usize_in(atom.min..atom.max + 1);
+                for _ in 0..n {
+                    out.push(atom.chars[rng.usize_in(0..atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compile `pattern` into a generator strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let err = |msg: &str| Error(format!("{msg} in {pattern:?}"));
+        let mut chars = pattern.chars().peekable();
+        let mut atoms: Vec<Atom> = Vec::new();
+        while let Some(c) = chars.next() {
+            let class: Vec<char> = match c {
+                '[' => {
+                    let mut class = Vec::new();
+                    loop {
+                        match chars.next() {
+                            None => return Err(err("unterminated class")),
+                            Some(']') => break,
+                            Some('\\') => {
+                                class.push(chars.next().ok_or_else(|| err("trailing escape"))?)
+                            }
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    let mut ahead = chars.clone();
+                                    ahead.next(); // the '-'
+                                    match ahead.peek() {
+                                        Some(&hi) if hi != ']' => {
+                                            chars.next();
+                                            chars.next();
+                                            if hi < lo {
+                                                return Err(err("inverted range"));
+                                            }
+                                            class.extend(lo..=hi);
+                                        }
+                                        _ => class.push(lo),
+                                    }
+                                } else {
+                                    class.push(lo);
+                                }
+                            }
+                        }
+                    }
+                    if class.is_empty() {
+                        return Err(err("empty class"));
+                    }
+                    class
+                }
+                '\\' => vec![chars.next().ok_or_else(|| err("trailing escape"))?],
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(err("unsupported metacharacter"))
+                }
+                literal => vec![literal],
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = {
+                        let mut s = String::new();
+                        for d in chars.by_ref() {
+                            if d == '}' {
+                                break;
+                            }
+                            s.push(d);
+                        }
+                        s
+                    };
+                    let parse =
+                        |s: &str| s.trim().parse::<usize>().map_err(|_| err("bad quantifier"));
+                    match spec.split_once(',') {
+                        Some((m, n)) => (parse(m)?, parse(n)?),
+                        None => {
+                            let n = parse(&spec)?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if max < min {
+                return Err(err("inverted quantifier"));
+            }
+            atoms.push(Atom { chars: class, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` test expects in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module alias real proptest's prelude provides.
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_regex_respects_pattern() {
+        let strat = crate::string::string_regex("[a-c][0-9_]{0,3}x").unwrap();
+        let mut rng = TestRng::deterministic("string_regex_respects_pattern");
+        for _ in 0..200 {
+            let s = strat.gen_value(&mut rng);
+            let bytes: Vec<char> = s.chars().collect();
+            assert!(('a'..='c').contains(&bytes[0]), "{s}");
+            assert_eq!(*bytes.last().unwrap(), 'x', "{s}");
+            assert!(bytes.len() >= 2 && bytes.len() <= 5, "{s}");
+            for &c in &bytes[1..bytes.len() - 1] {
+                assert!(c.is_ascii_digit() || c == '_', "{s}");
+            }
+        }
+        assert!(crate::string::string_regex("(a|b)").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_surface_works(
+            xs in crate::collection::vec(0u32..10, 1..5),
+            flag in any::<bool>(),
+            idx in any::<prop::sample::Index>(),
+            frac in 0.0f64..=1.0,
+        ) {
+            prop_assume!(!xs.is_empty());
+            let picked = xs[idx.index(xs.len())];
+            prop_assert!(picked < 10);
+            prop_assert!((0.0..=1.0).contains(&frac));
+            let negated = !flag;
+            prop_assert_eq!(flag, !negated);
+        }
+
+        #[test]
+        fn combinators_work(v in crate::collection::vec(1usize..4, 2..6)
+            .prop_map(|v| v.len())
+            .prop_filter("nonzero", |&n| n > 0))
+        {
+            prop_assert!((2..6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::deterministic("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v: u8 = strat.gen_value(&mut rng);
+            seen[usize::from(v) - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Provides exactly the surface this workspace uses: a deterministic
+//! [`rngs::StdRng`] seeded with [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] methods `random_bool` / `random_range`, and the slice helpers
+//! `choose` / `choose_multiple` from the prelude. The generator is
+//! xoshiro256++ seeded through SplitMix64 — high-quality and fast, though
+//! the exact streams differ from upstream `rand` (all workspace tests
+//! assert self-consistency, not specific draws).
+
+/// Uniform-samplable primitive integer types for [`Rng::random_range`].
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)` (`high` exclusive).
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Lemire-style rejection-free-enough reduction: the spans in
+                // this workspace are tiny relative to 2^64, so modulo bias is
+                // below observability; use widening multiply anyway.
+                let x = rng.next_u64() as u128;
+                let r = ((x * span) >> 64) as i128;
+                (low as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// The subset of the `rand` RNG trait the workspace calls.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform draw from the half-open range `low..high`.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_half_open(self, range.start, range.end)
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full-state RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete RNGs.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand`'s
+    /// `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Inherent mirror of [`SeedableRng::seed_from_u64`] so callers
+        /// that only import `rand::rngs::StdRng` still compile.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            <Self as SeedableRng>::seed_from_u64(seed)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state is the one forbidden xoshiro state; SplitMix64
+            // cannot produce four zero outputs in a row, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Random selection from slices (`rand`'s `IndexedRandom`).
+pub trait IndexedRandom {
+    /// The element type.
+    type Output;
+
+    /// A uniformly random element, or `None` for an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Output>;
+
+    /// `amount` distinct elements, uniformly without replacement (all of
+    /// them when `amount >= len`). Order of the returned elements is the
+    /// sampling order.
+    fn choose_multiple<R: Rng>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: Rng>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = if i + 1 == self.len() { i } else { rng.random_range(i..self.len()) };
+            idx.swap(i, j);
+        }
+        idx[..amount]
+            .iter()
+            .map(|&i| &self[i])
+            .collect::<Vec<&T>>()
+            .into_iter()
+    }
+}
+
+/// The glob-import surface: traits plus `StdRng`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{IndexedRandom, Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let heads = (0..n).filter(|_| rng.random_bool(0.25)).count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "frac {frac}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*xs.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<u32> = (0..20).collect();
+        let picked: Vec<u32> = xs.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "duplicates in {picked:?}");
+        // amount > len → everything.
+        assert_eq!(xs.choose_multiple(&mut rng, 99).count(), 20);
+    }
+}

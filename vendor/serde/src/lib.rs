@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derives from the sibling `serde_derive` shim so
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compile
+//! unchanged in the network-less build container. No serialisation
+//! machinery is provided — none is exercised by the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};

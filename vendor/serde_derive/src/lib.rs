@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container building this workspace has no access to crates.io, so
+//! the real serde stack cannot be vendored wholesale. Nothing in the
+//! workspace serialises at runtime — the `#[derive(Serialize,
+//! Deserialize)]` attributes only mark types as wire-ready for future
+//! work — so the derives expand to nothing. Swap in the real crates when
+//! a network-enabled build wants actual serialisation.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the input, emits no impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the input, emits no impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
