@@ -2,17 +2,22 @@
 //!
 //! Every matcher scores mappings from the same leaves: per-node
 //! assignment costs (name dissimilarity blended with type
-//! incompatibility) and per-edge structural penalties. The node costs are
-//! by far the expensive part — full string similarity per
+//! incompatibility) and per-edge structural penalties. The node costs
+//! are by far the expensive part — full string similarity per
 //! `(personal_name, repo_name)` pair — and the same *distinct* pair
-//! recurs across schemas, matchers, and runs. [`CostMatrix`] evaluates
-//! them exactly once:
+//! recurs across schemas, matchers, runs, and *problems*. [`CostMatrix`]
+//! pulls them from the repository's score store
+//! ([`smx_repo::LabelStore`]):
 //!
-//! 1. all element names are interned through
-//!    [`smx_repo::LabelInterner`], so a name distance is computed per
-//!    distinct label pair, not per node pair;
+//! 1. per *distinct* personal label, one dense distance row against
+//!    every repository label is fetched from the store — computed by a
+//!    batched row-kernel sweep on first sight of the label and **cached
+//!    on the repository**, so a repeated query against the same
+//!    repository refills its matrix without evaluating a single string
+//!    pair;
 //! 2. per repository schema, the dense `k × n` node-cost table is filled
-//!    from the memoised distances plus the (cheap) type blend;
+//!    from those rows (indexed through the store's per-schema label
+//!    column maps) plus the (cheap) type blend;
 //! 3. per-level row minima and their suffix sums — the admissible
 //!    branch-and-bound bounds — are precomputed alongside.
 //!
@@ -22,18 +27,23 @@
 //! one fill.
 //!
 //! **Score identity.** The bounds methodology requires S1 and S2 to share
-//! Δ *exactly*. The matrix fill funnels through the same
-//! [`ObjectiveFunction::blend`] / `name_distance` code the direct
+//! Δ *exactly*. The store's rows are bitwise identical to
+//! [`ObjectiveFunction::name_distance`] (the row kernel's contract, see
+//! `smx_text::kernel`), the fill blends them through the same
+//! [`ObjectiveFunction::blend`] the direct
 //! [`ObjectiveFunction::node_cost`] path uses, and
 //! [`CostMatrix::mapping_cost`] replicates
 //! [`ObjectiveFunction::mapping_cost`]'s summation order term by term —
 //! so matrix-backed scores are **bitwise identical** to direct
-//! evaluation. `tests/score_identity.rs` asserts this for all matchers.
+//! evaluation. `tests/score_identity.rs` asserts this for all matchers;
+//! [`SchemaTable::compute_direct`] stays as the oracle.
 
 use crate::objective::{ObjectiveConfig, ObjectiveFunction};
 use crate::problem::MatchProblem;
-use smx_repo::{LabelId, LabelInterner, SchemaId};
+use smx_repo::SchemaId;
 use smx_xml::{NodeId, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Dense per-schema node-cost table with branch-and-bound bounds.
 #[derive(Debug, Clone)]
@@ -134,37 +144,31 @@ pub struct CostMatrix {
 }
 
 impl CostMatrix {
-    /// Precompute the engine: intern labels, evaluate each distinct
-    /// `(personal_label, repo_label)` name distance once, fill every
-    /// schema's cost table and bounds.
+    /// Precompute the engine: fetch one score row per distinct personal
+    /// label from the repository's [`smx_repo::LabelStore`] (row-kernel
+    /// sweeps on first sight, cached lookups after), then fill every
+    /// schema's cost table and bounds from those rows.
     pub fn build(problem: &MatchProblem, objective: &ObjectiveFunction) -> Self {
         let personal = problem.personal();
         let k = problem.personal_size();
-        let mut interner = LabelInterner::new();
-        // Personal labels first: their ids form the distance-table rows.
-        let personal_labels: Vec<LabelId> = problem
+        let store = problem.repository().store();
+        // One store row per *distinct* personal label; `level_rows[level]`
+        // indexes into `rows` so duplicate personal names share a sweep.
+        let mut row_of: HashMap<&str, usize> = HashMap::new();
+        let mut rows: Vec<Arc<Vec<f64>>> = Vec::new();
+        let level_rows: Vec<usize> = problem
             .personal_order()
             .iter()
-            .map(|&pid| interner.intern(&personal.node(pid).name))
+            .map(|&pid| {
+                let name = personal.node(pid).name.as_str();
+                *row_of.entry(name).or_insert_with(|| {
+                    rows.push(store.score_row(name));
+                    rows.len() - 1
+                })
+            })
             .collect();
-        let personal_distinct = interner.len();
-        // Intern every repository label (per-schema, arena order).
-        let schema_labels: Vec<Vec<LabelId>> = problem
-            .repository()
-            .iter()
-            .map(|(_, schema)| interner.intern_schema(schema))
-            .collect();
-        // One name distance per distinct (personal label, any label) pair.
-        let total = interner.len();
-        let mut name_dist = vec![0.0f64; personal_distinct * total];
-        for p in 0..personal_distinct {
-            let p_name = interner.resolve(LabelId(p as u32));
-            for t in 0..total {
-                name_dist[p * total + t] =
-                    objective.name_distance(p_name, interner.resolve(LabelId(t as u32)));
-            }
-        }
-        // Fill each schema's k × n table from the memoised distances.
+        // Fill each schema's k × n table from the store rows, mapping
+        // arena columns to label ids through the store's column maps.
         let personal_types: Vec<_> = problem
             .personal_order()
             .iter()
@@ -173,15 +177,15 @@ impl CostMatrix {
         let tables: Vec<SchemaTable> = problem
             .repository()
             .iter()
-            .zip(&schema_labels)
-            .map(|((_, schema), labels)| {
+            .map(|(sid, schema)| {
+                let labels = store.schema_labels(sid);
                 let n = schema.len();
                 let mut costs = Vec::with_capacity(k * n);
                 for level in 0..k {
-                    let p_row = personal_labels[level].index() * total;
+                    let row = rows[level_rows[level]].as_slice();
                     let p_ty = personal_types[level];
                     for (t, target) in schema.node_ids().enumerate() {
-                        let nd = name_dist[p_row + labels[t].index()];
+                        let nd = row[labels[t].index()];
                         let td = 1.0 - p_ty.compatibility(schema.node(target).ty);
                         costs.push(objective.blend(nd, td));
                     }

@@ -31,19 +31,23 @@
 //!
 //! All matchers score through the problem's precomputed
 //! [`CostMatrix`] ([`cost_matrix`]): at first use per
-//! [`MatchProblem`], element names are interned
-//! ([`smx_repo::LabelInterner`]) and each *distinct*
-//! `(personal_name, repo_name)` pair is evaluated once; the dense
-//! `k × n` node-cost table per schema, per-level row minima, and their
-//! suffix sums (the admissible branch-and-bound bounds) are then plain
-//! `Vec<f64>` lookups. The engine lives behind a `OnceLock` in the
-//! problem, so post-initialisation reads are lock-free and allocation-free
-//! — safe to share across the parallel matcher's workers.
+//! [`MatchProblem`], one name-distance row per *distinct* personal
+//! label is fetched from the repository's score store
+//! ([`smx_repo::LabelStore`]) — swept by a batched row kernel
+//! (`smx_text::RowKernel`) over per-label profiles precomputed at
+//! ingest, and cached on the repository so repeated problems against
+//! the same repository refill without evaluating a single string pair.
+//! The dense `k × n` node-cost table per schema, per-level row minima,
+//! and their suffix sums (the admissible branch-and-bound bounds) are
+//! then plain `Vec<f64>` lookups. The engine lives behind a `OnceLock`
+//! in the problem, so post-initialisation reads are lock-free and
+//! allocation-free — safe to share across the parallel matcher's
+//! workers.
 //!
 //! **Score-identity invariant.** The bounds methodology requires S1 and
-//! every S2 to share Δ *exactly*. The matrix fill reuses
-//! [`ObjectiveFunction::blend`] and
-//! [`ObjectiveFunction::name_distance`], and
+//! every S2 to share Δ *exactly*. The store's rows are bitwise identical
+//! to [`ObjectiveFunction::name_distance`] (the row kernel's contract),
+//! the matrix fill reuses [`ObjectiveFunction::blend`], and
 //! [`CostMatrix::mapping_cost`] replicates
 //! [`ObjectiveFunction::mapping_cost`] term by term, so matrix-backed
 //! scores are **bitwise identical** (`f64::to_bits`) to direct

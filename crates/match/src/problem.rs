@@ -34,6 +34,13 @@ impl MatchProblem {
     /// The precomputed [`CostMatrix`] for `objective`, built on first use
     /// and cached for the lifetime of the problem.
     ///
+    /// The build itself leans on the repository's label score store
+    /// ([`smx_repo::LabelStore`]): label-level preprocessing happened at
+    /// ingest, and name-distance rows computed for one problem are cached
+    /// on the (`Arc`-shared) repository — so constructing a *new*
+    /// `MatchProblem` against the same repository pays only row lookups
+    /// and type blends, not string similarity.
+    ///
     /// The cache is keyed by the first objective seen — the paper's
     /// methodology runs every matcher with *one* shared Δ, so that is the
     /// overwhelmingly common case. A call with a different

@@ -1,0 +1,91 @@
+//! Repeated `MatchProblem`s against one `Repository` must reuse the
+//! repository's label score store: label profiles are built at ingest
+//! only, and a repeat query refills its cost matrix without a single new
+//! pair evaluation. The store's work counters make both claims testable.
+
+use smx_match::{ExhaustiveMatcher, MappingRegistry, MatchProblem, Matcher, ObjectiveFunction};
+use smx_synth::{Scenario, ScenarioConfig};
+
+fn scenario() -> Scenario {
+    Scenario::generate(ScenarioConfig {
+        derived_schemas: 4,
+        noise_schemas: 3,
+        personal_nodes: 4,
+        host_nodes: 7,
+        perturbation_strength: 0.6,
+        seed: 42,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn repeated_problems_share_all_label_level_work() {
+    let sc = scenario();
+    let repository = sc.repository;
+    let store_labels = repository.store().len() as u64;
+    let profile_builds = repository.store().profile_builds();
+    assert_eq!(profile_builds, store_labels, "profiles are built once per distinct label");
+    assert_eq!(repository.store().pair_evals(), 0, "ingest must not score pairs");
+
+    let objective = ObjectiveFunction::default();
+
+    // First problem: the cold fill sweeps one row per distinct personal
+    // label.
+    let p1 = MatchProblem::new(sc.personal.clone(), repository.clone()).unwrap();
+    p1.cost_matrix(&objective);
+    let distinct_personal: u64 = {
+        let personal = p1.personal();
+        let mut names: Vec<&str> =
+            personal.node_ids().map(|id| personal.node(id).name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len() as u64
+    };
+    let cold_evals = repository.store().pair_evals();
+    assert_eq!(
+        cold_evals,
+        distinct_personal * store_labels,
+        "cold fill = one kernel sweep per distinct personal label"
+    );
+
+    // Second problem against the same repository: the matrix refills from
+    // cached rows — zero pair evaluations, zero profile builds.
+    let p2 = MatchProblem::new(sc.personal.clone(), repository.clone()).unwrap();
+    p2.cost_matrix(&objective);
+    assert_eq!(repository.store().pair_evals(), cold_evals, "repeat query evaluated pairs");
+    assert_eq!(repository.store().profile_builds(), profile_builds);
+
+    // And the reuse is invisible to scores: both problems' matchers
+    // produce identical answer sets.
+    let registry = MappingRegistry::new();
+    let a1 = ExhaustiveMatcher::default().run(&p1, 0.4, &registry);
+    let a2 = ExhaustiveMatcher::default().run(&p2, 0.4, &registry);
+    assert_eq!(a1, a2);
+    assert!(!a1.is_empty());
+}
+
+#[test]
+fn cleared_rows_recompute_to_identical_values() {
+    let sc = scenario();
+    let repository = sc.repository;
+    let objective = ObjectiveFunction::default();
+    let p1 = MatchProblem::new(sc.personal.clone(), repository.clone()).unwrap();
+    let warm = p1.cost_matrix(&objective);
+    let warm_evals = repository.store().pair_evals();
+
+    repository.clear_score_rows();
+    let p2 = MatchProblem::new(sc.personal.clone(), repository.clone()).unwrap();
+    let cold = p2.cost_matrix(&objective);
+    assert!(
+        repository.store().pair_evals() > warm_evals,
+        "cleared store must re-sweep"
+    );
+    for (sid, schema) in p2.repository().iter() {
+        let (a, b) = (warm.table(sid), cold.table(sid));
+        for level in 0..p2.personal_size() {
+            for node in 0..schema.len() {
+                assert_eq!(a.cost(level, node).to_bits(), b.cost(level, node).to_bits());
+            }
+        }
+    }
+}

@@ -7,9 +7,18 @@
 use crate::repository::{ElementRef, Repository, SchemaId};
 use serde::{Deserialize, Serialize};
 use smx_text::split_identifier;
+use smx_xml::Schema;
 use std::collections::BTreeMap;
 
 /// Inverted index `token → sorted element list`.
+///
+/// The index is **incremental**: [`TokenIndex::add_schema`] appends one
+/// schema's postings, and [`Repository::add`](crate::Repository::add)
+/// calls it on every ingest — so a live repository never pays a full
+/// [`TokenIndex::build`] rebuild. Because schemas are ingested in id
+/// order and elements walked in arena order, appending yields postings
+/// lists identical to a from-scratch build (asserted by the
+/// `incremental_add_equals_rebuild` test).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TokenIndex {
     postings: BTreeMap<String, Vec<ElementRef>>,
@@ -18,13 +27,23 @@ pub struct TokenIndex {
 impl TokenIndex {
     /// Build the index over every element of `repo`.
     pub fn build(repo: &Repository) -> Self {
-        let mut postings: BTreeMap<String, Vec<ElementRef>> = BTreeMap::new();
-        for eref in repo.elements() {
-            for token in split_identifier(repo.element_name(eref)) {
-                postings.entry(token.0).or_default().push(eref);
+        let mut index = TokenIndex::default();
+        for (sid, schema) in repo.iter() {
+            index.add_schema(sid, schema);
+        }
+        index
+    }
+
+    /// Append the postings of one schema — the incremental path
+    /// [`Repository::add`](crate::Repository::add) uses. `sid` must be
+    /// the id the schema holds (or will hold) in its repository.
+    pub fn add_schema(&mut self, sid: SchemaId, schema: &Schema) {
+        for node in schema.node_ids() {
+            let eref = ElementRef { schema: sid, node };
+            for token in split_identifier(&schema.node(node).name) {
+                self.postings.entry(token.0).or_default().push(eref);
             }
         }
-        TokenIndex { postings }
     }
 
     /// Elements whose name contains `token` (exact token match).
@@ -107,6 +126,56 @@ mod tests {
         assert!(idx.rank_schemas(&["anything"]).is_empty());
         let idx = TokenIndex::build(&repo());
         assert!(idx.rank_schemas(&[]).is_empty());
+    }
+
+    /// Independent from-scratch construction (the pre-incremental
+    /// `build` body): one flat walk over `repo.elements()`. The
+    /// incremental path is compared against *this*, not against
+    /// `TokenIndex::build` (which now loops `add_schema` itself).
+    fn reference_index(repo: &Repository) -> TokenIndex {
+        let mut postings: BTreeMap<String, Vec<ElementRef>> = BTreeMap::new();
+        for eref in repo.elements() {
+            for token in split_identifier(repo.element_name(eref)) {
+                postings.entry(token.0).or_default().push(eref);
+            }
+        }
+        TokenIndex { postings }
+    }
+
+    #[test]
+    fn incremental_add_equals_rebuild() {
+        // Appending schema by schema must reproduce a from-scratch build
+        // exactly: same vocabulary, same postings, same order.
+        let repos = [repo(), Repository::new(), {
+            let mut r = Repository::new();
+            // Duplicate names across schemas exercise posting appends to
+            // existing token entries.
+            r.add(
+                SchemaBuilder::new("a")
+                    .root("order")
+                    .leaf("orderLine", PrimitiveType::String)
+                    .build(),
+            );
+            r.add(
+                SchemaBuilder::new("b")
+                    .root("order")
+                    .leaf("line_item", PrimitiveType::String)
+                    .build(),
+            );
+            r
+        }];
+        for r in &repos {
+            let mut incremental = TokenIndex::default();
+            for (sid, schema) in r.iter() {
+                incremental.add_schema(sid, schema);
+            }
+            let expected = reference_index(r);
+            assert_eq!(incremental, expected);
+            assert_eq!(TokenIndex::build(r), expected);
+            for tok in expected.tokens() {
+                assert_eq!(incremental.lookup(tok), expected.lookup(tok), "{tok}");
+            }
+        }
     }
 
     #[test]

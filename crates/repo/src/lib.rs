@@ -19,7 +19,12 @@
 //!   reference method), plus quality measures,
 //! * [`fragment`] — per-schema fragments induced by a cluster selection:
 //!   the element sets a cluster-restricted matcher is allowed to target,
-//! * [`index`] — a token inverted index used to seed cluster ranking.
+//! * [`index`] — a token inverted index, maintained incrementally by
+//!   [`Repository::add`],
+//! * [`store`] — the repository-resident label score store: per-label
+//!   row-kernel profiles and cached name-distance rows, updated
+//!   incrementally on every ingest, shared by every `MatchProblem`
+//!   against the repository.
 
 pub mod cluster;
 pub mod feature;
@@ -27,6 +32,7 @@ pub mod fragment;
 pub mod index;
 pub mod intern;
 pub mod repository;
+pub mod store;
 
 pub use cluster::{agglomerative_clustering, greedy_clustering, Cluster, Clustering};
 pub use feature::{element_features, feature_similarity, query_features, ElementFeatures};
@@ -34,3 +40,4 @@ pub use fragment::{fragments_for_clusters, Fragment};
 pub use index::TokenIndex;
 pub use intern::{LabelId, LabelInterner};
 pub use repository::{ElementRef, Repository, SchemaId};
+pub use store::LabelStore;

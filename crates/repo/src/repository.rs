@@ -1,7 +1,16 @@
 //! A repository of XML schemas with global element addressing.
+//!
+//! Every [`Repository::add`] also feeds the repository's
+//! [`LabelStore`] — interner, per-label row-kernel profiles, token
+//! index, and cached score rows — **incrementally**: ingest appends, it
+//! never rebuilds. The store sits behind an `Arc`, so cloning a
+//! repository (e.g. to construct a `MatchProblem`) shares all
+//! label-level preprocessing and every score row computed so far.
 
+use crate::store::LabelStore;
 use serde::{Deserialize, Serialize};
 use smx_xml::{NodeId, Schema};
+use std::sync::Arc;
 
 /// Dense index of a schema within a [`Repository`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -36,10 +45,29 @@ impl std::fmt::Display for ElementRef {
     }
 }
 
-/// An ordered collection of schemas.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+/// An ordered collection of schemas with an incrementally maintained
+/// [`LabelStore`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Repository {
     schemas: Vec<Schema>,
+    /// Derived, append-only state (interner, profiles, token index,
+    /// score rows). `Arc` so clones share it; `Arc::make_mut` detaches
+    /// on the rare mutate-after-clone.
+    ///
+    /// Serde note: the workspace's vendored serde derives are no-ops
+    /// (nothing serialises at runtime). When the real crates are swapped
+    /// in (ROADMAP open item), this field must be `#[serde(skip)]` *and*
+    /// rebuilt from `schemas` on deserialize — a skipped-but-empty store
+    /// would desync from the schema list and break `schema_labels`
+    /// indexing.
+    store: Arc<LabelStore>,
+}
+
+/// Equality is over the schemas; the store is derived state.
+impl PartialEq for Repository {
+    fn eq(&self, other: &Self) -> bool {
+        self.schemas == other.schemas
+    }
 }
 
 impl Repository {
@@ -48,11 +76,33 @@ impl Repository {
         Repository::default()
     }
 
-    /// Add a schema, returning its id.
+    /// Add a schema, returning its id. Updates the label store
+    /// incrementally: new distinct labels are profiled, token postings
+    /// appended — nothing is rebuilt.
     pub fn add(&mut self, schema: Schema) -> SchemaId {
         let id = SchemaId(self.schemas.len() as u32);
+        Arc::make_mut(&mut self.store).add_schema(id, &schema);
         self.schemas.push(schema);
         id
+    }
+
+    /// The repository's label store: interner, row-kernel profiles,
+    /// token index, and cached score rows, all maintained by
+    /// [`add`](Self::add).
+    pub fn store(&self) -> &LabelStore {
+        &self.store
+    }
+
+    /// The incremental token inverted index (shortcut into the store).
+    pub fn token_index(&self) -> &crate::TokenIndex {
+        self.store.token_index()
+    }
+
+    /// Drop the store's cached score rows — benches use this to time a
+    /// genuinely cold cost-matrix fill. Affects every clone sharing the
+    /// store.
+    pub fn clear_score_rows(&self) {
+        self.store.clear_rows();
     }
 
     /// Number of schemas.

@@ -1,0 +1,325 @@
+//! The repository-resident label score store.
+//!
+//! A production repository answers many matching queries; per-query work
+//! should touch only what is new about the query. The store keeps, *on
+//! the repository itself* and maintained **incrementally on every
+//! [`Repository::add`](crate::Repository::add)**:
+//!
+//! * the [`LabelInterner`] over every distinct element name,
+//! * one [`LabelProfile`] per distinct label — the row kernel's
+//!   pair-independent preprocessing (normalised form, token profiles,
+//!   Myers pattern table, flat trigram profile), built exactly once, at
+//!   ingest,
+//! * per-schema label ids in arena order (the cost-matrix column map),
+//! * the incremental [`TokenIndex`],
+//! * a **score-row cache**: for each query label already seen, the dense
+//!   vector of name *distances* to every stored label, computed by one
+//!   [`RowKernel`] sweep and reused by every later query.
+//!
+//! Adding a schema appends: new distinct labels get profiles, postings
+//! are appended, and cached score rows stay valid — they simply cover a
+//! prefix of the grown label list and are *extended* (only the new
+//! columns are evaluated) the next time they are requested. Nothing is
+//! ever rebuilt from scratch.
+//!
+//! # Score-identity contract
+//!
+//! [`LabelStore::score_row`] values are bitwise identical to
+//! `NameSimilarity::default().distance(query, label)` — the row kernel
+//! guarantees it (see `smx_text::kernel`). The matching crate's
+//! `CostMatrix` fills from these rows and stays bitwise equal to direct
+//! objective evaluation, which is what `tests/score_identity.rs` in
+//! `smx-match` gates on.
+
+use crate::index::TokenIndex;
+use crate::intern::{LabelId, LabelInterner};
+use crate::repository::SchemaId;
+use parking_lot::RwLock;
+use smx_text::{LabelProfile, RowKernel};
+use smx_xml::Schema;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Interner, per-label profiles, token index, and cached score rows for
+/// one repository. Obtained via
+/// [`Repository::store`](crate::Repository::store).
+pub struct LabelStore {
+    interner: LabelInterner,
+    /// `profiles[id.index()]` is the profile of `interner.resolve(id)`.
+    profiles: Vec<LabelProfile>,
+    /// Per schema (by id), the label of each node in arena order.
+    schema_labels: Vec<Vec<LabelId>>,
+    index: TokenIndex,
+    /// Query label → distances to the first `row.len()` stored labels.
+    /// Rows are append-consistent: label ids are stable, so a short row
+    /// is a valid prefix and only its tail needs computing after adds.
+    rows: RwLock<HashMap<String, Arc<Vec<f64>>>>,
+    /// How many label profiles were ever built (label-level work).
+    profile_builds: AtomicU64,
+    /// How many (query, label) kernel evaluations were ever run
+    /// (pair-level work). Repeated queries must not move this.
+    pair_evals: AtomicU64,
+}
+
+impl LabelStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        LabelStore {
+            interner: LabelInterner::new(),
+            profiles: Vec::new(),
+            schema_labels: Vec::new(),
+            index: TokenIndex::default(),
+            rows: RwLock::new(HashMap::new()),
+            profile_builds: AtomicU64::new(0),
+            pair_evals: AtomicU64::new(0),
+        }
+    }
+
+    /// Ingest one schema: intern its labels (building profiles only for
+    /// labels never seen before), record its column map, append its
+    /// token postings. Called by `Repository::add` with the id the
+    /// schema gets; ids must arrive densely in order.
+    pub(crate) fn add_schema(&mut self, sid: SchemaId, schema: &Schema) {
+        debug_assert_eq!(sid.index(), self.schema_labels.len());
+        let known = self.interner.len();
+        let labels = self.interner.intern_schema(schema);
+        for id in known..self.interner.len() {
+            self.profiles.push(LabelProfile::new(self.interner.resolve(LabelId(id as u32))));
+        }
+        self.profile_builds.fetch_add((self.interner.len() - known) as u64, Relaxed);
+        self.schema_labels.push(labels);
+        self.index.add_schema(sid, schema);
+    }
+
+    /// The interner over every distinct label in the repository.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Number of distinct labels stored.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no labels are stored.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profile of one stored label.
+    pub fn profile(&self, id: LabelId) -> &LabelProfile {
+        &self.profiles[id.index()]
+    }
+
+    /// Per-node label ids of `sid`, arena order — the column map a cost
+    /// matrix indexes score rows with.
+    pub fn schema_labels(&self, sid: SchemaId) -> &[LabelId] {
+        &self.schema_labels[sid.index()]
+    }
+
+    /// The incremental token inverted index.
+    pub fn token_index(&self) -> &TokenIndex {
+        &self.index
+    }
+
+    /// The dense distance row of `query` against every stored label:
+    /// `row[id.index()] == NameSimilarity::default().distance(query,
+    /// label)`, bitwise (computed by a [`RowKernel`] sweep).
+    ///
+    /// Rows are cached per distinct query label. A repeated query — the
+    /// same personal label in a later `MatchProblem` against this
+    /// repository — returns the cached row without evaluating a single
+    /// pair. After new schemas were added, a cached row is extended:
+    /// only distances to the *new* labels are computed.
+    pub fn score_row(&self, query: &str) -> Arc<Vec<f64>> {
+        let n = self.profiles.len();
+        let cached = self.rows.read().get(query).cloned();
+        if let Some(row) = &cached {
+            if row.len() == n {
+                return Arc::clone(row);
+            }
+        }
+        // Miss or stale prefix: sweep (the tail of) the label row through
+        // a kernel built once for this query. Concurrent fillers may race
+        // here; they compute identical values, so last-write-wins is fine.
+        let kernel = RowKernel::new(query);
+        let mut row: Vec<f64> = Vec::with_capacity(n);
+        if let Some(prefix) = &cached {
+            row.extend_from_slice(prefix);
+        }
+        let start = row.len();
+        kernel.distances_into(&self.profiles[start..], &mut row);
+        self.pair_evals.fetch_add((n - start) as u64, Relaxed);
+        let row = Arc::new(row);
+        self.rows.write().insert(query.to_owned(), Arc::clone(&row));
+        row
+    }
+
+    /// Number of query labels with a cached score row.
+    pub fn cached_rows(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// Drop every cached score row (profiles and index stay). Benches
+    /// use this to measure a genuinely cold fill.
+    pub fn clear_rows(&self) {
+        self.rows.write().clear();
+    }
+
+    /// Total label profiles ever built — the label-level work counter.
+    pub fn profile_builds(&self) -> u64 {
+        self.profile_builds.load(Relaxed)
+    }
+
+    /// Total (query, label) kernel evaluations ever run — the pair-level
+    /// work counter the store-reuse tests assert on.
+    pub fn pair_evals(&self) -> u64 {
+        self.pair_evals.load(Relaxed)
+    }
+}
+
+impl Default for LabelStore {
+    fn default() -> Self {
+        LabelStore::new()
+    }
+}
+
+impl Clone for LabelStore {
+    fn clone(&self) -> Self {
+        LabelStore {
+            interner: self.interner.clone(),
+            profiles: self.profiles.clone(),
+            schema_labels: self.schema_labels.clone(),
+            index: self.index.clone(),
+            rows: RwLock::new(self.rows.read().clone()),
+            profile_builds: AtomicU64::new(self.profile_builds.load(Relaxed)),
+            pair_evals: AtomicU64::new(self.pair_evals.load(Relaxed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for LabelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabelStore")
+            .field("labels", &self.profiles.len())
+            .field("schemas", &self.schema_labels.len())
+            .field("cached_rows", &self.cached_rows())
+            .field("profile_builds", &self.profile_builds())
+            .field("pair_evals", &self.pair_evals())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::Repository;
+    use smx_text::NameSimilarity;
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.add(
+            SchemaBuilder::new("bib")
+                .root("bib")
+                .child("book", |b| b.leaf("title", PrimitiveType::String))
+                .build(),
+        );
+        r.add(
+            SchemaBuilder::new("shop")
+                .root("shop")
+                .leaf("title", PrimitiveType::String) // duplicate label
+                .build(),
+        );
+        r
+    }
+
+    #[test]
+    fn ingest_builds_profiles_once_per_distinct_label() {
+        let r = repo();
+        let store = r.store();
+        // bib, book, title, shop — "title" recurs but is built once.
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.profile_builds(), 4);
+        assert_eq!(store.schema_labels(SchemaId(0)).len(), 3);
+        assert_eq!(store.schema_labels(SchemaId(1)).len(), 2);
+        // Column map resolves to node names.
+        let labels = store.schema_labels(SchemaId(1));
+        assert_eq!(store.interner().resolve(labels[1]), "title");
+        assert_eq!(store.profile(labels[1]).raw(), "title");
+    }
+
+    #[test]
+    fn score_rows_match_scalar_distance_bitwise() {
+        let r = repo();
+        let store = r.store();
+        let scalar = NameSimilarity::default();
+        for query in ["title", "bookTitle", "", "shop"] {
+            let row = store.score_row(query);
+            assert_eq!(row.len(), store.len());
+            for id in 0..store.len() {
+                let label = store.interner().resolve(LabelId(id as u32));
+                assert_eq!(
+                    row[id].to_bits(),
+                    scalar.distance(query, label).to_bits(),
+                    "{query:?} vs {label:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_reuse_cached_rows() {
+        let r = repo();
+        let store = r.store();
+        let first = store.score_row("orderTitle");
+        let evals = store.pair_evals();
+        assert_eq!(evals, store.len() as u64);
+        let second = store.score_row("orderTitle");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.pair_evals(), evals, "repeat query re-evaluated pairs");
+        assert_eq!(store.cached_rows(), 1);
+    }
+
+    #[test]
+    fn rows_extend_incrementally_after_add() {
+        let mut r = repo();
+        let stale = r.store().score_row("title");
+        let evals_before = r.store().pair_evals();
+        r.add(
+            SchemaBuilder::new("extra")
+                .root("warehouse")
+                .leaf("isbn", PrimitiveType::String)
+                .build(),
+        );
+        let store = r.store();
+        assert_eq!(store.len(), 6);
+        let extended = store.score_row("title");
+        // Only the two new labels were evaluated...
+        assert_eq!(store.pair_evals(), evals_before + 2);
+        // ...and the extended row equals a from-scratch sweep.
+        store.clear_rows();
+        let fresh = store.score_row("title");
+        assert_eq!(extended.len(), fresh.len());
+        for (a, b) in extended.iter().zip(fresh.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(&extended[..stale.len()], &stale[..]);
+    }
+
+    #[test]
+    fn clone_detaches_counters_but_shares_values() {
+        let r = repo();
+        r.store().score_row("title");
+        let cloned = r.clone();
+        // The clone shares the Arc'd store, so the cached row survives.
+        assert_eq!(cloned.store().cached_rows(), 1);
+        // Mutating the clone (add) detaches it via make_mut; the original
+        // keeps its own counters.
+        let mut cloned = cloned;
+        cloned.add(SchemaBuilder::new("x").root("y").build());
+        assert_eq!(cloned.store().len(), r.store().len() + 1);
+        assert_eq!(r.store().cached_rows(), 1);
+    }
+}

@@ -100,16 +100,21 @@ pub struct NameSimilarity {
     inner: WeightedSimilarity,
 }
 
+/// The `(measure, weight)` pairs of the default mix, in evaluation order.
+///
+/// Shared between [`NameSimilarity::default`] and the row kernel
+/// ([`crate::RowKernel`]), whose bitwise score-identity contract requires
+/// both paths to sum exactly these weights in exactly this order.
+pub(crate) const DEFAULT_NAME_MIX: [(SimilarityMeasure, f64); 4] = [
+    (SimilarityMeasure::Trigram, 0.3),
+    (SimilarityMeasure::JaroWinkler, 0.3),
+    (SimilarityMeasure::TokenSet, 0.3),
+    (SimilarityMeasure::Levenshtein, 0.1),
+];
+
 impl Default for NameSimilarity {
     fn default() -> Self {
-        Self {
-            inner: WeightedSimilarity::new([
-                (SimilarityMeasure::Trigram, 0.3),
-                (SimilarityMeasure::JaroWinkler, 0.3),
-                (SimilarityMeasure::TokenSet, 0.3),
-                (SimilarityMeasure::Levenshtein, 0.1),
-            ]),
-        }
+        Self { inner: WeightedSimilarity::new(DEFAULT_NAME_MIX) }
     }
 }
 

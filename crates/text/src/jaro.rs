@@ -17,6 +17,15 @@ use crate::clamp01;
 pub fn jaro(a: &str, b: &str) -> f64 {
     let ac: Vec<char> = a.chars().collect();
     let bc: Vec<char> = b.chars().collect();
+    jaro_chars(&ac, &bc)
+}
+
+/// [`jaro`] over pre-collected scalar-value slices — the allocation the
+/// string entry point pays per call is hoisted to the caller, so row
+/// kernels can score one query against many candidates without
+/// re-collecting either side. Bitwise identical to [`jaro`] on the
+/// corresponding strings.
+pub(crate) fn jaro_chars(ac: &[char], bc: &[char]) -> f64 {
     let (n, m) = (ac.len(), bc.len());
     if n == 0 && m == 0 {
         return 1.0;
@@ -65,12 +74,20 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// assert!(smx_text::jaro_winkler("price", "prices") > smx_text::jaro("price", "prices"));
 /// ```
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    jaro_winkler_chars(&ac, &bc)
+}
+
+/// [`jaro_winkler`] over pre-collected scalar-value slices (see
+/// [`jaro_chars`]). Bitwise identical to the string entry point.
+pub(crate) fn jaro_winkler_chars(ac: &[char], bc: &[char]) -> f64 {
     const SCALING: f64 = 0.1;
     const MAX_PREFIX: usize = 4;
-    let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
+    let j = jaro_chars(ac, bc);
+    let prefix = ac
+        .iter()
+        .zip(bc.iter())
         .take(MAX_PREFIX)
         .take_while(|(x, y)| x == y)
         .count();

@@ -1,0 +1,345 @@
+//! The batched row kernel: score one query label against many candidate
+//! labels without re-deriving any per-label data.
+//!
+//! The scalar scoring path ([`NameSimilarity`]) re-normalises, re-splits,
+//! and re-profiles *both* strings on every call — for a `k × n` cost
+//! matrix fill that is `O(k·n)` tokenisations and n-gram profile builds
+//! of the *same* handful of labels. This module splits that work at the
+//! label boundary:
+//!
+//! * [`LabelProfile`] — everything pair-independent about one label,
+//!   computed once: the normalised form and its scalar values, the Myers
+//!   bit-vector pattern table (for ASCII labels up to 64 bytes), the
+//!   identifier tokens with per-token scalar values, the sorted distinct
+//!   token set, and the flat hashed trigram profile
+//!   ([`GramProfile`]);
+//! * [`RowKernel`] — a query label's profile plus the pair loop: stream a
+//!   whole row of candidate profiles through it and only the genuinely
+//!   pairwise arithmetic (merge-intersections, the Myers advance loop,
+//!   Jaro window scans) remains per pair.
+//!
+//! # Score-identity contract
+//!
+//! `RowKernel::similarity(q, c)` is **bitwise identical**
+//! (`f64::to_bits`) to `NameSimilarity::default().similarity(q.raw,
+//! c.raw)`, and [`RowKernel::distance`] to the corresponding
+//! `distance`. The kernel replicates the scalar path's exact evaluation
+//! order — the same weight sums over
+//! [`combined::DEFAULT_NAME_MIX`](crate::combined), the same early
+//! returns, the same clamps — and every leaf funnels into the *same*
+//! arithmetic the scalar measures use (`jaro_chars`, the shared Myers
+//! advance loop, the shared profile merges). The matching crate's
+//! effectiveness-bounds methodology rests on this: its repository score
+//! store fills cost matrices through row kernels while
+//! `compute_direct` re-scores through the scalar path, and
+//! `tests/score_identity.rs` asserts the two agree to the bit. Property
+//! tests in `crates/text/tests/properties.rs` assert the contract for
+//! the kernel itself.
+
+use crate::clamp01;
+use crate::combined::{SimilarityMeasure, DEFAULT_NAME_MIX};
+use crate::jaro::jaro_winkler_chars;
+use crate::levenshtein::{myers_64_prepared, myers_pattern, two_row_dp};
+use crate::ngram::{dice_profiles, GramProfile};
+use crate::normalize::split_identifier;
+
+/// Pair-independent preprocessing of one label, shared by every
+/// comparison the label participates in.
+#[derive(Debug, Clone)]
+pub struct LabelProfile {
+    /// The label as ingested (what raw-string equality checks compare).
+    raw: String,
+    /// `normalize_identifier(raw)` — the form character-level measures see.
+    norm: String,
+    /// Scalar values of `norm` (Jaro windows, non-ASCII edit distance).
+    norm_chars: Vec<char>,
+    /// Whether `norm` is pure ASCII (selects the byte-level edit paths).
+    ascii: bool,
+    /// `norm`'s length in scalar values (bytes when ASCII) — the
+    /// normalisation denominator of Levenshtein similarity.
+    scalar_len: usize,
+    /// Myers pattern table of `norm`, present iff ASCII and 1..=64 bytes.
+    peq: Option<Box<[u64; 128]>>,
+    /// Identifier tokens of `raw` in split order, duplicates kept, each
+    /// pre-collected to scalar values (Monge–Elkan's inner loops).
+    tokens: Vec<Vec<char>>,
+    /// Sorted distinct token texts (Dice over token sets).
+    token_set: Vec<String>,
+    /// Flat hashed trigram profile of `norm`.
+    grams: GramProfile,
+}
+
+impl LabelProfile {
+    /// Preprocess `label`. This is the only place label-level work
+    /// happens; everything downstream is pairwise arithmetic.
+    pub fn new(label: &str) -> Self {
+        let split = split_identifier(label);
+        let norm: String = split.iter().map(|t| t.as_str()).collect();
+        let norm_chars: Vec<char> = norm.chars().collect();
+        let ascii = norm.is_ascii();
+        let scalar_len = if ascii { norm.len() } else { norm_chars.len() };
+        let peq = (ascii && !norm.is_empty() && norm.len() <= 64)
+            .then(|| Box::new(myers_pattern(norm.as_bytes())));
+        let grams = GramProfile::trigrams(&norm);
+        let mut token_set: Vec<String> =
+            split.iter().map(|t| t.as_str().to_owned()).collect();
+        token_set.sort_unstable();
+        token_set.dedup();
+        let tokens: Vec<Vec<char>> =
+            split.iter().map(|t| t.as_str().chars().collect()).collect();
+        LabelProfile {
+            raw: label.to_owned(),
+            norm,
+            norm_chars,
+            ascii,
+            scalar_len,
+            peq,
+            tokens,
+            token_set,
+            grams,
+        }
+    }
+
+    /// The label as ingested.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The normalised identifier form.
+    pub fn normalized(&self) -> &str {
+        &self.norm
+    }
+}
+
+/// Count of common elements of two sorted, deduplicated string slices —
+/// the token-set intersection, by linear merge.
+fn sorted_intersection(a: &[String], b: &[String]) -> usize {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// A query label prepared for streaming a row of candidates through the
+/// default name-similarity mix.
+#[derive(Debug, Clone)]
+pub struct RowKernel {
+    query: LabelProfile,
+}
+
+impl RowKernel {
+    /// Preprocess `label` as the row's query.
+    pub fn new(label: &str) -> Self {
+        RowKernel { query: LabelProfile::new(label) }
+    }
+
+    /// Wrap an existing profile as the query.
+    pub fn from_profile(query: LabelProfile) -> Self {
+        RowKernel { query }
+    }
+
+    /// The query's profile.
+    pub fn profile(&self) -> &LabelProfile {
+        &self.query
+    }
+
+    /// Name similarity of the query and `candidate` — bitwise identical
+    /// to `NameSimilarity::default().similarity(query, candidate)`.
+    pub fn similarity(&self, candidate: &LabelProfile) -> f64 {
+        // Mirrors WeightedSimilarity::eval term for term: raw-equality
+        // fast path, weight total and weighted score summed in mix order.
+        if self.query.raw == candidate.raw {
+            return 1.0;
+        }
+        let total_weight: f64 = DEFAULT_NAME_MIX.iter().map(|&(_, w)| w).sum();
+        let score: f64 = DEFAULT_NAME_MIX
+            .iter()
+            .map(|&(m, w)| w * self.measure(m, candidate))
+            .sum();
+        clamp01(score / total_weight)
+    }
+
+    /// Name dissimilarity `1 - similarity` — the quantity objective
+    /// functions sum; bitwise identical to `NameSimilarity::distance`.
+    pub fn distance(&self, candidate: &LabelProfile) -> f64 {
+        1.0 - self.similarity(candidate)
+    }
+
+    /// Stream a whole candidate row, appending one distance per profile.
+    pub fn distances_into(&self, candidates: &[LabelProfile], out: &mut Vec<f64>) {
+        out.reserve(candidates.len());
+        out.extend(candidates.iter().map(|c| self.distance(c)));
+    }
+
+    /// One base measure on preprocessed profiles (cf.
+    /// `SimilarityMeasure::eval` on raw strings).
+    fn measure(&self, measure: SimilarityMeasure, candidate: &LabelProfile) -> f64 {
+        let (q, c) = (&self.query, candidate);
+        match measure {
+            SimilarityMeasure::Trigram => {
+                // trigram_similarity(norm_q, norm_c): equal normalised
+                // forms short-circuit before the profiles are consulted.
+                if q.norm == c.norm {
+                    1.0
+                } else {
+                    dice_profiles(&q.grams, &c.grams)
+                }
+            }
+            SimilarityMeasure::JaroWinkler => {
+                jaro_winkler_chars(&q.norm_chars, &c.norm_chars)
+            }
+            SimilarityMeasure::TokenSet => self.dice_tokens(c).max(self.monge_elkan(c)),
+            SimilarityMeasure::Levenshtein => self.levenshtein_similarity(c),
+        }
+    }
+
+    /// Dice over the precomputed distinct token sets (cf. `dice_tokens`).
+    fn dice_tokens(&self, c: &LabelProfile) -> f64 {
+        let (sa, sb) = (&self.query.token_set, &c.token_set);
+        if sa.is_empty() && sb.is_empty() {
+            return 1.0;
+        }
+        let inter = sorted_intersection(sa, sb);
+        clamp01(2.0 * inter as f64 / (sa.len() + sb.len()) as f64)
+    }
+
+    /// Monge–Elkan over the precomputed token scalar values (cf.
+    /// `monge_elkan`): same directed sums, same symmetrisation.
+    fn monge_elkan(&self, c: &LabelProfile) -> f64 {
+        let (ta, tb) = (&self.query.tokens, &c.tokens);
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        if ta.is_empty() || tb.is_empty() {
+            return 0.0;
+        }
+        let directed = |xs: &[Vec<char>], ys: &[Vec<char>]| -> f64 {
+            let total: f64 = xs
+                .iter()
+                .map(|x| {
+                    ys.iter()
+                        .map(|y| jaro_winkler_chars(x, y))
+                        .fold(0.0_f64, f64::max)
+                })
+                .sum();
+            total / xs.len() as f64
+        };
+        clamp01((directed(ta, tb) + directed(tb, ta)) / 2.0)
+    }
+
+    /// Normalised Levenshtein similarity over the normalised forms (cf.
+    /// `levenshtein_similarity` ∘ `normalize_identifier`).
+    fn levenshtein_similarity(&self, c: &LabelProfile) -> f64 {
+        let max_len = self.query.scalar_len.max(c.scalar_len);
+        if max_len == 0 {
+            return 1.0;
+        }
+        clamp01(1.0 - self.levenshtein_to(c) as f64 / max_len as f64)
+    }
+
+    /// Edit distance between the query's and `candidate`'s *normalised*
+    /// forms — the tier selection of the scalar `levenshtein` replayed on
+    /// preprocessed data: prepared Myers when the shorter ASCII side has
+    /// a pattern table, byte DP past 64 bytes, scalar-value DP when
+    /// either side is non-ASCII. Exposed for the differential tests.
+    pub fn levenshtein_to(&self, candidate: &LabelProfile) -> usize {
+        let (a, b) = (&self.query, candidate);
+        if a.ascii && b.ascii {
+            let (short, long) =
+                if a.norm.len() <= b.norm.len() { (a, b) } else { (b, a) };
+            if short.norm.is_empty() {
+                return long.norm.len();
+            }
+            if let Some(peq) = &short.peq {
+                return myers_64_prepared(peq, short.norm.len(), long.norm.as_bytes());
+            }
+            return two_row_dp(short.norm.as_bytes(), long.norm.as_bytes());
+        }
+        let (short, long) = if a.norm_chars.len() <= b.norm_chars.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if short.norm_chars.is_empty() {
+            return long.norm_chars.len();
+        }
+        two_row_dp(&short.norm_chars, &long.norm_chars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::NameSimilarity;
+
+    const LABELS: &[&str] = &[
+        "",
+        "title",
+        "bookTitle",
+        "Cust_Order-No2",
+        "ISBN13",
+        "naïve_Name",
+        "日本語スキーマ",
+        "a",
+        "publisher",
+        "the_quick_brown_fox_jumps_over_the_lazy_dog_many_many_times_xx",
+    ];
+
+    #[test]
+    fn kernel_similarity_is_bitwise_scalar() {
+        let scalar = NameSimilarity::default();
+        for &q in LABELS {
+            let kernel = RowKernel::new(q);
+            for &c in LABELS {
+                let profile = LabelProfile::new(c);
+                assert_eq!(
+                    kernel.similarity(&profile).to_bits(),
+                    scalar.similarity(q, c).to_bits(),
+                    "similarity({q:?}, {c:?})"
+                );
+                assert_eq!(
+                    kernel.distance(&profile).to_bits(),
+                    scalar.distance(q, c).to_bits(),
+                    "distance({q:?}, {c:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_sweep_matches_pointwise() {
+        let kernel = RowKernel::new("custOrderNo");
+        let profiles: Vec<LabelProfile> =
+            LABELS.iter().map(|l| LabelProfile::new(l)).collect();
+        let mut row = Vec::new();
+        kernel.distances_into(&profiles, &mut row);
+        assert_eq!(row.len(), profiles.len());
+        for (p, &d) in profiles.iter().zip(&row) {
+            assert_eq!(d.to_bits(), kernel.distance(p).to_bits());
+        }
+    }
+
+    #[test]
+    fn profile_accessors() {
+        let p = LabelProfile::new("Cust_Order-No2");
+        assert_eq!(p.raw(), "Cust_Order-No2");
+        assert_eq!(p.normalized(), "custorderno2");
+    }
+
+    #[test]
+    fn equal_raw_labels_short_circuit() {
+        let kernel = RowKernel::new("bookTitle");
+        assert_eq!(kernel.similarity(&LabelProfile::new("bookTitle")), 1.0);
+        assert_eq!(kernel.distance(&LabelProfile::new("bookTitle")), 0.0);
+    }
+}

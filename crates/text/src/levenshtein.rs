@@ -48,20 +48,34 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     two_row_dp(&short, &long)
 }
 
-/// Myers (1999) bit-parallel edit distance: the DP column is packed into
-/// one 64-bit word of vertical-delta bits, advanced once per character of
-/// `long`. Requires `1 <= short.len() <= 64`.
-fn myers_64(short: &[u8], long: &[u8]) -> usize {
+/// Build the Myers pattern table of an ASCII pattern: `peq[c]` has bit
+/// `i` set iff `short[i] == c`. Requires `1 <= short.len() <= 64`. The
+/// table depends only on the pattern, so row-kernel sweeps build it once
+/// per label and reuse it across a whole candidate row.
+pub(crate) fn myers_pattern(short: &[u8]) -> [u64; 128] {
     debug_assert!(!short.is_empty() && short.len() <= 64);
-    // peq[c] has bit i set iff short[i] == c.
     let mut peq = [0u64; 128];
     for (i, &c) in short.iter().enumerate() {
         peq[usize::from(c & 0x7f)] |= 1 << i;
     }
+    peq
+}
+
+/// Myers (1999) bit-parallel edit distance: the DP column is packed into
+/// one 64-bit word of vertical-delta bits, advanced once per character of
+/// `long`. Requires `1 <= short.len() <= 64`.
+fn myers_64(short: &[u8], long: &[u8]) -> usize {
+    myers_64_prepared(&myers_pattern(short), short.len(), long)
+}
+
+/// The Myers advance loop against a prebuilt pattern table. `short_len`
+/// must be the pattern length the table was built for (`1..=64`).
+pub(crate) fn myers_64_prepared(peq: &[u64; 128], short_len: usize, long: &[u8]) -> usize {
+    debug_assert!((1..=64).contains(&short_len));
     let mut pv = !0u64; // vertical delta +1 bits
     let mut mv = 0u64; // vertical delta -1 bits
-    let mut score = short.len();
-    let high = 1u64 << (short.len() - 1);
+    let mut score = short_len;
+    let high = 1u64 << (short_len - 1);
     for &c in long {
         let eq = peq[usize::from(c & 0x7f)];
         let xv = eq | mv;
@@ -83,7 +97,7 @@ fn myers_64(short: &[u8], long: &[u8]) -> usize {
 
 /// Two-row dynamic program over any symbol slice: `O(|short|·|long|)`
 /// time, one row of space. `short` must be the shorter, non-empty input.
-fn two_row_dp<T: PartialEq>(short: &[T], long: &[T]) -> usize {
+pub(crate) fn two_row_dp<T: PartialEq>(short: &[T], long: &[T]) -> usize {
     let mut row: Vec<usize> = (0..=short.len()).collect();
     for (i, lc) in long.iter().enumerate() {
         let mut prev_diag = row[0];

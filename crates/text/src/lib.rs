@@ -17,6 +17,9 @@
 //!   and normalisation,
 //! * [`combined`] — weighted combinations with a sensible schema-matching
 //!   default,
+//! * [`kernel`] — the batched row kernel: per-label preprocessing
+//!   ([`LabelProfile`]) plus a streaming evaluator ([`RowKernel`]) that is
+//!   bitwise identical to the default combined measure,
 //! * [`cache`] — a concurrent memo table so repeated pairs are scored once.
 //!
 //! Every similarity function returns a score in `[0, 1]`, is symmetric in
@@ -27,6 +30,7 @@ pub mod affix;
 pub mod cache;
 pub mod combined;
 pub mod jaro;
+pub mod kernel;
 pub mod levenshtein;
 pub mod ngram;
 pub mod normalize;
@@ -36,8 +40,9 @@ pub use affix::{common_prefix_len, common_suffix_len, prefix_similarity, suffix_
 pub use cache::SimilarityCache;
 pub use combined::{NameSimilarity, SimilarityMeasure, WeightedSimilarity};
 pub use jaro::{jaro, jaro_winkler};
+pub use kernel::{LabelProfile, RowKernel};
 pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
-pub use ngram::{dice_ngram, jaccard_ngram, ngram_profile, trigram_similarity};
+pub use ngram::{dice_ngram, jaccard_ngram, ngram_profile, trigram_similarity, GramProfile};
 pub use normalize::{normalize_identifier, split_identifier, Token};
 pub use token::{dice_tokens, jaccard_tokens, monge_elkan, overlap_tokens, token_set_similarity};
 

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, lint, and bench-compile the workspace.
+# Tier-1 verification: build, test, lint, bench-compile, and guard the
+# headline bench against regressions.
 #
 #   scripts/verify.sh
 #
@@ -10,19 +11,65 @@
 #      examples, figure binaries)
 #   4. benches compile (`cargo bench --no-run`) so perf regressions can
 #      always be measured
+#   5. bench-regression guard: a fresh scripts/bench_matching.sh run must
+#      not regress matchers/s1_exhaustive_cold (fresh problem, warm
+#      repository store) or matrix_fill/cold (full row-kernel sweep) by
+#      more than 25% against the committed BENCH_matching.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] cargo build --release"
+echo "== [1/5] cargo build --release"
 cargo build --release
 
-echo "== [2/4] cargo test -q"
+echo "== [2/5] cargo test -q"
 cargo test -q
 
-echo "== [3/4] cargo clippy --all-targets -- -D warnings"
+echo "== [3/5] cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== [4/4] cargo bench --no-run"
+echo "== [4/5] cargo bench --no-run"
 cargo bench -p smx-bench --no-run
+
+echo "== [5/5] bench-regression guard (s1_exhaustive_cold + matrix_fill/cold, +25% budget)"
+# The committed baseline is absolute ns from the machine that produced
+# BENCH_matching.json; on different/slower hardware export
+# SMX_BENCH_GUARD=0 to skip (and regenerate the baseline with
+# scripts/bench_matching.sh when landing perf work).
+if [[ "${SMX_BENCH_GUARD:-1}" == "0" ]]; then
+    echo "SMX_BENCH_GUARD=0 — skipping guard"
+elif [[ ! -f BENCH_matching.json ]]; then
+    echo "no committed BENCH_matching.json — skipping guard"
+else
+    fresh=$(mktemp)
+    trap 'rm -f "$fresh"' EXIT
+    SMX_BENCH_OUT="$fresh" scripts/bench_matching.sh >/dev/null
+    python3 - BENCH_matching.json "$fresh" <<'EOF'
+import json, sys
+
+# Guard both the end-to-end headline (fresh problem against a warm
+# repository store) and the genuinely cold row-kernel sweep — a kernel
+# regression is invisible to the first key once rows are cached.
+KEYS = ["matchers/s1_exhaustive_cold", "matrix_fill/cold"]
+BUDGET = 1.25
+
+committed = json.load(open(sys.argv[1]))["results"]
+fresh = json.load(open(sys.argv[2]))["results"]
+failed = []
+for key in KEYS:
+    c, f = committed.get(key), fresh.get(key)
+    if c is None:
+        print(f"{key}: not in committed baseline yet — skipped")
+        continue
+    if f is None:
+        sys.exit(f"bench guard: {key} missing from fresh results")
+    print(f"{key}: committed {c:.0f} ns, fresh {f:.0f} ns ({f / c:.2f}x)")
+    if f > c * BUDGET:
+        failed.append(key)
+if failed:
+    sys.exit(f"bench guard FAILED: {', '.join(failed)} regressed beyond "
+             f"the {BUDGET:.0%} budget")
+print("bench guard: OK")
+EOF
+fi
 
 echo "verify: OK"
