@@ -14,14 +14,20 @@
 //! row-kernel sweeps), `warm` hits the cache (lookups + type blends
 //! only), and `repeat_query` is a complete fresh-`MatchProblem` matcher
 //! run against a warm store — the repeated-query path a repository
-//! serves in production.
+//! serves in production. `batch` and `sequential32` compare filling 32
+//! personal schemas' matrices through the batch subsystem (labels
+//! deduped across the batch, one shared sweep) against 32 solo cold
+//! fills; `s1_batch_vs_sequential` makes the same comparison for full
+//! matcher runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smx::matching::{
-    BeamMatcher, ClusterMatcher, ExhaustiveMatcher, MappingRegistry, MatchProblem, Matcher,
-    ObjectiveFunction, ParallelExhaustiveMatcher, TopKMatcher,
+    BatchMatcher, BatchProblem, BeamMatcher, ClusterMatcher, ExhaustiveMatcher, MappingRegistry,
+    MatchProblem, Matcher, ObjectiveFunction, ParallelExhaustiveMatcher, TopKMatcher,
 };
+use smx::repo::Repository;
 use smx::synth::{Scenario, ScenarioConfig};
+use smx::xml::Schema;
 use std::hint::black_box;
 
 fn problem(derived: usize, host_nodes: usize) -> MatchProblem {
@@ -34,6 +40,34 @@ fn problem(derived: usize, host_nodes: usize) -> MatchProblem {
         ..Default::default()
     });
     MatchProblem::new(sc.personal, sc.repository).expect("non-empty personal schema")
+}
+
+/// The bulk-serving workload: one repository, `n` same-domain personal
+/// schemas with overlapping (but not identical) label vocabularies.
+fn batch_workload(n: u64) -> (Vec<Schema>, Repository) {
+    let sc = Scenario::generate(ScenarioConfig {
+        derived_schemas: 8,
+        noise_schemas: 4,
+        personal_nodes: 4,
+        host_nodes: 9,
+        perturbation_strength: 0.7,
+        ..Default::default()
+    });
+    let personals = (0..n)
+        .map(|i| {
+            Scenario::generate(ScenarioConfig {
+                derived_schemas: 1,
+                noise_schemas: 0,
+                personal_nodes: 4,
+                host_nodes: 5,
+                perturbation_strength: 0.7,
+                seed: 1000 + i,
+                ..Default::default()
+            })
+            .personal
+        })
+        .collect();
+    (personals, sc.repository)
 }
 
 fn bench_matchers(c: &mut Criterion) {
@@ -128,6 +162,88 @@ fn bench_matrix_fill(c: &mut Criterion) {
             black_box(ExhaustiveMatcher::default().run(black_box(&p), 0.3, &registry)).len()
         })
     });
+    // Batch: 32 personal schemas' matrices filled through the batch
+    // subsystem from a cold store — distinct labels deduped across the
+    // whole batch, missing rows computed by one shared tiled sweep.
+    let (personals, batch_repo) = batch_workload(32);
+    group.bench_with_input(BenchmarkId::from_parameter("batch"), &0, |b, _| {
+        b.iter(|| {
+            batch_repo.clear_score_rows();
+            let batch = BatchProblem::new(personals.clone(), batch_repo.clone())
+                .expect("non-empty personal schemas");
+            batch.build_matrices(&objective);
+            black_box(batch.len())
+        })
+    });
+    // The same 32 matrices filled as 32 independent *cold* fills — each
+    // query arrives with no warm rows (separate processes/replicas, or a
+    // row cache bounded to nothing), so shared labels re-sweep per query.
+    // This is what the batch's cross-query dedup amortises away.
+    group.bench_with_input(BenchmarkId::from_parameter("sequential32"), &0, |b, _| {
+        b.iter(|| {
+            for personal in &personals {
+                batch_repo.clear_score_rows();
+                let p = MatchProblem::new(personal.clone(), batch_repo.clone())
+                    .expect("non-empty personal schema");
+                black_box(p.cost_matrix(&objective));
+            }
+        })
+    });
+    // Control: the same solo loop against one shared warm-up cache — the
+    // best case for sequential serving, where the store's row cache
+    // already amortises repeats across the run. The batch path should
+    // stay close to this on one core (its win there is the cold/evicting
+    // regime above) and pull ahead with the threaded sweep on multicore.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sequential32_shared"),
+        &0,
+        |b, _| {
+            b.iter(|| {
+                batch_repo.clear_score_rows();
+                for personal in &personals {
+                    let p = MatchProblem::new(personal.clone(), batch_repo.clone())
+                        .expect("non-empty personal schema");
+                    black_box(p.cost_matrix(&objective));
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_batch_matching(c: &mut Criterion) {
+    // End-to-end bulk serving: 32 queries matched through the batch
+    // dispatcher (one shared sweep, worker count auto-sized to the
+    // hardware) vs the solo loop with per-query-cold fills.
+    let (personals, repository) = batch_workload(32);
+    let delta_max = 0.3;
+    let mut group = c.benchmark_group("s1_batch_vs_sequential");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("batch"), &0, |b, _| {
+        b.iter(|| {
+            repository.clear_score_rows();
+            let batch = BatchProblem::new(personals.clone(), repository.clone())
+                .expect("non-empty personal schemas");
+            let registry = MappingRegistry::new();
+            let results = BatchMatcher::with_threads(ExhaustiveMatcher::default(), 0)
+                .run_batch(black_box(&batch), delta_max, &registry);
+            black_box(results.iter().map(|a| a.len()).sum::<usize>())
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &0, |b, _| {
+        b.iter(|| {
+            let registry = MappingRegistry::new();
+            let matcher = ExhaustiveMatcher::default();
+            let mut total = 0usize;
+            for personal in &personals {
+                repository.clear_score_rows();
+                let p = MatchProblem::new(personal.clone(), repository.clone())
+                    .expect("non-empty personal schema");
+                total += matcher.run(black_box(&p), delta_max, &registry).len();
+            }
+            black_box(total)
+        })
+    });
     group.finish();
 }
 
@@ -151,5 +267,11 @@ fn bench_repository_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matchers, bench_matrix_fill, bench_repository_scaling);
+criterion_group!(
+    benches,
+    bench_matchers,
+    bench_matrix_fill,
+    bench_batch_matching,
+    bench_repository_scaling
+);
 criterion_main!(benches);

@@ -145,27 +145,25 @@ pub struct CostMatrix {
 
 impl CostMatrix {
     /// Precompute the engine: fetch one score row per distinct personal
-    /// label from the repository's [`smx_repo::LabelStore`] (row-kernel
-    /// sweeps on first sight, cached lookups after), then fill every
-    /// schema's cost table and bounds from those rows.
+    /// label from the repository's [`smx_repo::LabelStore`] — all in one
+    /// batched [`score_rows`](smx_repo::LabelStore::score_rows) call, so
+    /// every missing row is computed by a single shared sweep over the
+    /// stored profiles — then fill every schema's cost table and bounds
+    /// from those rows.
     pub fn build(problem: &MatchProblem, objective: &ObjectiveFunction) -> Self {
         let personal = problem.personal();
         let k = problem.personal_size();
         let store = problem.repository().store();
         // One store row per *distinct* personal label; `level_rows[level]`
         // indexes into `rows` so duplicate personal names share a sweep.
-        let mut row_of: HashMap<&str, usize> = HashMap::new();
-        let mut rows: Vec<Arc<Vec<f64>>> = Vec::new();
+        let names = problem.distinct_personal_labels();
+        let rows: Vec<Arc<Vec<f64>>> = store.score_rows(&names);
+        let row_of: HashMap<&str, usize> =
+            names.iter().enumerate().map(|(i, &name)| (name, i)).collect();
         let level_rows: Vec<usize> = problem
             .personal_order()
             .iter()
-            .map(|&pid| {
-                let name = personal.node(pid).name.as_str();
-                *row_of.entry(name).or_insert_with(|| {
-                    rows.push(store.score_row(name));
-                    rows.len() - 1
-                })
-            })
+            .map(|&pid| row_of[personal.node(pid).name.as_str()])
             .collect();
         // Fill each schema's k × n table from the store rows, mapping
         // arena columns to label ids through the store's column maps.

@@ -25,7 +25,12 @@
 //! * [`sampler`] — the per-increment random selector of §3.4, used to
 //!   validate Equations (9)–(10) empirically;
 //! * [`parallel`] — scoped-thread work-stealing version of S1 (identical
-//!   output, faster wall-clock).
+//!   output, faster wall-clock);
+//! * [`batch`] — the bulk serving path: N personal schemas against one
+//!   repository, distinct labels deduped across the batch and swept in
+//!   one pass over the stored label profiles, then any matcher above
+//!   dispatched per problem (optionally across scoped workers) —
+//!   bitwise identical to solo runs (`tests/batch_identity.rs`).
 //!
 //! # The scoring engine
 //!
@@ -61,6 +66,7 @@
 //! shared [`MappingRegistry`], so S1's and S2's answers are directly
 //! comparable — the invariant `A_S2^δ ⊆ A_S1^δ` is asserted in tests.
 
+pub mod batch;
 pub mod beam;
 pub mod brute_force;
 pub mod cluster_search;
@@ -76,6 +82,7 @@ pub mod sampler;
 pub mod space;
 pub mod topk;
 
+pub use batch::{BatchMatcher, BatchProblem};
 pub use beam::BeamMatcher;
 pub use brute_force::BruteForceMatcher;
 pub use cluster_search::ClusterMatcher;

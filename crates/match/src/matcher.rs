@@ -23,3 +23,21 @@ pub trait Matcher {
         registry: &MappingRegistry,
     ) -> AnswerSet;
 }
+
+/// Boxed matchers match too — so heterogeneous matcher collections
+/// (`Vec<Box<dyn Matcher + Sync>>`, as the batch harness and tests use)
+/// dispatch through the same interface.
+impl<M: Matcher + ?Sized> Matcher for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn run(
+        &self,
+        problem: &MatchProblem,
+        delta_max: f64,
+        registry: &MappingRegistry,
+    ) -> AnswerSet {
+        (**self).run(problem, delta_max, registry)
+    }
+}

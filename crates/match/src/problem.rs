@@ -76,6 +76,21 @@ impl MatchProblem {
         self.personal_order.len()
     }
 
+    /// Distinct personal-schema labels in first-seen (arena) order —
+    /// exactly the row set a cost-matrix fill fetches from the
+    /// repository's score store, and what batch matching dedups across
+    /// problems before its shared sweep.
+    pub fn distinct_personal_labels(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for &pid in &self.personal_order {
+            let name = self.personal.node(pid).name.as_str();
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        names
+    }
+
     /// Number of parent→child edges in the personal schema.
     pub fn personal_edges(&self) -> usize {
         self.personal_order

@@ -7,7 +7,7 @@
 //! repository (e.g. to construct a `MatchProblem`) shares all
 //! label-level preprocessing and every score row computed so far.
 
-use crate::store::LabelStore;
+use crate::store::{LabelStore, StoreConfig};
 use serde::{Deserialize, Serialize};
 use smx_xml::{NodeId, Schema};
 use std::sync::Arc;
@@ -47,9 +47,16 @@ impl std::fmt::Display for ElementRef {
 
 /// An ordered collection of schemas with an incrementally maintained
 /// [`LabelStore`].
+///
+/// Cloning is cheap: both the schema list and the derived store sit
+/// behind `Arc`s (copy-on-write via `Arc::make_mut` on mutation), so a
+/// `MatchProblem` — or a whole batch of them — can own a repository
+/// clone without duplicating any schema data.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Repository {
-    schemas: Vec<Schema>,
+    /// The schemas, `Arc`-shared across clones; `Arc::make_mut`
+    /// detaches on the rare mutate-after-clone.
+    schemas: Arc<Vec<Schema>>,
     /// Derived, append-only state (interner, profiles, token index,
     /// score rows). `Arc` so clones share it; `Arc::make_mut` detaches
     /// on the rare mutate-after-clone.
@@ -76,13 +83,23 @@ impl Repository {
         Repository::default()
     }
 
+    /// An empty repository whose label store uses `config` — e.g. a
+    /// production deployment bounding the score-row cache
+    /// (`max_cached_rows`) or pinning the batched-sweep worker count.
+    pub fn with_store_config(config: StoreConfig) -> Self {
+        Repository {
+            schemas: Arc::new(Vec::new()),
+            store: Arc::new(LabelStore::with_config(config)),
+        }
+    }
+
     /// Add a schema, returning its id. Updates the label store
     /// incrementally: new distinct labels are profiled, token postings
     /// appended — nothing is rebuilt.
     pub fn add(&mut self, schema: Schema) -> SchemaId {
         let id = SchemaId(self.schemas.len() as u32);
         Arc::make_mut(&mut self.store).add_schema(id, &schema);
-        self.schemas.push(schema);
+        Arc::make_mut(&mut self.schemas).push(schema);
         id
     }
 

@@ -22,6 +22,29 @@
 //! columns are evaluated) the next time they are requested. Nothing is
 //! ever rebuilt from scratch.
 //!
+//! # Bounded cache (LRU)
+//!
+//! Unbounded, the row cache grows with the distinct query vocabulary —
+//! fine for experiments, not for a long-lived deployment. [`StoreConfig`]
+//! puts a lid on it: with `max_cached_rows` set, the cache evicts the
+//! least-recently-used row whenever it would exceed the bound. Evicted
+//! rows are simply recomputed (bitwise identically) on next sight, so
+//! the bound trades pair evaluations for memory and never affects
+//! results. Hits, misses, and evictions are counted and surfaced through
+//! the [`StoreCounters`] snapshot, so warm-path behaviour under memory
+//! pressure stays measurable.
+//!
+//! # Batched queries
+//!
+//! [`LabelStore::score_rows`] serves many query labels in one call: the
+//! missing rows are computed by a single **profile-major sweep** — one
+//! pass over the stored [`LabelProfile`]s, evaluating every pending
+//! query kernel per profile — instead of one full pass per query, and
+//! the pass is chunked across `std::thread::scope` workers when the
+//! pending work is large enough to pay for them. Per-pair values are
+//! independent, so the batched sweep is bitwise identical to serving
+//! each query alone.
+//!
 //! # Score-identity contract
 //!
 //! [`LabelStore::score_row`] values are bitwise identical to
@@ -38,8 +61,71 @@ use parking_lot::RwLock;
 use smx_text::{LabelProfile, RowKernel};
 use smx_xml::Schema;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
+
+/// Pending batched sweeps smaller than this many (query, label) pairs
+/// stay single-threaded — scoped workers cost more than they save.
+const PARALLEL_SWEEP_MIN_PAIRS: usize = 1024;
+
+/// Sentinel for "no bound" in the atomic `max_cached_rows` cell.
+const UNBOUNDED: usize = usize::MAX;
+
+/// Configuration of a [`LabelStore`]'s score-row cache and batch sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreConfig {
+    /// Upper bound on cached score rows. When the cache would exceed it,
+    /// least-recently-used rows are evicted (and recomputed, bitwise
+    /// identically, if queried again). `None` means unbounded — the
+    /// cache grows with the distinct query vocabulary.
+    pub max_cached_rows: Option<usize>,
+    /// Worker threads for batched row sweeps ([`LabelStore::score_rows`]);
+    /// `0` means auto (available parallelism). Small sweeps stay
+    /// single-threaded regardless.
+    pub batch_threads: usize,
+}
+
+/// A consistent snapshot of a [`LabelStore`]'s work counters.
+///
+/// All row-path counter updates happen while the row-cache lock is held,
+/// and [`LabelStore::counters`] reads them under the exclusive lock — so
+/// a snapshot is internally consistent even while parallel matchers are
+/// filling rows: `row_hits + row_misses == row_lookups` always holds, a
+/// guarantee individual relaxed atomic loads could not give.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreCounters {
+    /// Label profiles ever built (label-level work; once per distinct
+    /// label, at ingest).
+    pub profile_builds: u64,
+    /// (query, label) kernel evaluations ever run (pair-level work).
+    /// Cached repeats must not move this.
+    pub pair_evals: u64,
+    /// Row lookups served from the cache (including batch-internal
+    /// duplicates served from an in-flight row).
+    pub row_hits: u64,
+    /// Row lookups that had to sweep (absent rows and stale prefixes).
+    pub row_misses: u64,
+    /// Total row lookups; equals `row_hits + row_misses`.
+    pub row_lookups: u64,
+    /// Rows evicted by the LRU bound.
+    pub row_evictions: u64,
+}
+
+/// One cached score row plus its recency stamp. The stamp is atomic so
+/// cache hits can refresh it under the shared read lock.
+struct CachedRow {
+    row: Arc<Vec<f64>>,
+    last_used: AtomicU64,
+}
+
+impl Clone for CachedRow {
+    fn clone(&self) -> Self {
+        CachedRow {
+            row: Arc::clone(&self.row),
+            last_used: AtomicU64::new(self.last_used.load(Relaxed)),
+        }
+    }
+}
 
 /// Interner, per-label profiles, token index, and cached score rows for
 /// one repository. Obtained via
@@ -54,26 +140,75 @@ pub struct LabelStore {
     /// Query label → distances to the first `row.len()` stored labels.
     /// Rows are append-consistent: label ids are stable, so a short row
     /// is a valid prefix and only its tail needs computing after adds.
-    rows: RwLock<HashMap<String, Arc<Vec<f64>>>>,
+    rows: RwLock<HashMap<String, CachedRow>>,
+    /// Monotonic recency clock for the LRU stamps.
+    clock: AtomicU64,
+    /// LRU bound on `rows` (`UNBOUNDED` = no bound). Atomic so tests and
+    /// deployments can tighten it on a live, shared store.
+    max_cached_rows: AtomicUsize,
+    /// Worker threads for batched sweeps (0 = auto).
+    batch_threads: usize,
     /// How many label profiles were ever built (label-level work).
     profile_builds: AtomicU64,
     /// How many (query, label) kernel evaluations were ever run
     /// (pair-level work). Repeated queries must not move this.
     pair_evals: AtomicU64,
+    row_hits: AtomicU64,
+    row_misses: AtomicU64,
+    row_lookups: AtomicU64,
+    row_evictions: AtomicU64,
+}
+
+/// A query the current `score_rows` call must sweep: its first-seen text,
+/// the reusable cached prefix (stale rows), and every output slot that
+/// asked for it.
+struct PendingRow<'q> {
+    query: &'q str,
+    prefix: Option<Arc<Vec<f64>>>,
+    slots: Vec<usize>,
 }
 
 impl LabelStore {
-    /// An empty store.
+    /// An empty store with the default (unbounded) configuration.
     pub fn new() -> Self {
+        LabelStore::with_config(StoreConfig::default())
+    }
+
+    /// An empty store with an explicit cache bound / sweep configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
         LabelStore {
             interner: LabelInterner::new(),
             profiles: Vec::new(),
             schema_labels: Vec::new(),
             index: TokenIndex::default(),
             rows: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            max_cached_rows: AtomicUsize::new(config.max_cached_rows.unwrap_or(UNBOUNDED)),
+            batch_threads: config.batch_threads,
             profile_builds: AtomicU64::new(0),
             pair_evals: AtomicU64::new(0),
+            row_hits: AtomicU64::new(0),
+            row_misses: AtomicU64::new(0),
+            row_lookups: AtomicU64::new(0),
+            row_evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The store's current configuration.
+    pub fn config(&self) -> StoreConfig {
+        let cap = self.max_cached_rows.load(Relaxed);
+        StoreConfig {
+            max_cached_rows: (cap != UNBOUNDED).then_some(cap),
+            batch_threads: self.batch_threads,
+        }
+    }
+
+    /// Change the LRU bound on a live store, evicting immediately if the
+    /// cache already exceeds the new bound. `None` removes the bound.
+    pub fn set_max_cached_rows(&self, max: Option<usize>) {
+        self.max_cached_rows.store(max.unwrap_or(UNBOUNDED), Relaxed);
+        let mut cache = self.rows.write();
+        self.evict_over_cap(&mut cache);
     }
 
     /// Ingest one schema: intern its labels (building profiles only for
@@ -127,33 +262,204 @@ impl LabelStore {
     /// `row[id.index()] == NameSimilarity::default().distance(query,
     /// label)`, bitwise (computed by a [`RowKernel`] sweep).
     ///
-    /// Rows are cached per distinct query label. A repeated query — the
-    /// same personal label in a later `MatchProblem` against this
-    /// repository — returns the cached row without evaluating a single
-    /// pair. After new schemas were added, a cached row is extended:
-    /// only distances to the *new* labels are computed.
+    /// Rows are cached per distinct query label (up to the configured
+    /// LRU bound). A repeated query — the same personal label in a later
+    /// `MatchProblem` against this repository — returns the cached row
+    /// without evaluating a single pair. After new schemas were added, a
+    /// cached row is extended: only distances to the *new* labels are
+    /// computed.
     pub fn score_row(&self, query: &str) -> Arc<Vec<f64>> {
+        self.score_rows(&[query]).pop().expect("one row per query")
+    }
+
+    /// [`score_row`](Self::score_row) for a whole batch of query labels
+    /// in one call: `result[i]` is the row of `queries[i]`.
+    ///
+    /// Cached rows are served as usual; all *missing* rows (duplicates
+    /// deduplicated first) are computed by one profile-major sweep over
+    /// the stored label profiles — each profile is visited once and
+    /// every pending query kernel evaluated against it — chunked across
+    /// scoped worker threads when the pending work is large. Every pair
+    /// value is independent, so the result is bitwise identical to
+    /// calling `score_row` per query, in any order.
+    ///
+    /// Concurrent callers may sweep the same query redundantly; they
+    /// compute identical values, so last-write-wins is fine.
+    pub fn score_rows(&self, queries: &[&str]) -> Vec<Arc<Vec<f64>>> {
         let n = self.profiles.len();
-        let cached = self.rows.read().get(query).cloned();
-        if let Some(row) = &cached {
-            if row.len() == n {
-                return Arc::clone(row);
+        let mut out: Vec<Option<Arc<Vec<f64>>>> = vec![None; queries.len()];
+        let mut pending: Vec<PendingRow<'_>> = Vec::new();
+        let mut pending_of: HashMap<&str, usize> = HashMap::new();
+        {
+            let cache = self.rows.read();
+            for (i, &q) in queries.iter().enumerate() {
+                if let Some(&pi) = pending_of.get(q) {
+                    pending[pi].slots.push(i);
+                    continue;
+                }
+                match cache.get(q) {
+                    Some(entry) if entry.row.len() == n => {
+                        entry.last_used.store(self.tick(), Relaxed);
+                        self.row_lookups.fetch_add(1, Relaxed);
+                        self.row_hits.fetch_add(1, Relaxed);
+                        out[i] = Some(Arc::clone(&entry.row));
+                    }
+                    stale => {
+                        let prefix = stale.map(|entry| Arc::clone(&entry.row));
+                        pending_of.insert(q, pending.len());
+                        pending.push(PendingRow { query: q, prefix, slots: vec![i] });
+                    }
+                }
             }
         }
-        // Miss or stale prefix: sweep (the tail of) the label row through
-        // a kernel built once for this query. Concurrent fillers may race
-        // here; they compute identical values, so last-write-wins is fine.
-        let kernel = RowKernel::new(query);
-        let mut row: Vec<f64> = Vec::with_capacity(n);
-        if let Some(prefix) = &cached {
-            row.extend_from_slice(prefix);
+        if !pending.is_empty() {
+            self.fill_pending(&mut out, &pending, n);
         }
-        let start = row.len();
-        kernel.distances_into(&self.profiles[start..], &mut row);
-        self.pair_evals.fetch_add((n - start) as u64, Relaxed);
-        let row = Arc::new(row);
-        self.rows.write().insert(query.to_owned(), Arc::clone(&row));
-        row
+        out.into_iter().map(|row| row.expect("every slot filled")).collect()
+    }
+
+    /// Sweep all pending rows and install them under one write lock,
+    /// updating counters and evicting past the LRU bound.
+    fn fill_pending(&self, out: &mut [Option<Arc<Vec<f64>>>], pending: &[PendingRow<'_>], n: usize) {
+        let kernels: Vec<(RowKernel, usize)> = pending
+            .iter()
+            .map(|p| {
+                (RowKernel::new(p.query), p.prefix.as_ref().map_or(0, |prefix| prefix.len()))
+            })
+            .collect();
+        let tails = self.sweep(&kernels, n);
+        let computed: u64 = kernels.iter().map(|&(_, start)| (n - start) as u64).sum();
+        let mut cache = self.rows.write();
+        self.pair_evals.fetch_add(computed, Relaxed);
+        for (p, tail) in pending.iter().zip(tails) {
+            // One miss per swept row; batch-internal duplicates were
+            // served from the in-flight row and count as hits.
+            self.row_lookups.fetch_add(p.slots.len() as u64, Relaxed);
+            self.row_misses.fetch_add(1, Relaxed);
+            self.row_hits.fetch_add(p.slots.len() as u64 - 1, Relaxed);
+            let mut row = Vec::with_capacity(n);
+            if let Some(prefix) = &p.prefix {
+                row.extend_from_slice(prefix);
+            }
+            row.extend(tail);
+            let row = Arc::new(row);
+            for &slot in &p.slots {
+                out[slot] = Some(Arc::clone(&row));
+            }
+            cache.insert(
+                p.query.to_owned(),
+                CachedRow { row, last_used: AtomicU64::new(self.tick()) },
+            );
+        }
+        self.evict_over_cap(&mut cache);
+    }
+
+    /// Compute each kernel's missing row tail (`start..n`) by one tiled
+    /// pass over the stored profiles: the column axis is cut into
+    /// contiguous chunks, and within a chunk every pending kernel
+    /// streams the same cache-resident profiles through its tight pair
+    /// loop — profile loads are amortised across the whole batch instead
+    /// of repeated per query. Chunks go to scoped workers when the
+    /// pending work is large enough to pay for them.
+    fn sweep(&self, kernels: &[(RowKernel, usize)], n: usize) -> Vec<Vec<f64>> {
+        let threads = self.sweep_threads(kernels, n);
+        if threads <= 1 {
+            return Self::sweep_chunk(kernels, &self.profiles, 0);
+        }
+        // Chunk only the columns some kernel actually covers — when every
+        // pending row is a stale-prefix extension (tails starting deep
+        // into the label list), chunking from 0 would hand most workers
+        // empty ranges.
+        let base = kernels.iter().map(|&(_, start)| start).min().unwrap_or(0);
+        let chunk = (n - base).div_ceil(threads);
+        let mut parts: Vec<Vec<Vec<f64>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut lo = base;
+            while lo < n {
+                let hi = (lo + chunk).min(n);
+                let profiles = &self.profiles[lo..hi];
+                handles.push(scope.spawn(move || Self::sweep_chunk(kernels, profiles, lo)));
+                lo = hi;
+            }
+            parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect();
+        });
+        // Stitch the chunks back in column order; per-pair values are
+        // independent, so this equals the single-threaded pass bitwise.
+        let mut rows: Vec<Vec<f64>> =
+            kernels.iter().map(|&(_, start)| Vec::with_capacity(n - start)).collect();
+        for part in parts {
+            for (row, chunk_row) in rows.iter_mut().zip(part) {
+                row.extend(chunk_row);
+            }
+        }
+        rows
+    }
+
+    /// One tile of the sweep: every kernel's distances over the columns
+    /// `offset..offset + profiles.len()` (clipped to each kernel's own
+    /// `start`), computed by the kernel's streaming row loop.
+    fn sweep_chunk(
+        kernels: &[(RowKernel, usize)],
+        profiles: &[LabelProfile],
+        offset: usize,
+    ) -> Vec<Vec<f64>> {
+        kernels
+            .iter()
+            .map(|(kernel, start)| {
+                let skip = start.saturating_sub(offset);
+                let mut row = Vec::new();
+                if skip < profiles.len() {
+                    kernel.distances_into(&profiles[skip..], &mut row);
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Worker count for a pending sweep: 1 unless the pair count clears
+    /// [`PARALLEL_SWEEP_MIN_PAIRS`], else the configured/auto thread
+    /// count — capped so every worker keeps at least that many pairs
+    /// (and by the column count).
+    fn sweep_threads(&self, kernels: &[(RowKernel, usize)], n: usize) -> usize {
+        let work: usize = kernels.iter().map(|&(_, start)| n - start).sum();
+        if work < PARALLEL_SWEEP_MIN_PAIRS {
+            return 1;
+        }
+        let configured = if self.batch_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |t| t.get())
+        } else {
+            self.batch_threads
+        };
+        configured.max(1).min(work / PARALLEL_SWEEP_MIN_PAIRS).max(1).min(n.max(1))
+    }
+
+    /// Next recency-clock value.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Relaxed) + 1
+    }
+
+    /// Evict least-recently-used rows until the cache respects the
+    /// configured bound. Called with the write lock held. One stamp
+    /// scan + one partial sort of the victims, so tightening the bound
+    /// on a large live cache stays `O(len log len)`, not `O(len²)`.
+    fn evict_over_cap(&self, cache: &mut HashMap<String, CachedRow>) {
+        let cap = self.max_cached_rows.load(Relaxed);
+        let Some(excess) = cache.len().checked_sub(cap).filter(|&e| e > 0) else {
+            return;
+        };
+        let mut stamps: Vec<(u64, String)> = cache
+            .iter()
+            .map(|(key, entry)| (entry.last_used.load(Relaxed), key.clone()))
+            .collect();
+        stamps.select_nth_unstable(excess - 1);
+        for (_, key) in &stamps[..excess] {
+            cache.remove(key);
+        }
+        self.row_evictions.fetch_add(excess as u64, Relaxed);
     }
 
     /// Number of query labels with a cached score row.
@@ -161,10 +467,36 @@ impl LabelStore {
         self.rows.read().len()
     }
 
+    /// Whether `query` currently has a cached (possibly stale-prefix)
+    /// row. Read-only: does not refresh LRU recency or count a lookup.
+    pub fn has_cached_row(&self, query: &str) -> bool {
+        self.rows.read().contains_key(query)
+    }
+
     /// Drop every cached score row (profiles and index stay). Benches
     /// use this to measure a genuinely cold fill.
     pub fn clear_rows(&self) {
         self.rows.write().clear();
+    }
+
+    /// A consistent snapshot of every work counter.
+    ///
+    /// Taken under the row cache's exclusive lock, and all row-path
+    /// counter updates happen while that lock is held (shared for hits,
+    /// exclusive for sweeps) — so the snapshot can never observe a
+    /// lookup whose hit/miss classification is still in flight, even
+    /// while parallel matchers are filling rows. Tests should assert on
+    /// this snapshot rather than on individual counter loads.
+    pub fn counters(&self) -> StoreCounters {
+        let _guard = self.rows.write();
+        StoreCounters {
+            profile_builds: self.profile_builds.load(Relaxed),
+            pair_evals: self.pair_evals.load(Relaxed),
+            row_hits: self.row_hits.load(Relaxed),
+            row_misses: self.row_misses.load(Relaxed),
+            row_lookups: self.row_lookups.load(Relaxed),
+            row_evictions: self.row_evictions.load(Relaxed),
+        }
     }
 
     /// Total label profiles ever built — the label-level work counter.
@@ -187,14 +519,26 @@ impl Default for LabelStore {
 
 impl Clone for LabelStore {
     fn clone(&self) -> Self {
+        // Hold the exclusive lock while snapshotting rows *and*
+        // counters: hit-path counter updates happen under the shared
+        // lock, so a read-lock clone could freeze `row_lookups` between
+        // a peer's paired increments and break the counters invariant.
+        let rows = self.rows.write();
         LabelStore {
             interner: self.interner.clone(),
             profiles: self.profiles.clone(),
             schema_labels: self.schema_labels.clone(),
             index: self.index.clone(),
-            rows: RwLock::new(self.rows.read().clone()),
+            rows: RwLock::new((*rows).clone()),
+            clock: AtomicU64::new(self.clock.load(Relaxed)),
+            max_cached_rows: AtomicUsize::new(self.max_cached_rows.load(Relaxed)),
+            batch_threads: self.batch_threads,
             profile_builds: AtomicU64::new(self.profile_builds.load(Relaxed)),
             pair_evals: AtomicU64::new(self.pair_evals.load(Relaxed)),
+            row_hits: AtomicU64::new(self.row_hits.load(Relaxed)),
+            row_misses: AtomicU64::new(self.row_misses.load(Relaxed)),
+            row_lookups: AtomicU64::new(self.row_lookups.load(Relaxed)),
+            row_evictions: AtomicU64::new(self.row_evictions.load(Relaxed)),
         }
     }
 }
@@ -205,8 +549,8 @@ impl std::fmt::Debug for LabelStore {
             .field("labels", &self.profiles.len())
             .field("schemas", &self.schema_labels.len())
             .field("cached_rows", &self.cached_rows())
-            .field("profile_builds", &self.profile_builds())
-            .field("pair_evals", &self.pair_evals())
+            .field("config", &self.config())
+            .field("counters", &self.counters())
             .finish()
     }
 }
@@ -280,6 +624,11 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(store.pair_evals(), evals, "repeat query re-evaluated pairs");
         assert_eq!(store.cached_rows(), 1);
+        let c = store.counters();
+        assert_eq!(c.row_hits, 1);
+        assert_eq!(c.row_misses, 1);
+        assert_eq!(c.row_lookups, 2);
+        assert_eq!(c.row_evictions, 0);
     }
 
     #[test]
@@ -321,5 +670,125 @@ mod tests {
         cloned.add(SchemaBuilder::new("x").root("y").build());
         assert_eq!(cloned.store().len(), r.store().len() + 1);
         assert_eq!(r.store().cached_rows(), 1);
+    }
+
+    #[test]
+    fn batched_rows_equal_individual_rows_bitwise() {
+        let batched = repo();
+        let individual = repo();
+        let queries = ["title", "orderNo", "title", "bookTitle", "", "shop", "orderNo"];
+        let rows = batched.store().score_rows(&queries);
+        assert_eq!(rows.len(), queries.len());
+        for (&q, row) in queries.iter().zip(&rows) {
+            let alone = individual.store().score_row(q);
+            assert_eq!(row.len(), alone.len(), "{q:?}");
+            for (a, b) in row.iter().zip(alone.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{q:?}");
+            }
+        }
+        // Duplicates in the batch share one sweep: 5 distinct queries.
+        assert_eq!(batched.store().pair_evals(), 5 * batched.store().len() as u64);
+        let c = batched.store().counters();
+        assert_eq!(c.row_misses, 5);
+        assert_eq!(c.row_hits, 2, "duplicate batch entries count as hits");
+        assert_eq!(c.row_lookups, 7);
+        assert_eq!(c.row_hits + c.row_misses, c.row_lookups);
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential_sweep_bitwise() {
+        // Enough labels and queries to clear PARALLEL_SWEEP_MIN_PAIRS.
+        let build = |threads: usize| {
+            let mut r = Repository::with_store_config(StoreConfig {
+                max_cached_rows: None,
+                batch_threads: threads,
+            });
+            let mut b = SchemaBuilder::new("wide").root("container");
+            for i in 0..300 {
+                b = b.leaf(format!("field_{i}_{}", "x".repeat(i % 17)), PrimitiveType::String);
+            }
+            r.add(b.build());
+            r
+        };
+        let seq = build(1);
+        let par = build(4);
+        let queries: Vec<String> = (0..8).map(|i| format!("queryLabel{i}")).collect();
+        let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        assert!(refs.len() * seq.store().len() >= PARALLEL_SWEEP_MIN_PAIRS);
+        let a = seq.store().score_rows(&refs);
+        let b = par.store().score_rows(&refs);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.len(), rb.len());
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(seq.store().pair_evals(), par.store().pair_evals());
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recently_used() {
+        let r = repo();
+        let store = r.store();
+        store.set_max_cached_rows(Some(2));
+        store.score_row("alpha");
+        store.score_row("beta");
+        // Touch alpha so beta becomes the oldest.
+        store.score_row("alpha");
+        store.score_row("gamma");
+        assert_eq!(store.cached_rows(), 2);
+        assert!(store.has_cached_row("alpha"));
+        assert!(store.has_cached_row("gamma"));
+        assert!(!store.has_cached_row("beta"), "LRU must evict the oldest row");
+        let c = store.counters();
+        assert_eq!(c.row_evictions, 1);
+        // Evicted rows recompute to bitwise-identical values.
+        let scalar = NameSimilarity::default();
+        let again = store.score_row("beta");
+        for (id, d) in again.iter().enumerate() {
+            let label = store.interner().resolve(LabelId(id as u32));
+            assert_eq!(d.to_bits(), scalar.distance("beta", label).to_bits());
+        }
+    }
+
+    #[test]
+    fn tightening_the_bound_evicts_immediately() {
+        let r = repo();
+        let store = r.store();
+        for q in ["a", "b", "c", "d"] {
+            store.score_row(q);
+        }
+        assert_eq!(store.cached_rows(), 4);
+        store.set_max_cached_rows(Some(1));
+        assert_eq!(store.cached_rows(), 1);
+        assert_eq!(store.counters().row_evictions, 3);
+        assert!(store.has_cached_row("d"), "most recent row survives");
+        // Removing the bound lets the cache grow again.
+        store.set_max_cached_rows(None);
+        store.score_row("e");
+        store.score_row("f");
+        assert_eq!(store.cached_rows(), 3);
+        assert_eq!(store.config(), StoreConfig::default());
+    }
+
+    #[test]
+    fn zero_capacity_store_still_answers_correctly() {
+        let r = repo();
+        let store = r.store();
+        store.set_max_cached_rows(Some(0));
+        let scalar = NameSimilarity::default();
+        for _ in 0..2 {
+            let row = store.score_row("title");
+            assert_eq!(store.cached_rows(), 0);
+            for (id, d) in row.iter().enumerate() {
+                let label = store.interner().resolve(LabelId(id as u32));
+                assert_eq!(d.to_bits(), scalar.distance("title", label).to_bits());
+            }
+        }
+        // Every lookup misses and every insert is immediately evicted.
+        let c = store.counters();
+        assert_eq!(c.row_misses, 2);
+        assert_eq!(c.row_evictions, 2);
+        assert_eq!(c.pair_evals, 2 * store.len() as u64);
     }
 }

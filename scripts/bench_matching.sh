@@ -39,6 +39,11 @@ cold = entries.get("matchers/s1_exhaustive_cold")
 fill_cold = entries.get("matrix_fill/cold")
 fill_warm = entries.get("matrix_fill/warm")
 repeat = entries.get("matrix_fill/repeat_query")
+batch_fill = entries.get("matrix_fill/batch")
+seq_fill = entries.get("matrix_fill/sequential32")
+seq_fill_shared = entries.get("matrix_fill/sequential32_shared")
+batch_match = entries.get("s1_batch_vs_sequential/batch")
+seq_match = entries.get("s1_batch_vs_sequential/sequential")
 doc = {
     "bench": "benches/matching.rs",
     "unit": "ns_per_iter",
@@ -69,10 +74,29 @@ doc = {
         "row_cache_speedup_x": ratio(fill_cold, fill_warm),
         "repeat_query_ns": repeat,
     },
+    # The bulk path: 32 personal schemas against one repository. "batch"
+    # dedups distinct labels across the whole batch and sweeps them in
+    # one tiled (optionally threaded) pass; "sequential" is the solo
+    # serving loop with per-query-cold fills (no shared warm rows — the
+    # regime an LRU-bounded row cache degrades to under pressure);
+    # "sequential_shared_fill_ns" is the sequential best case where all
+    # 32 solo fills share one warm cache (batch tracks it closely on one
+    # core and beats it with the threaded sweep on multicore).
+    # Acceptance: batch_fill_ns measurably below sequential_fill_ns.
+    "batch32": {
+        "batch_fill_ns": batch_fill,
+        "sequential_fill_ns": seq_fill,
+        "fill_speedup_x": ratio(seq_fill, batch_fill),
+        "sequential_shared_fill_ns": seq_fill_shared,
+        "shared_fill_speedup_x": ratio(seq_fill_shared, batch_fill),
+        "batch_match_ns": batch_match,
+        "sequential_match_ns": seq_match,
+        "match_speedup_x": ratio(seq_match, batch_match),
+    },
 }
 with open(sys.argv[2], "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {sys.argv[2]}")
-print(json.dumps({k: doc[k] for k in ("exhaustive_speedup", "matrix_fill")}, indent=2))
+print(json.dumps({k: doc[k] for k in ("exhaustive_speedup", "matrix_fill", "batch32")}, indent=2))
 EOF

@@ -13,8 +13,9 @@
 #      always be measured
 #   5. bench-regression guard: a fresh scripts/bench_matching.sh run must
 #      not regress matchers/s1_exhaustive_cold (fresh problem, warm
-#      repository store) or matrix_fill/cold (full row-kernel sweep) by
-#      more than 25% against the committed BENCH_matching.json
+#      repository store), matrix_fill/cold (full row-kernel sweep), or
+#      matrix_fill/batch (32-schema batch cold fill) by more than 25%
+#      against the committed BENCH_matching.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +31,7 @@ cargo clippy --all-targets -- -D warnings
 echo "== [4/5] cargo bench --no-run"
 cargo bench -p smx-bench --no-run
 
-echo "== [5/5] bench-regression guard (s1_exhaustive_cold + matrix_fill/cold, +25% budget)"
+echo "== [5/5] bench-regression guard (s1_exhaustive_cold + matrix_fill/{cold,batch}, +25% budget)"
 # The committed baseline is absolute ns from the machine that produced
 # BENCH_matching.json; on different/slower hardware export
 # SMX_BENCH_GUARD=0 to skip (and regenerate the baseline with
@@ -46,10 +47,11 @@ else
     python3 - BENCH_matching.json "$fresh" <<'EOF'
 import json, sys
 
-# Guard both the end-to-end headline (fresh problem against a warm
-# repository store) and the genuinely cold row-kernel sweep — a kernel
-# regression is invisible to the first key once rows are cached.
-KEYS = ["matchers/s1_exhaustive_cold", "matrix_fill/cold"]
+# Guard the end-to-end headline (fresh problem against a warm
+# repository store), the genuinely cold row-kernel sweep — a kernel
+# regression is invisible to the first key once rows are cached — and
+# the batch cold fill (the bulk serving path).
+KEYS = ["matchers/s1_exhaustive_cold", "matrix_fill/cold", "matrix_fill/batch"]
 BUDGET = 1.25
 
 committed = json.load(open(sys.argv[1]))["results"]

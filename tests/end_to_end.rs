@@ -4,8 +4,10 @@
 
 use smx::bounds::{incremental_bounds, ratio_curve_between, BoundsEnvelope, SizeRatio};
 use smx::eval::{Counts, InterpolatedCurve};
+use smx::matching::{BatchMatcher, BatchProblem, ExhaustiveMatcher, MatchProblem, Matcher};
 use smx::pipeline::Experiment;
-use smx::synth::{Domain, ScenarioConfig};
+use smx::synth::{Domain, Scenario, ScenarioConfig};
+use smx::xml::Schema;
 
 fn experiment(seed: u64) -> Experiment {
     Experiment::generate(
@@ -187,6 +189,57 @@ fn all_domains_produce_valid_pipelines() {
         let last = curve.points().last().expect("non-empty curve");
         assert!(last.counts.correct > 0, "{domain:?}: nothing correct retrieved");
     }
+}
+
+/// The bulk serving path: many personal schemas matched against one
+/// repository through the batch subsystem — batch build → match → eval
+/// metrics — with every answer set identical to a solo run and the
+/// standard evaluation pipeline working unchanged on batch output.
+#[test]
+fn bulk_workload_batch_path_matches_solo_runs_and_evaluates() {
+    let exp = experiment(42);
+    let repository = exp.scenario.repository.clone();
+    // The scenario's own personal schema plus same-domain strangers —
+    // the overlapping-vocabulary shape a serving repository sees.
+    let mut personals: Vec<Schema> = vec![exp.scenario.personal.clone()];
+    for seed in [101, 202, 303, 404] {
+        personals.push(Scenario::generate(ScenarioConfig { seed, ..exp.scenario.config }).personal);
+    }
+
+    let batch = BatchProblem::new(personals.clone(), repository.clone())
+        .expect("non-empty personal schemas");
+    let batched = BatchMatcher::with_threads(ExhaustiveMatcher::default(), 2).run_batch(
+        &batch,
+        exp.delta_max,
+        &exp.registry,
+    );
+    assert_eq!(batched.len(), personals.len());
+
+    // Identity: each batch slot equals its solo run (shared registry ⇒
+    // comparable ids).
+    for (personal, got) in personals.iter().zip(&batched) {
+        let problem = MatchProblem::new(personal.clone(), repository.clone()).unwrap();
+        let want = ExhaustiveMatcher::default().run(&problem, exp.delta_max, &exp.registry);
+        assert_eq!(got, &want);
+    }
+    assert_eq!(batched[0], exp.run_s1(), "batch slot 0 is the scenario's own S1 run");
+
+    // The batch output feeds the evaluation pipeline unchanged.
+    if !exp.truth.is_empty() {
+        let curve = exp.measured_curve(&batched[0], 10).expect("non-empty truth and grid");
+        assert!(curve.validate().is_ok());
+        let last = curve.points().last().expect("non-empty curve");
+        assert!(last.counts.correct > 0, "bulk path retrieved nothing correct");
+    }
+
+    // And the shared store did its job: one sweep per distinct label
+    // across the whole batch, everything else served from cache.
+    let counters = repository.store().counters();
+    let distinct = batch.distinct_labels().len() as u64;
+    assert_eq!(counters.row_misses, distinct);
+    assert!(counters.row_hits > 0);
+    assert_eq!(counters.row_hits + counters.row_misses, counters.row_lookups);
+    assert_eq!(counters.pair_evals, distinct * repository.store().len() as u64);
 }
 
 /// Top-N reporting and threshold slicing agree with counts (Figure 2's
