@@ -18,13 +18,16 @@
 //! personal schemas' matrices through the batch subsystem (labels
 //! deduped across the batch, one shared sweep) against 32 solo cold
 //! fills; `s1_batch_vs_sequential` makes the same comparison for full
-//! matcher runs.
+//! matcher runs. The `restart` group times coming back up warm: a full
+//! schema-replay + row-resweep rebuild vs loading the `smx-persist`
+//! snapshot.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smx::matching::{
     BatchMatcher, BatchProblem, BeamMatcher, ClusterMatcher, ExhaustiveMatcher, MappingRegistry,
     MatchProblem, Matcher, ObjectiveFunction, ParallelExhaustiveMatcher, TopKMatcher,
 };
+use smx::persist::Snapshot;
 use smx::repo::Repository;
 use smx::synth::{Scenario, ScenarioConfig};
 use smx::xml::Schema;
@@ -247,6 +250,45 @@ fn bench_batch_matching(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_restart(c: &mut Criterion) {
+    // Warm restart: a production repository comes back up with the
+    // batch workload's vocabulary already warm. `cold_rebuild` is life
+    // without persistence — replay every schema ingest (profiles,
+    // postings) and re-sweep every warm row; `snapshot_load` decodes
+    // the smx-persist snapshot instead (rows come back as stored bits,
+    // profiles are rebuilt from label text). The ratio is tracked as
+    // `restart.snapshot_speedup_x` in BENCH_matching.json and guarded
+    // by scripts/verify.sh.
+    let (personals, repository) = batch_workload(32);
+    let batch = BatchProblem::new(personals, repository.clone())
+        .expect("non-empty personal schemas");
+    batch.prefill_rows(); // the warm state a restart wants back
+    let snapshot = repository.save_snapshot();
+    let schemas: Vec<Schema> = repository.iter().map(|(_, s)| s.clone()).collect();
+    let warm_labels: Vec<String> =
+        batch.distinct_labels().iter().map(|s| s.to_string()).collect();
+    let mut group = c.benchmark_group("restart");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("cold_rebuild"), &0, |b, _| {
+        b.iter(|| {
+            let mut r = Repository::new();
+            for schema in &schemas {
+                r.add(schema.clone());
+            }
+            let refs: Vec<&str> = warm_labels.iter().map(String::as_str).collect();
+            r.store().score_rows(&refs);
+            black_box(r.store().cached_rows())
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("snapshot_load"), &0, |b, _| {
+        b.iter(|| {
+            let r = Repository::load_snapshot(black_box(&snapshot)).expect("snapshot decodes");
+            black_box(r.store().cached_rows())
+        })
+    });
+    group.finish();
+}
+
 fn bench_repository_scaling(c: &mut Criterion) {
     // S1 runtime vs repository size — the scalability wall the paper's
     // clustering work attacks.
@@ -272,6 +314,7 @@ criterion_group!(
     bench_matchers,
     bench_matrix_fill,
     bench_batch_matching,
+    bench_restart,
     bench_repository_scaling
 );
 criterion_main!(benches);

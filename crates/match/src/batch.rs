@@ -33,11 +33,31 @@
 //! different order, so only ids may differ there; resolved mappings
 //! and scores still match bitwise.
 //!
-//! With the store's LRU bound set below the batch's distinct label
-//! count, prefetched rows may be evicted before the per-problem fills
-//! read them; the fills then recompute those rows (bitwise
-//! identically), trading the amortisation back for memory — results
-//! are unaffected.
+//! # Memory pressure: pinned rows and batch-aware admission
+//!
+//! A store LRU bound below the batch's distinct label count used to
+//! reopen the amortisation gap: a prefetched row could be evicted
+//! before the per-problem fills read it, and each fill would re-sweep
+//! it. Two mechanisms close the gap:
+//!
+//! * [`BatchProblem::build_matrices`] keeps the `Arc` rows returned by
+//!   the prefetch and fills every matrix **directly from them**
+//!   ([`CostMatrix::build_pinned`](crate::CostMatrix::build_pinned)) —
+//!   eviction can drop a row from the cache but not from the batch's
+//!   hands, so the one-sweep-per-distinct-label invariant holds under
+//!   *any* bound.
+//! * [`BatchMatcher::run_batch`] practices **batch-aware admission**:
+//!   when the store is bounded, [`BatchProblem::admission_chunks`]
+//!   splits the batch into contiguous chunks whose union vocabulary
+//!   fits `max_cached_rows`, and each chunk is prefetched and matched
+//!   before the next is admitted. Within a chunk the prefilled rows
+//!   are the most recently used, so the LRU never evicts them before
+//!   the chunk's fills read them — zero within-chunk evictions (the
+//!   admission tests assert this via `StoreCounters`). Only a *single
+//!   problem* whose own vocabulary exceeds the bound can still thrash.
+//!
+//! Either way results are unaffected — bounded, chunked, pinned, or
+//! plain, every path computes bitwise-identical rows.
 
 use crate::error::MatchError;
 use crate::mapping::MappingRegistry;
@@ -47,6 +67,8 @@ use crate::problem::MatchProblem;
 use smx_eval::AnswerSet;
 use smx_repo::Repository;
 use smx_xml::Schema;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// N personal schemas to be matched against one repository.
 ///
@@ -99,8 +121,14 @@ impl BatchProblem {
     /// The batch's distinct personal labels, first-seen order across
     /// problems — what one shared sweep must cover.
     pub fn distinct_labels(&self) -> Vec<&str> {
+        Self::distinct_labels_of(&self.problems)
+    }
+
+    /// Distinct personal labels of a slice of problems, first-seen
+    /// order — the per-chunk variant of [`distinct_labels`](Self::distinct_labels).
+    fn distinct_labels_of(problems: &[MatchProblem]) -> Vec<&str> {
         let mut names: Vec<&str> = Vec::new();
-        for problem in &self.problems {
+        for problem in problems {
             for name in problem.distinct_personal_labels() {
                 if !names.contains(&name) {
                     names.push(name);
@@ -116,7 +144,9 @@ impl BatchProblem {
     /// label per problem. Returns the number of distinct labels served.
     ///
     /// After this, each problem's cost-matrix fill is pure cached-row
-    /// lookups (unless the store's LRU bound evicted rows in between).
+    /// lookups (unless the store's LRU bound evicted rows in between —
+    /// [`build_matrices`](Self::build_matrices) pins the rows instead,
+    /// which no bound can undo).
     pub fn prefill_rows(&self) -> usize {
         let names = self.distinct_labels();
         if !names.is_empty() {
@@ -125,15 +155,75 @@ impl BatchProblem {
         names.len()
     }
 
-    /// Prefill the shared rows, then build every problem's
-    /// [`CostMatrix`](crate::CostMatrix) for `objective` (warm,
-    /// lookup-only fills). Matchers running afterwards find their
-    /// engine ready.
-    pub fn build_matrices(&self, objective: &ObjectiveFunction) {
-        self.prefill_rows();
-        for problem in &self.problems {
-            problem.cost_matrix(objective);
+    /// Prefill the distinct labels of the problems in `chunk` only —
+    /// the admission path ([`BatchMatcher::run_batch`]) serves a
+    /// bounded store chunk by chunk so no chunk's vocabulary outgrows
+    /// the row cache. Returns the number of distinct labels served.
+    pub fn prefill_chunk(&self, chunk: std::ops::Range<usize>) -> usize {
+        let names = Self::distinct_labels_of(&self.problems[chunk]);
+        if !names.is_empty() {
+            self.repository.store().score_rows(&names);
         }
+        names.len()
+    }
+
+    /// The batch's distinct score rows, prefetched in one call and
+    /// returned as `Arc`s keyed by label — the pinned form
+    /// [`build_matrices`](Self::build_matrices) fills from, immune to
+    /// LRU eviction between prefetch and fill.
+    pub fn pinned_rows(&self) -> HashMap<&str, Arc<Vec<f64>>> {
+        let names = self.distinct_labels();
+        if names.is_empty() {
+            return HashMap::new();
+        }
+        let rows = self.repository.store().score_rows(&names);
+        names.into_iter().zip(rows).collect()
+    }
+
+    /// Prefill the shared rows, then build every problem's
+    /// [`CostMatrix`](crate::CostMatrix) for `objective` directly from
+    /// the prefetched `Arc` rows (warm, lookup-free fills). Matchers
+    /// running afterwards find their engine ready. Because the rows are
+    /// pinned, an LRU bound below the batch vocabulary cannot force a
+    /// re-sweep: the batch still costs exactly one sweep per distinct
+    /// label.
+    pub fn build_matrices(&self, objective: &ObjectiveFunction) {
+        let pinned = self.pinned_rows();
+        for problem in &self.problems {
+            problem.cost_matrix_pinned(objective, &pinned);
+        }
+    }
+
+    /// Split the batch into contiguous chunks whose union label
+    /// vocabularies each fit the store's row-cache bound — the
+    /// admission schedule [`BatchMatcher::run_batch`] follows on a
+    /// bounded store so prefilled rows are never evicted before the
+    /// chunk that prefilled them is done. Unbounded stores (and batches
+    /// that fit whole) get one chunk. Every chunk holds at least one
+    /// problem, so a single problem with more distinct labels than the
+    /// bound still gets admitted (and documented-ly thrashes).
+    pub fn admission_chunks(&self) -> Vec<std::ops::Range<usize>> {
+        if self.problems.is_empty() {
+            return Vec::new();
+        }
+        let Some(cap) = self.repository.store().config().max_cached_rows else {
+            return std::iter::once(0..self.problems.len()).collect();
+        };
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        let mut vocabulary: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (i, problem) in self.problems.iter().enumerate() {
+            let labels = problem.distinct_personal_labels();
+            let grown = labels.iter().filter(|name| !vocabulary.contains(*name)).count();
+            if i > start && vocabulary.len() + grown > cap {
+                chunks.push(start..i);
+                start = i;
+                vocabulary.clear();
+            }
+            vocabulary.extend(labels);
+        }
+        chunks.push(start..self.problems.len());
+        chunks
     }
 
     /// Take the problems out of the batch.
@@ -181,17 +271,45 @@ impl<M: Matcher + Sync> BatchMatcher<M> {
         self.threads
     }
 
-    /// Run the whole batch: prefill the shared score rows once, then
-    /// run the inner matcher per problem. `result[i]` answers
+    /// Run the whole batch: prefill the shared score rows, then run the
+    /// inner matcher per problem. `result[i]` answers
     /// `batch.problem(i)`.
+    ///
+    /// On a bounded store the batch is admitted chunk by chunk
+    /// ([`BatchProblem::admission_chunks`]): each chunk's vocabulary is
+    /// prefilled (never exceeding the bound) and its problems matched
+    /// before the next chunk's prefill may evict anything — so the row
+    /// cache never thrashes within a chunk, at the cost of shared
+    /// labels being re-swept once per chunk that uses them. Sequential
+    /// dispatch order is identical either way, so so are the results.
     pub fn run_batch(
         &self,
         batch: &BatchProblem,
         delta_max: f64,
         registry: &MappingRegistry,
     ) -> Vec<AnswerSet> {
-        batch.prefill_rows();
-        let problems = batch.problems();
+        let chunks = batch.admission_chunks();
+        if chunks.len() <= 1 {
+            batch.prefill_rows();
+            return self.dispatch(batch.problems(), delta_max, registry);
+        }
+        let mut results = Vec::with_capacity(batch.len());
+        for chunk in chunks {
+            batch.prefill_chunk(chunk.clone());
+            results.extend(self.dispatch(&batch.problems()[chunk], delta_max, registry));
+        }
+        results
+    }
+
+    /// Run the inner matcher over `problems` — in order when
+    /// sequential, or across scoped workers pulling from an atomic
+    /// cursor. Results are returned in problem order regardless.
+    fn dispatch(
+        &self,
+        problems: &[MatchProblem],
+        delta_max: f64,
+        registry: &MappingRegistry,
+    ) -> Vec<AnswerSet> {
         if self.threads <= 1 || problems.len() <= 1 {
             return problems
                 .iter()

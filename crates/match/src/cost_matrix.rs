@@ -151,13 +151,53 @@ impl CostMatrix {
     /// stored profiles — then fill every schema's cost table and bounds
     /// from those rows.
     pub fn build(problem: &MatchProblem, objective: &ObjectiveFunction) -> Self {
+        Self::build_pinned(problem, objective, &HashMap::new())
+    }
+
+    /// [`build`](Self::build), but rows already in the caller's hand —
+    /// the batch subsystem's prefetched `Arc`s — are used directly
+    /// instead of being looked up again in the store. This is what
+    /// closes the cross-batch row-sharing hazard: an LRU bound below the
+    /// batch vocabulary can evict a prefetched row from the *cache*, but
+    /// it cannot take it out of the caller's `Arc`, so the fill neither
+    /// recomputes nor re-sweeps it.
+    ///
+    /// Pinned rows must come from this problem's repository store (the
+    /// batch guarantees that); entries of the wrong length (the store
+    /// grew since the prefetch) are ignored and fetched fresh, so the
+    /// result is always bitwise identical to [`build`](Self::build).
+    pub fn build_pinned(
+        problem: &MatchProblem,
+        objective: &ObjectiveFunction,
+        pinned: &HashMap<&str, Arc<Vec<f64>>>,
+    ) -> Self {
         let personal = problem.personal();
         let k = problem.personal_size();
         let store = problem.repository().store();
         // One store row per *distinct* personal label; `level_rows[level]`
         // indexes into `rows` so duplicate personal names share a sweep.
         let names = problem.distinct_personal_labels();
-        let rows: Vec<Arc<Vec<f64>>> = store.score_rows(&names);
+        let expected = store.len();
+        let mut rows: Vec<Option<Arc<Vec<f64>>>> = names
+            .iter()
+            .map(|name| {
+                pinned.get(name).filter(|row| row.len() == expected).map(Arc::clone)
+            })
+            .collect();
+        let missing: Vec<&str> = names
+            .iter()
+            .zip(&rows)
+            .filter(|(_, row)| row.is_none())
+            .map(|(&name, _)| name)
+            .collect();
+        if !missing.is_empty() {
+            let mut fetched = store.score_rows(&missing).into_iter();
+            for row in rows.iter_mut().filter(|row| row.is_none()) {
+                *row = fetched.next();
+            }
+        }
+        let rows: Vec<Arc<Vec<f64>>> =
+            rows.into_iter().map(|row| row.expect("every name resolved")).collect();
         let row_of: HashMap<&str, usize> =
             names.iter().enumerate().map(|(i, &name)| (name, i)).collect();
         let level_rows: Vec<usize> = problem

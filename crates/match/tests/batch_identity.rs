@@ -195,7 +195,10 @@ fn batch_prefill_amortises_row_sweeps_across_problems() {
         "batch fill = one kernel sweep per distinct label across the whole batch"
     );
     assert_eq!(c.row_misses, distinct);
-    assert!(c.row_hits > 0, "per-problem fills must hit the prefilled rows");
+    // Pinned fills read the prefetched `Arc`s directly — the per-problem
+    // fills are not even lookups, so the only store traffic is the
+    // prefetch itself.
+    assert_eq!(c.row_lookups, distinct, "fills must not re-look rows up");
     assert_eq!(c.row_hits + c.row_misses, c.row_lookups);
 }
 

@@ -1,0 +1,90 @@
+//! The persistence error taxonomy.
+//!
+//! Every failure mode a snapshot or spill file can hit maps to one
+//! typed variant — the failure-path tests assert the mapping (truncated
+//! file → [`PersistError::Truncated`], flipped payload byte →
+//! [`PersistError::ChecksumMismatch`], …) and that no variant ever
+//! surfaces as a panic or a half-built repository.
+
+use std::fmt;
+
+/// Why a snapshot or spill operation failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic — it is not a
+    /// snapshot at all (or not one of ours).
+    BadMagic,
+    /// The snapshot declares a format version this reader does not
+    /// implement. Holds the declared version.
+    UnsupportedVersion(u32),
+    /// The data ends before a declared structure does — a partial
+    /// write, a cut-off download, or a lying section table.
+    Truncated,
+    /// A section's payload does not hash to the checksum recorded in
+    /// the section table. Holds the section id.
+    ChecksumMismatch(u32),
+    /// A mandatory section is absent from the section table. Holds the
+    /// missing section id.
+    MissingSection(u32),
+    /// The bytes decoded, but describe an internally inconsistent
+    /// repository (dangling label ids, column maps that don't match
+    /// their schemas, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            PersistError::Truncated => write!(f, "snapshot truncated"),
+            PersistError::ChecksumMismatch(id) => {
+                write!(f, "checksum mismatch in section {id}")
+            }
+            PersistError::MissingSection(id) => {
+                write!(f, "mandatory section {id} missing")
+            }
+            PersistError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(PersistError::Truncated.to_string().contains("truncated"));
+        assert!(PersistError::ChecksumMismatch(4).to_string().contains("section 4"));
+        assert!(PersistError::MissingSection(2).to_string().contains("section 2"));
+        assert!(PersistError::Corrupt("x".into()).to_string().contains('x'));
+        let io: PersistError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+        assert!(std::error::Error::source(&io).is_some());
+        assert!(std::error::Error::source(&PersistError::BadMagic).is_none());
+    }
+}

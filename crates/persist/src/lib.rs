@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+
+//! Snapshot + spill persistence for the repository score store — warm
+//! restarts for a long-lived matching service.
+//!
+//! Everything `smx-repo` derives at ingest (label profiles, token
+//! postings) and at query time (cached score rows) is recomputable, but
+//! recomputing it on every process restart throws away exactly the work
+//! the paper's non-exhaustive serving story depends on amortising. This
+//! crate makes that state durable in two complementary ways:
+//!
+//! * **Snapshots** ([`Snapshot`]): `Repository::save_snapshot` writes
+//!   the schemas plus the label store's hot state to a versioned,
+//!   checksummed binary image; `Repository::load_snapshot` reassembles
+//!   a repository that produces **bitwise-identical** match results —
+//!   the differential gate in `tests/persist_identity.rs`.
+//! * **Spill** ([`SpillFile`]): an [`EvictionSink`](smx_repo::EvictionSink)
+//!   that appends rows evicted by the store's LRU bound to an
+//!   append-only file, so a bounded cache trades memory for disk
+//!   instead of recompute. Misses fault spilled rows back in through
+//!   the existing `score_rows` path, bitwise equal to their recomputed
+//!   twins.
+//!
+//! # On-disk snapshot format
+//!
+//! All integers are little-endian; `f64`s travel as their IEEE-754 bit
+//! patterns (`to_bits`/`from_bits`), which is what makes round-trips
+//! bitwise. A snapshot is:
+//!
+//! ```text
+//! magic   8  b"SMXPSNAP"
+//! version u32  format version (currently 1)
+//! count   u32  number of sections
+//! table   count × { id: u32, offset: u64, len: u64, checksum: u64 }
+//! ...section payloads at their table offsets...
+//! ```
+//!
+//! Section checksums are FNV-1a 64 over the raw payload bytes and are
+//! verified before any payload is decoded. Version-1 sections:
+//!
+//! | id | section  | contents |
+//! |----|----------|----------|
+//! | 1  | schemas  | every repository schema: name, arena nodes (name, kind, type, occurs, parent) |
+//! | 2  | labels   | distinct labels in `LabelId` order + per-schema label-id column maps |
+//! | 3  | tokens   | the token inverted index as `(token, postings)` pairs |
+//! | 4  | rows     | cached score rows `(query, f64 bits…)`, least recently used first |
+//! | 5  | config   | `StoreConfig`: cache bound + sweep worker count |
+//!
+//! Label *profiles* are not stored: `LabelProfile::new` is a pure
+//! function of the label text (the row-kernel identity contract), so the
+//! loader rebuilds them — cheaper than decoding prepared Myers tables
+//! and bitwise-equivalent by construction.
+//!
+//! # Versioning and compatibility policy
+//!
+//! * The magic never changes; a mismatch is [`PersistError::BadMagic`]
+//!   (not a snapshot at all).
+//! * `version` is bumped on any *incompatible* layout change; readers
+//!   reject versions they don't know
+//!   ([`PersistError::UnsupportedVersion`]) rather than guess.
+//! * Within a version, writers may append **new section ids**; readers
+//!   skip unknown ids, so adding a section is forward- and
+//!   backward-compatible. Removing or re-encoding a section requires a
+//!   version bump. Every version-1 section above is mandatory
+//!   ([`PersistError::MissingSection`]).
+//! * Decoding is all-or-nothing: any error leaves no partially built
+//!   repository behind.
+//!
+//! This format is also the designated switch point for the ROADMAP's
+//! "real serde" item: when the vendored serde shims are replaced by the
+//! real crates, the section payloads can become serde-encoded while the
+//! header, table, checksums, and error taxonomy stay as they are.
+
+mod error;
+mod snapshot;
+mod spill;
+mod wire;
+
+pub use error::PersistError;
+pub use snapshot::{section, Snapshot, FORMAT_VERSION, MAGIC};
+pub use spill::SpillFile;

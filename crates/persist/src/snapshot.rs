@@ -1,0 +1,584 @@
+//! The versioned, checksummed repository snapshot: encode a
+//! [`Repository`] (schemas + label-store hot state) to bytes and
+//! reassemble it, bitwise-identically, on the other side of a restart.
+//!
+//! See the crate docs for the byte layout and the
+//! versioning/compatibility policy. Decoding is strictly
+//! validate-then-assemble: the section table and every checksum are
+//! verified first, then each payload is decoded into plain data, the
+//! cross-references are checked (column maps vs schemas, label ids vs
+//! the label list, row lengths vs the label count), and only then is a
+//! [`LabelStore`] imported and the repository assembled — an error at
+//! any point returns before any repository state exists.
+
+use crate::error::PersistError;
+use crate::wire::{fnv1a, Reader, Writer};
+use smx_repo::{LabelStore, Repository, StoreState};
+use smx_xml::{Node, NodeId, Occurs, PrimitiveType, Schema};
+use std::path::Path;
+
+/// The 8-byte snapshot magic. Never changes across versions.
+pub const MAGIC: [u8; 8] = *b"SMXPSNAP";
+
+/// The snapshot format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section ids of the version-1 layout. All are mandatory; readers
+/// skip ids they don't know (see the compatibility policy).
+pub mod section {
+    /// Repository schemas (names + arena nodes).
+    pub const SCHEMAS: u32 = 1;
+    /// Interned labels + per-schema column maps.
+    pub const LABELS: u32 = 2;
+    /// Token inverted index postings.
+    pub const TOKENS: u32 = 3;
+    /// Cached score rows, least recently used first.
+    pub const ROWS: u32 = 4;
+    /// Store configuration (cache bound, sweep workers).
+    pub const CONFIG: u32 = 5;
+
+    /// Every mandatory version-1 section.
+    pub const MANDATORY: [u32; 5] = [SCHEMAS, LABELS, TOKENS, ROWS, CONFIG];
+}
+
+/// Snapshot persistence for repository-shaped types.
+///
+/// Implemented for [`Repository`]; with the trait in scope the methods
+/// read as inherent: `repo.save_snapshot()`,
+/// `Repository::load_snapshot(&bytes)`.
+pub trait Snapshot: Sized {
+    /// Serialise to the versioned snapshot format.
+    fn save_snapshot(&self) -> Vec<u8>;
+
+    /// Reconstruct from snapshot bytes. The result is functionally
+    /// indistinguishable from the instance that was saved: match
+    /// results are bitwise identical and no cached work is lost.
+    fn load_snapshot(bytes: &[u8]) -> Result<Self, PersistError>;
+
+    /// [`save_snapshot`](Self::save_snapshot) straight to a file.
+    fn save_snapshot_file(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.save_snapshot())?;
+        Ok(())
+    }
+
+    /// [`load_snapshot`](Self::load_snapshot) straight from a file.
+    fn load_snapshot_file(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::load_snapshot(&std::fs::read(path)?)
+    }
+}
+
+impl Snapshot for Repository {
+    fn save_snapshot(&self) -> Vec<u8> {
+        let state = self.store().export_state();
+        let sections: Vec<(u32, Vec<u8>)> = vec![
+            (section::SCHEMAS, encode_schemas(self)),
+            (section::LABELS, encode_labels(&state)),
+            (section::TOKENS, encode_tokens(&state)),
+            (section::ROWS, encode_rows(&state)),
+            (section::CONFIG, encode_config(&state)),
+        ];
+        let mut w = Writer::new();
+        w.put_bytes(&MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_u32(sections.len() as u32);
+        // Table first (offsets backpatched), payloads after.
+        let mut entry_at = Vec::with_capacity(sections.len());
+        for (id, payload) in &sections {
+            w.put_u32(*id);
+            entry_at.push(w.len());
+            w.put_u64(0); // offset, patched below
+            w.put_u64(payload.len() as u64);
+            w.put_u64(fnv1a(payload));
+        }
+        for ((_, payload), at) in sections.iter().zip(entry_at) {
+            let offset = w.len() as u64;
+            w.patch_u64(at, offset);
+            w.put_bytes(payload);
+        }
+        w.into_bytes()
+    }
+
+    fn load_snapshot(bytes: &[u8]) -> Result<Self, PersistError> {
+        let sections = read_section_table(bytes)?;
+        let payload = |id: u32| -> Result<&[u8], PersistError> {
+            sections
+                .iter()
+                .find(|s| s.id == id)
+                .map(|s| &bytes[s.offset..s.offset + s.len])
+                .ok_or(PersistError::MissingSection(id))
+        };
+        let schemas = decode_schemas(payload(section::SCHEMAS)?)?;
+        let (labels, schema_labels) = decode_labels(payload(section::LABELS)?)?;
+        let postings = decode_tokens(payload(section::TOKENS)?)?;
+        let rows = decode_rows(payload(section::ROWS)?)?;
+        let (max_cached_rows, batch_threads) = decode_config(payload(section::CONFIG)?)?;
+        let state = StoreState {
+            labels,
+            schema_labels,
+            postings,
+            rows,
+            max_cached_rows,
+            batch_threads,
+        };
+        validate(&schemas, &state)?;
+        Ok(Repository::from_parts(schemas, LabelStore::import_state(state)))
+    }
+}
+
+/// One parsed and checksum-verified section table entry.
+struct SectionEntry {
+    id: u32,
+    offset: usize,
+    len: usize,
+}
+
+/// Parse the header + section table and verify every section's bounds
+/// and checksum. Unknown section ids are kept in the table (and simply
+/// never asked for) — the forward-compatibility half of the policy.
+fn read_section_table(bytes: &[u8]) -> Result<Vec<SectionEntry>, PersistError> {
+    let mut r = Reader::new(bytes);
+    if bytes.len() < MAGIC.len() {
+        return Err(PersistError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    for m in &mut magic {
+        *m = r.get_u8()?;
+    }
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let count = r.get_u32()? as usize;
+    // Each table entry is 28 bytes; a count the remaining bytes cannot
+    // hold is a lie (the header is outside the checksummed payloads, so
+    // this is the only integrity check it gets) — and must be caught
+    // *before* sizing any allocation by it.
+    if count > r.remaining() / 28 {
+        return Err(PersistError::Truncated);
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.get_u32()?;
+        let offset = r.get_u64()? as usize;
+        let len = r.get_u64()? as usize;
+        let checksum = r.get_u64()?;
+        let end = offset.checked_add(len).ok_or(PersistError::Truncated)?;
+        if end > bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        if fnv1a(&bytes[offset..end]) != checksum {
+            return Err(PersistError::ChecksumMismatch(id));
+        }
+        entries.push(SectionEntry { id, offset, len });
+    }
+    Ok(entries)
+}
+
+fn encode_schemas(repo: &Repository) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(repo.len() as u32);
+    for (_, schema) in repo.iter() {
+        w.put_str(schema.name());
+        w.put_u32(schema.len() as u32);
+        for id in schema.node_ids() {
+            let node = schema.node(id);
+            w.put_str(&node.name);
+            w.put_u8(match node.kind {
+                smx_xml::NodeKind::Element => 0,
+                smx_xml::NodeKind::Attribute => 1,
+            });
+            w.put_u8(encode_type(node.ty));
+            w.put_u32(node.occurs.min);
+            match node.occurs.max {
+                Some(max) => {
+                    w.put_u8(1);
+                    w.put_u32(max);
+                }
+                None => w.put_u8(0),
+            }
+            // Parents always precede children in the arena, so a plain
+            // parent pointer reconstructs the tree in one forward pass.
+            w.put_u32(node.parent.map_or(u32::MAX, |p| p.0));
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_schemas(bytes: &[u8]) -> Result<Vec<Schema>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let count = r.get_u32()? as usize;
+    let mut schemas = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let name = r.get_str()?;
+        let nodes = r.get_u32()? as usize;
+        let mut schema = Schema::new(name);
+        for i in 0..nodes {
+            let mut node = Node::element(r.get_str()?);
+            node.kind = match r.get_u8()? {
+                0 => smx_xml::NodeKind::Element,
+                1 => smx_xml::NodeKind::Attribute,
+                k => {
+                    return Err(PersistError::Corrupt(format!("unknown node kind {k}")))
+                }
+            };
+            node.ty = decode_type(r.get_u8()?)?;
+            let min = r.get_u32()?;
+            let max = match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_u32()?),
+                f => {
+                    return Err(PersistError::Corrupt(format!("bad occurs flag {f}")))
+                }
+            };
+            node.occurs = Occurs { min, max };
+            let parent = r.get_u32()?;
+            let added = if parent == u32::MAX {
+                schema
+                    .add_root(node)
+                    .map_err(|e| PersistError::Corrupt(format!("schema rebuild: {e}")))?
+            } else {
+                if parent as usize >= i {
+                    return Err(PersistError::Corrupt(format!(
+                        "node {i} has forward parent {parent}"
+                    )));
+                }
+                schema
+                    .add_child(NodeId(parent), node)
+                    .map_err(|e| PersistError::Corrupt(format!("schema rebuild: {e}")))?
+            };
+            debug_assert_eq!(added.index(), i, "arena replay preserves ids");
+        }
+        schemas.push(schema);
+    }
+    Ok(schemas)
+}
+
+fn encode_type(ty: PrimitiveType) -> u8 {
+    match ty {
+        PrimitiveType::Complex => 0,
+        PrimitiveType::String => 1,
+        PrimitiveType::Integer => 2,
+        PrimitiveType::Decimal => 3,
+        PrimitiveType::Date => 4,
+        PrimitiveType::Boolean => 5,
+        PrimitiveType::Id => 6,
+    }
+}
+
+fn decode_type(v: u8) -> Result<PrimitiveType, PersistError> {
+    Ok(match v {
+        0 => PrimitiveType::Complex,
+        1 => PrimitiveType::String,
+        2 => PrimitiveType::Integer,
+        3 => PrimitiveType::Decimal,
+        4 => PrimitiveType::Date,
+        5 => PrimitiveType::Boolean,
+        6 => PrimitiveType::Id,
+        t => return Err(PersistError::Corrupt(format!("unknown primitive type {t}"))),
+    })
+}
+
+fn encode_labels(state: &StoreState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(state.labels.len() as u32);
+    for label in &state.labels {
+        w.put_str(label);
+    }
+    w.put_u32(state.schema_labels.len() as u32);
+    for columns in &state.schema_labels {
+        w.put_u32(columns.len() as u32);
+        for &id in columns {
+            w.put_u32(id);
+        }
+    }
+    w.into_bytes()
+}
+
+type LabelSections = (Vec<String>, Vec<Vec<u32>>);
+
+fn decode_labels(bytes: &[u8]) -> Result<LabelSections, PersistError> {
+    let mut r = Reader::new(bytes);
+    let count = r.get_u32()? as usize;
+    let mut labels = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        labels.push(r.get_str()?);
+    }
+    let schemas = r.get_u32()? as usize;
+    let mut schema_labels = Vec::with_capacity(schemas.min(1 << 20));
+    for _ in 0..schemas {
+        let n = r.get_u32()? as usize;
+        let mut columns = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            columns.push(r.get_u32()?);
+        }
+        schema_labels.push(columns);
+    }
+    Ok((labels, schema_labels))
+}
+
+fn encode_tokens(state: &StoreState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(state.postings.len() as u32);
+    for (token, elements) in &state.postings {
+        w.put_str(token);
+        w.put_u32(elements.len() as u32);
+        for element in elements {
+            w.put_u32(element.schema.0);
+            w.put_u32(element.node.0);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_tokens(
+    bytes: &[u8],
+) -> Result<Vec<(String, Vec<smx_repo::ElementRef>)>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let count = r.get_u32()? as usize;
+    let mut postings = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let token = r.get_str()?;
+        let n = r.get_u32()? as usize;
+        let mut elements = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let schema = smx_repo::SchemaId(r.get_u32()?);
+            let node = NodeId(r.get_u32()?);
+            elements.push(smx_repo::ElementRef { schema, node });
+        }
+        postings.push((token, elements));
+    }
+    Ok(postings)
+}
+
+fn encode_rows(state: &StoreState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(state.rows.len() as u32);
+    for (query, row) in &state.rows {
+        w.put_str(query);
+        w.put_u64(row.len() as u64);
+        for &v in row {
+            w.put_f64(v);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_rows(bytes: &[u8]) -> Result<Vec<(String, Vec<f64>)>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let count = r.get_u32()? as usize;
+    let mut rows = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let query = r.get_str()?;
+        let n = r.get_u64()? as usize;
+        if n > r.remaining() / 8 {
+            return Err(PersistError::Truncated);
+        }
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(r.get_f64()?);
+        }
+        rows.push((query, row));
+    }
+    Ok(rows)
+}
+
+fn encode_config(state: &StoreState) -> Vec<u8> {
+    let mut w = Writer::new();
+    match state.max_cached_rows {
+        Some(cap) => {
+            w.put_u8(1);
+            w.put_u64(cap as u64);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_u64(state.batch_threads as u64);
+    w.into_bytes()
+}
+
+fn decode_config(bytes: &[u8]) -> Result<(Option<usize>, usize), PersistError> {
+    let mut r = Reader::new(bytes);
+    let max_cached_rows = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_u64()? as usize),
+        f => return Err(PersistError::Corrupt(format!("bad config flag {f}"))),
+    };
+    let batch_threads = r.get_u64()? as usize;
+    Ok((max_cached_rows, batch_threads))
+}
+
+/// Cross-reference the decoded sections before any store is built: the
+/// label list must be duplicate-free, every column map must mirror its
+/// schema's node names through the label list, every cached row must be
+/// a valid prefix of the label list, and every token posting must point
+/// at a real element (the pre-filter path indexes schemas by these
+/// references unchecked).
+fn validate(schemas: &[Schema], state: &StoreState) -> Result<(), PersistError> {
+    let mut seen = std::collections::HashSet::with_capacity(state.labels.len());
+    for label in &state.labels {
+        if !seen.insert(label.as_str()) {
+            return Err(PersistError::Corrupt(format!("duplicate label {label:?}")));
+        }
+    }
+    if state.schema_labels.len() != schemas.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} column maps for {} schemas",
+            state.schema_labels.len(),
+            schemas.len()
+        )));
+    }
+    for (i, (schema, columns)) in schemas.iter().zip(&state.schema_labels).enumerate() {
+        if columns.len() != schema.len() {
+            return Err(PersistError::Corrupt(format!(
+                "schema {i} column map has {} entries for {} nodes",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        for (node, &label) in schema.node_ids().zip(columns) {
+            let name = state
+                .labels
+                .get(label as usize)
+                .ok_or_else(|| {
+                    PersistError::Corrupt(format!("schema {i} references label {label}"))
+                })?;
+            if *name != schema.node(node).name {
+                return Err(PersistError::Corrupt(format!(
+                    "schema {i} node {node} labelled {name:?}, expected {:?}",
+                    schema.node(node).name
+                )));
+            }
+        }
+    }
+    for (query, row) in &state.rows {
+        if row.len() > state.labels.len() {
+            return Err(PersistError::Corrupt(format!(
+                "row {query:?} has {} entries for {} labels",
+                row.len(),
+                state.labels.len()
+            )));
+        }
+    }
+    for (token, elements) in &state.postings {
+        for element in elements {
+            let schema = schemas.get(element.schema.index()).ok_or_else(|| {
+                PersistError::Corrupt(format!(
+                    "token {token:?} posting references schema {}",
+                    element.schema
+                ))
+            })?;
+            if element.node.index() >= schema.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "token {token:?} posting references node {} of {}-node schema {}",
+                    element.node,
+                    schema.len(),
+                    element.schema
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_xml::SchemaBuilder;
+
+    fn repository() -> Repository {
+        let mut repo = Repository::new();
+        repo.add(
+            SchemaBuilder::new("bib")
+                .root("bibliography")
+                .child("book", |b| {
+                    b.leaf("title", PrimitiveType::String)
+                        .leaf("year", PrimitiveType::Integer)
+                })
+                .build(),
+        );
+        repo.add(
+            SchemaBuilder::new("shop")
+                .root("store")
+                .leaf("title", PrimitiveType::String)
+                .build(),
+        );
+        repo.store().score_row("bookTitle");
+        repo.store().score_row("title");
+        repo
+    }
+
+    #[test]
+    fn snapshot_round_trips_schemas_and_hot_state() {
+        let repo = repository();
+        let bytes = repo.save_snapshot();
+        let loaded = Repository::load_snapshot(&bytes).expect("snapshot decodes");
+        assert_eq!(loaded, repo, "schema lists must be equal");
+        for (sid, schema) in repo.iter() {
+            assert_eq!(loaded.schema(sid), schema);
+        }
+        let (a, b) = (repo.store(), loaded.store());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(b.cached_rows(), 2);
+        for query in ["bookTitle", "title"] {
+            let (x, y) = (a.score_row(query), b.score_row(query));
+            assert_eq!(x.len(), y.len());
+            for (p, q) in x.iter().zip(y.iter()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "{query:?}");
+            }
+        }
+        assert_eq!(b.pair_evals(), 0, "loaded rows must serve from cache");
+    }
+
+    #[test]
+    fn empty_repository_round_trips() {
+        let repo = Repository::new();
+        let loaded = Repository::load_snapshot(&repo.save_snapshot()).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.store().len(), 0);
+        assert_eq!(loaded.store().cached_rows(), 0);
+    }
+
+    #[test]
+    fn config_round_trips() {
+        let mut repo = Repository::with_store_config(smx_repo::StoreConfig {
+            max_cached_rows: Some(3),
+            batch_threads: 2,
+        });
+        repo.add(SchemaBuilder::new("s").root("r").build());
+        let loaded = Repository::load_snapshot(&repo.save_snapshot()).unwrap();
+        assert_eq!(loaded.store().config(), repo.store().config());
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        // Append a section id far above the known range: a v1 reader
+        // must ignore it (forward compatibility for additive sections).
+        let repo = repository();
+        let mut bytes = repo.save_snapshot();
+        // Rewrite: rebuild with one extra empty section in the table.
+        let payload: &[u8] = b"future";
+        let mut w = Writer::new();
+        w.put_bytes(&MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        let sections = read_section_table(&bytes).unwrap();
+        w.put_u32(sections.len() as u32 + 1);
+        let extra_tail = 28; // one extra table entry shifts payloads by this
+        for s in &sections {
+            w.put_u32(s.id);
+            w.put_u64((s.offset + extra_tail) as u64);
+            w.put_u64(s.len as u64);
+            w.put_u64(fnv1a(&bytes[s.offset..s.offset + s.len]));
+        }
+        w.put_u32(999);
+        w.put_u64((bytes.len() + extra_tail) as u64);
+        w.put_u64(payload.len() as u64);
+        w.put_u64(fnv1a(payload));
+        let first_payload = sections.iter().map(|s| s.offset).min().unwrap();
+        w.put_bytes(&bytes.split_off(first_payload));
+        w.put_bytes(payload);
+        let loaded = Repository::load_snapshot(&w.into_bytes()).expect("unknown id skipped");
+        assert_eq!(loaded, repo);
+    }
+}

@@ -1,0 +1,527 @@
+//! The eviction spill file: an append-only, per-record-checksummed log
+//! of score rows the store's LRU bound pushed out of memory.
+//!
+//! [`SpillFile`] implements [`EvictionSink`], so installing one on a
+//! bounded [`LabelStore`](smx_repo::LabelStore) turns eviction from
+//! "discard and recompute later" into "append to disk and read back
+//! later": a faulted row is byte-for-byte the row that was evicted,
+//! hence bitwise identical to its recomputed twin (the spill tests
+//! assert exactly that).
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! magic   8   b"SMXSPILL"
+//! version u32 (currently 1)
+//! records…
+//! ```
+//!
+//! Each record: `query_len: u32 | row_len: u32 | checksum: u64 |
+//! labels_fingerprint: u64 | query bytes | row_len × f64 bits`.
+//! `checksum` is FNV-1a 64 over **every other byte of the record** —
+//! lengths, fingerprint, query, and row — so a flipped bit anywhere
+//! (including in the query text, which keys the index) invalidates the
+//! record instead of silently serving one query's distances under
+//! another's name. `labels_fingerprint` is the store's label-prefix
+//! fingerprint at spill time (recovery hands it back so the store can
+//! reject rows a diverged repository lineage spilled — see
+//! [`EvictionSink`]'s fingerprint contract). Records for the same
+//! query supersede earlier ones (a re-evicted row was possibly
+//! extended in the meantime); an in-memory index maps each query to
+//! its newest record.
+//!
+//! [`SpillFile::open`] rebuilds the index by scanning: a record whose
+//! framing is intact but whose checksum fails is **skipped** (its
+//! neighbours survive one rotten record); a record whose declared
+//! lengths overrun the file — the crash-mid-append torn tail, or a
+//! length field too damaged to skip past — ends the scan and is
+//! truncated off the file so later appends can't interleave with
+//! garbage. Nothing un-checksummed is ever indexed.
+//!
+//! # Growth
+//!
+//! The log is append-only and superseded records' bytes are never
+//! reclaimed. Re-evicting a row whose newest record is byte-identical
+//! (the common fault-then-evict thrash cycle under a tight bound) is
+//! deduplicated — no new record is written — so steady-state thrash
+//! over a fixed vocabulary does not grow the file. What does grow it:
+//! rows re-spilled *longer* after repository adds, and ever-fresh
+//! queries. Long-lived deployments should rotate the file at a size
+//! threshold (create a fresh `SpillFile` and swap it via
+//! `set_eviction_sink` — recompute covers the gap) until a compacting
+//! rewrite exists (ROADMAP).
+//!
+//! # Failure policy
+//!
+//! The sink is best-effort by contract: a write error marks the file
+//! poisoned (further spills are declined, so the store just recomputes
+//! — correctness never depends on the sink), and a read/checksum error
+//! on recovery returns `None` for the same reason.
+
+use crate::error::PersistError;
+use crate::wire::fnv1a;
+use parking_lot::Mutex;
+use smx_repo::EvictionSink;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const SPILL_MAGIC: [u8; 8] = *b"SMXSPILL";
+const SPILL_VERSION: u32 = 1;
+/// Fixed bytes per record before the variable payload.
+const RECORD_HEADER: usize = 4 + 4 + 8 + 8;
+
+/// Where a query's newest spilled row lives in the file.
+struct Slot {
+    /// Byte offset of the whole record (its `query_len` field).
+    record_at: u64,
+    /// Row length in values (×8 bytes on disk).
+    values: u32,
+    /// FNV-1a 64 over the whole record except the checksum field.
+    checksum: u64,
+    /// The spilling store's label-prefix fingerprint for this row.
+    labels_fingerprint: u64,
+}
+
+/// Checksum of a record: FNV-1a 64 over `bytes` with the 8-byte
+/// checksum field at `bytes[8..16]` excluded.
+fn record_checksum(bytes: &[u8]) -> u64 {
+    crate::wire::fnv1a_extend(fnv1a(&bytes[..8]), &bytes[16..])
+}
+
+struct Inner {
+    file: File,
+    index: HashMap<String, Slot>,
+    /// Append position (== current file length).
+    end: u64,
+    /// Set on the first write error; all later spills are declined.
+    poisoned: bool,
+}
+
+/// An append-only spill log implementing [`EvictionSink`].
+///
+/// Thread-safe: one mutex serialises file access; the store already
+/// guarantees sink calls happen outside its row-cache lock, so spill
+/// I/O never blocks row lookups.
+pub struct SpillFile {
+    inner: Mutex<Inner>,
+    path: PathBuf,
+}
+
+impl SpillFile {
+    /// Create a fresh spill file at `path`, truncating anything there.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(&SPILL_MAGIC)?;
+        file.write_all(&SPILL_VERSION.to_le_bytes())?;
+        let end = (SPILL_MAGIC.len() + 4) as u64;
+        Ok(SpillFile {
+            inner: Mutex::new(Inner { file, index: HashMap::new(), end, poisoned: false }),
+            path,
+        })
+    }
+
+    /// Open an existing spill file, rebuilding the query index by
+    /// scanning its records — this is what makes spilled rows survive a
+    /// restart alongside a snapshot. A record failing its checksum is
+    /// skipped (neighbours survive); a torn final record (crash during
+    /// append) is truncated off and overwritten by the next spill.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < SPILL_MAGIC.len() + 4 {
+            return Err(PersistError::Truncated);
+        }
+        if bytes[..8] != SPILL_MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != SPILL_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let mut index = HashMap::new();
+        let mut pos = SPILL_MAGIC.len() + 4;
+        // Scan whole records. A checksum-failed record with intact
+        // framing is skipped (one rotten record must not take its
+        // neighbours down); a framing overrun ends the scan as a torn
+        // tail.
+        while bytes.len() - pos >= RECORD_HEADER {
+            let qlen =
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let values = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let checksum = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
+            let labels_fingerprint =
+                u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().expect("8"));
+            let payload = pos + RECORD_HEADER + qlen;
+            let next = payload + values as usize * 8;
+            if next > bytes.len() {
+                break; // torn final record (or unskippable length rot)
+            }
+            if record_checksum(&bytes[pos..next]) == checksum {
+                if let Ok(query) = std::str::from_utf8(&bytes[pos + RECORD_HEADER..payload]) {
+                    index.insert(
+                        query.to_owned(),
+                        Slot { record_at: pos as u64, values, checksum, labels_fingerprint },
+                    );
+                }
+            }
+            pos = next;
+        }
+        let end = pos as u64;
+        // Drop the torn tail from the file, not just from the index —
+        // left in place, a later append could leave residual garbage
+        // past the new frontier for the *next* open to misparse as
+        // records at a misaligned offset.
+        file.set_len(end)?;
+        file.seek(SeekFrom::Start(end))?;
+        Ok(SpillFile {
+            inner: Mutex::new(Inner { file, index, end, poisoned: false }),
+            path,
+        })
+    }
+
+    /// The file this sink appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct queries with a spilled row.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// Whether nothing was spilled yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().index.is_empty()
+    }
+
+    /// Bytes appended so far (records and header).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.inner.lock().end
+    }
+
+    /// Whether a write error disabled further spilling.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
+    }
+}
+
+impl EvictionSink for SpillFile {
+    fn on_evict(&self, query: &str, row: &[f64], labels_fingerprint: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.poisoned {
+            return false;
+        }
+        let mut record =
+            Vec::with_capacity(RECORD_HEADER + query.len() + row.len() * 8);
+        record.extend_from_slice(&(query.len() as u32).to_le_bytes());
+        record.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        record.extend_from_slice(&[0u8; 8]); // checksum patched below
+        record.extend_from_slice(&labels_fingerprint.to_le_bytes());
+        record.extend_from_slice(query.as_bytes());
+        for &v in row {
+            record.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let checksum = record_checksum(&record);
+        record[8..16].copy_from_slice(&checksum.to_le_bytes());
+        if let Some(slot) = inner.index.get(query) {
+            // A fault-then-re-evict cycle under a tight bound hands back
+            // the exact record we already hold; appending it again would
+            // grow the log while storing nothing new.
+            if slot.values as usize == row.len()
+                && slot.checksum == checksum
+                && slot.labels_fingerprint == labels_fingerprint
+            {
+                return true;
+            }
+            // Keep a strictly longer record over a shorter one: rows
+            // only ever extend within a lineage, so a shorter spill for
+            // the same query is a stale row racing an extended one out
+            // of order — superseding it would silently shrink warm
+            // state. (A recover that finds the longer record rotten
+            // removes the entry, reopening the slot.)
+            if slot.values as usize > row.len() {
+                return true;
+            }
+        }
+        let at = inner.end;
+        if inner.file.seek(SeekFrom::Start(at)).and_then(|_| inner.file.write_all(&record)).is_err()
+        {
+            // Half-written tail is tolerated by open(); decline this and
+            // every later spill rather than risk compounding the damage.
+            inner.poisoned = true;
+            return false;
+        }
+        inner.end += record.len() as u64;
+        inner.index.insert(
+            query.to_owned(),
+            Slot {
+                record_at: at,
+                values: row.len() as u32,
+                checksum,
+                labels_fingerprint,
+            },
+        );
+        true
+    }
+
+    fn recover(&self, query: &str) -> Option<(Vec<f64>, u64)> {
+        let mut inner = self.inner.lock();
+        let (record_at, values, checksum, labels_fingerprint) = {
+            let slot = inner.index.get(query)?;
+            (slot.record_at, slot.values as usize, slot.checksum, slot.labels_fingerprint)
+        };
+        // Read and re-verify the *whole* record — the checksum covers
+        // lengths, fingerprint, and query text too, so rot anywhere in
+        // it (not just the row bytes) fails the recovery.
+        let len = RECORD_HEADER + query.len() + values * 8;
+        let mut record = vec![0u8; len];
+        inner.file.seek(SeekFrom::Start(record_at)).ok()?;
+        inner.file.read_exact(&mut record).ok()?;
+        // Restore the append position for the next on_evict.
+        let end = inner.end;
+        inner.file.seek(SeekFrom::Start(end)).ok()?;
+        if record_checksum(&record) != checksum
+            || &record[RECORD_HEADER..RECORD_HEADER + query.len()] != query.as_bytes()
+        {
+            // The record rotted since it was indexed. Drop the entry so
+            // a future eviction of the (re-swept) row writes a fresh
+            // copy instead of dedup-matching the stale slot forever.
+            inner.index.remove(query);
+            return None;
+        }
+        let row = record[RECORD_HEADER + query.len()..]
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect();
+        Some((row, labels_fingerprint))
+    }
+}
+
+impl std::fmt::Debug for SpillFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SpillFile")
+            .field("path", &self.path)
+            .field("rows", &inner.index.len())
+            .field("bytes", &inner.end)
+            .field("poisoned", &inner.poisoned)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("smx-spill-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn spill_and_recover_round_trips_bitwise() {
+        let path = temp_path("roundtrip");
+        let spill = SpillFile::create(&path).unwrap();
+        assert!(spill.is_empty());
+        let row = vec![0.25, -0.0, f64::NAN, 1.0 / 3.0];
+        assert!(spill.on_evict("bookTitle", &row, 0xFEED));
+        assert_eq!(spill.len(), 1);
+        let (back, fingerprint) = spill.recover("bookTitle").unwrap();
+        assert_eq!(fingerprint, 0xFEED);
+        assert_eq!(back.len(), row.len());
+        for (a, b) in row.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(spill.recover("never-spilled").is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newest_record_wins_and_survives_reopen() {
+        let path = temp_path("reopen");
+        {
+            let spill = SpillFile::create(&path).unwrap();
+            spill.on_evict("q", &[1.0, 2.0], 2);
+            spill.on_evict("other", &[9.0], 1);
+            spill.on_evict("q", &[1.0, 2.0, 3.0], 3); // extended re-evict
+        }
+        let spill = SpillFile::open(&path).unwrap();
+        assert_eq!(spill.len(), 2);
+        assert_eq!(spill.recover("q").unwrap(), (vec![1.0, 2.0, 3.0], 3));
+        assert_eq!(spill.recover("other").unwrap(), (vec![9.0], 1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_on_open() {
+        let path = temp_path("torn");
+        {
+            let spill = SpillFile::create(&path).unwrap();
+            spill.on_evict("whole", &[4.0], 7);
+        }
+        // Append half a record by hand.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[7u8; 9]).unwrap();
+        drop(f);
+        let spill = SpillFile::open(&path).unwrap();
+        assert_eq!(spill.len(), 1);
+        assert_eq!(spill.recover("whole").unwrap(), (vec![4.0], 7));
+        // And appending over the torn tail works.
+        assert!(spill.on_evict("fresh", &[5.0], 8));
+        assert_eq!(spill.recover("fresh").unwrap(), (vec![5.0], 8));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn identical_reevictions_do_not_grow_the_log() {
+        let path = temp_path("dedup");
+        let spill = SpillFile::create(&path).unwrap();
+        let row = vec![1.0, 2.0, 3.0];
+        assert!(spill.on_evict("hot", &row, 5));
+        let size = spill.spilled_bytes();
+        // The thrash cycle: same query, same bytes, same fingerprint.
+        for _ in 0..10 {
+            assert!(spill.on_evict("hot", &row, 5));
+        }
+        assert_eq!(spill.spilled_bytes(), size, "identical re-spills must not append");
+        // A genuinely different row (extended after an add) does append.
+        assert!(spill.on_evict("hot", &[1.0, 2.0, 3.0, 4.0], 6));
+        assert!(spill.spilled_bytes() > size);
+        assert_eq!(spill.recover("hot").unwrap(), (vec![1.0, 2.0, 3.0, 4.0], 6));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_truncates_the_torn_tail_from_disk() {
+        let path = temp_path("truncate");
+        {
+            let spill = SpillFile::create(&path).unwrap();
+            spill.on_evict("kept", &[2.0], 1);
+        }
+        let valid_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[9u8; 333]).unwrap(); // torn 333-byte tail
+        drop(f);
+        {
+            let spill = SpillFile::open(&path).unwrap();
+            assert_eq!(spill.len(), 1);
+            assert_eq!(spill.spilled_bytes(), valid_len);
+        }
+        // The garbage is gone from disk, not just skipped: a re-open
+        // sees a clean file ending at the last whole record.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), valid_len);
+        let spill = SpillFile::open(&path).unwrap();
+        assert_eq!(spill.recover("kept").unwrap(), (vec![2.0], 1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_foreign_files() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"definitely not a spill file").unwrap();
+        assert!(matches!(SpillFile::open(&path), Err(PersistError::BadMagic)));
+        std::fs::write(&path, b"tiny").unwrap();
+        assert!(matches!(SpillFile::open(&path), Err(PersistError::Truncated)));
+        let mut bad_version = SPILL_MAGIC.to_vec();
+        bad_version.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, bad_version).unwrap();
+        assert!(matches!(
+            SpillFile::open(&path),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum_on_recover() {
+        let path = temp_path("corrupt");
+        let spill = SpillFile::create(&path).unwrap();
+        spill.on_evict("q", &[1.5, 2.5], 0);
+        // Flip a byte of the row payload in place.
+        {
+            let mut inner = spill.inner.lock();
+            let offset = inner.index["q"].record_at + (RECORD_HEADER + "q".len()) as u64;
+            inner.file.seek(SeekFrom::Start(offset)).unwrap();
+            inner.file.write_all(&[0xAB]).unwrap();
+            let end = inner.end;
+            inner.file.seek(SeekFrom::Start(end)).unwrap();
+        }
+        assert!(spill.recover("q").is_none(), "corrupt payload must not be served");
+        // The failed recovery vacates the index slot, so a later
+        // eviction of the same (re-swept) row writes a fresh record
+        // instead of dedup-matching the rotten one forever.
+        assert_eq!(spill.len(), 0);
+        assert!(spill.on_evict("q", &[1.5, 2.5], 0));
+        assert_eq!(spill.recover("q").unwrap(), (vec![1.5, 2.5], 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shorter_rows_do_not_supersede_longer_records() {
+        // Two threads can evict the same query out of order around a
+        // repository add; the stale, shorter row must not shrink the
+        // spilled state the extended one already persisted.
+        let path = temp_path("supersede");
+        let spill = SpillFile::create(&path).unwrap();
+        spill.on_evict("q", &[1.0, 2.0, 3.0], 3);
+        let size = spill.spilled_bytes();
+        assert!(spill.on_evict("q", &[1.0, 2.0], 2), "shorter spill is acknowledged");
+        assert_eq!(spill.spilled_bytes(), size, "…but must not be written");
+        assert_eq!(spill.recover("q").unwrap(), (vec![1.0, 2.0, 3.0], 3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_query_text_cannot_serve_under_another_name() {
+        // The checksum covers the query bytes too: rot that renames a
+        // record must invalidate it, not serve the old row under the
+        // new name after a reopen.
+        let path = temp_path("query-rot");
+        {
+            let spill = SpillFile::create(&path).unwrap();
+            spill.on_evict("alpha", &[1.0, 2.0], 3);
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = 12 + RECORD_HEADER + "alpha".len() - 1; // last query byte
+        assert_eq!(bytes[at], b'a');
+        bytes[at] = b'b'; // "alpha" -> "alphb", still valid UTF-8
+        std::fs::write(&path, &bytes).unwrap();
+        let spill = SpillFile::open(&path).unwrap();
+        assert!(spill.recover("alphb").is_none(), "rotten record must not be indexed");
+        assert!(spill.recover("alpha").is_none());
+        assert_eq!(spill.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_rot_skips_one_record_and_keeps_the_rest() {
+        let path = temp_path("mid-rot");
+        {
+            let spill = SpillFile::create(&path).unwrap();
+            spill.on_evict("first", &[1.0], 1);
+            spill.on_evict("second", &[2.0, 2.5], 2);
+            spill.on_evict("third", &[3.0], 3);
+        }
+        // Rot a payload byte of the *first* record; its framing stays
+        // intact, so the scan must skip it and still index the rest.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = 12 + RECORD_HEADER + "first".len();
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let spill = SpillFile::open(&path).unwrap();
+        assert_eq!(spill.len(), 2, "one rotten record must not take its neighbours down");
+        assert!(spill.recover("first").is_none());
+        assert_eq!(spill.recover("second").unwrap(), (vec![2.0, 2.5], 2));
+        assert_eq!(spill.recover("third").unwrap(), (vec![3.0], 3));
+        std::fs::remove_file(&path).ok();
+    }
+}

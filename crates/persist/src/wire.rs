@@ -1,0 +1,214 @@
+//! Little-endian wire primitives shared by the snapshot and spill
+//! formats: a growable writer, a bounds-checked reader, and the FNV-1a
+//! checksum. Every multi-byte integer on disk goes through these, so
+//! endianness and truncation handling live in exactly one place.
+
+use crate::error::PersistError;
+
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash — the section/record checksum. Not
+/// cryptographic; it guards against bit rot and truncation, not
+/// adversaries (the compatibility policy in the crate docs says so).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
+}
+
+/// Continue an FNV-1a 64 hash over more bytes — for checksums over
+/// discontiguous parts of a record (everything but the checksum field
+/// itself).
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// An `f64` as its IEEE-754 bit pattern — the bitwise-round-trip
+    /// guarantee rests on never converting through decimal.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Raw bytes, caller-framed.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Overwrite 8 bytes at `at` with `v` — used to backpatch section
+    /// table offsets once payload positions are known.
+    pub fn patch_u64(&mut self, at: usize, v: u64) {
+        self.buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice. Every read
+/// past the end is [`PersistError::Truncated`] — no panics, no partial
+/// values.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Length-prefixed UTF-8 string; invalid UTF-8 is `Corrupt`, a
+    /// length beyond the data is `Truncated`.
+    pub fn get_str(&mut self) -> Result<String, PersistError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt("non-UTF-8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_primitive() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("schéma ▲");
+        w.put_str("");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_str().unwrap(), "schéma ▲");
+        assert_eq!(r.get_str().unwrap(), "");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut w = Writer::new();
+        w.put_u32(123);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..2]);
+        assert!(matches!(r.get_u32(), Err(PersistError::Truncated)));
+        // A string whose length prefix overruns the buffer.
+        let mut w = Writer::new();
+        w.put_u32(1000);
+        w.put_bytes(b"short");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_str(), Err(PersistError::Truncated)));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_str(), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        // Published FNV-1a test vector.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+    }
+
+    #[test]
+    fn patch_u64_backpatches_in_place() {
+        let mut w = Writer::new();
+        w.put_u64(0);
+        w.put_u8(9);
+        let at = 0;
+        w.patch_u64(at, 42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 42);
+        assert_eq!(r.get_u8().unwrap(), 9);
+    }
+}

@@ -61,6 +61,20 @@ impl TokenIndex {
         self.postings.keys().map(String::as_str)
     }
 
+    /// All `(token, postings)` entries in sorted token order — the
+    /// persistence export (`LabelStore::export_state`) walks this.
+    pub fn postings(&self) -> impl Iterator<Item = (&str, &[ElementRef])> {
+        self.postings.iter().map(|(token, elements)| (token.as_str(), elements.as_slice()))
+    }
+
+    /// Rebuild an index from exported `(token, postings)` pairs — the
+    /// persistence import path. Posting lists are taken verbatim (their
+    /// element order is part of the index contract); duplicate tokens
+    /// keep the last entry.
+    pub fn from_postings(postings: Vec<(String, Vec<ElementRef>)>) -> Self {
+        TokenIndex { postings: postings.into_iter().collect() }
+    }
+
     /// Schemas ranked by how many query tokens they contain (hit count,
     /// ties by id). The cheap pre-filter of the top-k matcher.
     pub fn rank_schemas(&self, query_tokens: &[&str]) -> Vec<(SchemaId, usize)> {

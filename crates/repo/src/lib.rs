@@ -40,4 +40,4 @@ pub use fragment::{fragments_for_clusters, Fragment};
 pub use index::TokenIndex;
 pub use intern::{LabelId, LabelInterner};
 pub use repository::{ElementRef, Repository, SchemaId};
-pub use store::{LabelStore, StoreConfig, StoreCounters};
+pub use store::{EvictionSink, LabelStore, StoreConfig, StoreCounters, StoreState};

@@ -93,6 +93,25 @@ impl Repository {
         }
     }
 
+    /// Reassemble a repository from a schema list and an already
+    /// imported label store — the warm-restart path `smx-persist`'s
+    /// snapshot loader uses instead of replaying [`add`](Self::add)
+    /// (which would rebuild profiles, postings, and score rows from
+    /// scratch).
+    ///
+    /// The store must describe exactly these schemas (one column map per
+    /// schema, labels resolving to the schemas' node names); the
+    /// snapshot decoder validates that before calling this.
+    pub fn from_parts(schemas: Vec<Schema>, store: LabelStore) -> Self {
+        debug_assert!(
+            schemas.iter().enumerate().all(|(i, s)| {
+                store.schema_labels(SchemaId(i as u32)).len() == s.len()
+            }),
+            "store column maps must match the schema list"
+        );
+        Repository { schemas: Arc::new(schemas), store: Arc::new(store) }
+    }
+
     /// Add a schema, returning its id. Updates the label store
     /// incrementally: new distinct labels are profiled, token postings
     /// appended — nothing is rebuilt.

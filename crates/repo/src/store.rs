@@ -45,6 +45,20 @@
 //! independent, so the batched sweep is bitwise identical to serving
 //! each query alone.
 //!
+//! # Spill: trading disk for recompute
+//!
+//! With an [`EvictionSink`] installed (see `smx-persist`'s `SpillFile`),
+//! evicted rows are handed to the sink *after the cache lock is
+//! released* instead of being discarded, and a later miss consults the
+//! sink before sweeping: a fully recovered row costs zero pair
+//! evaluations, a shorter one (the store grew since the spill) serves as
+//! a stale prefix and only its tail is swept. Spilled-then-faulted rows
+//! are byte-for-byte the rows that were evicted, so they are bitwise
+//! identical to recompute. [`LabelStore::export_state`] /
+//! [`LabelStore::import_state`] snapshot and restore the whole hot state
+//! (labels, per-schema column maps, token index, cached rows in LRU
+//! order) for warm restarts.
+//!
 //! # Score-identity contract
 //!
 //! [`LabelStore::score_row`] values are bitwise identical to
@@ -56,7 +70,7 @@
 
 use crate::index::TokenIndex;
 use crate::intern::{LabelId, LabelInterner};
-use crate::repository::SchemaId;
+use crate::repository::{ElementRef, SchemaId};
 use parking_lot::RwLock;
 use smx_text::{LabelProfile, RowKernel};
 use smx_xml::Schema;
@@ -71,6 +85,25 @@ const PARALLEL_SWEEP_MIN_PAIRS: usize = 1024;
 /// Sentinel for "no bound" in the atomic `max_cached_rows` cell.
 const UNBOUNDED: usize = usize::MAX;
 
+/// FNV-1a 64 offset basis / prime — the label-prefix fingerprint hash.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Continue an FNV-1a 64 hash over more bytes.
+fn fnv_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Extend a label-prefix fingerprint by one label (length-framed, so
+/// concatenation ambiguities cannot collide two different prefixes).
+fn fingerprint_push(hash: u64, label: &str) -> u64 {
+    fnv_extend(fnv_extend(hash, &(label.len() as u32).to_le_bytes()), label.as_bytes())
+}
+
 /// Configuration of a [`LabelStore`]'s score-row cache and batch sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreConfig {
@@ -82,6 +115,75 @@ pub struct StoreConfig {
     /// Worker threads for batched row sweeps ([`LabelStore::score_rows`]);
     /// `0` means auto (available parallelism). Small sweeps stay
     /// single-threaded regardless.
+    pub batch_threads: usize,
+}
+
+/// Receiver for rows evicted from a [`LabelStore`]'s bounded row cache —
+/// the hook `smx-persist`'s spill file implements so a memory bound
+/// trades disk for recompute instead of discarding work.
+///
+/// The store calls [`on_evict`](EvictionSink::on_evict) for every
+/// evicted row **after releasing the cache lock** (sink I/O never blocks
+/// concurrent row lookups), and consults
+/// [`recover`](EvictionSink::recover) on a cache miss before sweeping.
+/// Recovered rows must be byte-for-byte what was spilled: the store
+/// trusts them as valid row prefixes (label ids are append-only, so a
+/// shorter recovered row is still a correct prefix of the grown label
+/// list).
+///
+/// # The fingerprint
+///
+/// A sink may legitimately outlive one store and be consulted by
+/// another — clones of a repository diverge (each `add`ing different
+/// schemas) while still sharing the sink installed before the split. A
+/// spilled row is only correct for a store whose first `row.len()`
+/// labels are the ones the row was computed against, so the store
+/// passes its label-prefix fingerprint
+/// ([`LabelStore::labels_fingerprint`]) at spill time, the sink stores
+/// it with the row, and recovery hands it back for the store to check.
+/// A mismatch makes the store discard the recovery and recompute —
+/// never serve another lineage's distances.
+pub trait EvictionSink: Send + Sync {
+    /// Persist one evicted row together with the fingerprint of the
+    /// label prefix it covers. Returns whether the sink accepted it — a
+    /// best-effort sink declines (returns `false`) after e.g. an I/O
+    /// error, and the row is then simply dropped as if unspilled.
+    fn on_evict(&self, query: &str, row: &[f64], labels_fingerprint: u64) -> bool;
+
+    /// Recover a previously spilled row and the fingerprint recorded
+    /// with it, if the sink holds one. `None` on unknown queries *and*
+    /// on any read/integrity failure — the store falls back to
+    /// recomputing, which is always correct.
+    fn recover(&self, query: &str) -> Option<(Vec<f64>, u64)>;
+}
+
+/// Plain-data image of a [`LabelStore`]'s hot state, produced by
+/// [`LabelStore::export_state`] and consumed by
+/// [`LabelStore::import_state`]. `smx-persist` encodes this to its
+/// on-disk snapshot format; keeping the struct here lets the store keep
+/// every internal field private.
+///
+/// Label profiles are deliberately *not* part of the image:
+/// [`LabelProfile::new`] is a pure function of the label text, so import
+/// rebuilds them from `labels` — cheaper than decoding the prepared
+/// Myers tables and gram profiles, and bitwise-equivalent by the kernel
+/// contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreState {
+    /// Distinct labels in [`LabelId`] order. Must be duplicate-free;
+    /// `labels[id.index()]` resolves the id.
+    pub labels: Vec<String>,
+    /// Per schema (by id), the label id of each node in arena order.
+    pub schema_labels: Vec<Vec<u32>>,
+    /// The token inverted index as `(token, postings)` pairs.
+    pub postings: Vec<(String, Vec<ElementRef>)>,
+    /// Cached score rows as `(query, distances)`, least recently used
+    /// first — import re-stamps them in order, preserving LRU behaviour
+    /// across a restart.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// The store's cache bound ([`StoreConfig::max_cached_rows`]).
+    pub max_cached_rows: Option<usize>,
+    /// The store's sweep worker count ([`StoreConfig::batch_threads`]).
     pub batch_threads: usize,
 }
 
@@ -109,6 +211,12 @@ pub struct StoreCounters {
     pub row_lookups: u64,
     /// Rows evicted by the LRU bound.
     pub row_evictions: u64,
+    /// Evicted rows accepted by the installed [`EvictionSink`] (0
+    /// without a sink — evicted rows are then discarded).
+    pub row_spills: u64,
+    /// Missed rows served (fully or as a reusable prefix) from the
+    /// eviction sink instead of being recomputed from scratch.
+    pub row_spill_recoveries: u64,
 }
 
 /// One cached score row plus its recency stamp. The stamp is atomic so
@@ -134,6 +242,11 @@ pub struct LabelStore {
     interner: LabelInterner,
     /// `profiles[id.index()]` is the profile of `interner.resolve(id)`.
     profiles: Vec<LabelProfile>,
+    /// `prefix_hashes[i]` fingerprints labels `0..i` — what spilled
+    /// rows are stamped with so recovery can reject rows computed
+    /// against a diverged clone's label list. Always `profiles.len()+1`
+    /// entries; `prefix_hashes[0]` is the hash offset basis.
+    prefix_hashes: Vec<u64>,
     /// Per schema (by id), the label of each node in arena order.
     schema_labels: Vec<Vec<LabelId>>,
     index: TokenIndex,
@@ -148,6 +261,9 @@ pub struct LabelStore {
     max_cached_rows: AtomicUsize,
     /// Worker threads for batched sweeps (0 = auto).
     batch_threads: usize,
+    /// Where evicted rows go instead of the void ([`EvictionSink`]);
+    /// consulted on misses before sweeping. Shared across clones.
+    sink: RwLock<Option<Arc<dyn EvictionSink>>>,
     /// How many label profiles were ever built (label-level work).
     profile_builds: AtomicU64,
     /// How many (query, label) kernel evaluations were ever run
@@ -157,6 +273,8 @@ pub struct LabelStore {
     row_misses: AtomicU64,
     row_lookups: AtomicU64,
     row_evictions: AtomicU64,
+    row_spills: AtomicU64,
+    row_spill_recoveries: AtomicU64,
 }
 
 /// A query the current `score_rows` call must sweep: its first-seen text,
@@ -179,18 +297,22 @@ impl LabelStore {
         LabelStore {
             interner: LabelInterner::new(),
             profiles: Vec::new(),
+            prefix_hashes: vec![FNV_OFFSET],
             schema_labels: Vec::new(),
             index: TokenIndex::default(),
             rows: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
             max_cached_rows: AtomicUsize::new(config.max_cached_rows.unwrap_or(UNBOUNDED)),
             batch_threads: config.batch_threads,
+            sink: RwLock::new(None),
             profile_builds: AtomicU64::new(0),
             pair_evals: AtomicU64::new(0),
             row_hits: AtomicU64::new(0),
             row_misses: AtomicU64::new(0),
             row_lookups: AtomicU64::new(0),
             row_evictions: AtomicU64::new(0),
+            row_spills: AtomicU64::new(0),
+            row_spill_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -207,8 +329,23 @@ impl LabelStore {
     /// cache already exceeds the new bound. `None` removes the bound.
     pub fn set_max_cached_rows(&self, max: Option<usize>) {
         self.max_cached_rows.store(max.unwrap_or(UNBOUNDED), Relaxed);
-        let mut cache = self.rows.write();
-        self.evict_over_cap(&mut cache);
+        let victims = {
+            let mut cache = self.rows.write();
+            self.evict_over_cap(&mut cache)
+        };
+        self.spill_victims(victims);
+    }
+
+    /// Install (or remove, with `None`) the [`EvictionSink`] evicted
+    /// rows are handed to. The sink is shared across clones of this
+    /// store; sink I/O always happens outside the row-cache lock.
+    pub fn set_eviction_sink(&self, sink: Option<Arc<dyn EvictionSink>>) {
+        *self.sink.write() = sink;
+    }
+
+    /// Whether an eviction sink is currently installed.
+    pub fn has_eviction_sink(&self) -> bool {
+        self.sink.read().is_some()
     }
 
     /// Ingest one schema: intern its labels (building profiles only for
@@ -220,7 +357,10 @@ impl LabelStore {
         let known = self.interner.len();
         let labels = self.interner.intern_schema(schema);
         for id in known..self.interner.len() {
-            self.profiles.push(LabelProfile::new(self.interner.resolve(LabelId(id as u32))));
+            let label = self.interner.resolve(LabelId(id as u32));
+            self.profiles.push(LabelProfile::new(label));
+            let last = *self.prefix_hashes.last().expect("offset basis always present");
+            self.prefix_hashes.push(fingerprint_push(last, label));
         }
         self.profile_builds.fetch_add((self.interner.len() - known) as u64, Relaxed);
         self.schema_labels.push(labels);
@@ -245,6 +385,14 @@ impl LabelStore {
     /// The profile of one stored label.
     pub fn profile(&self, id: LabelId) -> &LabelProfile {
         &self.profiles[id.index()]
+    }
+
+    /// Fingerprint of the first `prefix` labels (length-framed FNV-1a
+    /// 64). Two stores agree on a fingerprint iff they agree on that
+    /// label prefix, which is exactly what makes a spilled row of that
+    /// length transferable between them — see [`EvictionSink`].
+    pub fn labels_fingerprint(&self, prefix: usize) -> u64 {
+        self.prefix_hashes[prefix]
     }
 
     /// Per-node label ids of `sid`, arena order — the column map a cost
@@ -313,45 +461,92 @@ impl LabelStore {
             }
         }
         if !pending.is_empty() {
-            self.fill_pending(&mut out, &pending, n);
+            self.fill_pending(&mut out, &mut pending, n);
         }
         out.into_iter().map(|row| row.expect("every slot filled")).collect()
     }
 
     /// Sweep all pending rows and install them under one write lock,
-    /// updating counters and evicting past the LRU bound.
-    fn fill_pending(&self, out: &mut [Option<Arc<Vec<f64>>>], pending: &[PendingRow<'_>], n: usize) {
-        let kernels: Vec<(RowKernel, usize)> = pending
+    /// updating counters and evicting past the LRU bound. Rows absent
+    /// from memory are first offered to the eviction sink: a spilled row
+    /// faults back in as a (possibly complete) prefix, so only the tail
+    /// the store grew since the spill — often nothing — is recomputed.
+    /// All sink I/O and evicted-row spilling happens outside the cache
+    /// lock.
+    fn fill_pending(
+        &self,
+        out: &mut [Option<Arc<Vec<f64>>>],
+        pending: &mut [PendingRow<'_>],
+        n: usize,
+    ) {
+        let sink = self.sink.read().clone();
+        let mut recovered = vec![false; pending.len()];
+        if let Some(sink) = &sink {
+            for (p, rec) in pending.iter_mut().zip(&mut recovered) {
+                if p.prefix.is_none() {
+                    // Trust a recovered row only if it is a plausible
+                    // prefix (rows longer than the label list cannot
+                    // come from this store's history) *and* its
+                    // fingerprint proves it was computed against our
+                    // label prefix — not a diverged clone's.
+                    if let Some((row, fingerprint)) = sink.recover(p.query) {
+                        if row.len() <= n && fingerprint == self.prefix_hashes[row.len()] {
+                            p.prefix = Some(Arc::new(row));
+                            *rec = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Fully recovered/hot-prefix rows need no kernel at all — don't
+        // pay the query-profile build for a zero-length tail.
+        let kernels: Vec<(Option<RowKernel>, usize)> = pending
             .iter()
             .map(|p| {
-                (RowKernel::new(p.query), p.prefix.as_ref().map_or(0, |prefix| prefix.len()))
+                let start = p.prefix.as_ref().map_or(0, |prefix| prefix.len());
+                ((start < n).then(|| RowKernel::new(p.query)), start)
             })
             .collect();
         let tails = self.sweep(&kernels, n);
         let computed: u64 = kernels.iter().map(|&(_, start)| (n - start) as u64).sum();
-        let mut cache = self.rows.write();
-        self.pair_evals.fetch_add(computed, Relaxed);
-        for (p, tail) in pending.iter().zip(tails) {
-            // One miss per swept row; batch-internal duplicates were
-            // served from the in-flight row and count as hits.
-            self.row_lookups.fetch_add(p.slots.len() as u64, Relaxed);
-            self.row_misses.fetch_add(1, Relaxed);
-            self.row_hits.fetch_add(p.slots.len() as u64 - 1, Relaxed);
-            let mut row = Vec::with_capacity(n);
-            if let Some(prefix) = &p.prefix {
-                row.extend_from_slice(prefix);
+        let victims;
+        {
+            let mut cache = self.rows.write();
+            self.pair_evals.fetch_add(computed, Relaxed);
+            for ((p, rec), tail) in pending.iter().zip(&recovered).zip(tails) {
+                // One miss per row not served from memory; batch-internal
+                // duplicates were served from the in-flight row and count
+                // as hits.
+                self.row_lookups.fetch_add(p.slots.len() as u64, Relaxed);
+                self.row_misses.fetch_add(1, Relaxed);
+                self.row_hits.fetch_add(p.slots.len() as u64 - 1, Relaxed);
+                if *rec {
+                    self.row_spill_recoveries.fetch_add(1, Relaxed);
+                }
+                let row = match &p.prefix {
+                    // A complete prefix (recovered or cached) is reused
+                    // as-is — no copy, no appended tail.
+                    Some(prefix) if prefix.len() == n => Arc::clone(prefix),
+                    prefix => {
+                        let mut row = Vec::with_capacity(n);
+                        if let Some(prefix) = prefix {
+                            row.extend_from_slice(prefix);
+                        }
+                        row.extend(tail);
+                        Arc::new(row)
+                    }
+                };
+                for &slot in &p.slots {
+                    out[slot] = Some(Arc::clone(&row));
+                }
+                cache.insert(
+                    p.query.to_owned(),
+                    CachedRow { row, last_used: AtomicU64::new(self.tick()) },
+                );
             }
-            row.extend(tail);
-            let row = Arc::new(row);
-            for &slot in &p.slots {
-                out[slot] = Some(Arc::clone(&row));
-            }
-            cache.insert(
-                p.query.to_owned(),
-                CachedRow { row, last_used: AtomicU64::new(self.tick()) },
-            );
+            victims = self.evict_over_cap(&mut cache);
         }
-        self.evict_over_cap(&mut cache);
+        self.spill_victims(victims);
     }
 
     /// Compute each kernel's missing row tail (`start..n`) by one tiled
@@ -361,7 +556,7 @@ impl LabelStore {
     /// loop — profile loads are amortised across the whole batch instead
     /// of repeated per query. Chunks go to scoped workers when the
     /// pending work is large enough to pay for them.
-    fn sweep(&self, kernels: &[(RowKernel, usize)], n: usize) -> Vec<Vec<f64>> {
+    fn sweep(&self, kernels: &[(Option<RowKernel>, usize)], n: usize) -> Vec<Vec<f64>> {
         let threads = self.sweep_threads(kernels, n);
         if threads <= 1 {
             return Self::sweep_chunk(kernels, &self.profiles, 0);
@@ -403,7 +598,7 @@ impl LabelStore {
     /// `offset..offset + profiles.len()` (clipped to each kernel's own
     /// `start`), computed by the kernel's streaming row loop.
     fn sweep_chunk(
-        kernels: &[(RowKernel, usize)],
+        kernels: &[(Option<RowKernel>, usize)],
         profiles: &[LabelProfile],
         offset: usize,
     ) -> Vec<Vec<f64>> {
@@ -412,8 +607,10 @@ impl LabelStore {
             .map(|(kernel, start)| {
                 let skip = start.saturating_sub(offset);
                 let mut row = Vec::new();
-                if skip < profiles.len() {
-                    kernel.distances_into(&profiles[skip..], &mut row);
+                if let Some(kernel) = kernel {
+                    if skip < profiles.len() {
+                        kernel.distances_into(&profiles[skip..], &mut row);
+                    }
                 }
                 row
             })
@@ -424,7 +621,7 @@ impl LabelStore {
     /// [`PARALLEL_SWEEP_MIN_PAIRS`], else the configured/auto thread
     /// count — capped so every worker keeps at least that many pairs
     /// (and by the column count).
-    fn sweep_threads(&self, kernels: &[(RowKernel, usize)], n: usize) -> usize {
+    fn sweep_threads(&self, kernels: &[(Option<RowKernel>, usize)], n: usize) -> usize {
         let work: usize = kernels.iter().map(|&(_, start)| n - start).sum();
         if work < PARALLEL_SWEEP_MIN_PAIRS {
             return 1;
@@ -443,23 +640,48 @@ impl LabelStore {
     }
 
     /// Evict least-recently-used rows until the cache respects the
-    /// configured bound. Called with the write lock held. One stamp
-    /// scan + one partial sort of the victims, so tightening the bound
-    /// on a large live cache stays `O(len log len)`, not `O(len²)`.
-    fn evict_over_cap(&self, cache: &mut HashMap<String, CachedRow>) {
+    /// configured bound, returning the victims so the caller can hand
+    /// them to the eviction sink *after* dropping the lock. Called with
+    /// the write lock held. One stamp scan + one partial sort of the
+    /// victims, so tightening the bound on a large live cache stays
+    /// `O(len log len)`, not `O(len²)`.
+    #[must_use = "victims must be offered to the eviction sink outside the lock"]
+    fn evict_over_cap(&self, cache: &mut HashMap<String, CachedRow>) -> Vec<(String, Arc<Vec<f64>>)> {
         let cap = self.max_cached_rows.load(Relaxed);
         let Some(excess) = cache.len().checked_sub(cap).filter(|&e| e > 0) else {
-            return;
+            return Vec::new();
         };
         let mut stamps: Vec<(u64, String)> = cache
             .iter()
             .map(|(key, entry)| (entry.last_used.load(Relaxed), key.clone()))
             .collect();
         stamps.select_nth_unstable(excess - 1);
-        for (_, key) in &stamps[..excess] {
-            cache.remove(key);
-        }
+        let victims = stamps[..excess]
+            .iter()
+            .map(|(_, key)| {
+                let (key, entry) =
+                    cache.remove_entry(key).expect("victim key came from the cache");
+                (key, entry.row)
+            })
+            .collect();
         self.row_evictions.fetch_add(excess as u64, Relaxed);
+        victims
+    }
+
+    /// Offer evicted rows to the installed sink (if any). Runs with no
+    /// cache lock held — sink I/O never blocks row lookups.
+    fn spill_victims(&self, victims: Vec<(String, Arc<Vec<f64>>)>) {
+        if victims.is_empty() {
+            return;
+        }
+        let Some(sink) = self.sink.read().clone() else { return };
+        let spilled = victims
+            .iter()
+            .filter(|(query, row)| {
+                sink.on_evict(query, row.as_slice(), self.prefix_hashes[row.len()])
+            })
+            .count();
+        self.row_spills.fetch_add(spilled as u64, Relaxed);
     }
 
     /// Number of query labels with a cached score row.
@@ -496,6 +718,119 @@ impl LabelStore {
             row_misses: self.row_misses.load(Relaxed),
             row_lookups: self.row_lookups.load(Relaxed),
             row_evictions: self.row_evictions.load(Relaxed),
+            row_spills: self.row_spills.load(Relaxed),
+            row_spill_recoveries: self.row_spill_recoveries.load(Relaxed),
+        }
+    }
+
+    /// Snapshot the store's hot state — interned labels, per-schema
+    /// column maps, token index, cached score rows in LRU order, and the
+    /// cache configuration — as plain data for `smx-persist` to encode.
+    ///
+    /// Taken under the exclusive row lock, so the row image is
+    /// internally consistent even while concurrent matchers fill rows.
+    /// Work counters are *not* part of the image: they describe the
+    /// process, not the repository.
+    pub fn export_state(&self) -> StoreState {
+        // Snapshot (stamp, query, Arc) under the exclusive lock — cheap
+        // — then sort and materialise the row copies after releasing
+        // it, so a large export doesn't stall concurrent matchers.
+        let mut rows: Vec<(u64, String, Arc<Vec<f64>>)> = {
+            let cache = self.rows.write();
+            cache
+                .iter()
+                .map(|(query, entry)| {
+                    (entry.last_used.load(Relaxed), query.clone(), Arc::clone(&entry.row))
+                })
+                .collect()
+        };
+        // Oldest first (ties broken by query text so exports are
+        // deterministic), so import can re-stamp in order.
+        rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        StoreState {
+            labels: (0..self.interner.len())
+                .map(|id| self.interner.resolve(LabelId(id as u32)).to_owned())
+                .collect(),
+            schema_labels: self
+                .schema_labels
+                .iter()
+                .map(|labels| labels.iter().map(|id| id.0).collect())
+                .collect(),
+            postings: self
+                .index
+                .postings()
+                .map(|(token, elements)| (token.to_owned(), elements.to_vec()))
+                .collect(),
+            rows: rows
+                .into_iter()
+                .map(|(_, query, row)| (query, (*row).clone()))
+                .collect(),
+            max_cached_rows: self.config().max_cached_rows,
+            batch_threads: self.batch_threads,
+        }
+    }
+
+    /// Rebuild a store from an exported (or snapshot-decoded) image.
+    ///
+    /// Labels are re-interned in id order and their [`LabelProfile`]s
+    /// rebuilt (a pure function of the label text, so row values stay
+    /// bitwise identical); cached rows are re-stamped in the image's LRU
+    /// order. If the image holds more rows than `max_cached_rows`
+    /// allows, only the most recently used rows are kept. Counters start
+    /// fresh except `profile_builds`, which counts the rebuilds this
+    /// import performed.
+    ///
+    /// The image must be internally consistent (distinct labels, column
+    /// ids within range, row lengths no longer than the label list) —
+    /// `smx-persist` validates decoded snapshots before calling this.
+    pub fn import_state(state: StoreState) -> LabelStore {
+        let mut interner = LabelInterner::new();
+        let mut profiles = Vec::with_capacity(state.labels.len());
+        let mut prefix_hashes = Vec::with_capacity(state.labels.len() + 1);
+        prefix_hashes.push(FNV_OFFSET);
+        for label in &state.labels {
+            let id = interner.intern(label);
+            debug_assert_eq!(
+                id.index(),
+                profiles.len(),
+                "state labels must be distinct and in id order"
+            );
+            profiles.push(LabelProfile::new(label));
+            let last = *prefix_hashes.last().expect("offset basis always present");
+            prefix_hashes.push(fingerprint_push(last, label));
+        }
+        let schema_labels: Vec<Vec<LabelId>> = state
+            .schema_labels
+            .into_iter()
+            .map(|labels| labels.into_iter().map(LabelId).collect())
+            .collect();
+        let cap = state.max_cached_rows.unwrap_or(UNBOUNDED);
+        let keep_from = state.rows.len().saturating_sub(cap);
+        let mut rows = HashMap::with_capacity(state.rows.len() - keep_from);
+        let mut clock = 0u64;
+        for (query, row) in state.rows.into_iter().skip(keep_from) {
+            clock += 1;
+            rows.insert(query, CachedRow { row: Arc::new(row), last_used: AtomicU64::new(clock) });
+        }
+        LabelStore {
+            profile_builds: AtomicU64::new(profiles.len() as u64),
+            interner,
+            profiles,
+            prefix_hashes,
+            schema_labels,
+            index: TokenIndex::from_postings(state.postings),
+            rows: RwLock::new(rows),
+            clock: AtomicU64::new(clock),
+            max_cached_rows: AtomicUsize::new(cap),
+            batch_threads: state.batch_threads,
+            sink: RwLock::new(None),
+            pair_evals: AtomicU64::new(0),
+            row_hits: AtomicU64::new(0),
+            row_misses: AtomicU64::new(0),
+            row_lookups: AtomicU64::new(0),
+            row_evictions: AtomicU64::new(0),
+            row_spills: AtomicU64::new(0),
+            row_spill_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -527,18 +862,22 @@ impl Clone for LabelStore {
         LabelStore {
             interner: self.interner.clone(),
             profiles: self.profiles.clone(),
+            prefix_hashes: self.prefix_hashes.clone(),
             schema_labels: self.schema_labels.clone(),
             index: self.index.clone(),
             rows: RwLock::new((*rows).clone()),
             clock: AtomicU64::new(self.clock.load(Relaxed)),
             max_cached_rows: AtomicUsize::new(self.max_cached_rows.load(Relaxed)),
             batch_threads: self.batch_threads,
+            sink: RwLock::new(self.sink.read().clone()),
             profile_builds: AtomicU64::new(self.profile_builds.load(Relaxed)),
             pair_evals: AtomicU64::new(self.pair_evals.load(Relaxed)),
             row_hits: AtomicU64::new(self.row_hits.load(Relaxed)),
             row_misses: AtomicU64::new(self.row_misses.load(Relaxed)),
             row_lookups: AtomicU64::new(self.row_lookups.load(Relaxed)),
             row_evictions: AtomicU64::new(self.row_evictions.load(Relaxed)),
+            row_spills: AtomicU64::new(self.row_spills.load(Relaxed)),
+            row_spill_recoveries: AtomicU64::new(self.row_spill_recoveries.load(Relaxed)),
         }
     }
 }
@@ -769,6 +1108,159 @@ mod tests {
         store.score_row("f");
         assert_eq!(store.cached_rows(), 3);
         assert_eq!(store.config(), StoreConfig::default());
+    }
+
+    /// In-memory [`EvictionSink`] double: spilled rows land in a map.
+    #[derive(Default)]
+    struct MemorySink {
+        spilled: parking_lot::Mutex<HashMap<String, (Vec<f64>, u64)>>,
+    }
+
+    impl EvictionSink for MemorySink {
+        fn on_evict(&self, query: &str, row: &[f64], labels_fingerprint: u64) -> bool {
+            self.spilled.lock().insert(query.to_owned(), (row.to_vec(), labels_fingerprint));
+            true
+        }
+
+        fn recover(&self, query: &str) -> Option<(Vec<f64>, u64)> {
+            self.spilled.lock().get(query).cloned()
+        }
+    }
+
+    #[test]
+    fn evicted_rows_spill_and_fault_back_without_recompute() {
+        let r = repo();
+        let store = r.store();
+        let sink = Arc::new(MemorySink::default());
+        store.set_eviction_sink(Some(Arc::clone(&sink) as Arc<dyn EvictionSink>));
+        assert!(store.has_eviction_sink());
+        store.set_max_cached_rows(Some(1));
+        let first = store.score_row("alpha");
+        store.score_row("beta"); // evicts alpha → spilled
+        assert_eq!(sink.spilled.lock().len(), 1);
+        let evals = store.pair_evals();
+        let again = store.score_row("alpha"); // faults back from the sink
+        assert_eq!(store.pair_evals(), evals, "recovered row must not re-evaluate pairs");
+        assert_eq!(first.len(), again.len());
+        for (a, b) in first.iter().zip(again.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let c = store.counters();
+        assert_eq!(c.row_spills, 2, "alpha and then beta were spilled");
+        assert_eq!(c.row_spill_recoveries, 1);
+        assert_eq!(c.row_hits + c.row_misses, c.row_lookups);
+    }
+
+    #[test]
+    fn spilled_prefix_extends_after_add() {
+        let mut r = repo();
+        r.store().set_eviction_sink(Some(Arc::new(MemorySink::default())));
+        r.store().set_max_cached_rows(Some(1));
+        r.store().score_row("alpha");
+        r.store().score_row("beta"); // alpha spilled at the old length
+        r.add(
+            SchemaBuilder::new("extra")
+                .root("warehouse")
+                .leaf("isbn", PrimitiveType::String)
+                .build(),
+        );
+        let store = r.store();
+        let evals = store.pair_evals();
+        let row = store.score_row("alpha"); // prefix from sink + 2-column tail
+        assert_eq!(store.pair_evals(), evals + 2, "only the new columns are swept");
+        assert_eq!(store.counters().row_spill_recoveries, 1);
+        store.set_eviction_sink(None);
+        store.clear_rows();
+        let fresh = store.score_row("alpha");
+        assert_eq!(row.len(), fresh.len());
+        for (a, b) in row.iter().zip(fresh.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn diverged_clones_reject_each_others_spilled_rows() {
+        // Two repository clones share the sink installed before they
+        // diverge; after divergence their label lists differ, so a row
+        // one lineage spilled must never be served by the other.
+        let mut r1 = repo();
+        r1.store().set_eviction_sink(Some(Arc::new(MemorySink::default())));
+        r1.store().set_max_cached_rows(Some(1));
+        let mut r2 = r1.clone();
+        r1.add(
+            SchemaBuilder::new("a").root("host").leaf("lineageOne", PrimitiveType::String).build(),
+        );
+        r2.add(
+            SchemaBuilder::new("b").root("host").leaf("lineageTwo", PrimitiveType::String).build(),
+        );
+        assert_eq!(r1.store().len(), r2.store().len(), "equal lengths, different labels");
+        // r1 computes and spills "query" (full length, r1's labels).
+        r1.store().score_row("query");
+        r1.store().score_row("evictor");
+        // r2 misses "query": the shared sink holds r1's row of equal
+        // length, but the fingerprint mismatch forces a recompute.
+        let row = r2.store().score_row("query");
+        assert_eq!(
+            r2.store().counters().row_spill_recoveries,
+            0,
+            "a diverged lineage's spilled row must be rejected"
+        );
+        let scalar = NameSimilarity::default();
+        for (id, d) in row.iter().enumerate() {
+            let label = r2.store().interner().resolve(LabelId(id as u32));
+            assert_eq!(d.to_bits(), scalar.distance("query", label).to_bits(), "{label:?}");
+        }
+        // Same-lineage recovery still works: r1 faults its own row back.
+        let evals = r1.store().pair_evals();
+        r1.store().score_row("query");
+        assert_eq!(r1.store().pair_evals(), evals, "own spilled row must fault back");
+    }
+
+    #[test]
+    fn export_import_round_trips_hot_state() {
+        let mut r = repo();
+        let store = r.store();
+        store.score_row("orderTitle");
+        store.score_row("title");
+        store.score_row("orderTitle"); // refresh: title is now the LRU row
+        let state = store.export_state();
+        assert_eq!(state.labels.len(), store.len());
+        assert_eq!(state.rows.len(), 2);
+        assert_eq!(state.rows[0].0, "title", "rows export least recently used first");
+        let imported = LabelStore::import_state(state.clone());
+        assert_eq!(imported.len(), store.len());
+        assert_eq!(imported.cached_rows(), 2);
+        assert_eq!(imported.profile_builds(), store.len() as u64);
+        for id in 0..store.len() {
+            let id = LabelId(id as u32);
+            assert_eq!(imported.interner().resolve(id), store.interner().resolve(id));
+        }
+        for sid in [SchemaId(0), SchemaId(1)] {
+            assert_eq!(imported.schema_labels(sid), store.schema_labels(sid));
+        }
+        assert_eq!(
+            imported.token_index().postings().count(),
+            store.token_index().postings().count()
+        );
+        // Restored rows serve bitwise-identically with zero pair evals.
+        for query in ["orderTitle", "title"] {
+            let a = store.score_row(query);
+            let b = imported.score_row(query);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{query:?}");
+            }
+        }
+        assert_eq!(imported.pair_evals(), 0, "imported rows must be served from cache");
+        // LRU order survives the round-trip: under a cap of 1, the
+        // *least* recently used row ("title") is the one dropped.
+        let mut tight = state;
+        tight.max_cached_rows = Some(1);
+        let bounded = LabelStore::import_state(tight);
+        assert_eq!(bounded.cached_rows(), 1);
+        assert!(bounded.has_cached_row("orderTitle"));
+        assert!(!bounded.has_cached_row("title"));
+        // And the imported store keeps growing incrementally.
+        r.add(SchemaBuilder::new("x").root("brandNew").build());
     }
 
     #[test]

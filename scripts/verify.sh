@@ -11,27 +11,34 @@
 #      examples, figure binaries)
 #   4. benches compile (`cargo bench --no-run`) so perf regressions can
 #      always be measured
-#   5. bench-regression guard: a fresh scripts/bench_matching.sh run must
+#   5. snapshot round-trip smoke check: examples/warm_restart saves a
+#      snapshot, loads it, and asserts the loaded repository matches
+#      bitwise (it exits non-zero on any divergence)
+#   6. bench-regression guard: a fresh scripts/bench_matching.sh run must
 #      not regress matchers/s1_exhaustive_cold (fresh problem, warm
-#      repository store), matrix_fill/cold (full row-kernel sweep), or
-#      matrix_fill/batch (32-schema batch cold fill) by more than 25%
+#      repository store), matrix_fill/cold (full row-kernel sweep),
+#      matrix_fill/batch (32-schema batch cold fill), or
+#      restart/snapshot_load (smx-persist warm restart) by more than 25%
 #      against the committed BENCH_matching.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/5] cargo build --release"
+echo "== [1/6] cargo build --release"
 cargo build --release
 
-echo "== [2/5] cargo test -q"
+echo "== [2/6] cargo test -q"
 cargo test -q
 
-echo "== [3/5] cargo clippy --all-targets -- -D warnings"
+echo "== [3/6] cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== [4/5] cargo bench --no-run"
+echo "== [4/6] cargo bench --no-run"
 cargo bench -p smx-bench --no-run
 
-echo "== [5/5] bench-regression guard (s1_exhaustive_cold + matrix_fill/{cold,batch}, +25% budget)"
+echo "== [5/6] snapshot round-trip smoke (examples/warm_restart)"
+cargo run --release --example warm_restart >/dev/null
+
+echo "== [6/6] bench-regression guard (s1_exhaustive_cold + matrix_fill/{cold,batch} + restart/snapshot_load, +25% budget)"
 # The committed baseline is absolute ns from the machine that produced
 # BENCH_matching.json; on different/slower hardware export
 # SMX_BENCH_GUARD=0 to skip (and regenerate the baseline with
@@ -49,9 +56,16 @@ import json, sys
 
 # Guard the end-to-end headline (fresh problem against a warm
 # repository store), the genuinely cold row-kernel sweep — a kernel
-# regression is invisible to the first key once rows are cached — and
-# the batch cold fill (the bulk serving path).
-KEYS = ["matchers/s1_exhaustive_cold", "matrix_fill/cold", "matrix_fill/batch"]
+# regression is invisible to the first key once rows are cached — the
+# batch cold fill (the bulk serving path), and the snapshot load (the
+# warm-restart path; a decoder regression would silently erode the
+# restart.snapshot_speedup_x acceptance ratio).
+KEYS = [
+    "matchers/s1_exhaustive_cold",
+    "matrix_fill/cold",
+    "matrix_fill/batch",
+    "restart/snapshot_load",
+]
 BUDGET = 1.25
 
 committed = json.load(open(sys.argv[1]))["results"]

@@ -12,6 +12,7 @@
 //! * [`eval`] — retrieval evaluation (answer sets, P/R curves, pooling),
 //! * [`bounds`] — the paper's contribution: effectiveness bounds,
 //! * [`repo`] — schema repository and clustering,
+//! * [`persist`] — snapshot + spill persistence for warm restarts,
 //! * [`synth`] — synthetic scenarios with known ground truth,
 //! * [`matching`] — exhaustive S1 and non-exhaustive S2 matchers,
 //! * [`pipeline`] — scenario → matcher → curve → bounds wiring.
@@ -23,6 +24,7 @@ pub mod pipeline;
 pub use smx_core as bounds;
 pub use smx_eval as eval;
 pub use smx_match as matching;
+pub use smx_persist as persist;
 pub use smx_repo as repo;
 pub use smx_synth as synth;
 pub use smx_text as text;
