@@ -22,7 +22,10 @@ fn synthetic_curve(n: usize) -> (PrCurve, Vec<usize>) {
         counts.push((i as f64 / n as f64, Counts::new(answers, correct)));
         sizes.push((answers as f64 * 0.8) as usize);
     }
-    (PrCurve::from_counts(truth, counts).expect("valid synthetic curve"), sizes)
+    (
+        PrCurve::from_counts(truth, counts).expect("valid synthetic curve"),
+        sizes,
+    )
 }
 
 fn bench_pointwise(c: &mut Criterion) {
@@ -55,7 +58,12 @@ fn bench_envelope(c: &mut Criterion) {
     for n in [10usize, 100] {
         let (curve, sizes) = synthetic_curve(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(BoundsEnvelope::from_sizes(black_box(&curve), black_box(&sizes))))
+            b.iter(|| {
+                black_box(BoundsEnvelope::from_sizes(
+                    black_box(&curve),
+                    black_box(&sizes),
+                ))
+            })
         });
     }
     group.finish();

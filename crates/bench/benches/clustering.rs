@@ -48,5 +48,10 @@ fn bench_token_index(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_greedy, bench_agglomerative, bench_token_index);
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_agglomerative,
+    bench_token_index
+);
 criterion_main!(benches);

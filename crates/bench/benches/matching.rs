@@ -86,14 +86,23 @@ fn bench_matchers(c: &mut Criterion) {
         ("s1_exhaustive", Box::new(ExhaustiveMatcher::default())),
         (
             "s1_parallel",
-            Box::new(ParallelExhaustiveMatcher::new(ObjectiveFunction::default(), 4)),
+            Box::new(ParallelExhaustiveMatcher::new(
+                ObjectiveFunction::default(),
+                4,
+            )),
         ),
-        ("s2_beam32", Box::new(BeamMatcher::new(ObjectiveFunction::default(), 32))),
+        (
+            "s2_beam32",
+            Box::new(BeamMatcher::new(ObjectiveFunction::default(), 32)),
+        ),
         (
             "s2_cluster4",
             Box::new(ClusterMatcher::new(ObjectiveFunction::default(), 0.55, 4)),
         ),
-        ("s2_top100", Box::new(TopKMatcher::new(ObjectiveFunction::default(), 100))),
+        (
+            "s2_top100",
+            Box::new(TopKMatcher::new(ObjectiveFunction::default(), 100)),
+        ),
     ];
     for (name, matcher) in &matchers {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
@@ -119,10 +128,8 @@ fn bench_matchers(c: &mut Criterion) {
                 let cold = MatchProblem::new(personal.clone(), repository.clone())
                     .expect("non-empty personal schema");
                 let registry = MappingRegistry::new();
-                black_box(
-                    ExhaustiveMatcher::default().run(black_box(&cold), delta_max, &registry),
-                )
-                .len()
+                black_box(ExhaustiveMatcher::default().run(black_box(&cold), delta_max, &registry))
+                    .len()
             })
         },
     );
@@ -228,8 +235,11 @@ fn bench_batch_matching(c: &mut Criterion) {
             let batch = BatchProblem::new(personals.clone(), repository.clone())
                 .expect("non-empty personal schemas");
             let registry = MappingRegistry::new();
-            let results = BatchMatcher::with_threads(ExhaustiveMatcher::default(), 0)
-                .run_batch(black_box(&batch), delta_max, &registry);
+            let results = BatchMatcher::with_threads(ExhaustiveMatcher::default(), 0).run_batch(
+                black_box(&batch),
+                delta_max,
+                &registry,
+            );
             black_box(results.iter().map(|a| a.len()).sum::<usize>())
         })
     });
@@ -260,13 +270,16 @@ fn bench_restart(c: &mut Criterion) {
     // `restart.snapshot_speedup_x` in BENCH_matching.json and guarded
     // by scripts/verify.sh.
     let (personals, repository) = batch_workload(32);
-    let batch = BatchProblem::new(personals, repository.clone())
-        .expect("non-empty personal schemas");
+    let batch =
+        BatchProblem::new(personals, repository.clone()).expect("non-empty personal schemas");
     batch.prefill_rows(); // the warm state a restart wants back
     let snapshot = repository.save_snapshot();
     let schemas: Vec<Schema> = repository.iter().map(|(_, s)| s.clone()).collect();
-    let warm_labels: Vec<String> =
-        batch.distinct_labels().iter().map(|s| s.to_string()).collect();
+    let warm_labels: Vec<String> = batch
+        .distinct_labels()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut group = c.benchmark_group("restart");
     group.sample_size(10);
     group.bench_with_input(BenchmarkId::from_parameter("cold_rebuild"), &0, |b, _| {
@@ -299,10 +312,8 @@ fn bench_repository_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(schemas), &schemas, |b, _| {
             b.iter(|| {
                 let registry = MappingRegistry::new();
-                black_box(
-                    ExhaustiveMatcher::default().run(black_box(&problem), 0.3, &registry),
-                )
-                .len()
+                black_box(ExhaustiveMatcher::default().run(black_box(&problem), 0.3, &registry))
+                    .len()
             })
         });
     }

@@ -9,7 +9,9 @@ use smx_bench::{f, print_series, standard_experiment, GRID_POINTS};
 fn main() {
     let exp = standard_experiment();
     let s1 = exp.run_s1();
-    let curve = exp.measured_curve(&s1, GRID_POINTS).expect("non-empty truth and grid");
+    let curve = exp
+        .measured_curve(&s1, GRID_POINTS)
+        .expect("non-empty truth and grid");
 
     println!(
         "scenario: |H| = {}, repository = {} schemas, S1 answers at δ_max = {}",

@@ -7,7 +7,9 @@ use smx_bench::{f, print_series, standard_experiment, GRID_POINTS};
 fn main() {
     let exp = standard_experiment();
     let s1 = exp.run_s1();
-    let measured = exp.measured_curve(&s1, GRID_POINTS).expect("non-empty truth and grid");
+    let measured = exp
+        .measured_curve(&s1, GRID_POINTS)
+        .expect("non-empty truth and grid");
     let interpolated = InterpolatedCurve::eleven_point(&measured);
 
     let rows: Vec<Vec<String>> = interpolated
@@ -20,5 +22,8 @@ fn main() {
         &["recall_level", "precision"],
         &rows,
     );
-    println!("11-point mean average precision: {}", f(interpolated.mean_average_precision()));
+    println!(
+        "11-point mean average precision: {}",
+        f(interpolated.mean_average_precision())
+    );
 }

@@ -36,7 +36,15 @@ fn main() {
         .collect();
     print_series(
         "Figure 8: naive vs incremental worst-case precision",
-        &["delta", "A1", "T1", "A2", "naive_worst_P", "incremental_worst_P", "T2_range"],
+        &[
+            "delta",
+            "A1",
+            "T1",
+            "A2",
+            "naive_worst_P",
+            "incremental_worst_P",
+            "T2_range",
+        ],
         &rows,
     );
 
@@ -47,7 +55,10 @@ fn main() {
     println!("paper check: P(δ2) naive worst = 1/16 = {}", f(1.0 / 16.0));
     println!("  computed naive       = {}", f(d2.naive.worst.precision));
     println!("paper check: P(δ2) incremental = 7/48 = {}", f(7.0 / 48.0));
-    println!("  computed incremental = {}", f(d2.incremental.worst.precision));
+    println!(
+        "  computed incremental = {}",
+        f(d2.incremental.worst.precision)
+    );
     assert!((d1.naive.worst.precision - 7.0 / 32.0).abs() < 1e-12);
     assert!((d2.naive.worst.precision - 1.0 / 16.0).abs() < 1e-12);
     assert!((d2.incremental.worst.precision - 7.0 / 48.0).abs() < 1e-12);

@@ -11,7 +11,9 @@ use smx_bench::{f, print_series, standard_experiment, GRID_POINTS};
 fn main() {
     let exp = standard_experiment();
     let s1 = exp.run_s1();
-    let s1_curve = exp.measured_curve(&s1, GRID_POINTS).expect("non-empty truth and grid");
+    let s1_curve = exp
+        .measured_curve(&s1, GRID_POINTS)
+        .expect("non-empty truth and grid");
     let ratio = SizeRatio::new(0.9).expect("0.9 in range");
     let env = BoundsEnvelope::fixed_ratio(&s1_curve, ratio).expect("consistent grid");
 
@@ -32,9 +34,15 @@ fn main() {
         .collect();
     print_series(
         "Figure 9: envelope at fixed ratio 0.9",
-        &["delta", "R_s1", "P_s1", "R_best", "P_best", "R_worst", "P_worst"],
+        &[
+            "delta", "R_s1", "P_s1", "R_best", "P_best", "R_worst", "P_worst",
+        ],
         &rows,
     );
     let (dp, dr) = env.max_guaranteed_loss();
-    println!("max guaranteed loss vs S1: precision {} recall {}", f(dp), f(dr));
+    println!(
+        "max guaranteed loss vs S1: precision {} recall {}",
+        f(dp),
+        f(dr)
+    );
 }

@@ -41,8 +41,19 @@ fn main() {
         .collect();
     print_series(
         "Figure 10: answer size ratio vs threshold",
-        &["delta", "A_s1", "A_s2one", "ratio_s2one", "A_s2two", "ratio_s2two"],
+        &[
+            "delta",
+            "A_s1",
+            "A_s2one",
+            "ratio_s2one",
+            "A_s2two",
+            "ratio_s2two",
+        ],
         &rows,
     );
-    println!("mean ratio S2-one = {}  S2-two = {}", f(one.mean()), f(two.mean()));
+    println!(
+        "mean ratio S2-one = {}  S2-two = {}",
+        f(one.mean()),
+        f(two.mean())
+    );
 }

@@ -38,8 +38,8 @@ fn report(exp: &Experiment, label: &str, s1_curve: &smx::eval::PrCurve, s2: &Ans
     print_series(
         &format!("Figure 11: envelope for {label}"),
         &[
-            "delta", "ratio", "R_s1", "P_s1", "R_best", "P_best", "R_worst", "P_worst",
-            "R_random", "P_random", "R_actual", "P_actual",
+            "delta", "ratio", "R_s1", "P_s1", "R_best", "P_best", "R_worst", "P_worst", "R_random",
+            "P_random", "R_actual", "P_actual",
         ],
         &rows,
     );
@@ -53,7 +53,9 @@ fn report(exp: &Experiment, label: &str, s1_curve: &smx::eval::PrCurve, s2: &Ans
 fn main() {
     let exp = standard_experiment();
     let s1 = exp.run_s1();
-    let s1_curve = exp.measured_curve(&s1, GRID_POINTS).expect("non-empty truth and grid");
+    let s1_curve = exp
+        .measured_curve(&s1, GRID_POINTS)
+        .expect("non-empty truth and grid");
     println!("|H| = {}, S1 answers = {}", exp.truth.len(), s1.len());
 
     let s2_one = exp.run_s2_beam(60);

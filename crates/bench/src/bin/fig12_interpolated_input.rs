@@ -9,14 +9,16 @@ use smx_bench::{f, print_series, standard_experiment, GRID_POINTS};
 fn main() {
     let exp = standard_experiment();
     let s1 = exp.run_s1();
-    let measured = exp.measured_curve(&s1, GRID_POINTS).expect("non-empty truth and grid");
+    let measured = exp
+        .measured_curve(&s1, GRID_POINTS)
+        .expect("non-empty truth and grid");
     let interpolated = InterpolatedCurve::eleven_point(&measured);
     let ratio = SizeRatio::new(0.9).expect("0.9 in range");
 
     // The paper's headline reconstruction: guess |H| = 15000.
     let assumed_h = 15_000;
-    let rebuilt = measured_from_interpolated(&interpolated, assumed_h)
-        .expect("reconstructible curve");
+    let rebuilt =
+        measured_from_interpolated(&interpolated, assumed_h).expect("reconstructible curve");
     let env = BoundsEnvelope::fixed_ratio(&rebuilt, ratio).expect("consistent grid");
     let rows: Vec<Vec<String>> = env
         .points()
@@ -36,7 +38,9 @@ fn main() {
         .collect();
     print_series(
         &format!("Figure 12: envelope from interpolated curve, |H| = {assumed_h}, ratio 0.9"),
-        &["R_s1", "P_s1", "R_best", "P_best", "R_worst", "P_worst", "R_rand", "P_rand"],
+        &[
+            "R_s1", "P_s1", "R_best", "P_best", "R_worst", "P_worst", "R_rand", "P_rand",
+        ],
         &rows,
     );
 

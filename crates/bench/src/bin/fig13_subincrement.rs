@@ -33,7 +33,9 @@ fn main() {
         .collect();
     print_series(
         "Figure 13: sub-increment bound segments (|H|=100, anchors 30/50 and 36/70)",
-        &["A'", "T_range", "R_worst", "P_worst", "R_best", "P_best", "R_mid", "P_mid"],
+        &[
+            "A'", "T_range", "R_worst", "P_worst", "R_best", "P_best", "R_mid", "P_mid",
+        ],
         &rows,
     );
 

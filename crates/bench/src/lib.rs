@@ -60,7 +60,10 @@ pub fn print_series(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(headers.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(headers.iter().map(|s| s.to_string()).collect())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }

@@ -14,10 +14,7 @@ use smx_eval::AnswerSet;
 /// Check that `s2 ⊆ s1` as ranked runs: every S2 answer appears in S1
 /// **with the same score**. Together with set inclusion this implies
 /// `A_S2^δ ⊆ A_S1^δ` at every threshold, which is what the bounds need.
-pub fn verify_subset_at_all_thresholds(
-    s2: &AnswerSet,
-    s1: &AnswerSet,
-) -> Result<(), BoundsError> {
+pub fn verify_subset_at_all_thresholds(s2: &AnswerSet, s1: &AnswerSet) -> Result<(), BoundsError> {
     s2.is_subset_of(s1)?;
     if !s2.scores_consistent_with(s1) {
         return Err(BoundsError::BadAnchors(

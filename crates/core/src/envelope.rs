@@ -86,10 +86,7 @@ impl BoundsEnvelope {
     /// Ratio-space envelope from a measured ratio curve `Â(δ)` on the same
     /// grid as `s1_curve` (Figure 11). Counts are derived by rounding
     /// `Â·|A1|` to the nearest integer.
-    pub fn from_ratio_curve(
-        s1_curve: &PrCurve,
-        ratios: &RatioCurve,
-    ) -> Result<Self, BoundsError> {
+    pub fn from_ratio_curve(s1_curve: &PrCurve, ratios: &RatioCurve) -> Result<Self, BoundsError> {
         if ratios.len() != s1_curve.len() {
             return Err(BoundsError::LengthMismatch {
                 expected: s1_curve.len(),
@@ -100,7 +97,9 @@ impl BoundsEnvelope {
         let mut prev = 0usize;
         for (p, &(t, r)) in s1_curve.points().iter().zip(ratios.points()) {
             if t != p.threshold {
-                return Err(BoundsError::BadAnchors("ratio curve grid differs from S1 grid"));
+                return Err(BoundsError::BadAnchors(
+                    "ratio curve grid differs from S1 grid",
+                ));
             }
             // Round, then clamp into the feasible band so rounding noise
             // cannot violate monotonicity or per-increment containment.
@@ -230,11 +229,8 @@ mod tests {
 
     #[test]
     fn from_answer_sets_counts_at_grid() {
-        let curve = PrCurve::from_counts(
-            10,
-            [(0.1, Counts::new(2, 1)), (0.2, Counts::new(4, 2))],
-        )
-        .unwrap();
+        let curve =
+            PrCurve::from_counts(10, [(0.1, Counts::new(2, 1)), (0.2, Counts::new(4, 2))]).unwrap();
         let s2 = AnswerSet::new([(AnswerId(1), 0.1), (AnswerId(2), 0.2)]).unwrap();
         let env = BoundsEnvelope::from_answer_sets(&curve, &s2).unwrap();
         assert!((env.points()[0].ratio.get() - 0.5).abs() < 1e-12);
@@ -280,8 +276,11 @@ mod tests {
         assert!(dp > 0.0 && dp <= 1.0);
         assert!(dr > 0.0 && dr <= 1.0);
         // With ratio 1 the loss is zero.
-        let sizes: Vec<usize> =
-            s1_curve().points().iter().map(|p| p.counts.answers).collect();
+        let sizes: Vec<usize> = s1_curve()
+            .points()
+            .iter()
+            .map(|p| p.counts.answers)
+            .collect();
         let tight = BoundsEnvelope::from_sizes(&s1_curve(), &sizes).unwrap();
         let (dp0, dr0) = tight.max_guaranteed_loss();
         assert!(dp0.abs() < 1e-12 && dr0.abs() < 1e-12);

@@ -82,9 +82,15 @@ mod tests {
     #[test]
     fn displays() {
         assert!(BoundsError::InvalidRatio(1.5).to_string().contains("1.5"));
-        let e = BoundsError::NotASubSelection { threshold: 0.2, s1: 10, s2: 12 };
+        let e = BoundsError::NotASubSelection {
+            threshold: 0.2,
+            s1: 10,
+            s2: 12,
+        };
         assert!(e.to_string().contains("not a sub-selection"));
-        assert!(BoundsError::from(EvalError::EmptyTruth).to_string().contains("evaluation"));
+        assert!(BoundsError::from(EvalError::EmptyTruth)
+            .to_string()
+            .contains("evaluation"));
     }
 
     #[test]

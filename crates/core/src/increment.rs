@@ -96,7 +96,9 @@ pub fn increment_precision(p1: f64, r1: f64, p2: f64, r2: f64) -> Result<f64, Bo
     let a2_over_h = r2 / p2;
     let denom = a2_over_h - a1_over_h;
     if denom <= 0.0 {
-        return Err(BoundsError::BadAnchors("no answer growth between thresholds"));
+        return Err(BoundsError::BadAnchors(
+            "no answer growth between thresholds",
+        ));
     }
     Ok(((r2 - r1) / denom).clamp(0.0, 1.0))
 }
@@ -113,8 +115,11 @@ mod tests {
 
     fn figure8_s1_curve() -> PrCurve {
         // |H| = 100; S1 has 15/40 at δ1=0.1 and 27/72 at δ2=0.2.
-        PrCurve::from_counts(100, [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))])
-            .unwrap()
+        PrCurve::from_counts(
+            100,
+            [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -134,8 +139,11 @@ mod tests {
         let curve = figure8_s1_curve();
         let incs = curve_increments(&curve);
         let rebuilt = recombine_increments(&incs);
-        let original: Vec<(f64, Counts)> =
-            curve.points().iter().map(|p| (p.threshold, p.counts)).collect();
+        let original: Vec<(f64, Counts)> = curve
+            .points()
+            .iter()
+            .map(|p| (p.threshold, p.counts))
+            .collect();
         assert_eq!(rebuilt, original);
     }
 
@@ -184,9 +192,8 @@ mod tests {
             if prev.precision <= 0.0 || cur.precision <= 0.0 {
                 continue;
             }
-            let p_hat =
-                increment_precision(prev.precision, prev.recall, cur.precision, cur.recall)
-                    .unwrap();
+            let p_hat = increment_precision(prev.precision, prev.recall, cur.precision, cur.recall)
+                .unwrap();
             assert!((p_hat - inc.precision()).abs() < 1e-9);
             let r_hat = increment_recall(prev.recall, cur.recall);
             assert!((r_hat - inc.recall(truth.len())).abs() < 1e-9);
@@ -195,7 +202,11 @@ mod tests {
 
     #[test]
     fn increment_pr_accessors() {
-        let inc = IncrementCounts { from: 0.0, to: 0.1, counts: Counts::new(8, 2) };
+        let inc = IncrementCounts {
+            from: 0.0,
+            to: 0.1,
+            counts: Counts::new(8, 2),
+        };
         assert!((inc.precision() - 0.25).abs() < 1e-12);
         assert!((inc.recall(10) - 0.2).abs() < 1e-12);
     }

@@ -78,14 +78,19 @@ pub fn incremental_bounds(
 ) -> Result<IncrementalBounds, BoundsError> {
     let points = s1_curve.points();
     if a2_sizes.len() != points.len() {
-        return Err(BoundsError::LengthMismatch { expected: points.len(), got: a2_sizes.len() });
+        return Err(BoundsError::LengthMismatch {
+            expected: points.len(),
+            got: a2_sizes.len(),
+        });
     }
     // Validate monotonicity and per-increment containment.
     let mut prev_a2 = 0usize;
     let mut prev_a1 = 0usize;
     for (p, &a2) in points.iter().zip(a2_sizes) {
         if a2 < prev_a2 {
-            return Err(BoundsError::NonMonotoneSizes { threshold: p.threshold });
+            return Err(BoundsError::NonMonotoneSizes {
+                threshold: p.threshold,
+            });
         }
         if a2 > p.counts.answers {
             return Err(BoundsError::NotASubSelection {
@@ -128,8 +133,8 @@ pub fn incremental_bounds(
             best: PrEstimate::new(best.precision(), best.recall(truth_size)),
             worst: PrEstimate::new(worst.precision(), worst.recall(truth_size)),
         };
-        let naive = pointwise_bounds_from_counts(p.counts, truth_size, a2)
-            .expect("validated above");
+        let naive =
+            pointwise_bounds_from_counts(p.counts, truth_size, a2).expect("validated above");
         out.push(IncrementalPoint {
             threshold: p.threshold,
             s1: p.counts,
@@ -139,7 +144,10 @@ pub fn incremental_bounds(
             incremental,
         });
     }
-    Ok(IncrementalBounds { truth_size, points: out })
+    Ok(IncrementalBounds {
+        truth_size,
+        points: out,
+    })
 }
 
 #[cfg(test)]
@@ -203,7 +211,12 @@ mod tests {
             ],
         )
         .unwrap();
-        for sizes in [[10, 20, 30, 40], [2, 12, 30, 62], [0, 0, 10, 45], [10, 25, 45, 80]] {
+        for sizes in [
+            [10, 20, 30, 40],
+            [2, 12, 30, 62],
+            [0, 0, 10, 45],
+            [10, 25, 45, 80],
+        ] {
             let b = incremental_bounds(&curve, &sizes).unwrap();
             for p in b.points() {
                 assert!(p.incremental.worst.precision >= p.naive.worst.precision - 1e-12);
@@ -219,11 +232,9 @@ mod tests {
     fn best_case_tightening_shows_when_early_increment_saturates() {
         // S1: first increment all correct (10/10), second all incorrect
         // additions (10 answers, 0 correct).
-        let curve = PrCurve::from_counts(
-            20,
-            [(0.1, Counts::new(10, 10)), (0.2, Counts::new(20, 10))],
-        )
-        .unwrap();
+        let curve =
+            PrCurve::from_counts(20, [(0.1, Counts::new(10, 10)), (0.2, Counts::new(20, 10))])
+                .unwrap();
         // S2 keeps 2 early answers and everything late: naive best at δ2 is
         // min(10, 12) = 10, but only 2 early answers were kept and the late
         // increment holds no correct ones → incremental best is 2.
@@ -240,7 +251,12 @@ mod tests {
         let sizes: Vec<usize> = curve.points().iter().map(|p| p.counts.answers).collect();
         let b = incremental_bounds(&curve, &sizes).unwrap();
         for (p, orig) in b.points().iter().zip(curve.points()) {
-            for est in [p.incremental.best, p.incremental.worst, p.naive.best, p.naive.worst] {
+            for est in [
+                p.incremental.best,
+                p.incremental.worst,
+                p.naive.best,
+                p.naive.worst,
+            ] {
                 assert!((est.precision - orig.precision).abs() < 1e-12);
                 assert!((est.recall - orig.recall).abs() < 1e-12);
             }

@@ -90,8 +90,7 @@ mod tests {
     use smx_eval::{AnswerId, AnswerSet, GroundTruth};
 
     fn some_measured_curve() -> PrCurve {
-        let answers =
-            AnswerSet::new((1..=200).map(|i| (AnswerId(i), i as f64 / 200.0))).unwrap();
+        let answers = AnswerSet::new((1..=200).map(|i| (AnswerId(i), i as f64 / 200.0))).unwrap();
         let truth = GroundTruth::new((1..=200).filter(|i| i % 3 == 0).map(AnswerId));
         PrCurve::measure(
             &answers,
@@ -118,8 +117,7 @@ mod tests {
 
     #[test]
     fn reconstruction_scales_linearly_in_h() {
-        let interp =
-            InterpolatedCurve::from_points([(0.1, 0.8), (0.3, 0.6), (0.5, 0.4)]).unwrap();
+        let interp = InterpolatedCurve::from_points([(0.1, 0.8), (0.3, 0.6), (0.5, 0.4)]).unwrap();
         let small = measured_from_interpolated(&interp, 100).unwrap();
         let big = measured_from_interpolated(&interp, 10_000).unwrap();
         for (s, b) in small.points().iter().zip(big.points()) {

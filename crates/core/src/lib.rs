@@ -58,8 +58,7 @@ pub use containment::{ratio_curve_between, verify_subset_at_all_thresholds};
 pub use envelope::{BoundsEnvelope, EnvelopePoint};
 pub use error::BoundsError;
 pub use increment::{
-    curve_increments, increment_precision, increment_recall, recombine_increments,
-    IncrementCounts,
+    curve_increments, increment_precision, increment_recall, recombine_increments, IncrementCounts,
 };
 pub use incremental::{incremental_bounds, IncrementalBounds};
 pub use interpolated_input::{h_sensitivity_sweep, measured_from_interpolated};
@@ -67,6 +66,10 @@ pub use pointwise::{
     best_case_counts, pointwise_bounds, pointwise_bounds_from_counts, worst_case_counts,
     PointBounds, PrEstimate,
 };
-pub use random::{random_baseline, random_baseline_from_counts, simulate_random_selection, RandomPoint};
+pub use random::{
+    random_baseline, random_baseline_from_counts, simulate_random_selection, RandomPoint,
+};
 pub use ratio::{RatioCurve, SizeRatio};
-pub use subincrement::{midpoint_rule, sub_increment_bounds, sub_increment_sweep, SubIncrementBound};
+pub use subincrement::{
+    midpoint_rule, sub_increment_bounds, sub_increment_sweep, SubIncrementBound,
+};

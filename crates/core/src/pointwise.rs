@@ -38,7 +38,10 @@ pub struct PrEstimate {
 impl PrEstimate {
     /// Construct, clamping tiny numeric overshoot into `[0, 1]`.
     pub fn new(precision: f64, recall: f64) -> Self {
-        PrEstimate { precision: precision.clamp(0.0, 1.0), recall: recall.clamp(0.0, 1.0) }
+        PrEstimate {
+            precision: precision.clamp(0.0, 1.0),
+            recall: recall.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -81,12 +84,23 @@ pub fn pointwise_bounds(p1: f64, r1: f64, ratio: SizeRatio) -> PointBounds {
     if ratio.is_zero() {
         // S2 returned nothing: empty-set precision convention, zero recall.
         let empty = PrEstimate::new(1.0, 0.0);
-        return PointBounds { best: empty, worst: empty };
+        return PointBounds {
+            best: empty,
+            worst: empty,
+        };
     }
     let best_p = if p1 <= 0.0 { 0.0 } else { (p1 / a).min(1.0) };
-    let best_r = if p1 <= 0.0 { 0.0 } else { r1 * (a / p1).min(1.0) };
+    let best_r = if p1 <= 0.0 {
+        0.0
+    } else {
+        r1 * (a / p1).min(1.0)
+    };
     let worst_p = (1.0 - (1.0 - p1) / a).max(0.0);
-    let worst_r = if p1 <= 0.0 { 0.0 } else { (r1 * ((a - 1.0) / p1 + 1.0)).max(0.0) };
+    let worst_r = if p1 <= 0.0 {
+        0.0
+    } else {
+        (r1 * ((a - 1.0) / p1 + 1.0)).max(0.0)
+    };
     // p1 == 0 with an empty answer set: P1 is conventionally 1 there, so
     // p1 == 0 implies A1 > 0 and T1 = 0; best precision is then 0 as well.
     PointBounds {
@@ -103,7 +117,11 @@ pub fn pointwise_bounds_from_counts(
     a2: usize,
 ) -> Result<PointBounds, BoundsError> {
     if a2 > s1.answers {
-        return Err(BoundsError::NotASubSelection { threshold: f64::NAN, s1: s1.answers, s2: a2 });
+        return Err(BoundsError::NotASubSelection {
+            threshold: f64::NAN,
+            s1: s1.answers,
+            s2: a2,
+        });
     }
     let best = best_case_counts(s1, a2);
     let worst = worst_case_counts(s1, a2);

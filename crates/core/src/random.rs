@@ -46,7 +46,10 @@ pub fn random_baseline_from_counts(
 ) -> Result<Vec<RandomPoint>, BoundsError> {
     let points = s1_curve.points();
     if a2_sizes.len() != points.len() {
-        return Err(BoundsError::LengthMismatch { expected: points.len(), got: a2_sizes.len() });
+        return Err(BoundsError::LengthMismatch {
+            expected: points.len(),
+            got: a2_sizes.len(),
+        });
     }
     let truth_size = s1_curve.truth_size();
     let incs1 = curve_increments(s1_curve);
@@ -55,7 +58,9 @@ pub fn random_baseline_from_counts(
     let mut out = Vec::with_capacity(points.len());
     for ((p, &a2), inc1) in points.iter().zip(a2_sizes).zip(&incs1) {
         if a2 < prev_a2 {
-            return Err(BoundsError::NonMonotoneSizes { threshold: p.threshold });
+            return Err(BoundsError::NonMonotoneSizes {
+                threshold: p.threshold,
+            });
         }
         if a2 > p.counts.answers {
             return Err(BoundsError::NotASubSelection {
@@ -79,8 +84,16 @@ pub fn random_baseline_from_counts(
                 inc1.counts.correct as f64 * delta_a2 as f64 / inc1.counts.answers as f64;
         }
         prev_a2 = a2;
-        let precision = if a2 == 0 { 1.0 } else { expected_t2 / a2 as f64 };
-        let recall = if truth_size == 0 { 0.0 } else { expected_t2 / truth_size as f64 };
+        let precision = if a2 == 0 {
+            1.0
+        } else {
+            expected_t2 / a2 as f64
+        };
+        let recall = if truth_size == 0 {
+            0.0
+        } else {
+            expected_t2 / truth_size as f64
+        };
         out.push(RandomPoint {
             threshold: p.threshold,
             a2,
@@ -129,8 +142,11 @@ mod tests {
     use super::*;
 
     fn figure8_curve() -> PrCurve {
-        PrCurve::from_counts(100, [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))])
-            .unwrap()
+        PrCurve::from_counts(
+            100,
+            [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))],
+        )
+        .unwrap()
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl SizeRatio {
     /// empty) the ratio is defined as `1` — equal answer sets.
     pub fn from_counts(s2: usize, s1: usize) -> Result<Self, BoundsError> {
         if s2 > s1 {
-            return Err(BoundsError::NotASubSelection { threshold: f64::NAN, s1, s2 });
+            return Err(BoundsError::NotASubSelection {
+                threshold: f64::NAN,
+                s1,
+                s2,
+            });
         }
         if s1 == 0 {
             return Ok(SizeRatio::ONE);

@@ -63,10 +63,14 @@ pub fn sub_increment_bounds(
         return Err(BoundsError::InvalidTruthSize);
     }
     if anchor2.answers < anchor1.answers || anchor2.correct < anchor1.correct {
-        return Err(BoundsError::BadAnchors("second anchor must dominate the first"));
+        return Err(BoundsError::BadAnchors(
+            "second anchor must dominate the first",
+        ));
     }
     if a_prime < anchor1.answers || a_prime > anchor2.answers {
-        return Err(BoundsError::BadAnchors("A' must lie between the anchors' answer counts"));
+        return Err(BoundsError::BadAnchors(
+            "A' must lie between the anchors' answer counts",
+        ));
     }
     let delta_t = anchor2.correct - anchor1.correct;
     let delta_i = (anchor2.answers - anchor1.answers) - delta_t;
@@ -75,7 +79,11 @@ pub fn sub_increment_bounds(
     let hi = anchor1.correct + extra.min(delta_t);
     let point = |t: usize| -> (f64, f64) {
         let recall = t as f64 / truth_size as f64;
-        let precision = if a_prime == 0 { 1.0 } else { t as f64 / a_prime as f64 };
+        let precision = if a_prime == 0 {
+            1.0
+        } else {
+            t as f64 / a_prime as f64
+        };
         (recall, precision)
     };
     Ok(SubIncrementBound {
@@ -187,7 +195,7 @@ mod tests {
             .collect();
         let max_width = *widths.iter().max().unwrap();
         assert_eq!(max_width, 6); // min(ΔT, ΔI) = min(6, 14)
-        // Monotone up to the plateau, monotone down after it.
+                                  // Monotone up to the plateau, monotone down after it.
         let first_max = widths.iter().position(|&w| w == max_width).unwrap();
         let last_max = widths.iter().rposition(|&w| w == max_width).unwrap();
         assert!(widths[..first_max].windows(2).all(|w| w[0] <= w[1]));

@@ -27,8 +27,13 @@ fn ratio_one_gives_absolute_certainty() {
     let curve = classic_s1();
     let env = BoundsEnvelope::fixed_ratio(&curve, SizeRatio::ONE).expect("consistent grid");
     for (p, orig) in env.points().iter().zip(curve.points()) {
-        for est in [p.incremental.best, p.incremental.worst, p.naive.best, p.naive.worst, p.random]
-        {
+        for est in [
+            p.incremental.best,
+            p.incremental.worst,
+            p.naive.best,
+            p.naive.worst,
+            p.random,
+        ] {
             assert!((est.precision - orig.precision).abs() < 1e-9);
             assert!((est.recall - orig.recall).abs() < 1e-9);
         }
@@ -95,7 +100,10 @@ fn random_is_a_narrower_lower_bound() {
             strictly_above += 1;
         }
     }
-    assert!(strictly_above > env.len() / 2, "random baseline never improved on worst case");
+    assert!(
+        strictly_above > env.len() / 2,
+        "random baseline never improved on worst case"
+    );
 }
 
 /// Conclusion: "for the top-N ... we can give useful, i.e., narrow
@@ -105,9 +113,13 @@ fn random_is_a_narrower_lower_bound() {
 fn topn_region_has_narrow_bounds() {
     let curve = classic_s1();
     // Ratio declines along the sweep, like Figure 10's systems.
-    let ratios = RatioCurve::new(curve.thresholds().iter().enumerate().map(|(i, &t)| {
-        (t, SizeRatio::new(1.0 - 0.08 * i as f64).expect("in range"))
-    }));
+    let ratios = RatioCurve::new(
+        curve
+            .thresholds()
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, SizeRatio::new(1.0 - 0.08 * i as f64).expect("in range"))),
+    );
     let env = BoundsEnvelope::from_ratio_curve(&curve, &ratios).expect("consistent grid");
     let head = &env.points()[0];
     let tail = env.points().last().expect("non-empty");
@@ -129,9 +141,15 @@ fn guaranteed_loss_monotone_in_ratio() {
         let env = BoundsEnvelope::fixed_ratio(&curve, SizeRatio::new(ratio).expect("in range"))
             .expect("consistent grid");
         let (dp, dr) = env.max_guaranteed_loss();
-        assert!(dp <= prev.0 + 1e-9, "precision loss grew with ratio {ratio}");
+        assert!(
+            dp <= prev.0 + 1e-9,
+            "precision loss grew with ratio {ratio}"
+        );
         assert!(dr <= prev.1 + 1e-9, "recall loss grew with ratio {ratio}");
         prev = (dp, dr);
     }
-    assert!(prev.0.abs() < 1e-9 && prev.1.abs() < 1e-9, "ratio 1 must have zero loss");
+    assert!(
+        prev.0.abs() < 1e-9 && prev.1.abs() < 1e-9,
+        "ratio 1 must have zero loss"
+    );
 }

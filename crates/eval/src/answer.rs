@@ -49,7 +49,10 @@ impl AnswerSet {
             .collect();
         for a in &answers {
             if !a.score.is_finite() {
-                return Err(EvalError::InvalidScore { id: a.id.0, score: a.score });
+                return Err(EvalError::InvalidScore {
+                    id: a.id.0,
+                    score: a.score,
+                });
             }
         }
         answers.sort_by(|x, y| {
@@ -60,7 +63,10 @@ impl AnswerSet {
         });
         for w in answers.windows(2) {
             if w[0].id == w[1].id {
-                return Err(EvalError::InvalidScore { id: w[0].id.0, score: f64::NAN });
+                return Err(EvalError::InvalidScore {
+                    id: w[0].id.0,
+                    score: f64::NAN,
+                });
             }
         }
         // Re-check duplicates across different scores too.
@@ -68,7 +74,10 @@ impl AnswerSet {
         ids.sort();
         for w in ids.windows(2) {
             if w[0] == w[1] {
-                return Err(EvalError::InvalidScore { id: w[0].0, score: f64::NAN });
+                return Err(EvalError::InvalidScore {
+                    id: w[0].0,
+                    score: f64::NAN,
+                });
             }
         }
         Ok(AnswerSet { answers })
@@ -159,7 +168,12 @@ impl AnswerSet {
     /// used to model non-exhaustive systems as selections from S1's run.
     pub fn filter(&self, mut keep: impl FnMut(AnswerId) -> bool) -> AnswerSet {
         AnswerSet {
-            answers: self.answers.iter().copied().filter(|a| keep(a.id)).collect(),
+            answers: self
+                .answers
+                .iter()
+                .copied()
+                .filter(|a| keep(a.id))
+                .collect(),
         }
     }
 }
@@ -235,7 +249,10 @@ mod tests {
         let s2 = s1.filter(|id| id.0 != 2);
         assert!(s2.is_subset_of(&s1).is_ok());
         assert!(s2.scores_consistent_with(&s1));
-        assert_eq!(s1.is_subset_of(&s2), Err(EvalError::NotASubset { missing: 2 }));
+        assert_eq!(
+            s1.is_subset_of(&s2),
+            Err(EvalError::NotASubset { missing: 2 })
+        );
         let shifted = set(&[(1, 0.9)]);
         assert!(!shifted.scores_consistent_with(&s1));
     }

@@ -65,7 +65,10 @@ impl PrCurve {
                 }
             })
             .collect();
-        Ok(PrCurve { truth_size: truth.len(), points })
+        Ok(PrCurve {
+            truth_size: truth.len(),
+            points,
+        })
     }
 
     /// Measure a curve at every distinct score of `answers` — the finest
@@ -149,10 +152,16 @@ impl PrCurve {
         }
         for p in &self.points {
             if !(0.0..=1.0).contains(&p.precision) {
-                return Err(EvalError::OutOfRange { what: "precision", value: p.precision });
+                return Err(EvalError::OutOfRange {
+                    what: "precision",
+                    value: p.precision,
+                });
             }
             if !(0.0..=1.0).contains(&p.recall) {
-                return Err(EvalError::OutOfRange { what: "recall", value: p.recall });
+                return Err(EvalError::OutOfRange {
+                    what: "recall",
+                    value: p.recall,
+                });
             }
             if p.counts.correct > p.counts.answers {
                 return Err(EvalError::OutOfRange {
@@ -172,7 +181,10 @@ impl PrCurve {
 
     /// Render the curve as `(recall, precision)` pairs for plotting.
     pub fn recall_precision_series(&self) -> Vec<(f64, f64)> {
-        self.points.iter().map(|p| (p.recall, p.precision)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.recall, p.precision))
+            .collect()
     }
 }
 
@@ -226,15 +238,15 @@ mod tests {
             Err(EvalError::EmptyTruth)
         );
         let truth = GroundTruth::new([AnswerId(1)]);
-        assert_eq!(PrCurve::measure(&answers, &truth, &[]), Err(EvalError::EmptyCurve));
+        assert_eq!(
+            PrCurve::measure(&answers, &truth, &[]),
+            Err(EvalError::EmptyCurve)
+        );
     }
 
     #[test]
     fn from_counts_validates() {
-        let ok = PrCurve::from_counts(
-            8,
-            [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))],
-        );
+        let ok = PrCurve::from_counts(8, [(0.1, Counts::new(40, 15)), (0.2, Counts::new(72, 27))]);
         assert!(ok.is_err()); // correct 15 > |H| 8
         let ok = PrCurve::from_counts(
             100,

@@ -40,7 +40,10 @@ impl std::fmt::Display for EvalError {
             EvalError::EmptyCurve => write!(f, "curve has no points"),
             EvalError::UnsortedCurve => write!(f, "curve points not sorted by threshold"),
             EvalError::NotASubset { missing } => {
-                write!(f, "answer {missing} of the improved system is absent from the original")
+                write!(
+                    f,
+                    "answer {missing} of the improved system is absent from the original"
+                )
             }
             EvalError::OutOfRange { what, value } => {
                 write!(f, "{what} = {value} outside [0, 1]")
@@ -57,8 +60,17 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(EvalError::EmptyTruth.to_string().contains("recall undefined"));
-        assert!(EvalError::NotASubset { missing: 9 }.to_string().contains('9'));
-        assert!(EvalError::InvalidScore { id: 1, score: f64::NAN }.to_string().contains("non-finite"));
+        assert!(EvalError::EmptyTruth
+            .to_string()
+            .contains("recall undefined"));
+        assert!(EvalError::NotASubset { missing: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(EvalError::InvalidScore {
+            id: 1,
+            score: f64::NAN
+        }
+        .to_string()
+        .contains("non-finite"));
     }
 }

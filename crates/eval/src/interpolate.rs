@@ -58,10 +58,16 @@ impl InterpolatedCurve {
         }
         for &(r, p) in &points {
             if !(0.0..=1.0).contains(&r) {
-                return Err(EvalError::OutOfRange { what: "recall", value: r });
+                return Err(EvalError::OutOfRange {
+                    what: "recall",
+                    value: r,
+                });
             }
             if !(0.0..=1.0).contains(&p) {
-                return Err(EvalError::OutOfRange { what: "precision", value: p });
+                return Err(EvalError::OutOfRange {
+                    what: "precision",
+                    value: p,
+                });
             }
         }
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));

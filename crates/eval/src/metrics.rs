@@ -21,7 +21,10 @@ pub struct Counts {
 impl Counts {
     /// Construct counts; `correct` is clamped to `answers`.
     pub fn new(answers: usize, correct: usize) -> Self {
-        Counts { answers, correct: correct.min(answers) }
+        Counts {
+            answers,
+            correct: correct.min(answers),
+        }
     }
 
     /// Measure counts of `answers` at `threshold` against `truth`.
@@ -76,7 +79,10 @@ impl std::ops::Sub for Counts {
 impl std::ops::Add for Counts {
     type Output = Counts;
     fn add(self, other: Counts) -> Counts {
-        Counts { answers: self.answers + other.answers, correct: self.correct + other.correct }
+        Counts {
+            answers: self.answers + other.answers,
+            correct: self.correct + other.correct,
+        }
     }
 }
 
@@ -145,12 +151,8 @@ mod tests {
 
     #[test]
     fn measure_against_answer_set() {
-        let answers = AnswerSet::new([
-            (AnswerId(1), 0.1),
-            (AnswerId(2), 0.2),
-            (AnswerId(3), 0.3),
-        ])
-        .unwrap();
+        let answers =
+            AnswerSet::new([(AnswerId(1), 0.1), (AnswerId(2), 0.2), (AnswerId(3), 0.3)]).unwrap();
         let truth = GroundTruth::new([AnswerId(2), AnswerId(3)]);
         let c = Counts::measure(&answers, &truth, 0.2);
         assert_eq!(c, Counts::new(2, 1));

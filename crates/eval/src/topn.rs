@@ -23,7 +23,11 @@ pub fn recall_at(answers: &AnswerSet, truth: &GroundTruth, n: usize) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let correct = answers.top_n(n).iter().filter(|a| truth.contains(a.id)).count();
+    let correct = answers
+        .top_n(n)
+        .iter()
+        .filter(|a| truth.contains(a.id))
+        .count();
     correct as f64 / truth.len() as f64
 }
 
@@ -43,7 +47,13 @@ impl TopNReport {
         TopNReport {
             rows: cuts
                 .into_iter()
-                .map(|n| (n, precision_at(answers, truth, n), recall_at(answers, truth, n)))
+                .map(|n| {
+                    (
+                        n,
+                        precision_at(answers, truth, n),
+                        recall_at(answers, truth, n),
+                    )
+                })
                 .collect(),
         }
     }

@@ -19,7 +19,9 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Ground truth from a collection of correct ids.
     pub fn new(ids: impl IntoIterator<Item = AnswerId>) -> Self {
-        GroundTruth { correct: ids.into_iter().collect() }
+        GroundTruth {
+            correct: ids.into_iter().collect(),
+        }
     }
 
     /// `|H|`.
@@ -53,12 +55,21 @@ impl GroundTruth {
 
     /// Restrict the truth to ids satisfying `keep` (used by pooling).
     pub fn filter(&self, mut keep: impl FnMut(AnswerId) -> bool) -> GroundTruth {
-        GroundTruth { correct: self.correct.iter().copied().filter(|&id| keep(id)).collect() }
+        GroundTruth {
+            correct: self
+                .correct
+                .iter()
+                .copied()
+                .filter(|&id| keep(id))
+                .collect(),
+        }
     }
 
     /// Union of two truths.
     pub fn union(&self, other: &GroundTruth) -> GroundTruth {
-        GroundTruth { correct: self.correct.union(&other.correct).copied().collect() }
+        GroundTruth {
+            correct: self.correct.union(&other.correct).copied().collect(),
+        }
     }
 }
 

@@ -90,7 +90,10 @@ impl BatchProblem {
             .into_iter()
             .map(|personal| MatchProblem::new(personal, repository.clone()))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(BatchProblem { repository, problems })
+        Ok(BatchProblem {
+            repository,
+            problems,
+        })
     }
 
     /// Number of problems in the batch.
@@ -214,7 +217,10 @@ impl BatchProblem {
         let mut vocabulary: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for (i, problem) in self.problems.iter().enumerate() {
             let labels = problem.distinct_personal_labels();
-            let grown = labels.iter().filter(|name| !vocabulary.contains(*name)).count();
+            let grown = labels
+                .iter()
+                .filter(|name| !vocabulary.contains(*name))
+                .count();
             if i > start && vocabulary.len() + grown > cap {
                 chunks.push(start..i);
                 start = i;
@@ -327,7 +333,9 @@ impl<M: Matcher + Sync> BatchMatcher<M> {
                     let mut local: Vec<(usize, AnswerSet)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(problem) = problems.get(i) else { break };
+                        let Some(problem) = problems.get(i) else {
+                            break;
+                        };
                         local.push((i, inner.run(problem, delta_max, registry)));
                     }
                     local
@@ -339,7 +347,10 @@ impl<M: Matcher + Sync> BatchMatcher<M> {
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("every problem dispatched")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("every problem dispatched"))
+            .collect()
     }
 }
 
@@ -390,7 +401,10 @@ mod tests {
         assert!(!batch.is_empty());
         assert_eq!(batch.problem(2).personal_size(), 3);
         // book/title/year shared; isbn only in the third problem.
-        assert_eq!(batch.distinct_labels(), vec!["book", "title", "year", "isbn"]);
+        assert_eq!(
+            batch.distinct_labels(),
+            vec!["book", "title", "year", "isbn"]
+        );
         assert_eq!(batch.prefill_rows(), 4);
         let store = batch.repository().store();
         assert_eq!(store.cached_rows(), 4);
@@ -413,8 +427,8 @@ mod tests {
         assert!(batch.is_empty());
         assert_eq!(batch.prefill_rows(), 0);
         let registry = MappingRegistry::new();
-        let results = BatchMatcher::new(ExhaustiveMatcher::default())
-            .run_batch(&batch, 0.4, &registry);
+        let results =
+            BatchMatcher::new(ExhaustiveMatcher::default()).run_batch(&batch, 0.4, &registry);
         assert!(results.is_empty());
     }
 

@@ -25,7 +25,10 @@ pub struct BeamMatcher {
 impl BeamMatcher {
     /// Build with a shared objective function and beam `width ≥ 1`.
     pub fn new(objective: ObjectiveFunction, width: usize) -> Self {
-        BeamMatcher { objective, width: width.max(1) }
+        BeamMatcher {
+            objective,
+            width: width.max(1),
+        }
     }
 
     /// The beam width.
@@ -39,12 +42,7 @@ impl Matcher for BeamMatcher {
         "S2-beam"
     }
 
-    fn run(
-        &self,
-        problem: &MatchProblem,
-        delta_max: f64,
-        registry: &MappingRegistry,
-    ) -> AnswerSet {
+    fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
         let k = problem.personal_size();
         let personal = problem.personal();
         let matrix = problem.cost_matrix(&self.objective);
@@ -82,9 +80,7 @@ impl Matcher for BeamMatcher {
                         next.push((partial + step, extended));
                     }
                 }
-                next.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
-                });
+                next.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
                 next.truncate(self.width);
                 beam = next;
                 if beam.is_empty() {
@@ -95,12 +91,14 @@ impl Matcher for BeamMatcher {
                 if chosen.len() != k {
                     continue;
                 }
-                let assignment: Vec<NodeId> =
-                    chosen.iter().map(|&i| NodeId(i as u32)).collect();
+                let assignment: Vec<NodeId> = chosen.iter().map(|&i| NodeId(i as u32)).collect();
                 // Shared scoring path ⇒ identical Δ as S1 for this mapping.
                 let score = matrix.mapping_cost(problem, sid, &assignment);
                 if score <= delta_max {
-                    let id = registry.intern(Mapping { schema: sid, targets: assignment });
+                    let id = registry.intern(Mapping {
+                        schema: sid,
+                        targets: assignment,
+                    });
                     found.push((id, score));
                 }
             }
@@ -132,8 +130,8 @@ mod tests {
         let registry = MappingRegistry::new();
         let s1 = ExhaustiveMatcher::default().run(&problem, 0.5, &registry);
         for width in [1, 4, 16, 64] {
-            let s2 = BeamMatcher::new(ObjectiveFunction::default(), width)
-                .run(&problem, 0.5, &registry);
+            let s2 =
+                BeamMatcher::new(ObjectiveFunction::default(), width).run(&problem, 0.5, &registry);
             s2.is_subset_of(&s1).expect("beam ⊆ exhaustive");
             assert!(s2.scores_consistent_with(&s1), "width {width}");
         }
@@ -143,10 +141,9 @@ mod tests {
     fn wider_beams_find_no_fewer_answers() {
         let problem = scenario_problem();
         let registry = MappingRegistry::new();
-        let narrow = BeamMatcher::new(ObjectiveFunction::default(), 2)
-            .run(&problem, 0.5, &registry);
-        let wide = BeamMatcher::new(ObjectiveFunction::default(), 32)
-            .run(&problem, 0.5, &registry);
+        let narrow =
+            BeamMatcher::new(ObjectiveFunction::default(), 2).run(&problem, 0.5, &registry);
+        let wide = BeamMatcher::new(ObjectiveFunction::default(), 32).run(&problem, 0.5, &registry);
         assert!(narrow.len() <= wide.len());
     }
 
@@ -156,8 +153,8 @@ mod tests {
         let problem = scenario_problem();
         let registry = MappingRegistry::new();
         let s1 = ExhaustiveMatcher::default().run(&problem, 0.3, &registry);
-        let s2 = BeamMatcher::new(ObjectiveFunction::default(), 100_000)
-            .run(&problem, 0.3, &registry);
+        let s2 =
+            BeamMatcher::new(ObjectiveFunction::default(), 100_000).run(&problem, 0.3, &registry);
         assert_eq!(s1.len(), s2.len());
     }
 
@@ -168,8 +165,7 @@ mod tests {
         let problem = scenario_problem();
         let registry = MappingRegistry::new();
         let s1 = ExhaustiveMatcher::default().run(&problem, 0.5, &registry);
-        let s2 = BeamMatcher::new(ObjectiveFunction::default(), 8)
-            .run(&problem, 0.5, &registry);
+        let s2 = BeamMatcher::new(ObjectiveFunction::default(), 8).run(&problem, 0.5, &registry);
         if let Some(best) = s1.answers().first() {
             assert!(
                 s2.score_of(best.id).is_some(),

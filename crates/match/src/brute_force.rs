@@ -24,14 +24,20 @@ pub struct BruteForceMatcher {
 impl BruteForceMatcher {
     /// Build with a shared objective function (matrix-backed scoring).
     pub fn new(objective: ObjectiveFunction) -> Self {
-        BruteForceMatcher { objective, mode: ScoringMode::Precomputed }
+        BruteForceMatcher {
+            objective,
+            mode: ScoringMode::Precomputed,
+        }
     }
 
     /// Build a matcher that scores through the raw
     /// [`ObjectiveFunction`] path instead of the precomputed matrix —
     /// the fully independent reference for score-identity tests.
     pub fn direct(objective: ObjectiveFunction) -> Self {
-        BruteForceMatcher { objective, mode: ScoringMode::Direct }
+        BruteForceMatcher {
+            objective,
+            mode: ScoringMode::Direct,
+        }
     }
 
     /// The scoring mode.
@@ -45,12 +51,7 @@ impl Matcher for BruteForceMatcher {
         "brute-force"
     }
 
-    fn run(
-        &self,
-        problem: &MatchProblem,
-        delta_max: f64,
-        registry: &MappingRegistry,
-    ) -> AnswerSet {
+    fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
         let k = problem.personal_size();
         let matrix = match self.mode {
             ScoringMode::Precomputed => Some(problem.cost_matrix(&self.objective)),
@@ -82,7 +83,10 @@ impl Matcher for BruteForceMatcher {
                         None => self.objective.mapping_cost(problem, sid, &targets),
                     };
                     if cost <= delta_max {
-                        let id = registry.intern(Mapping { schema: sid, targets });
+                        let id = registry.intern(Mapping {
+                            schema: sid,
+                            targets,
+                        });
                         found.push((id, cost));
                     }
                 }
@@ -130,8 +134,7 @@ mod tests {
     fn enumerates_all_injective_assignments() {
         let problem = tiny_problem();
         let registry = MappingRegistry::new();
-        let answers =
-            BruteForceMatcher::default().run(&problem, 1.0, &registry);
+        let answers = BruteForceMatcher::default().run(&problem, 1.0, &registry);
         // 3 schema nodes, k = 2 → P(3,2) = 6 injective assignments.
         assert_eq!(answers.len(), 6);
         // Every answer is injective and scored in range.

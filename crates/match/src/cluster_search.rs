@@ -49,12 +49,7 @@ impl Matcher for ClusterMatcher {
         "S2-cluster"
     }
 
-    fn run(
-        &self,
-        problem: &MatchProblem,
-        delta_max: f64,
-        registry: &MappingRegistry,
-    ) -> AnswerSet {
+    fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
         let repo = problem.repository();
         let personal = problem.personal();
         // 1. Cluster the repository and rank clusters against the query.
@@ -65,8 +60,11 @@ impl Matcher for ClusterMatcher {
             .collect();
         let query = query_features(&names);
         let ranked = clustering.rank_against(&query);
-        let selected: Vec<usize> =
-            ranked.iter().take(self.fragments).map(|&(i, _)| i).collect();
+        let selected: Vec<usize> = ranked
+            .iter()
+            .take(self.fragments)
+            .map(|&(i, _)| i)
+            .collect();
         let fragments: Vec<Fragment> = fragments_for_clusters(repo, &clustering, &selected);
 
         // 2. Exhaustively search each fragment's schema with targets
@@ -106,8 +104,7 @@ impl Matcher for ClusterMatcher {
             ) {
                 let k = problem.personal_size();
                 if chosen.len() == k {
-                    let assignment: Vec<NodeId> =
-                        chosen.iter().map(|&i| nodes[i]).collect();
+                    let assignment: Vec<NodeId> = chosen.iter().map(|&i| nodes[i]).collect();
                     let score = matrix.mapping_cost(problem, fragment.schema, &assignment);
                     if score <= delta_max {
                         let id = registry.intern(Mapping {
@@ -123,7 +120,9 @@ impl Matcher for ClusterMatcher {
                         continue;
                     }
                     chosen.push(cand);
-                    search(problem, matrix, fragment, nodes, delta_max, registry, chosen, found);
+                    search(
+                        problem, matrix, fragment, nodes, delta_max, registry, chosen, found,
+                    );
                     chosen.pop();
                 }
             }

@@ -75,7 +75,12 @@ impl SchemaTable {
         for i in (0..k).rev() {
             suffix_min[i] = suffix_min[i + 1] + row_min[i];
         }
-        SchemaTable { n, costs, row_min, suffix_min }
+        SchemaTable {
+            n,
+            costs,
+            row_min,
+            suffix_min,
+        }
     }
 
     /// Direct (non-memoised) fill: every cell goes through
@@ -181,7 +186,10 @@ impl CostMatrix {
         let mut rows: Vec<Option<Arc<Vec<f64>>>> = names
             .iter()
             .map(|name| {
-                pinned.get(name).filter(|row| row.len() == expected).map(Arc::clone)
+                pinned
+                    .get(name)
+                    .filter(|row| row.len() == expected)
+                    .map(Arc::clone)
             })
             .collect();
         let missing: Vec<&str> = names
@@ -196,10 +204,15 @@ impl CostMatrix {
                 *row = fetched.next();
             }
         }
-        let rows: Vec<Arc<Vec<f64>>> =
-            rows.into_iter().map(|row| row.expect("every name resolved")).collect();
-        let row_of: HashMap<&str, usize> =
-            names.iter().enumerate().map(|(i, &name)| (name, i)).collect();
+        let rows: Vec<Arc<Vec<f64>>> = rows
+            .into_iter()
+            .map(|row| row.expect("every name resolved"))
+            .collect();
+        let row_of: HashMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| (name, i))
+            .collect();
         let level_rows: Vec<usize> = problem
             .personal_order()
             .iter()
@@ -231,9 +244,13 @@ impl CostMatrix {
                 SchemaTable::from_costs(k, n, costs)
             })
             .collect();
-        let denom = k as f64
-            + problem.personal_edges() as f64 * objective.config().structure_weight;
-        CostMatrix { objective: objective.clone(), denom, tables }
+        let denom =
+            k as f64 + problem.personal_edges() as f64 * objective.config().structure_weight;
+        CostMatrix {
+            objective: objective.clone(),
+            denom,
+            tables,
+        }
     }
 
     /// The objective the matrix was built for.
@@ -278,7 +295,9 @@ impl CostMatrix {
             if let Some(parent) = personal.node(pid).parent {
                 let parent_target = targets[parent.index()];
                 total += structure_weight
-                    * self.objective.edge_penalty(schema, parent_target, targets[i]);
+                    * self
+                        .objective
+                        .edge_penalty(schema, parent_target, targets[i]);
             }
         }
         total / self.denom
@@ -367,8 +386,7 @@ mod tests {
             for level in 0..k {
                 // Suffix is the sum of minima, hence ≤ any concrete
                 // completion's node costs.
-                let any_completion: f64 =
-                    (level..k).map(|l| table.cost(l, l % schema.len())).sum();
+                let any_completion: f64 = (level..k).map(|l| table.cost(l, l % schema.len())).sum();
                 assert!(table.suffix_min()[level] <= any_completion + 1e-12);
                 assert!(table.suffix_min()[level] >= table.suffix_min()[level + 1]);
             }

@@ -33,8 +33,13 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(MatchError::EmptyPersonalSchema.to_string().contains("no elements"));
-        let e = MatchError::BadParameter { what: "beam width", value: 0.0 };
+        assert!(MatchError::EmptyPersonalSchema
+            .to_string()
+            .contains("no elements"));
+        let e = MatchError::BadParameter {
+            what: "beam width",
+            value: 0.0,
+        };
         assert!(e.to_string().contains("beam width"));
     }
 }

@@ -44,13 +44,19 @@ pub struct ExhaustiveMatcher {
 impl ExhaustiveMatcher {
     /// Build with a shared objective function (matrix-backed scoring).
     pub fn new(objective: ObjectiveFunction) -> Self {
-        ExhaustiveMatcher { objective, mode: ScoringMode::Precomputed }
+        ExhaustiveMatcher {
+            objective,
+            mode: ScoringMode::Precomputed,
+        }
     }
 
     /// Build a matcher that bypasses the precomputed engine and evaluates
     /// the objective directly, as the seed implementation did.
     pub fn direct(objective: ObjectiveFunction) -> Self {
-        ExhaustiveMatcher { objective, mode: ScoringMode::Direct }
+        ExhaustiveMatcher {
+            objective,
+            mode: ScoringMode::Direct,
+        }
     }
 
     /// The scoring mode.
@@ -84,8 +90,8 @@ impl ExhaustiveMatcher {
                 &direct_table
             }
         };
-        let denom = k as f64
-            + problem.personal_edges() as f64 * self.objective.config().structure_weight;
+        let denom =
+            k as f64 + problem.personal_edges() as f64 * self.objective.config().structure_weight;
         let budget = delta_max * denom + 1e-12; // un-normalised cost budget
         let structure_weight = self.objective.config().structure_weight;
 
@@ -115,17 +121,21 @@ impl ExhaustiveMatcher {
         ) {
             let k = targets.len();
             if level == k {
-                let assignment: Vec<NodeId> =
-                    targets.iter().map(|&i| NodeId(i as u32)).collect();
+                let assignment: Vec<NodeId> = targets.iter().map(|&i| NodeId(i as u32)).collect();
                 // Re-score through the shared code path so every matcher
                 // reports bitwise-identical Δ for the same mapping (the
                 // accumulated `partial` has a different summation order).
                 let score = match ctx.matrix {
                     Some(m) => m.mapping_cost(ctx.problem, ctx.sid, &assignment),
-                    None => ctx.objective.mapping_cost(ctx.problem, ctx.sid, &assignment),
+                    None => ctx
+                        .objective
+                        .mapping_cost(ctx.problem, ctx.sid, &assignment),
                 };
                 if score <= ctx.delta_max {
-                    let id = ctx.registry.intern(Mapping { schema: ctx.sid, targets: assignment });
+                    let id = ctx.registry.intern(Mapping {
+                        schema: ctx.sid,
+                        targets: assignment,
+                    });
                     found.push((id, score));
                 }
                 return;
@@ -142,9 +152,11 @@ impl ExhaustiveMatcher {
                 if let Some(p) = parent {
                     let parent_target = NodeId(targets[p.index()] as u32);
                     step += ctx.structure_weight
-                        * ctx
-                            .objective
-                            .edge_penalty(ctx.schema, parent_target, NodeId(cand as u32));
+                        * ctx.objective.edge_penalty(
+                            ctx.schema,
+                            parent_target,
+                            NodeId(cand as u32),
+                        );
                 }
                 let lower_bound = partial + step + suffix;
                 if lower_bound > ctx.budget {
@@ -187,16 +199,18 @@ impl Matcher for ExhaustiveMatcher {
         "S1-exhaustive"
     }
 
-    fn run(
-        &self,
-        problem: &MatchProblem,
-        delta_max: f64,
-        registry: &MappingRegistry,
-    ) -> AnswerSet {
+    fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
         let matrix = self.engine(problem);
         let mut found = Vec::new();
         for sid in problem.repository().schema_ids() {
-            self.search_schema(problem, sid, matrix.as_deref(), delta_max, registry, &mut found);
+            self.search_schema(
+                problem,
+                sid,
+                matrix.as_deref(),
+                delta_max,
+                registry,
+                &mut found,
+            );
         }
         AnswerSet::new(found).expect("finite costs, unique interned ids")
     }
@@ -231,7 +245,8 @@ mod tests {
             SchemaBuilder::new("shop")
                 .root("store")
                 .child("order", |o| {
-                    o.leaf("date", PrimitiveType::Date).leaf("total", PrimitiveType::Decimal)
+                    o.leaf("date", PrimitiveType::Date)
+                        .leaf("total", PrimitiveType::Decimal)
                 })
                 .build(),
         );

@@ -16,12 +16,7 @@ pub trait Matcher {
     fn name(&self) -> &str;
 
     /// Run the matcher, returning all found mappings with Δ ≤ `delta_max`.
-    fn run(
-        &self,
-        problem: &MatchProblem,
-        delta_max: f64,
-        registry: &MappingRegistry,
-    ) -> AnswerSet;
+    fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet;
 }
 
 /// Boxed matchers match too — so heterogeneous matcher collections
@@ -32,12 +27,7 @@ impl<M: Matcher + ?Sized> Matcher for Box<M> {
         (**self).name()
     }
 
-    fn run(
-        &self,
-        problem: &MatchProblem,
-        delta_max: f64,
-        registry: &MappingRegistry,
-    ) -> AnswerSet {
+    fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
         (**self).run(problem, delta_max, registry)
     }
 }

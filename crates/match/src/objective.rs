@@ -30,7 +30,11 @@ pub struct ObjectiveConfig {
 
 impl Default for ObjectiveConfig {
     fn default() -> Self {
-        ObjectiveConfig { name_weight: 0.75, type_weight: 0.25, structure_weight: 0.6 }
+        ObjectiveConfig {
+            name_weight: 0.75,
+            type_weight: 0.25,
+            structure_weight: 0.6,
+        }
     }
 }
 
@@ -44,7 +48,10 @@ pub struct ObjectiveFunction {
 impl ObjectiveFunction {
     /// Build with explicit weights.
     pub fn new(config: ObjectiveConfig) -> Self {
-        ObjectiveFunction { config, names: NameSimilarity::default() }
+        ObjectiveFunction {
+            config,
+            names: NameSimilarity::default(),
+        }
     }
 
     /// The configured weights.
@@ -67,8 +74,7 @@ impl ObjectiveFunction {
     #[inline]
     pub fn blend(&self, name_dist: f64, type_dist: f64) -> f64 {
         let w = self.config;
-        (w.name_weight * name_dist + w.type_weight * type_dist)
-            / (w.name_weight + w.type_weight)
+        (w.name_weight * name_dist + w.type_weight * type_dist) / (w.name_weight + w.type_weight)
     }
 
     /// Cost in `[0, 1]` of assigning `personal_node` to `target` in
@@ -128,12 +134,7 @@ impl ObjectiveFunction {
 
     /// The smallest possible node cost of `personal_node` within `schema`
     /// — the admissible per-node lower bound used by branch-and-bound.
-    pub fn min_node_cost(
-        &self,
-        personal: &Schema,
-        personal_node: NodeId,
-        schema: &Schema,
-    ) -> f64 {
+    pub fn min_node_cost(&self, personal: &Schema, personal_node: NodeId, schema: &Schema) -> f64 {
         schema
             .node_ids()
             .map(|t| self.node_cost(personal, personal_node, schema, t))

@@ -35,7 +35,10 @@ impl ParallelExhaustiveMatcher {
         } else {
             threads
         };
-        ParallelExhaustiveMatcher { inner: ExhaustiveMatcher::new(objective), threads }
+        ParallelExhaustiveMatcher {
+            inner: ExhaustiveMatcher::new(objective),
+            threads,
+        }
     }
 }
 
@@ -44,12 +47,7 @@ impl Matcher for ParallelExhaustiveMatcher {
         "S1-parallel"
     }
 
-    fn run(
-        &self,
-        problem: &MatchProblem,
-        delta_max: f64,
-        registry: &MappingRegistry,
-    ) -> AnswerSet {
+    fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
         let schema_ids: Vec<SchemaId> = problem.repository().schema_ids().collect();
         // Build (or fetch) the shared engine once, before fanning out, so
         // workers only perform lock-free reads.
@@ -68,9 +66,7 @@ impl Matcher for ParallelExhaustiveMatcher {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&sid) = schema_ids.get(i) else { break };
-                        inner.search_schema(
-                            problem, sid, matrix, delta_max, registry, &mut local,
-                        );
+                        inner.search_schema(problem, sid, matrix, delta_max, registry, &mut local);
                     }
                     local
                 }));

@@ -28,7 +28,12 @@ impl MatchProblem {
             return Err(MatchError::EmptyPersonalSchema);
         }
         let personal_order: Vec<NodeId> = personal.node_ids().collect();
-        Ok(MatchProblem { personal, repository, personal_order, engine: OnceLock::new() })
+        Ok(MatchProblem {
+            personal,
+            repository,
+            personal_order,
+            engine: OnceLock::new(),
+        })
     }
 
     /// The precomputed [`CostMatrix`] for `objective`, built on first use
@@ -47,8 +52,9 @@ impl MatchProblem {
     /// [`ObjectiveConfig`](crate::ObjectiveConfig) gets a freshly built
     /// (uncached) matrix rather than a wrong one.
     pub fn cost_matrix(&self, objective: &ObjectiveFunction) -> Arc<CostMatrix> {
-        let cached =
-            self.engine.get_or_init(|| Arc::new(CostMatrix::build(self, objective)));
+        let cached = self
+            .engine
+            .get_or_init(|| Arc::new(CostMatrix::build(self, objective)));
         if cached.config() == objective.config() {
             Arc::clone(cached)
         } else {

@@ -28,7 +28,9 @@ pub fn random_selection(
     let mut prev_threshold = f64::NEG_INFINITY;
     let mut prev_cum = 0usize;
     for (&threshold, &cum) in grid.iter().zip(sizes) {
-        let take = cum.checked_sub(prev_cum).expect("sizes must be non-decreasing");
+        let take = cum
+            .checked_sub(prev_cum)
+            .expect("sizes must be non-decreasing");
         let band: Vec<ScoredAnswer> = s1
             .answers()
             .iter()
@@ -93,8 +95,8 @@ mod tests {
 
     #[test]
     fn empirical_mean_matches_equation_9_and_10() {
-        use smx_eval::{Counts, GroundTruth, PrCurve};
         use smx_core::random_baseline_from_counts;
+        use smx_eval::{Counts, GroundTruth, PrCurve};
         // S1 with known composition: correct ids are multiples of 3.
         let s1 = s1();
         let truth = GroundTruth::new((0..20).filter(|i| i % 3 == 0).map(AnswerId));

@@ -53,7 +53,10 @@ pub struct TopKMatcher {
 impl TopKMatcher {
     /// Build with a shared objective function and `k ≥ 1`.
     pub fn new(objective: ObjectiveFunction, k: usize) -> Self {
-        TopKMatcher { objective, k: k.max(1) }
+        TopKMatcher {
+            objective,
+            k: k.max(1),
+        }
     }
 
     /// The result-list size.
@@ -67,12 +70,7 @@ impl Matcher for TopKMatcher {
         "S2-topk"
     }
 
-    fn run(
-        &self,
-        problem: &MatchProblem,
-        delta_max: f64,
-        registry: &MappingRegistry,
-    ) -> AnswerSet {
+    fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
         let k = problem.personal_size();
         let matrix = problem.cost_matrix(&self.objective);
         let mut heap: BinaryHeap<Held> = BinaryHeap::new();
@@ -111,8 +109,10 @@ impl Matcher for TopKMatcher {
                         chosen.iter().map(|&i| NodeId(i as u32)).collect();
                     let score = matrix.mapping_cost(problem, sid, &assignment);
                     if score <= delta_max {
-                        let id = registry
-                            .intern(Mapping { schema: sid, targets: assignment });
+                        let id = registry.intern(Mapping {
+                            schema: sid,
+                            targets: assignment,
+                        });
                         heap.push(Held { score, id });
                         if heap.len() > m.k {
                             heap.pop();
@@ -133,19 +133,25 @@ impl Matcher for TopKMatcher {
                     if let Some(p) = parent {
                         let parent_target = NodeId(chosen[p.index()] as u32);
                         step += m.objective.config().structure_weight
-                            * m.objective.edge_penalty(
-                                schema,
-                                parent_target,
-                                NodeId(cand as u32),
-                            );
+                            * m.objective
+                                .edge_penalty(schema, parent_target, NodeId(cand as u32));
                     }
                     if partial + step + suffix > budget {
                         continue;
                     }
                     chosen.push(cand);
                     dfs(
-                        m, problem, sid, schema, matrix, table, delta_max, registry,
-                        partial + step, chosen, heap,
+                        m,
+                        problem,
+                        sid,
+                        schema,
+                        matrix,
+                        table,
+                        delta_max,
+                        registry,
+                        partial + step,
+                        chosen,
+                        heap,
                     );
                     chosen.pop();
                 }

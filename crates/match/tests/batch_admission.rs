@@ -11,11 +11,11 @@
 //!   chunk, `StoreCounters` show zero evictions and zero extra misses
 //!   after the chunk's prefill.
 
-use smx_match::{
-    BatchMatcher, BatchProblem, ExhaustiveMatcher, Mapping, MappingRegistry, MatchProblem,
-    Matcher, ObjectiveFunction,
-};
 use smx_eval::AnswerSet;
+use smx_match::{
+    BatchMatcher, BatchProblem, ExhaustiveMatcher, Mapping, MappingRegistry, MatchProblem, Matcher,
+    ObjectiveFunction,
+};
 use smx_repo::{Repository, StoreConfig};
 use smx_synth::{Scenario, ScenarioConfig};
 use smx_xml::Schema;
@@ -46,8 +46,10 @@ fn with_config(repository: &Repository, config: StoreConfig) -> Repository {
 
 fn workload(seeds: &[u64]) -> (Vec<Schema>, Repository) {
     let base = Scenario::generate(scenario(seeds[0]));
-    let personals: Vec<Schema> =
-        seeds.iter().map(|&seed| Scenario::generate(scenario(seed)).personal).collect();
+    let personals: Vec<Schema> = seeds
+        .iter()
+        .map(|&seed| Scenario::generate(scenario(seed)).personal)
+        .collect();
     (personals, base.repository)
 }
 
@@ -69,11 +71,17 @@ fn pinned_build_matrices_survive_a_bound_below_the_batch_vocabulary() {
     // Tightest possible cache: every insert beyond the first evicts.
     let bounded = with_config(
         &repository,
-        StoreConfig { max_cached_rows: Some(1), batch_threads: 0 },
+        StoreConfig {
+            max_cached_rows: Some(1),
+            batch_threads: 0,
+        },
     );
     let batch = BatchProblem::new(personals.clone(), bounded).expect("non-empty schemas");
     let distinct = batch.distinct_labels().len() as u64;
-    assert!(distinct > 1, "workload must overflow the bound for the test to bite");
+    assert!(
+        distinct > 1,
+        "workload must overflow the bound for the test to bite"
+    );
     let store = batch.repository().store();
     let labels = store.len() as u64;
     batch.build_matrices(&ObjectiveFunction::default());
@@ -82,9 +90,16 @@ fn pinned_build_matrices_survive_a_bound_below_the_batch_vocabulary() {
     // fill re-swept rows the prefill had already computed and the LRU
     // had already evicted. Pinned, the batch costs exactly one sweep
     // per distinct label no matter the bound.
-    assert_eq!(c.pair_evals, distinct * labels, "prefetched rows must not be re-swept");
+    assert_eq!(
+        c.pair_evals,
+        distinct * labels,
+        "prefetched rows must not be re-swept"
+    );
     assert_eq!(c.row_misses, distinct);
-    assert_eq!(c.row_lookups, distinct, "fills must read the pinned Arcs, not the store");
+    assert_eq!(
+        c.row_lookups, distinct,
+        "fills must read the pinned Arcs, not the store"
+    );
     // And the matrices are the same ones an unbounded twin computes.
     let registry = MappingRegistry::new();
     let free = BatchProblem::new(personals, repository).expect("non-empty schemas");
@@ -92,7 +107,11 @@ fn pinned_build_matrices_survive_a_bound_below_the_batch_vocabulary() {
     let expected = matcher.run_batch(&free, DELTA_MAX, &registry);
     let got = matcher.run_batch(&batch, DELTA_MAX, &registry);
     for (i, (b, s)) in got.iter().zip(&expected).enumerate() {
-        assert_eq!(canonical(b, &registry), canonical(s, &registry), "problem {i}");
+        assert_eq!(
+            canonical(b, &registry),
+            canonical(s, &registry),
+            "problem {i}"
+        );
     }
 }
 
@@ -102,7 +121,10 @@ fn admission_chunks_cover_the_batch_and_respect_the_bound() {
     for cap in [1usize, 3, 6, 10, 100] {
         let bounded = with_config(
             &repository,
-            StoreConfig { max_cached_rows: Some(cap), batch_threads: 0 },
+            StoreConfig {
+                max_cached_rows: Some(cap),
+                batch_threads: 0,
+            },
         );
         let batch = BatchProblem::new(personals.clone(), bounded).expect("non-empty schemas");
         let chunks = batch.admission_chunks();
@@ -139,11 +161,17 @@ fn within_a_chunk_no_evictions_and_no_extra_misses() {
     let cap = 8;
     let bounded = with_config(
         &repository,
-        StoreConfig { max_cached_rows: Some(cap), batch_threads: 0 },
+        StoreConfig {
+            max_cached_rows: Some(cap),
+            batch_threads: 0,
+        },
     );
     let batch = BatchProblem::new(personals, bounded).expect("non-empty schemas");
     let chunks = batch.admission_chunks();
-    assert!(chunks.len() > 1, "workload must not fit one chunk for the test to bite");
+    assert!(
+        chunks.len() > 1,
+        "workload must not fit one chunk for the test to bite"
+    );
     let store = batch.repository().store();
     let objective = ObjectiveFunction::default();
     for chunk in chunks {
@@ -185,14 +213,16 @@ fn bounded_chunked_run_batch_is_bitwise_identical_and_thrash_free() {
     for cap in [2usize, 5, 9] {
         let bounded = with_config(
             &repository,
-            StoreConfig { max_cached_rows: Some(cap), batch_threads: 0 },
+            StoreConfig {
+                max_cached_rows: Some(cap),
+                batch_threads: 0,
+            },
         );
-        let batch =
-            BatchProblem::new(personals.clone(), bounded).expect("non-empty schemas");
+        let batch = BatchProblem::new(personals.clone(), bounded).expect("non-empty schemas");
         let chunks = batch.admission_chunks();
         let store = batch.repository().store();
-        let got = BatchMatcher::new(ExhaustiveMatcher::default())
-            .run_batch(&batch, DELTA_MAX, &registry);
+        let got =
+            BatchMatcher::new(ExhaustiveMatcher::default()).run_batch(&batch, DELTA_MAX, &registry);
         assert_eq!(got.len(), expected.len(), "cap {cap}");
         for (i, (b, s)) in got.iter().zip(&expected).enumerate() {
             assert_eq!(

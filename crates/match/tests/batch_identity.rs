@@ -3,12 +3,12 @@
 //! bitwise identical — scores always, interned ids too under sequential
 //! dispatch — to running each problem alone through the same matcher.
 
-use smx_match::{
-    BatchMatcher, BatchProblem, BeamMatcher, BruteForceMatcher, ClusterMatcher,
-    ExhaustiveMatcher, Mapping, MappingRegistry, MatchProblem, Matcher, ObjectiveFunction,
-    ParallelExhaustiveMatcher, TopKMatcher,
-};
 use smx_eval::AnswerSet;
+use smx_match::{
+    BatchMatcher, BatchProblem, BeamMatcher, BruteForceMatcher, ClusterMatcher, ExhaustiveMatcher,
+    Mapping, MappingRegistry, MatchProblem, Matcher, ObjectiveFunction, ParallelExhaustiveMatcher,
+    TopKMatcher,
+};
 use smx_repo::Repository;
 use smx_synth::{Scenario, ScenarioConfig};
 use smx_xml::Schema;
@@ -31,8 +31,10 @@ fn config(seed: u64) -> ScenarioConfig {
 /// label vocabularies overlap across the batch — the serving shape).
 fn workload(seeds: &[u64]) -> (Vec<Schema>, Repository) {
     let base = Scenario::generate(config(seeds[0]));
-    let personals: Vec<Schema> =
-        seeds.iter().map(|&seed| Scenario::generate(config(seed)).personal).collect();
+    let personals: Vec<Schema> = seeds
+        .iter()
+        .map(|&seed| Scenario::generate(config(seed)).personal)
+        .collect();
     (personals, base.repository)
 }
 
@@ -42,10 +44,16 @@ fn matchers() -> Vec<(&'static str, Box<dyn Matcher + Sync>)> {
     let objective = ObjectiveFunction::default;
     vec![
         ("exhaustive", Box::new(ExhaustiveMatcher::new(objective()))),
-        ("parallel", Box::new(ParallelExhaustiveMatcher::new(objective(), 3))),
+        (
+            "parallel",
+            Box::new(ParallelExhaustiveMatcher::new(objective(), 3)),
+        ),
         ("brute-force", Box::new(BruteForceMatcher::new(objective()))),
         ("beam", Box::new(BeamMatcher::new(objective(), 16))),
-        ("cluster", Box::new(ClusterMatcher::new(objective(), 0.55, 3))),
+        (
+            "cluster",
+            Box::new(ClusterMatcher::new(objective(), 0.55, 3)),
+        ),
         ("topk", Box::new(TopKMatcher::new(objective(), 25))),
     ]
 }
@@ -133,7 +141,10 @@ fn empty_batch_yields_no_answer_sets() {
         let registry = MappingRegistry::new();
         let got = BatchMatcher::new(matcher).run_batch(&batch, DELTA_MAX, &registry);
         assert!(got.is_empty(), "{name}");
-        assert!(registry.is_empty(), "{name}: empty batch must intern nothing");
+        assert!(
+            registry.is_empty(),
+            "{name}: empty batch must intern nothing"
+        );
     }
 }
 
@@ -144,8 +155,7 @@ fn single_problem_batch_equals_solo_run() {
         let registry = MappingRegistry::new();
         let problem = MatchProblem::new(personals[0].clone(), repository.clone()).unwrap();
         let solo = matcher.run(&problem, DELTA_MAX, &registry);
-        let batch =
-            BatchProblem::new(vec![personals[0].clone()], repository.clone()).unwrap();
+        let batch = BatchProblem::new(vec![personals[0].clone()], repository.clone()).unwrap();
         let got = BatchMatcher::new(matcher).run_batch(&batch, DELTA_MAX, &registry);
         assert_eq!(got.len(), 1, "{name}");
         assert_eq!(got[0], solo, "{name}");
@@ -158,7 +168,11 @@ fn duplicate_schema_batch_repeats_identical_answers() {
     for (name, matcher) in matchers() {
         let registry = MappingRegistry::new();
         let batch = BatchProblem::new(
-            vec![personals[0].clone(), personals[0].clone(), personals[0].clone()],
+            vec![
+                personals[0].clone(),
+                personals[0].clone(),
+                personals[0].clone(),
+            ],
             repository.clone(),
         )
         .unwrap();
@@ -219,6 +233,9 @@ fn bounded_store_batch_is_identical_to_unbounded() {
     let store = batch_b.repository().store();
     assert!(store.cached_rows() <= 2);
     let c = store.counters();
-    assert!(c.row_evictions > 0, "bound below the batch vocabulary must evict");
+    assert!(
+        c.row_evictions > 0,
+        "bound below the batch vocabulary must evict"
+    );
     assert_eq!(c.row_hits + c.row_misses, c.row_lookups);
 }

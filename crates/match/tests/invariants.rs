@@ -20,8 +20,11 @@ fn problem(seed: u64, domain: Domain) -> MatchProblem {
 
 #[test]
 fn every_s2_is_score_consistent_subset_of_s1() {
-    for (seed, domain) in [(1, Domain::Publications), (2, Domain::Commerce), (3, Domain::Travel)]
-    {
+    for (seed, domain) in [
+        (1, Domain::Publications),
+        (2, Domain::Commerce),
+        (3, Domain::Travel),
+    ] {
         let problem = problem(seed, domain);
         let registry = MappingRegistry::new();
         let delta_max = 0.45;
@@ -29,27 +32,18 @@ fn every_s2_is_score_consistent_subset_of_s1() {
         let s2s: Vec<(&str, smx_eval::AnswerSet)> = vec![
             (
                 "beam",
-                BeamMatcher::new(ObjectiveFunction::default(), 12).run(
-                    &problem,
-                    delta_max,
-                    &registry,
-                ),
+                BeamMatcher::new(ObjectiveFunction::default(), 12)
+                    .run(&problem, delta_max, &registry),
             ),
             (
                 "cluster",
-                ClusterMatcher::new(ObjectiveFunction::default(), 0.5, 3).run(
-                    &problem,
-                    delta_max,
-                    &registry,
-                ),
+                ClusterMatcher::new(ObjectiveFunction::default(), 0.5, 3)
+                    .run(&problem, delta_max, &registry),
             ),
             (
                 "topk",
-                TopKMatcher::new(ObjectiveFunction::default(), 25).run(
-                    &problem,
-                    delta_max,
-                    &registry,
-                ),
+                TopKMatcher::new(ObjectiveFunction::default(), 25)
+                    .run(&problem, delta_max, &registry),
             ),
         ];
         for (name, s2) in &s2s {
@@ -101,9 +95,11 @@ fn ratio_profiles_have_expected_shapes() {
     if s1.len() < 20 {
         return; // degenerate scenario; other seeds cover the shape check
     }
-    let beam = BeamMatcher::new(ObjectiveFunction::default(), 8).run(&problem, delta_max, &registry);
+    let beam =
+        BeamMatcher::new(ObjectiveFunction::default(), 8).run(&problem, delta_max, &registry);
     let k = s1.len() / 4;
-    let topk = TopKMatcher::new(ObjectiveFunction::default(), k).run(&problem, delta_max, &registry);
+    let topk =
+        TopKMatcher::new(ObjectiveFunction::default(), k).run(&problem, delta_max, &registry);
     let scores = s1.distinct_scores();
     let head = scores[scores.len() / 5];
     let tail = *scores.last().unwrap();

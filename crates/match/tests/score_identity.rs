@@ -31,7 +31,10 @@ fn all_matchers_report_bitwise_direct_scores() {
     let registry = MappingRegistry::new();
     let delta_max = 0.5;
     let runs: Vec<(&str, smx_eval::AnswerSet)> = vec![
-        ("exhaustive", ExhaustiveMatcher::default().run(&problem, delta_max, &registry)),
+        (
+            "exhaustive",
+            ExhaustiveMatcher::default().run(&problem, delta_max, &registry),
+        ),
         (
             "parallel",
             ParallelExhaustiveMatcher::new(ObjectiveFunction::default(), 3)
@@ -43,8 +46,7 @@ fn all_matchers_report_bitwise_direct_scores() {
         ),
         (
             "beam",
-            BeamMatcher::new(ObjectiveFunction::default(), 16)
-                .run(&problem, delta_max, &registry),
+            BeamMatcher::new(ObjectiveFunction::default(), 16).run(&problem, delta_max, &registry),
         ),
         (
             "cluster",
@@ -53,8 +55,7 @@ fn all_matchers_report_bitwise_direct_scores() {
         ),
         (
             "topk",
-            TopKMatcher::new(ObjectiveFunction::default(), 25)
-                .run(&problem, delta_max, &registry),
+            TopKMatcher::new(ObjectiveFunction::default(), 25).run(&problem, delta_max, &registry),
         ),
     ];
     for (name, answers) in &runs {
@@ -102,8 +103,8 @@ fn brute_force_matrix_equals_brute_force_direct() {
     let problem = MatchProblem::new(sc.personal, sc.repository).unwrap();
     let registry = MappingRegistry::new();
     let fast = BruteForceMatcher::default().run(&problem, 0.6, &registry);
-    let slow = BruteForceMatcher::direct(ObjectiveFunction::default())
-        .run(&problem, 0.6, &registry);
+    let slow =
+        BruteForceMatcher::direct(ObjectiveFunction::default()).run(&problem, 0.6, &registry);
     assert_eq!(fast, slow);
 }
 
@@ -111,9 +112,11 @@ fn brute_force_matrix_equals_brute_force_direct() {
 /// tokens across schemas — the interner's dedup paths).
 #[test]
 fn identity_holds_across_domains() {
-    for (seed, domain) in
-        [(5, Domain::Publications), (6, Domain::Commerce), (7, Domain::Travel)]
-    {
+    for (seed, domain) in [
+        (5, Domain::Publications),
+        (6, Domain::Commerce),
+        (7, Domain::Travel),
+    ] {
         let sc = Scenario::generate(ScenarioConfig {
             domain,
             derived_schemas: 3,

@@ -27,7 +27,10 @@ fn repeated_problems_share_all_label_level_work() {
     let repository = sc.repository;
     let store_labels = repository.store().len() as u64;
     let ingest = repository.store().counters();
-    assert_eq!(ingest.profile_builds, store_labels, "profiles are built once per distinct label");
+    assert_eq!(
+        ingest.profile_builds, store_labels,
+        "profiles are built once per distinct label"
+    );
     assert_eq!(ingest.pair_evals, 0, "ingest must not score pairs");
     assert_eq!(ingest.row_lookups, 0);
 
@@ -52,7 +55,10 @@ fn repeated_problems_share_all_label_level_work() {
     let p2 = MatchProblem::new(sc.personal.clone(), repository.clone()).unwrap();
     p2.cost_matrix(&objective);
     let warm = repository.store().counters();
-    assert_eq!(warm.pair_evals, cold.pair_evals, "repeat query evaluated pairs");
+    assert_eq!(
+        warm.pair_evals, cold.pair_evals,
+        "repeat query evaluated pairs"
+    );
     assert_eq!(warm.profile_builds, cold.profile_builds);
     assert_eq!(warm.row_hits, cold.row_hits + distinct_personal);
     assert_eq!(warm.row_misses, cold.row_misses);
@@ -114,13 +120,19 @@ fn bounded_store_recomputes_evicted_rows_without_changing_answers() {
         let p = MatchProblem::new(sc.personal.clone(), repository.clone()).unwrap();
         p.distinct_personal_labels().len()
     };
-    assert!(distinct_personal > 1, "scenario must exceed the bound for this test to bite");
+    assert!(
+        distinct_personal > 1,
+        "scenario must exceed the bound for this test to bite"
+    );
 
     let registry = MappingRegistry::new();
     let p1 = MatchProblem::new(sc.personal.clone(), repository.clone()).unwrap();
     let a1 = ExhaustiveMatcher::default().run(&p1, 0.4, &registry);
     let after_first = repository.store().counters();
-    assert!(after_first.row_evictions > 0, "bound below the vocabulary must evict");
+    assert!(
+        after_first.row_evictions > 0,
+        "bound below the vocabulary must evict"
+    );
 
     let p2 = MatchProblem::new(sc.personal.clone(), repository.clone()).unwrap();
     let a2 = ExhaustiveMatcher::default().run(&p2, 0.4, &registry);
@@ -130,7 +142,10 @@ fn bounded_store_recomputes_evicted_rows_without_changing_answers() {
         "the repeat problem must re-sweep evicted rows"
     );
     assert!(repository.store().cached_rows() <= 1);
-    assert_eq!(after_second.row_hits + after_second.row_misses, after_second.row_lookups);
+    assert_eq!(
+        after_second.row_hits + after_second.row_misses,
+        after_second.row_lookups
+    );
 
     // Eviction is invisible to results: repeat run and unbounded oracle
     // agree (fresh registries intern in the same deterministic order, so

@@ -76,13 +76,18 @@ mod tests {
     #[test]
     fn display_names_the_failure() {
         assert!(PersistError::BadMagic.to_string().contains("magic"));
-        assert!(PersistError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(PersistError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
         assert!(PersistError::Truncated.to_string().contains("truncated"));
-        assert!(PersistError::ChecksumMismatch(4).to_string().contains("section 4"));
-        assert!(PersistError::MissingSection(2).to_string().contains("section 2"));
+        assert!(PersistError::ChecksumMismatch(4)
+            .to_string()
+            .contains("section 4"));
+        assert!(PersistError::MissingSection(2)
+            .to_string()
+            .contains("section 2"));
         assert!(PersistError::Corrupt("x".into()).to_string().contains('x'));
-        let io: PersistError =
-            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        let io: PersistError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
         assert!(std::error::Error::source(&io).is_some());
         assert!(std::error::Error::source(&PersistError::BadMagic).is_none());

@@ -121,7 +121,10 @@ impl Snapshot for Repository {
             batch_threads,
         };
         validate(&schemas, &state)?;
-        Ok(Repository::from_parts(schemas, LabelStore::import_state(state)))
+        Ok(Repository::from_parts(
+            schemas,
+            LabelStore::import_state(state),
+        ))
     }
 }
 
@@ -220,18 +223,14 @@ fn decode_schemas(bytes: &[u8]) -> Result<Vec<Schema>, PersistError> {
             node.kind = match r.get_u8()? {
                 0 => smx_xml::NodeKind::Element,
                 1 => smx_xml::NodeKind::Attribute,
-                k => {
-                    return Err(PersistError::Corrupt(format!("unknown node kind {k}")))
-                }
+                k => return Err(PersistError::Corrupt(format!("unknown node kind {k}"))),
             };
             node.ty = decode_type(r.get_u8()?)?;
             let min = r.get_u32()?;
             let max = match r.get_u8()? {
                 0 => None,
                 1 => Some(r.get_u32()?),
-                f => {
-                    return Err(PersistError::Corrupt(format!("bad occurs flag {f}")))
-                }
+                f => return Err(PersistError::Corrupt(format!("bad occurs flag {f}"))),
             };
             node.occurs = Occurs { min, max };
             let parent = r.get_u32()?;
@@ -333,9 +332,7 @@ fn encode_tokens(state: &StoreState) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_tokens(
-    bytes: &[u8],
-) -> Result<Vec<(String, Vec<smx_repo::ElementRef>)>, PersistError> {
+fn decode_tokens(bytes: &[u8]) -> Result<Vec<(String, Vec<smx_repo::ElementRef>)>, PersistError> {
     let mut r = Reader::new(bytes);
     let count = r.get_u32()? as usize;
     let mut postings = Vec::with_capacity(count.min(1 << 20));
@@ -438,12 +435,9 @@ fn validate(schemas: &[Schema], state: &StoreState) -> Result<(), PersistError> 
             )));
         }
         for (node, &label) in schema.node_ids().zip(columns) {
-            let name = state
-                .labels
-                .get(label as usize)
-                .ok_or_else(|| {
-                    PersistError::Corrupt(format!("schema {i} references label {label}"))
-                })?;
+            let name = state.labels.get(label as usize).ok_or_else(|| {
+                PersistError::Corrupt(format!("schema {i} references label {label}"))
+            })?;
             if *name != schema.node(node).name {
                 return Err(PersistError::Corrupt(format!(
                     "schema {i} node {node} labelled {name:?}, expected {:?}",

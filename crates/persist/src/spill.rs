@@ -123,7 +123,12 @@ impl SpillFile {
         file.write_all(&SPILL_VERSION.to_le_bytes())?;
         let end = (SPILL_MAGIC.len() + 4) as u64;
         Ok(SpillFile {
-            inner: Mutex::new(Inner { file, index: HashMap::new(), end, poisoned: false }),
+            inner: Mutex::new(Inner {
+                file,
+                index: HashMap::new(),
+                end,
+                poisoned: false,
+            }),
             path,
         })
     }
@@ -170,7 +175,12 @@ impl SpillFile {
                 if let Ok(query) = std::str::from_utf8(&bytes[pos + RECORD_HEADER..payload]) {
                     index.insert(
                         query.to_owned(),
-                        Slot { record_at: pos as u64, values, checksum, labels_fingerprint },
+                        Slot {
+                            record_at: pos as u64,
+                            values,
+                            checksum,
+                            labels_fingerprint,
+                        },
                     );
                 }
             }
@@ -184,7 +194,12 @@ impl SpillFile {
         file.set_len(end)?;
         file.seek(SeekFrom::Start(end))?;
         Ok(SpillFile {
-            inner: Mutex::new(Inner { file, index, end, poisoned: false }),
+            inner: Mutex::new(Inner {
+                file,
+                index,
+                end,
+                poisoned: false,
+            }),
             path,
         })
     }
@@ -221,8 +236,7 @@ impl EvictionSink for SpillFile {
         if inner.poisoned {
             return false;
         }
-        let mut record =
-            Vec::with_capacity(RECORD_HEADER + query.len() + row.len() * 8);
+        let mut record = Vec::with_capacity(RECORD_HEADER + query.len() + row.len() * 8);
         record.extend_from_slice(&(query.len() as u32).to_le_bytes());
         record.extend_from_slice(&(row.len() as u32).to_le_bytes());
         record.extend_from_slice(&[0u8; 8]); // checksum patched below
@@ -254,7 +268,11 @@ impl EvictionSink for SpillFile {
             }
         }
         let at = inner.end;
-        if inner.file.seek(SeekFrom::Start(at)).and_then(|_| inner.file.write_all(&record)).is_err()
+        if inner
+            .file
+            .seek(SeekFrom::Start(at))
+            .and_then(|_| inner.file.write_all(&record))
+            .is_err()
         {
             // Half-written tail is tolerated by open(); decline this and
             // every later spill rather than risk compounding the damage.
@@ -278,7 +296,12 @@ impl EvictionSink for SpillFile {
         let mut inner = self.inner.lock();
         let (record_at, values, checksum, labels_fingerprint) = {
             let slot = inner.index.get(query)?;
-            (slot.record_at, slot.values as usize, slot.checksum, slot.labels_fingerprint)
+            (
+                slot.record_at,
+                slot.values as usize,
+                slot.checksum,
+                slot.labels_fingerprint,
+            )
         };
         // Read and re-verify the *whole* record — the checksum covers
         // lengths, fingerprint, and query text too, so rot anywhere in
@@ -392,7 +415,11 @@ mod tests {
         for _ in 0..10 {
             assert!(spill.on_evict("hot", &row, 5));
         }
-        assert_eq!(spill.spilled_bytes(), size, "identical re-spills must not append");
+        assert_eq!(
+            spill.spilled_bytes(),
+            size,
+            "identical re-spills must not append"
+        );
         // A genuinely different row (extended after an add) does append.
         assert!(spill.on_evict("hot", &[1.0, 2.0, 3.0, 4.0], 6));
         assert!(spill.spilled_bytes() > size);
@@ -428,9 +455,15 @@ mod tests {
     fn open_rejects_foreign_files() {
         let path = temp_path("foreign");
         std::fs::write(&path, b"definitely not a spill file").unwrap();
-        assert!(matches!(SpillFile::open(&path), Err(PersistError::BadMagic)));
+        assert!(matches!(
+            SpillFile::open(&path),
+            Err(PersistError::BadMagic)
+        ));
         std::fs::write(&path, b"tiny").unwrap();
-        assert!(matches!(SpillFile::open(&path), Err(PersistError::Truncated)));
+        assert!(matches!(
+            SpillFile::open(&path),
+            Err(PersistError::Truncated)
+        ));
         let mut bad_version = SPILL_MAGIC.to_vec();
         bad_version.extend_from_slice(&99u32.to_le_bytes());
         std::fs::write(&path, bad_version).unwrap();
@@ -455,7 +488,10 @@ mod tests {
             let end = inner.end;
             inner.file.seek(SeekFrom::Start(end)).unwrap();
         }
-        assert!(spill.recover("q").is_none(), "corrupt payload must not be served");
+        assert!(
+            spill.recover("q").is_none(),
+            "corrupt payload must not be served"
+        );
         // The failed recovery vacates the index slot, so a later
         // eviction of the same (re-swept) row writes a fresh record
         // instead of dedup-matching the rotten one forever.
@@ -474,7 +510,10 @@ mod tests {
         let spill = SpillFile::create(&path).unwrap();
         spill.on_evict("q", &[1.0, 2.0, 3.0], 3);
         let size = spill.spilled_bytes();
-        assert!(spill.on_evict("q", &[1.0, 2.0], 2), "shorter spill is acknowledged");
+        assert!(
+            spill.on_evict("q", &[1.0, 2.0], 2),
+            "shorter spill is acknowledged"
+        );
         assert_eq!(spill.spilled_bytes(), size, "…but must not be written");
         assert_eq!(spill.recover("q").unwrap(), (vec![1.0, 2.0, 3.0], 3));
         std::fs::remove_file(&path).ok();
@@ -496,7 +535,10 @@ mod tests {
         bytes[at] = b'b'; // "alpha" -> "alphb", still valid UTF-8
         std::fs::write(&path, &bytes).unwrap();
         let spill = SpillFile::open(&path).unwrap();
-        assert!(spill.recover("alphb").is_none(), "rotten record must not be indexed");
+        assert!(
+            spill.recover("alphb").is_none(),
+            "rotten record must not be indexed"
+        );
         assert!(spill.recover("alpha").is_none());
         assert_eq!(spill.len(), 0);
         std::fs::remove_file(&path).ok();
@@ -518,7 +560,11 @@ mod tests {
         bytes[at] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let spill = SpillFile::open(&path).unwrap();
-        assert_eq!(spill.len(), 2, "one rotten record must not take its neighbours down");
+        assert_eq!(
+            spill.len(),
+            2,
+            "one rotten record must not take its neighbours down"
+        );
         assert!(spill.recover("first").is_none());
         assert_eq!(spill.recover("second").unwrap(), (vec![2.0, 2.5], 2));
         assert_eq!(spill.recover("third").unwrap(), (vec![3.0], 3));

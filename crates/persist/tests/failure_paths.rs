@@ -29,7 +29,10 @@ fn snapshot_bytes() -> (Repository, Vec<u8>) {
 fn bad_magic_is_rejected() {
     let (_, mut bytes) = snapshot_bytes();
     bytes[0] ^= 0xFF;
-    assert!(matches!(Repository::load_snapshot(&bytes), Err(PersistError::BadMagic)));
+    assert!(matches!(
+        Repository::load_snapshot(&bytes),
+        Err(PersistError::BadMagic)
+    ));
     assert!(matches!(
         Repository::load_snapshot(b"not a snapshot at all"),
         Err(PersistError::BadMagic)
@@ -53,7 +56,19 @@ fn truncation_anywhere_is_truncated_not_a_panic() {
     // Every prefix of the snapshot must fail cleanly. Short prefixes
     // die in the header; longer ones leave a section table pointing
     // past the end.
-    for len in [0, 1, 7, 8, 11, 12, 15, 16, 40, bytes.len() / 2, bytes.len() - 1] {
+    for len in [
+        0,
+        1,
+        7,
+        8,
+        11,
+        12,
+        15,
+        16,
+        40,
+        bytes.len() / 2,
+        bytes.len() - 1,
+    ] {
         match Repository::load_snapshot(&bytes[..len]) {
             Err(PersistError::Truncated) => {}
             other => panic!("prefix {len}: expected Truncated, got {other:?}"),
@@ -69,9 +84,15 @@ fn lying_section_count_is_truncated_not_an_allocation_panic() {
     let (_, mut bytes) = snapshot_bytes();
     let at = MAGIC.len() + 4;
     bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
-    assert!(matches!(Repository::load_snapshot(&bytes), Err(PersistError::Truncated)));
+    assert!(matches!(
+        Repository::load_snapshot(&bytes),
+        Err(PersistError::Truncated)
+    ));
     bytes[at..at + 4].copy_from_slice(&0x8000_0005u32.to_le_bytes());
-    assert!(matches!(Repository::load_snapshot(&bytes), Err(PersistError::Truncated)));
+    assert!(matches!(
+        Repository::load_snapshot(&bytes),
+        Err(PersistError::Truncated)
+    ));
 }
 
 #[test]
@@ -82,8 +103,7 @@ fn out_of_range_token_postings_are_corrupt() {
     let (_, bytes) = snapshot_bytes();
     let table_at = MAGIC.len() + 8;
     let entry = table_at + 2 * 28; // third entry: TOKENS
-    let offset =
-        u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap()) as usize;
+    let offset = u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap()) as usize;
     let len = u64::from_le_bytes(bytes[entry + 12..entry + 20].try_into().unwrap()) as usize;
     let mut damaged = bytes.clone();
     let payload = &mut damaged[offset..offset + len];
@@ -102,7 +122,10 @@ fn out_of_range_token_postings_are_corrupt() {
     damaged[entry + 20..entry + 28].copy_from_slice(&checksum.to_le_bytes());
     match Repository::load_snapshot(&damaged) {
         Err(PersistError::Corrupt(why)) => {
-            assert!(why.contains("posting"), "unexpected corruption report: {why}")
+            assert!(
+                why.contains("posting"),
+                "unexpected corruption report: {why}"
+            )
         }
         other => panic!("expected Corrupt, got {other:?}"),
     }
@@ -176,8 +199,7 @@ fn semantically_corrupt_sections_are_corrupt_errors() {
     // that section's checksum so only semantic validation can object.
     let table_at = MAGIC.len() + 8;
     let entry = table_at + 28;
-    let offset =
-        u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap()) as usize;
+    let offset = u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap()) as usize;
     let len = u64::from_le_bytes(bytes[entry + 12..entry + 20].try_into().unwrap()) as usize;
     let mut damaged = bytes.clone();
     let payload = &mut damaged[offset..offset + len];
@@ -200,7 +222,10 @@ fn semantically_corrupt_sections_are_corrupt_errors() {
     damaged[entry + 20..entry + 28].copy_from_slice(&checksum.to_le_bytes());
     match Repository::load_snapshot(&damaged) {
         Err(PersistError::Corrupt(why)) => {
-            assert!(why.contains("labelled"), "unexpected corruption report: {why}")
+            assert!(
+                why.contains("labelled"),
+                "unexpected corruption report: {why}"
+            )
         }
         other => panic!("expected Corrupt, got {other:?}"),
     }

@@ -4,12 +4,12 @@
 //! and a row that was spilled to disk and faulted back must be bitwise
 //! equal to its recomputed twin.
 
-use smx_match::{
-    BatchMatcher, BatchProblem, BeamMatcher, BruteForceMatcher, ClusterMatcher,
-    ExhaustiveMatcher, Mapping, MappingRegistry, MatchProblem, Matcher, ObjectiveFunction,
-    ParallelExhaustiveMatcher, TopKMatcher,
-};
 use smx_eval::AnswerSet;
+use smx_match::{
+    BatchMatcher, BatchProblem, BeamMatcher, BruteForceMatcher, ClusterMatcher, ExhaustiveMatcher,
+    Mapping, MappingRegistry, MatchProblem, Matcher, ObjectiveFunction, ParallelExhaustiveMatcher,
+    TopKMatcher,
+};
 use smx_persist::{Snapshot, SpillFile};
 use smx_repo::{LabelId, Repository, StoreConfig};
 use smx_synth::{Scenario, ScenarioConfig};
@@ -41,10 +41,16 @@ fn matchers() -> Vec<(&'static str, Box<dyn Matcher + Sync>)> {
     let objective = ObjectiveFunction::default;
     vec![
         ("exhaustive", Box::new(ExhaustiveMatcher::new(objective()))),
-        ("parallel", Box::new(ParallelExhaustiveMatcher::new(objective(), 3))),
+        (
+            "parallel",
+            Box::new(ParallelExhaustiveMatcher::new(objective(), 3)),
+        ),
         ("brute-force", Box::new(BruteForceMatcher::new(objective()))),
         ("beam", Box::new(BeamMatcher::new(objective(), 16))),
-        ("cluster", Box::new(ClusterMatcher::new(objective(), 0.55, 3))),
+        (
+            "cluster",
+            Box::new(ClusterMatcher::new(objective(), 0.55, 3)),
+        ),
         ("topk", Box::new(TopKMatcher::new(objective(), 25))),
     ]
 }
@@ -66,8 +72,8 @@ fn run(
     repository: &Repository,
     registry: &MappingRegistry,
 ) -> AnswerSet {
-    let problem = MatchProblem::new(personal.clone(), repository.clone())
-        .expect("non-empty personal schema");
+    let problem =
+        MatchProblem::new(personal.clone(), repository.clone()).expect("non-empty personal schema");
     matcher.run(&problem, DELTA_MAX, registry)
 }
 
@@ -97,20 +103,25 @@ fn loaded_snapshot_matches_bitwise_across_all_six_matchers() {
     // The loaded store serves the warmed rows without recomputing them.
     let replay = MatchProblem::new(sc.personal, loaded.clone()).unwrap();
     replay.cost_matrix(&ObjectiveFunction::default());
-    assert_eq!(loaded.store().pair_evals(), 0, "warm rows must survive the restart");
+    assert_eq!(
+        loaded.store().pair_evals(),
+        0,
+        "warm rows must survive the restart"
+    );
 }
 
 #[test]
 fn snapshot_file_round_trip_and_batch_equivalence() {
     let sc = scenario(202);
     let repository = sc.repository;
-    let personals: Vec<Schema> =
-        (0..4).map(|i| scenario(300 + i).personal).collect();
+    let personals: Vec<Schema> = (0..4).map(|i| scenario(300 + i).personal).collect();
     // Warm through the batch path, snapshot to an actual file.
     let batch = BatchProblem::new(personals.clone(), repository.clone()).unwrap();
     batch.prefill_rows();
     let path = temp_path("file-roundtrip");
-    repository.save_snapshot_file(&path).expect("snapshot writes");
+    repository
+        .save_snapshot_file(&path)
+        .expect("snapshot writes");
     let loaded = Repository::load_snapshot_file(&path).expect("snapshot reads");
     std::fs::remove_file(&path).ok();
     let registry = MappingRegistry::new();
@@ -127,7 +138,11 @@ fn snapshot_file_round_trip_and_batch_equivalence() {
     );
     assert_eq!(got.len(), expected.len());
     for (i, (b, s)) in got.iter().zip(&expected).enumerate() {
-        assert_eq!(canonical(b, &registry), canonical(s, &registry), "problem {i}");
+        assert_eq!(
+            canonical(b, &registry),
+            canonical(s, &registry),
+            "problem {i}"
+        );
     }
 }
 
@@ -146,12 +161,17 @@ fn spilled_then_faulted_rows_are_bitwise_equal_to_recompute() {
     }
     let path = temp_path("spill-fault");
     let spill = Arc::new(SpillFile::create(&path).expect("spill file"));
-    spilling.store().set_eviction_sink(Some(Arc::clone(&spill) as _));
+    spilling
+        .store()
+        .set_eviction_sink(Some(Arc::clone(&spill) as _));
     let queries: Vec<String> = (0..8).map(|i| format!("spillQuery{i}")).collect();
     for q in &queries {
         spilling.store().score_row(q);
     }
-    assert!(spill.len() >= queries.len() - 2, "most rows must have spilled");
+    assert!(
+        spill.len() >= queries.len() - 2,
+        "most rows must have spilled"
+    );
     // Fault every query back (all but the 2 resident ones come from
     // disk) and compare to the unbounded twin and the scalar oracle.
     let scalar = NameSimilarity::default();
@@ -163,7 +183,11 @@ fn spilled_then_faulted_rows_are_bitwise_equal_to_recompute() {
         for (id, (a, b)) in faulted.iter().zip(recomputed.iter()).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "{q:?} col {id}");
             let label = oracle.store().interner().resolve(LabelId(id as u32));
-            assert_eq!(a.to_bits(), scalar.distance(q, label).to_bits(), "{q:?} vs {label:?}");
+            assert_eq!(
+                a.to_bits(),
+                scalar.distance(q, label).to_bits(),
+                "{q:?} vs {label:?}"
+            );
         }
         assert_eq!(
             spilling.store().pair_evals(),
@@ -190,7 +214,9 @@ fn spilled_rows_back_matchers_identically_under_pressure() {
     }
     let path = temp_path("spill-match");
     let spill = Arc::new(SpillFile::create(&path).expect("spill file"));
-    bounded.store().set_eviction_sink(Some(Arc::clone(&spill) as _));
+    bounded
+        .store()
+        .set_eviction_sink(Some(Arc::clone(&spill) as _));
     for (name, matcher) in matchers() {
         let registry = MappingRegistry::new();
         let free = run(&matcher, &sc.personal, &sc.repository, &registry);
@@ -231,7 +257,11 @@ fn spill_survives_restart_next_to_a_snapshot() {
     restarted.store().set_eviction_sink(Some(spill as _));
     let evals = restarted.store().pair_evals();
     let row = restarted.store().score_row("alpha");
-    assert_eq!(restarted.store().pair_evals(), evals, "spilled row must fault, not sweep");
+    assert_eq!(
+        restarted.store().pair_evals(),
+        evals,
+        "spilled row must fault, not sweep"
+    );
     let scalar = NameSimilarity::default();
     for (id, d) in row.iter().enumerate() {
         let label = restarted.store().interner().resolve(LabelId(id as u32));

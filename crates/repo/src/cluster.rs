@@ -29,7 +29,10 @@ pub struct Cluster {
 
 impl Cluster {
     fn singleton(eref: ElementRef, features: ElementFeatures) -> Self {
-        Cluster { members: vec![eref], centroid: features }
+        Cluster {
+            members: vec![eref],
+            centroid: features,
+        }
     }
 
     /// Number of members.
@@ -127,8 +130,10 @@ pub fn greedy_clustering(repo: &Repository, threshold: f64) -> Clustering {
 /// Average-linkage agglomerative clustering down to `target` clusters.
 pub fn agglomerative_clustering(repo: &Repository, target: usize) -> Clustering {
     let elements: Vec<ElementRef> = repo.elements().collect();
-    let features: Vec<ElementFeatures> =
-        elements.iter().map(|&e| element_features(repo, e)).collect();
+    let features: Vec<ElementFeatures> = elements
+        .iter()
+        .map(|&e| element_features(repo, e))
+        .collect();
     let n = elements.len();
     if n == 0 {
         return Clustering::default();
@@ -279,7 +284,10 @@ mod tests {
         let q = query_features(&["book", "title", "author"]);
         let ranked = clustering.rank_against(&q);
         let top = &clustering.clusters()[ranked[0].0];
-        assert!(top.members.iter().any(|&m| r.element_name(m) == "bookTitle"));
+        assert!(top
+            .members
+            .iter()
+            .any(|&m| r.element_name(m) == "bookTitle"));
         assert!(ranked[0].1 > ranked[1].1);
     }
 

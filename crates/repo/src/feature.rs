@@ -58,7 +58,11 @@ impl ElementFeatures {
     /// Cosine similarity with another bag, in `[0, 1]`.
     pub fn cosine(&self, other: &ElementFeatures) -> f64 {
         if self.norm == 0.0 || other.norm == 0.0 {
-            return if self.is_empty() && other.is_empty() { 1.0 } else { 0.0 };
+            return if self.is_empty() && other.is_empty() {
+                1.0
+            } else {
+                0.0
+            };
         }
         // Iterate the smaller map.
         let (small, large) = if self.weights.len() <= other.weights.len() {
@@ -131,7 +135,10 @@ mod tests {
     }
 
     fn eref(node: u32) -> ElementRef {
-        ElementRef { schema: SchemaId(0), node: NodeId(node) }
+        ElementRef {
+            schema: SchemaId(0),
+            node: NodeId(node),
+        }
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub fn fragments_for_clusters(
     let mut per_schema: std::collections::BTreeMap<SchemaId, BTreeSet<NodeId>> =
         std::collections::BTreeMap::new();
     for &idx in selected {
-        let Some(cluster) = clustering.clusters().get(idx) else { continue };
+        let Some(cluster) = clustering.clusters().get(idx) else {
+            continue;
+        };
         for &ElementRef { schema, node } in &cluster.members {
             per_schema.entry(schema).or_default().insert(node);
         }
@@ -63,7 +65,11 @@ pub fn fragments_for_clusters(
             for &m in &members {
                 cover.extend(s.ancestors(m));
             }
-            Fragment { schema, members, cover }
+            Fragment {
+                schema,
+                members,
+                cover,
+            }
         })
         .collect()
 }

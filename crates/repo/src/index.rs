@@ -64,7 +64,9 @@ impl TokenIndex {
     /// All `(token, postings)` entries in sorted token order — the
     /// persistence export (`LabelStore::export_state`) walks this.
     pub fn postings(&self) -> impl Iterator<Item = (&str, &[ElementRef])> {
-        self.postings.iter().map(|(token, elements)| (token.as_str(), elements.as_slice()))
+        self.postings
+            .iter()
+            .map(|(token, elements)| (token.as_str(), elements.as_slice()))
     }
 
     /// Rebuild an index from exported `(token, postings)` pairs — the
@@ -72,7 +74,9 @@ impl TokenIndex {
     /// element order is part of the index contract); duplicate tokens
     /// keep the last entry.
     pub fn from_postings(postings: Vec<(String, Vec<ElementRef>)>) -> Self {
-        TokenIndex { postings: postings.into_iter().collect() }
+        TokenIndex {
+            postings: postings.into_iter().collect(),
+        }
     }
 
     /// Schemas ranked by how many query tokens they contain (hit count,

@@ -70,7 +70,10 @@ impl LabelInterner {
     /// Intern every node name of `schema`, returning per-node label ids in
     /// arena order (`result[node.index()]` is the node's label).
     pub fn intern_schema(&mut self, schema: &Schema) -> Vec<LabelId> {
-        schema.node_ids().map(|id| self.intern(&schema.node(id).name)).collect()
+        schema
+            .node_ids()
+            .map(|id| self.intern(&schema.node(id).name))
+            .collect()
     }
 }
 

@@ -104,12 +104,16 @@ impl Repository {
     /// snapshot decoder validates that before calling this.
     pub fn from_parts(schemas: Vec<Schema>, store: LabelStore) -> Self {
         debug_assert!(
-            schemas.iter().enumerate().all(|(i, s)| {
-                store.schema_labels(SchemaId(i as u32)).len() == s.len()
-            }),
+            schemas
+                .iter()
+                .enumerate()
+                .all(|(i, s)| { store.schema_labels(SchemaId(i as u32)).len() == s.len() }),
             "store column maps must match the schema list"
         );
-        Repository { schemas: Arc::new(schemas), store: Arc::new(store) }
+        Repository {
+            schemas: Arc::new(schemas),
+            store: Arc::new(store),
+        }
     }
 
     /// Add a schema, returning its id. Updates the label store
@@ -177,7 +181,9 @@ impl Repository {
     /// Iterate over every element in the repository.
     pub fn elements(&self) -> impl Iterator<Item = ElementRef> + '_ {
         self.iter().flat_map(|(sid, schema)| {
-            schema.node_ids().map(move |node| ElementRef { schema: sid, node })
+            schema
+                .node_ids()
+                .map(move |node| ElementRef { schema: sid, node })
         })
     }
 
@@ -188,7 +194,9 @@ impl Repository {
 
     /// Find schemas by name.
     pub fn find_schema(&self, name: &str) -> Option<SchemaId> {
-        self.iter().find(|(_, s)| s.name() == name).map(|(id, _)| id)
+        self.iter()
+            .find(|(_, s)| s.name() == name)
+            .map(|(id, _)| id)
     }
 }
 

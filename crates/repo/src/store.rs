@@ -101,7 +101,10 @@ fn fnv_extend(mut hash: u64, bytes: &[u8]) -> u64 {
 /// Extend a label-prefix fingerprint by one label (length-framed, so
 /// concatenation ambiguities cannot collide two different prefixes).
 fn fingerprint_push(hash: u64, label: &str) -> u64 {
-    fnv_extend(fnv_extend(hash, &(label.len() as u32).to_le_bytes()), label.as_bytes())
+    fnv_extend(
+        fnv_extend(hash, &(label.len() as u32).to_le_bytes()),
+        label.as_bytes(),
+    )
 }
 
 /// Configuration of a [`LabelStore`]'s score-row cache and batch sweep.
@@ -328,7 +331,8 @@ impl LabelStore {
     /// Change the LRU bound on a live store, evicting immediately if the
     /// cache already exceeds the new bound. `None` removes the bound.
     pub fn set_max_cached_rows(&self, max: Option<usize>) {
-        self.max_cached_rows.store(max.unwrap_or(UNBOUNDED), Relaxed);
+        self.max_cached_rows
+            .store(max.unwrap_or(UNBOUNDED), Relaxed);
         let victims = {
             let mut cache = self.rows.write();
             self.evict_over_cap(&mut cache)
@@ -359,10 +363,14 @@ impl LabelStore {
         for id in known..self.interner.len() {
             let label = self.interner.resolve(LabelId(id as u32));
             self.profiles.push(LabelProfile::new(label));
-            let last = *self.prefix_hashes.last().expect("offset basis always present");
+            let last = *self
+                .prefix_hashes
+                .last()
+                .expect("offset basis always present");
             self.prefix_hashes.push(fingerprint_push(last, label));
         }
-        self.profile_builds.fetch_add((self.interner.len() - known) as u64, Relaxed);
+        self.profile_builds
+            .fetch_add((self.interner.len() - known) as u64, Relaxed);
         self.schema_labels.push(labels);
         self.index.add_schema(sid, schema);
     }
@@ -455,7 +463,11 @@ impl LabelStore {
                     stale => {
                         let prefix = stale.map(|entry| Arc::clone(&entry.row));
                         pending_of.insert(q, pending.len());
-                        pending.push(PendingRow { query: q, prefix, slots: vec![i] });
+                        pending.push(PendingRow {
+                            query: q,
+                            prefix,
+                            slots: vec![i],
+                        });
                     }
                 }
             }
@@ -463,7 +475,9 @@ impl LabelStore {
         if !pending.is_empty() {
             self.fill_pending(&mut out, &mut pending, n);
         }
-        out.into_iter().map(|row| row.expect("every slot filled")).collect()
+        out.into_iter()
+            .map(|row| row.expect("every slot filled"))
+            .collect()
     }
 
     /// Sweep all pending rows and install them under one write lock,
@@ -541,7 +555,10 @@ impl LabelStore {
                 }
                 cache.insert(
                     p.query.to_owned(),
-                    CachedRow { row, last_used: AtomicU64::new(self.tick()) },
+                    CachedRow {
+                        row,
+                        last_used: AtomicU64::new(self.tick()),
+                    },
                 );
             }
             victims = self.evict_over_cap(&mut cache);
@@ -584,8 +601,10 @@ impl LabelStore {
         });
         // Stitch the chunks back in column order; per-pair values are
         // independent, so this equals the single-threaded pass bitwise.
-        let mut rows: Vec<Vec<f64>> =
-            kernels.iter().map(|&(_, start)| Vec::with_capacity(n - start)).collect();
+        let mut rows: Vec<Vec<f64>> = kernels
+            .iter()
+            .map(|&(_, start)| Vec::with_capacity(n - start))
+            .collect();
         for part in parts {
             for (row, chunk_row) in rows.iter_mut().zip(part) {
                 row.extend(chunk_row);
@@ -631,7 +650,11 @@ impl LabelStore {
         } else {
             self.batch_threads
         };
-        configured.max(1).min(work / PARALLEL_SWEEP_MIN_PAIRS).max(1).min(n.max(1))
+        configured
+            .max(1)
+            .min(work / PARALLEL_SWEEP_MIN_PAIRS)
+            .max(1)
+            .min(n.max(1))
     }
 
     /// Next recency-clock value.
@@ -646,7 +669,10 @@ impl LabelStore {
     /// victims, so tightening the bound on a large live cache stays
     /// `O(len log len)`, not `O(len²)`.
     #[must_use = "victims must be offered to the eviction sink outside the lock"]
-    fn evict_over_cap(&self, cache: &mut HashMap<String, CachedRow>) -> Vec<(String, Arc<Vec<f64>>)> {
+    fn evict_over_cap(
+        &self,
+        cache: &mut HashMap<String, CachedRow>,
+    ) -> Vec<(String, Arc<Vec<f64>>)> {
         let cap = self.max_cached_rows.load(Relaxed);
         let Some(excess) = cache.len().checked_sub(cap).filter(|&e| e > 0) else {
             return Vec::new();
@@ -659,8 +685,9 @@ impl LabelStore {
         let victims = stamps[..excess]
             .iter()
             .map(|(_, key)| {
-                let (key, entry) =
-                    cache.remove_entry(key).expect("victim key came from the cache");
+                let (key, entry) = cache
+                    .remove_entry(key)
+                    .expect("victim key came from the cache");
                 (key, entry.row)
             })
             .collect();
@@ -674,7 +701,9 @@ impl LabelStore {
         if victims.is_empty() {
             return;
         }
-        let Some(sink) = self.sink.read().clone() else { return };
+        let Some(sink) = self.sink.read().clone() else {
+            return;
+        };
         let spilled = victims
             .iter()
             .filter(|(query, row)| {
@@ -740,7 +769,11 @@ impl LabelStore {
             cache
                 .iter()
                 .map(|(query, entry)| {
-                    (entry.last_used.load(Relaxed), query.clone(), Arc::clone(&entry.row))
+                    (
+                        entry.last_used.load(Relaxed),
+                        query.clone(),
+                        Arc::clone(&entry.row),
+                    )
                 })
                 .collect()
         };
@@ -810,7 +843,13 @@ impl LabelStore {
         let mut clock = 0u64;
         for (query, row) in state.rows.into_iter().skip(keep_from) {
             clock += 1;
-            rows.insert(query, CachedRow { row: Arc::new(row), last_used: AtomicU64::new(clock) });
+            rows.insert(
+                query,
+                CachedRow {
+                    row: Arc::new(row),
+                    last_used: AtomicU64::new(clock),
+                },
+            );
         }
         LabelStore {
             profile_builds: AtomicU64::new(profiles.len() as u64),
@@ -1015,7 +1054,15 @@ mod tests {
     fn batched_rows_equal_individual_rows_bitwise() {
         let batched = repo();
         let individual = repo();
-        let queries = ["title", "orderNo", "title", "bookTitle", "", "shop", "orderNo"];
+        let queries = [
+            "title",
+            "orderNo",
+            "title",
+            "bookTitle",
+            "",
+            "shop",
+            "orderNo",
+        ];
         let rows = batched.store().score_rows(&queries);
         assert_eq!(rows.len(), queries.len());
         for (&q, row) in queries.iter().zip(&rows) {
@@ -1026,7 +1073,10 @@ mod tests {
             }
         }
         // Duplicates in the batch share one sweep: 5 distinct queries.
-        assert_eq!(batched.store().pair_evals(), 5 * batched.store().len() as u64);
+        assert_eq!(
+            batched.store().pair_evals(),
+            5 * batched.store().len() as u64
+        );
         let c = batched.store().counters();
         assert_eq!(c.row_misses, 5);
         assert_eq!(c.row_hits, 2, "duplicate batch entries count as hits");
@@ -1044,7 +1094,10 @@ mod tests {
             });
             let mut b = SchemaBuilder::new("wide").root("container");
             for i in 0..300 {
-                b = b.leaf(format!("field_{i}_{}", "x".repeat(i % 17)), PrimitiveType::String);
+                b = b.leaf(
+                    format!("field_{i}_{}", "x".repeat(i % 17)),
+                    PrimitiveType::String,
+                );
             }
             r.add(b.build());
             r
@@ -1078,7 +1131,10 @@ mod tests {
         assert_eq!(store.cached_rows(), 2);
         assert!(store.has_cached_row("alpha"));
         assert!(store.has_cached_row("gamma"));
-        assert!(!store.has_cached_row("beta"), "LRU must evict the oldest row");
+        assert!(
+            !store.has_cached_row("beta"),
+            "LRU must evict the oldest row"
+        );
         let c = store.counters();
         assert_eq!(c.row_evictions, 1);
         // Evicted rows recompute to bitwise-identical values.
@@ -1118,7 +1174,9 @@ mod tests {
 
     impl EvictionSink for MemorySink {
         fn on_evict(&self, query: &str, row: &[f64], labels_fingerprint: u64) -> bool {
-            self.spilled.lock().insert(query.to_owned(), (row.to_vec(), labels_fingerprint));
+            self.spilled
+                .lock()
+                .insert(query.to_owned(), (row.to_vec(), labels_fingerprint));
             true
         }
 
@@ -1140,7 +1198,11 @@ mod tests {
         assert_eq!(sink.spilled.lock().len(), 1);
         let evals = store.pair_evals();
         let again = store.score_row("alpha"); // faults back from the sink
-        assert_eq!(store.pair_evals(), evals, "recovered row must not re-evaluate pairs");
+        assert_eq!(
+            store.pair_evals(),
+            evals,
+            "recovered row must not re-evaluate pairs"
+        );
         assert_eq!(first.len(), again.len());
         for (a, b) in first.iter().zip(again.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -1154,7 +1216,8 @@ mod tests {
     #[test]
     fn spilled_prefix_extends_after_add() {
         let mut r = repo();
-        r.store().set_eviction_sink(Some(Arc::new(MemorySink::default())));
+        r.store()
+            .set_eviction_sink(Some(Arc::new(MemorySink::default())));
         r.store().set_max_cached_rows(Some(1));
         r.store().score_row("alpha");
         r.store().score_row("beta"); // alpha spilled at the old length
@@ -1167,7 +1230,11 @@ mod tests {
         let store = r.store();
         let evals = store.pair_evals();
         let row = store.score_row("alpha"); // prefix from sink + 2-column tail
-        assert_eq!(store.pair_evals(), evals + 2, "only the new columns are swept");
+        assert_eq!(
+            store.pair_evals(),
+            evals + 2,
+            "only the new columns are swept"
+        );
         assert_eq!(store.counters().row_spill_recoveries, 1);
         store.set_eviction_sink(None);
         store.clear_rows();
@@ -1184,16 +1251,27 @@ mod tests {
         // diverge; after divergence their label lists differ, so a row
         // one lineage spilled must never be served by the other.
         let mut r1 = repo();
-        r1.store().set_eviction_sink(Some(Arc::new(MemorySink::default())));
+        r1.store()
+            .set_eviction_sink(Some(Arc::new(MemorySink::default())));
         r1.store().set_max_cached_rows(Some(1));
         let mut r2 = r1.clone();
         r1.add(
-            SchemaBuilder::new("a").root("host").leaf("lineageOne", PrimitiveType::String).build(),
+            SchemaBuilder::new("a")
+                .root("host")
+                .leaf("lineageOne", PrimitiveType::String)
+                .build(),
         );
         r2.add(
-            SchemaBuilder::new("b").root("host").leaf("lineageTwo", PrimitiveType::String).build(),
+            SchemaBuilder::new("b")
+                .root("host")
+                .leaf("lineageTwo", PrimitiveType::String)
+                .build(),
         );
-        assert_eq!(r1.store().len(), r2.store().len(), "equal lengths, different labels");
+        assert_eq!(
+            r1.store().len(),
+            r2.store().len(),
+            "equal lengths, different labels"
+        );
         // r1 computes and spills "query" (full length, r1's labels).
         r1.store().score_row("query");
         r1.store().score_row("evictor");
@@ -1208,12 +1286,20 @@ mod tests {
         let scalar = NameSimilarity::default();
         for (id, d) in row.iter().enumerate() {
             let label = r2.store().interner().resolve(LabelId(id as u32));
-            assert_eq!(d.to_bits(), scalar.distance("query", label).to_bits(), "{label:?}");
+            assert_eq!(
+                d.to_bits(),
+                scalar.distance("query", label).to_bits(),
+                "{label:?}"
+            );
         }
         // Same-lineage recovery still works: r1 faults its own row back.
         let evals = r1.store().pair_evals();
         r1.store().score_row("query");
-        assert_eq!(r1.store().pair_evals(), evals, "own spilled row must fault back");
+        assert_eq!(
+            r1.store().pair_evals(),
+            evals,
+            "own spilled row must fault back"
+        );
     }
 
     #[test]
@@ -1226,14 +1312,20 @@ mod tests {
         let state = store.export_state();
         assert_eq!(state.labels.len(), store.len());
         assert_eq!(state.rows.len(), 2);
-        assert_eq!(state.rows[0].0, "title", "rows export least recently used first");
+        assert_eq!(
+            state.rows[0].0, "title",
+            "rows export least recently used first"
+        );
         let imported = LabelStore::import_state(state.clone());
         assert_eq!(imported.len(), store.len());
         assert_eq!(imported.cached_rows(), 2);
         assert_eq!(imported.profile_builds(), store.len() as u64);
         for id in 0..store.len() {
             let id = LabelId(id as u32);
-            assert_eq!(imported.interner().resolve(id), store.interner().resolve(id));
+            assert_eq!(
+                imported.interner().resolve(id),
+                store.interner().resolve(id)
+            );
         }
         for sid in [SchemaId(0), SchemaId(1)] {
             assert_eq!(imported.schema_labels(sid), store.schema_labels(sid));
@@ -1250,7 +1342,11 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "{query:?}");
             }
         }
-        assert_eq!(imported.pair_evals(), 0, "imported rows must be served from cache");
+        assert_eq!(
+            imported.pair_evals(),
+            0,
+            "imported rows must be served from cache"
+        );
         // LRU order survives the round-trip: under a cap of 1, the
         // *least* recently used row ("title") is the one dropped.
         let mut tight = state;

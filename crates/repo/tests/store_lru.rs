@@ -14,8 +14,18 @@ use smx_xml::{PrimitiveType, Schema, SchemaBuilder};
 /// Query/label vocabulary the operations draw from — overlapping, so
 /// runs revisit evicted rows.
 const POOL: &[&str] = &[
-    "title", "bookTitle", "isbn", "author", "price", "orderDate", "customerName", "qty",
-    "shipAddress", "year", "publisher", "edition",
+    "title",
+    "bookTitle",
+    "isbn",
+    "author",
+    "price",
+    "orderDate",
+    "customerName",
+    "qty",
+    "shipAddress",
+    "year",
+    "publisher",
+    "edition",
 ];
 
 #[derive(Clone, Debug)]
@@ -64,7 +74,8 @@ fn base_repo(config: StoreConfig) -> Repository {
         SchemaBuilder::new("shop")
             .root("store")
             .child("order", |o| {
-                o.leaf("orderDate", PrimitiveType::Date).leaf("price", PrimitiveType::Decimal)
+                o.leaf("orderDate", PrimitiveType::Date)
+                    .leaf("price", PrimitiveType::Decimal)
             })
             .build(),
     );

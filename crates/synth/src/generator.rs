@@ -38,9 +38,15 @@ fn random_leaf_type(rng: &mut StdRng) -> PrimitiveType {
 }
 
 fn random_occurs(rng: &mut StdRng) -> Occurs {
-    *[Occurs::ONE, Occurs::ONE, Occurs::OPTIONAL, Occurs::MANY, Occurs::ANY]
-        .choose(rng)
-        .expect("non-empty")
+    *[
+        Occurs::ONE,
+        Occurs::ONE,
+        Occurs::OPTIONAL,
+        Occurs::MANY,
+        Occurs::ANY,
+    ]
+    .choose(rng)
+    .expect("non-empty")
 }
 
 /// Generate a random schema with `config`'s shape, named `name`, driven by
@@ -51,26 +57,29 @@ pub fn generate_schema(name: &str, config: &SchemaGenConfig, rng: &mut StdRng) -
     let vocab = Vocabulary::for_domain(config.domain);
     let mut schema = Schema::new(name);
     let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
-    let fresh_name = |pool: &[&'static str], rng: &mut StdRng, used: &mut std::collections::HashSet<String>| {
-        for _ in 0..8 {
-            let cand = *pool.choose(rng).expect("non-empty pool");
-            if used.insert(cand.to_owned()) {
-                return cand.to_owned();
+    let fresh_name =
+        |pool: &[&'static str], rng: &mut StdRng, used: &mut std::collections::HashSet<String>| {
+            for _ in 0..8 {
+                let cand = *pool.choose(rng).expect("non-empty pool");
+                if used.insert(cand.to_owned()) {
+                    return cand.to_owned();
+                }
             }
-        }
-        // Pool exhausted: suffix a counter.
-        let mut i = 2;
-        loop {
-            let cand = format!("{}{}", pool.choose(rng).expect("non-empty"), i);
-            if used.insert(cand.clone()) {
-                return cand;
+            // Pool exhausted: suffix a counter.
+            let mut i = 2;
+            loop {
+                let cand = format!("{}{}", pool.choose(rng).expect("non-empty"), i);
+                if used.insert(cand.clone()) {
+                    return cand;
+                }
+                i += 1;
             }
-            i += 1;
-        }
-    };
+        };
 
     let root_name = fresh_name(vocab.containers(), rng, &mut used);
-    let root = schema.add_root(Node::element(root_name)).expect("fresh schema");
+    let root = schema
+        .add_root(Node::element(root_name))
+        .expect("fresh schema");
     // Interior candidates: nodes that may still receive children.
     let mut open: Vec<NodeId> = vec![root];
     while schema.len() < config.nodes.max(1) && !open.is_empty() {
@@ -110,7 +119,10 @@ mod tests {
     #[test]
     fn respects_node_budget_and_validates() {
         for seed in 0..20 {
-            let cfg = SchemaGenConfig { nodes: 15, ..Default::default() };
+            let cfg = SchemaGenConfig {
+                nodes: 15,
+                ..Default::default()
+            };
             let s = generate_schema("test", &cfg, &mut rng(seed));
             assert!(s.validate().is_ok());
             assert!(s.len() <= 15);
@@ -120,7 +132,12 @@ mod tests {
 
     #[test]
     fn respects_depth_and_fanout() {
-        let cfg = SchemaGenConfig { nodes: 40, max_depth: 3, max_fanout: 4, ..Default::default() };
+        let cfg = SchemaGenConfig {
+            nodes: 40,
+            max_depth: 3,
+            max_fanout: 4,
+            ..Default::default()
+        };
         for seed in 0..10 {
             let s = generate_schema("t", &cfg, &mut rng(seed));
             let stats = SchemaStats::of(&s);
@@ -141,7 +158,12 @@ mod tests {
 
     #[test]
     fn names_unique_within_schema() {
-        let cfg = SchemaGenConfig { nodes: 60, max_depth: 6, max_fanout: 6, ..Default::default() };
+        let cfg = SchemaGenConfig {
+            nodes: 60,
+            max_depth: 6,
+            max_fanout: 6,
+            ..Default::default()
+        };
         let s = generate_schema("big", &cfg, &mut rng(3));
         let mut names: Vec<&str> = s.node_ids().map(|id| s.node(id).name.as_str()).collect();
         let n = names.len();
@@ -152,7 +174,10 @@ mod tests {
 
     #[test]
     fn single_node_schema() {
-        let cfg = SchemaGenConfig { nodes: 1, ..Default::default() };
+        let cfg = SchemaGenConfig {
+            nodes: 1,
+            ..Default::default()
+        };
         let s = generate_schema("one", &cfg, &mut rng(1));
         assert_eq!(s.len(), 1);
     }

@@ -176,7 +176,10 @@ pub fn perturb_schema(
         let is_root = new_parent.is_none();
         // Drop leaves (never the root).
         if !is_root && node.is_leaf() && rng.random_bool(probs.drop) {
-            prov.applied.push(Perturbation { node: original, kind: PerturbationKind::Drop });
+            prov.applied.push(Perturbation {
+                node: original,
+                kind: PerturbationKind::Drop,
+            });
             return;
         }
         // Decide the name.
@@ -188,7 +191,10 @@ pub fn perturb_schema(
                 let to = (*synonyms.choose(rng).expect("non-empty")).to_owned();
                 prov.applied.push(Perturbation {
                     node: original,
-                    kind: PerturbationKind::RenameSynonym { from: name.clone(), to: to.clone() },
+                    kind: PerturbationKind::RenameSynonym {
+                        from: name.clone(),
+                        to: to.clone(),
+                    },
                 });
                 name = to;
             } else if !abbrevs.is_empty() {
@@ -213,7 +219,10 @@ pub fn perturb_schema(
                 };
                 prov.applied.push(Perturbation {
                     node: original,
-                    kind: PerturbationKind::RenameDecorate { from: name.clone(), to: to.clone() },
+                    kind: PerturbationKind::RenameDecorate {
+                        from: name.clone(),
+                        to: to.clone(),
+                    },
                 });
                 name = to;
             }
@@ -223,7 +232,10 @@ pub fn perturb_schema(
             if to != name {
                 prov.applied.push(Perturbation {
                     node: original,
-                    kind: PerturbationKind::RenameTypo { from: name.clone(), to: to.clone() },
+                    kind: PerturbationKind::RenameTypo {
+                        from: name.clone(),
+                        to: to.clone(),
+                    },
                 });
                 name = to;
             }

@@ -82,7 +82,9 @@ pub struct Scenario {
 /// Graft `sub`'s tree under `at` in `host`; returns `sub`-id → `host`-id.
 fn graft(host: &mut Schema, at: NodeId, sub: &Schema) -> Vec<Option<NodeId>> {
     let mut map: Vec<Option<NodeId>> = vec![None; sub.len()];
-    let Some(sub_root) = sub.root() else { return map };
+    let Some(sub_root) = sub.root() else {
+        return map;
+    };
     fn rec(
         host: &mut Schema,
         parent: NodeId,
@@ -161,14 +163,22 @@ impl Scenario {
                 }
             }
             if complete {
-                correct.push(CorrectMapping { schema: schema_id, targets });
+                correct.push(CorrectMapping {
+                    schema: schema_id,
+                    targets,
+                });
             }
         }
         for n in 0..config.noise_schemas {
             let noise = generate_schema(&format!("noise{n}"), &host_cfg, &mut rng);
             repository.add(noise);
         }
-        Scenario { personal, repository, correct, config }
+        Scenario {
+            personal,
+            repository,
+            correct,
+            config,
+        }
     }
 
     /// `|H|` in mapping terms: the number of known-correct mappings.
@@ -188,13 +198,20 @@ mod tests {
         assert_eq!(a.personal, b.personal);
         assert_eq!(a.repository, b.repository);
         assert_eq!(a.correct, b.correct);
-        let c = Scenario::generate(ScenarioConfig { seed: 43, ..Default::default() });
+        let c = Scenario::generate(ScenarioConfig {
+            seed: 43,
+            ..Default::default()
+        });
         assert!(a.repository != c.repository);
     }
 
     #[test]
     fn repository_has_expected_schema_count() {
-        let cfg = ScenarioConfig { derived_schemas: 12, noise_schemas: 7, ..Default::default() };
+        let cfg = ScenarioConfig {
+            derived_schemas: 12,
+            noise_schemas: 7,
+            ..Default::default()
+        };
         let sc = Scenario::generate(cfg);
         assert_eq!(sc.repository.len(), 19);
         assert!(sc.personal.validate().is_ok());
@@ -232,7 +249,10 @@ mod tests {
 
     #[test]
     fn zero_strength_grafts_are_verbatim_copies() {
-        let cfg = ScenarioConfig { perturbation_strength: 0.0, ..Default::default() };
+        let cfg = ScenarioConfig {
+            perturbation_strength: 0.0,
+            ..Default::default()
+        };
         let sc = Scenario::generate(cfg);
         // Every derived schema yields a complete correct mapping.
         assert_eq!(sc.truth_size(), cfg.derived_schemas);
@@ -262,7 +282,10 @@ mod tests {
 
     #[test]
     fn personal_schema_is_small() {
-        let sc = Scenario::generate(ScenarioConfig { personal_nodes: 4, ..Default::default() });
+        let sc = Scenario::generate(ScenarioConfig {
+            personal_nodes: 4,
+            ..Default::default()
+        });
         assert!(sc.personal.len() <= 4);
         assert!(!sc.personal.is_empty());
     }

@@ -51,12 +51,33 @@ impl Vocabulary {
             Domain::Publications => Vocabulary {
                 domain,
                 containers: vec![
-                    "bibliography", "book", "article", "journal", "proceedings", "chapter",
-                    "authorList", "publisherInfo", "edition", "series",
+                    "bibliography",
+                    "book",
+                    "article",
+                    "journal",
+                    "proceedings",
+                    "chapter",
+                    "authorList",
+                    "publisherInfo",
+                    "edition",
+                    "series",
                 ],
                 leaves: vec![
-                    "title", "subtitle", "author", "editor", "year", "isbn", "issn", "publisher",
-                    "pages", "volume", "issue", "abstract", "keyword", "language", "price",
+                    "title",
+                    "subtitle",
+                    "author",
+                    "editor",
+                    "year",
+                    "isbn",
+                    "issn",
+                    "publisher",
+                    "pages",
+                    "volume",
+                    "issue",
+                    "abstract",
+                    "keyword",
+                    "language",
+                    "price",
                 ],
                 synonyms: vec![
                     ("author", "writer"),
@@ -79,13 +100,33 @@ impl Vocabulary {
             Domain::Commerce => Vocabulary {
                 domain,
                 containers: vec![
-                    "store", "customer", "order", "orderLine", "product", "invoice", "payment",
-                    "shipment", "cart", "catalog",
+                    "store",
+                    "customer",
+                    "order",
+                    "orderLine",
+                    "product",
+                    "invoice",
+                    "payment",
+                    "shipment",
+                    "cart",
+                    "catalog",
                 ],
                 leaves: vec![
-                    "customerName", "orderDate", "quantity", "unitPrice", "totalAmount", "sku",
-                    "address", "city", "zipCode", "email", "phone", "status", "discount",
-                    "currency", "taxRate",
+                    "customerName",
+                    "orderDate",
+                    "quantity",
+                    "unitPrice",
+                    "totalAmount",
+                    "sku",
+                    "address",
+                    "city",
+                    "zipCode",
+                    "email",
+                    "phone",
+                    "status",
+                    "discount",
+                    "currency",
+                    "taxRate",
                 ],
                 synonyms: vec![
                     ("customerName", "clientName"),
@@ -108,12 +149,31 @@ impl Vocabulary {
             Domain::HumanResources => Vocabulary {
                 domain,
                 containers: vec![
-                    "company", "employee", "department", "position", "contract", "team",
-                    "payroll", "benefits", "review", "office",
+                    "company",
+                    "employee",
+                    "department",
+                    "position",
+                    "contract",
+                    "team",
+                    "payroll",
+                    "benefits",
+                    "review",
+                    "office",
                 ],
                 leaves: vec![
-                    "firstName", "lastName", "salary", "hireDate", "employeeId", "manager",
-                    "grade", "bonus", "location", "budget", "headcount", "startDate", "endDate",
+                    "firstName",
+                    "lastName",
+                    "salary",
+                    "hireDate",
+                    "employeeId",
+                    "manager",
+                    "grade",
+                    "bonus",
+                    "location",
+                    "budget",
+                    "headcount",
+                    "startDate",
+                    "endDate",
                 ],
                 synonyms: vec![
                     ("salary", "wage"),
@@ -133,12 +193,30 @@ impl Vocabulary {
             Domain::Travel => Vocabulary {
                 domain,
                 containers: vec![
-                    "agency", "trip", "booking", "hotel", "flight", "itinerary", "passenger",
-                    "vehicle", "excursion", "insurance",
+                    "agency",
+                    "trip",
+                    "booking",
+                    "hotel",
+                    "flight",
+                    "itinerary",
+                    "passenger",
+                    "vehicle",
+                    "excursion",
+                    "insurance",
                 ],
                 leaves: vec![
-                    "destination", "departureDate", "returnDate", "airline", "seatClass",
-                    "roomType", "checkIn", "checkOut", "fare", "duration", "rating", "guests",
+                    "destination",
+                    "departureDate",
+                    "returnDate",
+                    "airline",
+                    "seatClass",
+                    "roomType",
+                    "checkIn",
+                    "checkOut",
+                    "fare",
+                    "duration",
+                    "rating",
+                    "guests",
                 ],
                 synonyms: vec![
                     ("destination", "target"),

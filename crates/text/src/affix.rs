@@ -32,7 +32,11 @@ pub fn common_suffix_len(a: &str, b: &str) -> usize {
 pub fn prefix_similarity(a: &str, b: &str) -> f64 {
     let min_len = a.chars().count().min(b.chars().count());
     if min_len == 0 {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     clamp01(common_prefix_len(a, b) as f64 / min_len as f64)
 }
@@ -45,7 +49,11 @@ pub fn prefix_similarity(a: &str, b: &str) -> f64 {
 pub fn suffix_similarity(a: &str, b: &str) -> f64 {
     let min_len = a.chars().count().min(b.chars().count());
     if min_len == 0 {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     clamp01(common_suffix_len(a, b) as f64 / min_len as f64)
 }

@@ -5,12 +5,12 @@
 //! weighted arithmetic mean; [`NameSimilarity`] is the crate's default mix
 //! used by the matching objective function.
 
+use crate::clamp01;
 use crate::jaro::jaro_winkler;
 use crate::levenshtein::levenshtein_similarity;
 use crate::ngram::trigram_similarity;
 use crate::normalize::normalize_identifier;
 use crate::token::token_set_similarity;
-use crate::clamp01;
 
 /// A named base measure selectable in a [`WeightedSimilarity`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,11 +79,7 @@ impl WeightedSimilarity {
         if total_weight <= 0.0 {
             return 0.0;
         }
-        let score: f64 = self
-            .components
-            .iter()
-            .map(|&(m, w)| w * m.eval(a, b))
-            .sum();
+        let score: f64 = self.components.iter().map(|&(m, w)| w * m.eval(a, b)).sum();
         clamp01(score / total_weight)
     }
 }
@@ -114,7 +110,9 @@ pub(crate) const DEFAULT_NAME_MIX: [(SimilarityMeasure, f64); 4] = [
 
 impl Default for NameSimilarity {
     fn default() -> Self {
-        Self { inner: WeightedSimilarity::new(DEFAULT_NAME_MIX) }
+        Self {
+            inner: WeightedSimilarity::new(DEFAULT_NAME_MIX),
+        }
     }
 }
 

@@ -81,12 +81,10 @@ impl LabelProfile {
         let peq = (ascii && !norm.is_empty() && norm.len() <= 64)
             .then(|| Box::new(myers_pattern(norm.as_bytes())));
         let grams = GramProfile::trigrams(&norm);
-        let mut token_set: Vec<String> =
-            split.iter().map(|t| t.as_str().to_owned()).collect();
+        let mut token_set: Vec<String> = split.iter().map(|t| t.as_str().to_owned()).collect();
         token_set.sort_unstable();
         token_set.dedup();
-        let tokens: Vec<Vec<char>> =
-            split.iter().map(|t| t.as_str().chars().collect()).collect();
+        let tokens: Vec<Vec<char>> = split.iter().map(|t| t.as_str().chars().collect()).collect();
         LabelProfile {
             raw: label.to_owned(),
             norm,
@@ -140,7 +138,9 @@ pub struct RowKernel {
 impl RowKernel {
     /// Preprocess `label` as the row's query.
     pub fn new(label: &str) -> Self {
-        RowKernel { query: LabelProfile::new(label) }
+        RowKernel {
+            query: LabelProfile::new(label),
+        }
     }
 
     /// Wrap an existing profile as the query.
@@ -195,9 +195,7 @@ impl RowKernel {
                     dice_profiles(&q.grams, &c.grams)
                 }
             }
-            SimilarityMeasure::JaroWinkler => {
-                jaro_winkler_chars(&q.norm_chars, &c.norm_chars)
-            }
+            SimilarityMeasure::JaroWinkler => jaro_winkler_chars(&q.norm_chars, &c.norm_chars),
             SimilarityMeasure::TokenSet => self.dice_tokens(c).max(self.monge_elkan(c)),
             SimilarityMeasure::Levenshtein => self.levenshtein_similarity(c),
         }
@@ -255,8 +253,11 @@ impl RowKernel {
     pub fn levenshtein_to(&self, candidate: &LabelProfile) -> usize {
         let (a, b) = (&self.query, candidate);
         if a.ascii && b.ascii {
-            let (short, long) =
-                if a.norm.len() <= b.norm.len() { (a, b) } else { (b, a) };
+            let (short, long) = if a.norm.len() <= b.norm.len() {
+                (a, b)
+            } else {
+                (b, a)
+            };
             if short.norm.is_empty() {
                 return long.norm.len();
             }
@@ -319,8 +320,7 @@ mod tests {
     #[test]
     fn row_sweep_matches_pointwise() {
         let kernel = RowKernel::new("custOrderNo");
-        let profiles: Vec<LabelProfile> =
-            LABELS.iter().map(|l| LabelProfile::new(l)).collect();
+        let profiles: Vec<LabelProfile> = LABELS.iter().map(|l| LabelProfile::new(l)).collect();
         let mut row = Vec::new();
         kernel.distances_into(&profiles, &mut row);
         assert_eq!(row.len(), profiles.len());

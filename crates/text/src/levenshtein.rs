@@ -41,7 +41,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     }
     let ac: Vec<char> = a.chars().collect();
     let bc: Vec<char> = b.chars().collect();
-    let (short, long) = if ac.len() <= bc.len() { (ac, bc) } else { (bc, ac) };
+    let (short, long) = if ac.len() <= bc.len() {
+        (ac, bc)
+    } else {
+        (bc, ac)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -137,9 +141,7 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
         cur[0] = i;
         for j in 1..=m {
             let cost = usize::from(ac[i - 1] != bc[j - 1]);
-            let mut best = (prev1[j - 1] + cost)
-                .min(prev1[j] + 1)
-                .min(cur[j - 1] + 1);
+            let mut best = (prev1[j - 1] + cost).min(prev1[j] + 1).min(cur[j - 1] + 1);
             if i > 1 && j > 1 && ac[i - 1] == bc[j - 2] && ac[i - 2] == bc[j - 1] {
                 best = best.min(prev2[j - 2] + 1);
             }
@@ -160,7 +162,13 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
 /// assert!((s - 6.0 / 7.0).abs() < 1e-12);
 /// ```
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let scalar_len = |s: &str| if s.is_ascii() { s.len() } else { s.chars().count() };
+    let scalar_len = |s: &str| {
+        if s.is_ascii() {
+            s.len()
+        } else {
+            s.chars().count()
+        }
+    };
     let max_len = scalar_len(a).max(scalar_len(b));
     if max_len == 0 {
         return 1.0;
@@ -245,10 +253,12 @@ mod tests {
             } else {
                 (next() % 71, next() % 71)
             };
-            let a: String =
-                (0..la).map(|_| alphabet[next() % alphabet.len()] as char).collect();
-            let b: String =
-                (0..lb).map(|_| alphabet[next() % alphabet.len()] as char).collect();
+            let a: String = (0..la)
+                .map(|_| alphabet[next() % alphabet.len()] as char)
+                .collect();
+            let b: String = (0..lb)
+                .map(|_| alphabet[next() % alphabet.len()] as char)
+                .collect();
             let via_public = levenshtein(&a, &b);
             let (short, long) = if a.len() <= b.len() {
                 (a.as_bytes(), b.as_bytes())

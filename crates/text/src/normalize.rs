@@ -84,7 +84,10 @@ pub fn split_identifier(name: &str) -> Vec<Token> {
                 (CharClass::Upper, CharClass::Upper) => {
                     // Acronym run ending: `XMLS|chema` — break before the
                     // upper that is followed by a lower.
-                    matches!(chars.get(i + 1).map(|&n| classify(n)), Some(CharClass::Lower))
+                    matches!(
+                        chars.get(i + 1).map(|&n| classify(n)),
+                        Some(CharClass::Lower)
+                    )
                 }
                 (CharClass::Digit, CharClass::Lower | CharClass::Upper) => true,
                 (CharClass::Lower | CharClass::Upper, CharClass::Digit) => true,

@@ -188,13 +188,13 @@ fn row_kernel_pinned_edge_cases() {
     let base: String = (0..64).map(|i| (b'a' + (i % 26) as u8) as char).collect();
     let labels = [
         String::new(),
-        "_".into(),          // normalises to empty
-        "naïve".into(),      // non-ASCII
+        "_".into(),              // normalises to empty
+        "naïve".into(),          // non-ASCII
         "日本語スキーマ".into(), // non-ASCII, multi-byte grams
-        "nave".into(),       // ASCII vs non-ASCII pairing
+        "nave".into(),           // ASCII vs non-ASCII pairing
         base[..63].to_owned(),
-        base.clone(),                // exactly 64: high bit is the score bit
-        format!("{base}z"),          // 65: one past the Myers word
+        base.clone(),                 // exactly 64: high bit is the score bit
+        format!("{base}z"),           // 65: one past the Myers word
         format!("{}!x", &base[..62]), // 64 raw, 63 normalised
     ];
     let scalar = NameSimilarity::default();

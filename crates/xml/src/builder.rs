@@ -31,7 +31,9 @@ pub struct SchemaBuilder {
 impl SchemaBuilder {
     /// Start building a schema with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        SchemaBuilder { schema: Schema::new(name) }
+        SchemaBuilder {
+            schema: Schema::new(name),
+        }
     }
 
     /// Install the root element and open its scope.
@@ -40,7 +42,10 @@ impl SchemaBuilder {
             .schema
             .add_root(Node::element(name))
             .expect("builder installs exactly one root");
-        NodeScope { schema: self.schema, current: root }
+        NodeScope {
+            schema: self.schema,
+            current: root,
+        }
     }
 }
 
@@ -86,13 +91,23 @@ impl NodeScope {
     }
 
     /// Add a complex child and configure it inside `f`.
-    pub fn child(mut self, name: impl Into<String>, f: impl FnOnce(NodeScope) -> NodeScope) -> Self {
+    pub fn child(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(NodeScope) -> NodeScope,
+    ) -> Self {
         let id = self
             .schema
             .add_child(self.current, Node::element(name))
             .expect("current node exists");
-        let inner = f(NodeScope { schema: self.schema, current: id });
-        NodeScope { schema: inner.schema, current: self.current }
+        let inner = f(NodeScope {
+            schema: self.schema,
+            current: id,
+        });
+        NodeScope {
+            schema: inner.schema,
+            current: self.current,
+        }
     }
 
     /// Finish building and return the schema.
@@ -153,7 +168,10 @@ mod tests {
 
     #[test]
     fn root_type_and_occurs_settable() {
-        let s = SchemaBuilder::new("t").root("r").ty(PrimitiveType::String).build();
+        let s = SchemaBuilder::new("t")
+            .root("r")
+            .ty(PrimitiveType::String)
+            .build();
         let root = s.root().unwrap();
         assert_eq!(s.node(root).ty, PrimitiveType::String);
     }

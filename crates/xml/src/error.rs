@@ -42,7 +42,10 @@ mod tests {
     fn display_messages() {
         assert_eq!(XmlError::UnknownNode(3).to_string(), "unknown node id 3");
         assert_eq!(XmlError::NoRoot.to_string(), "schema has no root element");
-        let p = XmlError::Parse { line: 7, message: "bad tag".into() };
+        let p = XmlError::Parse {
+            line: 7,
+            message: "bad tag".into(),
+        };
         assert!(p.to_string().contains("line 7"));
         assert!(p.to_string().contains("bad tag"));
     }

@@ -116,9 +116,15 @@ pub struct Occurs {
 
 impl Occurs {
     /// Exactly one occurrence (`1..1`).
-    pub const ONE: Occurs = Occurs { min: 1, max: Some(1) };
+    pub const ONE: Occurs = Occurs {
+        min: 1,
+        max: Some(1),
+    };
     /// Optional occurrence (`0..1`).
-    pub const OPTIONAL: Occurs = Occurs { min: 0, max: Some(1) };
+    pub const OPTIONAL: Occurs = Occurs {
+        min: 0,
+        max: Some(1),
+    };
     /// One or more (`1..*`).
     pub const MANY: Occurs = Occurs { min: 1, max: None };
     /// Zero or more (`0..*`).
@@ -133,7 +139,11 @@ impl Occurs {
     pub fn from_spec(s: &str) -> Option<Self> {
         let (lo, hi) = s.split_once("..")?;
         let min: u32 = lo.parse().ok()?;
-        let max = if hi == "*" { None } else { Some(hi.parse().ok()?) };
+        let max = if hi == "*" {
+            None
+        } else {
+            Some(hi.parse().ok()?)
+        };
         if let Some(m) = max {
             if m < min {
                 return None;
@@ -236,7 +246,10 @@ mod tests {
         assert!(Integer.compatibility(Decimal) > Integer.compatibility(Date));
         assert!(String.compatibility(Date) > Complex.compatibility(Date));
         // Symmetric.
-        assert_eq!(Integer.compatibility(Complex), Complex.compatibility(Integer));
+        assert_eq!(
+            Integer.compatibility(Complex),
+            Complex.compatibility(Integer)
+        );
     }
 
     #[test]

@@ -39,11 +39,17 @@ enum Token {
 
 impl<'a> Lexer<'a> {
     fn new(input: &'a str) -> Self {
-        Lexer { chars: input.chars().peekable(), line: 1 }
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> XmlError {
-        XmlError::Parse { line: self.line, message: message.into() }
+        XmlError::Parse {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -127,20 +133,30 @@ impl<'a> Lexer<'a> {
                     match self.chars.peek() {
                         Some('>') => {
                             self.bump();
-                            return Ok(Token::Start(StartTag { name, attrs, self_closing: false }));
+                            return Ok(Token::Start(StartTag {
+                                name,
+                                attrs,
+                                self_closing: false,
+                            }));
                         }
                         Some('/') => {
                             self.bump();
                             if self.bump() != Some('>') {
                                 return Err(self.err("expected '>' after '/'"));
                             }
-                            return Ok(Token::Start(StartTag { name, attrs, self_closing: true }));
+                            return Ok(Token::Start(StartTag {
+                                name,
+                                attrs,
+                                self_closing: true,
+                            }));
                         }
                         Some(c) if c.is_alphanumeric() || *c == '_' => {
                             let attr_name = self.read_name();
                             self.skip_ws();
                             if self.bump() != Some('=') {
-                                return Err(self.err(format!("expected '=' after attribute {attr_name}")));
+                                return Err(
+                                    self.err(format!("expected '=' after attribute {attr_name}"))
+                                );
                             }
                             self.skip_ws();
                             let value = self.read_quoted()?;
@@ -176,13 +192,15 @@ fn node_from_tag(lexer: &Lexer<'_>, tag: &StartTag) -> Result<Node, XmlError> {
         .ok_or_else(|| lexer.err("missing name attribute"))?
         .clone();
     let ty = match tag.attrs.get("type") {
-        Some(t) => PrimitiveType::from_name(t)
-            .ok_or_else(|| lexer.err(format!("unknown type {t:?}")))?,
+        Some(t) => {
+            PrimitiveType::from_name(t).ok_or_else(|| lexer.err(format!("unknown type {t:?}")))?
+        }
         None => PrimitiveType::Complex,
     };
     let occurs = match tag.attrs.get("occurs") {
-        Some(o) => Occurs::from_spec(o)
-            .ok_or_else(|| lexer.err(format!("invalid occurs spec {o:?}")))?,
+        Some(o) => {
+            Occurs::from_spec(o).ok_or_else(|| lexer.err(format!("invalid occurs spec {o:?}")))?
+        }
         None => Occurs::ONE,
     };
     let mut node = Node::element(name);
@@ -212,7 +230,9 @@ fn parse_children(
             }
             Token::End(name) if name == parent_tag => return Ok(()),
             Token::End(name) => {
-                return Err(lexer.err(format!("mismatched end tag </{name}>, expected </{parent_tag}>")))
+                return Err(lexer.err(format!(
+                    "mismatched end tag </{name}>, expected </{parent_tag}>"
+                )))
             }
             Token::Eof => return Err(lexer.err(format!("missing end tag </{parent_tag}>"))),
         }
@@ -257,7 +277,9 @@ pub fn parse_schema(input: &str) -> Result<Schema, XmlError> {
                     return Err(lexer.err("multiple root elements"));
                 }
                 let node = node_from_tag(&lexer, &tag)?;
-                let root = schema.add_root(node).map_err(|e| lexer.err(e.to_string()))?;
+                let root = schema
+                    .add_root(node)
+                    .map_err(|e| lexer.err(e.to_string()))?;
                 if !tag.self_closing {
                     parse_children(&mut lexer, &mut schema, root, &tag.name)?;
                 }
@@ -314,8 +336,8 @@ mod tests {
 
     #[test]
     fn entity_unescaping() {
-        let s = parse_schema("<schema name=\"a&amp;b\"><element name=\"x&lt;y\"/></schema>")
-            .unwrap();
+        let s =
+            parse_schema("<schema name=\"a&amp;b\"><element name=\"x&lt;y\"/></schema>").unwrap();
         assert_eq!(s.name(), "a&b");
         assert_eq!(s.node(s.root().unwrap()).name, "x<y");
     }
@@ -327,13 +349,22 @@ mod tests {
             ("<schema name=\"x\">", "missing </schema>"),
             ("<bogus name=\"x\"/>", "expected <schema>"),
             ("<schema name=\"x\"><element/></schema>", "missing name"),
-            ("<schema name=\"x\"><element name=\"a\" type=\"float\"/></schema>", "unknown type"),
-            ("<schema name=\"x\"><element name=\"a\" occurs=\"5..2\"/></schema>", "invalid occurs"),
+            (
+                "<schema name=\"x\"><element name=\"a\" type=\"float\"/></schema>",
+                "unknown type",
+            ),
+            (
+                "<schema name=\"x\"><element name=\"a\" occurs=\"5..2\"/></schema>",
+                "invalid occurs",
+            ),
             (
                 "<schema name=\"x\"><element name=\"a\"/><element name=\"b\"/></schema>",
                 "multiple root",
             ),
-            ("<schema name=\"x\"><element name=\"a\"></schema>", "mismatched end tag"),
+            (
+                "<schema name=\"x\"><element name=\"a\"></schema>",
+                "mismatched end tag",
+            ),
             ("<schema name=\"x\"/>junk", "unexpected character"),
             ("<schema name=\"x\"/><element name=\"y\"/>", "content after"),
             ("<schema name=\"x\" name=\"y\"/>", "duplicate attribute"),
@@ -341,7 +372,10 @@ mod tests {
         for (input, needle) in cases {
             let err = parse_schema(input).unwrap_err();
             let msg = err.to_string();
-            assert!(msg.contains(needle), "input {input:?}: {msg:?} missing {needle:?}");
+            assert!(
+                msg.contains(needle),
+                "input {input:?}: {msg:?} missing {needle:?}"
+            );
         }
     }
 
@@ -356,7 +390,8 @@ mod tests {
 
     #[test]
     fn whitespace_insensitive() {
-        let dense = "<schema name=\"x\"><element name=\"r\"><element name=\"c\"/></element></schema>";
+        let dense =
+            "<schema name=\"x\"><element name=\"r\"><element name=\"c\"/></element></schema>";
         let spaced = "<schema  name = \"x\" >\n\n  <element  name=\"r\" >\n    <element name=\"c\" />\n  </element>\n</schema>\n";
         assert_eq!(parse_schema(dense).unwrap(), parse_schema(spaced).unwrap());
     }

@@ -18,7 +18,9 @@ pub struct Path {
 impl Path {
     /// Path from explicit segments.
     pub fn new(segments: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        Path { segments: segments.into_iter().map(Into::into).collect() }
+        Path {
+            segments: segments.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// The path of `id` within `schema`.

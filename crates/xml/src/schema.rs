@@ -20,7 +20,11 @@ pub struct Schema {
 impl Schema {
     /// An empty schema with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Schema { name: name.into(), nodes: Vec::new(), root: None }
+        Schema {
+            name: name.into(),
+            nodes: Vec::new(),
+            root: None,
+        }
     }
 
     /// The schema's name (unique within a repository).
@@ -87,7 +91,9 @@ impl Schema {
 
     /// Borrow a node, returning an error for out-of-range ids.
     pub fn try_node(&self, id: NodeId) -> Result<&Node, XmlError> {
-        self.nodes.get(id.index()).ok_or(XmlError::UnknownNode(id.index()))
+        self.nodes
+            .get(id.index())
+            .ok_or(XmlError::UnknownNode(id.index()))
     }
 
     /// All node ids in arena (insertion) order.
@@ -250,7 +256,10 @@ mod tests {
     #[test]
     fn double_root_rejected() {
         let mut s = tiny();
-        assert_eq!(s.add_root(Node::element("x")), Err(XmlError::RootAlreadySet));
+        assert_eq!(
+            s.add_root(Node::element("x")),
+            Err(XmlError::RootAlreadySet)
+        );
     }
 
     #[test]
@@ -283,8 +292,7 @@ mod tests {
     #[test]
     fn leaves_iterator() {
         let s = tiny();
-        let leaves: Vec<String> =
-            s.leaves().map(|id| s.node(id).name.clone()).collect();
+        let leaves: Vec<String> = s.leaves().map(|id| s.node(id).name.clone()).collect();
         assert_eq!(leaves, vec!["title", "year"]);
     }
 

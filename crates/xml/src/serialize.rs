@@ -114,6 +114,8 @@ mod tests {
             .root("r")
             .attribute("id", PrimitiveType::Id)
             .build();
-        assert!(schema_to_string(&s).contains("<attribute name=\"id\" type=\"id\" occurs=\"0..1\"/>"));
+        assert!(
+            schema_to_string(&s).contains("<attribute name=\"id\" type=\"id\" occurs=\"0..1\"/>")
+        );
     }
 }

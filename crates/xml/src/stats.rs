@@ -42,7 +42,11 @@ impl SchemaStats {
             node_count: schema.len(),
             leaf_count,
             max_depth,
-            avg_fanout: if interior == 0 { 0.0 } else { child_total as f64 / interior as f64 },
+            avg_fanout: if interior == 0 {
+                0.0
+            } else {
+                child_total as f64 / interior as f64
+            },
             max_fanout,
         }
     }
@@ -69,7 +73,8 @@ mod tests {
         let s = SchemaBuilder::new("t")
             .root("r")
             .child("a", |a| {
-                a.leaf("x", PrimitiveType::String).leaf("y", PrimitiveType::String)
+                a.leaf("x", PrimitiveType::String)
+                    .leaf("y", PrimitiveType::String)
             })
             .leaf("z", PrimitiveType::String)
             .build();

@@ -8,7 +8,9 @@ use crate::schema::Schema;
 /// Returns an empty vector for a schema without a root.
 pub fn preorder(schema: &Schema) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(schema.len());
-    let Some(root) = schema.root() else { return out };
+    let Some(root) = schema.root() else {
+        return out;
+    };
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
         out.push(id);
@@ -23,7 +25,9 @@ pub fn preorder(schema: &Schema) -> Vec<NodeId> {
 /// Node ids in post-order (children before parent).
 pub fn postorder(schema: &Schema) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(schema.len());
-    let Some(root) = schema.root() else { return out };
+    let Some(root) = schema.root() else {
+        return out;
+    };
     fn rec(schema: &Schema, id: NodeId, out: &mut Vec<NodeId>) {
         for &c in &schema.node(id).children {
             rec(schema, c, out);
@@ -36,7 +40,9 @@ pub fn postorder(schema: &Schema) -> Vec<NodeId> {
 
 /// Ids of all nodes whose name equals `name`.
 pub fn find_by_name<'a>(schema: &'a Schema, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
-    schema.node_ids().filter(move |&id| schema.node(id).name == name)
+    schema
+        .node_ids()
+        .filter(move |&id| schema.node(id).name == name)
 }
 
 #[cfg(test)]
@@ -49,7 +55,8 @@ mod tests {
         SchemaBuilder::new("t")
             .root("r")
             .child("a", |a| {
-                a.leaf("x", PrimitiveType::String).leaf("y", PrimitiveType::String)
+                a.leaf("x", PrimitiveType::String)
+                    .leaf("y", PrimitiveType::String)
             })
             .child("b", |b| b.leaf("x", PrimitiveType::Integer))
             .build()
@@ -68,7 +75,10 @@ mod tests {
     #[test]
     fn postorder_children_first() {
         let s = sample();
-        assert_eq!(names(&s, &postorder(&s)), vec!["x", "y", "a", "x", "b", "r"]);
+        assert_eq!(
+            names(&s, &postorder(&s)),
+            vec!["x", "y", "a", "x", "b", "r"]
+        );
     }
 
     #[test]

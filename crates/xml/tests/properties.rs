@@ -34,17 +34,20 @@ fn primitive() -> impl Strategy<Value = PrimitiveType> {
 fn tree_spec(
     max_nodes: usize,
 ) -> impl Strategy<Value = Vec<(String, PrimitiveType, Occurs, usize)>> {
-    proptest::collection::vec((name(), primitive(), occurs(), any::<prop::sample::Index>()), 1..max_nodes)
-        .prop_map(|nodes| {
-            nodes
-                .into_iter()
-                .enumerate()
-                .map(|(i, (n, t, o, idx))| {
-                    let parent = if i == 0 { 0 } else { idx.index(i) };
-                    (n, t, o, parent)
-                })
-                .collect()
-        })
+    proptest::collection::vec(
+        (name(), primitive(), occurs(), any::<prop::sample::Index>()),
+        1..max_nodes,
+    )
+    .prop_map(|nodes| {
+        nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, t, o, idx))| {
+                let parent = if i == 0 { 0 } else { idx.index(i) };
+                (n, t, o, parent)
+            })
+            .collect()
+    })
 }
 
 fn build_schema(spec: &[(String, PrimitiveType, Occurs, usize)]) -> Schema {

@@ -88,8 +88,8 @@ fn main() {
     repository.clear_score_rows();
     // A fresh batch, so every problem re-fills its cost matrix through
     // the bounded store (the first batch's engines are already cached).
-    let bounded_batch = BatchProblem::new(personals, repository.clone())
-        .expect("non-empty personal schemas");
+    let bounded_batch =
+        BatchProblem::new(personals, repository.clone()).expect("non-empty personal schemas");
     let registry2 = MappingRegistry::new();
     let bounded_results = matcher.run_batch(&bounded_batch, 0.3, &registry2);
     let bounded = repository.store().counters();
@@ -99,16 +99,13 @@ fn main() {
         repository.store().cached_rows(),
         bounded.pair_evals - unbounded.pair_evals,
     );
-    let identical = results
-        .iter()
-        .zip(&bounded_results)
-        .all(|(a, b)| {
-            a.len() == b.len()
-                && a.answers()
-                    .iter()
-                    .zip(b.answers())
-                    .all(|(x, y)| x.score.to_bits() == y.score.to_bits())
-        });
+    let identical = results.iter().zip(&bounded_results).all(|(a, b)| {
+        a.len() == b.len()
+            && a.answers()
+                .iter()
+                .zip(b.answers())
+                .all(|(x, y)| x.score.to_bits() == y.score.to_bits())
+    });
     println!("answers identical under eviction: {identical}");
     assert!(identical, "eviction must never change scores");
 }

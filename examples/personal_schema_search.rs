@@ -30,7 +30,10 @@ fn main() {
     );
     println!(
         "personal schema '{}' ({} elements) vs {} schemas / {} elements",
-        exp.scenario.personal.node(exp.scenario.personal.root().expect("root")).name,
+        exp.scenario
+            .personal
+            .node(exp.scenario.personal.root().expect("root"))
+            .name,
         exp.scenario.personal.len(),
         exp.scenario.repository.len(),
         exp.scenario.repository.total_elements(),
@@ -43,7 +46,9 @@ fn main() {
     let t0 = Instant::now();
     let s1 = exp.run_s1();
     let s1_time = t0.elapsed();
-    let s1_curve = exp.measured_curve(&s1, 14).expect("non-empty truth and grid");
+    let s1_curve = exp
+        .measured_curve(&s1, 14)
+        .expect("non-empty truth and grid");
     println!("\nS1 exhaustive: {} answers in {:.1?}", s1.len(), s1_time);
 
     println!("\nF  answers  ratio   time      worst-P@head  worst-P@tail");

@@ -29,7 +29,9 @@ fn main() {
     );
     let s1 = exp.run_s1();
     let s2 = exp.run_s2_beam(40);
-    let s1_curve = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+    let s1_curve = exp
+        .measured_curve(&s1, 10)
+        .expect("non-empty truth and grid");
     let grid = s1_curve.thresholds();
 
     // Pooled judging at depth 100: the "human" only sees the pool.
@@ -45,9 +47,7 @@ fn main() {
     // The bounds need no judging at all.
     let env = exp.envelope(&s1_curve, &s2).expect("S2 ⊆ S1");
 
-    println!(
-        "\nδ        pooled-P  actual-P  [worst, best]      pooled-R  actual-R  [worst, best]"
-    );
+    println!("\nδ        pooled-P  actual-P  [worst, best]      pooled-R  actual-R  [worst, best]");
     for (p, env_p) in grid.iter().zip(env.points()) {
         let pooled_counts = Counts::measure(&s2, pooled.truth(), *p);
         let actual_counts = Counts::measure(&s2, &exp.truth, *p);

@@ -31,13 +31,18 @@ fn main() {
         0.25,
     );
     let s1 = exp.run_s1();
-    let full_curve = exp.measured_curve(&s1, 16).expect("non-empty truth and grid");
+    let full_curve = exp
+        .measured_curve(&s1, 16)
+        .expect("non-empty truth and grid");
     let published = InterpolatedCurve::eleven_point(&full_curve);
     println!("published 11-point curve (all anyone outside the lab ever sees):");
     for &(r, p) in published.points() {
         println!("  recall {r:.1}  precision {p:.4}");
     }
-    println!("(true |H| = {} — unknown to the reconstructor)\n", exp.truth.len());
+    println!(
+        "(true |H| = {} — unknown to the reconstructor)\n",
+        exp.truth.len()
+    );
 
     // Now the reconstructor: guess |H| and derive bounds for an improved
     // system with a measured answer-size ratio of 0.85.

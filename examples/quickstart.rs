@@ -34,12 +34,15 @@ fn main() {
     // 2. Run the exhaustive S1 and measure its P/R curve (this is the
     //    "published effectiveness" a practitioner would start from).
     let s1 = exp.run_s1();
-    let s1_curve = exp.measured_curve(&s1, 12).expect("non-empty truth and grid");
+    let s1_curve = exp
+        .measured_curve(&s1, 12)
+        .expect("non-empty truth and grid");
     println!("\nS1 found {} mappings at δ ≤ 0.25", s1.len());
 
     // 3. Run a cheaper, non-exhaustive S2 (beam search, same objective).
     let s2 = exp.run_s2_beam(40);
-    println!("S2 (beam 40) found {} mappings — {}% of S1's work skipped",
+    println!(
+        "S2 (beam 40) found {} mappings — {}% of S1's work skipped",
         s2.len(),
         100 - (100 * s2.len()) / s1.len().max(1)
     );
@@ -60,8 +63,11 @@ fn main() {
         );
     }
     let (dp, dr) = env.max_guaranteed_loss();
-    println!("\nguarantee: S2 loses at most {:.1}% precision and {:.1}% recall vs S1",
-        dp * 100.0, dr * 100.0);
+    println!(
+        "\nguarantee: S2 loses at most {:.1}% precision and {:.1}% recall vs S1",
+        dp * 100.0,
+        dr * 100.0
+    );
 
     // 5. The generator knows H — verify the guarantee held.
     let actual = exp

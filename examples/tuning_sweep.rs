@@ -26,15 +26,19 @@ fn main() {
         0.25,
     );
     let s1 = exp.run_s1();
-    let s1_curve = exp.measured_curve(&s1, 12).expect("non-empty truth and grid");
-    println!("S1: {} answers; evaluating 7 beam widths with zero judging effort\n", s1.len());
+    let s1_curve = exp
+        .measured_curve(&s1, 12)
+        .expect("non-empty truth and grid");
+    println!(
+        "S1: {} answers; evaluating 7 beam widths with zero judging effort\n",
+        s1.len()
+    );
 
     println!("width  answers  mean-ratio  min-worst-P  min-worst-R  min-random-P");
     for width in [1usize, 2, 4, 8, 16, 32, 64] {
         let s2 = exp.run_s2_beam(width);
         let env = exp.envelope(&s1_curve, &s2).expect("S2 ⊆ S1");
-        let mean_ratio = env.points().iter().map(|p| p.ratio.get()).sum::<f64>()
-            / env.len() as f64;
+        let mean_ratio = env.points().iter().map(|p| p.ratio.get()).sum::<f64>() / env.len() as f64;
         let min_worst_p = env
             .points()
             .iter()

@@ -46,10 +46,15 @@ fn main() {
     //    image of schemas + hot store state.
     let path = std::env::temp_dir().join(format!("smx-warm-restart-{}.snap", std::process::id()));
     let t = Instant::now();
-    repository.save_snapshot_file(&path).expect("snapshot writes");
+    repository
+        .save_snapshot_file(&path)
+        .expect("snapshot writes");
     let saved = t.elapsed();
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("snapshot: {bytes} bytes written in {saved:.2?} -> {}", path.display());
+    println!(
+        "snapshot: {bytes} bytes written in {saved:.2?} -> {}",
+        path.display()
+    );
 
     // 3. "Restart": load the snapshot and serve the same query again.
     let t = Instant::now();
@@ -70,7 +75,11 @@ fn main() {
     assert_eq!(restarted, repository, "loaded repository diverged");
     assert_eq!(after.len(), before.len(), "answer counts diverged");
     for (a, b) in before.answers().iter().zip(after.answers()) {
-        assert_eq!(a.score.to_bits(), b.score.to_bits(), "answer scores diverged");
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "answer scores diverged"
+        );
     }
     assert_eq!(
         restarted.store().pair_evals(),
@@ -83,7 +92,9 @@ fn main() {
     //    Re-querying a spilled row faults it back instead of sweeping.
     let spill_path = path.with_extension("spill");
     let spill = Arc::new(SpillFile::create(&spill_path).expect("spill file"));
-    restarted.store().set_eviction_sink(Some(Arc::clone(&spill) as _));
+    restarted
+        .store()
+        .set_eviction_sink(Some(Arc::clone(&spill) as _));
     restarted.store().set_max_cached_rows(Some(2));
     for q in ["invoiceNo", "shipmentDate", "customerRef"] {
         restarted.store().score_row(q);
@@ -91,7 +102,11 @@ fn main() {
     let evals = restarted.store().pair_evals();
     restarted.store().score_row("invoiceNo"); // evicted + spilled above
     let c = restarted.store().counters();
-    assert_eq!(restarted.store().pair_evals(), evals, "spilled row must fault, not sweep");
+    assert_eq!(
+        restarted.store().pair_evals(),
+        evals,
+        "spilled row must fault, not sweep"
+    );
     println!(
         "spill: {} rows on disk ({} bytes), {} spilled, {} recovered, 0 pairs re-evaluated",
         spill.len(),

@@ -59,7 +59,13 @@ impl Experiment {
                 targets: cm.targets.iter().map(|&(_, r)| r).collect(),
             })
         }));
-        Experiment { scenario, problem, registry, truth, delta_max }
+        Experiment {
+            scenario,
+            problem,
+            registry,
+            truth,
+            delta_max,
+        }
     }
 
     /// Run the exhaustive S1.
@@ -137,20 +143,12 @@ impl Experiment {
     /// Measure a P/R curve for `answers` against the experiment's truth on
     /// a thinned grid of at most `points` thresholds (taken from the
     /// answers' own scores).
-    pub fn measured_curve(
-        &self,
-        answers: &AnswerSet,
-        points: usize,
-    ) -> Result<PrCurve, EvalError> {
+    pub fn measured_curve(&self, answers: &AnswerSet, points: usize) -> Result<PrCurve, EvalError> {
         PrCurve::measure(answers, &self.truth, &self.rank_grid(answers, points))
     }
 
     /// Measure a P/R curve on an explicit grid.
-    pub fn curve_on_grid(
-        &self,
-        answers: &AnswerSet,
-        grid: &[f64],
-    ) -> Result<PrCurve, EvalError> {
+    pub fn curve_on_grid(&self, answers: &AnswerSet, grid: &[f64]) -> Result<PrCurve, EvalError> {
         PrCurve::measure(answers, &self.truth, grid)
     }
 
@@ -189,9 +187,15 @@ mod tests {
         // Running S1 after interning the truth keeps ids consistent:
         let s1 = exp.run_s1();
         // any retrieved correct answer has a score.
-        let retrieved_correct =
-            exp.truth.ids().filter(|&id| s1.score_of(id).is_some()).count();
-        assert!(retrieved_correct > 0, "S1 found none of the planted mappings");
+        let retrieved_correct = exp
+            .truth
+            .ids()
+            .filter(|&id| s1.score_of(id).is_some())
+            .count();
+        assert!(
+            retrieved_correct > 0,
+            "S1 found none of the planted mappings"
+        );
     }
 
     #[test]
@@ -209,7 +213,11 @@ mod tests {
         let exp = experiment();
         let s1 = exp.run_s1();
         let s1_curve = exp.measured_curve(&s1, 12).unwrap();
-        for s2 in [exp.run_s2_beam(8), exp.run_s2_cluster(0.5, 3), exp.run_s2_topk(20)] {
+        for s2 in [
+            exp.run_s2_beam(8),
+            exp.run_s2_cluster(0.5, 3),
+            exp.run_s2_topk(20),
+        ] {
             let env = exp.envelope(&s1_curve, &s2).unwrap();
             let actual = exp.curve_on_grid(&s2, &s1_curve.thresholds()).unwrap();
             assert!(

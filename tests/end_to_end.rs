@@ -35,7 +35,9 @@ fn bounds_contain_actual_for_all_matchers_and_seeds() {
             continue;
         }
         let s1 = exp.run_s1();
-        let s1_curve = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+        let s1_curve = exp
+            .measured_curve(&s1, 10)
+            .expect("non-empty truth and grid");
         let s2s = [
             ("beam", exp.run_s2_beam(10)),
             ("cluster", exp.run_s2_cluster(0.55, 3)),
@@ -61,13 +63,9 @@ fn foreign_objective_function_is_rejected() {
     let exp = experiment(5);
     let s1 = exp.run_s1();
     // Rescore some answers: not the same objective function anymore.
-    let tampered = smx::eval::AnswerSet::new(
-        s1.answers()
-            .iter()
-            .take(50)
-            .map(|a| (a.id, a.score * 0.5)),
-    )
-    .expect("finite scores");
+    let tampered =
+        smx::eval::AnswerSet::new(s1.answers().iter().take(50).map(|a| (a.id, a.score * 0.5)))
+            .expect("finite scores");
     let grid = exp.rank_grid(&s1, 8);
     assert!(ratio_curve_between(&tampered, &s1, &grid).is_err());
 }
@@ -77,7 +75,9 @@ fn foreign_objective_function_is_rejected() {
 fn incremental_tightens_naive_on_real_runs() {
     let exp = experiment(11);
     let s1 = exp.run_s1();
-    let s1_curve = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+    let s1_curve = exp
+        .measured_curve(&s1, 10)
+        .expect("non-empty truth and grid");
     let s2 = exp.run_s2_cluster(0.55, 3);
     let sizes: Vec<usize> = s1_curve
         .points()
@@ -106,7 +106,9 @@ fn incremental_tightens_naive_on_real_runs() {
 fn fixed_ratio_envelope_brackets_s1() {
     let exp = experiment(13);
     let s1 = exp.run_s1();
-    let s1_curve = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
+    let s1_curve = exp
+        .measured_curve(&s1, 10)
+        .expect("non-empty truth and grid");
     let env9 = BoundsEnvelope::fixed_ratio(&s1_curve, SizeRatio::new(0.9).expect("in range"))
         .expect("consistent grid");
     for (p, orig) in env9.points().iter().zip(s1_curve.points()) {
@@ -126,13 +128,14 @@ fn fixed_ratio_envelope_brackets_s1() {
 fn interpolated_reconstruction_roundtrip() {
     let exp = experiment(19);
     let s1 = exp.run_s1();
-    let measured = exp.measured_curve(&s1, 10).expect("non-empty truth and grid");
-    let interp = InterpolatedCurve::from_points(
-        measured.points().iter().map(|p| (p.recall, p.precision)),
-    )
-    .expect("valid points");
-    let rebuilt = smx::bounds::measured_from_interpolated(&interp, exp.truth.len())
-        .expect("reconstructible");
+    let measured = exp
+        .measured_curve(&s1, 10)
+        .expect("non-empty truth and grid");
+    let interp =
+        InterpolatedCurve::from_points(measured.points().iter().map(|p| (p.recall, p.precision)))
+            .expect("valid points");
+    let rebuilt =
+        smx::bounds::measured_from_interpolated(&interp, exp.truth.len()).expect("reconstructible");
     // Same |H| ⇒ counts match (the curve's recall values are exact
     // multiples of 1/|H|).
     for (orig, back) in measured.points().iter().zip(rebuilt.points()) {
@@ -183,11 +186,16 @@ fn all_domains_produce_valid_pipelines() {
         if exp.truth.is_empty() {
             continue;
         }
-        let curve = exp.measured_curve(&s1, 8).expect("non-empty truth and grid");
+        let curve = exp
+            .measured_curve(&s1, 8)
+            .expect("non-empty truth and grid");
         assert!(curve.validate().is_ok(), "{domain:?}");
         // Recall reaches something: at least one planted mapping retrieved.
         let last = curve.points().last().expect("non-empty curve");
-        assert!(last.counts.correct > 0, "{domain:?}: nothing correct retrieved");
+        assert!(
+            last.counts.correct > 0,
+            "{domain:?}: nothing correct retrieved"
+        );
     }
 }
 
@@ -203,7 +211,13 @@ fn bulk_workload_batch_path_matches_solo_runs_and_evaluates() {
     // the overlapping-vocabulary shape a serving repository sees.
     let mut personals: Vec<Schema> = vec![exp.scenario.personal.clone()];
     for seed in [101, 202, 303, 404] {
-        personals.push(Scenario::generate(ScenarioConfig { seed, ..exp.scenario.config }).personal);
+        personals.push(
+            Scenario::generate(ScenarioConfig {
+                seed,
+                ..exp.scenario.config
+            })
+            .personal,
+        );
     }
 
     let batch = BatchProblem::new(personals.clone(), repository.clone())
@@ -222,14 +236,23 @@ fn bulk_workload_batch_path_matches_solo_runs_and_evaluates() {
         let want = ExhaustiveMatcher::default().run(&problem, exp.delta_max, &exp.registry);
         assert_eq!(got, &want);
     }
-    assert_eq!(batched[0], exp.run_s1(), "batch slot 0 is the scenario's own S1 run");
+    assert_eq!(
+        batched[0],
+        exp.run_s1(),
+        "batch slot 0 is the scenario's own S1 run"
+    );
 
     // The batch output feeds the evaluation pipeline unchanged.
     if !exp.truth.is_empty() {
-        let curve = exp.measured_curve(&batched[0], 10).expect("non-empty truth and grid");
+        let curve = exp
+            .measured_curve(&batched[0], 10)
+            .expect("non-empty truth and grid");
         assert!(curve.validate().is_ok());
         let last = curve.points().last().expect("non-empty curve");
-        assert!(last.counts.correct > 0, "bulk path retrieved nothing correct");
+        assert!(
+            last.counts.correct > 0,
+            "bulk path retrieved nothing correct"
+        );
     }
 
     // And the shared store did its job: one sweep per distinct label
@@ -238,8 +261,14 @@ fn bulk_workload_batch_path_matches_solo_runs_and_evaluates() {
     let distinct = batch.distinct_labels().len() as u64;
     assert_eq!(counters.row_misses, distinct);
     assert!(counters.row_hits > 0);
-    assert_eq!(counters.row_hits + counters.row_misses, counters.row_lookups);
-    assert_eq!(counters.pair_evals, distinct * repository.store().len() as u64);
+    assert_eq!(
+        counters.row_hits + counters.row_misses,
+        counters.row_lookups
+    );
+    assert_eq!(
+        counters.pair_evals,
+        distinct * repository.store().len() as u64
+    );
 }
 
 /// Top-N reporting and threshold slicing agree with counts (Figure 2's

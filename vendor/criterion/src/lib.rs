@@ -24,7 +24,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Build an id from the parameter's `Display` form.
     pub fn from_parameter<D: Display>(parameter: D) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -79,10 +81,11 @@ impl Criterion {
     /// filter on bench names (cargo-bench passes `--bench` etc., which are
     /// ignored).
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
-        Criterion { filter, ..Criterion::default() }
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            ..Criterion::default()
+        }
     }
 
     fn record(&mut self, name: &str, ns: f64) {
@@ -107,7 +110,10 @@ impl Criterion {
         if self.skipped(name) {
             return;
         }
-        let mut bencher = Bencher { samples: self.sample_size, result_ns: 0.0 };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
         f(&mut bencher);
         self.record(name, bencher.result_ns);
     }
@@ -149,7 +155,10 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        let mut bencher = Bencher { samples, result_ns: 0.0 };
+        let mut bencher = Bencher {
+            samples,
+            result_ns: 0.0,
+        };
         f(&mut bencher, input);
         let ns = bencher.result_ns;
         self.criterion.record(&full, ns);
@@ -187,7 +196,11 @@ mod tests {
 
     #[test]
     fn measures_something_positive() {
-        let mut c = Criterion { filter: None, sample_size: 3, json_path: None };
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+            json_path: None,
+        };
         let mut ran = false;
         c.bench_function("noop", |b| {
             b.iter(|| std::hint::black_box(1 + 1));
@@ -211,14 +224,12 @@ mod tests {
         assert!(!ran);
         let mut group = c.benchmark_group("matching");
         let mut ran_group = false;
-        group.sample_size(2).bench_with_input(
-            BenchmarkId::from_parameter("x"),
-            &1,
-            |b, _| {
+        group
+            .sample_size(2)
+            .bench_with_input(BenchmarkId::from_parameter("x"), &1, |b, _| {
                 b.iter(|| ());
                 ran_group = true;
-            },
-        );
+            });
         group.finish();
         assert!(ran_group);
     }

@@ -24,7 +24,9 @@ impl<T> Mutex<T> {
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -50,7 +52,9 @@ impl<T> RwLock<T> {
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

@@ -242,9 +242,7 @@ pub mod string {
                     class
                 }
                 '\\' => vec![chars.next().ok_or_else(|| err("trailing escape"))?],
-                '(' | ')' | '|' | '.' | '^' | '$' => {
-                    return Err(err("unsupported metacharacter"))
-                }
+                '(' | ')' | '|' | '.' | '^' | '$' => return Err(err("unsupported metacharacter")),
                 literal => vec![literal],
             };
             let (min, max) = match chars.peek() {
@@ -287,7 +285,11 @@ pub mod string {
             if max < min {
                 return Err(err("inverted quantifier"));
             }
-            atoms.push(Atom { chars: class, min, max });
+            atoms.push(Atom {
+                chars: class,
+                min,
+                max,
+            });
         }
         Ok(RegexGeneratorStrategy { atoms })
     }

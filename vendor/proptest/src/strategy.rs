@@ -28,7 +28,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence, f }
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
     }
 }
 

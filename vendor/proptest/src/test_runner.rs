@@ -44,7 +44,9 @@ impl TestRng {
             seed ^= b as u64;
             seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { inner: StdRng::seed_from_u64(seed) }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform `usize` in the half-open range.

@@ -110,10 +110,7 @@ pub mod rngs {
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -160,7 +157,11 @@ impl<T> IndexedRandom for [T] {
         // Partial Fisher–Yates over an index vector.
         let mut idx: Vec<usize> = (0..self.len()).collect();
         for i in 0..amount {
-            let j = if i + 1 == self.len() { i } else { rng.random_range(i..self.len()) };
+            let j = if i + 1 == self.len() {
+                i
+            } else {
+                rng.random_range(i..self.len())
+            };
             idx.swap(i, j);
         }
         idx[..amount]
