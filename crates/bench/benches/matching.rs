@@ -302,6 +302,69 @@ fn bench_restart(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_row_kernel(c: &mut Criterion) {
+    // The vectorised-dispatch split, measured within one run so the
+    // ratios are machine-independent: `reference` re-scores every pair
+    // through the scalar `NameSimilarity` string path (the bitwise
+    // oracle), `scalar` runs the row kernel pinned to the scalar tier
+    // (preprocessing amortised, inner loops unvectorised), `active`
+    // runs whatever `KernelVariant::active()` dispatched (SWAR or
+    // `std::arch`). scripts/bench_matching.sh records
+    // reference/active and scalar/active as the `relative` ratios the
+    // machine-relative bench guard (SMX_BENCH_GUARD=relative) checks.
+    use smx::text::{KernelVariant, LabelProfile, NameSimilarity, RowKernel};
+    let base = problem(8, 9);
+    let store = base.repository().store();
+    let labels: Vec<String> = (0..store.len())
+        .map(|id| {
+            store
+                .interner()
+                .resolve(smx::repo::LabelId(id as u32))
+                .to_owned()
+        })
+        .collect();
+    let profiles: Vec<LabelProfile> = labels.iter().map(|l| LabelProfile::new(l)).collect();
+    // Queries: a slice of stored labels plus unseen perturbations, so
+    // both cache-friendly and novel-label shapes are in the mix.
+    let queries: Vec<String> = labels
+        .iter()
+        .take(8)
+        .map(|l| format!("{l}Xq"))
+        .chain(labels.iter().take(8).cloned())
+        .collect();
+    let mut group = c.benchmark_group("row_kernel");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("reference"), &0, |b, _| {
+        let scalar = NameSimilarity::default();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for q in &queries {
+                for l in &labels {
+                    acc += scalar.distance(q, l);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    for (name, variant) in [
+        ("scalar", KernelVariant::Scalar),
+        ("active", KernelVariant::active()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &0, |b, _| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                for q in &queries {
+                    let kernel = RowKernel::with_variant(q, variant);
+                    out.clear();
+                    kernel.distances_into(&profiles, &mut out);
+                    black_box(out.len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_repository_scaling(c: &mut Criterion) {
     // S1 runtime vs repository size — the scalability wall the paper's
     // clustering work attacks.
@@ -326,6 +389,7 @@ criterion_group!(
     bench_matrix_fill,
     bench_batch_matching,
     bench_restart,
+    bench_row_kernel,
     bench_repository_scaling
 );
 criterion_main!(benches);

@@ -67,12 +67,20 @@
 //! `CostMatrix` fills from these rows and stays bitwise equal to direct
 //! objective evaluation, which is what `tests/score_identity.rs` in
 //! `smx-match` gates on.
+//!
+//! Every sweep constructs its kernels through
+//! [`RowKernel::new`], so the store's pair loops run under the
+//! process-wide [`KernelVariant::active`] dispatch tier (scalar oracle,
+//! SWAR, or `std::arch` — overridable via `SMX_KERNEL_FORCE`, surfaced
+//! in the store's `Debug` output). Variant choice can never change a
+//! stored row: all tiers are bitwise-identical by the kernel dispatch
+//! contract, differential-tested in `smx_text`.
 
 use crate::index::TokenIndex;
 use crate::intern::{LabelId, LabelInterner};
 use crate::repository::{ElementRef, SchemaId};
 use parking_lot::RwLock;
-use smx_text::{LabelProfile, RowKernel};
+use smx_text::{KernelVariant, LabelProfile, RowKernel};
 use smx_xml::Schema;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
@@ -928,6 +936,7 @@ impl std::fmt::Debug for LabelStore {
             .field("schemas", &self.schema_labels.len())
             .field("cached_rows", &self.cached_rows())
             .field("config", &self.config())
+            .field("kernel_variant", &KernelVariant::active())
             .field("counters", &self.counters())
             .finish()
     }

@@ -1,0 +1,131 @@
+//! `std::arch` specialisations of the SWAR primitives — SSE2 on x86_64,
+//! NEON on aarch64 — behind runtime feature detection.
+//!
+//! Only the hottest primitive is specialised: the position-bitmask
+//! equality scan ([`AsciiLanes::eq_mask`](crate::swar::AsciiLanes)) that
+//! drives the Jaro bitset fast path. A 128-bit register compares sixteen
+//! characters per instruction instead of SWAR's eight per word, and on
+//! x86 `movemask` collapses the comparison to a bitmask in one step. The
+//! result is **bit-identical** to the SWAR mask (both are clipped by the
+//! same `len_mask`), so dispatching between them can never change a
+//! score; the differential suites assert as much.
+//!
+//! On architectures with neither SSE2 nor NEON this module reports the
+//! variant unsupported and the dispatcher degrades gracefully (see
+//! [`crate::dispatch`]).
+
+use crate::swar::AsciiLanes;
+
+/// Whether the `Arch` kernel variant has an implementation on this CPU.
+pub(crate) fn supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("sse2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON (asimd) is part of the aarch64 baseline.
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Position bitmask of `needle` in `lanes` via the best `std::arch`
+/// path. Callers must have checked [`supported`] (the dispatcher does);
+/// on unsupported architectures this falls back to the SWAR mask, which
+/// is bit-identical anyway.
+#[inline]
+pub(crate) fn eq_mask(lanes: &AsciiLanes, needle: u8) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: `supported()` gates dispatch on SSE2 (x86_64 baseline).
+        unsafe { eq_mask_sse2(lanes, needle) }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // Safety: NEON is unconditionally available on aarch64.
+        unsafe { eq_mask_neon(lanes, needle) }
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        lanes.eq_mask(needle)
+    }
+}
+
+/// SSE2: four 16-byte compares + `movemask` over the packed 64 bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn eq_mask_sse2(lanes: &AsciiLanes, needle: u8) -> u64 {
+    use std::arch::x86_64::*;
+    let needle = _mm_set1_epi8(needle as i8);
+    // The eight u64 lanes are 64 contiguous bytes; padding bytes are
+    // zero and the final len_mask clip removes any padding matches.
+    let base = lanes.lanes().as_ptr() as *const __m128i;
+    let mut mask = 0u64;
+    for reg in 0..4 {
+        let bytes = _mm_loadu_si128(base.add(reg));
+        let eq = _mm_cmpeq_epi8(bytes, needle);
+        mask |= (u64::from(_mm_movemask_epi8(eq) as u32 as u16)) << (16 * reg);
+    }
+    mask & lanes.len_mask()
+}
+
+/// NEON: four 16-byte `vceqq_u8` compares; the 0xFF-per-match result is
+/// collapsed to position bits per extracted 64-bit half.
+#[cfg(target_arch = "aarch64")]
+unsafe fn eq_mask_neon(lanes: &AsciiLanes, needle: u8) -> u64 {
+    use std::arch::aarch64::*;
+    let needle = vdupq_n_u8(needle);
+    let base = lanes.lanes().as_ptr() as *const u8;
+    let mut mask = 0u64;
+    for reg in 0..4 {
+        let bytes = vld1q_u8(base.add(16 * reg));
+        let eq = vreinterpretq_u64_u8(vceqq_u8(bytes, needle));
+        let lo = vgetq_lane_u64::<0>(eq);
+        let hi = vgetq_lane_u64::<1>(eq);
+        mask |= collapse_ff_bytes(lo) << (16 * reg);
+        mask |= collapse_ff_bytes(hi) << (16 * reg + 8);
+    }
+    mask & lanes.len_mask()
+}
+
+/// Collapse a word whose bytes are exactly 0x00 or 0xFF to one bit per
+/// 0xFF byte (branch-free gather multiply, shared with the SWAR tier).
+#[cfg(target_arch = "aarch64")]
+#[inline]
+fn collapse_ff_bytes(x: u64) -> u64 {
+    crate::swar::collapse_byte_flags(x & 0x8080_8080_8080_8080)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_mask_equals_swar_mask() {
+        if !supported() {
+            // Nothing to differentiate: eq_mask already falls back.
+            return;
+        }
+        let cases: &[&[u8]] = &[
+            b"a",
+            b"customer_order_no2",
+            &[b'q'; 64],
+            b"ababababababababababababababababababababababababababababababab",
+        ];
+        for &s in cases {
+            let lanes = AsciiLanes::pack(s).unwrap();
+            for needle in 0u8..128 {
+                assert_eq!(
+                    eq_mask(&lanes, needle),
+                    lanes.eq_mask(needle),
+                    "needle {needle} in {:?}",
+                    std::str::from_utf8(s).unwrap()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Runtime dispatch over the row kernel's vectorised inner-loop
+//! variants.
+//!
+//! Three tiers implement the kernel's per-pair arithmetic, all on stable
+//! Rust:
+//!
+//! * [`KernelVariant::Scalar`] — the original per-character loops. This
+//!   tier is the **bitwise oracle**: every other tier must reproduce its
+//!   `f64` results to the bit (the dispatch differential suites assert
+//!   it), so correctness never depends on which tier runs.
+//! * [`KernelVariant::Swar`] — SIMD-within-a-register on plain `u64`s:
+//!   the Jaro window scan runs on packed [`AsciiLanes`] bitmasks, the
+//!   gram-profile merge uses four-lane block skipping, and the Myers
+//!   advance loop is unrolled four candidate bytes per iteration.
+//!   Available everywhere.
+//! * [`KernelVariant::Arch`] — `std::arch` specialisations (SSE2 on
+//!   x86_64, NEON on aarch64) of the hottest primitive, behind runtime
+//!   feature detection; everything else shares the SWAR paths.
+//!
+//! # Selection
+//!
+//! [`KernelVariant::active`] picks the best supported tier once per
+//! process. The `SMX_KERNEL_FORCE` environment variable overrides it:
+//! `scalar`, `swar`, or `arch` (case-insensitive). Forcing `arch` on
+//! hardware without an `std::arch` implementation degrades gracefully to
+//! the scalar oracle rather than failing; unrecognised values are
+//! ignored. [`RowKernel::with_variant`](crate::RowKernel::with_variant)
+//! pins a variant explicitly (how the differential tests cover the whole
+//! dispatch table in one process).
+
+use crate::arch;
+use crate::swar::AsciiLanes;
+use std::sync::OnceLock;
+
+/// Name of the environment variable that forces a kernel variant.
+pub const FORCE_ENV: &str = "SMX_KERNEL_FORCE";
+
+/// One tier of the row kernel's inner-loop implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// Per-character reference loops — the bitwise oracle.
+    Scalar,
+    /// SWAR-on-`u64` fast paths; supported on every architecture.
+    Swar,
+    /// `std::arch` (SSE2/NEON) specialisations behind feature detection.
+    Arch,
+}
+
+impl KernelVariant {
+    /// Whether this variant has an implementation on the running CPU.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelVariant::Scalar | KernelVariant::Swar => true,
+            KernelVariant::Arch => arch::supported(),
+        }
+    }
+
+    /// This variant if supported, otherwise the scalar oracle — the
+    /// graceful fallback used for explicit/forced selections.
+    pub fn resolve(self) -> KernelVariant {
+        if self.is_supported() {
+            self
+        } else {
+            KernelVariant::Scalar
+        }
+    }
+
+    /// The fastest supported variant on this CPU.
+    pub fn best_available() -> KernelVariant {
+        KernelVariant::Arch.resolve_or(KernelVariant::Swar)
+    }
+
+    /// This variant if supported, otherwise `fallback`.
+    fn resolve_or(self, fallback: KernelVariant) -> KernelVariant {
+        if self.is_supported() {
+            self
+        } else {
+            fallback
+        }
+    }
+
+    /// Resolve a forced-variant request (the value of
+    /// [`FORCE_ENV`], if set) to the variant that will actually run:
+    ///
+    /// * `"scalar"` / `"swar"` / `"arch"` (any case) select that tier,
+    ///   with an unsupported `arch` degrading to the scalar oracle;
+    /// * anything else — including no override — selects
+    ///   [`best_available`](KernelVariant::best_available).
+    ///
+    /// Pure function of its input, so tests cover the whole table
+    /// without touching process environment.
+    pub fn from_force(force: Option<&str>) -> KernelVariant {
+        match force.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
+            Some("scalar") => KernelVariant::Scalar,
+            Some("swar") => KernelVariant::Swar,
+            Some("arch") => KernelVariant::Arch.resolve(),
+            _ => KernelVariant::best_available(),
+        }
+    }
+
+    /// The process-wide active variant: [`FORCE_ENV`] override if set,
+    /// else the best supported tier. Resolved once and cached — every
+    /// [`RowKernel::new`](crate::RowKernel::new) (and therefore every
+    /// repository score-store sweep) reads this.
+    pub fn active() -> KernelVariant {
+        static ACTIVE: OnceLock<KernelVariant> = OnceLock::new();
+        *ACTIVE.get_or_init(|| KernelVariant::from_force(std::env::var(FORCE_ENV).ok().as_deref()))
+    }
+
+    /// Stable lowercase name (`scalar` / `swar` / `arch`), matching the
+    /// [`FORCE_ENV`] syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Swar => "swar",
+            KernelVariant::Arch => "arch",
+        }
+    }
+
+    /// Every variant, in escalation order — what the differential suites
+    /// iterate to cover the dispatch table.
+    pub const ALL: [KernelVariant; 3] = [
+        KernelVariant::Scalar,
+        KernelVariant::Swar,
+        KernelVariant::Arch,
+    ];
+}
+
+/// The position-bitmask equality scan for one vectorised tier.
+pub(crate) type EqMaskFn = fn(&AsciiLanes, u8) -> u64;
+
+/// The equality-scan implementation of a (resolved, non-scalar)
+/// variant. `Scalar` never asks for one — its Jaro path has no lanes —
+/// so it maps to the SWAR scan, which is bit-identical regardless.
+pub(crate) fn eq_mask_fn(variant: KernelVariant) -> EqMaskFn {
+    match variant {
+        KernelVariant::Arch => arch::eq_mask,
+        _ => AsciiLanes::eq_mask,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_swar_always_supported() {
+        assert!(KernelVariant::Scalar.is_supported());
+        assert!(KernelVariant::Swar.is_supported());
+        assert_eq!(KernelVariant::Scalar.resolve(), KernelVariant::Scalar);
+        assert_eq!(KernelVariant::Swar.resolve(), KernelVariant::Swar);
+    }
+
+    #[test]
+    fn force_strings_resolve_to_supported_variants() {
+        assert_eq!(
+            KernelVariant::from_force(Some("scalar")),
+            KernelVariant::Scalar
+        );
+        assert_eq!(
+            KernelVariant::from_force(Some("SWAR ")),
+            KernelVariant::Swar
+        );
+        let arch = KernelVariant::from_force(Some("arch"));
+        if KernelVariant::Arch.is_supported() {
+            assert_eq!(arch, KernelVariant::Arch);
+        } else {
+            // Graceful scalar fallback for an unsupported forced tier.
+            assert_eq!(arch, KernelVariant::Scalar);
+        }
+        assert!(arch.is_supported());
+        for garbage in [None, Some("avx999"), Some("")] {
+            assert_eq!(
+                KernelVariant::from_force(garbage),
+                KernelVariant::best_available()
+            );
+        }
+    }
+
+    #[test]
+    fn best_available_is_supported_and_not_scalar() {
+        let best = KernelVariant::best_available();
+        assert!(best.is_supported());
+        // SWAR exists everywhere, so the default never regresses to the
+        // scalar oracle.
+        assert_ne!(best, KernelVariant::Scalar);
+    }
+
+    #[test]
+    fn names_round_trip_through_force() {
+        for v in KernelVariant::ALL {
+            let resolved = KernelVariant::from_force(Some(v.name()));
+            assert_eq!(resolved, v.resolve());
+        }
+    }
+
+    #[test]
+    fn active_is_cached_and_supported() {
+        assert_eq!(KernelVariant::active(), KernelVariant::active());
+        assert!(KernelVariant::active().is_supported());
+    }
+}

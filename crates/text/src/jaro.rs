@@ -3,8 +3,19 @@
 //! Jaro similarity rewards matching characters within a sliding window and
 //! penalises transpositions; Winkler's variant boosts pairs sharing a common
 //! prefix, which suits identifier names (`custNo` vs `custNum`).
+//!
+//! Two implementations coexist: the scalar window scan ([`jaro_chars`],
+//! the bitwise oracle) and a bitset fast path over packed
+//! [`AsciiLanes`] for ASCII inputs of at most 64 scalars
+//! ([`jaro_winkler_lanes`]), where match flags live in one `u64` per
+//! side and the greedy window scan collapses to mask arithmetic. The
+//! bitset path replays the oracle's exact greedy choices and final
+//! float expression, so the two agree **bitwise** — the property suites
+//! and the kernel dispatch differential tests enforce it.
 
 use crate::clamp01;
+use crate::dispatch::EqMaskFn;
+use crate::swar::AsciiLanes;
 
 /// Jaro similarity in `[0, 1]`.
 ///
@@ -94,6 +105,88 @@ pub(crate) fn jaro_winkler_chars(ac: &[char], bc: &[char]) -> f64 {
     clamp01(j + prefix as f64 * SCALING * (1.0 - j))
 }
 
+/// Bitmask of positions `0..k` (callers guarantee `k <= 64`).
+#[inline]
+fn mask_below(k: usize) -> u64 {
+    debug_assert!(k <= 64);
+    if k >= 64 {
+        !0
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// [`jaro_chars`] over packed ASCII lanes: the greedy window scan with
+/// match flags in one `u64` per side.
+///
+/// Per query character, the candidate set is a single expression —
+/// `eq_mask & window_mask & !matched` — and its lowest set bit is
+/// exactly the first eligible position the scalar loop would take, so
+/// the greedy assignment (and therefore the match and transposition
+/// counts, and the final float) is identical to the oracle's bit for
+/// bit. The transposition count walks the two match masks in position
+/// order, which reproduces the oracle's "compare matched characters in
+/// order" pass via popcount-bounded prefix iteration.
+///
+/// `eq` is the equality-scan implementation of the dispatched variant
+/// (SWAR or `std::arch`) — both produce identical masks.
+pub(crate) fn jaro_lanes(a: &AsciiLanes, b: &AsciiLanes, eq: EqMaskFn) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    let window = (n.max(m) / 2).saturating_sub(1);
+    let mut a_matched = 0u64;
+    let mut b_matched = 0u64;
+    for i in 0..n {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(m);
+        let window_mask = mask_below(hi) & !mask_below(lo);
+        let candidates = eq(b, a.byte(i)) & window_mask & !b_matched;
+        if candidates != 0 {
+            // Lowest set bit = the scalar loop's first eligible j.
+            b_matched |= candidates & candidates.wrapping_neg();
+            a_matched |= 1u64 << i;
+        }
+    }
+    let matches = a_matched.count_ones() as usize;
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: zip the matched characters of both sides in
+    // position order and count disagreeing pairs (the masks have equal
+    // popcount by construction).
+    let mut transpositions = 0usize;
+    let (mut am, mut bm) = (a_matched, b_matched);
+    while am != 0 {
+        let i = am.trailing_zeros() as usize;
+        let j = bm.trailing_zeros() as usize;
+        if a.byte(i) != b.byte(j) {
+            transpositions += 1;
+        }
+        am &= am - 1;
+        bm &= bm - 1;
+    }
+    let transpositions = transpositions / 2;
+    let mf = matches as f64;
+    clamp01((mf / n as f64 + mf / m as f64 + (mf - transpositions as f64) / mf) / 3.0)
+}
+
+/// [`jaro_winkler_chars`] over packed ASCII lanes (see [`jaro_lanes`]).
+/// Bitwise identical to the scalar path on the corresponding strings.
+pub(crate) fn jaro_winkler_lanes(a: &AsciiLanes, b: &AsciiLanes, eq: EqMaskFn) -> f64 {
+    const SCALING: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let j = jaro_lanes(a, b, eq);
+    // Common prefix within the first lane: the XOR's lowest differing
+    // byte bounds it; clip by both lengths and the Winkler cap.
+    let diff = a.lanes()[0] ^ b.lanes()[0];
+    let same = if diff == 0 {
+        8
+    } else {
+        (diff.trailing_zeros() >> 3) as usize
+    };
+    let prefix = same.min(MAX_PREFIX).min(a.len()).min(b.len());
+    clamp01(j + prefix as f64 * SCALING * (1.0 - j))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +229,47 @@ mod tests {
         let j = jaro(a, b);
         let expected = j + 4.0 * 0.1 * (1.0 - j);
         assert!((jaro_winkler(a, b) - expected).abs() < 1e-12);
+    }
+
+    /// The bitset fast path must replay the scalar oracle bit for bit —
+    /// including transposition-heavy, repeated-character, and exactly
+    /// 64-byte inputs where the mask arithmetic saturates a whole word.
+    #[test]
+    fn lanes_path_bitwise_matches_scalar() {
+        let word64: String = (0..64).map(|i| (b'a' + (i % 26) as u8) as char).collect();
+        let transposed64: String = word64.chars().rev().collect();
+        let cases = [
+            "a",
+            "martha",
+            "marhta",
+            "dixon",
+            "dicksonx",
+            "aaaaaa",
+            "aaabaaa",
+            "custorderno2",
+            "custordernum",
+            "zyx",
+            word64.as_str(),
+            transposed64.as_str(),
+        ];
+        for a in cases {
+            for b in cases {
+                let (la, lb) = (
+                    AsciiLanes::pack(a.as_bytes()).unwrap(),
+                    AsciiLanes::pack(b.as_bytes()).unwrap(),
+                );
+                let (ac, bc): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+                assert_eq!(
+                    jaro_lanes(&la, &lb, AsciiLanes::eq_mask).to_bits(),
+                    jaro_chars(&ac, &bc).to_bits(),
+                    "jaro({a:?}, {b:?})"
+                );
+                assert_eq!(
+                    jaro_winkler_lanes(&la, &lb, AsciiLanes::eq_mask).to_bits(),
+                    jaro_winkler_chars(&ac, &bc).to_bits(),
+                    "jaro_winkler({a:?}, {b:?})"
+                );
+            }
+        }
     }
 }

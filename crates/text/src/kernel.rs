@@ -10,38 +10,71 @@
 //! * [`LabelProfile`] — everything pair-independent about one label,
 //!   computed once: the normalised form and its scalar values, the Myers
 //!   bit-vector pattern table (for ASCII labels up to 64 bytes), the
-//!   identifier tokens with per-token scalar values, the sorted distinct
-//!   token set, and the flat hashed trigram profile
-//!   ([`GramProfile`]);
+//!   packed SWAR lanes of the normalised form and of every token
+//!   ([`AsciiLanes`]), the identifier tokens with per-token scalar
+//!   values, the sorted distinct token set, and the flat hashed trigram
+//!   profile ([`GramProfile`]);
 //! * [`RowKernel`] — a query label's profile plus the pair loop: stream a
 //!   whole row of candidate profiles through it and only the genuinely
 //!   pairwise arithmetic (merge-intersections, the Myers advance loop,
 //!   Jaro window scans) remains per pair.
+//!
+//! # Vectorised dispatch
+//!
+//! The remaining per-pair arithmetic runs under a
+//! [`KernelVariant`](crate::dispatch::KernelVariant) selected at kernel
+//! construction ([`RowKernel::new`] uses the process-wide
+//! [`KernelVariant::active`]; [`RowKernel::with_variant`] pins one).
+//! Under the `Swar`/`Arch` tiers, ASCII labels and tokens of at most 64
+//! scalars take the Jaro bitset fast path (`jaro_winkler_lanes`), gram
+//! profiles merge through the four-lane blocked intersection, and the
+//! Myers advance loop runs unrolled; inputs outside the fast-path regime
+//! (non-ASCII, longer than a word) fall through to the scalar loops
+//! **per measure**, so a single exotic label never disables
+//! vectorisation for the rest of the row.
 //!
 //! # Score-identity contract
 //!
 //! `RowKernel::similarity(q, c)` is **bitwise identical**
 //! (`f64::to_bits`) to `NameSimilarity::default().similarity(q.raw,
 //! c.raw)`, and [`RowKernel::distance`] to the corresponding
-//! `distance`. The kernel replicates the scalar path's exact evaluation
-//! order — the same weight sums over
+//! `distance` — under *every* dispatch variant. The kernel replicates
+//! the scalar path's exact evaluation order — the same weight sums over
 //! [`combined::DEFAULT_NAME_MIX`](crate::combined), the same early
-//! returns, the same clamps — and every leaf funnels into the *same*
-//! arithmetic the scalar measures use (`jaro_chars`, the shared Myers
-//! advance loop, the shared profile merges). The matching crate's
+//! returns, the same clamps — and every vectorised leaf replays the
+//! scalar leaf's greedy choices and float expressions exactly (see the
+//! leaf modules for the per-primitive arguments). The matching crate's
 //! effectiveness-bounds methodology rests on this: its repository score
 //! store fills cost matrices through row kernels while
 //! `compute_direct` re-scores through the scalar path, and
 //! `tests/score_identity.rs` asserts the two agree to the bit. Property
-//! tests in `crates/text/tests/properties.rs` assert the contract for
-//! the kernel itself.
+//! tests in `crates/text/tests/properties.rs` and the dispatch
+//! differential suite in `crates/text/tests/dispatch_differential.rs`
+//! assert the contract for the kernel itself, across the whole dispatch
+//! table.
 
 use crate::clamp01;
 use crate::combined::{SimilarityMeasure, DEFAULT_NAME_MIX};
-use crate::jaro::jaro_winkler_chars;
-use crate::levenshtein::{myers_64_prepared, myers_pattern, two_row_dp};
-use crate::ngram::{dice_profiles, GramProfile};
+use crate::dispatch::{eq_mask_fn, EqMaskFn, KernelVariant};
+use crate::jaro::{jaro_winkler_chars, jaro_winkler_lanes};
+use crate::levenshtein::{
+    myers_64_prepared, myers_64_prepared_unrolled, myers_pattern, two_row_dp,
+};
+use crate::ngram::{dice_profiles, dice_profiles_blocked, GramProfile};
 use crate::normalize::split_identifier;
+use crate::swar::AsciiLanes;
+
+/// One identifier token of a label: its scalar values (the form the
+/// scalar Monge–Elkan loops compare) plus, when the token is ASCII and
+/// fits one 64-bit mask, its packed SWAR lanes for the bitset Jaro fast
+/// path.
+#[derive(Debug, Clone)]
+struct TokenData {
+    /// The token's scalar values, in order.
+    chars: Vec<char>,
+    /// Packed lanes, present iff the token is ASCII with 1..=64 bytes.
+    lanes: Option<AsciiLanes>,
+}
 
 /// Pair-independent preprocessing of one label, shared by every
 /// comparison the label participates in.
@@ -60,9 +93,13 @@ pub struct LabelProfile {
     scalar_len: usize,
     /// Myers pattern table of `norm`, present iff ASCII and 1..=64 bytes.
     peq: Option<Box<[u64; 128]>>,
+    /// Packed SWAR lanes of `norm`, present under the same condition —
+    /// the Jaro bitset fast path's operand.
+    lanes: Option<AsciiLanes>,
     /// Identifier tokens of `raw` in split order, duplicates kept, each
-    /// pre-collected to scalar values (Monge–Elkan's inner loops).
-    tokens: Vec<Vec<char>>,
+    /// pre-collected to scalar values (Monge–Elkan's inner loops) and
+    /// packed lanes where eligible.
+    tokens: Vec<TokenData>,
     /// Sorted distinct token texts (Dice over token sets).
     token_set: Vec<String>,
     /// Flat hashed trigram profile of `norm`.
@@ -80,11 +117,18 @@ impl LabelProfile {
         let scalar_len = if ascii { norm.len() } else { norm_chars.len() };
         let peq = (ascii && !norm.is_empty() && norm.len() <= 64)
             .then(|| Box::new(myers_pattern(norm.as_bytes())));
+        let lanes = AsciiLanes::pack(norm.as_bytes());
         let grams = GramProfile::trigrams(&norm);
         let mut token_set: Vec<String> = split.iter().map(|t| t.as_str().to_owned()).collect();
         token_set.sort_unstable();
         token_set.dedup();
-        let tokens: Vec<Vec<char>> = split.iter().map(|t| t.as_str().chars().collect()).collect();
+        let tokens: Vec<TokenData> = split
+            .iter()
+            .map(|t| TokenData {
+                chars: t.as_str().chars().collect(),
+                lanes: AsciiLanes::pack(t.as_str().as_bytes()),
+            })
+            .collect();
         LabelProfile {
             raw: label.to_owned(),
             norm,
@@ -92,6 +136,7 @@ impl LabelProfile {
             ascii,
             scalar_len,
             peq,
+            lanes,
             tokens,
             token_set,
             grams,
@@ -129,28 +174,53 @@ fn sorted_intersection(a: &[String], b: &[String]) -> usize {
 }
 
 /// A query label prepared for streaming a row of candidates through the
-/// default name-similarity mix.
+/// default name-similarity mix under one dispatch variant.
 #[derive(Debug, Clone)]
 pub struct RowKernel {
     query: LabelProfile,
+    /// The dispatched inner-loop tier (resolved: always supported).
+    variant: KernelVariant,
+    /// The tier's equality-scan primitive, hoisted out of the pair loop.
+    eq: EqMaskFn,
 }
 
 impl RowKernel {
-    /// Preprocess `label` as the row's query.
+    /// Preprocess `label` as the row's query, under the process-wide
+    /// [`KernelVariant::active`] dispatch variant.
     pub fn new(label: &str) -> Self {
-        RowKernel {
-            query: LabelProfile::new(label),
-        }
+        RowKernel::with_variant(label, KernelVariant::active())
     }
 
-    /// Wrap an existing profile as the query.
+    /// Preprocess `label` under an explicit dispatch variant (resolved
+    /// through [`KernelVariant::resolve`], so an unsupported request
+    /// degrades to the scalar oracle instead of failing).
+    pub fn with_variant(label: &str, variant: KernelVariant) -> Self {
+        RowKernel::from_profile_with_variant(LabelProfile::new(label), variant)
+    }
+
+    /// Wrap an existing profile as the query (active dispatch variant).
     pub fn from_profile(query: LabelProfile) -> Self {
-        RowKernel { query }
+        RowKernel::from_profile_with_variant(query, KernelVariant::active())
+    }
+
+    /// Wrap an existing profile under an explicit dispatch variant.
+    pub fn from_profile_with_variant(query: LabelProfile, variant: KernelVariant) -> Self {
+        let variant = variant.resolve();
+        RowKernel {
+            query,
+            variant,
+            eq: eq_mask_fn(variant),
+        }
     }
 
     /// The query's profile.
     pub fn profile(&self) -> &LabelProfile {
         &self.query
+    }
+
+    /// The dispatch variant this kernel's pair loops run under.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
     }
 
     /// Name similarity of the query and `candidate` — bitwise identical
@@ -181,6 +251,13 @@ impl RowKernel {
         out.extend(candidates.iter().map(|c| self.distance(c)));
     }
 
+    /// Whether this kernel's pair loops run the vectorised tiers (the
+    /// scalar oracle skips every fast path).
+    #[inline]
+    fn vectorised(&self) -> bool {
+        self.variant != KernelVariant::Scalar
+    }
+
     /// One base measure on preprocessed profiles (cf.
     /// `SimilarityMeasure::eval` on raw strings).
     fn measure(&self, measure: SimilarityMeasure, candidate: &LabelProfile) -> f64 {
@@ -191,11 +268,20 @@ impl RowKernel {
                 // forms short-circuit before the profiles are consulted.
                 if q.norm == c.norm {
                     1.0
+                } else if self.vectorised() {
+                    dice_profiles_blocked(&q.grams, &c.grams)
                 } else {
                     dice_profiles(&q.grams, &c.grams)
                 }
             }
-            SimilarityMeasure::JaroWinkler => jaro_winkler_chars(&q.norm_chars, &c.norm_chars),
+            SimilarityMeasure::JaroWinkler => {
+                if self.vectorised() {
+                    if let (Some(a), Some(b)) = (&q.lanes, &c.lanes) {
+                        return jaro_winkler_lanes(a, b, self.eq);
+                    }
+                }
+                jaro_winkler_chars(&q.norm_chars, &c.norm_chars)
+            }
             SimilarityMeasure::TokenSet => self.dice_tokens(c).max(self.monge_elkan(c)),
             SimilarityMeasure::Levenshtein => self.levenshtein_similarity(c),
         }
@@ -211,6 +297,19 @@ impl RowKernel {
         clamp01(2.0 * inter as f64 / (sa.len() + sb.len()) as f64)
     }
 
+    /// Jaro–Winkler of one token pair: the bitset fast path when both
+    /// tokens carry packed lanes and the tier is vectorised, the scalar
+    /// window scan otherwise — identical values either way.
+    #[inline]
+    fn jw_tokens(&self, x: &TokenData, y: &TokenData) -> f64 {
+        if self.vectorised() {
+            if let (Some(a), Some(b)) = (&x.lanes, &y.lanes) {
+                return jaro_winkler_lanes(a, b, self.eq);
+            }
+        }
+        jaro_winkler_chars(&x.chars, &y.chars)
+    }
+
     /// Monge–Elkan over the precomputed token scalar values (cf.
     /// `monge_elkan`): same directed sums, same symmetrisation.
     fn monge_elkan(&self, c: &LabelProfile) -> f64 {
@@ -221,12 +320,12 @@ impl RowKernel {
         if ta.is_empty() || tb.is_empty() {
             return 0.0;
         }
-        let directed = |xs: &[Vec<char>], ys: &[Vec<char>]| -> f64 {
+        let directed = |xs: &[TokenData], ys: &[TokenData]| -> f64 {
             let total: f64 = xs
                 .iter()
                 .map(|x| {
                     ys.iter()
-                        .map(|y| jaro_winkler_chars(x, y))
+                        .map(|y| self.jw_tokens(x, y))
                         .fold(0.0_f64, f64::max)
                 })
                 .sum();
@@ -247,9 +346,10 @@ impl RowKernel {
 
     /// Edit distance between the query's and `candidate`'s *normalised*
     /// forms — the tier selection of the scalar `levenshtein` replayed on
-    /// preprocessed data: prepared Myers when the shorter ASCII side has
-    /// a pattern table, byte DP past 64 bytes, scalar-value DP when
-    /// either side is non-ASCII. Exposed for the differential tests.
+    /// preprocessed data: prepared Myers (unrolled under the vectorised
+    /// dispatch tiers) when the shorter ASCII side has a pattern table,
+    /// byte DP past 64 bytes, scalar-value DP when either side is
+    /// non-ASCII. Exposed for the differential tests.
     pub fn levenshtein_to(&self, candidate: &LabelProfile) -> usize {
         let (a, b) = (&self.query, candidate);
         if a.ascii && b.ascii {
@@ -262,7 +362,11 @@ impl RowKernel {
                 return long.norm.len();
             }
             if let Some(peq) = &short.peq {
-                return myers_64_prepared(peq, short.norm.len(), long.norm.as_bytes());
+                return if self.vectorised() {
+                    myers_64_prepared_unrolled(peq, short.norm.len(), long.norm.as_bytes())
+                } else {
+                    myers_64_prepared(peq, short.norm.len(), long.norm.as_bytes())
+                };
             }
             return two_row_dp(short.norm.as_bytes(), long.norm.as_bytes());
         }
@@ -299,20 +403,22 @@ mod tests {
     #[test]
     fn kernel_similarity_is_bitwise_scalar() {
         let scalar = NameSimilarity::default();
-        for &q in LABELS {
-            let kernel = RowKernel::new(q);
-            for &c in LABELS {
-                let profile = LabelProfile::new(c);
-                assert_eq!(
-                    kernel.similarity(&profile).to_bits(),
-                    scalar.similarity(q, c).to_bits(),
-                    "similarity({q:?}, {c:?})"
-                );
-                assert_eq!(
-                    kernel.distance(&profile).to_bits(),
-                    scalar.distance(q, c).to_bits(),
-                    "distance({q:?}, {c:?})"
-                );
+        for variant in KernelVariant::ALL {
+            for &q in LABELS {
+                let kernel = RowKernel::with_variant(q, variant);
+                for &c in LABELS {
+                    let profile = LabelProfile::new(c);
+                    assert_eq!(
+                        kernel.similarity(&profile).to_bits(),
+                        scalar.similarity(q, c).to_bits(),
+                        "similarity({q:?}, {c:?}) under {variant:?}"
+                    );
+                    assert_eq!(
+                        kernel.distance(&profile).to_bits(),
+                        scalar.distance(q, c).to_bits(),
+                        "distance({q:?}, {c:?}) under {variant:?}"
+                    );
+                }
             }
         }
     }
@@ -341,5 +447,13 @@ mod tests {
         let kernel = RowKernel::new("bookTitle");
         assert_eq!(kernel.similarity(&LabelProfile::new("bookTitle")), 1.0);
         assert_eq!(kernel.distance(&LabelProfile::new("bookTitle")), 0.0);
+    }
+
+    #[test]
+    fn default_kernel_runs_the_active_variant() {
+        assert_eq!(RowKernel::new("title").variant(), KernelVariant::active());
+        // Explicit requests resolve to a supported tier.
+        let forced = RowKernel::with_variant("title", KernelVariant::Arch);
+        assert!(forced.variant().is_supported());
     }
 }

@@ -99,6 +99,49 @@ pub(crate) fn myers_64_prepared(peq: &[u64; 128], short_len: usize, long: &[u8])
     score
 }
 
+/// One step of the Myers recurrence — the body [`myers_64_prepared`]
+/// runs per candidate byte, factored out so the unrolled variant
+/// replays exactly the same operation sequence.
+#[inline(always)]
+fn myers_step(peq: &[u64; 128], c: u8, pv: &mut u64, mv: &mut u64, score: &mut usize, high: u64) {
+    let eq = peq[usize::from(c & 0x7f)];
+    let xv = eq | *mv;
+    let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
+    let mut ph = *mv | !(xh | *pv);
+    let mh = *pv & xh;
+    *score += usize::from(ph & high != 0);
+    *score -= usize::from(mh & high != 0);
+    ph = (ph << 1) | 1;
+    *pv = (mh << 1) | !(xv | ph);
+    *mv = ph & xv;
+}
+
+/// [`myers_64_prepared`] with the advance loop unrolled four candidate
+/// bytes per block, keeping the `pv`/`mv` column state and the prepared
+/// pattern table register/cache-resident across the block — the variant
+/// the vectorised kernel tiers dispatch to for whole-row sweeps. The
+/// recurrence is inherently sequential, so unrolling only removes loop
+/// overhead; the step sequence (and therefore the score) is identical
+/// to the oracle on every input.
+pub(crate) fn myers_64_prepared_unrolled(peq: &[u64; 128], short_len: usize, long: &[u8]) -> usize {
+    debug_assert!((1..=64).contains(&short_len));
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = short_len;
+    let high = 1u64 << (short_len - 1);
+    let mut blocks = long.chunks_exact(4);
+    for block in &mut blocks {
+        myers_step(peq, block[0], &mut pv, &mut mv, &mut score, high);
+        myers_step(peq, block[1], &mut pv, &mut mv, &mut score, high);
+        myers_step(peq, block[2], &mut pv, &mut mv, &mut score, high);
+        myers_step(peq, block[3], &mut pv, &mut mv, &mut score, high);
+    }
+    for &c in blocks.remainder() {
+        myers_step(peq, c, &mut pv, &mut mv, &mut score, high);
+    }
+    score
+}
+
 /// Two-row dynamic program over any symbol slice: `O(|short|·|long|)`
 /// time, one row of space. `short` must be the shorter, non-empty input.
 pub(crate) fn two_row_dp<T: PartialEq>(short: &[T], long: &[T]) -> usize {
@@ -314,6 +357,35 @@ mod tests {
         let c = "x".repeat(65);
         let d = "x".repeat(70);
         assert_eq!(levenshtein(&c, &d), 5);
+    }
+
+    #[test]
+    fn unrolled_myers_equals_oracle() {
+        // Pseudo-random ASCII pairs across the Myers regime, plus block
+        // remainders 0..=3 — the unrolled loop must replay the oracle's
+        // exact step sequence on every length.
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let alphabet = b"abcdef_012";
+        for round in 0..600 {
+            let la = 1 + round % 64;
+            let lb = next() % 80;
+            let a: Vec<u8> = (0..la).map(|_| alphabet[next() % alphabet.len()]).collect();
+            let b: Vec<u8> = (0..lb).map(|_| alphabet[next() % alphabet.len()]).collect();
+            let peq = myers_pattern(&a);
+            assert_eq!(
+                myers_64_prepared_unrolled(&peq, a.len(), &b),
+                myers_64_prepared(&peq, a.len(), &b),
+                "{:?} vs {:?}",
+                std::str::from_utf8(&a),
+                std::str::from_utf8(&b)
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`kernel`] — the batched row kernel: per-label preprocessing
 //!   ([`LabelProfile`]) plus a streaming evaluator ([`RowKernel`]) that is
 //!   bitwise identical to the default combined measure,
+//! * [`dispatch`] — runtime selection of the kernel's vectorised inner
+//!   loops ([`KernelVariant`]: scalar oracle, SWAR-on-`u64`, or
+//!   `std::arch` SSE2/NEON behind feature detection; `SMX_KERNEL_FORCE`
+//!   overrides),
 //! * [`cache`] — a concurrent memo table so repeated pairs are scored once.
 //!
 //! Every similarity function returns a score in `[0, 1]`, is symmetric in
@@ -27,18 +31,22 @@
 //! enforced by the property tests in `tests/properties.rs`.
 
 pub mod affix;
+mod arch;
 pub mod cache;
 pub mod combined;
+pub mod dispatch;
 pub mod jaro;
 pub mod kernel;
 pub mod levenshtein;
 pub mod ngram;
 pub mod normalize;
+mod swar;
 pub mod token;
 
 pub use affix::{common_prefix_len, common_suffix_len, prefix_similarity, suffix_similarity};
 pub use cache::SimilarityCache;
 pub use combined::{NameSimilarity, SimilarityMeasure, WeightedSimilarity};
+pub use dispatch::KernelVariant;
 pub use jaro::{jaro, jaro_winkler};
 pub use kernel::{LabelProfile, RowKernel};
 pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};

@@ -96,19 +96,35 @@ fn gram_key_hashed(window: &[char]) -> u64 {
     (h & 0x00FF_FFFF_FFFF_FFFF) | (0xFF_u64 << 56)
 }
 
-/// Flat multiset of hashed character n-grams: gram keys sorted ascending,
-/// each with its occurrence count, plus the multiset's total size.
+/// Flat multiset of hashed character n-grams, stored
+/// structure-of-arrays: gram keys sorted ascending in one flat `u64`
+/// lane array, occurrence counts in a parallel array, plus the
+/// multiset's total size.
 ///
-/// Building one costs a single sort; intersecting two is a linear merge
-/// with no hashing and no allocation — the representation repository
-/// label stores precompute per distinct label at ingest.
+/// Building one costs a single sort; intersecting two is a merge over
+/// the sorted key lanes with no hashing and no allocation — the
+/// representation repository label stores precompute per distinct label
+/// at ingest. Two merge implementations exist: the element-at-a-time
+/// scalar oracle ([`intersection`](GramProfile::intersection)) and a
+/// four-lane block-skipping variant
+/// ([`intersection_blocked`](GramProfile::intersection_blocked)) the
+/// vectorised kernel tiers dispatch to; both return the same count on
+/// every input (property-tested), so similarity values never depend on
+/// the tier.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GramProfile {
-    /// `(gram key, count)` sorted by key, keys distinct.
-    grams: Vec<(u64, u32)>,
+    /// Distinct gram keys, sorted ascending — the flat compare lanes.
+    keys: Vec<u64>,
+    /// `counts[i]` is the multiplicity of `keys[i]`.
+    counts: Vec<u32>,
     /// Sum of all counts — the multiset's cardinality `|A|`.
     total: u64,
 }
+
+/// Lanes per skip block in [`GramProfile::intersection_blocked`]: the
+/// whole block is ruled out against the other side's current key with
+/// one comparison against its maximum lane.
+const GRAM_BLOCK_LANES: usize = 4;
 
 impl GramProfile {
     /// Profile of the `n`-grams of `s` (with `#` padding, like
@@ -118,17 +134,25 @@ impl GramProfile {
             return GramProfile::default();
         }
         let padded = padded(s, n);
-        let mut keys: Vec<u64> = padded.windows(n).map(gram_key).collect();
-        keys.sort_unstable();
-        let total = keys.len() as u64;
-        let mut grams: Vec<(u64, u32)> = Vec::new();
-        for key in keys {
-            match grams.last_mut() {
-                Some(last) if last.0 == key => last.1 += 1,
-                _ => grams.push((key, 1)),
+        let mut sorted: Vec<u64> = padded.windows(n).map(gram_key).collect();
+        sorted.sort_unstable();
+        let total = sorted.len() as u64;
+        let mut keys: Vec<u64> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for key in sorted {
+            match keys.last() {
+                Some(&last) if last == key => *counts.last_mut().expect("parallel arrays") += 1,
+                _ => {
+                    keys.push(key);
+                    counts.push(1);
+                }
             }
         }
-        GramProfile { grams, total }
+        GramProfile {
+            keys,
+            counts,
+            total,
+        }
     }
 
     /// Trigram profile — the configuration [`trigram_similarity`] and the
@@ -145,30 +169,72 @@ impl GramProfile {
 
     /// Whether the profile holds no grams.
     pub fn is_empty(&self) -> bool {
-        self.grams.is_empty()
+        self.keys.is_empty()
     }
 
     /// Number of *distinct* grams.
     pub fn distinct(&self) -> usize {
-        self.grams.len()
+        self.keys.len()
     }
 
-    /// Multiset intersection size `|A ∩ B|` via a linear merge over the
-    /// two sorted gram lists.
+    /// Multiset intersection size `|A ∩ B|` via an element-at-a-time
+    /// linear merge over the two sorted key lanes — the scalar oracle
+    /// the blocked variant is differential-tested against.
     pub fn intersection(&self, other: &GramProfile) -> u64 {
         let (mut i, mut j) = (0usize, 0usize);
         let mut inter = 0u64;
-        while i < self.grams.len() && j < other.grams.len() {
-            let (ka, ca) = self.grams[i];
-            let (kb, cb) = other.grams[j];
+        while i < self.keys.len() && j < other.keys.len() {
+            let (ka, kb) = (self.keys[i], other.keys[j]);
             match ka.cmp(&kb) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    inter += u64::from(ca.min(cb));
+                    inter += u64::from(self.counts[i].min(other.counts[j]));
                     i += 1;
                     j += 1;
                 }
+            }
+        }
+        inter
+    }
+
+    /// [`intersection`](GramProfile::intersection) with four-lane block
+    /// skipping: whenever the next [`GRAM_BLOCK_LANES`] keys of one side
+    /// all sit strictly below the other side's current key (one compare
+    /// against the block's maximum lane — keys are sorted), the whole
+    /// block is skipped without touching its lanes individually. Runs of
+    /// non-overlapping keys — the common case for distinct labels, whose
+    /// profiles share only a few grams — cost one comparison per four
+    /// lanes instead of one per element. Matching keys contribute
+    /// `min(count_a, count_b)` exactly as the oracle does, so the result
+    /// is always identical.
+    pub fn intersection_blocked(&self, other: &GramProfile) -> u64 {
+        const B: usize = GRAM_BLOCK_LANES;
+        let (ak, bk) = (&self.keys[..], &other.keys[..]);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut inter = 0u64;
+        while i < ak.len() && j < bk.len() {
+            while i + B <= ak.len() && ak[i + B - 1] < bk[j] {
+                i += B;
+            }
+            if i >= ak.len() {
+                break;
+            }
+            while j + B <= bk.len() && bk[j + B - 1] < ak[i] {
+                j += B;
+            }
+            if j >= bk.len() {
+                break;
+            }
+            let (ka, kb) = (ak[i], bk[j]);
+            if ka == kb {
+                inter += u64::from(self.counts[i].min(other.counts[j]));
+                i += 1;
+                j += 1;
+            } else if ka < kb {
+                i += 1;
+            } else {
+                j += 1;
             }
         }
         inter
@@ -213,6 +279,17 @@ pub fn dice_ngram(a: &str, b: &str, n: usize) -> f64 {
 /// [`jaccard_profiles`]).
 pub(crate) fn dice_profiles(pa: &GramProfile, pb: &GramProfile) -> f64 {
     let (inter, sa, sb) = multiset_sizes(pa, pb);
+    if sa + sb == 0 {
+        return 1.0;
+    }
+    clamp01(2.0 * inter as f64 / (sa + sb) as f64)
+}
+
+/// [`dice_profiles`] with the intersection computed by the blocked
+/// (four-lane skipping) merge — what the vectorised kernel tiers call.
+/// Identical result by the intersection equivalence.
+pub(crate) fn dice_profiles_blocked(pa: &GramProfile, pb: &GramProfile) -> f64 {
+    let (inter, sa, sb) = (pa.intersection_blocked(pb), pa.total, pb.total);
     if sa + sb == 0 {
         return 1.0;
     }
@@ -377,5 +454,41 @@ mod tests {
         // Without padding "ab" has no trigram at all; with padding it does.
         assert!(trigram_similarity("ab", "ab") == 1.0);
         assert!(trigram_similarity("ab", "ac") > 0.0);
+    }
+
+    #[test]
+    fn blocked_intersection_equals_scalar_merge() {
+        // Mixed lengths force every block-skip branch: short-vs-long,
+        // block remainders, disjoint runs, heavy overlaps, duplicates.
+        let inputs = [
+            "",
+            "a",
+            "aaa",
+            "night",
+            "nacht",
+            "custOrderNo",
+            "custordernum",
+            "the_quick_brown_fox_jumps_over_the_lazy_dog",
+            "日本語スキーマ",
+            "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",
+        ];
+        for n in 1..=4 {
+            for a in inputs {
+                for b in inputs {
+                    let (pa, pb) = (GramProfile::new(a, n), GramProfile::new(b, n));
+                    assert_eq!(
+                        pa.intersection_blocked(&pb),
+                        pa.intersection(&pb),
+                        "{a:?} vs {b:?} n={n}"
+                    );
+                    assert_eq!(
+                        dice_profiles_blocked(&pa, &pb).to_bits(),
+                        dice_profiles(&pa, &pb).to_bits(),
+                        "dice {a:?} vs {b:?} n={n}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,207 @@
+//! SWAR (SIMD-within-a-register) primitives for the row kernel's
+//! vectorised inner loops — stable Rust, no `std::simd`, no intrinsics.
+//!
+//! The central type is [`AsciiLanes`]: an ASCII string of 1..=64 bytes
+//! packed into eight `u64` lanes, eight bytes per lane, little-endian
+//! within each lane (byte `i` of the string sits at bits `8·(i%8)` of
+//! lane `i/8`). Packing once per label lets every later comparison run
+//! eight characters at a time: [`AsciiLanes::eq_mask`] broadcasts a
+//! needle byte across a lane, XORs, and runs an exact zero-byte detector
+//! to produce a **position bitmask** — bit `j` set iff byte `j` of the
+//! string equals the needle. The Jaro matching window, used-position
+//! bookkeeping, and greedy first-match selection then all collapse to
+//! single bitwise operations on those masks (see
+//! [`jaro_winkler_lanes`](crate::jaro)).
+//!
+//! The zero-byte detector is the *exact* variant: for each byte `b` of
+//! `x`, `t = (b & 0x7f) + 0x7f` sets bit 7 iff the low seven bits are
+//! non-zero, so `!(t | x | 0x7f)` has bit 7 set iff `b == 0` — per byte,
+//! with no inter-byte carries and no false positives (the classic
+//! `(x - LO) & !x & HI` trick can flag a `0x01` byte sitting above a
+//! genuine zero; that would silently corrupt greedy match selection).
+
+/// Low seven bits of every byte.
+const LO7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+/// Bit 7 of every byte.
+const HI: u64 = 0x8080_8080_8080_8080;
+/// 0x01 in every byte — the broadcast multiplier.
+const ONES: u64 = 0x0101_0101_0101_0101;
+
+/// Gather multiplier: for `x` with at most one bit per byte, at bit
+/// `8k`, `(x * GATHER) >> 56` has bit `k` set iff byte `k` was flagged.
+/// Exact — every partial product `2^(8k + 7(j+1))` lands on a distinct
+/// bit (a collision would need `8Δk = 7Δj` with both deltas in
+/// `-7..=7`), so no carries, and bit `56 + k` receives exactly the
+/// `(k, j = 7-k)` term.
+const GATHER: u64 = 0x0102_0408_1020_4080;
+
+/// Collapse per-byte flags (any of bits 8k+7 set, nothing else) into a
+/// dense low byte: bit `k` set iff byte `k` was flagged.
+#[inline]
+pub(crate) fn collapse_byte_flags(flags: u64) -> u64 {
+    debug_assert_eq!(flags & !HI, 0);
+    ((flags >> 7).wrapping_mul(GATHER)) >> 56
+}
+
+/// An ASCII byte string of length 1..=64 packed into eight `u64` lanes
+/// for SWAR and `std::arch` comparisons.
+///
+/// Unused bytes are zero; every mask-producing operation clips its
+/// result with [`len_mask`](AsciiLanes::len_mask), so padding can never
+/// alias a real position (even for a `0x00` needle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsciiLanes {
+    /// The packed bytes; `lanes[i / 8] >> (8 * (i % 8))` holds byte `i`.
+    lanes: [u64; 8],
+    /// String length in bytes (1..=64).
+    len: u8,
+}
+
+impl AsciiLanes {
+    /// Pack `bytes` if they are pure ASCII with length 1..=64; `None`
+    /// otherwise (callers fall back to the scalar path).
+    pub fn pack(bytes: &[u8]) -> Option<Self> {
+        if bytes.is_empty() || bytes.len() > 64 || !bytes.is_ascii() {
+            return None;
+        }
+        let mut lanes = [0u64; 8];
+        for (i, &b) in bytes.iter().enumerate() {
+            lanes[i / 8] |= u64::from(b) << (8 * (i % 8));
+        }
+        Some(AsciiLanes {
+            lanes,
+            len: bytes.len() as u8,
+        })
+    }
+
+    /// String length in bytes (1..=64 — packing rejects empty strings,
+    /// so there is no `is_empty`).
+    #[inline]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// The raw lanes, for `std::arch` loads (64 contiguous bytes).
+    #[inline]
+    pub(crate) fn lanes(&self) -> &[u64; 8] {
+        &self.lanes
+    }
+
+    /// Byte `i` of the packed string. `i` must be `< len`.
+    #[inline]
+    pub fn byte(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len());
+        (self.lanes[i / 8] >> (8 * (i % 8))) as u8
+    }
+
+    /// Bitmask with one bit per valid position: bits `0..len`.
+    #[inline]
+    pub fn len_mask(&self) -> u64 {
+        if self.len == 64 {
+            !0
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// Position bitmask of `needle`: bit `j` set iff byte `j` equals
+    /// `needle`. Eight positions are compared per lane via broadcast +
+    /// XOR + exact zero-byte detection, and the per-byte flags collapse
+    /// to position bits with one branch-free gather multiply per lane.
+    #[inline]
+    pub fn eq_mask(&self, needle: u8) -> u64 {
+        let bcast = u64::from(needle).wrapping_mul(ONES);
+        let occupied = usize::from(self.len).div_ceil(8);
+        let mut mask = 0u64;
+        for (lane_idx, &lane) in self.lanes[..occupied].iter().enumerate() {
+            let x = lane ^ bcast;
+            // Exact per-byte zero detect: bit 7 of z set iff the byte
+            // of x is zero (see module docs for why the exact form).
+            let t = (x & LO7).wrapping_add(LO7);
+            let z = !(t | x | LO7) & HI;
+            mask |= collapse_byte_flags(z) << (8 * lane_idx);
+        }
+        mask & self.len_mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: positions of `needle` by a plain scan.
+    fn eq_mask_scalar(bytes: &[u8], needle: u8) -> u64 {
+        bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b == needle)
+            .fold(0u64, |m, (i, _)| m | 1 << i)
+    }
+
+    #[test]
+    fn pack_rejects_invalid() {
+        assert!(AsciiLanes::pack(b"").is_none());
+        assert!(AsciiLanes::pack("naïve".as_bytes()).is_none());
+        assert!(AsciiLanes::pack(&[b'a'; 65]).is_none());
+        assert!(AsciiLanes::pack(&[b'a'; 64]).is_some());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let s = b"customer_order_no2";
+        let lanes = AsciiLanes::pack(s).unwrap();
+        assert_eq!(lanes.len(), s.len());
+        for (i, &b) in s.iter().enumerate() {
+            assert_eq!(lanes.byte(i), b, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn eq_mask_matches_scalar_scan() {
+        let cases: &[&[u8]] = &[
+            b"a",
+            b"abcabcabc",
+            b"zzzzzzzz",
+            b"the_quick_brown_fox_jumps_over_the_lazy_dog_0123456789_abcdef",
+            &[b'q'; 64],
+            b"ababababababababababababababababababababababababababababababab",
+        ];
+        for &s in cases {
+            let lanes = AsciiLanes::pack(s).unwrap();
+            for needle in 0u8..128 {
+                assert_eq!(
+                    lanes.eq_mask(needle),
+                    eq_mask_scalar(s, needle),
+                    "needle {needle:?} in {:?}",
+                    std::str::from_utf8(s).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_needle_never_matches_padding() {
+        // Padding bytes are 0x00; a 0x00 needle must still produce an
+        // empty mask because len_mask clips it.
+        let lanes = AsciiLanes::pack(b"abc").unwrap();
+        assert_eq!(lanes.eq_mask(0), 0);
+    }
+
+    #[test]
+    fn exact_detector_has_no_false_positive_above_a_match() {
+        // The inexact haszero trick flags a 0x01 byte right above a zero
+        // byte; after XOR with the broadcast needle this corresponds to a
+        // byte whose value is needle^0x01 adjacent to a genuine match.
+        let s = [b'b', b'b' ^ 0x01, b'x'];
+        let lanes = AsciiLanes::pack(&s).unwrap();
+        assert_eq!(lanes.eq_mask(b'b'), 0b001);
+    }
+
+    #[test]
+    fn len_mask_boundaries() {
+        assert_eq!(AsciiLanes::pack(b"a").unwrap().len_mask(), 1);
+        assert_eq!(AsciiLanes::pack(&[b'x'; 64]).unwrap().len_mask(), !0);
+        assert_eq!(AsciiLanes::pack(&[b'x'; 63]).unwrap().len_mask(), !0 >> 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! `SMX_KERNEL_FORCE=arch` end-to-end: on hardware with an `std::arch`
+//! implementation the override pins the Arch tier; elsewhere it must
+//! degrade **gracefully to the scalar oracle** — never fail — and either
+//! way the forced kernel stays bitwise-scalar.
+//!
+//! Own test binary / process — [`KernelVariant::active`] caches the
+//! override at first use.
+
+use smx_text::{dispatch::FORCE_ENV, KernelVariant, LabelProfile, NameSimilarity, RowKernel};
+
+#[test]
+fn env_override_forces_arch_or_falls_back_to_scalar() {
+    std::env::set_var(FORCE_ENV, "arch");
+    let active = KernelVariant::active();
+    if KernelVariant::Arch.is_supported() {
+        assert_eq!(active, KernelVariant::Arch);
+    } else {
+        assert_eq!(active, KernelVariant::Scalar, "graceful scalar fallback");
+    }
+    assert!(active.is_supported());
+    let kernel = RowKernel::new("custOrderNo");
+    assert_eq!(kernel.variant(), active);
+    let scalar = NameSimilarity::default();
+    for label in ["customerOrderNumber", "naïve_Name", "", "custOrderNo"] {
+        assert_eq!(
+            kernel.similarity(&LabelProfile::new(label)).to_bits(),
+            scalar.similarity("custOrderNo", label).to_bits(),
+            "{label:?}"
+        );
+    }
+}

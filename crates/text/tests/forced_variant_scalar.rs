@@ -1,0 +1,25 @@
+//! `SMX_KERNEL_FORCE=scalar` end-to-end: the env override must pin the
+//! process-wide active variant to the scalar oracle.
+//!
+//! Each forced-variant test lives in its own integration-test binary —
+//! and therefore its own process — because [`KernelVariant::active`]
+//! caches the override at first use.
+
+use smx_text::{dispatch::FORCE_ENV, KernelVariant, LabelProfile, NameSimilarity, RowKernel};
+
+#[test]
+fn env_override_forces_the_scalar_oracle() {
+    std::env::set_var(FORCE_ENV, "scalar");
+    assert_eq!(KernelVariant::active(), KernelVariant::Scalar);
+    let kernel = RowKernel::new("custOrderNo");
+    assert_eq!(kernel.variant(), KernelVariant::Scalar);
+    // Forced kernels still satisfy the score-identity contract.
+    let scalar = NameSimilarity::default();
+    for label in ["customerOrderNumber", "naïve_Name", "", "custOrderNo"] {
+        assert_eq!(
+            kernel.similarity(&LabelProfile::new(label)).to_bits(),
+            scalar.similarity("custOrderNo", label).to_bits(),
+            "{label:?}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! `SMX_KERNEL_FORCE=swar` end-to-end: the env override must pin the
+//! process-wide active variant to the SWAR tier (supported everywhere),
+//! and forced kernels must stay bitwise-scalar.
+//!
+//! Own test binary / process — [`KernelVariant::active`] caches the
+//! override at first use.
+
+use smx_text::{dispatch::FORCE_ENV, KernelVariant, LabelProfile, NameSimilarity, RowKernel};
+
+#[test]
+fn env_override_forces_the_swar_tier() {
+    std::env::set_var(FORCE_ENV, "swar");
+    assert_eq!(KernelVariant::active(), KernelVariant::Swar);
+    let kernel = RowKernel::new("custOrderNo");
+    assert_eq!(kernel.variant(), KernelVariant::Swar);
+    let scalar = NameSimilarity::default();
+    for label in ["customerOrderNumber", "naïve_Name", "", "custOrderNo"] {
+        assert_eq!(
+            kernel.similarity(&LabelProfile::new(label)).to_bits(),
+            scalar.similarity("custOrderNo", label).to_bits(),
+            "{label:?}"
+        );
+    }
+}

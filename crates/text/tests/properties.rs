@@ -134,6 +134,23 @@ proptest! {
         );
     }
 
+    /// Every dispatch variant of the kernel reproduces the scalar
+    /// combined measure to the bit (see tests/dispatch_differential.rs
+    /// for the full dispatch-table suite).
+    #[test]
+    fn row_kernel_variants_bitwise_match_scalar(a in kernel_label(), b in kernel_label()) {
+        let expected = NameSimilarity::default().similarity(&a, &b).to_bits();
+        let profile = LabelProfile::new(&b);
+        for variant in KernelVariant::ALL {
+            let kernel = RowKernel::with_variant(&a, variant);
+            prop_assert_eq!(
+                kernel.similarity(&profile).to_bits(),
+                expected,
+                "similarity({:?}, {:?}) under {:?}", a, b, variant
+            );
+        }
+    }
+
     /// The kernel's prepared-pattern edit distance equals the scalar
     /// `levenshtein` over the normalised forms — across ASCII/non-ASCII
     /// tier selection and arbitrary lengths.

@@ -46,6 +46,9 @@ batch_match = entries.get("s1_batch_vs_sequential/batch")
 seq_match = entries.get("s1_batch_vs_sequential/sequential")
 restart_cold = entries.get("restart/cold_rebuild")
 restart_load = entries.get("restart/snapshot_load")
+kernel_ref = entries.get("row_kernel/reference")
+kernel_scalar = entries.get("row_kernel/scalar")
+kernel_active = entries.get("row_kernel/active")
 doc = {
     "bench": "benches/matching.rs",
     "unit": "ns_per_iter",
@@ -104,10 +107,30 @@ doc = {
         "snapshot_load_ns": restart_load,
         "snapshot_speedup_x": ratio(restart_cold, restart_load),
     },
+    # The vectorised row-kernel dispatch split: the scalar NameSimilarity
+    # reference path vs the kernel pinned to the scalar tier vs the
+    # dispatched (SWAR / std::arch) tier, over identical query rows.
+    "row_kernel": {
+        "reference_ns": kernel_ref,
+        "scalar_kernel_ns": kernel_scalar,
+        "active_kernel_ns": kernel_active,
+        "dispatch_speedup_x": ratio(kernel_scalar, kernel_active),
+        "vs_reference_x": ratio(kernel_ref, kernel_active),
+    },
+    # Within-run speedup ratios — each is measured inside ONE bench run,
+    # so it is meaningful on any hardware. `scripts/bench_guard.sh` in
+    # SMX_BENCH_GUARD=relative mode (the CI configuration) compares
+    # these against the committed baseline instead of absolute ns.
+    "relative": {
+        "kernel_reference_over_active": ratio(kernel_ref, kernel_active),
+        "kernel_scalar_over_active": ratio(kernel_scalar, kernel_active),
+        "snapshot_cold_over_load": ratio(restart_cold, restart_load),
+        "batch_sequential_over_batch": ratio(seq_fill, batch_fill),
+    },
 }
 with open(sys.argv[2], "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {sys.argv[2]}")
-print(json.dumps({k: doc[k] for k in ("exhaustive_speedup", "matrix_fill", "batch32", "restart")}, indent=2))
+print(json.dumps({k: doc[k] for k in ("exhaustive_speedup", "matrix_fill", "batch32", "restart", "row_kernel", "relative")}, indent=2))
 EOF
