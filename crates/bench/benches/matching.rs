@@ -27,7 +27,7 @@ use smx::matching::{
     BatchMatcher, BatchProblem, BeamMatcher, ClusterMatcher, ExhaustiveMatcher, MappingRegistry,
     MatchProblem, Matcher, ObjectiveFunction, ParallelExhaustiveMatcher, TopKMatcher,
 };
-use smx::persist::Snapshot;
+use smx::persist::{RecoveryPolicy, Snapshot};
 use smx::repo::Repository;
 use smx::synth::{Scenario, ScenarioConfig};
 use smx::xml::Schema;
@@ -297,6 +297,34 @@ fn bench_restart(c: &mut Criterion) {
         b.iter(|| {
             let r = Repository::load_snapshot(black_box(&snapshot)).expect("snapshot decodes");
             black_box(r.store().cached_rows())
+        })
+    });
+    // The degraded restart: the ROWS section rotted on disk, so the
+    // Salvage policy drops the cached rows and rebuilds the rest. This
+    // bounds the cost of coming back up from a damaged snapshot —
+    // between `snapshot_load` (all warm) and `cold_rebuild` (nothing
+    // persisted); the ratio is `restart.salvage_over_load_x`.
+    let rotten = {
+        let mut bytes = snapshot.clone();
+        let table_at = smx::persist::MAGIC.len() + 8;
+        let count = u32::from_le_bytes(bytes[table_at - 4..table_at].try_into().unwrap()) as usize;
+        for i in 0..count {
+            let entry = table_at + i * 28;
+            let id = u32::from_le_bytes(bytes[entry..entry + 4].try_into().unwrap());
+            if id == smx::persist::section::ROWS {
+                let offset = u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap());
+                bytes[offset as usize] ^= 0x10;
+            }
+        }
+        bytes
+    };
+    group.bench_with_input(BenchmarkId::from_parameter("salvage_load"), &0, |b, _| {
+        b.iter(|| {
+            let (r, report) =
+                Repository::load_snapshot_report(black_box(&rotten), RecoveryPolicy::Salvage)
+                    .expect("salvage decodes");
+            assert!(!report.is_clean());
+            black_box(r.store().len())
         })
     });
     group.finish();

@@ -1,0 +1,411 @@
+//! Deterministic fault injection behind the [`PersistIo`] seam.
+//!
+//! A [`FaultPlan`] describes, *before the run*, exactly which I/O
+//! operations misbehave and how: hard failure, torn (short) write,
+//! fsync failure, read error, or a bit flip in the bytes actually
+//! written. Operations are identified by a global zero-based **op
+//! index** — every [`PersistFile`] method call and every
+//! [`PersistIo`]-level operation (create/open/rename/remove/dir-sync)
+//! increments the counter exactly once, in call order, so a plan keyed
+//! off a clean run's [`FaultIo::ops`] count replays byte-for-byte.
+//!
+//! Two crash modes simulate process death rather than a single flaky
+//! op: [`FaultPlan::crash_at_op`] fails op `n` and **every operation
+//! after it**, and [`FaultPlan::crash_after_bytes`] lets writes land
+//! until the global written-byte budget is exhausted, tears the write
+//! in progress at the boundary, then fails everything else. Together
+//! they let a test iterate every op index / byte boundary of a clean
+//! run and assert the recovery invariant at each one.
+//!
+//! The injector is purely deterministic: no clocks, no randomness —
+//! the same plan over the same call sequence produces the same bytes
+//! on disk every time.
+
+use crate::io::{PersistFile, PersistIo};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// What a planned fault does to the operation at its op index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails with an I/O error; writes land zero bytes.
+    Fail,
+    /// A write persists only its first `keep` bytes, then errors.
+    /// Non-write operations treat this as [`Fault::Fail`].
+    Torn {
+        /// Number of leading bytes that reach the file.
+        keep: usize,
+    },
+    /// A write lands in full but with bit 0 of its `byte`-th buffer
+    /// byte (modulo the buffer length) inverted, and reports success —
+    /// silent corruption. Non-write operations treat this as
+    /// [`Fault::Fail`].
+    BitFlip {
+        /// Index into the written buffer to corrupt.
+        byte: usize,
+    },
+}
+
+/// A deterministic schedule of I/O faults, keyed by global op index.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<u64, Fault>,
+    crash_at_op: Option<u64>,
+    crash_after_bytes: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: [`FaultIo`] behaves exactly like its
+    /// inner I/O but still counts ops and bytes — use this to measure
+    /// a clean run before iterating its boundaries.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Inject `fault` at the operation with global index `op`.
+    pub fn fault_at(mut self, op: u64, fault: Fault) -> Self {
+        self.faults.insert(op, fault);
+        self
+    }
+
+    /// Simulate process death at operation `op`: that operation and
+    /// every later one fail.
+    pub fn crash_at_op(mut self, op: u64) -> Self {
+        self.crash_at_op = Some(op);
+        self
+    }
+
+    /// Simulate process death after `budget` bytes have been written:
+    /// the write that crosses the budget is torn at the boundary, and
+    /// every operation after it fails.
+    pub fn crash_after_bytes(mut self, budget: u64) -> Self {
+        self.crash_after_bytes = Some(budget);
+        self
+    }
+}
+
+/// Mutable injector state shared by a [`FaultIo`] and every file it
+/// has opened (they must share one op counter).
+#[derive(Debug, Default)]
+struct FaultState {
+    ops: u64,
+    bytes_written: u64,
+    crashed: bool,
+    faults_fired: u64,
+}
+
+impl FaultState {
+    fn injected_err(what: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {what}"))
+    }
+}
+
+/// Decide the fate of the next operation under `plan`: bump the op
+/// counter and return the fault to apply, if any.
+fn next_op(state: &Mutex<FaultState>, plan: &FaultPlan) -> Option<Fault> {
+    let mut st = state.lock().unwrap();
+    let op = st.ops;
+    st.ops += 1;
+    if st.crashed {
+        st.faults_fired += 1;
+        return Some(Fault::Fail);
+    }
+    if plan.crash_at_op.is_some_and(|at| op >= at) {
+        st.crashed = true;
+        st.faults_fired += 1;
+        return Some(Fault::Fail);
+    }
+    if let Some(&fault) = plan.faults.get(&op) {
+        st.faults_fired += 1;
+        return Some(fault);
+    }
+    None
+}
+
+/// Byte-budget crash check for a write of `len` bytes: returns how many
+/// bytes may still land (tearing the write) if the budget is crossed,
+/// or `None` to let the write through whole. Landed-byte accounting
+/// happens here so torn writes count only what they kept.
+fn budget_write(state: &Mutex<FaultState>, plan: &FaultPlan, len: u64) -> Option<u64> {
+    let mut st = state.lock().unwrap();
+    let Some(budget) = plan.crash_after_bytes else {
+        st.bytes_written += len;
+        return None;
+    };
+    if st.bytes_written + len <= budget {
+        st.bytes_written += len;
+        return None;
+    }
+    let keep = budget.saturating_sub(st.bytes_written);
+    st.bytes_written += keep;
+    st.crashed = true;
+    st.faults_fired += 1;
+    Some(keep)
+}
+
+/// A [`PersistIo`] wrapper that executes a [`FaultPlan`] against an
+/// inner I/O implementation.
+pub struct FaultIo {
+    inner: Arc<dyn PersistIo>,
+    plan: FaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultIo {
+    /// Wrap `inner` with `plan`.
+    pub fn new(inner: Arc<dyn PersistIo>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            state: Arc::new(Mutex::new(FaultState::default())),
+        }
+    }
+
+    /// Total operations observed so far (including faulted ones).
+    pub fn ops(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// Total bytes actually written through the seam so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.state.lock().unwrap().bytes_written
+    }
+
+    /// Number of operations a planned fault or crash altered.
+    pub fn faults_fired(&self) -> u64 {
+        self.state.lock().unwrap().faults_fired
+    }
+
+    /// Whether a crash mode has triggered (all further ops fail).
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    fn next_op(&self) -> Option<Fault> {
+        next_op(&self.state, &self.plan)
+    }
+}
+
+/// A [`PersistFile`] whose operations consult the shared fault state.
+struct FaultFile {
+    inner: Box<dyn PersistFile>,
+    plan: FaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultFile {
+    fn next_op(&self) -> Option<Fault> {
+        next_op(&self.state, &self.plan)
+    }
+
+    fn budget_write(&self, len: u64) -> Option<u64> {
+        budget_write(&self.state, &self.plan, len)
+    }
+}
+
+impl PersistFile for FaultFile {
+    fn write_all_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        match self.next_op() {
+            Some(Fault::Fail) => return Err(FaultState::injected_err("write failed")),
+            Some(Fault::Torn { keep }) => {
+                let keep = keep.min(buf.len());
+                self.state.lock().unwrap().bytes_written += keep as u64;
+                self.inner.write_all_at(offset, &buf[..keep])?;
+                return Err(FaultState::injected_err("torn write"));
+            }
+            Some(Fault::BitFlip { byte }) => {
+                let mut corrupt = buf.to_vec();
+                if !corrupt.is_empty() {
+                    let i = byte % corrupt.len();
+                    corrupt[i] ^= 1;
+                }
+                self.state.lock().unwrap().bytes_written += corrupt.len() as u64;
+                return self.inner.write_all_at(offset, &corrupt);
+            }
+            None => {}
+        }
+        match self.budget_write(buf.len() as u64) {
+            None => self.inner.write_all_at(offset, buf),
+            Some(keep) => {
+                self.inner.write_all_at(offset, &buf[..keep as usize])?;
+                Err(FaultState::injected_err("crash: byte budget exhausted"))
+            }
+        }
+    }
+
+    fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("read failed"));
+        }
+        self.inner.read_exact_at(offset, buf)
+    }
+
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("read failed"));
+        }
+        self.inner.read_to_end(buf)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("truncate failed"));
+        }
+        self.inner.set_len(len)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("fsync failed"));
+        }
+        self.inner.sync()
+    }
+}
+
+impl PersistIo for FaultIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn PersistFile>> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("create failed"));
+        }
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            plan: self.plan.clone(),
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn PersistFile>> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("open failed"));
+        }
+        let inner = self.inner.open(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            plan: self.plan.clone(),
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("rename failed"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("remove failed"));
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        if self.next_op().is_some() {
+            return Err(FaultState::injected_err("dir fsync failed"));
+        }
+        self.inner.sync_parent_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RealIo;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("smx-fault-{}-{tag}.bin", std::process::id()))
+    }
+
+    fn io_with(plan: FaultPlan) -> FaultIo {
+        FaultIo::new(Arc::new(RealIo), plan)
+    }
+
+    #[test]
+    fn clean_plan_is_transparent_and_counts() {
+        let path = temp_path("clean");
+        let io = io_with(FaultPlan::clean());
+        let mut f = io.create(&path).unwrap(); // op 0
+        f.write_all_at(0, b"abcdef").unwrap(); // op 1
+        f.sync().unwrap(); // op 2
+        assert_eq!(io.read(&path).unwrap(), b"abcdef"); // ops 3 (open) + 4 (read)
+        assert_eq!(io.ops(), 5);
+        assert_eq!(io.bytes_written(), 6);
+        assert_eq!(io.faults_fired(), 0);
+        assert!(!io.crashed());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_then_errors() {
+        let path = temp_path("torn");
+        let io = io_with(FaultPlan::clean().fault_at(1, Fault::Torn { keep: 3 }));
+        let mut f = io.create(&path).unwrap();
+        assert!(f.write_all_at(0, b"abcdef").is_err());
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"abc");
+        assert_eq!(io.faults_fired(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_reports_success_with_corrupt_bytes() {
+        let path = temp_path("flip");
+        let io = io_with(FaultPlan::clean().fault_at(1, Fault::BitFlip { byte: 2 }));
+        let mut f = io.create(&path).unwrap();
+        f.write_all_at(0, b"abcdef").unwrap();
+        drop(f);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk[2], b'c' ^ 1);
+        assert_eq!(&on_disk[..2], b"ab");
+        assert_eq!(&on_disk[3..], b"def");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_at_op_fails_everything_after() {
+        let path = temp_path("crashop");
+        let io = io_with(FaultPlan::clean().crash_at_op(1));
+        let mut f = io.create(&path).unwrap(); // op 0: fine
+        assert!(f.write_all_at(0, b"abc").is_err()); // op 1: crash
+        assert!(f.sync().is_err()); // dead forever
+        assert!(io.open(&path).is_err());
+        assert!(io.crashed());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn byte_budget_tears_the_crossing_write() {
+        let path = temp_path("budget");
+        let io = io_with(FaultPlan::clean().crash_after_bytes(4));
+        let mut f = io.create(&path).unwrap();
+        f.write_all_at(0, b"abc").unwrap(); // 3 bytes, under budget
+        assert!(f.write_all_at(3, b"defg").is_err()); // crosses at byte 4
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcd");
+        assert_eq!(io.bytes_written(), 4);
+        assert!(io.crashed());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_and_rename_faults_fire() {
+        let path = temp_path("sync");
+        let io = io_with(
+            FaultPlan::clean()
+                .fault_at(2, Fault::Fail)
+                .fault_at(3, Fault::Fail),
+        );
+        let mut f = io.create(&path).unwrap(); // op 0
+        f.write_all_at(0, b"x").unwrap(); // op 1
+        assert!(f.sync().is_err()); // op 2: fsync fault
+        drop(f);
+        assert!(io.rename(&path, &temp_path("sync2")).is_err()); // op 3
+        assert!(path.exists(), "failed rename must not move the file");
+        std::fs::remove_file(&path).ok();
+    }
+}

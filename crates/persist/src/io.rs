@@ -1,0 +1,235 @@
+//! The persistence I/O seam: every byte this crate moves to or from
+//! disk goes through [`PersistIo`] / [`PersistFile`], so the whole
+//! stack — snapshot saves, spill appends, compaction swaps — can run
+//! against the real filesystem ([`RealIo`]) or against the
+//! deterministic fault injector ([`FaultIo`](crate::FaultIo)) without
+//! either side knowing the difference.
+//!
+//! The surface is deliberately small and offset-addressed:
+//! [`PersistFile::write_all_at`] / [`PersistFile::read_exact_at`] take
+//! absolute positions instead of maintaining seek state, so a failed
+//! operation cannot leave a hidden cursor pointing somewhere a later
+//! operation silently trusts. The directory-durability half of an
+//! atomic rename ([`PersistIo::sync_parent_dir`]) lives here too, so
+//! crash-consistency policy is expressed once, in
+//! [`atomic_write_file`], and every caller inherits it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One open file behind the persistence I/O seam.
+///
+/// All positioned operations use absolute offsets; implementations may
+/// keep an internal cursor but callers never depend on it.
+pub trait PersistFile: Send {
+    /// Write every byte of `buf` at absolute offset `offset`, extending
+    /// the file if needed. Partial progress before an error is allowed
+    /// (that is exactly the torn write the crash tests simulate).
+    fn write_all_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()>;
+
+    /// Read exactly `buf.len()` bytes at absolute offset `offset`.
+    fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Append the file's entire contents (from offset 0) to `buf`,
+    /// returning the byte count read.
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize>;
+
+    /// Truncate (or extend with zeros) to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+
+    /// Flush file data and metadata to stable storage (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A filesystem the persistence layer can run against: the real one
+/// ([`RealIo`]) or a fault-injecting wrapper
+/// ([`FaultIo`](crate::FaultIo)).
+pub trait PersistIo: Send + Sync {
+    /// Create `path` for read/write, truncating anything already there.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn PersistFile>>;
+
+    /// Open an existing `path` for read/write.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn PersistFile>>;
+
+    /// Read the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut file = self.open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Atomically replace `to` with `from` (POSIX rename semantics: `to`
+    /// is either its old content or `from`'s, never a mixture).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Delete `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Fsync the directory containing `path`, making a preceding rename
+    /// durable. Platforms (or fakes) where directories cannot be synced
+    /// may make this a no-op; the rename itself is still atomic.
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem implementation of [`PersistIo`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+/// [`PersistFile`] over a [`std::fs::File`].
+struct RealFile {
+    file: File,
+}
+
+impl PersistFile for RealFile {
+    fn write_all_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(buf)
+    }
+
+    fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)
+    }
+
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.read_to_end(buf)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+impl PersistIo for RealIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn PersistFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile { file }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn PersistFile>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Box::new(RealFile { file }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+            return Ok(());
+        };
+        // Windows cannot open directories as Files; a failed open is a
+        // durability downgrade, not a correctness failure — the rename
+        // already happened atomically.
+        match File::open(parent) {
+            Ok(dir) => dir.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+/// The sibling temp path an [`atomic_write_file`] stages into before the
+/// rename: `<path>.tmp`, in the same directory so the rename never
+/// crosses a filesystem. The name is fixed (no pid), so a temp file
+/// orphaned by a crash is simply truncated and reused by the next save.
+pub(crate) fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Crash-safe whole-file replace: write `bytes` to a same-directory temp
+/// file, fsync it, rename it over `path`, fsync the directory.
+///
+/// A crash (or injected fault) at *any* point leaves `path` either
+/// untouched (its previous content, if any) or fully replaced — never a
+/// prefix of `bytes`. On failure the temp file is best-effort removed;
+/// one orphaned by a genuine crash is overwritten by the next attempt.
+pub(crate) fn atomic_write_file(io: &dyn PersistIo, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let staging = staging_path(path);
+    let result = (|| {
+        let mut file = io.create(&staging)?;
+        file.write_all_at(0, bytes)?;
+        file.sync()?;
+        drop(file);
+        io.rename(&staging, path)?;
+        io.sync_parent_dir(path)
+    })();
+    if result.is_err() {
+        // Post-fault cleanup may itself fail (a simulated crash fails
+        // every later op); the stale temp is harmless either way.
+        io.remove_file(&staging).ok();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("smx-io-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn real_file_round_trips_positioned_io() {
+        let path = temp_path("roundtrip");
+        let mut f = RealIo.create(&path).unwrap();
+        f.write_all_at(0, b"hello world").unwrap();
+        f.write_all_at(6, b"rusty").unwrap();
+        let mut buf = [0u8; 5];
+        f.read_exact_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"rusty");
+        let mut all = Vec::new();
+        f.read_to_end(&mut all).unwrap();
+        assert_eq!(all, b"hello rusty");
+        f.set_len(5).unwrap();
+        let mut all = Vec::new();
+        f.read_to_end(&mut all).unwrap();
+        assert_eq!(all, b"hello");
+        f.sync().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_staging() {
+        let path = temp_path("atomic");
+        std::fs::write(&path, b"old").unwrap();
+        atomic_write_file(&RealIo, &path, b"new content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new content");
+        assert!(
+            !staging_path(&path).exists(),
+            "staging file must be renamed away"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn staging_path_is_a_sibling() {
+        let p = Path::new("/some/dir/snap.bin");
+        assert_eq!(staging_path(p), Path::new("/some/dir/snap.bin.tmp"));
+    }
+
+    #[test]
+    fn open_missing_file_errors() {
+        assert!(RealIo.open(Path::new("/definitely/not/there")).is_err());
+        assert!(RealIo.read(Path::new("/definitely/not/there")).is_err());
+    }
+}

@@ -70,12 +70,69 @@
 //! "real serde" item: when the vendored serde shims are replaced by the
 //! real crates, the section payloads can become serde-encoded while the
 //! header, table, checksums, and error taxonomy stay as they are.
+//!
+//! # Crash consistency
+//!
+//! Every file this crate replaces is replaced **atomically**:
+//! `save_snapshot_file` and `SpillFile::compact` write the complete new
+//! image to a sibling staging file (`<name>.tmp`), fsync it, rename it
+//! over the target, and fsync the parent directory. A crash at any
+//! point — between any two syscalls or mid-write — therefore leaves
+//! either the complete old file or the complete new one, never a
+//! hybrid and never an unreadable file. The spill log itself is
+//! append-only with per-record checksums, so a crash mid-append costs
+//! exactly the torn tail record, which `SpillFile::open` detects and
+//! truncates.
+//!
+//! This is not an aspiration but a tested matrix: all file I/O flows
+//! through the [`PersistIo`] seam, and [`FaultIo`] injects a
+//! **deterministic** fault plan into it — fail op *n*, tear a write
+//! after *k* bytes, flip a bit, or crash outright (every op from *n*
+//! on fails, exactly like power loss). Op indices are global and
+//! assigned in call order, with no clocks or randomness anywhere, so
+//! every failure a test finds replays bit-for-bit.
+//! `tests/crash_matrix.rs` iterates a crash at *every* op and *every*
+//! write-byte boundary of a snapshot save and a spill compaction;
+//! `tests/chaos.rs` drives randomized fault plans and proves no plan
+//! can change any matcher's answers.
+//!
+//! # Graceful degradation
+//!
+//! Everything persisted here is a cache of recomputable state, and the
+//! failure policy follows from that:
+//!
+//! * **Snapshots** default to [`RecoveryPolicy::Strict`] — any damage
+//!   is a typed [`PersistError`]. Under
+//!   [`RecoveryPolicy::Salvage`], damage to a *derived* section
+//!   degrades instead of failing: labels and token postings are
+//!   rebuilt by replaying the (intact) schemas, cached rows are
+//!   dropped to a cold store, config falls back to defaults — each
+//!   recorded as a [`SalvageEvent`] in the returned
+//!   [`SnapshotReport`] and stamped on the store's health. Only the
+//!   SCHEMAS section is load-bearing: it is the one source of truth
+//!   the rest can be rebuilt from, so its damage (or a damaged
+//!   header) still fails under either policy.
+//! * **Spill writes** are best-effort: a write error degrades the sink
+//!   (declines spills through a deterministic op-count backoff, then
+//!   re-opens and retries; see [`RetryPolicy`]) rather than poisoning
+//!   it on first contact, and poison itself — after the retry budget
+//!   exhausts — only ever costs recompute, never answers.
+//!
+//! Degradation is never silent: `LabelStore::health` in `smx-repo`
+//! surfaces sink poison/degradation, write errors, reopen cycles, and
+//! salvage events to the serving layer.
 
 mod error;
+mod fault;
+mod io;
 mod snapshot;
 mod spill;
 mod wire;
 
 pub use error::PersistError;
-pub use snapshot::{section, Snapshot, FORMAT_VERSION, MAGIC};
-pub use spill::SpillFile;
+pub use fault::{Fault, FaultIo, FaultPlan};
+pub use io::{PersistFile, PersistIo, RealIo};
+pub use snapshot::{
+    section, Damage, RecoveryPolicy, SalvageEvent, Snapshot, SnapshotReport, FORMAT_VERSION, MAGIC,
+};
+pub use spill::{RetryPolicy, SpillFile};

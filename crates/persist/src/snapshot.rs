@@ -10,11 +10,29 @@
 //! the label list, row lengths vs the label count), and only then is a
 //! [`LabelStore`] imported and the repository assembled — an error at
 //! any point returns before any repository state exists.
+//!
+//! Two policies govern what "an error" means on load
+//! ([`RecoveryPolicy`]): **Strict** rejects the snapshot on any damage
+//! (the behaviour above), while **Salvage** keeps everything that still
+//! verifies and *rebuilds or drops* what doesn't — only the SCHEMAS
+//! section is load-bearing, because every other section is derivable
+//! from it (labels and tokens by deterministic replay, rows by
+//! re-sweeping on demand, config by defaults). A salvage load reports
+//! exactly what it did in a [`SnapshotReport`], so degradation is
+//! visible, never silent.
+//!
+//! Saves are crash-safe: [`Snapshot::save_snapshot_file`] stages the
+//! image in a sibling temp file, fsyncs, renames over the target, and
+//! fsyncs the directory — a crash at any write boundary leaves the old
+//! snapshot intact (the crash-point matrix test iterates every
+//! boundary).
 
 use crate::error::PersistError;
+use crate::io::{atomic_write_file, PersistIo, RealIo};
 use crate::wire::{fnv1a, Reader, Writer};
-use smx_repo::{LabelStore, Repository, StoreState};
+use smx_repo::{LabelInterner, LabelStore, Repository, SchemaId, StoreState, TokenIndex};
 use smx_xml::{Node, NodeId, Occurs, PrimitiveType, Schema};
+use std::fmt;
 use std::path::Path;
 
 /// The 8-byte snapshot magic. Never changes across versions.
@@ -41,29 +59,179 @@ pub mod section {
     pub const MANDATORY: [u32; 5] = [SCHEMAS, LABELS, TOKENS, ROWS, CONFIG];
 }
 
+/// How a snapshot load treats damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Reject the snapshot on *any* damage — a bad checksum, an
+    /// undecodable payload, a failed cross-check — with a typed
+    /// [`PersistError`]. The right mode when a snapshot is supposed to
+    /// be authoritative.
+    #[default]
+    Strict,
+    /// Keep everything that still verifies; rebuild or drop what
+    /// doesn't. Only the SCHEMAS section is required — labels and the
+    /// token index are rebuilt from the schemas by deterministic
+    /// replay, damaged cached rows are dropped (a cold store, rebuilt
+    /// on demand), damaged config falls back to defaults. What was
+    /// salvaged is reported in the returned [`SnapshotReport`]; match
+    /// answers stay bitwise-identical either way because every rebuilt
+    /// structure is a pure function of the schemas. The right mode for
+    /// a warm restart: it never fails when a cold start would succeed.
+    Salvage,
+}
+
+/// Why a section needed salvaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Damage {
+    /// The section is absent from the table (or its table entry was
+    /// itself unreadable).
+    Missing,
+    /// The section's payload bytes fail their FNV-1a checksum.
+    BadChecksum,
+    /// The checksum held but the payload does not decode — the writer
+    /// was corrupted before checksumming.
+    Undecodable,
+    /// The section decoded but contradicts another section (for
+    /// example, a cached row longer than the label list).
+    Inconsistent,
+}
+
+impl fmt::Display for Damage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Damage::Missing => "missing",
+            Damage::BadChecksum => "bad checksum",
+            Damage::Undecodable => "undecodable",
+            Damage::Inconsistent => "inconsistent",
+        })
+    }
+}
+
+/// One salvage action a [`RecoveryPolicy::Salvage`] load performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SalvageEvent {
+    /// LABELS was damaged; labels and column maps were rebuilt by
+    /// replaying the interner over the schemas (identical to ingest
+    /// order, so surviving cached rows stay valid).
+    LabelsRebuilt(Damage),
+    /// TOKENS was damaged; the token inverted index was rebuilt from
+    /// the schemas.
+    TokensRebuilt(Damage),
+    /// ROWS was damaged (or contradicted the label list); all cached
+    /// score rows were dropped — the store restarts cold and re-sweeps
+    /// on demand, bitwise-identically.
+    RowsDropped(Damage),
+    /// CONFIG was damaged; the store uses default configuration
+    /// (unbounded cache, auto sweep threads).
+    ConfigDefaulted(Damage),
+}
+
+impl fmt::Display for SalvageEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SalvageEvent::LabelsRebuilt(d) => {
+                write!(f, "LABELS {d}: labels + column maps rebuilt from schemas")
+            }
+            SalvageEvent::TokensRebuilt(d) => {
+                write!(f, "TOKENS {d}: token index rebuilt from schemas")
+            }
+            SalvageEvent::RowsDropped(d) => {
+                write!(f, "ROWS {d}: cached score rows dropped (cold store)")
+            }
+            SalvageEvent::ConfigDefaulted(d) => {
+                write!(f, "CONFIG {d}: store config reset to defaults")
+            }
+        }
+    }
+}
+
+/// What a snapshot load had to do to produce a repository.
+///
+/// Strict loads always return a clean report; salvage loads list one
+/// [`SalvageEvent`] per degraded section, in section order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// The salvage actions taken, in section order; empty for an
+    /// undamaged snapshot.
+    pub events: Vec<SalvageEvent>,
+}
+
+impl SnapshotReport {
+    /// Whether the snapshot loaded without any salvaging.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for SnapshotReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("snapshot clean: all sections verified");
+        }
+        write!(f, "snapshot salvaged ({} events)", self.events.len())?;
+        for e in &self.events {
+            write!(f, "\n  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Snapshot persistence for repository-shaped types.
 ///
 /// Implemented for [`Repository`]; with the trait in scope the methods
 /// read as inherent: `repo.save_snapshot()`,
 /// `Repository::load_snapshot(&bytes)`.
+///
+/// File saves are atomic (temp + fsync + rename + dir fsync) and every
+/// file method has a `_with` variant taking a [`PersistIo`], so the
+/// whole surface runs under fault injection in tests.
 pub trait Snapshot: Sized {
     /// Serialise to the versioned snapshot format.
     fn save_snapshot(&self) -> Vec<u8>;
 
-    /// Reconstruct from snapshot bytes. The result is functionally
-    /// indistinguishable from the instance that was saved: match
-    /// results are bitwise identical and no cached work is lost.
-    fn load_snapshot(bytes: &[u8]) -> Result<Self, PersistError>;
+    /// Reconstruct from snapshot bytes under `policy`, reporting any
+    /// salvage actions taken. Under [`RecoveryPolicy::Strict`] a
+    /// successful load always carries a clean report.
+    fn load_snapshot_report(
+        bytes: &[u8],
+        policy: RecoveryPolicy,
+    ) -> Result<(Self, SnapshotReport), PersistError>;
 
-    /// [`save_snapshot`](Self::save_snapshot) straight to a file.
+    /// Reconstruct from snapshot bytes, strictly. The result is
+    /// functionally indistinguishable from the instance that was saved:
+    /// match results are bitwise identical and no cached work is lost.
+    fn load_snapshot(bytes: &[u8]) -> Result<Self, PersistError> {
+        Self::load_snapshot_report(bytes, RecoveryPolicy::Strict).map(|(this, _)| this)
+    }
+
+    /// [`save_snapshot`](Self::save_snapshot) straight to a file,
+    /// crash-safely: the image is staged in a sibling temp file,
+    /// fsynced, renamed over `path`, and the directory fsynced. A crash
+    /// anywhere leaves the previous snapshot (if any) intact.
     fn save_snapshot_file(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        std::fs::write(path, self.save_snapshot())?;
+        self.save_snapshot_file_with(&RealIo, path.as_ref())
+    }
+
+    /// [`save_snapshot_file`](Self::save_snapshot_file) through an
+    /// explicit [`PersistIo`] (the fault-injection seam).
+    fn save_snapshot_file_with(&self, io: &dyn PersistIo, path: &Path) -> Result<(), PersistError> {
+        atomic_write_file(io, path, &self.save_snapshot())?;
         Ok(())
     }
 
     /// [`load_snapshot`](Self::load_snapshot) straight from a file.
     fn load_snapshot_file(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        Self::load_snapshot(&std::fs::read(path)?)
+        Self::load_snapshot(&RealIo.read(path.as_ref())?)
+    }
+
+    /// Load from a file through an explicit [`PersistIo`] under
+    /// `policy`, reporting salvage actions.
+    fn load_snapshot_file_with(
+        io: &dyn PersistIo,
+        path: &Path,
+        policy: RecoveryPolicy,
+    ) -> Result<(Self, SnapshotReport), PersistError> {
+        Self::load_snapshot_report(&io.read(path)?, policy)
     }
 }
 
@@ -98,34 +266,190 @@ impl Snapshot for Repository {
         w.into_bytes()
     }
 
-    fn load_snapshot(bytes: &[u8]) -> Result<Self, PersistError> {
-        let sections = read_section_table(bytes)?;
-        let payload = |id: u32| -> Result<&[u8], PersistError> {
-            sections
-                .iter()
-                .find(|s| s.id == id)
-                .map(|s| &bytes[s.offset..s.offset + s.len])
-                .ok_or(PersistError::MissingSection(id))
-        };
-        let schemas = decode_schemas(payload(section::SCHEMAS)?)?;
-        let (labels, schema_labels) = decode_labels(payload(section::LABELS)?)?;
-        let postings = decode_tokens(payload(section::TOKENS)?)?;
-        let rows = decode_rows(payload(section::ROWS)?)?;
-        let (max_cached_rows, batch_threads) = decode_config(payload(section::CONFIG)?)?;
-        let state = StoreState {
-            labels,
-            schema_labels,
-            postings,
-            rows,
-            max_cached_rows,
-            batch_threads,
-        };
-        validate(&schemas, &state)?;
-        Ok(Repository::from_parts(
-            schemas,
-            LabelStore::import_state(state),
-        ))
+    fn load_snapshot_report(
+        bytes: &[u8],
+        policy: RecoveryPolicy,
+    ) -> Result<(Self, SnapshotReport), PersistError> {
+        match policy {
+            RecoveryPolicy::Strict => strict_load(bytes).map(|r| (r, SnapshotReport::default())),
+            RecoveryPolicy::Salvage => salvage_load(bytes),
+        }
     }
+}
+
+/// The strict load: every checksum verified up front, every payload
+/// decoded, every cross-check passed — any failure rejects the whole
+/// snapshot before any repository state exists.
+fn strict_load(bytes: &[u8]) -> Result<Repository, PersistError> {
+    let sections = read_section_table(bytes)?;
+    let payload = |id: u32| -> Result<&[u8], PersistError> {
+        sections
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| &bytes[s.offset..s.offset + s.len])
+            .ok_or(PersistError::MissingSection(id))
+    };
+    let schemas = decode_schemas(payload(section::SCHEMAS)?)?;
+    let (labels, schema_labels) = decode_labels(payload(section::LABELS)?)?;
+    let postings = decode_tokens(payload(section::TOKENS)?)?;
+    let rows = decode_rows(payload(section::ROWS)?)?;
+    let (max_cached_rows, batch_threads) = decode_config(payload(section::CONFIG)?)?;
+    let state = StoreState {
+        labels,
+        schema_labels,
+        postings,
+        rows,
+        max_cached_rows,
+        batch_threads,
+    };
+    validate(&schemas, &state)?;
+    Ok(Repository::from_parts(
+        schemas,
+        LabelStore::import_state(state),
+    ))
+}
+
+/// The salvage load: keep what verifies, rebuild or drop what doesn't.
+///
+/// Only SCHEMAS is load-bearing — its damage (or a damaged header) is
+/// still a hard error, because without the schemas there is nothing to
+/// rebuild *from*; that is exactly the case where a cold start would
+/// fail too. Everything else degrades per section:
+///
+/// * LABELS → rebuilt by replaying [`LabelInterner`] over the schemas.
+///   Replay order equals ingest order equals save order, so a rebuilt
+///   label list is *identical* to the lost one and surviving cached
+///   rows (prefix-indexed by label order) remain valid.
+/// * TOKENS → rebuilt by replaying [`TokenIndex::add_schema`].
+/// * ROWS → dropped; the store restarts cold and re-sweeps on demand.
+/// * CONFIG → defaults.
+fn salvage_load(bytes: &[u8]) -> Result<(Repository, SnapshotReport), PersistError> {
+    let sections = read_section_table_lenient(bytes)?;
+    let payload = |id: u32| -> Result<&[u8], Damage> {
+        let entry = sections
+            .iter()
+            .find(|(s, _)| s.id == id)
+            .ok_or(Damage::Missing)?;
+        match entry {
+            (s, true) => Ok(&bytes[s.offset..s.offset + s.len]),
+            (_, false) => Err(Damage::BadChecksum),
+        }
+    };
+
+    // SCHEMAS: hard-required, with the strict error taxonomy.
+    let schemas = match payload(section::SCHEMAS) {
+        Ok(p) => decode_schemas(p)?,
+        Err(Damage::Missing) => return Err(PersistError::MissingSection(section::SCHEMAS)),
+        Err(_) => return Err(PersistError::ChecksumMismatch(section::SCHEMAS)),
+    };
+
+    let mut events = Vec::new();
+
+    // LABELS: use if it decodes and cross-checks; else replay-rebuild.
+    let labels_result = payload(section::LABELS)
+        .and_then(|p| decode_labels(p).map_err(|_| Damage::Undecodable))
+        .and_then(|(labels, schema_labels)| {
+            validate_labels(&schemas, &labels, &schema_labels)
+                .map(|()| (labels, schema_labels))
+                .map_err(|_| Damage::Inconsistent)
+        });
+    let (labels, schema_labels) = match labels_result {
+        Ok(pair) => pair,
+        Err(damage) => {
+            events.push(SalvageEvent::LabelsRebuilt(damage));
+            rebuild_labels(&schemas)
+        }
+    };
+
+    // TOKENS: same shape, rebuilt via the incremental index path.
+    let postings_result = payload(section::TOKENS)
+        .and_then(|p| decode_tokens(p).map_err(|_| Damage::Undecodable))
+        .and_then(|postings| {
+            validate_postings(&schemas, &postings)
+                .map(|()| postings)
+                .map_err(|_| Damage::Inconsistent)
+        });
+    let postings = match postings_result {
+        Ok(postings) => postings,
+        Err(damage) => {
+            events.push(SalvageEvent::TokensRebuilt(damage));
+            rebuild_postings(&schemas)
+        }
+    };
+
+    // ROWS: validated against the *final* label list (original or
+    // rebuilt — identical by construction, but never trusted blindly).
+    let rows_result = payload(section::ROWS)
+        .and_then(|p| decode_rows(p).map_err(|_| Damage::Undecodable))
+        .and_then(|rows| {
+            validate_rows(labels.len(), &rows)
+                .map(|()| rows)
+                .map_err(|_| Damage::Inconsistent)
+        });
+    let rows = match rows_result {
+        Ok(rows) => rows,
+        Err(damage) => {
+            events.push(SalvageEvent::RowsDropped(damage));
+            Vec::new()
+        }
+    };
+
+    // CONFIG: defaults on any damage.
+    let (max_cached_rows, batch_threads) = match payload(section::CONFIG)
+        .and_then(|p| decode_config(p).map_err(|_| Damage::Undecodable))
+    {
+        Ok(config) => config,
+        Err(damage) => {
+            events.push(SalvageEvent::ConfigDefaulted(damage));
+            (None, 0)
+        }
+    };
+
+    let state = StoreState {
+        labels,
+        schema_labels,
+        postings,
+        rows,
+        max_cached_rows,
+        batch_threads,
+    };
+    // The assembled state passed its checks piecewise; the composed
+    // validation must therefore hold. Debug-assert it rather than
+    // re-running the full pass in release loads.
+    debug_assert!(validate(&schemas, &state).is_ok());
+    let repo = Repository::from_parts(schemas, LabelStore::import_state(state));
+    // Stamp the degradation on the store, so callers that only ever see
+    // the repository (not this report) still observe it via `health()`.
+    repo.store().record_salvage_events(events.len() as u64);
+    Ok((repo, SnapshotReport { events }))
+}
+
+/// Rebuild the interned label list + per-schema column maps by
+/// replaying the interner over the schemas in id order — the same
+/// order ingest used, so ids match the lost section exactly.
+fn rebuild_labels(schemas: &[Schema]) -> (Vec<String>, Vec<Vec<u32>>) {
+    let mut interner = LabelInterner::new();
+    let schema_labels: Vec<Vec<u32>> = schemas
+        .iter()
+        .map(|s| interner.intern_schema(s).iter().map(|id| id.0).collect())
+        .collect();
+    let labels = (0..interner.len())
+        .map(|i| interner.resolve(smx_repo::LabelId(i as u32)).to_owned())
+        .collect();
+    (labels, schema_labels)
+}
+
+/// Rebuild the token inverted index postings by replaying the
+/// incremental `add_schema` path over the schemas in id order.
+fn rebuild_postings(schemas: &[Schema]) -> Vec<(String, Vec<smx_repo::ElementRef>)> {
+    let mut index = TokenIndex::default();
+    for (i, schema) in schemas.iter().enumerate() {
+        index.add_schema(SchemaId(i as u32), schema);
+    }
+    index
+        .postings()
+        .map(|(token, elements)| (token.to_owned(), elements.to_vec()))
+        .collect()
 }
 
 /// One parsed and checksum-verified section table entry.
@@ -176,6 +500,47 @@ fn read_section_table(bytes: &[u8]) -> Result<Vec<SectionEntry>, PersistError> {
             return Err(PersistError::ChecksumMismatch(id));
         }
         entries.push(SectionEntry { id, offset, len });
+    }
+    Ok(entries)
+}
+
+/// The salvage-mode table parse: the header (magic + version) is still
+/// strict — without it nothing identifies these bytes as a snapshot —
+/// but table entries degrade individually: an entry whose payload is
+/// out of bounds or fails its checksum is kept with `false` (damaged)
+/// instead of rejecting the table, and a table physically shorter than
+/// its count yields the entries that fit.
+fn read_section_table_lenient(bytes: &[u8]) -> Result<Vec<(SectionEntry, bool)>, PersistError> {
+    let mut r = Reader::new(bytes);
+    if bytes.len() < MAGIC.len() {
+        return Err(PersistError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    for m in &mut magic {
+        *m = r.get_u8()?;
+    }
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let count = (r.get_u32()? as usize).min(r.remaining() / 28);
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.get_u32()?;
+        let offset = r.get_u64()? as usize;
+        let len = r.get_u64()? as usize;
+        let checksum = r.get_u64()?;
+        let ok = offset
+            .checked_add(len)
+            .filter(|&end| end <= bytes.len())
+            .is_some_and(|end| fnv1a(&bytes[offset..end]) == checksum);
+        // A damaged entry keeps id but zeroes its span, so no caller
+        // can index out of bounds through it.
+        let (offset, len) = if ok { (offset, len) } else { (0, 0) };
+        entries.push((SectionEntry { id, offset, len }, ok));
     }
     Ok(entries)
 }
@@ -411,22 +776,36 @@ fn decode_config(bytes: &[u8]) -> Result<(Option<usize>, usize), PersistError> {
 /// schema's node names through the label list, every cached row must be
 /// a valid prefix of the label list, and every token posting must point
 /// at a real element (the pre-filter path indexes schemas by these
-/// references unchecked).
+/// references unchecked). Composed from the per-section validators the
+/// salvage path uses piecewise.
 fn validate(schemas: &[Schema], state: &StoreState) -> Result<(), PersistError> {
-    let mut seen = std::collections::HashSet::with_capacity(state.labels.len());
-    for label in &state.labels {
+    validate_labels(schemas, &state.labels, &state.schema_labels)?;
+    validate_rows(state.labels.len(), &state.rows)?;
+    validate_postings(schemas, &state.postings)
+}
+
+/// The LABELS cross-checks: duplicate-free label list, one column map
+/// per schema, every column map mirroring its schema's node names
+/// through the label list.
+fn validate_labels(
+    schemas: &[Schema],
+    labels: &[String],
+    schema_labels: &[Vec<u32>],
+) -> Result<(), PersistError> {
+    let mut seen = std::collections::HashSet::with_capacity(labels.len());
+    for label in labels {
         if !seen.insert(label.as_str()) {
             return Err(PersistError::Corrupt(format!("duplicate label {label:?}")));
         }
     }
-    if state.schema_labels.len() != schemas.len() {
+    if schema_labels.len() != schemas.len() {
         return Err(PersistError::Corrupt(format!(
             "{} column maps for {} schemas",
-            state.schema_labels.len(),
+            schema_labels.len(),
             schemas.len()
         )));
     }
-    for (i, (schema, columns)) in schemas.iter().zip(&state.schema_labels).enumerate() {
+    for (i, (schema, columns)) in schemas.iter().zip(schema_labels).enumerate() {
         if columns.len() != schema.len() {
             return Err(PersistError::Corrupt(format!(
                 "schema {i} column map has {} entries for {} nodes",
@@ -435,7 +814,7 @@ fn validate(schemas: &[Schema], state: &StoreState) -> Result<(), PersistError> 
             )));
         }
         for (node, &label) in schema.node_ids().zip(columns) {
-            let name = state.labels.get(label as usize).ok_or_else(|| {
+            let name = labels.get(label as usize).ok_or_else(|| {
                 PersistError::Corrupt(format!("schema {i} references label {label}"))
             })?;
             if *name != schema.node(node).name {
@@ -446,16 +825,29 @@ fn validate(schemas: &[Schema], state: &StoreState) -> Result<(), PersistError> 
             }
         }
     }
-    for (query, row) in &state.rows {
-        if row.len() > state.labels.len() {
+    Ok(())
+}
+
+/// The ROWS cross-check: every cached row must be a valid prefix of the
+/// label list.
+fn validate_rows(label_count: usize, rows: &[(String, Vec<f64>)]) -> Result<(), PersistError> {
+    for (query, row) in rows {
+        if row.len() > label_count {
             return Err(PersistError::Corrupt(format!(
-                "row {query:?} has {} entries for {} labels",
-                row.len(),
-                state.labels.len()
+                "row {query:?} has {} entries for {label_count} labels",
+                row.len()
             )));
         }
     }
-    for (token, elements) in &state.postings {
+    Ok(())
+}
+
+/// The TOKENS cross-check: every posting must point at a real element.
+fn validate_postings(
+    schemas: &[Schema],
+    postings: &[(String, Vec<smx_repo::ElementRef>)],
+) -> Result<(), PersistError> {
+    for (token, elements) in postings {
         for element in elements {
             let schema = schemas.get(element.schema.index()).ok_or_else(|| {
                 PersistError::Corrupt(format!(
@@ -543,6 +935,182 @@ mod tests {
         repo.add(SchemaBuilder::new("s").root("r").build());
         let loaded = Repository::load_snapshot(&repo.save_snapshot()).unwrap();
         assert_eq!(loaded.store().config(), repo.store().config());
+    }
+
+    /// Flip one payload byte of `id`'s section (without re-stamping the
+    /// checksum) — the canonical "damaged section" for salvage tests.
+    fn corrupt_section(bytes: &mut [u8], id: u32) {
+        let sections = read_section_table_lenient(bytes).unwrap();
+        let (s, ok) = sections.iter().find(|(s, _)| s.id == id).unwrap();
+        assert!(ok, "section {id} must start valid");
+        bytes[s.offset] ^= 0xFF;
+    }
+
+    fn assert_bitwise_rows(a: &Repository, b: &Repository, queries: &[&str]) {
+        for query in queries {
+            let (x, y) = (a.store().score_row(query), b.store().score_row(query));
+            assert_eq!(x.len(), y.len(), "{query:?}");
+            for (p, q) in x.iter().zip(y.iter()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "{query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_of_clean_snapshot_is_clean_and_identical() {
+        let repo = repository();
+        let (loaded, report) =
+            Repository::load_snapshot_report(&repo.save_snapshot(), RecoveryPolicy::Salvage)
+                .unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(loaded, repo);
+        assert_eq!(loaded.store().cached_rows(), 2);
+    }
+
+    #[test]
+    fn salvage_rebuilds_corrupt_labels_and_keeps_rows() {
+        let repo = repository();
+        let mut bytes = repo.save_snapshot();
+        corrupt_section(&mut bytes, section::LABELS);
+        assert!(matches!(
+            Repository::load_snapshot(&bytes),
+            Err(PersistError::ChecksumMismatch(section::LABELS))
+        ));
+        let (loaded, report) =
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(
+            report.events,
+            vec![SalvageEvent::LabelsRebuilt(Damage::BadChecksum)]
+        );
+        // Interner replay rebuilds the identical label list, so the
+        // cached rows survive and stay bitwise.
+        assert_eq!(loaded, repo);
+        assert_eq!(loaded.store().cached_rows(), 2);
+        assert_bitwise_rows(&repo, &loaded, &["bookTitle", "title"]);
+        assert_eq!(loaded.store().pair_evals(), 0, "rows must have survived");
+    }
+
+    #[test]
+    fn salvage_rebuilds_corrupt_tokens() {
+        let repo = repository();
+        let mut bytes = repo.save_snapshot();
+        corrupt_section(&mut bytes, section::TOKENS);
+        let (loaded, report) =
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(
+            report.events,
+            vec![SalvageEvent::TokensRebuilt(Damage::BadChecksum)]
+        );
+        assert_eq!(loaded, repo);
+    }
+
+    #[test]
+    fn salvage_drops_corrupt_rows_to_cold_store() {
+        let repo = repository();
+        let mut bytes = repo.save_snapshot();
+        corrupt_section(&mut bytes, section::ROWS);
+        let (loaded, report) =
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(
+            report.events,
+            vec![SalvageEvent::RowsDropped(Damage::BadChecksum)]
+        );
+        assert_eq!(loaded.store().cached_rows(), 0, "store restarts cold");
+        // Cold re-sweeps still produce bitwise-identical rows.
+        assert_bitwise_rows(&repo, &loaded, &["bookTitle", "title"]);
+    }
+
+    #[test]
+    fn salvage_defaults_corrupt_config() {
+        let mut repo = Repository::with_store_config(smx_repo::StoreConfig {
+            max_cached_rows: Some(3),
+            batch_threads: 2,
+        });
+        repo.add(SchemaBuilder::new("s").root("r").build());
+        let mut bytes = repo.save_snapshot();
+        corrupt_section(&mut bytes, section::CONFIG);
+        let (loaded, report) =
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(
+            report.events,
+            vec![SalvageEvent::ConfigDefaulted(Damage::BadChecksum)]
+        );
+        assert_eq!(loaded.store().config(), smx_repo::StoreConfig::default());
+    }
+
+    #[test]
+    fn salvage_still_rejects_corrupt_schemas() {
+        let repo = repository();
+        let mut bytes = repo.save_snapshot();
+        corrupt_section(&mut bytes, section::SCHEMAS);
+        assert!(matches!(
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage),
+            Err(PersistError::ChecksumMismatch(section::SCHEMAS))
+        ));
+    }
+
+    #[test]
+    fn salvage_still_rejects_bad_header() {
+        let repo = repository();
+        let mut bytes = repo.save_snapshot();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage),
+            Err(PersistError::BadMagic)
+        ));
+        let mut bytes = repo.save_snapshot();
+        bytes[8] = 99; // version
+        assert!(matches!(
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn salvage_handles_truncated_tail() {
+        // Chop the snapshot mid-payload: sections whose spans fall off
+        // the end read as damaged, sections before the cut survive.
+        let repo = repository();
+        let bytes = repo.save_snapshot();
+        let cut = &bytes[..bytes.len() - bytes.len() / 4];
+        match Repository::load_snapshot_report(cut, RecoveryPolicy::Salvage) {
+            Ok((loaded, report)) => {
+                assert!(!report.is_clean());
+                assert_bitwise_rows(&repo, &loaded, &["bookTitle", "title"]);
+            }
+            // If the cut took SCHEMAS itself, a hard error is correct.
+            Err(e) => assert!(matches!(
+                e,
+                PersistError::ChecksumMismatch(_) | PersistError::Truncated
+            )),
+        }
+    }
+
+    #[test]
+    fn atomic_save_preserves_old_snapshot_on_create_failure() {
+        use crate::fault::{Fault, FaultIo, FaultPlan};
+        use std::sync::Arc;
+        let repo = repository();
+        let path =
+            std::env::temp_dir().join(format!("smx-snap-atomic-{}.snap", std::process::id()));
+        repo.save_snapshot_file(&path).unwrap();
+        let old = std::fs::read(&path).unwrap();
+        // Every op of the save fails from the start: the snapshot on
+        // disk must be untouched.
+        let io = FaultIo::new(
+            Arc::new(RealIo),
+            FaultPlan::clean().fault_at(0, Fault::Fail),
+        );
+        let bigger = {
+            let mut r = repository();
+            r.add(SchemaBuilder::new("extra").root("extra").build());
+            r
+        };
+        assert!(bigger.save_snapshot_file_with(&io, &path).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), old, "old snapshot intact");
+        let loaded = Repository::load_snapshot_file(&path).unwrap();
+        assert_eq!(loaded, repo);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -38,39 +38,51 @@
 //! truncated off the file so later appends can't interleave with
 //! garbage. Nothing un-checksummed is ever indexed.
 //!
-//! # Growth
+//! # Growth and compaction
 //!
 //! The log is append-only and superseded records' bytes are never
-//! reclaimed. Re-evicting a row whose newest record is byte-identical
-//! (the common fault-then-evict thrash cycle under a tight bound) is
-//! deduplicated — no new record is written — so steady-state thrash
-//! over a fixed vocabulary does not grow the file. What does grow it:
-//! rows re-spilled *longer* after repository adds, and ever-fresh
-//! queries. Long-lived deployments should rotate the file at a size
-//! threshold (create a fresh `SpillFile` and swap it via
-//! `set_eviction_sink` — recompute covers the gap) until a compacting
-//! rewrite exists (ROADMAP).
+//! reclaimed in place. Re-evicting a row whose newest record is
+//! byte-identical (the common fault-then-evict thrash cycle under a
+//! tight bound) is deduplicated — no new record is written — so
+//! steady-state thrash over a fixed vocabulary does not grow the file.
+//! What does grow it: rows re-spilled *longer* after repository adds,
+//! and ever-fresh queries. [`SpillFile::compact`] reclaims the dead
+//! bytes crash-safely: the live (newest, still-verifying) records are
+//! rewritten to a sibling temp file, fsynced, and atomically renamed
+//! over the log — a crash at any point leaves either the old log or
+//! the compacted one, never neither.
 //!
 //! # Failure policy
 //!
-//! The sink is best-effort by contract: a write error marks the file
-//! poisoned (further spills are declined, so the store just recomputes
-//! — correctness never depends on the sink), and a read/checksum error
-//! on recovery returns `None` for the same reason.
+//! The sink is best-effort by contract — correctness never depends on
+//! it — but a write error no longer poisons it forever. Each failure
+//! drops the file handle and starts a deterministic cooldown
+//! ([`RetryPolicy`]): the sink declines the next
+//! `backoff_base << (failures-1)` spills (op-count backoff — no wall
+//! clock, so tests replay exactly), then re-opens the file from disk
+//! (rescanning, exactly like [`SpillFile::open`]) and tries again.
+//! Only after `max_reopens` *consecutive* failed cycles does the sink
+//! poison itself permanently; any successful write resets the cycle.
+//! [`SpillFile::reopen`] runs the same recovery by hand, and also
+//! un-poisons an exhausted sink (the operator's override). A
+//! read/checksum error on recovery returns `None` for the same
+//! best-effort reason.
 
 use crate::error::PersistError;
+use crate::io::{staging_path, PersistFile, PersistIo, RealIo};
 use crate::wire::fnv1a;
 use parking_lot::Mutex;
-use smx_repo::EvictionSink;
+use smx_repo::{EvictionSink, SinkHealth};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const SPILL_MAGIC: [u8; 8] = *b"SMXSPILL";
 const SPILL_VERSION: u32 = 1;
 /// Fixed bytes per record before the variable payload.
 const RECORD_HEADER: usize = 4 + 4 + 8 + 8;
+/// Bytes before the first record (magic + version).
+const FILE_HEADER: usize = SPILL_MAGIC.len() + 4;
 
 /// Where a query's newest spilled row lives in the file.
 struct Slot {
@@ -90,13 +102,62 @@ fn record_checksum(bytes: &[u8]) -> u64 {
     crate::wire::fnv1a_extend(fnv1a(&bytes[..8]), &bytes[16..])
 }
 
+/// How a [`SpillFile`] recovers from write errors: after each failure
+/// the sink declines `backoff_base << (consecutive_failures - 1)`
+/// spills (deterministic op-count backoff — no wall clock), then
+/// re-opens the file and retries. `max_reopens` consecutive failed
+/// cycles poison the sink permanently; any success resets the count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failed write/reopen cycles before permanent poison.
+    pub max_reopens: u32,
+    /// Declined spills after the first failure; doubles per consecutive
+    /// failure (`backoff_base << (failures - 1)`).
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_reopens: 3,
+            backoff_base: 4,
+        }
+    }
+}
+
 struct Inner {
-    file: File,
+    /// The open log, or `None` after a write error dropped the handle
+    /// (re-acquired by the retry path or [`SpillFile::reopen`]).
+    file: Option<Box<dyn PersistFile>>,
     index: HashMap<String, Slot>,
     /// Append position (== current file length).
     end: u64,
-    /// Set on the first write error; all later spills are declined.
+    /// Consecutive failed write/reopen cycles (reset by any success).
+    consecutive_failures: u32,
+    /// Spills still to decline before the next reopen/retry attempt.
+    cooldown: u64,
+    /// Retry budget exhausted; all spills declined until [`SpillFile::reopen`].
     poisoned: bool,
+    /// Write errors ever observed (monotonic).
+    write_errors: u64,
+    /// Successful reopen cycles ever completed (monotonic).
+    reopens: u64,
+}
+
+impl Inner {
+    /// Register one failed write/reopen cycle: bump counters, drop the
+    /// handle, and either arm the next cooldown or poison the sink.
+    fn note_failure(&mut self, policy: RetryPolicy) {
+        self.file = None;
+        self.consecutive_failures += 1;
+        if self.consecutive_failures > policy.max_reopens {
+            self.poisoned = true;
+        } else {
+            self.cooldown = policy
+                .backoff_base
+                .saturating_mul(1 << (self.consecutive_failures - 1).min(62));
+        }
+    }
 }
 
 /// An append-only spill log implementing [`EvictionSink`].
@@ -106,29 +167,90 @@ struct Inner {
 /// I/O never blocks row lookups.
 pub struct SpillFile {
     inner: Mutex<Inner>,
+    io: Arc<dyn PersistIo>,
+    retry: RetryPolicy,
     path: PathBuf,
+}
+
+/// Scan spill-file bytes into an index: verify the header, index every
+/// whole record that passes its checksum, and return the index plus the
+/// end of the last whole record (the torn-tail truncation point).
+fn scan_records(bytes: &[u8]) -> Result<(HashMap<String, Slot>, u64), PersistError> {
+    if bytes.len() < FILE_HEADER {
+        return Err(PersistError::Truncated);
+    }
+    if bytes[..8] != SPILL_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != SPILL_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let mut index = HashMap::new();
+    let mut pos = FILE_HEADER;
+    // Scan whole records. A checksum-failed record with intact framing
+    // is skipped (one rotten record must not take its neighbours down);
+    // a framing overrun ends the scan as a torn tail.
+    while bytes.len() - pos >= RECORD_HEADER {
+        let qlen = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let values = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let checksum = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
+        let labels_fingerprint =
+            u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().expect("8"));
+        let payload = pos + RECORD_HEADER + qlen;
+        let next = payload + values as usize * 8;
+        if next > bytes.len() {
+            break; // torn final record (or unskippable length rot)
+        }
+        if record_checksum(&bytes[pos..next]) == checksum {
+            if let Ok(query) = std::str::from_utf8(&bytes[pos + RECORD_HEADER..payload]) {
+                index.insert(
+                    query.to_owned(),
+                    Slot {
+                        record_at: pos as u64,
+                        values,
+                        checksum,
+                        labels_fingerprint,
+                    },
+                );
+            }
+        }
+        pos = next;
+    }
+    Ok((index, pos as u64))
 }
 
 impl SpillFile {
     /// Create a fresh spill file at `path`, truncating anything there.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::create_with(Arc::new(RealIo), path)
+    }
+
+    /// [`create`](Self::create) through an explicit [`PersistIo`] (the
+    /// fault-injection seam).
+    pub fn create_with(
+        io: Arc<dyn PersistIo>,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, PersistError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
-        file.write_all(&SPILL_MAGIC)?;
-        file.write_all(&SPILL_VERSION.to_le_bytes())?;
-        let end = (SPILL_MAGIC.len() + 4) as u64;
+        let mut file = io.create(&path)?;
+        let mut header = Vec::with_capacity(FILE_HEADER);
+        header.extend_from_slice(&SPILL_MAGIC);
+        header.extend_from_slice(&SPILL_VERSION.to_le_bytes());
+        file.write_all_at(0, &header)?;
         Ok(SpillFile {
             inner: Mutex::new(Inner {
-                file,
+                file: Some(file),
                 index: HashMap::new(),
-                end,
+                end: FILE_HEADER as u64,
+                consecutive_failures: 0,
+                cooldown: 0,
                 poisoned: false,
+                write_errors: 0,
+                reopens: 0,
             }),
+            io,
+            retry: RetryPolicy::default(),
             path,
         })
     }
@@ -139,69 +261,42 @@ impl SpillFile {
     /// skipped (neighbours survive); a torn final record (crash during
     /// append) is truncated off and overwritten by the next spill.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::open_with(Arc::new(RealIo), path)
+    }
+
+    /// [`open`](Self::open) through an explicit [`PersistIo`].
+    pub fn open_with(io: Arc<dyn PersistIo>, path: impl AsRef<Path>) -> Result<Self, PersistError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut file = io.open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        if bytes.len() < SPILL_MAGIC.len() + 4 {
-            return Err(PersistError::Truncated);
-        }
-        if bytes[..8] != SPILL_MAGIC {
-            return Err(PersistError::BadMagic);
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != SPILL_VERSION {
-            return Err(PersistError::UnsupportedVersion(version));
-        }
-        let mut index = HashMap::new();
-        let mut pos = SPILL_MAGIC.len() + 4;
-        // Scan whole records. A checksum-failed record with intact
-        // framing is skipped (one rotten record must not take its
-        // neighbours down); a framing overrun ends the scan as a torn
-        // tail.
-        while bytes.len() - pos >= RECORD_HEADER {
-            let qlen =
-                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let values = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let checksum = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
-            let labels_fingerprint =
-                u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().expect("8"));
-            let payload = pos + RECORD_HEADER + qlen;
-            let next = payload + values as usize * 8;
-            if next > bytes.len() {
-                break; // torn final record (or unskippable length rot)
-            }
-            if record_checksum(&bytes[pos..next]) == checksum {
-                if let Ok(query) = std::str::from_utf8(&bytes[pos + RECORD_HEADER..payload]) {
-                    index.insert(
-                        query.to_owned(),
-                        Slot {
-                            record_at: pos as u64,
-                            values,
-                            checksum,
-                            labels_fingerprint,
-                        },
-                    );
-                }
-            }
-            pos = next;
-        }
-        let end = pos as u64;
+        let (index, end) = scan_records(&bytes)?;
         // Drop the torn tail from the file, not just from the index —
         // left in place, a later append could leave residual garbage
         // past the new frontier for the *next* open to misparse as
         // records at a misaligned offset.
         file.set_len(end)?;
-        file.seek(SeekFrom::Start(end))?;
         Ok(SpillFile {
             inner: Mutex::new(Inner {
-                file,
+                file: Some(file),
                 index,
                 end,
+                consecutive_failures: 0,
+                cooldown: 0,
                 poisoned: false,
+                write_errors: 0,
+                reopens: 0,
             }),
+            io,
+            retry: RetryPolicy::default(),
             path,
         })
+    }
+
+    /// Replace the default [`RetryPolicy`] (builder-style, at setup).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The file this sink appends to.
@@ -224,9 +319,151 @@ impl SpillFile {
         self.inner.lock().end
     }
 
-    /// Whether a write error disabled further spilling.
+    /// Whether the retry budget is exhausted and spilling is disabled
+    /// (until an explicit [`reopen`](Self::reopen) succeeds).
     pub fn is_poisoned(&self) -> bool {
         self.inner.lock().poisoned
+    }
+
+    /// Whether the sink is currently declining spills — poisoned, in a
+    /// post-failure cooldown, or between a failure and a reopen.
+    pub fn is_degraded(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.poisoned || inner.cooldown > 0 || inner.file.is_none()
+    }
+
+    /// Re-open the log from disk, rescanning its records, and reset the
+    /// failure state — including a poisoned sink (the operator's
+    /// explicit override; the automatic retry path never un-poisons).
+    /// Rows whose appends were lost to the failed handle simply aren't
+    /// in the rescanned index; the store recomputes them.
+    pub fn reopen(&self) -> Result<(), PersistError> {
+        let mut inner = self.inner.lock();
+        Self::reopen_locked(&self.io, &self.path, &mut inner)?;
+        inner.poisoned = false;
+        inner.consecutive_failures = 0;
+        inner.cooldown = 0;
+        Ok(())
+    }
+
+    /// The reopen primitive: fresh handle, rescan, swap index/end.
+    /// Leaves failure bookkeeping to the caller.
+    fn reopen_locked(
+        io: &Arc<dyn PersistIo>,
+        path: &Path,
+        inner: &mut Inner,
+    ) -> Result<(), PersistError> {
+        let mut file = io.open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (index, end) = scan_records(&bytes)?;
+        file.set_len(end)?;
+        inner.file = Some(file);
+        inner.index = index;
+        inner.end = end;
+        inner.reopens += 1;
+        Ok(())
+    }
+
+    /// Reclaim the bytes of superseded and rotten records by rewriting
+    /// the live ones — newest record per query, re-verified against its
+    /// checksum — to a sibling temp file and atomically swapping it
+    /// over the log (write → fsync → rename → dir fsync).
+    ///
+    /// Crash-safe: a crash (or injected fault) at any point leaves
+    /// either the old log or the fully compacted one on disk — both
+    /// open cleanly and serve every live row. Records are rewritten in
+    /// their original file order, so a compacted log's iteration order
+    /// is deterministic. On success the handle and index point at the
+    /// compacted file; on failure after the swap already happened, the
+    /// sink degrades (handle dropped) and the retry path re-opens the
+    /// compacted file.
+    pub fn compact(&self) -> Result<(), PersistError> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let Some(file) = inner.file.as_mut() else {
+            // No live handle (mid-recovery): compacting now would race
+            // the retry path's rescan. The caller can reopen() first.
+            return Err(PersistError::Io(std::io::Error::other(
+                "spill file handle lost; reopen before compacting",
+            )));
+        };
+        // Read the live records through the existing handle, oldest
+        // offset first, re-verifying each against its indexed checksum.
+        // A record that rotted on disk since it was indexed is dropped
+        // here — compaction is exactly the moment to shed it.
+        let mut slots: Vec<(&String, &Slot)> = inner.index.iter().collect();
+        slots.sort_by_key(|(_, slot)| slot.record_at);
+        let mut compacted = Vec::with_capacity(FILE_HEADER);
+        compacted.extend_from_slice(&SPILL_MAGIC);
+        compacted.extend_from_slice(&SPILL_VERSION.to_le_bytes());
+        let mut new_index: HashMap<String, Slot> = HashMap::with_capacity(slots.len());
+        for (query, slot) in slots {
+            let len = RECORD_HEADER + query.len() + slot.values as usize * 8;
+            let mut record = vec![0u8; len];
+            if file.read_exact_at(slot.record_at, &mut record).is_err() {
+                // Unreadable record: shed it, keep compacting the rest.
+                continue;
+            }
+            if record_checksum(&record) != slot.checksum
+                || &record[RECORD_HEADER..RECORD_HEADER + query.len()] != query.as_bytes()
+            {
+                continue;
+            }
+            let record_at = compacted.len() as u64;
+            compacted.extend_from_slice(&record);
+            new_index.insert(
+                query.clone(),
+                Slot {
+                    record_at,
+                    values: slot.values,
+                    checksum: slot.checksum,
+                    labels_fingerprint: slot.labels_fingerprint,
+                },
+            );
+        }
+        // Stage + atomic swap. Any failure before the rename leaves the
+        // old log untouched (best-effort staging cleanup); failure
+        // *after* the rename leaves the compacted log in place.
+        let staging = staging_path(&self.path);
+        let staged = (|| -> Result<(), PersistError> {
+            let mut f = self.io.create(&staging)?;
+            f.write_all_at(0, &compacted)?;
+            f.sync()?;
+            drop(f);
+            self.io.rename(&staging, &self.path)?;
+            self.io.sync_parent_dir(&self.path)?;
+            Ok(())
+        })();
+        if staged.is_err() {
+            self.io.remove_file(&staging).ok();
+            return staged;
+        }
+        // The swap happened: the old handle now points at the orphaned
+        // inode, so re-open from the path. The index must describe the
+        // *compacted* layout either way; if the reopen fails, drop the
+        // handle and let the retry path re-acquire it later.
+        inner.index = new_index;
+        inner.end = compacted.len() as u64;
+        match self.io.open(&self.path) {
+            Ok(f) => inner.file = Some(f),
+            Err(_) => inner.note_failure(self.retry),
+        }
+        Ok(())
+    }
+
+    /// The sink's health as a plain snapshot (also surfaced through
+    /// [`EvictionSink::health`] into `LabelStore::health`).
+    pub fn health(&self) -> SinkHealth {
+        let inner = self.inner.lock();
+        SinkHealth {
+            poisoned: inner.poisoned,
+            degraded: inner.poisoned || inner.cooldown > 0 || inner.file.is_none(),
+            write_errors: inner.write_errors,
+            reopens: inner.reopens,
+            spilled_bytes: inner.end,
+            live_records: inner.index.len() as u64,
+        }
     }
 }
 
@@ -234,6 +471,18 @@ impl EvictionSink for SpillFile {
     fn on_evict(&self, query: &str, row: &[f64], labels_fingerprint: u64) -> bool {
         let mut inner = self.inner.lock();
         if inner.poisoned {
+            return false;
+        }
+        // Post-failure cooldown: decline deterministically many spills
+        // before spending I/O on a reopen attempt.
+        if inner.cooldown > 0 {
+            inner.cooldown -= 1;
+            return false;
+        }
+        // Handle lost to an earlier failure: this spill pays for the
+        // reopen attempt (rescan from disk), then proceeds on success.
+        if inner.file.is_none() && Self::reopen_locked(&self.io, &self.path, &mut inner).is_err() {
+            inner.note_failure(self.retry);
             return false;
         }
         let mut record = Vec::with_capacity(RECORD_HEADER + query.len() + row.len() * 8);
@@ -268,17 +517,16 @@ impl EvictionSink for SpillFile {
             }
         }
         let at = inner.end;
-        if inner
-            .file
-            .seek(SeekFrom::Start(at))
-            .and_then(|_| inner.file.write_all(&record))
-            .is_err()
-        {
-            // Half-written tail is tolerated by open(); decline this and
-            // every later spill rather than risk compounding the damage.
-            inner.poisoned = true;
+        let file = inner.file.as_mut().expect("handle ensured above");
+        if file.write_all_at(at, &record).is_err() {
+            // Half-written tail is tolerated by open()/reopen(); drop
+            // the handle and enter the cooldown-then-reopen cycle
+            // rather than risk compounding the damage on a dead handle.
+            inner.write_errors += 1;
+            inner.note_failure(self.retry);
             return false;
         }
+        inner.consecutive_failures = 0;
         inner.end += record.len() as u64;
         inner.index.insert(
             query.to_owned(),
@@ -305,14 +553,17 @@ impl EvictionSink for SpillFile {
         };
         // Read and re-verify the *whole* record — the checksum covers
         // lengths, fingerprint, and query text too, so rot anywhere in
-        // it (not just the row bytes) fails the recovery.
+        // it (not just the row bytes) fails the recovery. Recovery is
+        // read-only, so a lost write handle doesn't gate it — but with
+        // no handle at all there is nothing to read from (the retry
+        // path will rebuild the index on reopen anyway).
         let len = RECORD_HEADER + query.len() + values * 8;
         let mut record = vec![0u8; len];
-        inner.file.seek(SeekFrom::Start(record_at)).ok()?;
-        inner.file.read_exact(&mut record).ok()?;
-        // Restore the append position for the next on_evict.
-        let end = inner.end;
-        inner.file.seek(SeekFrom::Start(end)).ok()?;
+        inner
+            .file
+            .as_mut()?
+            .read_exact_at(record_at, &mut record)
+            .ok()?;
         if record_checksum(&record) != checksum
             || &record[RECORD_HEADER..RECORD_HEADER + query.len()] != query.as_bytes()
         {
@@ -328,6 +579,10 @@ impl EvictionSink for SpillFile {
             .collect();
         Some((row, labels_fingerprint))
     }
+
+    fn health(&self) -> Option<SinkHealth> {
+        Some(SpillFile::health(self))
+    }
 }
 
 impl std::fmt::Debug for SpillFile {
@@ -338,6 +593,8 @@ impl std::fmt::Debug for SpillFile {
             .field("rows", &inner.index.len())
             .field("bytes", &inner.end)
             .field("poisoned", &inner.poisoned)
+            .field("write_errors", &inner.write_errors)
+            .field("reopens", &inner.reopens)
             .finish()
     }
 }
@@ -345,6 +602,9 @@ impl std::fmt::Debug for SpillFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultIo, FaultPlan};
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn temp_path(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("smx-spill-{}-{tag}.bin", std::process::id()))
@@ -483,10 +743,12 @@ mod tests {
         {
             let mut inner = spill.inner.lock();
             let offset = inner.index["q"].record_at + (RECORD_HEADER + "q".len()) as u64;
-            inner.file.seek(SeekFrom::Start(offset)).unwrap();
-            inner.file.write_all(&[0xAB]).unwrap();
-            let end = inner.end;
-            inner.file.seek(SeekFrom::Start(end)).unwrap();
+            inner
+                .file
+                .as_mut()
+                .unwrap()
+                .write_all_at(offset, &[0xAB])
+                .unwrap();
         }
         assert!(
             spill.recover("q").is_none(),
@@ -568,6 +830,168 @@ mod tests {
         assert!(spill.recover("first").is_none());
         assert_eq!(spill.recover("second").unwrap(), (vec![2.0, 2.5], 2));
         assert_eq!(spill.recover("third").unwrap(), (vec![3.0], 3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_error_degrades_then_recovers_instead_of_poisoning() {
+        let path = temp_path("retry");
+        // Op layout: create=0, header write=1; the first eviction's
+        // record write is op 2 — fail exactly that one.
+        let io = Arc::new(FaultIo::new(
+            Arc::new(RealIo),
+            FaultPlan::clean().fault_at(2, Fault::Fail),
+        ));
+        let spill = SpillFile::create_with(io, &path)
+            .unwrap()
+            .with_retry_policy(RetryPolicy {
+                max_reopens: 3,
+                backoff_base: 2,
+            });
+        assert!(!spill.on_evict("q", &[1.0], 7), "injected write fails");
+        assert!(spill.is_degraded());
+        assert!(!spill.is_poisoned(), "one failure must not poison");
+        let health = SpillFile::health(&spill);
+        assert_eq!(health.write_errors, 1);
+        // Cooldown: backoff_base spills declined without touching disk.
+        assert!(!spill.on_evict("q", &[1.0], 7));
+        assert!(!spill.on_evict("q", &[1.0], 7));
+        // Next spill pays for the reopen and succeeds.
+        assert!(spill.on_evict("q", &[1.0], 7), "reopen + retry succeeds");
+        assert!(!spill.is_degraded());
+        assert_eq!(spill.recover("q").unwrap(), (vec![1.0], 7));
+        let health = SpillFile::health(&spill);
+        assert_eq!(health.reopens, 1);
+        assert!(!health.poisoned && !health.degraded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exhausted_retry_budget_poisons_until_explicit_reopen() {
+        let path = temp_path("poison");
+        // Crash the backing io permanently from the first record write.
+        let io = Arc::new(FaultIo::new(
+            Arc::new(RealIo),
+            FaultPlan::clean().crash_at_op(2),
+        ));
+        let spill = SpillFile::create_with(io, &path)
+            .unwrap()
+            .with_retry_policy(RetryPolicy {
+                max_reopens: 2,
+                backoff_base: 1,
+            });
+        // Drive evictions until the budget exhausts. Each failure costs
+        // one attempt + backoff_base<<k declined spills.
+        for _ in 0..64 {
+            spill.on_evict("q", &[1.0], 7);
+        }
+        assert!(spill.is_poisoned(), "budget exhausted must poison");
+        assert!(!spill.on_evict("q", &[1.0], 7));
+        // The file on disk is still a valid (empty) spill log; an
+        // explicit reopen through a healthy io would recover it — but
+        // this sink's io is dead forever, so reopen itself fails and
+        // the sink stays poisoned.
+        assert!(spill.reopen().is_err());
+        assert!(spill.is_poisoned());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explicit_reopen_unpoisons_a_recovered_sink() {
+        let path = temp_path("unpoison");
+        // Healthy io, but poison the sink artificially by exhausting a
+        // zero-budget policy against one injected failure.
+        let io = Arc::new(FaultIo::new(
+            Arc::new(RealIo),
+            FaultPlan::clean().fault_at(2, Fault::Fail),
+        ));
+        let spill = SpillFile::create_with(io, &path)
+            .unwrap()
+            .with_retry_policy(RetryPolicy {
+                max_reopens: 0,
+                backoff_base: 1,
+            });
+        assert!(!spill.on_evict("q", &[1.0], 7));
+        assert!(spill.is_poisoned(), "zero budget poisons on first error");
+        spill.reopen().expect("healthy io reopens");
+        assert!(!spill.is_poisoned());
+        assert!(spill.on_evict("q", &[1.0], 7));
+        assert_eq!(spill.recover("q").unwrap(), (vec![1.0], 7));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_reclaims_superseded_records_bitwise() {
+        let path = temp_path("compact");
+        let spill = SpillFile::create(&path).unwrap();
+        let nan_row = vec![f64::NAN, -0.0, 1.0 / 3.0];
+        spill.on_evict("a", &[1.0], 1);
+        spill.on_evict("b", &nan_row, 2);
+        spill.on_evict("a", &[1.0, 2.0], 3); // supersedes the first "a"
+        spill.on_evict("c", &[4.0], 4);
+        let before = spill.spilled_bytes();
+        spill.compact().unwrap();
+        assert!(spill.spilled_bytes() < before, "dead bytes reclaimed");
+        assert_eq!(spill.len(), 3);
+        // Every live row survives bitwise, through the live handle…
+        let (b_row, fp) = spill.recover("b").unwrap();
+        assert_eq!(fp, 2);
+        for (x, y) in nan_row.iter().zip(&b_row) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(spill.recover("a").unwrap(), (vec![1.0, 2.0], 3));
+        assert_eq!(spill.recover("c").unwrap(), (vec![4.0], 4));
+        // …and appends keep working on the compacted file…
+        assert!(spill.on_evict("d", &[5.0], 5));
+        drop(spill);
+        // …and a fresh open of the compacted file sees everything.
+        let spill = SpillFile::open(&path).unwrap();
+        assert_eq!(spill.len(), 4);
+        assert_eq!(spill.recover("a").unwrap(), (vec![1.0, 2.0], 3));
+        assert_eq!(spill.recover("d").unwrap(), (vec![5.0], 5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_compaction_leaves_the_old_log_intact() {
+        let path = temp_path("compact-fail");
+        {
+            let spill = SpillFile::create(&path).unwrap();
+            spill.on_evict("a", &[1.0], 1);
+            spill.on_evict("a", &[1.0, 2.0], 2);
+            spill.on_evict("b", &[3.0], 3);
+        }
+        let before = std::fs::read(&path).unwrap();
+        // Reopen through an io that crashes at the staging create (the
+        // first io-level op after open+read+set_len = ops 0,1,2).
+        let io = Arc::new(FaultIo::new(
+            Arc::new(RealIo),
+            FaultPlan::clean().crash_at_op(3),
+        ));
+        let spill = SpillFile::open_with(io, &path).unwrap();
+        assert!(spill.compact().is_err());
+        drop(spill);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            before,
+            "failed compaction must not touch the log"
+        );
+        let spill = SpillFile::open(&path).unwrap();
+        assert_eq!(spill.recover("a").unwrap(), (vec![1.0, 2.0], 2));
+        assert_eq!(spill.recover("b").unwrap(), (vec![3.0], 3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sink_health_is_visible_through_the_trait() {
+        let path = temp_path("health");
+        let spill = SpillFile::create(&path).unwrap();
+        spill.on_evict("q", &[1.0, 2.0], 9);
+        let sink: &dyn EvictionSink = &spill;
+        let health = sink.health().expect("spill files report health");
+        assert!(!health.poisoned && !health.degraded);
+        assert_eq!(health.live_records, 1);
+        assert_eq!(health.spilled_bytes, spill.spilled_bytes());
         std::fs::remove_file(&path).ok();
     }
 }

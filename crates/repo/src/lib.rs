@@ -40,4 +40,6 @@ pub use fragment::{fragments_for_clusters, Fragment};
 pub use index::TokenIndex;
 pub use intern::{LabelId, LabelInterner};
 pub use repository::{ElementRef, Repository, SchemaId};
-pub use store::{EvictionSink, LabelStore, StoreConfig, StoreCounters, StoreState};
+pub use store::{
+    EvictionSink, HealthReport, LabelStore, SinkHealth, StoreConfig, StoreCounters, StoreState,
+};

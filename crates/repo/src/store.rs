@@ -166,6 +166,69 @@ pub trait EvictionSink: Send + Sync {
     /// on any read/integrity failure — the store falls back to
     /// recomputing, which is always correct.
     fn recover(&self, query: &str) -> Option<(Vec<f64>, u64)>;
+
+    /// The sink's current health, if it tracks one. The default is
+    /// `None` (an opaque sink); `smx-persist`'s spill file reports its
+    /// degradation state here, which [`LabelStore::health`] folds into
+    /// the store-level [`HealthReport`].
+    fn health(&self) -> Option<SinkHealth> {
+        None
+    }
+}
+
+/// Health of an [`EvictionSink`], as self-reported by the sink.
+///
+/// `degraded` means the sink is temporarily declining spills (it is
+/// between a write failure and a successful reopen/retry); `poisoned`
+/// means its retry budget is exhausted and it will never accept again.
+/// Neither affects correctness — the store recomputes whatever the sink
+/// declines — but both mean recompute work the sink was installed to
+/// avoid, which is why they are surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkHealth {
+    /// Retry budget exhausted: the sink permanently declines spills.
+    pub poisoned: bool,
+    /// Temporarily declining spills (cooling down or awaiting reopen).
+    pub degraded: bool,
+    /// Write errors ever observed.
+    pub write_errors: u64,
+    /// Successful reopen/recovery cycles after write errors.
+    pub reopens: u64,
+    /// Bytes in the sink's backing log (including superseded records).
+    pub spilled_bytes: u64,
+    /// Distinct queries the sink currently holds a recoverable row for.
+    pub live_records: u64,
+}
+
+/// One consolidated health/degradation view of a [`LabelStore`],
+/// returned by [`LabelStore::health`]: the installed sink's self-report
+/// (if any), the salvage events recorded when the store was loaded from
+/// a damaged snapshot, and the work counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Health of the installed [`EvictionSink`] — `None` when no sink
+    /// is installed or the sink doesn't report health.
+    pub sink: Option<SinkHealth>,
+    /// Salvage events recorded against this store (damaged snapshot
+    /// sections that were rebuilt or dropped at load time).
+    pub salvage_events: u64,
+    /// Cached score rows currently in memory.
+    pub cached_rows: usize,
+    /// The store's work counters (see [`StoreCounters`]).
+    pub counters: StoreCounters,
+}
+
+impl HealthReport {
+    /// Whether nothing is degraded: no salvaged load, no spill
+    /// failures, and the sink (if reporting) neither degraded nor
+    /// poisoned.
+    pub fn is_healthy(&self) -> bool {
+        self.salvage_events == 0
+            && self.counters.row_spill_failures == 0
+            && self
+                .sink
+                .is_none_or(|s| !s.poisoned && !s.degraded && s.write_errors == 0)
+    }
 }
 
 /// Plain-data image of a [`LabelStore`]'s hot state, produced by
@@ -228,6 +291,10 @@ pub struct StoreCounters {
     /// Missed rows served (fully or as a reusable prefix) from the
     /// eviction sink instead of being recomputed from scratch.
     pub row_spill_recoveries: u64,
+    /// Evicted rows the installed sink *declined* (degraded or poisoned
+    /// sink, write error, retry cooldown). Each one is warm state lost
+    /// to future recompute; 0 without a sink.
+    pub row_spill_failures: u64,
 }
 
 /// One cached score row plus its recency stamp. The stamp is atomic so
@@ -286,6 +353,10 @@ pub struct LabelStore {
     row_evictions: AtomicU64,
     row_spills: AtomicU64,
     row_spill_recoveries: AtomicU64,
+    row_spill_failures: AtomicU64,
+    /// Salvage events recorded when this store was loaded from a
+    /// damaged snapshot (see `smx-persist`'s `RecoveryPolicy::Salvage`).
+    salvage_events: AtomicU64,
 }
 
 /// A query the current `score_rows` call must sweep: its first-seen text,
@@ -324,6 +395,8 @@ impl LabelStore {
             row_evictions: AtomicU64::new(0),
             row_spills: AtomicU64::new(0),
             row_spill_recoveries: AtomicU64::new(0),
+            row_spill_failures: AtomicU64::new(0),
+            salvage_events: AtomicU64::new(0),
         }
     }
 
@@ -719,6 +792,8 @@ impl LabelStore {
             })
             .count();
         self.row_spills.fetch_add(spilled as u64, Relaxed);
+        self.row_spill_failures
+            .fetch_add((victims.len() - spilled) as u64, Relaxed);
     }
 
     /// Number of query labels with a cached score row.
@@ -757,7 +832,36 @@ impl LabelStore {
             row_evictions: self.row_evictions.load(Relaxed),
             row_spills: self.row_spills.load(Relaxed),
             row_spill_recoveries: self.row_spill_recoveries.load(Relaxed),
+            row_spill_failures: self.row_spill_failures.load(Relaxed),
         }
+    }
+
+    /// One consolidated health/degradation view: the installed sink's
+    /// self-reported [`SinkHealth`], the salvage events recorded at
+    /// load time, the in-memory row count, and the work counters.
+    /// Everything in it is observational — a degraded report means lost
+    /// amortisation, never wrong answers.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            sink: self.sink.read().as_ref().and_then(|s| s.health()),
+            salvage_events: self.salvage_events.load(Relaxed),
+            cached_rows: self.cached_rows(),
+            counters: self.counters(),
+        }
+    }
+
+    /// Record `n` snapshot-salvage events against this store.
+    /// `smx-persist` calls this after a `Salvage` load rebuilt or
+    /// dropped damaged sections, so [`health`](Self::health) reflects
+    /// that this store's warm state was degraded at load time.
+    pub fn record_salvage_events(&self, n: u64) {
+        self.salvage_events.fetch_add(n, Relaxed);
+    }
+
+    /// Salvage events recorded against this store (see
+    /// [`record_salvage_events`](Self::record_salvage_events)).
+    pub fn salvage_events(&self) -> u64 {
+        self.salvage_events.load(Relaxed)
     }
 
     /// Snapshot the store's hot state — interned labels, per-schema
@@ -878,6 +982,8 @@ impl LabelStore {
             row_evictions: AtomicU64::new(0),
             row_spills: AtomicU64::new(0),
             row_spill_recoveries: AtomicU64::new(0),
+            row_spill_failures: AtomicU64::new(0),
+            salvage_events: AtomicU64::new(0),
         }
     }
 
@@ -925,6 +1031,8 @@ impl Clone for LabelStore {
             row_evictions: AtomicU64::new(self.row_evictions.load(Relaxed)),
             row_spills: AtomicU64::new(self.row_spills.load(Relaxed)),
             row_spill_recoveries: AtomicU64::new(self.row_spill_recoveries.load(Relaxed)),
+            row_spill_failures: AtomicU64::new(self.row_spill_failures.load(Relaxed)),
+            salvage_events: AtomicU64::new(self.salvage_events.load(Relaxed)),
         }
     }
 }

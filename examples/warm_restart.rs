@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example warm_restart`
 
 use smx::matching::{ExhaustiveMatcher, MappingRegistry, MatchProblem, Matcher};
-use smx::persist::{Snapshot, SpillFile};
+use smx::persist::{RealIo, RecoveryPolicy, Snapshot, SpillFile};
 use smx::repo::Repository;
 use smx::synth::{Scenario, ScenarioConfig};
 use std::sync::Arc;
@@ -115,7 +115,66 @@ fn main() {
         c.row_spill_recoveries
     );
 
+    // 5. Salvage restart: a snapshot whose ROWS section rotted on disk.
+    //    Strict loading refuses it; the Salvage policy degrades — the
+    //    damaged section's state is rebuilt or dropped, the report says
+    //    exactly what happened, and serving continues (the dropped rows
+    //    cost one recompute each, never a wrong answer).
+    let mut rotten = std::fs::read(&path).expect("snapshot bytes");
+    let rows_at = find_section_payload(&rotten, smx::persist::section::ROWS);
+    rotten[rows_at] ^= 0x08; // one flipped bit, as disks do
+    std::fs::write(&path, &rotten).expect("write the rotten snapshot");
+    assert!(
+        Repository::load_snapshot_file(&path).is_err(),
+        "strict load must refuse a rotten section"
+    );
+    let (salvaged, report) =
+        Repository::load_snapshot_file_with(&RealIo, &path, RecoveryPolicy::Salvage)
+            .expect("salvage load succeeds");
+    println!("salvage: {report}");
+    let health = salvaged.store().health();
+    assert!(!report.is_clean(), "the damage must be reported");
+    assert_eq!(health.salvage_events, 1, "health must expose the salvage");
+    // The salvaged repository answers bitwise-identically — it just has
+    // to recompute the rows the rotten section lost.
+    let degraded_problem = MatchProblem::new(sc.personal.clone(), salvaged.clone())
+        .expect("non-empty personal schema");
+    let degraded = matcher.run(&degraded_problem, 0.4, &registry);
+    assert_eq!(
+        degraded.len(),
+        before.len(),
+        "salvaged answer count diverged"
+    );
+    for (a, b) in before.answers().iter().zip(degraded.answers()) {
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "salvaged answer scores diverged"
+        );
+    }
+    println!(
+        "salvage: answers bitwise-identical after degraded restart ({} rows recomputed)",
+        salvaged.store().cached_rows()
+    );
+
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(&spill_path).ok();
     println!("warm restart: OK");
+}
+
+/// Locate a section's payload offset via the snapshot's on-disk table
+/// (magic + version + count, then 28-byte `{id, offset, len, checksum}`
+/// entries) so the demo can rot a real byte of it.
+fn find_section_payload(bytes: &[u8], id: u32) -> usize {
+    let table_at = smx::persist::MAGIC.len() + 8;
+    let count = u32::from_le_bytes(bytes[table_at - 4..table_at].try_into().unwrap()) as usize;
+    for i in 0..count {
+        let entry = table_at + i * 28;
+        if u32::from_le_bytes(bytes[entry..entry + 4].try_into().unwrap()) == id {
+            let offset = u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap());
+            let len = u64::from_le_bytes(bytes[entry + 12..entry + 20].try_into().unwrap());
+            return offset as usize + len as usize / 2;
+        }
+    }
+    panic!("section {id} missing from the snapshot");
 }

@@ -117,12 +117,15 @@ else:
     # re-scoring through the scalar string path by a wide margin and
     # the forced-scalar kernel tier by a clear one (a broken dispatch
     # collapses both to ~1x), snapshot load must stay >= 3x a cold
-    # rebuild, and the batch fill must stay measurably ahead of
-    # sequential serving.
+    # rebuild, a *salvage* load of a rows-rotten snapshot must still
+    # clearly beat that cold rebuild (graceful degradation has to stay
+    # cheaper than starting over), and the batch fill must stay
+    # measurably ahead of sequential serving.
     FLOORS = {
         "kernel_reference_over_active": 4.0,
         "kernel_scalar_over_active": 1.25,
         "snapshot_cold_over_load": 3.0,
+        "salvage_cold_over_load": 1.5,
         "batch_sequential_over_batch": 1.2,
     }
     c_rel = committed.get("relative")

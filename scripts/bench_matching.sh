@@ -46,6 +46,7 @@ batch_match = entries.get("s1_batch_vs_sequential/batch")
 seq_match = entries.get("s1_batch_vs_sequential/sequential")
 restart_cold = entries.get("restart/cold_rebuild")
 restart_load = entries.get("restart/snapshot_load")
+restart_salvage = entries.get("restart/salvage_load")
 kernel_ref = entries.get("row_kernel/reference")
 kernel_scalar = entries.get("row_kernel/scalar")
 kernel_active = entries.get("row_kernel/active")
@@ -102,10 +103,17 @@ doc = {
     # replay + re-sweeping the 32-schema batch vocabulary) vs loading
     # the smx-persist snapshot of the same warm state. Acceptance:
     # snapshot_load at least 3x faster than cold_rebuild.
+    # salvage_load is the degraded restart: the snapshot's ROWS section
+    # is deliberately rotten, so the Salvage policy drops the cached
+    # rows and rebuilds the rest. It must stay well below cold_rebuild
+    # (that is the whole point of graceful degradation) — the guarded
+    # floor is relative.salvage_cold_over_load.
     "restart": {
         "cold_rebuild_ns": restart_cold,
         "snapshot_load_ns": restart_load,
         "snapshot_speedup_x": ratio(restart_cold, restart_load),
+        "salvage_load_ns": restart_salvage,
+        "salvage_speedup_x": ratio(restart_cold, restart_salvage),
     },
     # The vectorised row-kernel dispatch split: the scalar NameSimilarity
     # reference path vs the kernel pinned to the scalar tier vs the
@@ -125,6 +133,7 @@ doc = {
         "kernel_reference_over_active": ratio(kernel_ref, kernel_active),
         "kernel_scalar_over_active": ratio(kernel_scalar, kernel_active),
         "snapshot_cold_over_load": ratio(restart_cold, restart_load),
+        "salvage_cold_over_load": ratio(restart_cold, restart_salvage),
         "batch_sequential_over_batch": ratio(seq_fill, batch_fill),
     },
 }

@@ -14,9 +14,17 @@
 #   5. benches compile (`cargo bench --no-run`) so perf regressions can
 #      always be measured
 #   6. snapshot round-trip smoke check: examples/warm_restart saves a
-#      snapshot, loads it, and asserts the loaded repository matches
-#      bitwise (it exits non-zero on any divergence)
-#   7. bench-regression guard (scripts/bench_guard.sh): a fresh
+#      snapshot, loads it, asserts the loaded repository matches
+#      bitwise, and salvage-loads a deliberately rotten snapshot (it
+#      exits non-zero on any divergence)
+#   7. fault-injection suites, run explicitly and named in the output:
+#      the crash matrix (a simulated crash at every I/O op and write
+#      byte of a snapshot save / spill compaction leaves old-or-new,
+#      never a hybrid), the chaos gate (randomized fault plans never
+#      change any matcher's answers), and the spill-compaction
+#      properties. They also run inside step 3; this step exists so a
+#      durability regression is named as such, not buried in the suite.
+#   8. bench-regression guard (scripts/bench_guard.sh): a fresh
 #      scripts/bench_matching.sh run compared against the committed
 #      BENCH_matching.json with a +25% budget.
 #
@@ -43,25 +51,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/7] cargo fmt --all --check"
+echo "== [1/8] cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "== [2/7] cargo build --release"
+echo "== [2/8] cargo build --release"
 cargo build --release
 
-echo "== [3/7] cargo test -q"
+echo "== [3/8] cargo test -q"
 cargo test -q
 
-echo "== [4/7] cargo clippy --all-targets -- -D warnings"
+echo "== [4/8] cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== [5/7] cargo bench --no-run"
+echo "== [5/8] cargo bench --no-run"
 cargo bench -p smx-bench --no-run
 
-echo "== [6/7] snapshot round-trip smoke (examples/warm_restart)"
+echo "== [6/8] snapshot round-trip smoke (examples/warm_restart)"
 cargo run --release --example warm_restart >/dev/null
 
-echo "== [7/7] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
+echo "== [7/8] fault-injection suites (crash matrix, chaos, spill compaction)"
+cargo test -p smx-persist --test crash_matrix --test chaos --test spill_compaction -q
+
+echo "== [8/8] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
 scripts/bench_guard.sh
 
 echo "verify: OK"
