@@ -33,6 +33,14 @@
 //! different order, so only ids may differ there; resolved mappings
 //! and scores still match bitwise.
 //!
+//! The candidate tier composes freely with batching: wrap the inner
+//! matcher in a [`CertifiedMatcher`](crate::certified::CertifiedMatcher)
+//! (or restrict each problem via
+//! [`MatchProblem::with_candidates`] before dispatch). Restricted
+//! fills go through the store's subset sweep, which shares the same
+//! cached rows the batched prefill populates — per-pair values are
+//! identical either way, so the identity contract is unaffected.
+//!
 //! # Memory pressure: pinned rows and batch-aware admission
 //!
 //! A store LRU bound below the batch's distinct label count used to

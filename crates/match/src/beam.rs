@@ -49,7 +49,7 @@ impl Matcher for BeamMatcher {
         let mut found: Vec<(AnswerId, f64)> = Vec::new();
         for (sid, schema) in problem.repository().iter() {
             let n = schema.len();
-            if n < k {
+            if n < k || !problem.is_active(sid) {
                 continue;
             }
             let table = matrix.table(sid);

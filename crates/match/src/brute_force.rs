@@ -59,6 +59,9 @@ impl Matcher for BruteForceMatcher {
         };
         let mut found: Vec<(smx_eval::AnswerId, f64)> = Vec::new();
         for (sid, schema) in problem.repository().iter() {
+            if !problem.is_active(sid) {
+                continue;
+            }
             let nodes: Vec<NodeId> = schema.node_ids().collect();
             if nodes.len() < k {
                 continue;

@@ -1,0 +1,578 @@
+//! Candidate generation: the inverted-index filter tier in front of the
+//! matchers.
+//!
+//! An exhaustive run scores every repository schema; for a large
+//! repository most of them provably cannot contain a single answer at
+//! the query's threshold. [`CandidateGenerator`] proves that *before*
+//! any exact scoring happens, from the store's
+//! [`FilterIndex`](smx_repo::FilterIndex) alone:
+//!
+//! 1. per distinct personal label, an **admissible upper bound** on the
+//!    name similarity against every repository label
+//!    ([`LabelStore::similarity_upper_bounds`](smx_repo::LabelStore::similarity_upper_bounds))
+//!    is turned into a lower bound on the node cost —
+//!    `cost ≥ blend(max(0, 1 − sim_ub), 0)`, since the type distance
+//!    and every edge penalty are non-negative and
+//!    [`ObjectiveFunction::blend`] is monotone in both arguments;
+//! 2. per repository schema, summing each personal level's *minimum*
+//!    node-cost lower bound gives a lower bound on **every** mapping's
+//!    un-normalised cost. If it exceeds the threshold budget
+//!    `δ_max · denom`, the schema is **certified empty** — pruning it
+//!    loses no answer, by construction;
+//! 3. schemas that cannot be certified empty are either kept *active*
+//!    (scored exactly, so their answers are bitwise identical to the
+//!    exhaustive oracle's) or — under an explicit
+//!    [`CandidateConfig::budget`] — pruned with an admissible **cap**
+//!    on how many answers they could have contained: per level, the
+//!    count of schema nodes whose cost lower bound fits the budget
+//!    left by the other levels' minima, multiplied across levels.
+//!
+//! The caps are what makes non-exhaustiveness *certifiable*: S1's
+//! answer set on the pruned schemas has at most `Σ caps` members, so
+//! `|A| / (|A| + Σ caps)` lower-bounds both the answer-size ratio
+//! `Â = |A_S2|/|A_S1|` and the recall of the candidate run relative to
+//! the exhaustive one — the paper's bounds machinery (`smx-core`) runs
+//! on exactly that ratio. With the default auto budget only
+//! certified-empty schemas are pruned, the cap sum is zero, and the
+//! certificate collapses to recall 1 at full speedup.
+
+use crate::objective::ObjectiveFunction;
+use crate::problem::MatchProblem;
+use smx_repo::{LabelId, QueryFilter, SchemaId, BOUND_EPS};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Float-order slack added to the threshold budget before any prune
+/// decision: a schema is only certified empty when its cost lower bound
+/// clears the budget by more than the worst accumulated rounding error
+/// of a real scoring run. Deliberately much wider than the `1e-12`
+/// comparison slack the matchers use.
+pub const CERT_SLACK: f64 = 1e-6;
+
+/// How the generator chooses which non-certified schemas stay active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CandidateConfig {
+    /// `None` (auto): keep **every** schema that cannot be certified
+    /// empty — certified recall 1.0, the headline mode. `Some(b)`: keep
+    /// the `b` most promising schemas (smallest cost lower bound) and
+    /// cap the rest; `Some(0)` prunes everything and certifies only
+    /// what the caps allow.
+    pub budget: Option<usize>,
+}
+
+/// The filter tier: turns a [`MatchProblem`] and a threshold into a
+/// [`CandidateSet`].
+#[derive(Debug, Clone, Default)]
+pub struct CandidateGenerator {
+    objective: ObjectiveFunction,
+    config: CandidateConfig,
+}
+
+/// Per-schema verdict, kept internal to generation.
+struct Verdict {
+    sid: SchemaId,
+    /// Lower bound on any mapping's un-normalised cost in this schema.
+    total_lb: f64,
+    /// Admissible cap on the schema's answer count if pruned.
+    cap: f64,
+}
+
+impl CandidateGenerator {
+    /// Build with the shared objective (its weights shape the cost
+    /// lower bounds) and a selection config.
+    pub fn new(objective: ObjectiveFunction, config: CandidateConfig) -> Self {
+        CandidateGenerator { objective, config }
+    }
+
+    /// Auto-budget generator: prunes only certified-empty schemas, so
+    /// the resulting certificate is always recall 1.0.
+    pub fn auto(objective: ObjectiveFunction) -> Self {
+        CandidateGenerator::new(objective, CandidateConfig::default())
+    }
+
+    /// The selection config.
+    pub fn config(&self) -> CandidateConfig {
+        self.config
+    }
+
+    /// The shared objective.
+    pub fn objective(&self) -> &ObjectiveFunction {
+        &self.objective
+    }
+
+    /// Generate the candidate set for `problem` at threshold
+    /// `delta_max`: which schemas a restricted run must score, and an
+    /// admissible cap on the answers the pruned ones could hold.
+    pub fn generate(&self, problem: &MatchProblem, delta_max: f64) -> CandidateSet {
+        let repo = problem.repository();
+        let store = repo.store();
+        let k = problem.personal_size();
+        let denom =
+            k as f64 + problem.personal_edges() as f64 * self.objective.config().structure_weight;
+        // The same un-normalised budget the exhaustive matcher prunes
+        // against, widened by CERT_SLACK so certification is strictly
+        // more conservative than search.
+        let budget = delta_max * denom + 1e-12 + CERT_SLACK;
+
+        // One cost-lower-bound lane per distinct personal label, from
+        // the store's *cheap* similarity pass (token-set lane capped at
+        // 1.0): every entry is an admissible but weaker lower bound.
+        // `refined[d][l]` tracks which entries were promoted to full
+        // precision — the generator only pays the expensive token-set
+        // bound for labels whose value can actually influence a prune
+        // decision.
+        let to_lb = |ub: f64| {
+            let nd_lb = (1.0 - ub).max(0.0);
+            // blend(nd, td) is monotone and td ≥ 0, so this
+            // lower-bounds the true node cost; BOUND_EPS absorbs the
+            // blend's own rounding.
+            (self.objective.blend(nd_lb, 0.0) - BOUND_EPS).max(0.0)
+        };
+        let personal = problem.personal();
+        let names = problem.distinct_personal_labels();
+        let n_labels = store.len();
+        let mut filters: Vec<QueryFilter> = Vec::with_capacity(names.len());
+        let mut bounds: Vec<Vec<f64>> = Vec::with_capacity(names.len());
+        let mut tris: Vec<Vec<u32>> = Vec::with_capacity(names.len());
+        let mut refined: Vec<Vec<bool>> = Vec::with_capacity(names.len());
+        let mut sim_ub: Vec<f64> = Vec::new();
+        for name in &names {
+            let filter = QueryFilter::new(name);
+            let mut tri = Vec::new();
+            store.similarity_upper_bounds_cheap(&filter, &mut sim_ub, &mut tri);
+            bounds.push(sim_ub.iter().map(|&ub| to_lb(ub)).collect());
+            tris.push(tri);
+            refined.push(vec![false; n_labels]);
+            filters.push(filter);
+        }
+        let row_of: HashMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| (name, i))
+            .collect();
+        let level_lane: Vec<usize> = problem
+            .personal_order()
+            .iter()
+            .map(|&pid| row_of[personal.node(pid).name.as_str()])
+            .collect();
+        // Levels sharing a personal label share a lane; group them so
+        // each lane's postings are walked once.
+        let mut lane_levels: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        for (level, &d) in level_lane.iter().enumerate() {
+            lane_levels[d].push(level);
+        }
+
+        // Two-phase inverted sweep.
+        //
+        // Phase 1 (coarse): one slot per (schema, lane), initialised to
+        // a `clamp` and lowered by walking the label→schema postings of
+        // only the labels the filter index bounded *below* the clamp.
+        // Clamping any slot at `c ≤` its true per-lane minimum keeps the
+        // slot an under-estimate, so a schema whose clamped total
+        // already exceeds the budget is certified empty exactly as the
+        // full scan would certify it. The clamp is chosen just above
+        // `budget / k`, the smallest value at which an all-clamped
+        // schema still certifies — that way the walk touches only
+        // near-match labels (strong similarity upper bounds), not every
+        // label that merely shares a character with the query.
+        //
+        // Phase 2 (per-schema): the few schemas phase 1 cannot certify
+        // get per-level minima recomputed from the bound lanes as they
+        // stand — cheap entries where the filter ruled the label out,
+        // walk-promoted full-precision entries where it could not. Every
+        // entry is an admissible cost lower bound either way, so minima,
+        // totals and caps built from them certify conservatively; no
+        // further refinement is needed for *correctness*, and in auto
+        // mode (every survivor scored, caps unused) none is done —
+        // that keeps the generator off the expensive token-set bound
+        // for the survivors' vocabularies. An explicit budget is
+        // different: it ranks survivors by `total_lb` and turns the
+        // pruned ones into answer caps, so there the survivors' lanes
+        // are promoted to full precision first — loose caps would make
+        // the certificate admissible but vacuous.
+        let n_schemas = repo.len();
+        let n_lanes = bounds.len();
+        let floor = (self.objective.blend(1.0 - BOUND_EPS, 0.0) - BOUND_EPS).max(0.0);
+        let clamp = floor.min(1.05 * budget / k as f64);
+        let mut lanelb = vec![clamp; n_schemas * n_lanes];
+        for d in 0..n_lanes {
+            for idx in 0..n_labels {
+                if bounds[d][idx] >= clamp {
+                    continue;
+                }
+                let lid = LabelId(idx as u32);
+                if !refined[d][idx] {
+                    // The cheap bound says "maybe strong"; promote to
+                    // full precision before letting it lower any slot.
+                    let ub = store.refine_similarity_upper_bound(&filters[d], lid, tris[d][idx]);
+                    bounds[d][idx] = to_lb(ub);
+                    refined[d][idx] = true;
+                    if bounds[d][idx] >= clamp {
+                        continue;
+                    }
+                }
+                let lb = bounds[d][idx];
+                for &sid in store.schemas_with_label(lid) {
+                    let slot = &mut lanelb[sid.index() * n_lanes + d];
+                    if lb < *slot {
+                        *slot = lb;
+                    }
+                }
+            }
+        }
+        // Levels sharing a lane multiply that lane's coarse minimum.
+        let lane_mult: Vec<f64> = lane_levels.iter().map(|ls| ls.len() as f64).collect();
+
+        let mut cert_empty = 0usize;
+        let mut verdicts: Vec<Verdict> = Vec::new();
+        let mut exact = vec![0.0f64; k];
+        for (sid, schema) in repo.iter() {
+            let n = schema.len();
+            if n < k {
+                // Too small for any injective assignment — the matchers
+                // skip it unconditionally; certified empty for free.
+                cert_empty += 1;
+                continue;
+            }
+            let lanes = &lanelb[sid.index() * n_lanes..sid.index() * n_lanes + n_lanes];
+            let coarse: f64 = lanes.iter().zip(&lane_mult).map(|(lb, m)| lb * m).sum();
+            if coarse > budget {
+                cert_empty += 1;
+                continue;
+            }
+            // Phase 2: per-level minima over this schema's labels, from
+            // the lanes as refined so far — admissible lower bounds
+            // whether or not the walk promoted them.
+            let labels = store.schema_labels(sid);
+            if self.config.budget.is_some() {
+                // Budget mode ranks this schema by `total_lb` and may
+                // cap it; both rest on these entries, so promote them
+                // to full precision before minima/caps.
+                for (d, filter) in filters.iter().enumerate() {
+                    for &lid in labels {
+                        let idx = lid.index();
+                        if !refined[d][idx] {
+                            let ub = store.refine_similarity_upper_bound(filter, lid, tris[d][idx]);
+                            bounds[d][idx] = to_lb(ub);
+                            refined[d][idx] = true;
+                        }
+                    }
+                }
+            }
+            for (level, slot) in exact.iter_mut().enumerate() {
+                let lane = &bounds[level_lane[level]];
+                *slot = labels
+                    .iter()
+                    .map(|lid| lane[lid.index()])
+                    .fold(f64::INFINITY, f64::min);
+            }
+            let total_lb: f64 = exact.iter().sum();
+            if total_lb > budget {
+                cert_empty += 1;
+                continue;
+            }
+            // Admissible answer cap: a mapping at level `level` must use
+            // a node whose cost lower bound fits the budget left after
+            // every other level contributes at least its minimum.
+            let mut cap = 1.0f64;
+            for (level, lb) in exact.iter().enumerate() {
+                let lane = &bounds[level_lane[level]];
+                let room = budget - (total_lb - lb);
+                let fits = labels
+                    .iter()
+                    .filter(|lid| lane[lid.index()] <= room)
+                    .count();
+                cap *= fits as f64;
+            }
+            if cap == 0.0 {
+                cert_empty += 1;
+                continue;
+            }
+            verdicts.push(Verdict { sid, total_lb, cap });
+        }
+
+        // Selection: auto keeps every survivor; an explicit budget keeps
+        // the most promising (smallest total_lb, ties by id) and caps
+        // the rest.
+        let keep = match self.config.budget {
+            None => verdicts.len(),
+            Some(b) => b.min(verdicts.len()),
+        };
+        if keep < verdicts.len() {
+            verdicts.sort_by(|a, b| {
+                a.total_lb
+                    .partial_cmp(&b.total_lb)
+                    .expect("finite bounds")
+                    .then(a.sid.index().cmp(&b.sid.index()))
+            });
+        }
+        let mut active: Vec<SchemaId> = verdicts[..keep].iter().map(|v| v.sid).collect();
+        active.sort_by_key(|sid| sid.index());
+        // Explicit fold from +0.0: `Sum<f64>` starts at -0.0 (the float
+        // additive identity), which would print an uncapped run's
+        // "missed ≤ -0.0" and trip sign-sensitive comparisons.
+        let caps_sum: f64 = verdicts[keep..].iter().fold(0.0, |acc, v| acc + v.cap);
+
+        let active_mask: Vec<bool> = {
+            let mut mask = vec![false; repo.len()];
+            for sid in &active {
+                mask[sid.index()] = true;
+            }
+            mask
+        };
+        let mut pruned_pairs = 0u64;
+        let mut scored_pairs = 0u64;
+        for (sid, schema) in repo.iter() {
+            let pairs = (k * schema.len()) as u64;
+            if active_mask[sid.index()] {
+                scored_pairs += pairs;
+            } else {
+                pruned_pairs += pairs;
+            }
+        }
+
+        CandidateSet {
+            active: Arc::new(ActiveSet {
+                ids: active,
+                mask: active_mask,
+            }),
+            total_schemas: repo.len(),
+            cert_empty,
+            caps_sum,
+            pruned_pairs,
+            scored_pairs,
+            delta_max,
+        }
+    }
+}
+
+/// The repository schemas a candidate-restricted problem is allowed to
+/// score, as both a sorted id list and a dense membership mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSet {
+    /// Active schema ids, ascending.
+    ids: Vec<SchemaId>,
+    /// `mask[sid.index()]` — dense membership test.
+    mask: Vec<bool>,
+}
+
+impl ActiveSet {
+    /// The active schema ids, ascending.
+    pub fn ids(&self) -> &[SchemaId] {
+        &self.ids
+    }
+
+    /// Whether `sid` may be scored.
+    pub fn contains(&self, sid: SchemaId) -> bool {
+        self.mask.get(sid.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of active schemas.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing is active.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether every repository schema is active.
+    pub fn covers_all(&self) -> bool {
+        self.ids.len() == self.mask.len()
+    }
+}
+
+/// The generator's output: the active subset plus everything a recall
+/// certificate needs about what was pruned.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    active: Arc<ActiveSet>,
+    total_schemas: usize,
+    cert_empty: usize,
+    caps_sum: f64,
+    pruned_pairs: u64,
+    scored_pairs: u64,
+    delta_max: f64,
+}
+
+impl CandidateSet {
+    /// The active subset (shared with restricted problems).
+    pub fn active(&self) -> &Arc<ActiveSet> {
+        &self.active
+    }
+
+    /// Number of active schemas.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of repository schemas.
+    pub fn total_schemas(&self) -> usize {
+        self.total_schemas
+    }
+
+    /// Schemas certified to contain no answer at the threshold
+    /// (including those too small for an injective assignment).
+    pub fn cert_empty_count(&self) -> usize {
+        self.cert_empty
+    }
+
+    /// Whether every schema stayed active (pruning found nothing to
+    /// cut — a restriction-free run).
+    pub fn covers_all(&self) -> bool {
+        self.active.covers_all()
+    }
+
+    /// Sum of the admissible answer caps over the pruned,
+    /// non-certified schemas; `0.0` in auto-budget mode.
+    pub fn caps_sum(&self) -> f64 {
+        self.caps_sum
+    }
+
+    /// `(personal node, schema node)` cost pairs the restricted matrix
+    /// fill never scores.
+    pub fn pruned_pairs(&self) -> u64 {
+        self.pruned_pairs
+    }
+
+    /// Cost pairs the restricted fill does score.
+    pub fn scored_pairs(&self) -> u64 {
+        self.scored_pairs
+    }
+
+    /// The threshold this set was generated for. A restricted run must
+    /// use the same `delta_max` for the certificate to be valid.
+    pub fn delta_max(&self) -> f64 {
+        self.delta_max
+    }
+
+    /// Certified recall of a restricted run that found `answers`
+    /// mappings: the exhaustive oracle finds at most
+    /// `answers + caps_sum`, so its recall relative to the oracle is at
+    /// least `answers / (answers + caps_sum)` — and exactly `1.0` when
+    /// nothing uncertified was pruned.
+    pub fn certified_recall(&self, answers: usize) -> f64 {
+        if self.caps_sum == 0.0 {
+            1.0
+        } else {
+            answers as f64 / (answers as f64 + self.caps_sum)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveMatcher;
+    use crate::mapping::MappingRegistry;
+    use crate::matcher::Matcher;
+    use smx_repo::Repository;
+    use smx_synth::{Scenario, ScenarioConfig};
+    use smx_xml::{PrimitiveType, SchemaBuilder};
+
+    fn scenario_problem() -> MatchProblem {
+        let sc = Scenario::generate(ScenarioConfig {
+            derived_schemas: 6,
+            noise_schemas: 6,
+            personal_nodes: 4,
+            host_nodes: 8,
+            perturbation_strength: 0.7,
+            ..Default::default()
+        });
+        MatchProblem::new(sc.personal, sc.repository).unwrap()
+    }
+
+    #[test]
+    fn certified_empty_schemas_really_are_empty() {
+        let problem = scenario_problem();
+        let delta_max = 0.25;
+        let candidates =
+            CandidateGenerator::auto(ObjectiveFunction::default()).generate(&problem, delta_max);
+        assert_eq!(candidates.caps_sum(), 0.0);
+        assert_eq!(candidates.certified_recall(0), 1.0);
+        // Every schema the generator certified empty contributes zero
+        // answers to the unrestricted exhaustive run.
+        let registry = MappingRegistry::new();
+        let oracle = ExhaustiveMatcher::default().run(&problem, delta_max, &registry);
+        for answer in oracle.answers() {
+            let mapping = registry.resolve(answer.id).unwrap();
+            assert!(
+                candidates.active().contains(mapping.schema),
+                "answer in certified-empty schema {}",
+                mapping.schema
+            );
+        }
+        assert_eq!(
+            candidates.active_count() + candidates.cert_empty_count(),
+            candidates.total_schemas()
+        );
+    }
+
+    #[test]
+    fn budget_zero_prunes_everything_and_budget_large_keeps_all_survivors() {
+        let problem = scenario_problem();
+        let objective = ObjectiveFunction::default();
+        let zero = CandidateGenerator::new(objective.clone(), CandidateConfig { budget: Some(0) })
+            .generate(&problem, 0.3);
+        assert_eq!(zero.active_count(), 0);
+        assert!(zero.certified_recall(0) <= 1.0);
+        let auto = CandidateGenerator::auto(objective.clone()).generate(&problem, 0.3);
+        let big = CandidateGenerator::new(
+            objective,
+            CandidateConfig {
+                budget: Some(problem.repository().len()),
+            },
+        )
+        .generate(&problem, 0.3);
+        assert_eq!(auto.active().ids(), big.active().ids());
+        assert_eq!(big.caps_sum(), 0.0);
+    }
+
+    #[test]
+    fn caps_shrink_certified_recall_monotonically_in_budget() {
+        let problem = scenario_problem();
+        let objective = ObjectiveFunction::default();
+        let mut last = -1.0f64;
+        for budget in 0..=problem.repository().len() {
+            let set = CandidateGenerator::new(
+                objective.clone(),
+                CandidateConfig {
+                    budget: Some(budget),
+                },
+            )
+            .generate(&problem, 0.3);
+            // More budget ⇒ fewer capped schemas ⇒ certificate (at a
+            // fixed answer count) can only improve.
+            let cert = set.certified_recall(5);
+            assert!(cert >= last - 1e-12, "budget {budget}: {cert} < {last}");
+            last = cert;
+        }
+    }
+
+    #[test]
+    fn small_schemas_are_certified_for_free() {
+        let personal = SchemaBuilder::new("p")
+            .root("order")
+            .leaf("total", PrimitiveType::Decimal)
+            .leaf("date", PrimitiveType::Date)
+            .build();
+        let mut repo = Repository::new();
+        let mut tiny = smx_xml::Schema::new("tiny");
+        tiny.add_root(smx_xml::Node::element("only")).unwrap();
+        repo.add(tiny); // 1 node < k = 3
+        repo.add(
+            SchemaBuilder::new("shop")
+                .root("order")
+                .leaf("total", PrimitiveType::Decimal)
+                .leaf("date", PrimitiveType::Date)
+                .build(),
+        );
+        let problem = MatchProblem::new(personal, repo).unwrap();
+        let set = CandidateGenerator::auto(ObjectiveFunction::default()).generate(&problem, 0.4);
+        assert_eq!(set.cert_empty_count(), 1);
+        assert!(set.active().contains(SchemaId(1)));
+        assert!(!set.active().contains(SchemaId(0)));
+        assert_eq!(set.pruned_pairs(), 3); // k × 1 node
+    }
+}

@@ -75,6 +75,9 @@ impl Matcher for ClusterMatcher {
         let matrix = problem.cost_matrix(&self.objective);
         let mut found: Vec<(AnswerId, f64)> = Vec::new();
         for fragment in &fragments {
+            if !problem.is_active(fragment.schema) {
+                continue;
+            }
             let nodes: Vec<NodeId> = fragment.cover.iter().copied().collect();
             if nodes.len() < k {
                 continue;

@@ -60,6 +60,18 @@ pub struct SchemaTable {
     suffix_min: Vec<f64>,
 }
 
+/// The shared zero-column table served for candidate-pruned schemas:
+/// matchers check `MatchProblem::is_active` (or see `n == 0`) and skip
+/// such schemas before touching any table accessor, so one static
+/// placeholder serves every pruned schema of every restricted matrix
+/// without a per-schema allocation.
+static EMPTY_TABLE: SchemaTable = SchemaTable {
+    n: 0,
+    costs: Vec::new(),
+    row_min: Vec::new(),
+    suffix_min: Vec::new(),
+};
+
 impl SchemaTable {
     fn from_costs(k: usize, n: usize, costs: Vec<f64>) -> Self {
         debug_assert_eq!(costs.len(), k * n);
@@ -144,8 +156,15 @@ pub struct CostMatrix {
     objective: ObjectiveFunction,
     /// Normalisation denominator `k + e · structure_weight`.
     denom: f64,
-    /// One table per repository schema, indexed by `SchemaId`.
+    /// Unrestricted fill: one table per repository schema, indexed by
+    /// `SchemaId`. Candidate-restricted fill: only the *active* schemas'
+    /// tables, addressed through `sparse`.
     tables: Vec<SchemaTable>,
+    /// `None` for a dense (unrestricted) matrix. For a restricted one,
+    /// `sparse[sid.index()]` is the schema's slot in `tables`, or
+    /// `u32::MAX` for pruned schemas — those are served the shared
+    /// [`EMPTY_TABLE`] instead of materialising a struct each.
+    sparse: Option<Vec<u32>>,
 }
 
 impl CostMatrix {
@@ -199,7 +218,26 @@ impl CostMatrix {
             .map(|(&name, _)| name)
             .collect();
         if !missing.is_empty() {
-            let mut fetched = store.score_rows(&missing).into_iter();
+            // A candidate-restricted problem scores only the label
+            // columns its active schemas reference: missing rows come
+            // back as coverage-masked partial rows (every column an
+            // active schema's fill reads is covered, and covered
+            // positions are bitwise identical to a full sweep's).
+            let fetched = match problem.active_set() {
+                None => store.score_rows(&missing),
+                Some(active) => {
+                    let mut cols: Vec<usize> = active
+                        .ids()
+                        .iter()
+                        .flat_map(|&sid| store.schema_labels(sid))
+                        .map(|lid| lid.index())
+                        .collect();
+                    cols.sort_unstable();
+                    cols.dedup();
+                    store.score_rows_subset(&missing, &cols)
+                }
+            };
+            let mut fetched = fetched.into_iter();
             for row in rows.iter_mut().filter(|row| row.is_none()) {
                 *row = fetched.next();
             }
@@ -225,31 +263,46 @@ impl CostMatrix {
             .iter()
             .map(|&pid| personal.node(pid).ty)
             .collect();
-        let tables: Vec<SchemaTable> = problem
-            .repository()
-            .iter()
-            .map(|(sid, schema)| {
-                let labels = store.schema_labels(sid);
-                let n = schema.len();
-                let mut costs = Vec::with_capacity(k * n);
-                for level in 0..k {
-                    let row = rows[level_rows[level]].as_slice();
-                    let p_ty = personal_types[level];
-                    for (t, target) in schema.node_ids().enumerate() {
-                        let nd = row[labels[t].index()];
-                        let td = 1.0 - p_ty.compatibility(schema.node(target).ty);
-                        costs.push(objective.blend(nd, td));
-                    }
+        let fill_table = |sid: SchemaId, schema: &Schema| {
+            let labels = store.schema_labels(sid);
+            let n = schema.len();
+            let mut costs = Vec::with_capacity(k * n);
+            for level in 0..k {
+                let row = rows[level_rows[level]].as_slice();
+                let p_ty = personal_types[level];
+                for (t, target) in schema.node_ids().enumerate() {
+                    let nd = row[labels[t].index()];
+                    let td = 1.0 - p_ty.compatibility(schema.node(target).ty);
+                    costs.push(objective.blend(nd, td));
                 }
-                SchemaTable::from_costs(k, n, costs)
-            })
-            .collect();
+            }
+            SchemaTable::from_costs(k, n, costs)
+        };
+        let repo = problem.repository();
+        let (tables, sparse) = match problem.active_set() {
+            None => (
+                repo.iter()
+                    .map(|(sid, schema)| fill_table(sid, schema))
+                    .collect(),
+                None,
+            ),
+            Some(active) => {
+                let mut map = vec![u32::MAX; repo.len()];
+                let mut tables = Vec::with_capacity(active.ids().len());
+                for &sid in active.ids() {
+                    map[sid.index()] = tables.len() as u32;
+                    tables.push(fill_table(sid, repo.schema(sid)));
+                }
+                (tables, Some(map))
+            }
+        };
         let denom =
             k as f64 + problem.personal_edges() as f64 * objective.config().structure_weight;
         CostMatrix {
             objective: objective.clone(),
             denom,
             tables,
+            sparse,
         }
     }
 
@@ -272,7 +325,13 @@ impl CostMatrix {
     /// The table of `sid`.
     #[inline]
     pub fn table(&self, sid: SchemaId) -> &SchemaTable {
-        &self.tables[sid.index()]
+        match &self.sparse {
+            None => &self.tables[sid.index()],
+            Some(map) => match map[sid.index()] {
+                u32::MAX => &EMPTY_TABLE,
+                slot => &self.tables[slot as usize],
+            },
+        }
     }
 
     /// Δ of a full assignment, read from the matrix. Term order replicates

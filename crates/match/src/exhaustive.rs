@@ -202,7 +202,7 @@ impl Matcher for ExhaustiveMatcher {
     fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
         let matrix = self.engine(problem);
         let mut found = Vec::new();
-        for sid in problem.repository().schema_ids() {
+        for sid in problem.active_schema_ids() {
             self.search_schema(
                 problem,
                 sid,

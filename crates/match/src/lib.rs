@@ -30,7 +30,20 @@
 //!   repository, distinct labels deduped across the batch and swept in
 //!   one pass over the stored label profiles, then any matcher above
 //!   dispatched per problem (optionally across scoped workers) —
-//!   bitwise identical to solo runs (`tests/batch_identity.rs`).
+//!   bitwise identical to solo runs (`tests/batch_identity.rs`);
+//! * [`candidates`] + [`certified`] — the certified non-exhaustive
+//!   tier: an inverted-index filter stage ([`smx_repo::FilterIndex`])
+//!   computes an *admissible lower bound* on every schema's best
+//!   possible mapping cost, certifies hopeless schemas empty before
+//!   any exact scoring, and restricts the problem (and its matrix
+//!   fill) to the survivors. [`CertifiedMatcher`] wraps any matcher
+//!   above and attaches a [`RecallCertificate`]: a machine-checkable
+//!   lower bound on recall vs the exhaustive oracle, valid with no
+//!   ground truth — and pluggable straight into `smx-core`'s
+//!   effectiveness-bounds envelope as a certified answer-size ratio.
+//!   With no budget the restriction is loss-free and the restricted
+//!   answers are **bitwise identical** to the unrestricted run
+//!   (`tests/candidate_differential.rs`).
 //!
 //! # The scoring engine
 //!
@@ -69,6 +82,8 @@
 pub mod batch;
 pub mod beam;
 pub mod brute_force;
+pub mod candidates;
+pub mod certified;
 pub mod cluster_search;
 pub mod cost_matrix;
 pub mod error;
@@ -85,6 +100,8 @@ pub mod topk;
 pub use batch::{BatchMatcher, BatchProblem};
 pub use beam::BeamMatcher;
 pub use brute_force::BruteForceMatcher;
+pub use candidates::{ActiveSet, CandidateConfig, CandidateGenerator, CandidateSet, CERT_SLACK};
+pub use certified::{CertifiedAnswer, CertifiedMatcher, RecallCertificate};
 pub use cluster_search::ClusterMatcher;
 pub use cost_matrix::{CostMatrix, SchemaTable};
 pub use error::MatchError;

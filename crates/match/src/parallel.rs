@@ -48,7 +48,7 @@ impl Matcher for ParallelExhaustiveMatcher {
     }
 
     fn run(&self, problem: &MatchProblem, delta_max: f64, registry: &MappingRegistry) -> AnswerSet {
-        let schema_ids: Vec<SchemaId> = problem.repository().schema_ids().collect();
+        let schema_ids: Vec<SchemaId> = problem.active_schema_ids();
         // Build (or fetch) the shared engine once, before fanning out, so
         // workers only perform lock-free reads.
         let matrix = self.inner.engine(problem);

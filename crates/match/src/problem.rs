@@ -1,9 +1,10 @@
 //! The matching problem `Q`: a personal schema against a repository.
 
+use crate::candidates::{ActiveSet, CandidateSet};
 use crate::cost_matrix::CostMatrix;
 use crate::error::MatchError;
 use crate::objective::ObjectiveFunction;
-use smx_repo::Repository;
+use smx_repo::{Repository, SchemaId};
 use smx_xml::{NodeId, Schema};
 use std::sync::{Arc, OnceLock};
 
@@ -16,6 +17,10 @@ pub struct MatchProblem {
     /// Personal node ids in arena order (parents precede children, which
     /// the assignment loops rely on).
     personal_order: Vec<NodeId>,
+    /// Candidate restriction: `None` scores every repository schema (the
+    /// exhaustive default); `Some` restricts every matcher and the
+    /// cost-matrix fill to the active subset (see [`crate::candidates`]).
+    active: Option<Arc<ActiveSet>>,
     /// Lazily built scoring engine, shared by every matcher run against
     /// this problem. `OnceLock` keeps post-initialisation reads lock-free.
     engine: OnceLock<Arc<CostMatrix>>,
@@ -32,8 +37,56 @@ impl MatchProblem {
             personal,
             repository,
             personal_order,
+            active: None,
             engine: OnceLock::new(),
         })
+    }
+
+    /// A copy of this problem restricted to `candidates`' active
+    /// schemas: matchers skip every other schema and the cost-matrix
+    /// fill scores only the label columns the active schemas reference
+    /// (through [`smx_repo::LabelStore::score_rows_subset`]). The
+    /// engine cache starts fresh — a restricted matrix must never be
+    /// confused with an unrestricted one.
+    ///
+    /// When the candidate set covers the whole repository the copy
+    /// carries no restriction at all, so its runs are trivially
+    /// bitwise identical to the original's.
+    pub fn with_candidates(&self, candidates: &CandidateSet) -> MatchProblem {
+        MatchProblem {
+            personal: self.personal.clone(),
+            repository: self.repository.clone(),
+            personal_order: self.personal_order.clone(),
+            active: if candidates.covers_all() {
+                None
+            } else {
+                Some(Arc::clone(candidates.active()))
+            },
+            engine: OnceLock::new(),
+        }
+    }
+
+    /// The candidate restriction, if any.
+    pub fn active_set(&self) -> Option<&ActiveSet> {
+        self.active.as_deref()
+    }
+
+    /// Whether a matcher may score `sid` (always true on an
+    /// unrestricted problem).
+    pub fn is_active(&self, sid: SchemaId) -> bool {
+        match &self.active {
+            None => true,
+            Some(set) => set.contains(sid),
+        }
+    }
+
+    /// The schema ids a matcher iterates: all of them, or the active
+    /// subset (ascending either way).
+    pub fn active_schema_ids(&self) -> Vec<SchemaId> {
+        match &self.active {
+            None => self.repository.schema_ids().collect(),
+            Some(set) => set.ids().to_vec(),
+        }
     }
 
     /// The precomputed [`CostMatrix`] for `objective`, built on first use

@@ -75,7 +75,7 @@ impl Matcher for TopKMatcher {
         let matrix = problem.cost_matrix(&self.objective);
         let mut heap: BinaryHeap<Held> = BinaryHeap::new();
         for (sid, schema) in problem.repository().iter() {
-            if schema.len() < k {
+            if schema.len() < k || !problem.is_active(sid) {
                 continue;
             }
             let table = matrix.table(sid);

@@ -1,0 +1,215 @@
+//! Differential gate for the certified candidate tier.
+//!
+//! With no budget the tier only removes schemas it *certifies* empty,
+//! so every matcher — complete or heuristic — must return answers
+//! **bitwise identical** (ids, resolved mappings, and `f64::to_bits`
+//! scores) to its own unrestricted run. With a finite budget the
+//! restricted answers must stay a score-consistent subset of the
+//! oracle, and for complete inner matchers the certificate must hold:
+//! certified recall ≤ measured recall vs the exhaustive oracle.
+
+use smx_eval::AnswerSet;
+use smx_match::*;
+use smx_synth::{Domain, Scenario, ScenarioConfig};
+
+fn problem(seed: u64, domain: Domain) -> MatchProblem {
+    let sc = Scenario::generate(ScenarioConfig {
+        domain,
+        derived_schemas: 5,
+        noise_schemas: 5,
+        personal_nodes: 4,
+        host_nodes: 8,
+        perturbation_strength: 0.6,
+        seed,
+    });
+    MatchProblem::new(sc.personal, sc.repository).unwrap()
+}
+
+/// All six matchers as trait objects behind one closure-dispatch list.
+fn matchers() -> Vec<(&'static str, Box<dyn Matcher>)> {
+    vec![
+        (
+            "exhaustive",
+            Box::new(ExhaustiveMatcher::default()) as Box<dyn Matcher>,
+        ),
+        (
+            "parallel",
+            Box::new(ParallelExhaustiveMatcher::new(
+                ObjectiveFunction::default(),
+                2,
+            )),
+        ),
+        (
+            "brute-force",
+            Box::new(BruteForceMatcher::new(ObjectiveFunction::default())),
+        ),
+        (
+            "beam",
+            Box::new(BeamMatcher::new(ObjectiveFunction::default(), 16)),
+        ),
+        (
+            "topk",
+            Box::new(TopKMatcher::new(ObjectiveFunction::default(), 25)),
+        ),
+        (
+            "cluster",
+            Box::new(ClusterMatcher::new(ObjectiveFunction::default(), 0.5, 4)),
+        ),
+    ]
+}
+
+fn assert_bitwise_equal(name: &str, a: &AnswerSet, b: &AnswerSet, registry: &MappingRegistry) {
+    assert_eq!(a.len(), b.len(), "{name}: answer counts differ");
+    for ans in a.answers() {
+        let other = b
+            .score_of(ans.id)
+            .unwrap_or_else(|| panic!("{name}: answer {:?} missing", ans.id));
+        assert_eq!(
+            ans.score.to_bits(),
+            other.to_bits(),
+            "{name}: score bits differ for {:?}",
+            ans.id
+        );
+        // Same registry, same id ⇒ same mapping, but resolve anyway so a
+        // registry regression cannot silently alias two mappings.
+        let mapping = registry.resolve(ans.id).expect("resolvable id");
+        assert!(mapping.is_injective(), "{name}: non-injective mapping");
+    }
+}
+
+#[test]
+fn auto_budget_is_bitwise_identical_for_all_six_matchers() {
+    for (seed, domain) in [
+        (11, Domain::Publications),
+        (12, Domain::Commerce),
+        (13, Domain::Travel),
+    ] {
+        let problem = problem(seed, domain);
+        let registry = MappingRegistry::new();
+        let delta_max = 0.4;
+        let generator = CandidateGenerator::auto(ObjectiveFunction::default());
+        let candidates = generator.generate(&problem, delta_max);
+        // Auto budget keeps every non-certified-empty schema: exact tier.
+        assert_eq!(candidates.caps_sum(), 0.0);
+        assert_eq!(candidates.certified_recall(0), 1.0);
+        let restricted = problem.with_candidates(&candidates);
+        for (name, matcher) in matchers() {
+            let oracle = matcher.run(&problem, delta_max, &registry);
+            let tiered = matcher.run(&restricted, delta_max, &registry);
+            assert_bitwise_equal(name, &oracle, &tiered, &registry);
+            assert_bitwise_equal(name, &tiered, &oracle, &registry);
+        }
+    }
+}
+
+#[test]
+fn budget_at_least_repo_size_is_bitwise_identical() {
+    let problem = problem(21, Domain::Publications);
+    let registry = MappingRegistry::new();
+    let delta_max = 0.4;
+    let generator = CandidateGenerator::new(
+        ObjectiveFunction::default(),
+        CandidateConfig {
+            budget: Some(problem.repository().len()),
+        },
+    );
+    let candidates = generator.generate(&problem, delta_max);
+    assert_eq!(candidates.caps_sum(), 0.0, "budget ≥ n caps nothing");
+    let restricted = problem.with_candidates(&candidates);
+    for (name, matcher) in matchers() {
+        let oracle = matcher.run(&problem, delta_max, &registry);
+        let tiered = matcher.run(&restricted, delta_max, &registry);
+        assert_bitwise_equal(name, &oracle, &tiered, &registry);
+    }
+}
+
+#[test]
+fn finite_budgets_stay_score_consistent_subsets() {
+    for (seed, domain) in [(31, Domain::Commerce), (32, Domain::Travel)] {
+        let problem = problem(seed, domain);
+        let registry = MappingRegistry::new();
+        let delta_max = 0.4;
+        let oracle = ExhaustiveMatcher::default().run(&problem, delta_max, &registry);
+        for budget in [0, 1, 3, 7] {
+            let generator = CandidateGenerator::new(
+                ObjectiveFunction::default(),
+                CandidateConfig {
+                    budget: Some(budget),
+                },
+            );
+            let candidates = generator.generate(&problem, delta_max);
+            let restricted = problem.with_candidates(&candidates);
+            for (name, matcher) in matchers() {
+                let tiered = matcher.run(&restricted, delta_max, &registry);
+                tiered
+                    .is_subset_of(&oracle)
+                    .unwrap_or_else(|e| panic!("{name} budget {budget}: {e:?}"));
+                assert!(
+                    tiered.scores_consistent_with(&oracle),
+                    "{name} budget {budget}: scores drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn certificate_holds_for_complete_matchers_under_pruning() {
+    for (seed, domain) in [
+        (41, Domain::Publications),
+        (42, Domain::Commerce),
+        (43, Domain::Travel),
+    ] {
+        let problem = problem(seed, domain);
+        let registry = MappingRegistry::new();
+        let delta_max = 0.4;
+        let oracle = ExhaustiveMatcher::default().run(&problem, delta_max, &registry);
+        for budget in [0, 1, 2, 4, 8, 64] {
+            let generator = CandidateGenerator::new(
+                ObjectiveFunction::default(),
+                CandidateConfig {
+                    budget: Some(budget),
+                },
+            );
+            let complete: Vec<(&str, Box<dyn Matcher>)> = vec![
+                ("exhaustive", Box::new(ExhaustiveMatcher::default())),
+                (
+                    "parallel",
+                    Box::new(ParallelExhaustiveMatcher::new(
+                        ObjectiveFunction::default(),
+                        2,
+                    )),
+                ),
+                (
+                    "brute-force",
+                    Box::new(BruteForceMatcher::new(ObjectiveFunction::default())),
+                ),
+            ];
+            for (name, matcher) in complete {
+                let certified = CertifiedMatcher::new(matcher, generator.clone())
+                    .run_certified(&problem, delta_max, &registry);
+                let measured = if oracle.is_empty() {
+                    1.0
+                } else {
+                    let kept = certified
+                        .answers
+                        .ids()
+                        .filter(|&id| oracle.score_of(id).is_some())
+                        .count();
+                    kept as f64 / oracle.len() as f64
+                };
+                let cert = certified.certificate.certified_recall();
+                assert!(
+                    cert <= measured + 1e-12,
+                    "{domain:?} {name} budget {budget}: certified {cert} > measured {measured}"
+                );
+                assert!((0.0..=1.0).contains(&cert));
+                // The certificate's bookkeeping is internally consistent.
+                let c = &certified.certificate;
+                assert_eq!(c.answer_count(), certified.answers.len());
+                assert!(c.active_schemas() + c.cert_empty_schemas() <= c.total_schemas());
+                assert_eq!(c.delta_max(), delta_max);
+            }
+        }
+    }
+}

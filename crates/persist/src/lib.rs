@@ -45,11 +45,16 @@
 //! | 3  | tokens   | the token inverted index as `(token, postings)` pairs |
 //! | 4  | rows     | cached score rows `(query, f64 bits…)`, least recently used first |
 //! | 5  | config   | `StoreConfig`: cache bound + sweep worker count |
+//! | 6  | filters  | candidate-generation filter lanes (`FilterProfileData` per label, id order) — **optional/additive**: absent in pre-filter snapshots, rebuilt from labels |
 //!
 //! Label *profiles* are not stored: `LabelProfile::new` is a pure
 //! function of the label text (the row-kernel identity contract), so the
 //! loader rebuilds them — cheaper than decoding prepared Myers tables
-//! and bitwise-equivalent by construction.
+//! and bitwise-equivalent by construction. Filter *lanes* (section 6)
+//! are equally a pure function of the label text, but they *are*
+//! stored: skipping the per-label re-derivation keeps warm restarts on
+//! their load-vs-rebuild budget, and a missing or damaged FILTERS
+//! section degrades to exactly that rebuild.
 //!
 //! # Versioning and compatibility policy
 //!
@@ -61,8 +66,10 @@
 //! * Within a version, writers may append **new section ids**; readers
 //!   skip unknown ids, so adding a section is forward- and
 //!   backward-compatible. Removing or re-encoding a section requires a
-//!   version bump. Every version-1 section above is mandatory
-//!   ([`PersistError::MissingSection`]).
+//!   version bump. Sections 1–5 are mandatory
+//!   ([`PersistError::MissingSection`]); FILTERS (6) is additive — a
+//!   strict load accepts its absence (older writers) and rebuilds the
+//!   lanes from the label list, but rejects a *present* damaged one.
 //! * Decoding is all-or-nothing: any error leaves no partially built
 //!   repository behind.
 //!

@@ -54,8 +54,14 @@ pub mod section {
     pub const ROWS: u32 = 4;
     /// Store configuration (cache bound, sweep workers).
     pub const CONFIG: u32 = 5;
+    /// Candidate-generation filter lanes, one `FilterProfileData` per
+    /// label in id order. **Optional/additive**: snapshots written
+    /// before this section existed simply lack it, and the loader
+    /// rebuilds the lanes from the label text.
+    pub const FILTERS: u32 = 6;
 
-    /// Every mandatory version-1 section.
+    /// Every mandatory version-1 section. FILTERS is deliberately not
+    /// in this list — its absence is legal (older writers).
     pub const MANDATORY: [u32; 5] = [SCHEMAS, LABELS, TOKENS, ROWS, CONFIG];
 }
 
@@ -124,6 +130,13 @@ pub enum SalvageEvent {
     /// CONFIG was damaged; the store uses default configuration
     /// (unbounded cache, auto sweep threads).
     ConfigDefaulted(Damage),
+    /// FILTERS was damaged (checksum, decode, or a lane count that
+    /// contradicts the label list); the candidate-generation filter
+    /// lanes were rebuilt from the label text — identical by
+    /// construction, so candidate bounds are unaffected. A snapshot
+    /// that simply *predates* the section rebuilds silently, without
+    /// this event.
+    FiltersRebuilt(Damage),
 }
 
 impl fmt::Display for SalvageEvent {
@@ -140,6 +153,9 @@ impl fmt::Display for SalvageEvent {
             }
             SalvageEvent::ConfigDefaulted(d) => {
                 write!(f, "CONFIG {d}: store config reset to defaults")
+            }
+            SalvageEvent::FiltersRebuilt(d) => {
+                write!(f, "FILTERS {d}: filter lanes rebuilt from labels")
             }
         }
     }
@@ -244,6 +260,7 @@ impl Snapshot for Repository {
             (section::TOKENS, encode_tokens(&state)),
             (section::ROWS, encode_rows(&state)),
             (section::CONFIG, encode_config(&state)),
+            (section::FILTERS, encode_filters(&state)),
         ];
         let mut w = Writer::new();
         w.put_bytes(&MAGIC);
@@ -294,6 +311,16 @@ fn strict_load(bytes: &[u8]) -> Result<Repository, PersistError> {
     let postings = decode_tokens(payload(section::TOKENS)?)?;
     let rows = decode_rows(payload(section::ROWS)?)?;
     let (max_cached_rows, batch_threads) = decode_config(payload(section::CONFIG)?)?;
+    // FILTERS is additive: absent (an older writer) means the lanes are
+    // rebuilt from the label text at import; *present* but undecodable
+    // is damage and rejected like any other strict failure. (A present
+    // section with a bad checksum never reaches here — the table pass
+    // already rejected it.)
+    let filters = sections
+        .iter()
+        .find(|s| s.id == section::FILTERS)
+        .map(|s| decode_filters(&bytes[s.offset..s.offset + s.len]))
+        .transpose()?;
     let state = StoreState {
         labels,
         schema_labels,
@@ -301,6 +328,7 @@ fn strict_load(bytes: &[u8]) -> Result<Repository, PersistError> {
         rows,
         max_cached_rows,
         batch_threads,
+        filters,
     };
     validate(&schemas, &state)?;
     Ok(Repository::from_parts(
@@ -405,6 +433,29 @@ fn salvage_load(bytes: &[u8]) -> Result<(Repository, SnapshotReport), PersistErr
         }
     };
 
+    // FILTERS: use if present, decodable, and sized to the label list;
+    // otherwise rebuild from the labels (`None` lets the store import
+    // path re-derive identical lanes). A snapshot that predates the
+    // section rebuilds *silently* — that is compatibility, not damage.
+    let filters = match payload(section::FILTERS) {
+        Ok(p) => match decode_filters(p) {
+            Ok(f) if f.len() == labels.len() => Some(f),
+            Ok(_) => {
+                events.push(SalvageEvent::FiltersRebuilt(Damage::Inconsistent));
+                None
+            }
+            Err(_) => {
+                events.push(SalvageEvent::FiltersRebuilt(Damage::Undecodable));
+                None
+            }
+        },
+        Err(Damage::Missing) => None,
+        Err(damage) => {
+            events.push(SalvageEvent::FiltersRebuilt(damage));
+            None
+        }
+    };
+
     let state = StoreState {
         labels,
         schema_labels,
@@ -412,6 +463,7 @@ fn salvage_load(bytes: &[u8]) -> Result<(Repository, SnapshotReport), PersistErr
         rows,
         max_cached_rows,
         batch_threads,
+        filters,
     };
     // The assembled state passed its checks piecewise; the composed
     // validation must therefore hold. Debug-assert it rather than
@@ -771,6 +823,96 @@ fn decode_config(bytes: &[u8]) -> Result<(Option<usize>, usize), PersistError> {
     Ok((max_cached_rows, batch_threads))
 }
 
+fn encode_filters(state: &StoreState) -> Vec<u8> {
+    let mut w = Writer::new();
+    let lanes = state.filters.as_deref().unwrap_or(&[]);
+    w.put_u32(lanes.len() as u32);
+    for p in lanes {
+        w.put_u32(p.norm_len);
+        for &c in &p.prefix {
+            w.put_u32(c);
+        }
+        w.put_u32(p.unigrams.len() as u32);
+        for &(scalar, count) in &p.unigrams {
+            w.put_u32(scalar);
+            w.put_u32(count);
+        }
+        w.put_u32(p.token_count);
+        w.put_u32(p.token_lens.len() as u32);
+        for &l in &p.token_lens {
+            w.put_u32(l);
+        }
+        w.put_u64(p.initials);
+        w.put_u32(p.gram_keys.len() as u32);
+        for &k in &p.gram_keys {
+            w.put_u64(k);
+        }
+        for &c in &p.gram_counts {
+            w.put_u32(c);
+        }
+        w.put_u64(p.gram_total);
+    }
+    w.into_bytes()
+}
+
+fn decode_filters(bytes: &[u8]) -> Result<Vec<smx_repo::FilterProfileData>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let count = r.get_u32()? as usize;
+    let mut lanes = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let norm_len = r.get_u32()?;
+        let mut prefix = [0u32; 4];
+        for c in &mut prefix {
+            *c = r.get_u32()?;
+        }
+        let n = r.get_u32()? as usize;
+        if n > r.remaining() / 8 {
+            return Err(PersistError::Truncated);
+        }
+        let mut unigrams = Vec::with_capacity(n);
+        for _ in 0..n {
+            let scalar = r.get_u32()?;
+            let count = r.get_u32()?;
+            unigrams.push((scalar, count));
+        }
+        let token_count = r.get_u32()?;
+        let n = r.get_u32()? as usize;
+        if n > r.remaining() / 4 {
+            return Err(PersistError::Truncated);
+        }
+        let mut token_lens = Vec::with_capacity(n);
+        for _ in 0..n {
+            token_lens.push(r.get_u32()?);
+        }
+        let initials = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        if n > r.remaining() / 12 {
+            return Err(PersistError::Truncated);
+        }
+        let mut gram_keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            gram_keys.push(r.get_u64()?);
+        }
+        let mut gram_counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            gram_counts.push(r.get_u32()?);
+        }
+        let gram_total = r.get_u64()?;
+        lanes.push(smx_repo::FilterProfileData {
+            norm_len,
+            prefix,
+            unigrams,
+            token_count,
+            token_lens,
+            initials,
+            gram_keys,
+            gram_counts,
+            gram_total,
+        });
+    }
+    Ok(lanes)
+}
+
 /// Cross-reference the decoded sections before any store is built: the
 /// label list must be duplicate-free, every column map must mirror its
 /// schema's node names through the label list, every cached row must be
@@ -781,7 +923,25 @@ fn decode_config(bytes: &[u8]) -> Result<(Option<usize>, usize), PersistError> {
 fn validate(schemas: &[Schema], state: &StoreState) -> Result<(), PersistError> {
     validate_labels(schemas, &state.labels, &state.schema_labels)?;
     validate_rows(state.labels.len(), &state.rows)?;
-    validate_postings(schemas, &state.postings)
+    validate_postings(schemas, &state.postings)?;
+    validate_filters(state.labels.len(), state.filters.as_deref())
+}
+
+/// The FILTERS cross-check: when present, exactly one lane entry per
+/// label. (Lane-internal invariants are re-validated by the store at
+/// import; a violation there degrades to a rebuild from label text,
+/// which is bitwise-equivalent by construction.)
+fn validate_filters(
+    label_count: usize,
+    filters: Option<&[smx_repo::FilterProfileData]>,
+) -> Result<(), PersistError> {
+    match filters {
+        Some(lanes) if lanes.len() != label_count => Err(PersistError::Corrupt(format!(
+            "{} filter lanes for {label_count} labels",
+            lanes.len()
+        ))),
+        _ => Ok(()),
+    }
 }
 
 /// The LABELS cross-checks: duplicate-free label list, one column map
@@ -1036,6 +1196,98 @@ mod tests {
             vec![SalvageEvent::ConfigDefaulted(Damage::BadChecksum)]
         );
         assert_eq!(loaded.store().config(), smx_repo::StoreConfig::default());
+    }
+
+    #[test]
+    fn filters_section_round_trips_lanes() {
+        let repo = repository();
+        let loaded = Repository::load_snapshot(&repo.save_snapshot()).unwrap();
+        let (a, b) = (repo.store(), loaded.store());
+        assert_eq!(a.filter_index().len(), b.filter_index().len());
+        assert_eq!(a.filter_index().export(), b.filter_index().export());
+        // The loaded lanes bound identically to the saved ones.
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        for q in ["bookTitle", "store", ""] {
+            let filter = smx_repo::QueryFilter::new(q);
+            a.similarity_upper_bounds(&filter, &mut x);
+            b.similarity_upper_bounds(&filter, &mut y);
+            assert_eq!(x, y, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn strict_load_rejects_corrupt_filters() {
+        let repo = repository();
+        let mut bytes = repo.save_snapshot();
+        corrupt_section(&mut bytes, section::FILTERS);
+        assert!(matches!(
+            Repository::load_snapshot(&bytes),
+            Err(PersistError::ChecksumMismatch(section::FILTERS))
+        ));
+    }
+
+    #[test]
+    fn salvage_rebuilds_corrupt_filters_from_labels() {
+        let repo = repository();
+        let mut bytes = repo.save_snapshot();
+        corrupt_section(&mut bytes, section::FILTERS);
+        let (loaded, report) =
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(
+            report.events,
+            vec![SalvageEvent::FiltersRebuilt(Damage::BadChecksum)]
+        );
+        // Rebuilt lanes are identical to the lost ones (pure function
+        // of the label text), so candidate bounds are unaffected.
+        assert_eq!(
+            loaded.store().filter_index().export(),
+            repo.store().filter_index().export()
+        );
+        assert_eq!(loaded.store().salvage_events(), 1);
+    }
+
+    /// Rebuild snapshot bytes keeping only the sections in `keep` —
+    /// simulates a writer from before an additive section existed.
+    fn strip_to_sections(bytes: &[u8], keep: &[u32]) -> Vec<u8> {
+        let sections = read_section_table(bytes).unwrap();
+        let kept: Vec<_> = sections.iter().filter(|s| keep.contains(&s.id)).collect();
+        let mut w = Writer::new();
+        w.put_bytes(&MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_u32(kept.len() as u32);
+        let mut entry_at = Vec::new();
+        for s in &kept {
+            w.put_u32(s.id);
+            entry_at.push(w.len());
+            w.put_u64(0);
+            w.put_u64(s.len as u64);
+            w.put_u64(fnv1a(&bytes[s.offset..s.offset + s.len]));
+        }
+        for (s, at) in kept.iter().zip(entry_at) {
+            let offset = w.len() as u64;
+            w.patch_u64(at, offset);
+            w.put_bytes(&bytes[s.offset..s.offset + s.len]);
+        }
+        w.into_bytes()
+    }
+
+    #[test]
+    fn snapshots_without_filters_section_load_and_rebuild_lanes() {
+        // A snapshot from a pre-FILTERS writer: sections 1–5 only.
+        let repo = repository();
+        let old = strip_to_sections(&repo.save_snapshot(), &section::MANDATORY);
+        let loaded = Repository::load_snapshot(&old).expect("additive section may be absent");
+        assert_eq!(loaded, repo);
+        // Lanes were rebuilt from the label text — identical to what a
+        // new writer would have persisted — and silently (no salvage).
+        assert_eq!(
+            loaded.store().filter_index().export(),
+            repo.store().filter_index().export()
+        );
+        let (salvaged, report) =
+            Repository::load_snapshot_report(&old, RecoveryPolicy::Salvage).unwrap();
+        assert!(report.is_clean(), "absence is compatibility, not damage");
+        assert_eq!(salvaged.store().salvage_events(), 0);
     }
 
     #[test]

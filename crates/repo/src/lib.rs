@@ -21,13 +21,19 @@
 //!   the element sets a cluster-restricted matcher is allowed to target,
 //! * [`index`] — a token inverted index, maintained incrementally by
 //!   [`Repository::add`],
+//! * [`filter_index`] — the candidate-generation tier's filter lanes
+//!   and trigram inverted index: admissible per-label upper bounds on
+//!   the name-similarity mix, maintained incrementally on ingest and
+//!   persisted through the `smx-persist` FILTERS section,
 //! * [`store`] — the repository-resident label score store: per-label
-//!   row-kernel profiles and cached name-distance rows, updated
+//!   row-kernel profiles and cached name-distance rows (full rows plus
+//!   coverage-masked partial rows for candidate subsets), updated
 //!   incrementally on every ingest, shared by every `MatchProblem`
 //!   against the repository.
 
 pub mod cluster;
 pub mod feature;
+pub mod filter_index;
 pub mod fragment;
 pub mod index;
 pub mod intern;
@@ -36,6 +42,7 @@ pub mod store;
 
 pub use cluster::{agglomerative_clustering, greedy_clustering, Cluster, Clustering};
 pub use feature::{element_features, feature_similarity, query_features, ElementFeatures};
+pub use filter_index::{FilterIndex, FilterProfile, FilterProfileData, QueryFilter, BOUND_EPS};
 pub use fragment::{fragments_for_clusters, Fragment};
 pub use index::TokenIndex;
 pub use intern::{LabelId, LabelInterner};

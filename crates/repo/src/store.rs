@@ -45,6 +45,34 @@
 //! independent, so the batched sweep is bitwise identical to serving
 //! each query alone.
 //!
+//! # Candidate subsets: partial rows
+//!
+//! The candidate-generation tier (`smx-match`'s `CandidateGenerator`)
+//! scores only a pruned set of schemas, so it needs *some columns* of a
+//! query's row, not all of them. [`LabelStore::score_rows_subset`]
+//! serves exactly that: a full cached row answers any subset for free;
+//! otherwise the store keeps a **separate** coverage-masked partial row
+//! per query (full-width values with NaN holes plus a bitset of valid
+//! columns) and computes only the still-missing columns, one
+//! [`RowKernel::distance`] call each — bitwise identical to the same
+//! position of a full sweep, because per-pair values are independent.
+//! Partial rows never enter the full-row cache, are never offered to
+//! the eviction sink, and the full-row path never consults them — so
+//! cached full rows and partial rows coexist without poisoning the
+//! bitwise-identity contract or any full-row counter invariant. Subset
+//! traffic is accounted separately: `candidate_hits` (requested columns
+//! served without kernel work), `candidate_pruned` (columns a full
+//! sweep would have computed that the subset skipped), and
+//! `partial_row_fills` (fill operations that ran the kernel), all in
+//! [`StoreCounters`].
+//!
+//! The store also maintains, incrementally at ingest, the
+//! [`FilterIndex`] of per-label filter lanes and trigram postings that
+//! the candidate tier's admissible similarity upper bounds are computed
+//! from ([`LabelStore::similarity_upper_bounds`]); it is persisted
+//! through `smx-persist`'s FILTERS section and rebuilt from label text
+//! when a snapshot predates it or its section is damaged.
+//!
 //! # Spill: trading disk for recompute
 //!
 //! With an [`EvictionSink`] installed (see `smx-persist`'s `SpillFile`),
@@ -76,6 +104,7 @@
 //! stored row: all tiers are bitwise-identical by the kernel dispatch
 //! contract, differential-tested in `smx_text`.
 
+use crate::filter_index::{FilterIndex, FilterProfileData, QueryFilter};
 use crate::index::TokenIndex;
 use crate::intern::{LabelId, LabelInterner};
 use crate::repository::{ElementRef, SchemaId};
@@ -259,6 +288,10 @@ pub struct StoreState {
     pub max_cached_rows: Option<usize>,
     /// The store's sweep worker count ([`StoreConfig::batch_threads`]).
     pub batch_threads: usize,
+    /// The candidate-generation filter lanes, one entry per label in id
+    /// order — `None` for images exported before the filter index
+    /// existed (import then rebuilds the lanes from `labels`).
+    pub filters: Option<Vec<FilterProfileData>>,
 }
 
 /// A consistent snapshot of a [`LabelStore`]'s work counters.
@@ -295,6 +328,16 @@ pub struct StoreCounters {
     /// sink, write error, retry cooldown). Each one is warm state lost
     /// to future recompute; 0 without a sink.
     pub row_spill_failures: u64,
+    /// Candidate-subset columns served without kernel work — from a
+    /// full cached row or an already-covered partial-row position
+    /// ([`LabelStore::score_rows_subset`]).
+    pub candidate_hits: u64,
+    /// Columns a full row sweep would have computed that a candidate
+    /// subset skipped — the work the candidate tier saved at the store.
+    pub candidate_pruned: u64,
+    /// Partial-row fill operations: subset requests that ran the kernel
+    /// for at least one missing column.
+    pub partial_row_fills: u64,
 }
 
 /// One cached score row plus its recency stamp. The stamp is atomic so
@@ -313,6 +356,27 @@ impl Clone for CachedRow {
     }
 }
 
+/// A coverage-masked partial score row for candidate subsets: values
+/// for the covered columns (NaN holes elsewhere) plus a bitset of which
+/// columns are valid. Kept in a map separate from the full-row cache so
+/// the two can never be confused; a partial may be narrower than the
+/// label list after later `add`s (columns past its end are uncovered).
+#[derive(Clone)]
+struct PartialRow {
+    row: Arc<Vec<f64>>,
+    coverage: Vec<u64>,
+}
+
+/// Whether bit `i` is set in a `u64` bitset.
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+}
+
+/// Set bit `i` in a `u64` bitset (must be in range).
+fn bit_set(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1u64 << (i % 64);
+}
+
 /// Interner, per-label profiles, token index, and cached score rows for
 /// one repository. Obtained via
 /// [`Repository::store`](crate::Repository::store).
@@ -327,11 +391,25 @@ pub struct LabelStore {
     prefix_hashes: Vec<u64>,
     /// Per schema (by id), the label of each node in arena order.
     schema_labels: Vec<Vec<LabelId>>,
+    /// Inverse of `schema_labels`: per label (by id), the schemas that
+    /// contain it, ascending and deduplicated — the label→schema
+    /// postings candidate generation walks instead of scanning every
+    /// (schema, label) pair. Derived state, maintained at ingest and
+    /// rebuilt on import.
+    label_schemas: Vec<Vec<SchemaId>>,
     index: TokenIndex,
+    /// Candidate-generation filter lanes and trigram postings, one
+    /// entry per label — maintained in lock-step with `profiles` at
+    /// ingest.
+    filters: FilterIndex,
     /// Query label → distances to the first `row.len()` stored labels.
     /// Rows are append-consistent: label ids are stable, so a short row
     /// is a valid prefix and only its tail needs computing after adds.
     rows: RwLock<HashMap<String, CachedRow>>,
+    /// Query label → coverage-masked partial row, for candidate-subset
+    /// scoring ([`Self::score_rows_subset`]). Strictly separate from
+    /// `rows`: partials never serve full-row requests.
+    partial_rows: RwLock<HashMap<String, PartialRow>>,
     /// Monotonic recency clock for the LRU stamps.
     clock: AtomicU64,
     /// LRU bound on `rows` (`UNBOUNDED` = no bound). Atomic so tests and
@@ -354,6 +432,9 @@ pub struct LabelStore {
     row_spills: AtomicU64,
     row_spill_recoveries: AtomicU64,
     row_spill_failures: AtomicU64,
+    candidate_hits: AtomicU64,
+    candidate_pruned: AtomicU64,
+    partial_row_fills: AtomicU64,
     /// Salvage events recorded when this store was loaded from a
     /// damaged snapshot (see `smx-persist`'s `RecoveryPolicy::Salvage`).
     salvage_events: AtomicU64,
@@ -381,8 +462,11 @@ impl LabelStore {
             profiles: Vec::new(),
             prefix_hashes: vec![FNV_OFFSET],
             schema_labels: Vec::new(),
+            label_schemas: Vec::new(),
             index: TokenIndex::default(),
+            filters: FilterIndex::new(),
             rows: RwLock::new(HashMap::new()),
+            partial_rows: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
             max_cached_rows: AtomicUsize::new(config.max_cached_rows.unwrap_or(UNBOUNDED)),
             batch_threads: config.batch_threads,
@@ -396,6 +480,9 @@ impl LabelStore {
             row_spills: AtomicU64::new(0),
             row_spill_recoveries: AtomicU64::new(0),
             row_spill_failures: AtomicU64::new(0),
+            candidate_hits: AtomicU64::new(0),
+            candidate_pruned: AtomicU64::new(0),
+            partial_row_fills: AtomicU64::new(0),
             salvage_events: AtomicU64::new(0),
         }
     }
@@ -443,7 +530,9 @@ impl LabelStore {
         let labels = self.interner.intern_schema(schema);
         for id in known..self.interner.len() {
             let label = self.interner.resolve(LabelId(id as u32));
-            self.profiles.push(LabelProfile::new(label));
+            let profile = LabelProfile::new(label);
+            self.filters.add_label(&profile);
+            self.profiles.push(profile);
             let last = *self
                 .prefix_hashes
                 .last()
@@ -452,6 +541,16 @@ impl LabelStore {
         }
         self.profile_builds
             .fetch_add((self.interner.len() - known) as u64, Relaxed);
+        self.label_schemas
+            .resize_with(self.interner.len(), Vec::new);
+        for &lid in &labels {
+            let postings = &mut self.label_schemas[lid.index()];
+            // Ids arrive in order, so a duplicate label within this
+            // schema is always the postings' current tail.
+            if postings.last() != Some(&sid) {
+                postings.push(sid);
+            }
+        }
         self.schema_labels.push(labels);
         self.index.add_schema(sid, schema);
     }
@@ -490,9 +589,70 @@ impl LabelStore {
         &self.schema_labels[sid.index()]
     }
 
+    /// The schemas containing label `id`, ascending and deduplicated —
+    /// the inverse of [`schema_labels`](Self::schema_labels). Candidate
+    /// generation walks these postings for the few labels a query's
+    /// filter bounds single out, instead of scanning every
+    /// (schema, label) pair in the repository.
+    pub fn schemas_with_label(&self, id: LabelId) -> &[SchemaId] {
+        &self.label_schemas[id.index()]
+    }
+
     /// The incremental token inverted index.
     pub fn token_index(&self) -> &TokenIndex {
         &self.index
+    }
+
+    /// The candidate-generation filter index (per-label filter lanes
+    /// and trigram postings), maintained incrementally at ingest.
+    pub fn filter_index(&self) -> &FilterIndex {
+        &self.filters
+    }
+
+    /// Admissible upper bound on
+    /// `NameSimilarity::default().similarity(query, label)` for every
+    /// stored label, written into `out` indexed by label id — never
+    /// below the true similarity (see [`FilterIndex::sim_upper_bounds`]).
+    /// The label raw-equal to the query, if stored, is bounded by the
+    /// oracle's raw-equality convention (`1.0`).
+    pub fn similarity_upper_bounds(&self, query: &QueryFilter, out: &mut Vec<f64>) {
+        self.filters
+            .sim_upper_bounds(query, &self.profiles, self.interner.get(query.raw()), out);
+    }
+
+    /// The cheap variant of
+    /// [`similarity_upper_bounds`](Self::similarity_upper_bounds): the
+    /// token-set lane is capped at its trivial `1.0`, so every bound is
+    /// still admissible but weaker. The pass's exact trigram
+    /// intersection counts land in `tri`, keyed by label id, for later
+    /// per-label promotion.
+    pub fn similarity_upper_bounds_cheap(
+        &self,
+        query: &QueryFilter,
+        out: &mut Vec<f64>,
+        tri: &mut Vec<u32>,
+    ) {
+        self.filters
+            .sim_upper_bounds_cheap(query, self.interner.get(query.raw()), out, tri);
+    }
+
+    /// Promote one label's cheap bound to full precision: returns
+    /// exactly the value [`similarity_upper_bounds`](Self::similarity_upper_bounds)
+    /// would have produced for it. `tri_count` must be the trigram
+    /// intersection the cheap pass recorded for this label.
+    pub fn refine_similarity_upper_bound(
+        &self,
+        query: &QueryFilter,
+        id: LabelId,
+        tri_count: u32,
+    ) -> f64 {
+        self.filters.refine_sim_upper_bound(
+            query,
+            &self.profiles,
+            self.interner.get(query.raw()),
+            id,
+            tri_count,
+        )
     }
 
     /// The dense distance row of `query` against every stored label:
@@ -555,6 +715,124 @@ impl LabelStore {
         }
         if !pending.is_empty() {
             self.fill_pending(&mut out, &mut pending, n);
+        }
+        out.into_iter()
+            .map(|row| row.expect("every slot filled"))
+            .collect()
+    }
+
+    /// The distance row of each query restricted to the columns in
+    /// `cols` — the candidate tier's entry point: score only the labels
+    /// the pruned candidate schemas actually reference.
+    ///
+    /// `result[i][c]` equals `score_row(queries[i])[c]` **bitwise** for
+    /// every `c` in `cols` (per-pair values are position-independent,
+    /// so a per-column [`RowKernel::distance`] call equals the same
+    /// position of a full sweep); positions outside `cols` are
+    /// unspecified (NaN holes) and may be narrower than the label list.
+    ///
+    /// A full cached row answers any subset for free. Otherwise the
+    /// query's coverage-masked partial row serves the columns it
+    /// already covers and only the rest are computed — so repeated
+    /// candidate queries converge to zero kernel work just like full
+    /// rows do. Partial rows live in their own map: they are never
+    /// promoted into the full-row cache, never spilled, and the
+    /// full-row path never consults them, keeping every existing
+    /// full-row counter invariant intact. Subset traffic moves only
+    /// `pair_evals`, `candidate_hits`, `candidate_pruned`, and
+    /// `partial_row_fills`.
+    pub fn score_rows_subset(&self, queries: &[&str], cols: &[usize]) -> Vec<Arc<Vec<f64>>> {
+        let n = self.profiles.len();
+        debug_assert!(cols.iter().all(|&c| c < n), "columns must be in range");
+        let mut out: Vec<Option<Arc<Vec<f64>>>> = vec![None; queries.len()];
+        let mut pending: Vec<(&str, Vec<usize>)> = Vec::new();
+        let mut pending_of: HashMap<&str, usize> = HashMap::new();
+        {
+            let cache = self.rows.read();
+            for (i, &q) in queries.iter().enumerate() {
+                if let Some(&pi) = pending_of.get(q) {
+                    pending[pi].1.push(i);
+                    continue;
+                }
+                match cache.get(q) {
+                    Some(entry) if entry.row.len() == n => {
+                        // A full row serves any subset; refresh recency
+                        // so subset traffic keeps hot rows hot.
+                        entry.last_used.store(self.tick(), Relaxed);
+                        self.candidate_hits.fetch_add(cols.len() as u64, Relaxed);
+                        out[i] = Some(Arc::clone(&entry.row));
+                    }
+                    _ => {
+                        pending_of.insert(q, pending.len());
+                        pending.push((q, vec![i]));
+                    }
+                }
+            }
+        }
+        for (q, slots) in pending {
+            // Snapshot what the partial row already covers, compute the
+            // missing columns outside any lock (concurrent fills compute
+            // identical values, so last-write-wins merging is safe),
+            // then merge under the write lock.
+            let (prior, covered): (Option<Arc<Vec<f64>>>, Vec<bool>) = {
+                let partials = self.partial_rows.read();
+                match partials.get(q) {
+                    Some(p) => (
+                        Some(Arc::clone(&p.row)),
+                        cols.iter()
+                            .map(|&c| c < p.row.len() && bit_get(&p.coverage, c))
+                            .collect(),
+                    ),
+                    None => (None, vec![false; cols.len()]),
+                }
+            };
+            let missing: Vec<usize> = cols
+                .iter()
+                .zip(&covered)
+                .filter(|&(_, &hit)| !hit)
+                .map(|(&c, _)| c)
+                .collect();
+            self.candidate_hits
+                .fetch_add((cols.len() - missing.len()) as u64, Relaxed);
+            self.candidate_pruned
+                .fetch_add((n - cols.len()) as u64, Relaxed);
+            if missing.is_empty() {
+                let row = prior.expect("all columns covered implies a partial row");
+                for &slot in &slots {
+                    out[slot] = Some(Arc::clone(&row));
+                }
+                continue;
+            }
+            let kernel = RowKernel::new(q);
+            let values: Vec<f64> = missing
+                .iter()
+                .map(|&c| kernel.distance(&self.profiles[c]))
+                .collect();
+            self.pair_evals.fetch_add(missing.len() as u64, Relaxed);
+            self.partial_row_fills.fetch_add(1, Relaxed);
+            let row = {
+                let mut partials = self.partial_rows.write();
+                let entry = partials.entry(q.to_owned()).or_insert_with(|| PartialRow {
+                    row: Arc::new(Vec::new()),
+                    coverage: Vec::new(),
+                });
+                let vec = Arc::make_mut(&mut entry.row);
+                if vec.len() < n {
+                    vec.resize(n, f64::NAN);
+                }
+                let words = n.div_ceil(64);
+                if entry.coverage.len() < words {
+                    entry.coverage.resize(words, 0);
+                }
+                for (&c, &v) in missing.iter().zip(&values) {
+                    vec[c] = v;
+                    bit_set(&mut entry.coverage, c);
+                }
+                Arc::clone(&entry.row)
+            };
+            for &slot in &slots {
+                out[slot] = Some(Arc::clone(&row));
+            }
         }
         out.into_iter()
             .map(|row| row.expect("every slot filled"))
@@ -807,10 +1085,12 @@ impl LabelStore {
         self.rows.read().contains_key(query)
     }
 
-    /// Drop every cached score row (profiles and index stay). Benches
-    /// use this to measure a genuinely cold fill.
+    /// Drop every cached score row *and* every partial row (profiles
+    /// and indexes stay). Benches use this to measure a genuinely cold
+    /// fill.
     pub fn clear_rows(&self) {
         self.rows.write().clear();
+        self.partial_rows.write().clear();
     }
 
     /// A consistent snapshot of every work counter.
@@ -833,6 +1113,9 @@ impl LabelStore {
             row_spills: self.row_spills.load(Relaxed),
             row_spill_recoveries: self.row_spill_recoveries.load(Relaxed),
             row_spill_failures: self.row_spill_failures.load(Relaxed),
+            candidate_hits: self.candidate_hits.load(Relaxed),
+            candidate_pruned: self.candidate_pruned.load(Relaxed),
+            partial_row_fills: self.partial_row_fills.load(Relaxed),
         }
     }
 
@@ -912,6 +1195,7 @@ impl LabelStore {
                 .collect(),
             max_cached_rows: self.config().max_cached_rows,
             batch_threads: self.batch_threads,
+            filters: Some(self.filters.export()),
         }
     }
 
@@ -949,6 +1233,27 @@ impl LabelStore {
             .into_iter()
             .map(|labels| labels.into_iter().map(LabelId).collect())
             .collect();
+        // label→schema postings are pure derived state: rebuild the
+        // inverse of the imported column maps.
+        let mut label_schemas: Vec<Vec<SchemaId>> = vec![Vec::new(); profiles.len()];
+        for (i, labels) in schema_labels.iter().enumerate() {
+            let sid = SchemaId(i as u32);
+            for &lid in labels {
+                let postings = &mut label_schemas[lid.index()];
+                if postings.last() != Some(&sid) {
+                    postings.push(sid);
+                }
+            }
+        }
+        // Persisted filter lanes skip the per-label re-derivation; an
+        // absent/short/invalid image (older snapshot, salvaged FILTERS
+        // section) falls back to rebuilding from the label text, which
+        // yields identical lanes by construction.
+        let filters = state
+            .filters
+            .and_then(FilterIndex::try_from_data)
+            .filter(|f| f.len() == profiles.len())
+            .unwrap_or_else(|| FilterIndex::rebuild(&profiles));
         let cap = state.max_cached_rows.unwrap_or(UNBOUNDED);
         let keep_from = state.rows.len().saturating_sub(cap);
         let mut rows = HashMap::with_capacity(state.rows.len() - keep_from);
@@ -969,8 +1274,11 @@ impl LabelStore {
             profiles,
             prefix_hashes,
             schema_labels,
+            label_schemas,
             index: TokenIndex::from_postings(state.postings),
+            filters,
             rows: RwLock::new(rows),
+            partial_rows: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(clock),
             max_cached_rows: AtomicUsize::new(cap),
             batch_threads: state.batch_threads,
@@ -983,6 +1291,9 @@ impl LabelStore {
             row_spills: AtomicU64::new(0),
             row_spill_recoveries: AtomicU64::new(0),
             row_spill_failures: AtomicU64::new(0),
+            candidate_hits: AtomicU64::new(0),
+            candidate_pruned: AtomicU64::new(0),
+            partial_row_fills: AtomicU64::new(0),
             salvage_events: AtomicU64::new(0),
         }
     }
@@ -1017,8 +1328,11 @@ impl Clone for LabelStore {
             profiles: self.profiles.clone(),
             prefix_hashes: self.prefix_hashes.clone(),
             schema_labels: self.schema_labels.clone(),
+            label_schemas: self.label_schemas.clone(),
             index: self.index.clone(),
+            filters: self.filters.clone(),
             rows: RwLock::new((*rows).clone()),
+            partial_rows: RwLock::new(self.partial_rows.read().clone()),
             clock: AtomicU64::new(self.clock.load(Relaxed)),
             max_cached_rows: AtomicUsize::new(self.max_cached_rows.load(Relaxed)),
             batch_threads: self.batch_threads,
@@ -1032,6 +1346,9 @@ impl Clone for LabelStore {
             row_spills: AtomicU64::new(self.row_spills.load(Relaxed)),
             row_spill_recoveries: AtomicU64::new(self.row_spill_recoveries.load(Relaxed)),
             row_spill_failures: AtomicU64::new(self.row_spill_failures.load(Relaxed)),
+            candidate_hits: AtomicU64::new(self.candidate_hits.load(Relaxed)),
+            candidate_pruned: AtomicU64::new(self.candidate_pruned.load(Relaxed)),
+            partial_row_fills: AtomicU64::new(self.partial_row_fills.load(Relaxed)),
             salvage_events: AtomicU64::new(self.salvage_events.load(Relaxed)),
         }
     }
@@ -1043,6 +1360,7 @@ impl std::fmt::Debug for LabelStore {
             .field("labels", &self.profiles.len())
             .field("schemas", &self.schema_labels.len())
             .field("cached_rows", &self.cached_rows())
+            .field("partial_rows", &self.partial_rows.read().len())
             .field("config", &self.config())
             .field("kernel_variant", &KernelVariant::active())
             .field("counters", &self.counters())
@@ -1233,6 +1551,116 @@ mod tests {
             }
         }
         assert_eq!(seq.store().pair_evals(), par.store().pair_evals());
+    }
+
+    #[test]
+    fn subset_rows_match_full_rows_bitwise_and_count_separately() {
+        let r = repo();
+        let store = r.store();
+        let n = store.len();
+        let cols = [0usize, 2];
+        // Cold subset: only the requested columns are evaluated.
+        let rows = store.score_rows_subset(&["orderTitle", "bookIsbn"], &cols);
+        assert_eq!(store.pair_evals(), 2 * cols.len() as u64);
+        let c = store.counters();
+        assert_eq!(c.partial_row_fills, 2);
+        assert_eq!(c.candidate_hits, 0);
+        assert_eq!(c.candidate_pruned, 2 * (n - cols.len()) as u64);
+        // Full-row path untouched: no lookups, hits, or misses counted.
+        assert_eq!(c.row_lookups, 0);
+        assert_eq!(c.row_hits + c.row_misses, c.row_lookups);
+        assert_eq!(store.cached_rows(), 0, "partials never enter the row cache");
+        let scalar = NameSimilarity::default();
+        for (q, row) in ["orderTitle", "bookIsbn"].iter().zip(&rows) {
+            for &col in &cols {
+                let label = store.interner().resolve(LabelId(col as u32));
+                assert_eq!(
+                    row[col].to_bits(),
+                    scalar.distance(q, label).to_bits(),
+                    "{q:?} vs {label:?}"
+                );
+            }
+        }
+        // Repeat subset: served from the partial row, zero kernel work.
+        let evals = store.pair_evals();
+        store.score_rows_subset(&["orderTitle"], &cols);
+        assert_eq!(store.pair_evals(), evals);
+        assert_eq!(store.counters().candidate_hits, cols.len() as u64);
+        // Widening the subset computes only the new column.
+        store.score_rows_subset(&["orderTitle"], &[0, 1, 2]);
+        assert_eq!(store.pair_evals(), evals + 1);
+        // The full row afterwards is still computed from scratch,
+        // bitwise identical — partials never poison the full path.
+        let full = store.score_row("orderTitle");
+        assert_eq!(store.pair_evals(), evals + 1 + n as u64);
+        for (id, d) in full.iter().enumerate() {
+            let label = store.interner().resolve(LabelId(id as u32));
+            assert_eq!(d.to_bits(), scalar.distance("orderTitle", label).to_bits());
+        }
+        // And once a full row exists, it serves any subset for free.
+        let evals = store.pair_evals();
+        let sub = store.score_rows_subset(&["orderTitle"], &[1, 3]);
+        assert_eq!(store.pair_evals(), evals);
+        assert!(Arc::ptr_eq(&sub[0], &full));
+    }
+
+    #[test]
+    fn subset_rows_extend_after_add_and_clear_with_clear_rows() {
+        let mut r = repo();
+        r.store().score_rows_subset(&["title"], &[0, 1]);
+        r.add(
+            SchemaBuilder::new("extra")
+                .root("warehouse")
+                .leaf("isbn", PrimitiveType::String)
+                .build(),
+        );
+        let store = r.store();
+        // Columns past the old width are simply uncovered: requesting
+        // them computes exactly the missing ones.
+        let evals = store.pair_evals();
+        let row = store.score_rows_subset(&["title"], &[0, 1, 5]);
+        assert_eq!(store.pair_evals(), evals + 1);
+        let scalar = NameSimilarity::default();
+        let label = store.interner().resolve(LabelId(5));
+        assert_eq!(
+            row[0][5].to_bits(),
+            scalar.distance("title", label).to_bits()
+        );
+        store.clear_rows();
+        let evals = store.pair_evals();
+        store.score_rows_subset(&["title"], &[0]);
+        assert_eq!(store.pair_evals(), evals + 1, "clear_rows drops partials");
+    }
+
+    #[test]
+    fn filter_index_tracks_ingest_and_bounds_admissibly() {
+        let mut r = repo();
+        assert_eq!(r.store().filter_index().len(), r.store().len());
+        r.add(
+            SchemaBuilder::new("extra")
+                .root("warehouse")
+                .leaf("isbn", PrimitiveType::String)
+                .build(),
+        );
+        let store = r.store();
+        assert_eq!(store.filter_index().len(), store.len());
+        let scalar = NameSimilarity::default();
+        let mut out = Vec::new();
+        for q in ["title", "warehouse", "bookIsbn", ""] {
+            store.similarity_upper_bounds(&QueryFilter::new(q), &mut out);
+            assert_eq!(out.len(), store.len());
+            for (id, &bound) in out.iter().enumerate() {
+                let label = store.interner().resolve(LabelId(id as u32));
+                assert!(
+                    bound >= scalar.similarity(q, label),
+                    "bound {bound} below oracle for ({q:?}, {label:?})"
+                );
+            }
+        }
+        // A stored query's own label is bounded at exactly 1.0.
+        store.similarity_upper_bounds(&QueryFilter::new("title"), &mut out);
+        let title = store.interner().get("title").expect("interned");
+        assert_eq!(out[title.index()], 1.0);
     }
 
     #[test]

@@ -108,6 +108,17 @@ pub(crate) const DEFAULT_NAME_MIX: [(SimilarityMeasure, f64); 4] = [
     (SimilarityMeasure::Levenshtein, 0.1),
 ];
 
+/// The default mix's `(measure, weight)` pairs, in evaluation order.
+///
+/// Admissible-bound machinery (candidate-generation filter indexes)
+/// reproduces [`NameSimilarity`]'s weighted sum term by term from this
+/// slice, so a per-measure upper bound composes into an upper bound on
+/// the whole mix. Summing weights in slice order reproduces
+/// `WeightedSimilarity::eval`'s exact float total.
+pub fn default_name_mix() -> &'static [(SimilarityMeasure, f64)] {
+    &DEFAULT_NAME_MIX
+}
+
 impl Default for NameSimilarity {
     fn default() -> Self {
         Self {

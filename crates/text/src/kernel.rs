@@ -152,6 +152,25 @@ impl LabelProfile {
     pub fn normalized(&self) -> &str {
         &self.norm
     }
+
+    /// `norm`'s length in scalar values — the Levenshtein-similarity
+    /// normalisation denominator (bytes when ASCII, chars otherwise;
+    /// the two coincide on ASCII input).
+    pub fn scalar_len(&self) -> usize {
+        self.scalar_len
+    }
+
+    /// The flat hashed trigram profile of the normalised form — shared
+    /// with candidate-generation filter indexes so ingest builds the
+    /// gram lanes once.
+    pub fn grams(&self) -> &GramProfile {
+        &self.grams
+    }
+
+    /// Sorted distinct token texts (the sets Dice-over-tokens compares).
+    pub fn token_set(&self) -> &[String] {
+        &self.token_set
+    }
 }
 
 /// Count of common elements of two sorted, deduplicated string slices —

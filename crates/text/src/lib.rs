@@ -45,7 +45,7 @@ pub mod token;
 
 pub use affix::{common_prefix_len, common_suffix_len, prefix_similarity, suffix_similarity};
 pub use cache::SimilarityCache;
-pub use combined::{NameSimilarity, SimilarityMeasure, WeightedSimilarity};
+pub use combined::{default_name_mix, NameSimilarity, SimilarityMeasure, WeightedSimilarity};
 pub use dispatch::KernelVariant;
 pub use jaro::{jaro, jaro_winkler};
 pub use kernel::{LabelProfile, RowKernel};

@@ -1,0 +1,94 @@
+//! Certified non-exhaustive matching: prune most of the repository with
+//! the inverted-index filter tier, score only the survivors, and carry
+//! a *machine-checkable* recall bound — no ground truth, no exhaustive
+//! reference run needed.
+//!
+//! The example runs three configurations against the same repository
+//! and threshold: the exhaustive oracle, the auto-budget certified tier
+//! (prunes only schemas *proven* empty — certificate 1.0, answers
+//! bitwise identical), and a fixed-budget tier that keeps the 12 most
+//! promising schemas and caps the rest. For each certified run it
+//! prints the pruned pair count, the certified bound, and the recall
+//! actually measured against the oracle — the measurement always
+//! dominates the certificate.
+//!
+//! Run with: `cargo run --release --example certified_matching`
+
+use smx::matching::{
+    CandidateConfig, CandidateGenerator, CertifiedMatcher, ExhaustiveMatcher, MappingRegistry,
+    MatchProblem, Matcher, ObjectiveFunction,
+};
+use smx::synth::{Domain, Scenario, ScenarioConfig};
+use std::time::Instant;
+
+fn main() {
+    let delta_max = 0.2;
+    let sc = Scenario::generate(ScenarioConfig {
+        domain: Domain::Publications,
+        derived_schemas: 16,
+        noise_schemas: 112,
+        personal_nodes: 4,
+        host_nodes: 9,
+        perturbation_strength: 0.9,
+        seed: 7,
+    });
+    let problem = MatchProblem::new(sc.personal, sc.repository).expect("valid scenario");
+    let registry = MappingRegistry::new();
+
+    println!(
+        "repository: {} schemas / {} elements, threshold δ = {delta_max}",
+        problem.repository().len(),
+        problem.repository().total_elements(),
+    );
+
+    let t0 = Instant::now();
+    let oracle = ExhaustiveMatcher::default().run(&problem, delta_max, &registry);
+    let oracle_time = t0.elapsed();
+    println!(
+        "\nexhaustive oracle: {} answers in {:.1?}\n",
+        oracle.len(),
+        oracle_time
+    );
+
+    println!("tier          answers  pruned-pairs  certified  measured  time");
+    for (label, budget) in [("auto", None), ("budget=12", Some(12))] {
+        let matcher = CertifiedMatcher::new(
+            ExhaustiveMatcher::default(),
+            CandidateGenerator::new(ObjectiveFunction::default(), CandidateConfig { budget }),
+        );
+        let t0 = Instant::now();
+        let certified = matcher.run_certified(&problem, delta_max, &registry);
+        let elapsed = t0.elapsed();
+        let measured = if oracle.is_empty() {
+            1.0
+        } else {
+            let kept = certified
+                .answers
+                .ids()
+                .filter(|&id| oracle.score_of(id).is_some())
+                .count();
+            kept as f64 / oracle.len() as f64
+        };
+        let cert = &certified.certificate;
+        println!(
+            "{label:<13} {:>7}  {:>12}  {:>9.4}  {:>8.4}  {:.1?}",
+            certified.answers.len(),
+            cert.pruned_pairs(),
+            cert.certified_recall(),
+            measured,
+            elapsed,
+        );
+        assert!(
+            cert.certified_recall() <= measured + 1e-12,
+            "certificate must never overstate measured recall"
+        );
+        println!(
+            "              {} of {} schemas certified empty, {} scored, missed ≤ {:.1} answers",
+            cert.cert_empty_schemas(),
+            cert.total_schemas(),
+            cert.active_schemas(),
+            cert.missed_cap(),
+        );
+    }
+    println!("\ncertified ≤ measured held for every run — the bound is admissible.");
+}

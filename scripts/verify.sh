@@ -24,7 +24,14 @@
 #      change any matcher's answers), and the spill-compaction
 #      properties. They also run inside step 3; this step exists so a
 #      durability regression is named as such, not buried in the suite.
-#   8. bench-regression guard (scripts/bench_guard.sh): a fresh
+#   8. certified candidate-tier suites, likewise named: the
+#      differential suite (candidate-restricted answers bitwise equal
+#      to the exhaustive oracle's, certificates admissible across
+#      matchers and budgets) and the bound-admissibility property
+#      suite (certified recall never exceeds measured recall,
+#      including budget 0 and budget >= n edges). A certification
+#      regression fails here by name, not buried in step 3.
+#   9. bench-regression guard (scripts/bench_guard.sh): a fresh
 #      scripts/bench_matching.sh run compared against the committed
 #      BENCH_matching.json with a +25% budget.
 #
@@ -51,28 +58,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/8] cargo fmt --all --check"
+echo "== [1/9] cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "== [2/8] cargo build --release"
+echo "== [2/9] cargo build --release"
 cargo build --release
 
-echo "== [3/8] cargo test -q"
+echo "== [3/9] cargo test -q"
 cargo test -q
 
-echo "== [4/8] cargo clippy --all-targets -- -D warnings"
+echo "== [4/9] cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== [5/8] cargo bench --no-run"
+echo "== [5/9] cargo bench --no-run"
 cargo bench -p smx-bench --no-run
 
-echo "== [6/8] snapshot round-trip smoke (examples/warm_restart)"
+echo "== [6/9] snapshot round-trip smoke (examples/warm_restart)"
 cargo run --release --example warm_restart >/dev/null
 
-echo "== [7/8] fault-injection suites (crash matrix, chaos, spill compaction)"
+echo "== [7/9] fault-injection suites (crash matrix, chaos, spill compaction)"
 cargo test -p smx-persist --test crash_matrix --test chaos --test spill_compaction -q
 
-echo "== [8/8] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
+echo "== [8/9] certified candidate-tier suites (differential, bound admissibility)"
+cargo test -p smx-match --test candidate_differential --test bound_admissibility -q
+
+echo "== [9/9] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
 scripts/bench_guard.sh
 
 echo "verify: OK"
