@@ -21,7 +21,8 @@
 //! * [`pooling`] — TREC-style pooling and Zobel's shallow-pool estimate,
 //!   the related-work validation techniques the bounds are compared against,
 //! * [`tradeoff`] — certified recall / speed trade-off records for
-//!   non-exhaustive tiers, with admissibility and headline checks.
+//!   non-exhaustive tiers, with admissibility and headline checks, and
+//!   per-stage factor breakdowns for composed pipeline certificates.
 
 pub mod answer;
 pub mod curve;
@@ -40,5 +41,5 @@ pub use interpolate::{InterpolatedCurve, STANDARD_RECALL_LEVELS};
 pub use metrics::{f1_score, precision, recall, Counts};
 pub use pooling::{pool_depth_k, shallow_pool_estimate, PooledTruth};
 pub use topn::{precision_at, recall_at, TopNReport};
-pub use tradeoff::{CertifiedPoint, CertifiedTradeoff};
+pub use tradeoff::{CertifiedPoint, CertifiedTradeoff, FactorBreakdown, StageFactor};
 pub use truth::GroundTruth;

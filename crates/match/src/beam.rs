@@ -37,6 +37,18 @@ impl BeamMatcher {
     }
 }
 
+impl BeamMatcher {
+    /// Lift into a terminal [`pipeline`](crate::pipeline) refine stage.
+    /// To use the beam as an *intermediate* filter instead — keep only
+    /// schemas where the beam finds an answer, then refine those
+    /// exhaustively — compose a
+    /// [`BeamFilter`](crate::pipeline::BeamFilter) stage, which charges
+    /// the certificate for the schemas it drops.
+    pub fn into_refine_stage(self) -> crate::pipeline::RefineStage<Self> {
+        crate::pipeline::RefineStage::new(self)
+    }
+}
+
 impl Matcher for BeamMatcher {
     fn name(&self) -> &str {
         "S2-beam"

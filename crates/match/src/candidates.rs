@@ -35,10 +35,15 @@
 //! on exactly that ratio. With the default auto budget only
 //! certified-empty schemas are pruned, the cap sum is zero, and the
 //! certificate collapses to recall 1 at full speedup.
+//!
+//! The same machinery backs the [`pipeline`](crate::pipeline) stages:
+//! [`BoundsTable`] computes every schema's certification facts once at
+//! full precision, so any composition of filter stages prunes and caps
+//! against one shared, deterministic table.
 
 use crate::objective::ObjectiveFunction;
 use crate::problem::MatchProblem;
-use smx_repo::{LabelId, QueryFilter, SchemaId, BOUND_EPS};
+use smx_repo::{LabelId, LabelStore, QueryFilter, SchemaId, BOUND_EPS};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -77,6 +82,219 @@ struct Verdict {
     cap: f64,
 }
 
+/// Admissible node-cost lower bound from a similarity upper bound:
+/// `blend(nd, td)` is monotone and `td ≥ 0`, so this lower-bounds the
+/// true node cost; `BOUND_EPS` absorbs the blend's own rounding.
+fn to_lb(objective: &ObjectiveFunction, ub: f64) -> f64 {
+    let nd_lb = (1.0 - ub).max(0.0);
+    (objective.blend(nd_lb, 0.0) - BOUND_EPS).max(0.0)
+}
+
+/// The shared two-phase inverted sweep behind both
+/// [`CandidateGenerator::generate`] and [`BoundsTable::compute`].
+///
+/// Phase 1 (coarse): one slot per (schema, lane), initialised to a
+/// `clamp` and lowered by walking the label→schema postings of only the
+/// labels the filter index bounded *below* the clamp. Clamping any slot
+/// at `c ≤` its true per-lane minimum keeps the slot an under-estimate,
+/// so a schema whose clamped total already exceeds the budget is
+/// certified empty exactly as the full scan would certify it. The clamp
+/// is chosen just above `budget / k`, the smallest value at which an
+/// all-clamped schema still certifies — that way the walk touches only
+/// near-match labels (strong similarity upper bounds), not every label
+/// that merely shares a character with the query.
+///
+/// Phase 2 (per-schema, via [`LaneSweep::fill_minima`] and
+/// [`LaneSweep::cap`]): the few schemas phase 1 cannot certify get
+/// per-level minima recomputed from the bound lanes as they stand —
+/// cheap entries where the filter ruled the label out, walk-promoted
+/// full-precision entries where it could not. Every entry is an
+/// admissible cost lower bound either way, so minima, totals and caps
+/// built from them certify conservatively; callers that *rank* or
+/// *cap* schemas promote the schema's lanes to full precision first
+/// ([`LaneSweep::promote_schema`]) — loose caps would make a
+/// certificate admissible but vacuous.
+struct LaneSweep<'a> {
+    store: &'a LabelStore,
+    objective: &'a ObjectiveFunction,
+    filters: Vec<QueryFilter>,
+    bounds: Vec<Vec<f64>>,
+    tris: Vec<Vec<u32>>,
+    refined: Vec<Vec<bool>>,
+    level_lane: Vec<usize>,
+    lane_mult: Vec<f64>,
+    lanelb: Vec<f64>,
+    n_lanes: usize,
+    /// Un-normalised threshold budget `δ_max · denom + 1e-12 + CERT_SLACK`.
+    budget: f64,
+}
+
+impl<'a> LaneSweep<'a> {
+    /// Run phase 1 for `problem` at `delta_max`.
+    fn run(
+        objective: &'a ObjectiveFunction,
+        problem: &'a MatchProblem,
+        delta_max: f64,
+    ) -> LaneSweep<'a> {
+        let repo = problem.repository();
+        let store = repo.store();
+        let k = problem.personal_size();
+        let denom =
+            k as f64 + problem.personal_edges() as f64 * objective.config().structure_weight;
+        // The same un-normalised budget the exhaustive matcher prunes
+        // against, widened by CERT_SLACK so certification is strictly
+        // more conservative than search.
+        let budget = delta_max * denom + 1e-12 + CERT_SLACK;
+
+        // One cost-lower-bound lane per distinct personal label, from
+        // the store's *cheap* similarity pass (token-set lane capped at
+        // 1.0): every entry is an admissible but weaker lower bound.
+        // `refined[d][l]` tracks which entries were promoted to full
+        // precision — the sweep only pays the expensive token-set
+        // bound for labels whose value can actually influence a prune
+        // decision.
+        let personal = problem.personal();
+        let names = problem.distinct_personal_labels();
+        let n_labels = store.len();
+        let mut filters: Vec<QueryFilter> = Vec::with_capacity(names.len());
+        let mut bounds: Vec<Vec<f64>> = Vec::with_capacity(names.len());
+        let mut tris: Vec<Vec<u32>> = Vec::with_capacity(names.len());
+        let mut refined: Vec<Vec<bool>> = Vec::with_capacity(names.len());
+        let mut sim_ub: Vec<f64> = Vec::new();
+        for name in &names {
+            let filter = QueryFilter::new(name);
+            let mut tri = Vec::new();
+            store.similarity_upper_bounds_cheap(&filter, &mut sim_ub, &mut tri);
+            bounds.push(sim_ub.iter().map(|&ub| to_lb(objective, ub)).collect());
+            tris.push(tri);
+            refined.push(vec![false; n_labels]);
+            filters.push(filter);
+        }
+        let row_of: HashMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| (name, i))
+            .collect();
+        let level_lane: Vec<usize> = problem
+            .personal_order()
+            .iter()
+            .map(|&pid| row_of[personal.node(pid).name.as_str()])
+            .collect();
+        // Levels sharing a personal label share a lane; group them so
+        // each lane's postings are walked once.
+        let mut lane_levels: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        for (level, &d) in level_lane.iter().enumerate() {
+            lane_levels[d].push(level);
+        }
+
+        let n_schemas = repo.len();
+        let n_lanes = bounds.len();
+        let floor = (objective.blend(1.0 - BOUND_EPS, 0.0) - BOUND_EPS).max(0.0);
+        let clamp = floor.min(1.05 * budget / k as f64);
+        let mut lanelb = vec![clamp; n_schemas * n_lanes];
+        for d in 0..n_lanes {
+            for idx in 0..n_labels {
+                if bounds[d][idx] >= clamp {
+                    continue;
+                }
+                let lid = LabelId(idx as u32);
+                if !refined[d][idx] {
+                    // The cheap bound says "maybe strong"; promote to
+                    // full precision before letting it lower any slot.
+                    let ub = store.refine_similarity_upper_bound(&filters[d], lid, tris[d][idx]);
+                    bounds[d][idx] = to_lb(objective, ub);
+                    refined[d][idx] = true;
+                    if bounds[d][idx] >= clamp {
+                        continue;
+                    }
+                }
+                let lb = bounds[d][idx];
+                for &sid in store.schemas_with_label(lid) {
+                    let slot = &mut lanelb[sid.index() * n_lanes + d];
+                    if lb < *slot {
+                        *slot = lb;
+                    }
+                }
+            }
+        }
+        // Levels sharing a lane multiply that lane's coarse minimum.
+        let lane_mult: Vec<f64> = lane_levels.iter().map(|ls| ls.len() as f64).collect();
+
+        LaneSweep {
+            store,
+            objective,
+            filters,
+            bounds,
+            tris,
+            refined,
+            level_lane,
+            lane_mult,
+            lanelb,
+            n_lanes,
+            budget,
+        }
+    }
+
+    /// Coarse per-schema total from the clamped lanes.
+    fn coarse(&self, sid: SchemaId) -> f64 {
+        let lanes =
+            &self.lanelb[sid.index() * self.n_lanes..sid.index() * self.n_lanes + self.n_lanes];
+        lanes
+            .iter()
+            .zip(&self.lane_mult)
+            .map(|(lb, m)| lb * m)
+            .sum()
+    }
+
+    /// Promote every (lane, label) entry of one schema's vocabulary to
+    /// full precision, so rankings and caps built from the lanes are as
+    /// tight as the filter index allows.
+    fn promote_schema(&mut self, labels: &[LabelId]) {
+        for (d, filter) in self.filters.iter().enumerate() {
+            for &lid in labels {
+                let idx = lid.index();
+                if !self.refined[d][idx] {
+                    let ub =
+                        self.store
+                            .refine_similarity_upper_bound(filter, lid, self.tris[d][idx]);
+                    self.bounds[d][idx] = to_lb(self.objective, ub);
+                    self.refined[d][idx] = true;
+                }
+            }
+        }
+    }
+
+    /// Per-level minima over one schema's labels, from the lanes as
+    /// refined so far; returns the schema's mapping-cost lower bound.
+    fn fill_minima(&self, labels: &[LabelId], exact: &mut [f64]) -> f64 {
+        for (level, slot) in exact.iter_mut().enumerate() {
+            let lane = &self.bounds[self.level_lane[level]];
+            *slot = labels
+                .iter()
+                .map(|lid| lane[lid.index()])
+                .fold(f64::INFINITY, f64::min);
+        }
+        exact.iter().sum()
+    }
+
+    /// Admissible answer cap: a mapping at level `level` must use a
+    /// node whose cost lower bound fits the budget left after every
+    /// other level contributes at least its minimum.
+    fn cap(&self, labels: &[LabelId], exact: &[f64], total_lb: f64) -> f64 {
+        let mut cap = 1.0f64;
+        for (level, lb) in exact.iter().enumerate() {
+            let lane = &self.bounds[self.level_lane[level]];
+            let room = self.budget - (total_lb - lb);
+            let fits = labels
+                .iter()
+                .filter(|lid| lane[lid.index()] <= room)
+                .count();
+            cap *= fits as f64;
+        }
+        cap
+    }
+}
+
 impl CandidateGenerator {
     /// Build with the shared objective (its weights shape the cost
     /// lower bounds) and a selection config.
@@ -107,121 +325,8 @@ impl CandidateGenerator {
         let repo = problem.repository();
         let store = repo.store();
         let k = problem.personal_size();
-        let denom =
-            k as f64 + problem.personal_edges() as f64 * self.objective.config().structure_weight;
-        // The same un-normalised budget the exhaustive matcher prunes
-        // against, widened by CERT_SLACK so certification is strictly
-        // more conservative than search.
-        let budget = delta_max * denom + 1e-12 + CERT_SLACK;
-
-        // One cost-lower-bound lane per distinct personal label, from
-        // the store's *cheap* similarity pass (token-set lane capped at
-        // 1.0): every entry is an admissible but weaker lower bound.
-        // `refined[d][l]` tracks which entries were promoted to full
-        // precision — the generator only pays the expensive token-set
-        // bound for labels whose value can actually influence a prune
-        // decision.
-        let to_lb = |ub: f64| {
-            let nd_lb = (1.0 - ub).max(0.0);
-            // blend(nd, td) is monotone and td ≥ 0, so this
-            // lower-bounds the true node cost; BOUND_EPS absorbs the
-            // blend's own rounding.
-            (self.objective.blend(nd_lb, 0.0) - BOUND_EPS).max(0.0)
-        };
-        let personal = problem.personal();
-        let names = problem.distinct_personal_labels();
-        let n_labels = store.len();
-        let mut filters: Vec<QueryFilter> = Vec::with_capacity(names.len());
-        let mut bounds: Vec<Vec<f64>> = Vec::with_capacity(names.len());
-        let mut tris: Vec<Vec<u32>> = Vec::with_capacity(names.len());
-        let mut refined: Vec<Vec<bool>> = Vec::with_capacity(names.len());
-        let mut sim_ub: Vec<f64> = Vec::new();
-        for name in &names {
-            let filter = QueryFilter::new(name);
-            let mut tri = Vec::new();
-            store.similarity_upper_bounds_cheap(&filter, &mut sim_ub, &mut tri);
-            bounds.push(sim_ub.iter().map(|&ub| to_lb(ub)).collect());
-            tris.push(tri);
-            refined.push(vec![false; n_labels]);
-            filters.push(filter);
-        }
-        let row_of: HashMap<&str, usize> = names
-            .iter()
-            .enumerate()
-            .map(|(i, &name)| (name, i))
-            .collect();
-        let level_lane: Vec<usize> = problem
-            .personal_order()
-            .iter()
-            .map(|&pid| row_of[personal.node(pid).name.as_str()])
-            .collect();
-        // Levels sharing a personal label share a lane; group them so
-        // each lane's postings are walked once.
-        let mut lane_levels: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
-        for (level, &d) in level_lane.iter().enumerate() {
-            lane_levels[d].push(level);
-        }
-
-        // Two-phase inverted sweep.
-        //
-        // Phase 1 (coarse): one slot per (schema, lane), initialised to
-        // a `clamp` and lowered by walking the label→schema postings of
-        // only the labels the filter index bounded *below* the clamp.
-        // Clamping any slot at `c ≤` its true per-lane minimum keeps the
-        // slot an under-estimate, so a schema whose clamped total
-        // already exceeds the budget is certified empty exactly as the
-        // full scan would certify it. The clamp is chosen just above
-        // `budget / k`, the smallest value at which an all-clamped
-        // schema still certifies — that way the walk touches only
-        // near-match labels (strong similarity upper bounds), not every
-        // label that merely shares a character with the query.
-        //
-        // Phase 2 (per-schema): the few schemas phase 1 cannot certify
-        // get per-level minima recomputed from the bound lanes as they
-        // stand — cheap entries where the filter ruled the label out,
-        // walk-promoted full-precision entries where it could not. Every
-        // entry is an admissible cost lower bound either way, so minima,
-        // totals and caps built from them certify conservatively; no
-        // further refinement is needed for *correctness*, and in auto
-        // mode (every survivor scored, caps unused) none is done —
-        // that keeps the generator off the expensive token-set bound
-        // for the survivors' vocabularies. An explicit budget is
-        // different: it ranks survivors by `total_lb` and turns the
-        // pruned ones into answer caps, so there the survivors' lanes
-        // are promoted to full precision first — loose caps would make
-        // the certificate admissible but vacuous.
-        let n_schemas = repo.len();
-        let n_lanes = bounds.len();
-        let floor = (self.objective.blend(1.0 - BOUND_EPS, 0.0) - BOUND_EPS).max(0.0);
-        let clamp = floor.min(1.05 * budget / k as f64);
-        let mut lanelb = vec![clamp; n_schemas * n_lanes];
-        for d in 0..n_lanes {
-            for idx in 0..n_labels {
-                if bounds[d][idx] >= clamp {
-                    continue;
-                }
-                let lid = LabelId(idx as u32);
-                if !refined[d][idx] {
-                    // The cheap bound says "maybe strong"; promote to
-                    // full precision before letting it lower any slot.
-                    let ub = store.refine_similarity_upper_bound(&filters[d], lid, tris[d][idx]);
-                    bounds[d][idx] = to_lb(ub);
-                    refined[d][idx] = true;
-                    if bounds[d][idx] >= clamp {
-                        continue;
-                    }
-                }
-                let lb = bounds[d][idx];
-                for &sid in store.schemas_with_label(lid) {
-                    let slot = &mut lanelb[sid.index() * n_lanes + d];
-                    if lb < *slot {
-                        *slot = lb;
-                    }
-                }
-            }
-        }
-        // Levels sharing a lane multiply that lane's coarse minimum.
-        let lane_mult: Vec<f64> = lane_levels.iter().map(|ls| ls.len() as f64).collect();
+        let mut sweep = LaneSweep::run(&self.objective, problem, delta_max);
+        let budget = sweep.budget;
 
         let mut cert_empty = 0usize;
         let mut verdicts: Vec<Verdict> = Vec::new();
@@ -234,56 +339,31 @@ impl CandidateGenerator {
                 cert_empty += 1;
                 continue;
             }
-            let lanes = &lanelb[sid.index() * n_lanes..sid.index() * n_lanes + n_lanes];
-            let coarse: f64 = lanes.iter().zip(&lane_mult).map(|(lb, m)| lb * m).sum();
+            let coarse = sweep.coarse(sid);
             if coarse > budget {
                 cert_empty += 1;
                 continue;
             }
             // Phase 2: per-level minima over this schema's labels, from
             // the lanes as refined so far — admissible lower bounds
-            // whether or not the walk promoted them.
+            // whether or not the walk promoted them. In auto mode
+            // (every survivor scored, caps unused) no further
+            // refinement is done — that keeps the generator off the
+            // expensive token-set bound for the survivors'
+            // vocabularies. An explicit budget is different: it ranks
+            // survivors by `total_lb` and turns the pruned ones into
+            // answer caps, so there the survivors' lanes are promoted
+            // to full precision first.
             let labels = store.schema_labels(sid);
             if self.config.budget.is_some() {
-                // Budget mode ranks this schema by `total_lb` and may
-                // cap it; both rest on these entries, so promote them
-                // to full precision before minima/caps.
-                for (d, filter) in filters.iter().enumerate() {
-                    for &lid in labels {
-                        let idx = lid.index();
-                        if !refined[d][idx] {
-                            let ub = store.refine_similarity_upper_bound(filter, lid, tris[d][idx]);
-                            bounds[d][idx] = to_lb(ub);
-                            refined[d][idx] = true;
-                        }
-                    }
-                }
+                sweep.promote_schema(labels);
             }
-            for (level, slot) in exact.iter_mut().enumerate() {
-                let lane = &bounds[level_lane[level]];
-                *slot = labels
-                    .iter()
-                    .map(|lid| lane[lid.index()])
-                    .fold(f64::INFINITY, f64::min);
-            }
-            let total_lb: f64 = exact.iter().sum();
+            let total_lb = sweep.fill_minima(labels, &mut exact);
             if total_lb > budget {
                 cert_empty += 1;
                 continue;
             }
-            // Admissible answer cap: a mapping at level `level` must use
-            // a node whose cost lower bound fits the budget left after
-            // every other level contributes at least its minimum.
-            let mut cap = 1.0f64;
-            for (level, lb) in exact.iter().enumerate() {
-                let lane = &bounds[level_lane[level]];
-                let room = budget - (total_lb - lb);
-                let fits = labels
-                    .iter()
-                    .filter(|lid| lane[lid.index()] <= room)
-                    .count();
-                cap *= fits as f64;
-            }
+            let cap = sweep.cap(labels, &exact, total_lb);
             if cap == 0.0 {
                 cert_empty += 1;
                 continue;
@@ -320,16 +400,7 @@ impl CandidateGenerator {
             }
             mask
         };
-        let mut pruned_pairs = 0u64;
-        let mut scored_pairs = 0u64;
-        for (sid, schema) in repo.iter() {
-            let pairs = (k * schema.len()) as u64;
-            if active_mask[sid.index()] {
-                scored_pairs += pairs;
-            } else {
-                pruned_pairs += pairs;
-            }
-        }
+        let (pruned_pairs, scored_pairs) = pair_counts(problem, &active_mask);
 
         CandidateSet {
             active: Arc::new(ActiveSet {
@@ -344,6 +415,131 @@ impl CandidateGenerator {
             delta_max,
         }
     }
+
+    /// Lift this generator into declarative [`pipeline`](crate::pipeline)
+    /// filter stages: auto becomes a single certified-empty prune
+    /// ([`crate::pipeline::CandidateFilter`]), an explicit budget adds
+    /// the survivor truncation ([`crate::pipeline::Truncate`]) that
+    /// charges the dropped schemas' caps.
+    ///
+    /// The stages prune against the pipeline's shared full-precision
+    /// [`BoundsTable`], so a lifted auto generator may certify *more*
+    /// schemas empty than [`CandidateGenerator::generate`]'s lazily
+    /// refined sweep — answers are unchanged either way (only provably
+    /// empty schemas are cut), but active-set sizes and budget-mode
+    /// survivor rankings can differ from the monolithic tier's.
+    pub fn into_stages(self) -> Vec<Arc<dyn crate::pipeline::Stage>> {
+        let mut stages: Vec<Arc<dyn crate::pipeline::Stage>> =
+            vec![Arc::new(crate::pipeline::CandidateFilter)];
+        if let Some(b) = self.config.budget {
+            stages.push(Arc::new(crate::pipeline::Truncate::new(b)));
+        }
+        stages
+    }
+}
+
+/// Per-schema certification facts, computed once per pipeline run and
+/// shared by every bound-based stage: whether the schema is certified
+/// empty at the threshold, its mapping-cost lower bound (the ranking
+/// key survivor truncation uses), and its admissible answer cap (what
+/// pruning it costs a certificate).
+///
+/// Unlike [`CandidateGenerator::generate`]'s auto mode, the table
+/// always promotes surviving schemas' lanes to full precision — stage
+/// composition and rewriting stay deterministic because every stage
+/// reads the *same* table regardless of where it sits in the pipeline.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundsTable {
+    entries: Vec<BoundsEntry>,
+}
+
+/// One schema's row in a [`BoundsTable`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BoundsEntry {
+    /// Proven to contain no answer at the threshold (includes schemas
+    /// too small for an injective assignment).
+    pub cert_empty: bool,
+    /// Lower bound on any mapping's un-normalised cost in this schema;
+    /// `+∞` for schemas too small to host a mapping at all.
+    pub total_lb: f64,
+    /// Admissible cap on the schema's answer count if pruned; `0.0`
+    /// exactly when `cert_empty`.
+    pub cap: f64,
+}
+
+impl BoundsTable {
+    /// Compute the table for `problem` at `delta_max`.
+    pub(crate) fn compute(
+        objective: &ObjectiveFunction,
+        problem: &MatchProblem,
+        delta_max: f64,
+    ) -> BoundsTable {
+        let repo = problem.repository();
+        let store = repo.store();
+        let k = problem.personal_size();
+        let mut sweep = LaneSweep::run(objective, problem, delta_max);
+        let budget = sweep.budget;
+        let mut exact = vec![0.0f64; k];
+        let mut entries = Vec::with_capacity(repo.len());
+        for (sid, schema) in repo.iter() {
+            if schema.len() < k {
+                entries.push(BoundsEntry {
+                    cert_empty: true,
+                    total_lb: f64::INFINITY,
+                    cap: 0.0,
+                });
+                continue;
+            }
+            let coarse = sweep.coarse(sid);
+            if coarse > budget {
+                entries.push(BoundsEntry {
+                    cert_empty: true,
+                    total_lb: coarse,
+                    cap: 0.0,
+                });
+                continue;
+            }
+            let labels = store.schema_labels(sid);
+            sweep.promote_schema(labels);
+            let total_lb = sweep.fill_minima(labels, &mut exact);
+            if total_lb > budget {
+                entries.push(BoundsEntry {
+                    cert_empty: true,
+                    total_lb,
+                    cap: 0.0,
+                });
+                continue;
+            }
+            let cap = sweep.cap(labels, &exact, total_lb);
+            entries.push(BoundsEntry {
+                cert_empty: cap == 0.0,
+                total_lb,
+                cap,
+            });
+        }
+        BoundsTable { entries }
+    }
+
+    /// The entry for `sid`.
+    pub(crate) fn entry(&self, sid: SchemaId) -> BoundsEntry {
+        self.entries[sid.index()]
+    }
+}
+
+/// `(pruned, scored)` cost-pair counts for an active mask.
+fn pair_counts(problem: &MatchProblem, mask: &[bool]) -> (u64, u64) {
+    let k = problem.personal_size();
+    let mut pruned_pairs = 0u64;
+    let mut scored_pairs = 0u64;
+    for (sid, schema) in problem.repository().iter() {
+        let pairs = (k * schema.len()) as u64;
+        if mask[sid.index()] {
+            scored_pairs += pairs;
+        } else {
+            pruned_pairs += pairs;
+        }
+    }
+    (pruned_pairs, scored_pairs)
 }
 
 /// The repository schemas a candidate-restricted problem is allowed to
@@ -397,6 +593,54 @@ pub struct CandidateSet {
 }
 
 impl CandidateSet {
+    /// The unrestricted candidate set a [`pipeline`](crate::pipeline)
+    /// run starts from: every schema the problem may score is active
+    /// (respecting any restriction the problem already carries), no
+    /// caps, nothing certified — the identity element stages narrow.
+    pub fn full(problem: &MatchProblem, delta_max: f64) -> CandidateSet {
+        let repo = problem.repository();
+        let ids = problem.active_schema_ids();
+        let mut mask = vec![false; repo.len()];
+        for sid in &ids {
+            mask[sid.index()] = true;
+        }
+        let (pruned_pairs, scored_pairs) = pair_counts(problem, &mask);
+        CandidateSet {
+            active: Arc::new(ActiveSet { ids, mask }),
+            total_schemas: repo.len(),
+            cert_empty: 0,
+            caps_sum: 0.0,
+            pruned_pairs,
+            scored_pairs,
+            delta_max,
+        }
+    }
+
+    /// A narrowed copy keeping only `kept`, with the stage's
+    /// bookkeeping folded into the cumulative certificate state.
+    pub(crate) fn narrowed(
+        &self,
+        problem: &MatchProblem,
+        kept: Vec<SchemaId>,
+        cert_empty_added: usize,
+        caps_added: f64,
+    ) -> CandidateSet {
+        let mut mask = vec![false; self.total_schemas];
+        for sid in &kept {
+            mask[sid.index()] = true;
+        }
+        let (pruned_pairs, scored_pairs) = pair_counts(problem, &mask);
+        CandidateSet {
+            active: Arc::new(ActiveSet { ids: kept, mask }),
+            total_schemas: self.total_schemas,
+            cert_empty: self.cert_empty + cert_empty_added,
+            caps_sum: self.caps_sum + caps_added,
+            pruned_pairs,
+            scored_pairs,
+            delta_max: self.delta_max,
+        }
+    }
+
     /// The active subset (shared with restricted problems).
     pub fn active(&self) -> &Arc<ActiveSet> {
         &self.active
@@ -574,5 +818,32 @@ mod tests {
         assert!(set.active().contains(SchemaId(1)));
         assert!(!set.active().contains(SchemaId(0)));
         assert_eq!(set.pruned_pairs(), 3); // k × 1 node
+    }
+
+    #[test]
+    fn bounds_table_agrees_with_budget_mode_generation() {
+        let problem = scenario_problem();
+        let objective = ObjectiveFunction::default();
+        let table = BoundsTable::compute(&objective, &problem, 0.3);
+        // Budget mode promotes every surviving schema to full
+        // precision, exactly as the table does — the survivor set and
+        // caps must coincide.
+        let all = CandidateGenerator::new(
+            objective,
+            CandidateConfig {
+                budget: Some(problem.repository().len()),
+            },
+        )
+        .generate(&problem, 0.3);
+        let mut survivors = 0usize;
+        for (sid, _) in problem.repository().iter() {
+            let entry = table.entry(sid);
+            assert_eq!(entry.cap == 0.0, entry.cert_empty);
+            if !entry.cert_empty {
+                survivors += 1;
+                assert!(all.active().contains(sid), "table survivor {sid} pruned");
+            }
+        }
+        assert_eq!(survivors, all.active_count());
     }
 }

@@ -44,6 +44,15 @@ impl ClusterMatcher {
     }
 }
 
+impl ClusterMatcher {
+    /// Lift into a terminal [`pipeline`](crate::pipeline) refine stage.
+    /// Cluster ranking stays global (it reads the whole repository);
+    /// the upstream filters only decide which fragments may answer.
+    pub fn into_refine_stage(self) -> crate::pipeline::RefineStage<Self> {
+        crate::pipeline::RefineStage::new(self)
+    }
+}
+
 impl Matcher for ClusterMatcher {
     fn name(&self) -> &str {
         "S2-cluster"

@@ -194,6 +194,15 @@ impl ExhaustiveMatcher {
     }
 }
 
+impl ExhaustiveMatcher {
+    /// Lift S1 into a terminal [`pipeline`](crate::pipeline) refine
+    /// stage — the usual "exhaustive on the survivors" tail of a
+    /// filter→refine process.
+    pub fn into_refine_stage(self) -> crate::pipeline::RefineStage<Self> {
+        crate::pipeline::RefineStage::new(self)
+    }
+}
+
 impl Matcher for ExhaustiveMatcher {
     fn name(&self) -> &str {
         "S1-exhaustive"

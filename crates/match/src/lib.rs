@@ -45,6 +45,49 @@
 //!   answers are **bitwise identical** to the unrestricted run
 //!   (`tests/candidate_differential.rs`).
 //!
+//! # Pipelines
+//!
+//! [`pipeline`] generalises the certified tier into *composable*
+//! matching processes: a [`Pipeline`] chains filter stages (candidate
+//! certification, survivor truncation, beam-as-filter) in front of any
+//! terminal matcher, accumulates every stage's certificate charges,
+//! and — because it implements [`Matcher`] itself — drops into
+//! [`BatchMatcher`], [`CertifiedMatcher`], persistence and the benches
+//! unchanged. A small rewrite layer ([`Pipeline::normalize`]) fuses,
+//! dedups and reorders stages without changing a single answer bit:
+//!
+//! ```
+//! use smx_match::{ExhaustiveMatcher, MappingRegistry, MatchProblem,
+//!                 ObjectiveFunction, Pipeline};
+//! use smx_synth::{Scenario, ScenarioConfig};
+//!
+//! let sc = Scenario::generate(ScenarioConfig::default());
+//! let problem = MatchProblem::new(sc.personal, sc.repository).unwrap();
+//!
+//! // candidates → keep the 8 most promising → beam-filter → exhaustive.
+//! let pipe = Pipeline::builder(ObjectiveFunction::default())
+//!     .candidate_filter()
+//!     .truncate(8)
+//!     .beam_filter(16)
+//!     .refine(ExhaustiveMatcher::default());
+//!
+//! let registry = MappingRegistry::new();
+//! let run = pipe.run_certified(&problem, 0.3, &registry);
+//! // The composed certificate multiplies per-stage factors …
+//! let cert = &run.certificate;
+//! assert!(cert.factor_breakdown().reproduces(cert.certified_recall(), 1e-9));
+//! // … and lower-bounds recall against the exhaustive oracle.
+//! assert!(cert.certified_recall() <= 1.0);
+//! ```
+//!
+//! Stage pruning decisions all read one shared, full-precision bounds
+//! table computed per run, which is what makes the rewrite algebra
+//! sound — see the [`pipeline`] module docs. The pipeline-algebra
+//! differential suites (`tests/pipeline_differential.rs`,
+//! `tests/pipeline_algebra.rs`) hold `normalize` to bitwise answer
+//! identity and composed certificates to admissibility across random
+//! stage compositions and budgets.
+//!
 //! # The scoring engine
 //!
 //! All matchers score through the problem's precomputed
@@ -92,9 +135,11 @@ pub mod mapping;
 pub mod matcher;
 pub mod objective;
 pub mod parallel;
+pub mod pipeline;
 pub mod problem;
 pub mod sampler;
 pub mod space;
+pub mod test_support;
 pub mod topk;
 
 pub use batch::{BatchMatcher, BatchProblem};
@@ -110,6 +155,11 @@ pub use mapping::{Mapping, MappingRegistry};
 pub use matcher::Matcher;
 pub use objective::{ObjectiveConfig, ObjectiveFunction};
 pub use parallel::ParallelExhaustiveMatcher;
+pub use pipeline::{
+    BeamFilter, CandidateFilter, Pipeline, PipelineAnswer, PipelineBuilder, PipelineCertificate,
+    PredicateId, RefineStage, SizeFilter, Stage, StageContext, StageKind, StageOutput, StageReport,
+    Truncate,
+};
 pub use problem::MatchProblem;
 pub use sampler::random_selection;
 pub use space::{falling_factorial, search_space_size};

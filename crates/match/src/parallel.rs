@@ -42,6 +42,14 @@ impl ParallelExhaustiveMatcher {
     }
 }
 
+impl ParallelExhaustiveMatcher {
+    /// Lift into a terminal [`pipeline`](crate::pipeline) refine stage:
+    /// the surviving schemas are searched across scoped workers.
+    pub fn into_refine_stage(self) -> crate::pipeline::RefineStage<Self> {
+        crate::pipeline::RefineStage::new(self)
+    }
+}
+
 impl Matcher for ParallelExhaustiveMatcher {
     fn name(&self) -> &str {
         "S1-parallel"

@@ -65,6 +65,17 @@ impl TopKMatcher {
     }
 }
 
+impl TopKMatcher {
+    /// Lift into a terminal [`pipeline`](crate::pipeline) refine stage.
+    /// Note the dynamic budget stays *global* across the surviving
+    /// schemas, so upstream pruning can promote deeper-ranked answers
+    /// into the top k — see the certified-matrix suite for what the
+    /// certificate does and does not claim here.
+    pub fn into_refine_stage(self) -> crate::pipeline::RefineStage<Self> {
+        crate::pipeline::RefineStage::new(self)
+    }
+}
+
 impl Matcher for TopKMatcher {
     fn name(&self) -> &str {
         "S2-topk"

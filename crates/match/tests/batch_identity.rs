@@ -2,12 +2,17 @@
 //! execution strategy. For every matcher, [`BatchMatcher`] results are
 //! bitwise identical — scores always, interned ids too under sequential
 //! dispatch — to running each problem alone through the same matcher.
+//!
+//! The matcher roster and the canonical/bitwise helpers come from
+//! [`smx_match::test_support`], shared with the candidate-differential
+//! and persistence-chaos suites — so the composed pipeline system is
+//! exercised here exactly like the six monolithic matchers.
 
 use smx_eval::AnswerSet;
+use smx_match::test_support::{all_matchers, canonical_answers, run_matcher};
 use smx_match::{
-    BatchMatcher, BatchProblem, BeamMatcher, BruteForceMatcher, ClusterMatcher, ExhaustiveMatcher,
-    Mapping, MappingRegistry, MatchProblem, Matcher, ObjectiveFunction, ParallelExhaustiveMatcher,
-    TopKMatcher,
+    BatchMatcher, BatchProblem, ExhaustiveMatcher, MappingRegistry, MatchProblem, Matcher,
+    ObjectiveFunction,
 };
 use smx_repo::Repository;
 use smx_synth::{Scenario, ScenarioConfig};
@@ -38,26 +43,6 @@ fn workload(seeds: &[u64]) -> (Vec<Schema>, Repository) {
     (personals, base.repository)
 }
 
-/// All six matching systems, each behind the same trait object the
-/// batch dispatcher sees.
-fn matchers() -> Vec<(&'static str, Box<dyn Matcher + Sync>)> {
-    let objective = ObjectiveFunction::default;
-    vec![
-        ("exhaustive", Box::new(ExhaustiveMatcher::new(objective()))),
-        (
-            "parallel",
-            Box::new(ParallelExhaustiveMatcher::new(objective(), 3)),
-        ),
-        ("brute-force", Box::new(BruteForceMatcher::new(objective()))),
-        ("beam", Box::new(BeamMatcher::new(objective(), 16))),
-        (
-            "cluster",
-            Box::new(ClusterMatcher::new(objective(), 0.55, 3)),
-        ),
-        ("topk", Box::new(TopKMatcher::new(objective(), 25))),
-    ]
-}
-
 /// The sequential oracle: each personal schema matched alone, in batch
 /// order, through a fresh problem against the same repository.
 fn sequential_oracle<M: Matcher>(
@@ -68,30 +53,14 @@ fn sequential_oracle<M: Matcher>(
 ) -> Vec<AnswerSet> {
     personals
         .iter()
-        .map(|personal| {
-            let problem = MatchProblem::new(personal.clone(), repository.clone())
-                .expect("non-empty personal schema");
-            matcher.run(&problem, DELTA_MAX, registry)
-        })
+        .map(|personal| run_matcher(matcher, personal, repository, DELTA_MAX, registry))
         .collect()
-}
-
-/// Registry-independent canonical form: resolved mappings with bitwise
-/// score keys, sorted.
-fn canonical(answers: &AnswerSet, registry: &MappingRegistry) -> Vec<(Mapping, u64)> {
-    let mut out: Vec<(Mapping, u64)> = answers
-        .answers()
-        .iter()
-        .map(|a| (registry.resolve(a.id).expect("interned"), a.score.to_bits()))
-        .collect();
-    out.sort_by(|x, y| x.0.cmp(&y.0));
-    out
 }
 
 #[test]
 fn sequential_batch_is_bitwise_identical_for_all_matchers() {
     let (personals, repository) = workload(&[11, 22, 33, 44]);
-    for (name, matcher) in matchers() {
+    for (name, matcher) in all_matchers() {
         // One shared registry, so ids are comparable across runs (the
         // parallel matcher interns in scheduler order, so only a shared
         // registry pins its ids).
@@ -113,7 +82,7 @@ fn sequential_batch_is_bitwise_identical_for_all_matchers() {
 #[test]
 fn threaded_batch_matches_sequential_mappings_bitwise() {
     let (personals, repository) = workload(&[5, 6, 7, 8, 9, 10]);
-    for (name, matcher) in matchers() {
+    for (name, matcher) in all_matchers() {
         let reg_seq = MappingRegistry::new();
         let expected = sequential_oracle(&matcher, &personals, &repository, &reg_seq);
         let reg_batch = MappingRegistry::new();
@@ -125,8 +94,8 @@ fn threaded_batch_matches_sequential_mappings_bitwise() {
         assert_eq!(got.len(), expected.len(), "{name}");
         for (i, (b, s)) in got.iter().zip(&expected).enumerate() {
             assert_eq!(
-                canonical(b, &reg_batch),
-                canonical(s, &reg_seq),
+                canonical_answers(b, &reg_batch),
+                canonical_answers(s, &reg_seq),
                 "{name} problem {i}"
             );
         }
@@ -136,7 +105,7 @@ fn threaded_batch_matches_sequential_mappings_bitwise() {
 #[test]
 fn empty_batch_yields_no_answer_sets() {
     let (_, repository) = workload(&[11]);
-    for (name, matcher) in matchers() {
+    for (name, matcher) in all_matchers() {
         let batch = BatchProblem::new(Vec::new(), repository.clone()).expect("empty batch ok");
         let registry = MappingRegistry::new();
         let got = BatchMatcher::new(matcher).run_batch(&batch, DELTA_MAX, &registry);
@@ -151,10 +120,9 @@ fn empty_batch_yields_no_answer_sets() {
 #[test]
 fn single_problem_batch_equals_solo_run() {
     let (personals, repository) = workload(&[17]);
-    for (name, matcher) in matchers() {
+    for (name, matcher) in all_matchers() {
         let registry = MappingRegistry::new();
-        let problem = MatchProblem::new(personals[0].clone(), repository.clone()).unwrap();
-        let solo = matcher.run(&problem, DELTA_MAX, &registry);
+        let solo = run_matcher(&matcher, &personals[0], &repository, DELTA_MAX, &registry);
         let batch = BatchProblem::new(vec![personals[0].clone()], repository.clone()).unwrap();
         let got = BatchMatcher::new(matcher).run_batch(&batch, DELTA_MAX, &registry);
         assert_eq!(got.len(), 1, "{name}");
@@ -165,7 +133,7 @@ fn single_problem_batch_equals_solo_run() {
 #[test]
 fn duplicate_schema_batch_repeats_identical_answers() {
     let (personals, repository) = workload(&[23]);
-    for (name, matcher) in matchers() {
+    for (name, matcher) in all_matchers() {
         let registry = MappingRegistry::new();
         let batch = BatchProblem::new(
             vec![

@@ -2,9 +2,14 @@
 //! exceeds the recall actually measured against the exhaustive oracle —
 //! for arbitrary generated scenarios, thresholds, and budgets
 //! (including 0 and ≥ repository size).
+//!
+//! Scenario shapes, thresholds, and budgets are drawn from the shared
+//! [`smx_synth::strategies`] vocabulary, so this gate and the pipeline
+//! algebra gate sample the same input space.
 
 use proptest::prelude::*;
 use smx_match::*;
+use smx_synth::strategies::{budgets, scenarios, thresholds, MAX_SCENARIO_SCHEMAS};
 use smx_synth::{Scenario, ScenarioConfig};
 
 proptest! {
@@ -14,27 +19,10 @@ proptest! {
     /// threshold, and budget.
     #[test]
     fn certificate_never_exceeds_measured_recall(
-        seed in 0u64..64,
-        personal_nodes in 2usize..5,
-        host_nodes in 4usize..9,
-        perturbation_idx in 0usize..3,
-        delta_idx in 0usize..3,
-        // 0..12 are explicit budgets (including 0 and ≥ repo size 6);
-        // 12 means "auto" (no budget).
-        budget_raw in 0usize..13,
+        sc in scenarios(),
+        delta_max in thresholds(),
+        budget in budgets(MAX_SCENARIO_SCHEMAS),
     ) {
-        let perturbation = [0.4f64, 0.7, 0.9][perturbation_idx];
-        let delta_max = [0.15f64, 0.3, 0.45][delta_idx];
-        let budget = if budget_raw == 12 { None } else { Some(budget_raw) };
-        let sc = Scenario::generate(ScenarioConfig {
-            derived_schemas: 3,
-            noise_schemas: 3,
-            personal_nodes,
-            host_nodes,
-            perturbation_strength: perturbation,
-            seed,
-            ..Default::default()
-        });
         let problem = MatchProblem::new(sc.personal, sc.repository).unwrap();
         let registry = MappingRegistry::new();
         let oracle = ExhaustiveMatcher::default().run(&problem, delta_max, &registry);
@@ -79,9 +67,8 @@ proptest! {
     #[test]
     fn budget_extremes_behave(
         seed in 0u64..32,
-        delta_idx in 0usize..2,
+        delta_max in thresholds(),
     ) {
-        let delta_max = [0.2f64, 0.4][delta_idx];
         let sc = Scenario::generate(ScenarioConfig {
             derived_schemas: 3,
             noise_schemas: 2,

@@ -7,8 +7,13 @@
 //! restricted answers must stay a score-consistent subset of the
 //! oracle, and for complete inner matchers the certificate must hold:
 //! certified recall ≤ measured recall vs the exhaustive oracle.
+//!
+//! The roster and the bitwise assertion come from
+//! [`smx_match::test_support`], shared with the batch-identity and
+//! persistence-chaos suites, so the composed pipeline system faces the
+//! same gate as the monolithic matchers.
 
-use smx_eval::AnswerSet;
+use smx_match::test_support::{all_matchers, assert_answers_bitwise, complete_matcher_names};
 use smx_match::*;
 use smx_synth::{Domain, Scenario, ScenarioConfig};
 
@@ -25,60 +30,8 @@ fn problem(seed: u64, domain: Domain) -> MatchProblem {
     MatchProblem::new(sc.personal, sc.repository).unwrap()
 }
 
-/// All six matchers as trait objects behind one closure-dispatch list.
-fn matchers() -> Vec<(&'static str, Box<dyn Matcher>)> {
-    vec![
-        (
-            "exhaustive",
-            Box::new(ExhaustiveMatcher::default()) as Box<dyn Matcher>,
-        ),
-        (
-            "parallel",
-            Box::new(ParallelExhaustiveMatcher::new(
-                ObjectiveFunction::default(),
-                2,
-            )),
-        ),
-        (
-            "brute-force",
-            Box::new(BruteForceMatcher::new(ObjectiveFunction::default())),
-        ),
-        (
-            "beam",
-            Box::new(BeamMatcher::new(ObjectiveFunction::default(), 16)),
-        ),
-        (
-            "topk",
-            Box::new(TopKMatcher::new(ObjectiveFunction::default(), 25)),
-        ),
-        (
-            "cluster",
-            Box::new(ClusterMatcher::new(ObjectiveFunction::default(), 0.5, 4)),
-        ),
-    ]
-}
-
-fn assert_bitwise_equal(name: &str, a: &AnswerSet, b: &AnswerSet, registry: &MappingRegistry) {
-    assert_eq!(a.len(), b.len(), "{name}: answer counts differ");
-    for ans in a.answers() {
-        let other = b
-            .score_of(ans.id)
-            .unwrap_or_else(|| panic!("{name}: answer {:?} missing", ans.id));
-        assert_eq!(
-            ans.score.to_bits(),
-            other.to_bits(),
-            "{name}: score bits differ for {:?}",
-            ans.id
-        );
-        // Same registry, same id ⇒ same mapping, but resolve anyway so a
-        // registry regression cannot silently alias two mappings.
-        let mapping = registry.resolve(ans.id).expect("resolvable id");
-        assert!(mapping.is_injective(), "{name}: non-injective mapping");
-    }
-}
-
 #[test]
-fn auto_budget_is_bitwise_identical_for_all_six_matchers() {
+fn auto_budget_is_bitwise_identical_for_all_matchers() {
     for (seed, domain) in [
         (11, Domain::Publications),
         (12, Domain::Commerce),
@@ -93,11 +46,11 @@ fn auto_budget_is_bitwise_identical_for_all_six_matchers() {
         assert_eq!(candidates.caps_sum(), 0.0);
         assert_eq!(candidates.certified_recall(0), 1.0);
         let restricted = problem.with_candidates(&candidates);
-        for (name, matcher) in matchers() {
+        for (name, matcher) in all_matchers() {
             let oracle = matcher.run(&problem, delta_max, &registry);
             let tiered = matcher.run(&restricted, delta_max, &registry);
-            assert_bitwise_equal(name, &oracle, &tiered, &registry);
-            assert_bitwise_equal(name, &tiered, &oracle, &registry);
+            assert_answers_bitwise(name, &oracle, &tiered, &registry);
+            assert_answers_bitwise(name, &tiered, &oracle, &registry);
         }
     }
 }
@@ -116,10 +69,10 @@ fn budget_at_least_repo_size_is_bitwise_identical() {
     let candidates = generator.generate(&problem, delta_max);
     assert_eq!(candidates.caps_sum(), 0.0, "budget ≥ n caps nothing");
     let restricted = problem.with_candidates(&candidates);
-    for (name, matcher) in matchers() {
+    for (name, matcher) in all_matchers() {
         let oracle = matcher.run(&problem, delta_max, &registry);
         let tiered = matcher.run(&restricted, delta_max, &registry);
-        assert_bitwise_equal(name, &oracle, &tiered, &registry);
+        assert_answers_bitwise(name, &oracle, &tiered, &registry);
     }
 }
 
@@ -139,7 +92,7 @@ fn finite_budgets_stay_score_consistent_subsets() {
             );
             let candidates = generator.generate(&problem, delta_max);
             let restricted = problem.with_candidates(&candidates);
-            for (name, matcher) in matchers() {
+            for (name, matcher) in all_matchers() {
                 let tiered = matcher.run(&restricted, delta_max, &registry);
                 tiered
                     .is_subset_of(&oracle)
@@ -171,20 +124,9 @@ fn certificate_holds_for_complete_matchers_under_pruning() {
                     budget: Some(budget),
                 },
             );
-            let complete: Vec<(&str, Box<dyn Matcher>)> = vec![
-                ("exhaustive", Box::new(ExhaustiveMatcher::default())),
-                (
-                    "parallel",
-                    Box::new(ParallelExhaustiveMatcher::new(
-                        ObjectiveFunction::default(),
-                        2,
-                    )),
-                ),
-                (
-                    "brute-force",
-                    Box::new(BruteForceMatcher::new(ObjectiveFunction::default())),
-                ),
-            ];
+            let complete = all_matchers()
+                .into_iter()
+                .filter(|(name, _)| complete_matcher_names().contains(name));
             for (name, matcher) in complete {
                 let certified = CertifiedMatcher::new(matcher, generator.clone())
                     .run_certified(&problem, delta_max, &registry);

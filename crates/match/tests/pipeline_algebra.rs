@@ -1,0 +1,146 @@
+//! Property gate for the pipeline algebra: across *random* stage
+//! compositions, scenario shapes, and thresholds —
+//!
+//! * `normalize()` preserves answers bitwise and certificates exactly,
+//! * the composed certificate stays admissible for a complete terminal
+//!   (certified recall ≤ recall measured against the exhaustive
+//!   oracle), with truncation budgets explicitly covering `0` and
+//!   `≥ repository size`, and
+//! * the per-stage factor breakdown telescopes back to the composed
+//!   certified recall.
+//!
+//! Scenario inputs come from the shared [`smx_synth::strategies`]
+//! vocabulary, the same space the bound-admissibility gate samples.
+
+use proptest::prelude::*;
+use smx_match::test_support::assert_answers_bitwise;
+use smx_match::*;
+use smx_synth::strategies::{scenarios, thresholds};
+
+/// Truncation budgets a random composition can pick from — the
+/// extremes 0 (drop every survivor) and `usize::MAX` (a no-op the
+/// rewriter must erase) are always present.
+const KEEPS: [usize; 7] = [0, 1, 2, 3, 5, 8, usize::MAX];
+
+/// One randomly drawn filter stage.
+#[derive(Clone, Debug)]
+enum Spec {
+    Size,
+    Candidate,
+    Truncate(usize),
+    Beam(usize),
+}
+
+fn specs() -> impl Strategy<Value = Vec<Spec>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Spec::Size),
+            Just(Spec::Candidate),
+            (0..KEEPS.len()).prop_map(|i| Spec::Truncate(KEEPS[i])),
+            (1usize..32).prop_map(Spec::Beam),
+        ],
+        0..6,
+    )
+}
+
+fn build(stages: &[Spec]) -> Pipeline {
+    let mut builder = Pipeline::builder(ObjectiveFunction::default());
+    for spec in stages {
+        builder = match spec {
+            Spec::Size => builder.size_filter(),
+            Spec::Candidate => builder.candidate_filter(),
+            Spec::Truncate(keep) => builder.truncate(*keep),
+            Spec::Beam(width) => builder.beam_filter(*width),
+        };
+    }
+    builder.refine(ExhaustiveMatcher::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The whole algebra at once: admissibility, rewrite equivalence,
+    /// and factor-accounting consistency for one random composition.
+    #[test]
+    fn random_compositions_stay_admissible_and_normalize_exactly(
+        stages in specs(),
+        sc in scenarios(),
+        delta_max in thresholds(),
+    ) {
+        let problem = MatchProblem::new(sc.personal, sc.repository).unwrap();
+        let registry = MappingRegistry::new();
+        let oracle = ExhaustiveMatcher::default().run(&problem, delta_max, &registry);
+
+        let source = build(&stages);
+        let run = source.run_certified(&problem, delta_max, &registry);
+
+        // Admissibility: a complete terminal means every loss was
+        // charged by some filter stage, so the composed certificate
+        // lower-bounds the measured recall vs the exhaustive oracle.
+        run.answers
+            .is_subset_of(&oracle)
+            .unwrap_or_else(|e| panic!("{stages:?}: {e:?}"));
+        prop_assert!(run.answers.scores_consistent_with(&oracle));
+        let cert = run.certificate.certified_recall();
+        prop_assert!((0.0..=1.0).contains(&cert), "{:?}: recall {}", stages, cert);
+        let measured = if oracle.is_empty() {
+            1.0
+        } else {
+            let kept = run
+                .answers
+                .ids()
+                .filter(|&id| oracle.score_of(id).is_some())
+                .count();
+            kept as f64 / oracle.len() as f64
+        };
+        prop_assert!(
+            cert <= measured + 1e-12,
+            "{:?}: certified {} > measured {} (δ {})",
+            stages, cert, measured, delta_max
+        );
+
+        // Factor accounting: the stage chain is contiguous and its
+        // telescoping product reproduces the composed recall.
+        let reports = run.certificate.stages();
+        for pair in reports.windows(2) {
+            prop_assert_eq!(pair[0].active_out, pair[1].active_in);
+        }
+        prop_assert!(
+            run.certificate.factor_breakdown().reproduces(cert, 1e-9),
+            "{:?}: factor product {} vs recall {}",
+            stages,
+            run.certificate.factor_breakdown().composed_recall(),
+            cert
+        );
+
+        // Rewrite equivalence: the normal form answers bitwise
+        // identically and pays for exactly the same certificate.
+        let normalized = source.normalize();
+        prop_assert!(normalized.stage_names().len() <= source.stage_names().len());
+        prop_assert_eq!(
+            normalized.normalize().stage_names(),
+            normalized.stage_names(),
+            "normalization must be idempotent for {:?}",
+            stages
+        );
+        let norm_run = normalized.run_certified(&problem, delta_max, &registry);
+        assert_answers_bitwise("normalized", &norm_run.answers, &run.answers, &registry);
+        assert_answers_bitwise("source", &run.answers, &norm_run.answers, &registry);
+        prop_assert_eq!(
+            norm_run.certificate.certified_recall().to_bits(),
+            cert.to_bits(),
+            "{:?}: recall changed under normalization",
+            stages
+        );
+        prop_assert_eq!(
+            norm_run
+                .certificate
+                .certificate()
+                .missed_cap()
+                .to_bits(),
+            run.certificate.certificate().missed_cap().to_bits(),
+            "{:?}: caps changed under normalization",
+            stages
+        );
+    }
+}

@@ -17,10 +17,8 @@
 
 use proptest::prelude::*;
 use smx_eval::AnswerSet;
-use smx_match::{
-    BeamMatcher, BruteForceMatcher, ClusterMatcher, ExhaustiveMatcher, Mapping, MappingRegistry,
-    MatchProblem, Matcher, ObjectiveFunction, ParallelExhaustiveMatcher, TopKMatcher,
-};
+use smx_match::test_support::{all_matchers, canonical_answers, run_matcher};
+use smx_match::{MappingRegistry, MatchProblem, Matcher, ObjectiveFunction};
 use smx_persist::{
     Fault, FaultIo, FaultPlan, RealIo, RecoveryPolicy, RetryPolicy, SalvageEvent, Snapshot,
     SpillFile,
@@ -49,45 +47,13 @@ fn scenario(seed: u64) -> Scenario {
     })
 }
 
-/// All six matching systems.
-fn matchers() -> Vec<(&'static str, Box<dyn Matcher + Sync>)> {
-    let objective = ObjectiveFunction::default;
-    vec![
-        ("exhaustive", Box::new(ExhaustiveMatcher::new(objective()))),
-        (
-            "parallel",
-            Box::new(ParallelExhaustiveMatcher::new(objective(), 3)),
-        ),
-        ("brute-force", Box::new(BruteForceMatcher::new(objective()))),
-        ("beam", Box::new(BeamMatcher::new(objective(), 16))),
-        (
-            "cluster",
-            Box::new(ClusterMatcher::new(objective(), 0.55, 3)),
-        ),
-        ("topk", Box::new(TopKMatcher::new(objective(), 25))),
-    ]
-}
-
-/// Registry-independent canonical answers with bitwise score keys.
-fn canonical(answers: &AnswerSet, registry: &MappingRegistry) -> Vec<(Mapping, u64)> {
-    let mut out: Vec<(Mapping, u64)> = answers
-        .answers()
-        .iter()
-        .map(|a| (registry.resolve(a.id).expect("interned"), a.score.to_bits()))
-        .collect();
-    out.sort_by(|x, y| x.0.cmp(&y.0));
-    out
-}
-
 fn run(
     matcher: &dyn Matcher,
     personal: &Schema,
     repository: &Repository,
     registry: &MappingRegistry,
 ) -> AnswerSet {
-    let problem =
-        MatchProblem::new(personal.clone(), repository.clone()).expect("non-empty personal schema");
-    matcher.run(&problem, DELTA_MAX, registry)
+    run_matcher(matcher, personal, repository, DELTA_MAX, registry)
 }
 
 /// A bounded clone of `source`'s schemas with a fault-injected spill
@@ -149,13 +115,13 @@ fn six_matchers_are_bitwise_identical_under_fault_storms() {
     for (name, plan) in storms {
         let path = temp_path(&format!("storm-{name}"));
         let (repo, _spill) = bounded_with_faulty_spill(&sc.repository, 1, plan, &path);
-        for (matcher_name, matcher) in matchers() {
+        for (matcher_name, matcher) in all_matchers() {
             let registry = MappingRegistry::new();
             let oracle = run(&matcher, &sc.personal, &sc.repository, &registry);
             let stormy = run(&matcher, &sc.personal, &repo, &registry);
             assert_eq!(
-                canonical(&oracle, &registry),
-                canonical(&stormy, &registry),
+                canonical_answers(&oracle, &registry),
+                canonical_answers(&stormy, &registry),
                 "storm {name:?}: matcher {matcher_name} diverged from the no-fault oracle"
             );
         }
@@ -258,13 +224,13 @@ fn salvage_storm_reports_each_damaged_section_and_answers_identically() {
         // And the degraded repository still answers bitwise identically
         // across all six matchers — salvage costs recompute, never
         // correctness.
-        for (name, matcher) in matchers() {
+        for (name, matcher) in all_matchers() {
             let registry = MappingRegistry::new();
             let oracle = run(&matcher, &sc.personal, &repository, &registry);
             let degraded = run(&matcher, &sc.personal, &salvaged, &registry);
             assert_eq!(
-                canonical(&oracle, &registry),
-                canonical(&degraded, &registry),
+                canonical_answers(&oracle, &registry),
+                canonical_answers(&degraded, &registry),
                 "section {id}: matcher {name} diverged after salvage"
             );
         }

@@ -797,7 +797,10 @@ impl LabelStore {
             self.candidate_pruned
                 .fetch_add((n - cols.len()) as u64, Relaxed);
             if missing.is_empty() {
-                let row = prior.expect("all columns covered implies a partial row");
+                // `cols` may itself be empty (a fully pruned problem
+                // still fills its zero-column matrix): any row serves
+                // an empty subset, including one that was never filled.
+                let row = prior.unwrap_or_else(|| Arc::new(Vec::new()));
                 for &slot in &slots {
                     out[slot] = Some(Arc::clone(&row));
                 }

@@ -5,34 +5,24 @@
 //! * evicted rows recompute to bitwise-equal values (every fetched row
 //!   is checked against the scalar `NameSimilarity` oracle), and
 //! * the counter snapshot satisfies `hits + misses == lookups`.
+//!
+//! The label pool, fixture schemas, and noisy query labels come from
+//! the shared [`smx_synth::strategies`] vocabulary.
 
 use proptest::prelude::*;
 use smx_repo::{LabelId, Repository, StoreConfig};
+use smx_synth::strategies::{
+    noisy_labels, pool_indices, schema_with_label, small_repository, LABEL_POOL,
+};
 use smx_text::NameSimilarity;
-use smx_xml::{PrimitiveType, Schema, SchemaBuilder};
-
-/// Query/label vocabulary the operations draw from — overlapping, so
-/// runs revisit evicted rows.
-const POOL: &[&str] = &[
-    "title",
-    "bookTitle",
-    "isbn",
-    "author",
-    "price",
-    "orderDate",
-    "customerName",
-    "qty",
-    "shipAddress",
-    "year",
-    "publisher",
-    "edition",
-];
 
 #[derive(Clone, Debug)]
 enum Op {
-    /// Fetch `POOL[i]`'s score row (cache hit, stale extension, or sweep).
+    /// Fetch `LABEL_POOL[i]`'s score row (cache hit, stale extension, or
+    /// sweep).
     Query(usize),
-    /// Ingest another schema containing `POOL[i]` plus a fresh label.
+    /// Ingest another schema containing `LABEL_POOL[i]` plus a fresh
+    /// label.
     Add(usize),
     /// Tighten/loosen the LRU bound on the live store.
     SetCap(usize),
@@ -41,45 +31,12 @@ enum Op {
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
         prop_oneof![
-            (0..POOL.len()).prop_map(Op::Query),
-            (0..POOL.len()).prop_map(Op::Add),
+            pool_indices().prop_map(Op::Query),
+            pool_indices().prop_map(Op::Add),
             (1..6usize).prop_map(Op::SetCap),
         ],
         1..32,
     )
-}
-
-fn schema_with(label: &str, salt: usize) -> Schema {
-    SchemaBuilder::new(format!("s{salt}"))
-        .root(format!("host{salt}"))
-        .leaf(label, PrimitiveType::String)
-        .leaf(format!("extra{salt}"), PrimitiveType::String)
-        .build()
-}
-
-/// A small fixed repository sharing the pool vocabulary.
-fn base_repo(config: StoreConfig) -> Repository {
-    let mut repo = Repository::with_store_config(config);
-    repo.add(
-        SchemaBuilder::new("bib")
-            .root("bibliography")
-            .child("book", |b| {
-                b.leaf("title", PrimitiveType::String)
-                    .leaf("author", PrimitiveType::String)
-                    .leaf("year", PrimitiveType::Integer)
-            })
-            .build(),
-    );
-    repo.add(
-        SchemaBuilder::new("shop")
-            .root("store")
-            .child("order", |o| {
-                o.leaf("orderDate", PrimitiveType::Date)
-                    .leaf("price", PrimitiveType::Decimal)
-            })
-            .build(),
-    );
-    repo
 }
 
 /// Assert `row` equals a scalar-oracle sweep of `query`, bitwise.
@@ -99,7 +56,7 @@ fn assert_row_is_oracle(repo: &Repository, query: &str, row: &[f64]) {
 proptest! {
     #[test]
     fn lru_invariants_hold_under_any_interleaving(operations in ops(), cap0 in 1..5usize) {
-        let mut repo = base_repo(StoreConfig {
+        let mut repo = small_repository(StoreConfig {
             max_cached_rows: Some(cap0),
             batch_threads: 0,
         });
@@ -108,13 +65,13 @@ proptest! {
         for op in &operations {
             match op {
                 Op::Query(i) => {
-                    let query = POOL[*i];
+                    let query = LABEL_POOL[*i];
                     let row = repo.store().score_row(query);
                     assert_row_is_oracle(&repo, query, &row);
                 }
                 Op::Add(i) => {
                     salt += 1;
-                    repo.add(schema_with(POOL[*i], salt));
+                    repo.add(schema_with_label(LABEL_POOL[*i], salt));
                 }
                 Op::SetCap(c) => {
                     cap = *c;
@@ -133,7 +90,7 @@ proptest! {
         prop_assert_eq!(c.row_hits + c.row_misses, c.row_lookups);
         // Re-fetch the whole pool once more: evicted rows recompute to
         // bitwise-equal values regardless of the history above.
-        for query in POOL {
+        for query in LABEL_POOL {
             let row = repo.store().score_row(query);
             assert_row_is_oracle(&repo, query, &row);
         }
@@ -141,13 +98,13 @@ proptest! {
 
     #[test]
     fn bounded_store_agrees_with_unbounded_twin(
-        queries in proptest::collection::vec(0..POOL.len(), 1..24),
+        queries in proptest::collection::vec(pool_indices(), 1..24),
         cap in 1..4usize,
     ) {
-        let bounded = base_repo(StoreConfig { max_cached_rows: Some(cap), batch_threads: 0 });
-        let unbounded = base_repo(StoreConfig::default());
+        let bounded = small_repository(StoreConfig { max_cached_rows: Some(cap), batch_threads: 0 });
+        let unbounded = small_repository(StoreConfig::default());
         for &i in &queries {
-            let query = POOL[i];
+            let query = LABEL_POOL[i];
             let b = bounded.store().score_row(query);
             let u = unbounded.store().score_row(query);
             prop_assert_eq!(b.len(), u.len());
@@ -167,11 +124,13 @@ proptest! {
 
     #[test]
     fn batched_fetch_equals_individual_fetch_bitwise(
-        batch in proptest::collection::vec(0..POOL.len(), 0..16),
+        batch in proptest::collection::vec(noisy_labels(), 0..16),
     ) {
-        let batched = base_repo(StoreConfig::default());
-        let individual = base_repo(StoreConfig::default());
-        let queries: Vec<&str> = batch.iter().map(|&i| POOL[i]).collect();
+        // Edit-noised queries: near-misses of interned labels exercise
+        // the same sweep path as exact pool hits, bitwise.
+        let batched = small_repository(StoreConfig::default());
+        let individual = small_repository(StoreConfig::default());
+        let queries: Vec<&str> = batch.iter().map(String::as_str).collect();
         let rows = batched.store().score_rows(&queries);
         prop_assert_eq!(rows.len(), queries.len());
         for (&query, row) in queries.iter().zip(&rows) {

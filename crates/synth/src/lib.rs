@@ -18,7 +18,10 @@
 //!   shape,
 //! * [`perturb`] — name/structure perturbations with provenance tracking,
 //! * [`scenario`] — end-to-end scenario assembly: personal schema,
-//!   repository, and the set of correct element correspondences.
+//!   repository, and the set of correct element correspondences,
+//! * [`strategies`] — reusable proptest strategies over all of the
+//!   above (scenario shapes, thresholds, budgets, label noise) for the
+//!   workspace's property suites.
 //!
 //! All randomness flows through a caller-provided [`rand::rngs::StdRng`]
 //! seed, so scenarios are exactly reproducible.
@@ -26,6 +29,7 @@
 pub mod generator;
 pub mod perturb;
 pub mod scenario;
+pub mod strategies;
 pub mod vocab;
 
 pub use generator::{generate_schema, SchemaGenConfig};

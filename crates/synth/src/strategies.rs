@@ -1,0 +1,205 @@
+//! Reusable proptest strategies over synthetic matching inputs.
+//!
+//! The workspace's property suites each used to roll their own input
+//! generators — scenario shapes in the bound-admissibility gate, label
+//! pools and fixture repositories in the LRU suite. This module is the
+//! shared vocabulary: strategies for [`ScenarioConfig`]s and generated
+//! [`Scenario`]s, matching thresholds, candidate budgets (explicitly
+//! covering the `None`/`0`/`≥ repository` extremes the certificates
+//! must survive), plus the overlapping label pool, edit-noised query
+//! labels, and small fixture schemas/repositories the store suites
+//! exercise eviction with.
+//!
+//! Everything composes with the vendored mini-proptest: deterministic
+//! per-test seeding, no shrinking, so keep the shapes small enough that
+//! a raw failure report is readable.
+
+use crate::scenario::{Scenario, ScenarioConfig};
+use crate::vocab::Domain;
+use proptest::prelude::*;
+use smx_repo::{Repository, StoreConfig};
+use smx_xml::{PrimitiveType, Schema, SchemaBuilder};
+
+/// Query/label vocabulary the store suites draw from — deliberately
+/// overlapping across fixture schemas, so interleavings revisit evicted
+/// rows instead of touching every label once.
+pub const LABEL_POOL: &[&str] = &[
+    "title",
+    "bookTitle",
+    "isbn",
+    "author",
+    "price",
+    "orderDate",
+    "customerName",
+    "qty",
+    "shipAddress",
+    "year",
+    "publisher",
+    "edition",
+];
+
+/// Strategy over indices into [`LABEL_POOL`].
+pub fn pool_indices() -> std::ops::Range<usize> {
+    0..LABEL_POOL.len()
+}
+
+/// Strategy over pool labels themselves.
+pub fn pool_labels() -> impl Strategy<Value = &'static str> {
+    pool_indices().prop_map(|i| LABEL_POOL[i])
+}
+
+/// Strategy over edit-noised pool labels: a clean pool label, or one
+/// damaged by a single case flip, deletion, duplication, or a noise
+/// suffix — the kind of near-miss vocabulary perturbed schemas carry,
+/// useful for driving caches and matchers with queries that are close
+/// to, but not interned as, repository labels.
+pub fn noisy_labels() -> impl Strategy<Value = String> {
+    (pool_indices(), 0u8..5, any::<prop::sample::Index>()).prop_map(|(i, kind, at)| {
+        let base = LABEL_POOL[i];
+        let chars: Vec<char> = base.chars().collect();
+        let pos = at.index(chars.len());
+        match kind {
+            // Clean pool label.
+            0 => base.to_string(),
+            // Case flip at one position.
+            1 => chars
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| {
+                    if j == pos {
+                        if c.is_uppercase() {
+                            c.to_ascii_lowercase()
+                        } else {
+                            c.to_ascii_uppercase()
+                        }
+                    } else {
+                        c
+                    }
+                })
+                .collect(),
+            // Single-character deletion (kept non-empty).
+            2 if chars.len() > 1 => chars
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != pos)
+                .map(|(_, &c)| c)
+                .collect(),
+            // Single-character duplication.
+            3 => {
+                let mut out: String = chars[..=pos].iter().collect();
+                out.push(chars[pos]);
+                out.extend(&chars[pos + 1..]);
+                out
+            }
+            // Noise suffix.
+            _ => format!("{base}X"),
+        }
+    })
+}
+
+/// A two-leaf fixture schema containing `label` plus a salted fresh
+/// label — the unit the store suites ingest to grow the interner
+/// mid-run.
+pub fn schema_with_label(label: &str, salt: usize) -> Schema {
+    SchemaBuilder::new(format!("s{salt}"))
+        .root(format!("host{salt}"))
+        .leaf(label, PrimitiveType::String)
+        .leaf(format!("extra{salt}"), PrimitiveType::String)
+        .build()
+}
+
+/// A small fixed repository sharing the pool vocabulary: a bibliography
+/// schema and a commerce schema, enough label overlap with
+/// [`LABEL_POOL`] that bounded caches hit, miss, and evict.
+pub fn small_repository(config: StoreConfig) -> Repository {
+    let mut repo = Repository::with_store_config(config);
+    repo.add(
+        SchemaBuilder::new("bib")
+            .root("bibliography")
+            .child("book", |b| {
+                b.leaf("title", PrimitiveType::String)
+                    .leaf("author", PrimitiveType::String)
+                    .leaf("year", PrimitiveType::Integer)
+            })
+            .build(),
+    );
+    repo.add(
+        SchemaBuilder::new("shop")
+            .root("store")
+            .child("order", |o| {
+                o.leaf("orderDate", PrimitiveType::Date)
+                    .leaf("price", PrimitiveType::Decimal)
+            })
+            .build(),
+    );
+    repo
+}
+
+/// Strategy over all four vocabulary domains.
+pub fn domains() -> impl Strategy<Value = Domain> {
+    (0usize..4).prop_map(|i| {
+        [
+            Domain::Publications,
+            Domain::Commerce,
+            Domain::HumanResources,
+            Domain::Travel,
+        ][i]
+    })
+}
+
+/// Strategy over small, property-test-sized [`ScenarioConfig`]s:
+/// 2–4 personal nodes embedded into 4–8-node hosts, 2–4 derived plus
+/// 1–3 noise schemas (so repositories hold at most
+/// [`MAX_SCENARIO_SCHEMAS`] schemas), perturbation from gentle to
+/// savage, across all domains and 64 seeds.
+pub fn scenario_configs() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        (0u64..64, domains()),
+        (2usize..5, 4usize..9),
+        (2usize..5, 1usize..4),
+        0usize..3,
+    )
+        .prop_map(
+            |((seed, domain), (personal_nodes, host_nodes), (derived, noise), strength_idx)| {
+                ScenarioConfig {
+                    domain,
+                    personal_nodes,
+                    derived_schemas: derived,
+                    noise_schemas: noise,
+                    host_nodes,
+                    perturbation_strength: [0.4, 0.7, 0.9][strength_idx],
+                    seed,
+                }
+            },
+        )
+}
+
+/// Largest repository size (in schemas) [`scenario_configs`] generates
+/// — budgets at or above this cap nothing.
+pub const MAX_SCENARIO_SCHEMAS: usize = 7;
+
+/// Strategy over fully generated [`Scenario`]s from
+/// [`scenario_configs`].
+pub fn scenarios() -> impl Strategy<Value = Scenario> {
+    scenario_configs().prop_map(Scenario::generate)
+}
+
+/// Strategy over matching thresholds δ_max, from strict to permissive.
+pub fn thresholds() -> impl Strategy<Value = f64> {
+    (0usize..3).prop_map(|i| [0.15, 0.3, 0.45][i])
+}
+
+/// Strategy over candidate budgets, biased to the certificates' edge
+/// cases: `None` (auto — exact tier), `Some(0)` (everything pruned),
+/// small finite budgets, and budgets at or beyond `repo_size` (nothing
+/// capped). Pass the worst-case repository size; for
+/// [`scenario_configs`] scenarios that is [`MAX_SCENARIO_SCHEMAS`].
+pub fn budgets(repo_size: usize) -> impl Strategy<Value = Option<usize>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(0usize)),
+        (1..repo_size.max(2)).prop_map(Some),
+        Just(Some(repo_size)),
+        Just(Some(usize::MAX)),
+    ]
+}

@@ -31,9 +31,20 @@
 #      suite (certified recall never exceeds measured recall,
 #      including budget 0 and budget >= n edges). A certification
 #      regression fails here by name, not buried in step 3.
-#   9. bench-regression guard (scripts/bench_guard.sh): a fresh
+#   9. pipeline-algebra suites, likewise named: the pipeline
+#      differential gate (every candidate→refine decomposition bitwise
+#      equal to its monolith; normalize() preserves answers and
+#      certificates exactly), the proptest algebra gate over random
+#      stage compositions, and the certified matrix (what each matcher
+#      class — complete / restriction-monotone / global-budget — can
+#      promise under fixed budgets).
+#  10. bench-regression guard (scripts/bench_guard.sh): a fresh
 #      scripts/bench_matching.sh run compared against the committed
 #      BENCH_matching.json with a +25% budget.
+#
+# Steps 7–9 run through named_suites(), which fails loudly if any named
+# test binary reports "running 0 tests" — a renamed file or filter typo
+# must not silently disable a gate.
 #
 # Bench-guard modes (SMX_BENCH_GUARD):
 #   absolute (default) — absolute ns of matchers/s1_exhaustive_cold,
@@ -58,31 +69,47 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/9] cargo fmt --all --check"
+# Run named test binaries (`cargo test <args> -q`) and fail loudly if
+# any of them reports "running 0 tests": an empty named suite means a
+# rename or a filter typo disabled a gate without failing anything.
+named_suites() {
+  local out
+  out="$(cargo test "$@" -q 2>&1)" || { printf '%s\n' "$out"; return 1; }
+  printf '%s\n' "$out"
+  if printf '%s\n' "$out" | grep -q '^running 0 tests'; then
+    echo "verify: FAIL — a named suite ran 0 tests (cargo test $*)" >&2
+    return 1
+  fi
+}
+
+echo "== [1/10] cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "== [2/9] cargo build --release"
+echo "== [2/10] cargo build --release"
 cargo build --release
 
-echo "== [3/9] cargo test -q"
+echo "== [3/10] cargo test -q"
 cargo test -q
 
-echo "== [4/9] cargo clippy --all-targets -- -D warnings"
+echo "== [4/10] cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== [5/9] cargo bench --no-run"
+echo "== [5/10] cargo bench --no-run"
 cargo bench -p smx-bench --no-run
 
-echo "== [6/9] snapshot round-trip smoke (examples/warm_restart)"
+echo "== [6/10] snapshot round-trip smoke (examples/warm_restart)"
 cargo run --release --example warm_restart >/dev/null
 
-echo "== [7/9] fault-injection suites (crash matrix, chaos, spill compaction)"
-cargo test -p smx-persist --test crash_matrix --test chaos --test spill_compaction -q
+echo "== [7/10] fault-injection suites (crash matrix, chaos, spill compaction)"
+named_suites -p smx-persist --test crash_matrix --test chaos --test spill_compaction
 
-echo "== [8/9] certified candidate-tier suites (differential, bound admissibility)"
-cargo test -p smx-match --test candidate_differential --test bound_admissibility -q
+echo "== [8/10] certified candidate-tier suites (differential, bound admissibility)"
+named_suites -p smx-match --test candidate_differential --test bound_admissibility
 
-echo "== [9/9] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
+echo "== [9/10] pipeline-algebra suites (differential, algebra, certified matrix)"
+named_suites -p smx-match --test pipeline_differential --test pipeline_algebra --test certified_matrix
+
+echo "== [10/10] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
 scripts/bench_guard.sh
 
 echo "verify: OK"
