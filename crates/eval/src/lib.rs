@@ -41,5 +41,5 @@ pub use interpolate::{InterpolatedCurve, STANDARD_RECALL_LEVELS};
 pub use metrics::{f1_score, precision, recall, Counts};
 pub use pooling::{pool_depth_k, shallow_pool_estimate, PooledTruth};
 pub use topn::{precision_at, recall_at, TopNReport};
-pub use tradeoff::{CertifiedPoint, CertifiedTradeoff, FactorBreakdown, StageFactor};
+pub use tradeoff::{CertifiedPoint, CertifiedTradeoff, FactorBreakdown, StageFactor, StageInput};
 pub use truth::GroundTruth;

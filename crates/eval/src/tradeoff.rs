@@ -119,6 +119,31 @@ pub struct StageFactor {
     /// `f_i = (a + Σ_{j>i} C_j) / (a + Σ_{j≥i} C_j)`. Stages that
     /// charge nothing contribute exactly `1.0`.
     pub factor: f64,
+    /// Wall time the stage took, in nanoseconds; `0` when the producer
+    /// did not time its stages (e.g. [`FactorBreakdown::new`]).
+    pub wall_ns: u64,
+    /// Active schemas entering the stage; `0` when untracked.
+    pub active_in: usize,
+    /// Active schemas leaving the stage; `0` when untracked.
+    pub active_out: usize,
+}
+
+/// One stage's raw observations, as handed to
+/// [`FactorBreakdown::with_stages`]: the caps it charged plus the
+/// cost/selectivity facts (wall time, active-set delta) an adaptive
+/// pipeline needs per operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageInput {
+    /// The stage's display name, e.g. `"truncate(8)"`.
+    pub stage: String,
+    /// Answer caps this stage charged.
+    pub caps_added: f64,
+    /// Wall time the stage took, in nanoseconds.
+    pub wall_ns: u64,
+    /// Active schemas entering the stage.
+    pub active_in: usize,
+    /// Active schemas leaving the stage.
+    pub active_out: usize,
 }
 
 /// Per-stage attribution of a composed certified-recall bound.
@@ -135,23 +160,48 @@ pub struct FactorBreakdown {
 
 impl FactorBreakdown {
     /// Build from the final answer count and `(stage name, caps
-    /// charged)` pairs in stage order.
+    /// charged)` pairs in stage order. Wall times and active-set
+    /// deltas are left at zero; producers that track them use
+    /// [`with_stages`](Self::with_stages).
     pub fn new(answer_count: usize, charged: Vec<(String, f64)>) -> Self {
+        Self::with_stages(
+            answer_count,
+            charged
+                .into_iter()
+                .map(|(stage, caps_added)| StageInput {
+                    stage,
+                    caps_added,
+                    wall_ns: 0,
+                    active_in: 0,
+                    active_out: 0,
+                })
+                .collect(),
+        )
+    }
+
+    /// Build from the final answer count and each stage's full
+    /// observations (caps, wall time, active-set delta) in stage
+    /// order. The telescoping factors depend only on the caps; the
+    /// rest is carried through for attribution.
+    pub fn with_stages(answer_count: usize, inputs: Vec<StageInput>) -> Self {
         let a = answer_count as f64;
         // Suffix sums of caps: remaining[i] = Σ_{j≥i} caps_j.
-        let mut remaining: f64 = charged.iter().rev().fold(0.0, |acc, (_, c)| acc + c);
-        let mut stages = Vec::with_capacity(charged.len());
-        for (stage, caps_added) in charged {
-            let after = remaining - caps_added;
+        let mut remaining: f64 = inputs.iter().rev().fold(0.0, |acc, s| acc + s.caps_added);
+        let mut stages = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let after = remaining - input.caps_added;
             let factor = if remaining == 0.0 {
                 1.0
             } else {
                 (a + after) / (a + remaining)
             };
             stages.push(StageFactor {
-                stage,
-                caps_added,
+                stage: input.stage,
+                caps_added: input.caps_added,
                 factor,
+                wall_ns: input.wall_ns,
+                active_in: input.active_in,
+                active_out: input.active_out,
             });
             remaining = after;
         }

@@ -302,14 +302,26 @@ impl<M: Matcher + Sync> BatchMatcher<M> {
         delta_max: f64,
         registry: &MappingRegistry,
     ) -> Vec<AnswerSet> {
+        let mut span = smx_obs::span("batch.run");
         let chunks = batch.admission_chunks();
+        if span.is_active() {
+            span.attr("problems", batch.len());
+            span.attr("chunks", chunks.len().max(1));
+            span.attr("threads", self.threads);
+        }
         if chunks.len() <= 1 {
             batch.prefill_rows();
             return self.dispatch(batch.problems(), delta_max, registry);
         }
         let mut results = Vec::with_capacity(batch.len());
         for chunk in chunks {
-            batch.prefill_chunk(chunk.clone());
+            let mut chunk_span = smx_obs::span("batch.chunk");
+            let prefilled = batch.prefill_chunk(chunk.clone());
+            if chunk_span.is_active() {
+                chunk_span.attr("start", chunk.start);
+                chunk_span.attr("end", chunk.end);
+                chunk_span.attr("prefilled_labels", prefilled);
+            }
             results.extend(self.dispatch(&batch.problems()[chunk], delta_max, registry));
         }
         results

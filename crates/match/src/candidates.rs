@@ -127,6 +127,9 @@ struct LaneSweep<'a> {
     n_lanes: usize,
     /// Un-normalised threshold budget `δ_max · denom + 1e-12 + CERT_SLACK`.
     budget: f64,
+    /// (lane, label) entries promoted to full precision so far — the
+    /// walk's work counter, surfaced through the `candidates.*` spans.
+    refined_count: usize,
 }
 
 impl<'a> LaneSweep<'a> {
@@ -192,6 +195,7 @@ impl<'a> LaneSweep<'a> {
         let floor = (objective.blend(1.0 - BOUND_EPS, 0.0) - BOUND_EPS).max(0.0);
         let clamp = floor.min(1.05 * budget / k as f64);
         let mut lanelb = vec![clamp; n_schemas * n_lanes];
+        let mut refined_count = 0usize;
         for d in 0..n_lanes {
             for idx in 0..n_labels {
                 if bounds[d][idx] >= clamp {
@@ -204,6 +208,7 @@ impl<'a> LaneSweep<'a> {
                     let ub = store.refine_similarity_upper_bound(&filters[d], lid, tris[d][idx]);
                     bounds[d][idx] = to_lb(objective, ub);
                     refined[d][idx] = true;
+                    refined_count += 1;
                     if bounds[d][idx] >= clamp {
                         continue;
                     }
@@ -232,6 +237,7 @@ impl<'a> LaneSweep<'a> {
             lanelb,
             n_lanes,
             budget,
+            refined_count,
         }
     }
 
@@ -259,6 +265,7 @@ impl<'a> LaneSweep<'a> {
                             .refine_similarity_upper_bound(filter, lid, self.tris[d][idx]);
                     self.bounds[d][idx] = to_lb(self.objective, ub);
                     self.refined[d][idx] = true;
+                    self.refined_count += 1;
                 }
             }
         }
@@ -322,12 +329,19 @@ impl CandidateGenerator {
     /// `delta_max`: which schemas a restricted run must score, and an
     /// admissible cap on the answers the pruned ones could hold.
     pub fn generate(&self, problem: &MatchProblem, delta_max: f64) -> CandidateSet {
+        let mut outer = smx_obs::span("candidates.generate");
         let repo = problem.repository();
         let store = repo.store();
         let k = problem.personal_size();
-        let mut sweep = LaneSweep::run(&self.objective, problem, delta_max);
+        let mut sweep = {
+            let mut phase1 = smx_obs::span("candidates.phase1");
+            let sweep = LaneSweep::run(&self.objective, problem, delta_max);
+            phase1.attr("bounds_refined", sweep.refined_count);
+            sweep
+        };
         let budget = sweep.budget;
 
+        let mut phase2 = smx_obs::span("candidates.phase2");
         let mut cert_empty = 0usize;
         let mut verdicts: Vec<Verdict> = Vec::new();
         let mut exact = vec![0.0f64; k];
@@ -370,6 +384,10 @@ impl CandidateGenerator {
             }
             verdicts.push(Verdict { sid, total_lb, cap });
         }
+        phase2.attr("cert_empty", cert_empty);
+        phase2.attr("survivors", verdicts.len());
+        phase2.attr("bounds_refined_total", sweep.refined_count);
+        drop(phase2);
 
         // Selection: auto keeps every survivor; an explicit budget keeps
         // the most promising (smallest total_lb, ties by id) and caps
@@ -401,6 +419,14 @@ impl CandidateGenerator {
             mask
         };
         let (pruned_pairs, scored_pairs) = pair_counts(problem, &active_mask);
+        if outer.is_active() {
+            outer.attr("schemas", repo.len());
+            outer.attr("active", active.len());
+            outer.attr("cert_empty", cert_empty);
+            outer.attr("caps_sum", caps_sum);
+            outer.attr("pruned_pairs", pruned_pairs);
+            outer.attr("scored_pairs", scored_pairs);
+        }
 
         CandidateSet {
             active: Arc::new(ActiveSet {
@@ -474,6 +500,7 @@ impl BoundsTable {
         problem: &MatchProblem,
         delta_max: f64,
     ) -> BoundsTable {
+        let mut span = smx_obs::span("candidates.bounds_table");
         let repo = problem.repository();
         let store = repo.store();
         let k = problem.personal_size();
@@ -516,6 +543,14 @@ impl BoundsTable {
                 total_lb,
                 cap,
             });
+        }
+        if span.is_active() {
+            span.attr("schemas", entries.len());
+            span.attr(
+                "cert_empty",
+                entries.iter().filter(|e| e.cert_empty).count(),
+            );
+            span.attr("bounds_refined", sweep.refined_count);
         }
         BoundsTable { entries }
     }
@@ -616,15 +651,34 @@ impl CandidateSet {
         }
     }
 
-    /// A narrowed copy keeping only `kept`, with the stage's
-    /// bookkeeping folded into the cumulative certificate state.
-    pub(crate) fn narrowed(
+    /// A narrowed copy keeping only `kept`, with the narrowing's
+    /// bookkeeping folded into the cumulative certificate state:
+    /// `cert_empty_added` schemas proven empty at the threshold and
+    /// `caps_added` admissible answer cap charged for everything else
+    /// the narrowing dropped. This is the constructor pipeline stages
+    /// use internally; it is public so external filters and restricted
+    /// examples can build custom narrowings with honest certificates.
+    ///
+    /// # Panics
+    ///
+    /// If `kept` is not a subset of the current active set — a
+    /// narrowing may only drop schemas, never resurrect one a prior
+    /// stage already pruned (that would silently invalidate the caps
+    /// charged for it).
+    pub fn narrow(
         &self,
         problem: &MatchProblem,
         kept: Vec<SchemaId>,
         cert_empty_added: usize,
         caps_added: f64,
     ) -> CandidateSet {
+        for sid in &kept {
+            assert!(
+                self.active.contains(*sid),
+                "narrow: schema {:?} is not in the active set being narrowed",
+                sid
+            );
+        }
         let mut mask = vec![false; self.total_schemas];
         for sid in &kept {
             mask[sid.index()] = true;

@@ -190,10 +190,25 @@ impl<M: Matcher> CertifiedMatcher<M> {
         delta_max: f64,
         registry: &MappingRegistry,
     ) -> CertifiedAnswer {
+        let mut span = smx_obs::span("certified.run");
         let candidates = self.generator.generate(problem, delta_max);
         let restricted = problem.with_candidates(&candidates);
-        let answers = self.inner.run(&restricted, delta_max, registry);
+        let answers = {
+            let mut refine = smx_obs::span("certified.refine");
+            let answers = self.inner.run(&restricted, delta_max, registry);
+            if refine.is_active() {
+                refine.attr("matcher", self.inner.name());
+                refine.attr("answers", answers.len());
+            }
+            answers
+        };
         let certificate = RecallCertificate::new(&candidates, answers.len());
+        if span.is_active() {
+            span.attr("active_schemas", certificate.active_schemas());
+            span.attr("cert_empty", certificate.cert_empty_schemas());
+            span.attr("certified_recall", certificate.certified_recall());
+            span.attr("missed_cap", certificate.missed_cap());
+        }
         CertifiedAnswer {
             answers,
             certificate,

@@ -195,6 +195,7 @@ impl CostMatrix {
         objective: &ObjectiveFunction,
         pinned: &HashMap<&str, Arc<Vec<f64>>>,
     ) -> Self {
+        let mut span = smx_obs::span("cost_matrix.build");
         let personal = problem.personal();
         let k = problem.personal_size();
         let store = problem.repository().store();
@@ -296,6 +297,14 @@ impl CostMatrix {
                 (tables, Some(map))
             }
         };
+        if span.is_active() {
+            span.attr("k", k);
+            span.attr("distinct_labels", names.len());
+            span.attr("pinned_rows", names.len() - missing.len());
+            span.attr("missing_rows", missing.len());
+            span.attr("restricted", problem.active_set().is_some());
+            span.attr("schemas_filled", tables.len());
+        }
         let denom =
             k as f64 + problem.personal_edges() as f64 * objective.config().structure_weight;
         CostMatrix {

@@ -62,10 +62,11 @@ use crate::mapping::MappingRegistry;
 use crate::matcher::Matcher;
 use crate::objective::ObjectiveFunction;
 use crate::problem::MatchProblem;
-use smx_eval::{AnswerSet, FactorBreakdown};
+use smx_eval::{AnswerSet, FactorBreakdown, StageInput};
 use smx_repo::SchemaId;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Everything a stage may read during one pipeline run: the problem,
 /// the threshold, the registry answers are interned in, the pipeline's
@@ -242,7 +243,7 @@ impl Stage for SizeFilter {
         if dropped == 0 {
             return StageOutput::Narrowed(active.clone());
         }
-        StageOutput::Narrowed(active.narrowed(problem, kept, dropped, 0.0))
+        StageOutput::Narrowed(active.narrow(problem, kept, dropped, 0.0))
     }
 }
 
@@ -275,7 +276,7 @@ impl Stage for CandidateFilter {
         if dropped == 0 {
             return StageOutput::Narrowed(active.clone());
         }
-        StageOutput::Narrowed(active.narrowed(cx.problem(), kept, dropped, 0.0))
+        StageOutput::Narrowed(active.narrow(cx.problem(), kept, dropped, 0.0))
     }
 }
 
@@ -335,7 +336,7 @@ impl Stage for Truncate {
             }
             acc + entry.cap
         });
-        StageOutput::Narrowed(active.narrowed(cx.problem(), kept, cert_dropped, caps_added))
+        StageOutput::Narrowed(active.narrow(cx.problem(), kept, cert_dropped, caps_added))
     }
 }
 
@@ -402,7 +403,7 @@ impl Stage for BeamFilter {
         if kept.len() == active.active_count() {
             return StageOutput::Narrowed(active.clone());
         }
-        StageOutput::Narrowed(active.narrowed(problem, kept, cert_dropped, caps_added))
+        StageOutput::Narrowed(active.narrow(problem, kept, cert_dropped, caps_added))
     }
 }
 
@@ -455,6 +456,11 @@ pub struct StageReport {
     /// The stage's telescoping recall factor; the product over all
     /// stages reproduces the composed certified recall.
     pub factor: f64,
+    /// Wall time the stage's `apply` took, in nanoseconds. Always
+    /// measured (two monotonic clock reads per stage); when tracing is
+    /// enabled the same duration is also emitted as a
+    /// `pipeline.stage` span.
+    pub wall_ns: u64,
 }
 
 /// A composed certificate: the end-to-end [`RecallCertificate`] plus
@@ -483,15 +489,49 @@ impl PipelineCertificate {
     }
 
     /// The `smx-eval` factor-breakdown form of this certificate; its
-    /// factor product reproduces [`certified_recall`](Self::certified_recall).
+    /// factor product reproduces [`certified_recall`](Self::certified_recall),
+    /// and each stage factor carries the stage's wall time and
+    /// active-set delta for cost/selectivity attribution.
     pub fn factor_breakdown(&self) -> FactorBreakdown {
-        FactorBreakdown::new(
+        FactorBreakdown::with_stages(
             self.certificate.answer_count(),
             self.stages
                 .iter()
-                .map(|r| (r.name.clone(), r.caps_added))
+                .map(|r| StageInput {
+                    stage: r.name.clone(),
+                    caps_added: r.caps_added,
+                    wall_ns: r.wall_ns,
+                    active_in: r.active_in,
+                    active_out: r.active_out,
+                })
                 .collect(),
         )
+    }
+}
+
+impl fmt::Display for PipelineCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline certificate: recall ≥ {:.6}, {} answers, missed ≤ {}",
+            self.certified_recall(),
+            self.certificate.answer_count(),
+            self.certificate.missed_cap()
+        )?;
+        for report in &self.stages {
+            writeln!(
+                f,
+                "  {}: {} → {} active, {} cert-empty, caps +{}, factor {:.6}, {}",
+                report.name,
+                report.active_in,
+                report.active_out,
+                report.cert_empty_added,
+                report.caps_added,
+                report.factor,
+                smx_obs::format_ns(report.wall_ns)
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -584,8 +624,27 @@ impl Pipeline {
         let mut answers: Option<AnswerSet> = None;
         for stage in &self.filters {
             let active_in = active.active_count();
-            match stage.apply(&cx, &active) {
+            // The span (when tracing is on) parents whatever the stage
+            // does internally — bounds-table builds, store sweeps — and
+            // the wall clock is read either way so every StageReport
+            // carries its stage's wall time.
+            let mut span = smx_obs::span("pipeline.stage");
+            let started = Instant::now();
+            let output = stage.apply(&cx, &active);
+            let wall_ns = started.elapsed().as_nanos() as u64;
+            match output {
                 StageOutput::Narrowed(next) => {
+                    if span.is_active() {
+                        span.attr("stage", stage.name());
+                        span.attr("active_in", active_in);
+                        span.attr("active_out", next.active_count());
+                        span.attr(
+                            "cert_empty_added",
+                            next.cert_empty_count() - active.cert_empty_count(),
+                        );
+                        span.attr("caps_added", next.caps_sum() - active.caps_sum());
+                    }
+                    drop(span);
                     reports.push(StageReport {
                         name: stage.name(),
                         active_in,
@@ -593,11 +652,18 @@ impl Pipeline {
                         cert_empty_added: next.cert_empty_count() - active.cert_empty_count(),
                         caps_added: next.caps_sum() - active.caps_sum(),
                         factor: 1.0,
+                        wall_ns,
                     });
                     active = next;
                 }
                 StageOutput::Final(found) => {
                     // A filter may answer early; later stages never run.
+                    if span.is_active() {
+                        span.attr("stage", stage.name());
+                        span.attr("active_in", active_in);
+                        span.attr("answered_early", true);
+                    }
+                    drop(span);
                     reports.push(StageReport {
                         name: stage.name(),
                         active_in,
@@ -605,6 +671,7 @@ impl Pipeline {
                         cert_empty_added: 0,
                         caps_added: 0.0,
                         factor: 1.0,
+                        wall_ns,
                     });
                     answers = Some(found);
                     break;
@@ -615,8 +682,18 @@ impl Pipeline {
             Some(found) => found,
             None => {
                 let active_in = active.active_count();
-                match self.terminal.apply(&cx, &active) {
+                let mut span = smx_obs::span("pipeline.stage");
+                let started = Instant::now();
+                let output = self.terminal.apply(&cx, &active);
+                let wall_ns = started.elapsed().as_nanos() as u64;
+                match output {
                     StageOutput::Final(found) => {
+                        if span.is_active() {
+                            span.attr("stage", self.terminal.name());
+                            span.attr("active_in", active_in);
+                            span.attr("answers", found.len());
+                        }
+                        drop(span);
                         reports.push(StageReport {
                             name: self.terminal.name(),
                             active_in,
@@ -624,6 +701,7 @@ impl Pipeline {
                             cert_empty_added: 0,
                             caps_added: 0.0,
                             factor: 1.0,
+                            wall_ns,
                         });
                         found
                     }

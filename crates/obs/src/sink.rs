@@ -1,0 +1,255 @@
+//! JSON-lines trace sink with per-line FNV-1a checksums, plus the
+//! encoding/validation helpers the differential suites use.
+//!
+//! Reuses `smx-persist`'s checksummed-writer idiom: every record
+//! carries a checksum over its own bytes so a reader can detect torn or
+//! bit-flipped lines without trusting file length. The sink never
+//! panics — an I/O error marks it unhealthy and later records are
+//! dropped, mirroring the eviction sink's degradation contract.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+use crate::trace::{AttrValue, Recorder, SpanRecord};
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_BASIS, |hash, &byte| {
+        (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Encode one span as a single JSON line (no trailing newline). The
+/// object ends with an `"fnv"` field: the FNV-1a-64 checksum, in hex,
+/// of every byte of the line before that field — the persist crate's
+/// checksummed-record idiom, so [`trace_line_is_valid`] can verify a
+/// line in isolation.
+pub fn encode_span_json(span: &SpanRecord) -> String {
+    let mut line = String::with_capacity(128);
+    let _ = write!(
+        line,
+        "{{\"id\":{},\"parent\":{},\"name\":\"",
+        span.id,
+        span.parent
+            .map_or_else(|| "null".to_owned(), |p| p.to_string()),
+    );
+    escape_json_into(&mut line, span.name);
+    let _ = write!(
+        line,
+        "\",\"start_ns\":{},\"elapsed_ns\":{},\"attrs\":{{",
+        span.start_ns, span.elapsed_ns
+    );
+    for (i, (key, value)) in span.attrs.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        escape_json_into(&mut line, key);
+        line.push_str("\":");
+        match value {
+            AttrValue::U64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            AttrValue::I64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            AttrValue::F64(v) if v.is_finite() => {
+                let _ = write!(line, "{v}");
+            }
+            // JSON has no NaN/Inf literal; stringify to stay parseable.
+            AttrValue::F64(v) => {
+                let _ = write!(line, "\"{v}\"");
+            }
+            AttrValue::Bool(v) => {
+                let _ = write!(line, "{v}");
+            }
+            AttrValue::Str(v) => {
+                line.push('"');
+                escape_json_into(&mut line, v);
+                line.push('"');
+            }
+        }
+    }
+    line.push('}');
+    let checksum = fnv1a(line.as_bytes());
+    let _ = write!(line, ",\"fnv\":\"{checksum:016x}\"}}");
+    line
+}
+
+/// Verify one sink line's embedded checksum: recompute FNV-1a-64 over
+/// the bytes preceding the `"fnv"` field and compare. Returns `false`
+/// for torn, truncated, or bit-flipped lines.
+pub fn trace_line_is_valid(line: &str) -> bool {
+    let line = line.trim_end_matches(['\n', '\r']);
+    let Some(pos) = line.rfind(",\"fnv\":\"") else {
+        return false;
+    };
+    let tail = &line[pos + ",\"fnv\":\"".len()..];
+    let Some(hex) = tail.strip_suffix("\"}") else {
+        return false;
+    };
+    let Ok(stored) = u64::from_str_radix(hex, 16) else {
+        return false;
+    };
+    fnv1a(&line.as_bytes()[..pos]) == stored
+}
+
+/// A [`Recorder`] that appends one checksummed JSON line per span to a
+/// file, flushing each line through so spans survive even when the sink
+/// lives in a process-global that is never dropped. Installed globally
+/// by `SMX_TRACE=json`. I/O errors never propagate into instrumented
+/// code: the first failure marks the sink unhealthy and subsequent
+/// records are silently dropped.
+pub struct JsonLinesSink {
+    writer: Mutex<BufWriter<File>>,
+    healthy: AtomicBool,
+    written: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl JsonLinesSink {
+    /// Create (truncating) the sink file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonLinesSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            healthy: AtomicBool::new(true),
+            written: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether the sink has seen no I/O error yet.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Relaxed)
+    }
+
+    /// Lines successfully handed to the writer.
+    pub fn lines_written(&self) -> u64 {
+        self.written.load(Relaxed)
+    }
+
+    /// Spans dropped after the sink turned unhealthy or failed a write.
+    pub fn lines_dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// Flush buffered lines to the file. Errors mark the sink
+    /// unhealthy and are returned for callers that care (the recorder
+    /// path ignores them).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        writer.flush().inspect_err(|_| {
+            self.healthy.store(false, Relaxed);
+        })
+    }
+}
+
+impl Recorder for JsonLinesSink {
+    fn record(&self, span: &SpanRecord) {
+        if !self.healthy.load(Relaxed) {
+            self.dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        let mut line = encode_span_json(span);
+        line.push('\n');
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Flush through per line: the `SMX_TRACE=json` path stores the
+        // sink in a process-global recorder, and statics never drop, so
+        // buffered-only lines would silently vanish at exit.
+        let ok = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_ok();
+        if ok {
+            self.written.fetch_add(1, Relaxed);
+        } else {
+            self.healthy.store(false, Relaxed);
+            self.dropped.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanRecord {
+        SpanRecord {
+            id: 7,
+            parent: Some(3),
+            name: "store.score_rows",
+            start_ns: 120,
+            elapsed_ns: 4_567,
+            attrs: vec![
+                ("rows", AttrValue::U64(12)),
+                ("restricted", AttrValue::Bool(true)),
+                ("label", AttrValue::Str("a\"b\\c\n".to_owned())),
+                ("cap", AttrValue::F64(0.25)),
+            ],
+        }
+    }
+
+    #[test]
+    fn encoded_lines_carry_a_verifiable_checksum() {
+        let line = encode_span_json(&sample());
+        assert!(trace_line_is_valid(&line), "fresh line must verify: {line}");
+        assert!(line.contains("\"name\":\"store.score_rows\""));
+        assert!(line.contains("\"label\":\"a\\\"b\\\\c\\n\""));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let line = encode_span_json(&sample());
+        let flipped = line.replacen("store", "stole", 1);
+        assert!(!trace_line_is_valid(&flipped), "bit-flip must fail");
+        let torn = &line[..line.len() - 4];
+        assert!(!trace_line_is_valid(torn), "torn tail must fail");
+        assert!(!trace_line_is_valid("{\"id\":1}"), "missing fnv must fail");
+    }
+
+    #[test]
+    fn sink_writes_one_valid_line_per_span() {
+        let path = std::env::temp_dir().join(format!("smx-obs-sink-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonLinesSink::create(&path).expect("create sink");
+            sink.record(&sample());
+            sink.record(&sample());
+            assert_eq!(sink.lines_written(), 2);
+            assert!(sink.is_healthy());
+        }
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| trace_line_is_valid(l)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,561 @@
+//! Structured spans: the [`Recorder`] trait, the global/scoped
+//! subscriber, the relaxed-atomic enabled flag, and the `SMX_TRACE`
+//! environment toggle.
+//!
+//! The contract instrumented hot paths rely on:
+//!
+//! * [`enabled`] is one relaxed atomic load after the first call — the
+//!   *entire* disabled-path cost of a gated instrumentation site;
+//! * [`span`] returns an inert guard when tracing is disabled (no id
+//!   allocation, no clock read, no thread-local touch);
+//! * recording never panics and never blocks correctness: a recorder
+//!   that fails (e.g. a sink hitting an I/O error) degrades to dropping
+//!   records.
+//!
+//! Spans nest per thread: a span opened while another is live on the
+//! same thread records that span as its parent. Worker threads spawned
+//! inside an instrumented region start fresh stacks, so their spans
+//! surface as roots — cross-thread parenting is deliberately out of
+//! scope for a zero-dependency shim.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, Once, OnceLock, RwLock};
+use std::time::Instant;
+
+/// One attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (counts, sizes, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (caps, recalls, ratios).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (stage names, policies).
+    Str(String),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::I64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+/// A completed span, as handed to a [`Recorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id (monotonic, never reused).
+    pub id: u64,
+    /// The id of the span that was live on this thread when this one
+    /// opened, if any.
+    pub parent: Option<u64>,
+    /// The instrumentation site's name, e.g. `"store.score_rows"`.
+    pub name: &'static str,
+    /// Start offset from the process trace epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall time from open to drop, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Attribute key/value pairs, in the order they were set.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// Receives completed spans. Implementations must be cheap and must
+/// never panic — they run inside instrumented hot paths.
+pub trait Recorder: Send + Sync {
+    /// Record one completed span.
+    fn record(&self, span: &SpanRecord);
+}
+
+/// 0 = uninitialised (consult `SMX_TRACE` on first use), 1 = disabled,
+/// 2 = enabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+static ENV_INIT: Once = Once::new();
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+static ENV_COLLECTOR: OnceLock<Arc<TraceCollector>> = OnceLock::new();
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Live span ids on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Thread-scoped recorder overrides, innermost last.
+    static SCOPED: RefCell<Vec<Arc<dyn Recorder>>> = RefCell::new(Vec::new());
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether tracing is on. One relaxed atomic load on every call after
+/// the first; the first call reads `SMX_TRACE` (`0`/unset = disabled,
+/// `1` = enabled with an in-memory [`TraceCollector`], `json` = enabled
+/// with a [`JsonLinesSink`](crate::JsonLinesSink) writing to
+/// `$SMX_TRACE_FILE` or `smx-trace.jsonl`).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    ENV_INIT.call_once(|| {
+        let mode = std::env::var("SMX_TRACE").unwrap_or_default();
+        match mode.as_str() {
+            "1" => {
+                let collector = Arc::new(TraceCollector::new());
+                let _ = ENV_COLLECTOR.set(Arc::clone(&collector));
+                set_recorder(Some(collector as Arc<dyn Recorder>));
+                STATE.store(2, Relaxed);
+            }
+            "json" => {
+                let path = std::env::var("SMX_TRACE_FILE")
+                    .unwrap_or_else(|_| "smx-trace.jsonl".to_owned());
+                match crate::JsonLinesSink::create(&path) {
+                    Ok(sink) => {
+                        set_recorder(Some(Arc::new(sink)));
+                        STATE.store(2, Relaxed);
+                    }
+                    // An unwritable sink must not take the host down;
+                    // tracing just stays off.
+                    Err(_) => STATE.store(1, Relaxed),
+                }
+            }
+            _ => STATE.store(1, Relaxed),
+        }
+    });
+    STATE.load(Relaxed) == 2
+}
+
+/// Programmatically force tracing on or off, overriding `SMX_TRACE`.
+/// Tests, benches, and examples use this; the flag is process-global.
+pub fn set_enabled(on: bool) {
+    // Mark env init as done so a later `enabled()` doesn't overwrite
+    // the programmatic choice with the environment's.
+    ENV_INIT.call_once(|| {});
+    STATE.store(if on { 2 } else { 1 }, Relaxed);
+}
+
+/// Install (or clear, with `None`) the global recorder completed spans
+/// are delivered to when no scoped recorder is active on the thread.
+pub fn set_recorder(recorder: Option<Arc<dyn Recorder>>) {
+    *RECORDER.write().unwrap_or_else(|e| e.into_inner()) = recorder;
+}
+
+/// The [`TraceCollector`] installed by `SMX_TRACE=1`, if that is how
+/// tracing was switched on — binaries render its tree at exit.
+pub fn env_collector() -> Option<Arc<TraceCollector>> {
+    ENV_COLLECTOR.get().cloned()
+}
+
+/// Enable tracing and install a fresh global [`TraceCollector`],
+/// returning the handle. Convenience for examples and tests.
+pub fn install_collector() -> Arc<TraceCollector> {
+    let collector = Arc::new(TraceCollector::new());
+    set_recorder(Some(Arc::clone(&collector) as Arc<dyn Recorder>));
+    set_enabled(true);
+    collector
+}
+
+/// Route this thread's spans to `recorder` until the guard drops —
+/// the *scoped* subscriber. Scopes nest; the innermost wins. The
+/// global recorder is not consulted while a scope is active.
+pub fn scoped_recorder(recorder: Arc<dyn Recorder>) -> ScopedRecorder {
+    SCOPED.with(|s| s.borrow_mut().push(recorder));
+    ScopedRecorder {
+        _not_send: PhantomData,
+    }
+}
+
+/// Guard returned by [`scoped_recorder`]; pops the override on drop.
+pub struct ScopedRecorder {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopedRecorder {
+    fn drop(&mut self) {
+        SCOPED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+fn dispatch(record: &SpanRecord) {
+    let scoped = SCOPED.with(|s| s.borrow().last().cloned());
+    if let Some(recorder) = scoped {
+        recorder.record(record);
+        return;
+    }
+    let global = RECORDER
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .cloned();
+    if let Some(recorder) = global {
+        recorder.record(record);
+    }
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start_ns: u64,
+    started: Instant,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// An RAII span guard: records itself (name, parent, wall time,
+/// attributes) to the active [`Recorder`] on drop. Inert — a no-op
+/// shell — when tracing is disabled at open time.
+///
+/// Not `Send`: the parent/child relationship lives in a thread-local
+/// stack, so a span must drop on the thread that opened it.
+pub struct Span {
+    inner: Option<ActiveSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open a span named `name`. When tracing is disabled this is one
+/// relaxed atomic load and returns an inert guard.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            inner: None,
+            _not_send: PhantomData,
+        };
+    }
+    let id = NEXT_ID.fetch_add(1, Relaxed);
+    let parent = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let started = Instant::now();
+    Span {
+        inner: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            start_ns: started.duration_since(epoch()).as_nanos() as u64,
+            started,
+            attrs: Vec::new(),
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl Span {
+    /// Whether this span will record on drop. Callers computing
+    /// expensive attributes (allocated strings, counter snapshots)
+    /// should gate on this.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach an attribute. No-op on an inert span (the value is still
+    /// evaluated by the caller — keep hot-path attrs numeric).
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(active) = &mut self.inner {
+            active.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Nanoseconds since the span opened; 0 for an inert span.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |a| a.started.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else {
+            return;
+        };
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // RAII guarantees LIFO per thread, but stay robust if a
+            // span was leaked past its parent.
+            if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            start_ns: active.start_ns,
+            elapsed_ns: active.started.elapsed().as_nanos() as u64,
+            attrs: active.attrs,
+        };
+        dispatch(&record);
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(a) => write!(f, "Span({} #{})", a.name, a.id),
+            None => write!(f, "Span(inert)"),
+        }
+    }
+}
+
+/// In-memory recorder: accumulates [`SpanRecord`]s and renders them as
+/// a hierarchical text tree. The default sink behind `SMX_TRACE=1`.
+#[derive(Default)]
+pub struct TraceCollector {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Number of spans collected so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the collected spans (collection keeps growing).
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Drain the collected spans.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Render everything collected so far as an indented span tree —
+    /// see [`render_span_tree`].
+    pub fn render_tree(&self) -> String {
+        render_span_tree(&self.snapshot())
+    }
+}
+
+impl Recorder for TraceCollector {
+    fn record(&self, span: &SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(span.clone());
+    }
+}
+
+/// Format nanoseconds human-first: `412ns`, `3.4us`, `12.7ms`, `1.25s`.
+pub fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Render completed spans as an indented tree: children nest under
+/// their parent (two spaces per level), siblings sort by start time,
+/// and each line shows the span's wall time and attributes. Spans whose
+/// parent is absent (cross-thread workers, drained collectors) surface
+/// as roots.
+pub fn render_span_tree(spans: &[SpanRecord]) -> String {
+    use std::collections::HashMap;
+    let index: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent.and_then(|p| index.get(&p)) {
+            Some(&pi) => children[pi].push(i),
+            None => roots.push(i),
+        }
+    }
+    let by_start = |list: &mut Vec<usize>| {
+        list.sort_by_key(|&i| (spans[i].start_ns, spans[i].id));
+    };
+    by_start(&mut roots);
+    for list in &mut children {
+        by_start(list);
+    }
+    fn render(
+        out: &mut String,
+        spans: &[SpanRecord],
+        children: &[Vec<usize>],
+        i: usize,
+        depth: usize,
+    ) {
+        let span = &spans[i];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(span.name);
+        out.push_str("  ");
+        out.push_str(&format_ns(span.elapsed_ns));
+        for (key, value) in &span.attrs {
+            out.push_str("  ");
+            out.push_str(key);
+            out.push('=');
+            out.push_str(&value.to_string());
+        }
+        out.push('\n');
+        for &child in &children[i] {
+            render(out, spans, children, child, depth + 1);
+        }
+    }
+    let mut out = String::new();
+    for root in roots {
+        render(&mut out, spans, &children, root, 0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_guard;
+
+    #[test]
+    fn disabled_spans_are_inert_and_enabled_spans_nest() {
+        let _guard = test_guard();
+        set_enabled(false);
+        let inert = span("outer");
+        assert!(!inert.is_active());
+        assert_eq!(inert.elapsed_ns(), 0);
+        drop(inert);
+
+        let collector = Arc::new(TraceCollector::new());
+        let _scope = scoped_recorder(Arc::clone(&collector) as _);
+        set_enabled(true);
+        {
+            let mut outer = span("outer");
+            outer.attr("k", 7usize);
+            {
+                let inner = span("inner");
+                assert!(inner.is_active());
+            }
+        }
+        set_enabled(false);
+        let spans = collector.take();
+        assert_eq!(spans.len(), 2, "children record before parents");
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[1].attrs, vec![("k", AttrValue::U64(7))]);
+    }
+
+    #[test]
+    fn tree_renderer_indents_children_under_parents() {
+        let spans = vec![
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "child",
+                start_ns: 10,
+                elapsed_ns: 1_500,
+                attrs: vec![("n", AttrValue::U64(3))],
+            },
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "root",
+                start_ns: 0,
+                elapsed_ns: 2_000_000,
+                attrs: Vec::new(),
+            },
+        ];
+        let tree = render_span_tree(&spans);
+        assert_eq!(tree, "root  2.0ms\n  child  1.5us  n=3\n");
+    }
+
+    #[test]
+    fn scoped_recorder_shadows_the_global_one() {
+        let _guard = test_guard();
+        let global = Arc::new(TraceCollector::new());
+        let scoped = Arc::new(TraceCollector::new());
+        set_recorder(Some(Arc::clone(&global) as _));
+        set_enabled(true);
+        {
+            let _scope = scoped_recorder(Arc::clone(&scoped) as _);
+            drop(span("scoped-only"));
+        }
+        drop(span("global-now"));
+        set_enabled(false);
+        set_recorder(None);
+        assert_eq!(scoped.take().len(), 1);
+        let seen = global.take();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].name, "global-now");
+    }
+}

@@ -253,6 +253,7 @@ pub trait Snapshot: Sized {
 
 impl Snapshot for Repository {
     fn save_snapshot(&self) -> Vec<u8> {
+        let mut span = smx_obs::span("persist.snapshot.save");
         let state = self.store().export_state();
         let sections: Vec<(u32, Vec<u8>)> = vec![
             (section::SCHEMAS, encode_schemas(self)),
@@ -280,17 +281,39 @@ impl Snapshot for Repository {
             w.patch_u64(at, offset);
             w.put_bytes(payload);
         }
-        w.into_bytes()
+        let bytes = w.into_bytes();
+        if span.is_active() {
+            span.attr("sections", sections.len());
+            span.attr("rows", state.rows.len());
+            span.attr("bytes", bytes.len());
+        }
+        bytes
     }
 
     fn load_snapshot_report(
         bytes: &[u8],
         policy: RecoveryPolicy,
     ) -> Result<(Self, SnapshotReport), PersistError> {
-        match policy {
+        let mut span = smx_obs::span("persist.snapshot.load");
+        if span.is_active() {
+            span.attr("bytes", bytes.len());
+            span.attr(
+                "policy",
+                match policy {
+                    RecoveryPolicy::Strict => "strict",
+                    RecoveryPolicy::Salvage => "salvage",
+                },
+            );
+        }
+        let loaded = match policy {
             RecoveryPolicy::Strict => strict_load(bytes).map(|r| (r, SnapshotReport::default())),
             RecoveryPolicy::Salvage => salvage_load(bytes),
+        };
+        match &loaded {
+            Ok((_, report)) => span.attr("salvage_events", report.events.len()),
+            Err(_) => span.attr("failed", true),
         }
+        loaded
     }
 }
 

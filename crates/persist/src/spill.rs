@@ -379,8 +379,10 @@ impl SpillFile {
     /// sink degrades (handle dropped) and the retry path re-opens the
     /// compacted file.
     pub fn compact(&self) -> Result<(), PersistError> {
+        let mut span = smx_obs::span("persist.spill.compact");
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        let bytes_before = inner.end;
         let Some(file) = inner.file.as_mut() else {
             // No live handle (mid-recovery): compacting now would race
             // the retry path's rescan. The caller can reopen() first.
@@ -445,6 +447,11 @@ impl SpillFile {
         // handle and let the retry path re-acquire it later.
         inner.index = new_index;
         inner.end = compacted.len() as u64;
+        if span.is_active() {
+            span.attr("bytes_before", bytes_before);
+            span.attr("bytes_after", inner.end);
+            span.attr("live_records", inner.index.len());
+        }
         match self.io.open(&self.path) {
             Ok(f) => inner.file = Some(f),
             Err(_) => inner.note_failure(self.retry),

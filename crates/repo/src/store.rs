@@ -340,6 +340,26 @@ pub struct StoreCounters {
     pub partial_row_fills: u64,
 }
 
+impl std::fmt::Display for StoreCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "store counters: {} lookups ({} hits, {} misses), {} pair evals, {} profiles built",
+            self.row_lookups, self.row_hits, self.row_misses, self.pair_evals, self.profile_builds
+        )?;
+        writeln!(
+            f,
+            "  cache: {} evictions, {} spills, {} recoveries, {} spill failures",
+            self.row_evictions, self.row_spills, self.row_spill_recoveries, self.row_spill_failures
+        )?;
+        write!(
+            f,
+            "  candidate tier: {} column hits, {} columns pruned, {} partial fills",
+            self.candidate_hits, self.candidate_pruned, self.partial_row_fills
+        )
+    }
+}
+
 /// One cached score row plus its recency stamp. The stamp is atomic so
 /// cache hits can refresh it under the shared read lock.
 struct CachedRow {
@@ -683,6 +703,37 @@ impl LabelStore {
     /// Concurrent callers may sweep the same query redundantly; they
     /// compute identical values, so last-write-wins is fine.
     pub fn score_rows(&self, queries: &[&str]) -> Vec<Arc<Vec<f64>>> {
+        if !smx_obs::enabled() {
+            return self.score_rows_uninstrumented(queries);
+        }
+        let mut span = smx_obs::span("store.score_rows");
+        let pairs_before = self.pair_evals.load(Relaxed);
+        let misses_before = self.row_misses.load(Relaxed);
+        let out = self.score_rows_uninstrumented(queries);
+        // Deltas of relaxed counter loads: exact in single-threaded
+        // runs, approximate attribution under concurrent sweeps (the
+        // site-level metrics below stay exact either way).
+        span.attr("queries", queries.len());
+        span.attr(
+            "rows_swept",
+            self.row_misses.load(Relaxed).saturating_sub(misses_before),
+        );
+        span.attr(
+            "pair_evals",
+            self.pair_evals.load(Relaxed).saturating_sub(pairs_before),
+        );
+        smx_obs::registry()
+            .histogram("store.score_rows_ns")
+            .observe_ns(span.elapsed_ns());
+        out
+    }
+
+    /// The body of [`score_rows`](Self::score_rows) with no tracing
+    /// wrapper — byte-for-byte the pre-instrumentation sweep path. The
+    /// `trace_overhead` bench group measures this as the baseline the
+    /// instrumented-but-disabled `score_rows` is held to (≤5% apart);
+    /// everyone else should call `score_rows`.
+    pub fn score_rows_uninstrumented(&self, queries: &[&str]) -> Vec<Arc<Vec<f64>>> {
         let n = self.profiles.len();
         let mut out: Vec<Option<Arc<Vec<f64>>>> = vec![None; queries.len()];
         let mut pending: Vec<PendingRow<'_>> = Vec::new();
@@ -742,6 +793,32 @@ impl LabelStore {
     /// `pair_evals`, `candidate_hits`, `candidate_pruned`, and
     /// `partial_row_fills`.
     pub fn score_rows_subset(&self, queries: &[&str], cols: &[usize]) -> Vec<Arc<Vec<f64>>> {
+        if !smx_obs::enabled() {
+            return self.score_rows_subset_core(queries, cols);
+        }
+        let mut span = smx_obs::span("store.score_rows_subset");
+        let pairs_before = self.pair_evals.load(Relaxed);
+        let hits_before = self.candidate_hits.load(Relaxed);
+        let out = self.score_rows_subset_core(queries, cols);
+        span.attr("queries", queries.len());
+        span.attr("cols", cols.len());
+        span.attr(
+            "candidate_hits",
+            self.candidate_hits
+                .load(Relaxed)
+                .saturating_sub(hits_before),
+        );
+        span.attr(
+            "pair_evals",
+            self.pair_evals.load(Relaxed).saturating_sub(pairs_before),
+        );
+        smx_obs::registry()
+            .histogram("store.score_rows_subset_ns")
+            .observe_ns(span.elapsed_ns());
+        out
+    }
+
+    fn score_rows_subset_core(&self, queries: &[&str], cols: &[usize]) -> Vec<Arc<Vec<f64>>> {
         let n = self.profiles.len();
         debug_assert!(cols.iter().all(|&c| c < n), "columns must be in range");
         let mut out: Vec<Option<Arc<Vec<f64>>>> = vec![None; queries.len()];
@@ -898,6 +975,9 @@ impl LabelStore {
                 self.row_hits.fetch_add(p.slots.len() as u64 - 1, Relaxed);
                 if *rec {
                     self.row_spill_recoveries.fetch_add(1, Relaxed);
+                    if smx_obs::enabled() {
+                        smx_obs::registry().counter("store.spill_recoveries").inc();
+                    }
                 }
                 let row = match &p.prefix {
                     // A complete prefix (recovered or cached) is reused
@@ -1054,6 +1134,11 @@ impl LabelStore {
             })
             .collect();
         self.row_evictions.fetch_add(excess as u64, Relaxed);
+        if smx_obs::enabled() {
+            smx_obs::registry()
+                .counter("store.row_evictions")
+                .add(excess as u64);
+        }
         victims
     }
 
@@ -1075,6 +1160,13 @@ impl LabelStore {
         self.row_spills.fetch_add(spilled as u64, Relaxed);
         self.row_spill_failures
             .fetch_add((victims.len() - spilled) as u64, Relaxed);
+        if smx_obs::enabled() {
+            let registry = smx_obs::registry();
+            registry.counter("store.row_spills").add(spilled as u64);
+            registry
+                .counter("store.row_spill_failures")
+                .add((victims.len() - spilled) as u64);
+        }
     }
 
     /// Number of query labels with a cached score row.
@@ -1134,6 +1226,48 @@ impl LabelStore {
             cached_rows: self.cached_rows(),
             counters: self.counters(),
         }
+    }
+
+    /// Export one merged observability report: a snapshot of the global
+    /// `smx-obs` metrics registry with this store's [`StoreCounters`],
+    /// cache occupancy, salvage events, and the installed sink's
+    /// [`SinkHealth`] grafted in as gauges. This is the
+    /// `MetricsSnapshot` examples and `smx-bench` render — one report
+    /// covering both the tracing-side instruments and the store's own
+    /// counters.
+    pub fn publish_metrics(&self) -> smx_obs::MetricsSnapshot {
+        let health = self.health();
+        let mut snapshot = smx_obs::registry().snapshot();
+        let c = health.counters;
+        snapshot.set_gauge("store.profile_builds", c.profile_builds as f64);
+        snapshot.set_gauge("store.pair_evals", c.pair_evals as f64);
+        snapshot.set_gauge("store.row_lookups", c.row_lookups as f64);
+        snapshot.set_gauge("store.row_hits", c.row_hits as f64);
+        snapshot.set_gauge("store.row_misses", c.row_misses as f64);
+        snapshot.set_gauge("store.row_evictions_total", c.row_evictions as f64);
+        snapshot.set_gauge("store.row_spills_total", c.row_spills as f64);
+        snapshot.set_gauge(
+            "store.row_spill_recoveries_total",
+            c.row_spill_recoveries as f64,
+        );
+        snapshot.set_gauge(
+            "store.row_spill_failures_total",
+            c.row_spill_failures as f64,
+        );
+        snapshot.set_gauge("store.candidate_hits", c.candidate_hits as f64);
+        snapshot.set_gauge("store.candidate_pruned", c.candidate_pruned as f64);
+        snapshot.set_gauge("store.partial_row_fills", c.partial_row_fills as f64);
+        snapshot.set_gauge("store.cached_rows", health.cached_rows as f64);
+        snapshot.set_gauge("store.salvage_events", health.salvage_events as f64);
+        if let Some(sink) = health.sink {
+            snapshot.set_gauge("store.sink.poisoned", u64::from(sink.poisoned) as f64);
+            snapshot.set_gauge("store.sink.degraded", u64::from(sink.degraded) as f64);
+            snapshot.set_gauge("store.sink.write_errors", sink.write_errors as f64);
+            snapshot.set_gauge("store.sink.reopens", sink.reopens as f64);
+            snapshot.set_gauge("store.sink.spilled_bytes", sink.spilled_bytes as f64);
+            snapshot.set_gauge("store.sink.live_records", sink.live_records as f64);
+        }
+        snapshot
     }
 
     /// Record `n` snapshot-salvage events against this store.

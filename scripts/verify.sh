@@ -38,11 +38,21 @@
 #      stage compositions, and the certified matrix (what each matcher
 #      class — complete / restriction-monotone / global-budget — can
 #      promise under fixed budgets).
-#  10. bench-regression guard (scripts/bench_guard.sh): a fresh
+#  10. observability suites, likewise named: the trace-identity gate
+#      (tracing on/off changes no matcher's answers bitwise — clean
+#      runs, fault storms, and the JSON-lines sink), the metrics
+#      property suite (snapshot/histogram merges associative, trace
+#      lines checksum-valid and corruption-detecting), and the
+#      concurrent-sweep counter-consistency gate (site-gated registry
+#      metrics agree exactly with StoreCounters under racing sweeps);
+#      plus an examples/observability smoke run under SMX_TRACE=1
+#      (exits non-zero unless the span tree covers candidate
+#      generation, the restricted fill, and the refine stage).
+#  11. bench-regression guard (scripts/bench_guard.sh): a fresh
 #      scripts/bench_matching.sh run compared against the committed
 #      BENCH_matching.json with a +25% budget.
 #
-# Steps 7–9 run through named_suites(), which fails loudly if any named
+# Steps 7–10 run through named_suites(), which fails loudly if any named
 # test binary reports "running 0 tests" — a renamed file or filter typo
 # must not silently disable a gate.
 #
@@ -66,6 +76,15 @@
 # process-wide — useful for bisecting a suspected vectorisation bug:
 # SMX_KERNEL_FORCE=scalar scripts/verify.sh runs everything on the
 # oracle tier. All variants are bitwise-identical by contract.
+#
+# Tracing: SMX_TRACE switches structured tracing on process-wide
+# (1 = in-process span collector, json = JSON-lines sink at
+# SMX_TRACE_FILE or ./smx-trace.jsonl). Instrumentation is contractually
+# inert — the trace-identity gate in step 10 proves answers are bitwise
+# unchanged either way, and the trace_overhead bench holds the disabled
+# path within ~5% of the pre-instrumentation baseline
+# (relative.trace_overhead_disabled). SMX_TRACE=1 scripts/verify.sh is
+# supported but the identity suites flip tracing themselves.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -82,34 +101,40 @@ named_suites() {
   fi
 }
 
-echo "== [1/10] cargo fmt --all --check"
+echo "== [1/11] cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "== [2/10] cargo build --release"
+echo "== [2/11] cargo build --release"
 cargo build --release
 
-echo "== [3/10] cargo test -q"
+echo "== [3/11] cargo test -q"
 cargo test -q
 
-echo "== [4/10] cargo clippy --all-targets -- -D warnings"
+echo "== [4/11] cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== [5/10] cargo bench --no-run"
+echo "== [5/11] cargo bench --no-run"
 cargo bench -p smx-bench --no-run
 
-echo "== [6/10] snapshot round-trip smoke (examples/warm_restart)"
+echo "== [6/11] snapshot round-trip smoke (examples/warm_restart)"
 cargo run --release --example warm_restart >/dev/null
 
-echo "== [7/10] fault-injection suites (crash matrix, chaos, spill compaction)"
+echo "== [7/11] fault-injection suites (crash matrix, chaos, spill compaction)"
 named_suites -p smx-persist --test crash_matrix --test chaos --test spill_compaction
 
-echo "== [8/10] certified candidate-tier suites (differential, bound admissibility)"
+echo "== [8/11] certified candidate-tier suites (differential, bound admissibility)"
 named_suites -p smx-match --test candidate_differential --test bound_admissibility
 
-echo "== [9/10] pipeline-algebra suites (differential, algebra, certified matrix)"
+echo "== [9/11] pipeline-algebra suites (differential, algebra, certified matrix)"
 named_suites -p smx-match --test pipeline_differential --test pipeline_algebra --test certified_matrix
 
-echo "== [10/10] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
+echo "== [10/11] observability suites (trace identity, metrics properties, counter consistency)"
+named_suites -p smx-persist --test trace_identity
+named_suites -p smx-obs --test metrics_properties
+named_suites -p smx-repo --test trace_concurrency
+SMX_TRACE=1 cargo run --release --example observability >/dev/null
+
+echo "== [11/11] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
 scripts/bench_guard.sh
 
 echo "verify: OK"

@@ -15,15 +15,29 @@
 //! * [`persist`] — snapshot + spill persistence for warm restarts,
 //! * [`synth`] — synthetic scenarios with known ground truth,
 //! * [`matching`] — exhaustive S1 and non-exhaustive S2 matchers,
+//! * [`obs`] — structured tracing, metrics registry, and exporters,
 //! * [`pipeline`] — scenario → matcher → curve → bounds wiring.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
+//!
+//! # Observability
+//!
+//! The hot paths of the store, candidate generator, pipeline stages,
+//! batch matcher, and persistence layer are instrumented with [`obs`]
+//! spans and metrics. Tracing is off by default and costs one relaxed
+//! atomic load per site; set `SMX_TRACE=1` (in-memory collector — see
+//! `examples/observability.rs` for rendering the span tree) or
+//! `SMX_TRACE=json` (checksummed JSON-lines sink at `$SMX_TRACE_FILE`)
+//! to switch it on. The `trace_identity` suite proves enabling tracing
+//! changes no matcher's answers bitwise, and the `trace_overhead`
+//! bench group guards the disabled-path cost.
 
 pub mod pipeline;
 
 pub use smx_core as bounds;
 pub use smx_eval as eval;
 pub use smx_match as matching;
+pub use smx_obs as obs;
 pub use smx_persist as persist;
 pub use smx_repo as repo;
 pub use smx_synth as synth;
