@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Effectiveness bounds for non-exhaustive retrieval-system improvements —
 //! the contribution of Smiljanić, van Keulen & Jonker (ICDE 2006).

@@ -37,7 +37,7 @@
 //! certificate collapses to recall 1 at full speedup.
 //!
 //! The same machinery backs the [`pipeline`](crate::pipeline) stages:
-//! [`BoundsTable`] computes every schema's certification facts once at
+//! `BoundsTable` computes every schema's certification facts once at
 //! full precision, so any composition of filter stages prunes and caps
 //! against one shared, deterministic table.
 
@@ -91,7 +91,7 @@ fn to_lb(objective: &ObjectiveFunction, ub: f64) -> f64 {
 }
 
 /// The shared two-phase inverted sweep behind both
-/// [`CandidateGenerator::generate`] and [`BoundsTable::compute`].
+/// [`CandidateGenerator::generate`] and `BoundsTable::compute`.
 ///
 /// Phase 1 (coarse): one slot per (schema, lane), initialised to a
 /// `clamp` and lowered by walking the label→schema postings of only the
@@ -449,7 +449,7 @@ impl CandidateGenerator {
     /// charges the dropped schemas' caps.
     ///
     /// The stages prune against the pipeline's shared full-precision
-    /// [`BoundsTable`], so a lifted auto generator may certify *more*
+    /// `BoundsTable`, so a lifted auto generator may certify *more*
     /// schemas empty than [`CandidateGenerator::generate`]'s lazily
     /// refined sweep — answers are unchanged either way (only provably
     /// empty schemas are cut), but active-set sizes and budget-mode

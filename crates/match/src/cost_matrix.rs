@@ -218,35 +218,6 @@ impl CostMatrix {
             .filter(|(_, row)| row.is_none())
             .map(|(&name, _)| name)
             .collect();
-        if !missing.is_empty() {
-            // A candidate-restricted problem scores only the label
-            // columns its active schemas reference: missing rows come
-            // back as coverage-masked partial rows (every column an
-            // active schema's fill reads is covered, and covered
-            // positions are bitwise identical to a full sweep's).
-            let fetched = match problem.active_set() {
-                None => store.score_rows(&missing),
-                Some(active) => {
-                    let mut cols: Vec<usize> = active
-                        .ids()
-                        .iter()
-                        .flat_map(|&sid| store.schema_labels(sid))
-                        .map(|lid| lid.index())
-                        .collect();
-                    cols.sort_unstable();
-                    cols.dedup();
-                    store.score_rows_subset(&missing, &cols)
-                }
-            };
-            let mut fetched = fetched.into_iter();
-            for row in rows.iter_mut().filter(|row| row.is_none()) {
-                *row = fetched.next();
-            }
-        }
-        let rows: Vec<Arc<Vec<f64>>> = rows
-            .into_iter()
-            .map(|row| row.expect("every name resolved"))
-            .collect();
         let row_of: HashMap<&str, usize> = names
             .iter()
             .enumerate()
@@ -257,44 +228,149 @@ impl CostMatrix {
             .iter()
             .map(|&pid| row_of[personal.node(pid).name.as_str()])
             .collect();
-        // Fill each schema's k × n table from the store rows, mapping
-        // arena columns to label ids through the store's column maps.
         let personal_types: Vec<_> = problem
             .personal_order()
             .iter()
             .map(|&pid| personal.node(pid).ty)
             .collect();
-        let fill_table = |sid: SchemaId, schema: &Schema| {
-            let labels = store.schema_labels(sid);
-            let n = schema.len();
-            let mut costs = Vec::with_capacity(k * n);
-            for level in 0..k {
-                let row = rows[level_rows[level]].as_slice();
-                let p_ty = personal_types[level];
-                for (t, target) in schema.node_ids().enumerate() {
-                    let nd = row[labels[t].index()];
-                    let td = 1.0 - p_ty.compatibility(schema.node(target).ty);
-                    costs.push(objective.blend(nd, td));
+        let repo = problem.repository();
+        // The windowed fill: an unrestricted problem whose distinct
+        // vocabulary exceeds a bounded store's row cap would otherwise
+        // sweep every missing row in one batch and hold all of them
+        // live at once — the LRU evicts each row as the next lands, so
+        // nothing useful survives in the cache while peak memory still
+        // scales with the whole vocabulary. Instead, fetch missing rows
+        // in windows of the cap and stripe-fill pre-allocated cost
+        // tables window by window: each window's `Arc`s drop before the
+        // next sweep, bounding live rows by the cap. Every cell is the
+        // same pure `blend` of the same score-row value, written to the
+        // same position — bitwise identical to the one-shot fill (the
+        // `windowed_fill_matches_one_shot_bitwise` test).
+        let window = match problem.active_set() {
+            None => store
+                .config()
+                .max_cached_rows
+                .filter(|&cap| missing.len() > cap.max(1))
+                .map(|cap| cap.max(1)),
+            Some(_) => None,
+        };
+        let (tables, sparse, fill_windows): (Vec<SchemaTable>, _, u64) = if let Some(w) = window {
+            // Which personal levels read each distinct-label row — a
+            // row's stripe touches exactly those levels of every table.
+            let mut levels_of: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+            for (level, &ri) in level_rows.iter().enumerate() {
+                levels_of[ri].push(level);
+            }
+            let mut costs: Vec<Vec<f64>> =
+                repo.iter().map(|(_, s)| vec![0.0; k * s.len()]).collect();
+            let mut stripe = |ri: usize, row: &[f64]| {
+                for &level in &levels_of[ri] {
+                    let p_ty = personal_types[level];
+                    for (sid, schema) in repo.iter() {
+                        let labels = store.schema_labels(sid);
+                        let n = schema.len();
+                        let base = level * n;
+                        let table = &mut costs[sid.index()];
+                        for (t, target) in schema.node_ids().enumerate() {
+                            let nd = row[labels[t].index()];
+                            let td = 1.0 - p_ty.compatibility(schema.node(target).ty);
+                            table[base + t] = objective.blend(nd, td);
+                        }
+                    }
+                }
+            };
+            // Rows already in hand (the batch's pinned `Arc`s) stripe
+            // immediately; only the missing ones are windowed.
+            for (ri, row) in rows.iter().enumerate() {
+                if let Some(row) = row {
+                    stripe(ri, row);
                 }
             }
-            SchemaTable::from_costs(k, n, costs)
-        };
-        let repo = problem.repository();
-        let (tables, sparse) = match problem.active_set() {
-            None => (
-                repo.iter()
-                    .map(|(sid, schema)| fill_table(sid, schema))
-                    .collect(),
-                None,
-            ),
-            Some(active) => {
-                let mut map = vec![u32::MAX; repo.len()];
-                let mut tables = Vec::with_capacity(active.ids().len());
-                for &sid in active.ids() {
-                    map[sid.index()] = tables.len() as u32;
-                    tables.push(fill_table(sid, repo.schema(sid)));
+            let missing_ri: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| row.is_none())
+                .map(|(ri, _)| ri)
+                .collect();
+            let mut windows = 0u64;
+            for chunk in missing_ri.chunks(w) {
+                let queries: Vec<&str> = chunk.iter().map(|&ri| names[ri]).collect();
+                let fetched = store.score_rows(&queries);
+                for (&ri, row) in chunk.iter().zip(&fetched) {
+                    stripe(ri, row);
                 }
-                (tables, Some(map))
+                windows += 1;
+            }
+            let tables = repo
+                .iter()
+                .zip(costs)
+                .map(|((_, schema), c)| SchemaTable::from_costs(k, schema.len(), c))
+                .collect();
+            (tables, None, windows)
+        } else {
+            if !missing.is_empty() {
+                // A candidate-restricted problem scores only the label
+                // columns its active schemas reference: missing rows come
+                // back as coverage-masked partial rows (every column an
+                // active schema's fill reads is covered, and covered
+                // positions are bitwise identical to a full sweep's).
+                let fetched = match problem.active_set() {
+                    None => store.score_rows(&missing),
+                    Some(active) => {
+                        let mut cols: Vec<usize> = active
+                            .ids()
+                            .iter()
+                            .flat_map(|&sid| store.schema_labels(sid))
+                            .map(|lid| lid.index())
+                            .collect();
+                        cols.sort_unstable();
+                        cols.dedup();
+                        store.score_rows_subset(&missing, &cols)
+                    }
+                };
+                let mut fetched = fetched.into_iter();
+                for row in rows.iter_mut().filter(|row| row.is_none()) {
+                    *row = fetched.next();
+                }
+            }
+            let rows: Vec<Arc<Vec<f64>>> = rows
+                .into_iter()
+                .map(|row| row.expect("every name resolved"))
+                .collect();
+            // Fill each schema's k × n table from the store rows, mapping
+            // arena columns to label ids through the store's column maps.
+            let fill_table = |sid: SchemaId, schema: &Schema| {
+                let labels = store.schema_labels(sid);
+                let n = schema.len();
+                let mut costs = Vec::with_capacity(k * n);
+                for level in 0..k {
+                    let row = rows[level_rows[level]].as_slice();
+                    let p_ty = personal_types[level];
+                    for (t, target) in schema.node_ids().enumerate() {
+                        let nd = row[labels[t].index()];
+                        let td = 1.0 - p_ty.compatibility(schema.node(target).ty);
+                        costs.push(objective.blend(nd, td));
+                    }
+                }
+                SchemaTable::from_costs(k, n, costs)
+            };
+            match problem.active_set() {
+                None => (
+                    repo.iter()
+                        .map(|(sid, schema)| fill_table(sid, schema))
+                        .collect(),
+                    None,
+                    0,
+                ),
+                Some(active) => {
+                    let mut map = vec![u32::MAX; repo.len()];
+                    let mut tables = Vec::with_capacity(active.ids().len());
+                    for &sid in active.ids() {
+                        map[sid.index()] = tables.len() as u32;
+                        tables.push(fill_table(sid, repo.schema(sid)));
+                    }
+                    (tables, Some(map), 0)
+                }
             }
         };
         if span.is_active() {
@@ -304,6 +380,7 @@ impl CostMatrix {
             span.attr("missing_rows", missing.len());
             span.attr("restricted", problem.active_set().is_some());
             span.attr("schemas_filled", tables.len());
+            span.attr("fill_windows", fill_windows);
         }
         let denom =
             k as f64 + problem.personal_edges() as f64 * objective.config().structure_weight;
@@ -425,6 +502,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn windowed_fill_matches_one_shot_bitwise() {
+        // A vocabulary (6 distinct personal labels) above the row cap
+        // (2) takes the windowed fill path; an unbounded store takes
+        // the one-shot path. Same schemas, same objective — every cell
+        // must be bitwise identical, and the bounded store must end the
+        // build holding no more rows than its cap.
+        let personal = SchemaBuilder::new("p")
+            .root("catalogue")
+            .leaf("title", PrimitiveType::String)
+            .leaf("author", PrimitiveType::String)
+            .leaf("year", PrimitiveType::Integer)
+            .leaf("price", PrimitiveType::Decimal)
+            .leaf("isbn", PrimitiveType::String)
+            .build();
+        let schemas = || {
+            [
+                SchemaBuilder::new("bib")
+                    .root("bibliography")
+                    .child("book", |b| {
+                        b.leaf("bookTitle", PrimitiveType::String)
+                            .leaf("authorName", PrimitiveType::String)
+                            .leaf("publicationYear", PrimitiveType::Integer)
+                    })
+                    .build(),
+                SchemaBuilder::new("shop")
+                    .root("store")
+                    .child("item", |o| {
+                        o.leaf("title", PrimitiveType::String)
+                            .leaf("cost", PrimitiveType::Decimal)
+                    })
+                    .build(),
+            ]
+        };
+        let cap = 2;
+        let mut unbounded = Repository::new();
+        let mut bounded = Repository::with_store_config(smx_repo::StoreConfig {
+            max_cached_rows: Some(cap),
+            batch_threads: 1,
+            shards: 0,
+        });
+        for s in schemas() {
+            unbounded.add(s);
+        }
+        for s in schemas() {
+            bounded.add(s);
+        }
+        let objective = ObjectiveFunction::default();
+        let one_shot = CostMatrix::build(
+            &MatchProblem::new(personal.clone(), unbounded).unwrap(),
+            &objective,
+        );
+        let bounded_problem = MatchProblem::new(personal, bounded).unwrap();
+        assert!(bounded_problem.distinct_personal_labels().len() > cap);
+        let windowed = CostMatrix::build(&bounded_problem, &objective);
+        for (sid, schema) in bounded_problem.repository().iter() {
+            let (a, b) = (one_shot.table(sid), windowed.table(sid));
+            assert_eq!(a.node_count(), b.node_count());
+            for level in 0..bounded_problem.personal_size() {
+                for t in 0..schema.len() {
+                    assert_eq!(
+                        a.cost(level, t).to_bits(),
+                        b.cost(level, t).to_bits(),
+                        "{sid} level {level} target {t}"
+                    );
+                }
+                assert_eq!(a.row_min(level).to_bits(), b.row_min(level).to_bits());
+            }
+            assert_eq!(
+                a.suffix_min()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                b.suffix_min()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
+        assert!(bounded_problem.repository().store().cached_rows() <= cap);
     }
 
     #[test]

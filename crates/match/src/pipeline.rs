@@ -52,8 +52,7 @@
 //! [`StageReport::factor`] exposes the telescoping attribution
 //! `f_i = (|A| + Σ_{j>i} C_j) / (|A| + Σ_{j≥i} C_j)` whose product
 //! reproduces the composed bound — the
-//! [`FactorBreakdown`](smx_eval::FactorBreakdown) form `smx-eval`
-//! reports.
+//! [`smx_eval::FactorBreakdown`] form `smx-eval` reports.
 
 use crate::beam::BeamMatcher;
 use crate::candidates::{BoundsTable, CandidateSet};

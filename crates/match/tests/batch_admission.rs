@@ -72,6 +72,7 @@ fn pinned_build_matrices_survive_a_bound_below_the_batch_vocabulary() {
     let bounded = with_config(
         &repository,
         StoreConfig {
+            shards: 0,
             max_cached_rows: Some(1),
             batch_threads: 0,
         },
@@ -122,6 +123,7 @@ fn admission_chunks_cover_the_batch_and_respect_the_bound() {
         let bounded = with_config(
             &repository,
             StoreConfig {
+                shards: 0,
                 max_cached_rows: Some(cap),
                 batch_threads: 0,
             },
@@ -162,6 +164,7 @@ fn within_a_chunk_no_evictions_and_no_extra_misses() {
     let bounded = with_config(
         &repository,
         StoreConfig {
+            shards: 0,
             max_cached_rows: Some(cap),
             batch_threads: 0,
         },
@@ -214,6 +217,7 @@ fn bounded_chunked_run_batch_is_bitwise_identical_and_thrash_free() {
         let bounded = with_config(
             &repository,
             StoreConfig {
+                shards: 0,
                 max_cached_rows: Some(cap),
                 batch_threads: 0,
             },

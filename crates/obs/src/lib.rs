@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! `smx-obs` — structured tracing, metrics registry, and exporters for
 //! the schema-matching stack. Zero external dependencies (std only,
 //! stable Rust): every workspace crate hangs instrumentation off this

@@ -59,9 +59,16 @@ pub mod section {
     /// before this section existed simply lack it, and the loader
     /// rebuilds the lanes from the label text.
     pub const FILTERS: u32 = 6;
+    /// Per-slot mutation state: one `(removed, generation)` pair per
+    /// schema slot, in id order. **Optional/additive** like FILTERS:
+    /// snapshots written before schema mutability existed lack it, and
+    /// the loader treats every slot as live at generation 0 (exactly
+    /// what those snapshots describe — tombstones didn't exist yet).
+    pub const TOMBSTONES: u32 = 7;
 
-    /// Every mandatory version-1 section. FILTERS is deliberately not
-    /// in this list — its absence is legal (older writers).
+    /// Every mandatory version-1 section. FILTERS and TOMBSTONES are
+    /// deliberately not in this list — their absence is legal (older
+    /// writers).
     pub const MANDATORY: [u32; 5] = [SCHEMAS, LABELS, TOKENS, ROWS, CONFIG];
 }
 
@@ -137,6 +144,14 @@ pub enum SalvageEvent {
     /// that simply *predates* the section rebuilds silently, without
     /// this event.
     FiltersRebuilt(Damage),
+    /// TOMBSTONES was damaged (checksum, decode, or a slot count that
+    /// contradicts the schema list); every slot was marked live at
+    /// generation 0. Removed slots persist as empty placeholder
+    /// schemas, which every matcher skips — so match answers stay
+    /// bitwise identical; only `live_schemas()` accounting and
+    /// generation stamps degrade. A snapshot that *predates* the
+    /// section loads all-live silently, without this event.
+    TombstonesDropped(Damage),
 }
 
 impl fmt::Display for SalvageEvent {
@@ -156,6 +171,9 @@ impl fmt::Display for SalvageEvent {
             }
             SalvageEvent::FiltersRebuilt(d) => {
                 write!(f, "FILTERS {d}: filter lanes rebuilt from labels")
+            }
+            SalvageEvent::TombstonesDropped(d) => {
+                write!(f, "TOMBSTONES {d}: all slots marked live at generation 0")
             }
         }
     }
@@ -262,6 +280,7 @@ impl Snapshot for Repository {
             (section::ROWS, encode_rows(&state)),
             (section::CONFIG, encode_config(&state)),
             (section::FILTERS, encode_filters(&state)),
+            (section::TOMBSTONES, encode_tombstones(&state)),
         ];
         let mut w = Writer::new();
         w.put_bytes(&MAGIC);
@@ -333,7 +352,7 @@ fn strict_load(bytes: &[u8]) -> Result<Repository, PersistError> {
     let (labels, schema_labels) = decode_labels(payload(section::LABELS)?)?;
     let postings = decode_tokens(payload(section::TOKENS)?)?;
     let rows = decode_rows(payload(section::ROWS)?)?;
-    let (max_cached_rows, batch_threads) = decode_config(payload(section::CONFIG)?)?;
+    let (max_cached_rows, batch_threads, shards) = decode_config(payload(section::CONFIG)?)?;
     // FILTERS is additive: absent (an older writer) means the lanes are
     // rebuilt from the label text at import; *present* but undecodable
     // is damage and rejected like any other strict failure. (A present
@@ -344,6 +363,13 @@ fn strict_load(bytes: &[u8]) -> Result<Repository, PersistError> {
         .find(|s| s.id == section::FILTERS)
         .map(|s| decode_filters(&bytes[s.offset..s.offset + s.len]))
         .transpose()?;
+    // TOMBSTONES follows the same additive policy: absent means every
+    // slot is live at generation 0 (a pre-mutability writer).
+    let tombstones = sections
+        .iter()
+        .find(|s| s.id == section::TOMBSTONES)
+        .map(|s| decode_tombstones(&bytes[s.offset..s.offset + s.len]))
+        .transpose()?;
     let state = StoreState {
         labels,
         schema_labels,
@@ -351,7 +377,9 @@ fn strict_load(bytes: &[u8]) -> Result<Repository, PersistError> {
         rows,
         max_cached_rows,
         batch_threads,
+        shards,
         filters,
+        tombstones,
     };
     validate(&schemas, &state)?;
     Ok(Repository::from_parts(
@@ -446,13 +474,13 @@ fn salvage_load(bytes: &[u8]) -> Result<(Repository, SnapshotReport), PersistErr
     };
 
     // CONFIG: defaults on any damage.
-    let (max_cached_rows, batch_threads) = match payload(section::CONFIG)
+    let (max_cached_rows, batch_threads, shards) = match payload(section::CONFIG)
         .and_then(|p| decode_config(p).map_err(|_| Damage::Undecodable))
     {
         Ok(config) => config,
         Err(damage) => {
             events.push(SalvageEvent::ConfigDefaulted(damage));
-            (None, 0)
+            (None, 0, 0)
         }
     };
 
@@ -479,6 +507,28 @@ fn salvage_load(bytes: &[u8]) -> Result<(Repository, SnapshotReport), PersistErr
         }
     };
 
+    // TOMBSTONES: all-live on any damage. Match answers are unaffected
+    // (removed slots persist as empty schemas every matcher skips);
+    // only liveness accounting and generation stamps degrade.
+    let tombstones = match payload(section::TOMBSTONES) {
+        Ok(p) => match decode_tombstones(p) {
+            Ok(t) if t.len() == schemas.len() => Some(t),
+            Ok(_) => {
+                events.push(SalvageEvent::TombstonesDropped(Damage::Inconsistent));
+                None
+            }
+            Err(_) => {
+                events.push(SalvageEvent::TombstonesDropped(Damage::Undecodable));
+                None
+            }
+        },
+        Err(Damage::Missing) => None,
+        Err(damage) => {
+            events.push(SalvageEvent::TombstonesDropped(damage));
+            None
+        }
+    };
+
     let state = StoreState {
         labels,
         schema_labels,
@@ -486,7 +536,9 @@ fn salvage_load(bytes: &[u8]) -> Result<(Repository, SnapshotReport), PersistErr
         rows,
         max_cached_rows,
         batch_threads,
+        shards,
         filters,
+        tombstones,
     };
     // The assembled state passed its checks piecewise; the composed
     // validation must therefore hold. Debug-assert it rather than
@@ -832,10 +884,15 @@ fn encode_config(state: &StoreState) -> Vec<u8> {
         None => w.put_u8(0),
     }
     w.put_u64(state.batch_threads as u64);
+    // Trailing, added with the sharded store: the configured shard
+    // count (0 = auto). Old readers never reach it (they stop after
+    // batch_threads); old payloads simply end before it — see
+    // decode_config.
+    w.put_u64(state.shards as u64);
     w.into_bytes()
 }
 
-fn decode_config(bytes: &[u8]) -> Result<(Option<usize>, usize), PersistError> {
+fn decode_config(bytes: &[u8]) -> Result<(Option<usize>, usize, usize), PersistError> {
     let mut r = Reader::new(bytes);
     let max_cached_rows = match r.get_u8()? {
         0 => None,
@@ -843,7 +900,49 @@ fn decode_config(bytes: &[u8]) -> Result<(Option<usize>, usize), PersistError> {
         f => return Err(PersistError::Corrupt(format!("bad config flag {f}"))),
     };
     let batch_threads = r.get_u64()? as usize;
-    Ok((max_cached_rows, batch_threads))
+    // The shard count is a trailing addition: payloads written before
+    // the sharded store end here, and 0 (auto) reproduces their
+    // behaviour exactly — the pre-sharding store was one shard, and
+    // auto on the same machine resolves the same everywhere answers
+    // are concerned (sharding never changes results, only contention).
+    let shards = if r.remaining() >= 8 {
+        r.get_u64()? as usize
+    } else {
+        0
+    };
+    Ok((max_cached_rows, batch_threads, shards))
+}
+
+/// TOMBSTONES payload: slot count, then one `(removed, generation)`
+/// pair per schema slot in id order.
+fn encode_tombstones(state: &StoreState) -> Vec<u8> {
+    let mut w = Writer::new();
+    let slots = state.tombstones.as_deref().unwrap_or(&[]);
+    w.put_u32(slots.len() as u32);
+    for &(removed, generation) in slots {
+        w.put_u8(u8::from(removed));
+        w.put_u64(generation);
+    }
+    w.into_bytes()
+}
+
+fn decode_tombstones(bytes: &[u8]) -> Result<Vec<(bool, u64)>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let count = r.get_u32()? as usize;
+    if count > r.remaining() / 9 {
+        return Err(PersistError::Truncated);
+    }
+    let mut slots = Vec::with_capacity(count);
+    for _ in 0..count {
+        let removed = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            f => return Err(PersistError::Corrupt(format!("bad tombstone flag {f}"))),
+        };
+        let generation = r.get_u64()?;
+        slots.push((removed, generation));
+    }
+    Ok(slots)
 }
 
 fn encode_filters(state: &StoreState) -> Vec<u8> {
@@ -947,7 +1046,23 @@ fn validate(schemas: &[Schema], state: &StoreState) -> Result<(), PersistError> 
     validate_labels(schemas, &state.labels, &state.schema_labels)?;
     validate_rows(state.labels.len(), &state.rows)?;
     validate_postings(schemas, &state.postings)?;
-    validate_filters(state.labels.len(), state.filters.as_deref())
+    validate_filters(state.labels.len(), state.filters.as_deref())?;
+    validate_tombstones(schemas.len(), state.tombstones.as_deref())
+}
+
+/// The TOMBSTONES cross-check: when present, exactly one
+/// `(removed, generation)` pair per schema slot.
+fn validate_tombstones(
+    schema_count: usize,
+    tombstones: Option<&[(bool, u64)]>,
+) -> Result<(), PersistError> {
+    match tombstones {
+        Some(slots) if slots.len() != schema_count => Err(PersistError::Corrupt(format!(
+            "{} tombstone slots for {schema_count} schemas",
+            slots.len()
+        ))),
+        _ => Ok(()),
+    }
 }
 
 /// The FILTERS cross-check: when present, exactly one lane entry per
@@ -1112,6 +1227,7 @@ mod tests {
     #[test]
     fn config_round_trips() {
         let mut repo = Repository::with_store_config(smx_repo::StoreConfig {
+            shards: 0,
             max_cached_rows: Some(3),
             batch_threads: 2,
         });
@@ -1206,6 +1322,7 @@ mod tests {
     #[test]
     fn salvage_defaults_corrupt_config() {
         let mut repo = Repository::with_store_config(smx_repo::StoreConfig {
+            shards: 0,
             max_cached_rows: Some(3),
             batch_threads: 2,
         });
@@ -1311,6 +1428,129 @@ mod tests {
             Repository::load_snapshot_report(&old, RecoveryPolicy::Salvage).unwrap();
         assert!(report.is_clean(), "absence is compatibility, not damage");
         assert_eq!(salvaged.store().salvage_events(), 0);
+    }
+
+    /// A repository with one removed and one replaced slot — the
+    /// canonical mutated fixture for tombstone persistence.
+    fn mutated_repository() -> Repository {
+        let mut repo = repository();
+        repo.add(
+            SchemaBuilder::new("extra")
+                .root("warehouse")
+                .leaf("isbn", PrimitiveType::String)
+                .build(),
+        );
+        repo.remove_schema(smx_repo::SchemaId(0));
+        repo.replace_schema(
+            smx_repo::SchemaId(1),
+            SchemaBuilder::new("shop2")
+                .root("orderDepot")
+                .leaf("orderLine", PrimitiveType::String)
+                .build(),
+        );
+        repo.store().score_row("orderTitle");
+        repo
+    }
+
+    #[test]
+    fn tombstones_round_trip_through_snapshot() {
+        let repo = mutated_repository();
+        let bytes = repo.save_snapshot();
+        let loaded = Repository::load_snapshot(&bytes).expect("mutated snapshot decodes");
+        assert_eq!(loaded, repo);
+        for sid in repo.schema_ids() {
+            assert_eq!(loaded.is_removed(sid), repo.is_removed(sid), "{sid}");
+            assert_eq!(
+                loaded.store().schema_generation(sid),
+                repo.store().schema_generation(sid),
+                "{sid}"
+            );
+        }
+        assert_eq!(loaded.live_schemas(), 2);
+        assert!(loaded.is_removed(smx_repo::SchemaId(0)));
+        assert_eq!(loaded.store().schema_generation(smx_repo::SchemaId(1)), 2);
+        assert_eq!(
+            loaded.store().orphaned_labels(),
+            repo.store().orphaned_labels()
+        );
+        assert_bitwise_rows(&repo, &loaded, &["orderTitle", "orderLine", "title"]);
+    }
+
+    #[test]
+    fn snapshots_without_tombstones_section_load_all_live() {
+        // A snapshot from a pre-mutability writer: no TOMBSTONES
+        // section. Every slot loads live at generation 0 — exactly the
+        // state such a writer could have had — and silently (absence is
+        // compatibility, not damage).
+        let repo = repository();
+        let mut keep = section::MANDATORY.to_vec();
+        keep.push(section::FILTERS);
+        let old = strip_to_sections(&repo.save_snapshot(), &keep);
+        let loaded = Repository::load_snapshot(&old).expect("additive section may be absent");
+        assert_eq!(loaded, repo);
+        for sid in loaded.schema_ids() {
+            assert!(!loaded.is_removed(sid));
+            assert_eq!(loaded.store().schema_generation(sid), 0);
+        }
+        assert_eq!(loaded.live_schemas(), loaded.len());
+        let (_, report) = Repository::load_snapshot_report(&old, RecoveryPolicy::Salvage).unwrap();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn corrupt_tombstones_rejected_strict_salvaged_all_live() {
+        let repo = mutated_repository();
+        let mut bytes = repo.save_snapshot();
+        corrupt_section(&mut bytes, section::TOMBSTONES);
+        assert!(matches!(
+            Repository::load_snapshot(&bytes),
+            Err(PersistError::ChecksumMismatch(section::TOMBSTONES))
+        ));
+        let (salvaged, report) =
+            Repository::load_snapshot_report(&bytes, RecoveryPolicy::Salvage).unwrap();
+        assert_eq!(
+            report.events,
+            vec![SalvageEvent::TombstonesDropped(Damage::BadChecksum)]
+        );
+        // Degraded: liveness flags lost (all slots report live), but
+        // the tombstoned slot is still an empty schema every matcher
+        // skips — answers stay bitwise identical, and cached rows
+        // survive.
+        for sid in salvaged.schema_ids() {
+            assert!(!salvaged.is_removed(sid));
+        }
+        assert_eq!(salvaged.schema(smx_repo::SchemaId(0)).len(), 0);
+        assert!(salvaged.store().cached_rows() > 0);
+        assert_bitwise_rows(&repo, &salvaged, &["orderTitle", "orderLine"]);
+    }
+
+    #[test]
+    fn config_payloads_without_shard_count_decode_as_auto() {
+        // A CONFIG payload from a pre-sharding writer ends after
+        // batch_threads; the reader must treat the missing trailing
+        // field as `shards: 0` (auto) rather than erroring.
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u64(7);
+        w.put_u64(3);
+        let (cap, threads, shards) = decode_config(&w.into_bytes()).unwrap();
+        assert_eq!(cap, Some(7));
+        assert_eq!(threads, 3);
+        assert_eq!(shards, 0);
+        // And the current writer round-trips a configured count.
+        let state = StoreState {
+            labels: Vec::new(),
+            schema_labels: Vec::new(),
+            postings: Vec::new(),
+            rows: Vec::new(),
+            max_cached_rows: Some(7),
+            batch_threads: 3,
+            shards: 16,
+            filters: None,
+            tombstones: None,
+        };
+        let (cap, threads, shards) = decode_config(&encode_config(&state)).unwrap();
+        assert_eq!((cap, threads, shards), (Some(7), 3, 16));
     }
 
     #[test]

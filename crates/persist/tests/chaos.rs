@@ -65,6 +65,7 @@ fn bounded_with_faulty_spill(
     path: &PathBuf,
 ) -> (Repository, Arc<SpillFile>) {
     let mut repo = Repository::with_store_config(StoreConfig {
+        shards: 0,
         max_cached_rows: Some(cap),
         batch_threads: 0,
     });
@@ -237,6 +238,84 @@ fn salvage_storm_reports_each_damaged_section_and_answers_identically() {
     }
 }
 
+#[test]
+fn mutated_sharded_store_is_bitwise_identical_under_fault_storms() {
+    // The tentpole gate, composed with the chaos seam: a *sharded*,
+    // bounded store whose repository has been mutated (one slot
+    // removed, one replaced) rides the same fault storms — and every
+    // roster matcher must still answer bitwise identically to a
+    // fault-free, unsharded, unbounded rebuild of the same final
+    // schemas (tombstoned slot as the empty placeholder every matcher
+    // skips).
+    let sc = scenario(7004);
+    let replacement = scenario(7104)
+        .repository
+        .schema(smx_repo::SchemaId(0))
+        .clone();
+    let storms: Vec<(&str, FaultPlan)> = vec![
+        ("failed-write", FaultPlan::clean().fault_at(2, Fault::Fail)),
+        (
+            "torn-write",
+            FaultPlan::clean().fault_at(2, Fault::Torn { keep: 9 }),
+        ),
+        ("total-crash", FaultPlan::clean().crash_at_op(2)),
+    ];
+    for (name, plan) in storms {
+        let path = temp_path(&format!("mutated-storm-{name}"));
+        let io = Arc::new(FaultIo::new(Arc::new(RealIo), plan));
+        let mut stormy = Repository::with_store_config(StoreConfig {
+            shards: 8,
+            max_cached_rows: Some(1),
+            batch_threads: 0,
+        });
+        for (_, schema) in sc.repository.iter() {
+            stormy.add(schema.clone());
+        }
+        let spill = Arc::new(
+            SpillFile::create_with(io as _, &path)
+                .expect("creation happens before any planned fault")
+                .with_retry_policy(RetryPolicy {
+                    max_reopens: 2,
+                    backoff_base: 1,
+                }),
+        );
+        stormy
+            .store()
+            .set_eviction_sink(Some(Arc::clone(&spill) as _));
+        // Churn the bounded cache so evictions hit the faulty sink,
+        // then mutate, then churn again: spill faults land both before
+        // and after the mutation.
+        for i in 0..8 {
+            stormy.store().score_row(&format!("stormQuery{i}"));
+        }
+        assert!(stormy.remove_schema(smx_repo::SchemaId(1)));
+        assert!(stormy.replace_schema(smx_repo::SchemaId(2), replacement.clone()));
+        for i in 8..16 {
+            stormy.store().score_row(&format!("stormQuery{i}"));
+        }
+
+        let mut oracle = Repository::new();
+        for sid in stormy.schema_ids() {
+            if stormy.is_removed(sid) {
+                oracle.add(Schema::new(""));
+            } else {
+                oracle.add(stormy.schema(sid).clone());
+            }
+        }
+        for (matcher_name, matcher) in all_matchers() {
+            let registry = MappingRegistry::new();
+            let want = run(&matcher, &sc.personal, &oracle, &registry);
+            let got = run(&matcher, &sc.personal, &stormy, &registry);
+            assert_eq!(
+                canonical_answers(&want, &registry),
+                canonical_answers(&got, &registry),
+                "storm {name:?}: matcher {matcher_name} diverged on the mutated sharded store"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -272,6 +351,7 @@ proptest! {
         // store without a sink is the degenerate (still correct) case.
         let io = Arc::new(FaultIo::new(Arc::new(RealIo), plan));
         let mut repo = Repository::with_store_config(StoreConfig {
+            shards: 0,
             max_cached_rows: Some(cap),
             batch_threads: 0,
         });

@@ -266,6 +266,7 @@ proptest! {
             ..Default::default()
         });
         let mut repo = Repository::with_store_config(StoreConfig {
+            shards: 0,
             max_cached_rows: cap,
             batch_threads: 0,
         });

@@ -46,6 +46,44 @@ impl TokenIndex {
         }
     }
 
+    /// Remove one schema's postings — the incremental path
+    /// [`Repository::remove_schema`](crate::Repository::remove_schema)
+    /// uses. Targeted: only the posting lists of the removed schema's
+    /// own tokens are touched (emptied entries are dropped from the
+    /// vocabulary), nothing is rebuilt. `schema` must be the schema the
+    /// repository held at `sid`.
+    pub fn remove_schema(&mut self, sid: SchemaId, schema: &Schema) {
+        for node in schema.node_ids() {
+            for token in split_identifier(&schema.node(node).name) {
+                if let Some(postings) = self.postings.get_mut(&token.0) {
+                    postings.retain(|e| e.schema != sid);
+                    if postings.is_empty() {
+                        self.postings.remove(&token.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert one schema's postings at their sorted positions — the
+    /// replace path
+    /// ([`Repository::replace_schema`](crate::Repository::replace_schema)),
+    /// where `sid` is *smaller* than already-indexed ids so a plain
+    /// append would break the posting-order contract. Posting lists
+    /// stay sorted by `(schema, node)` — exactly what a from-scratch
+    /// [`build`](Self::build) over the updated repository produces
+    /// (asserted by the mutation differential tests).
+    pub fn insert_schema_sorted(&mut self, sid: SchemaId, schema: &Schema) {
+        for node in schema.node_ids() {
+            let eref = ElementRef { schema: sid, node };
+            for token in split_identifier(&schema.node(node).name) {
+                let postings = self.postings.entry(token.0).or_default();
+                let pos = postings.partition_point(|e| e < &eref);
+                postings.insert(pos, eref);
+            }
+        }
+    }
+
     /// Elements whose name contains `token` (exact token match).
     pub fn lookup(&self, token: &str) -> &[ElementRef] {
         self.postings.get(token).map_or(&[], Vec::as_slice)

@@ -126,6 +126,73 @@ impl Repository {
         id
     }
 
+    /// Remove a schema, leaving a tombstone at its slot so every other
+    /// [`SchemaId`] stays valid. Returns `false` if `sid` is out of
+    /// range or already removed.
+    ///
+    /// Maintenance is **incremental and targeted**: the removed
+    /// schema's token postings and store column map are stripped, its
+    /// slot is replaced by an empty placeholder schema (every matcher
+    /// skips empty schemas), and its generation stamp is bumped.
+    /// Label-level derived state — interned labels, row-kernel
+    /// profiles, cached score rows — is append-only and **never
+    /// invalidated**: a cached row is a pure function of its query
+    /// string and the label vocabulary, which only grows. Labels no
+    /// schema references anymore are merely orphaned
+    /// ([`LabelStore::orphaned_labels`]); their row entries stay
+    /// bitwise valid.
+    pub fn remove_schema(&mut self, sid: SchemaId) -> bool {
+        if sid.index() >= self.schemas.len() || self.store.is_removed(sid) {
+            return false;
+        }
+        let old = {
+            let schemas = Arc::make_mut(&mut self.schemas);
+            std::mem::replace(&mut schemas[sid.index()], Schema::new(""))
+        };
+        Arc::make_mut(&mut self.store).remove_schema(sid, &old);
+        true
+    }
+
+    /// Replace the schema at `sid` with a new version, in place —
+    /// remove-then-reingest under the same id, bumping the slot's
+    /// generation twice (once per step; a replace of a live slot is
+    /// observable as `generation += 2`). The slot may currently be a
+    /// tombstone (replace doubles as re-add). Returns `false` only if
+    /// `sid` is out of range.
+    ///
+    /// Like [`add`](Self::add), ingest is incremental: new distinct
+    /// labels are profiled and token postings spliced in at their
+    /// sorted positions — nothing is rebuilt, no cached score row is
+    /// invalidated.
+    pub fn replace_schema(&mut self, sid: SchemaId, schema: Schema) -> bool {
+        if sid.index() >= self.schemas.len() {
+            return false;
+        }
+        if !self.store.is_removed(sid) {
+            let old = {
+                let schemas = Arc::make_mut(&mut self.schemas);
+                std::mem::replace(&mut schemas[sid.index()], Schema::new(""))
+            };
+            Arc::make_mut(&mut self.store).remove_schema(sid, &old);
+        }
+        Arc::make_mut(&mut self.store).reingest_schema(sid, &schema);
+        Arc::make_mut(&mut self.schemas)[sid.index()] = schema;
+        true
+    }
+
+    /// Whether `sid`'s slot is a tombstone left by
+    /// [`remove_schema`](Self::remove_schema). Out-of-range ids report
+    /// `false`.
+    pub fn is_removed(&self, sid: SchemaId) -> bool {
+        self.store.is_removed(sid)
+    }
+
+    /// Number of live (non-tombstoned) schemas — `len()` minus
+    /// tombstones.
+    pub fn live_schemas(&self) -> usize {
+        self.store.live_schema_count()
+    }
+
     /// The repository's label store: interner, row-kernel profiles,
     /// token index, and cached score rows, all maintained by
     /// [`add`](Self::add).

@@ -22,6 +22,42 @@
 //! columns are evaluated) the next time they are requested. Nothing is
 //! ever rebuilt from scratch.
 //!
+//! # Sharded caches
+//!
+//! The row and partial-row caches are split into label-hash **shards**
+//! ([`StoreConfig::shards`]), each with its own lock and counter slice,
+//! so concurrent `score_rows` callers — parallel matchers, batch
+//! serving — stop serialising on one cache lock. Sharding is invisible
+//! to results: rows are keyed by query text, every query hashes to
+//! exactly one shard, and the LRU bound stays **global** — a bounded
+//! eviction pass locks all shards (in index order) and removes the
+//! globally least-recently-used rows, wherever they live, so a sharded
+//! bounded store keeps exactly the rows an unsharded one would.
+//! Unbounded stores never take a cross-shard lock on the hot path.
+//! Counters are merged per shard into one [`StoreCounters`] snapshot by
+//! the associative [`StoreCounters::merge`].
+//!
+//! # Mutability: remove / replace
+//!
+//! [`Repository::remove_schema`](crate::Repository::remove_schema) and
+//! [`Repository::replace_schema`](crate::Repository::replace_schema)
+//! mutate a live repository **incrementally**: removal strips exactly
+//! the removed schema's tokens from the [`TokenIndex`] and its id from
+//! the label→schema postings, tombstones the slot (ids stay stable —
+//! a tombstoned slot holds an empty schema every matcher naturally
+//! skips), and bumps the slot's generation; replace re-ingests into the
+//! same slot at its sorted posting positions. Nothing is rebuilt.
+//!
+//! Cached score rows are **never invalidated** by mutations, by design:
+//! label-level state (interner, profiles, prefix fingerprints) is
+//! append-only even across removals, so every cached row stays a valid
+//! prefix of per-label distances. Schema membership is consulted at
+//! matrix-build time through the immediately-updated column maps and
+//! postings — a stale row cannot leak a removed schema into an answer.
+//! The cost is **orphaned labels** ([`LabelStore::orphaned_labels`]):
+//! labels no live schema references keep their profile and row columns
+//! until a full rebuild reclaims them.
+//!
 //! # Bounded cache (LRU)
 //!
 //! Unbounded, the row cache grows with the distinct query vocabulary —
@@ -119,6 +155,17 @@ use std::sync::Arc;
 /// stay single-threaded — scoped workers cost more than they save.
 const PARALLEL_SWEEP_MIN_PAIRS: usize = 1024;
 
+/// Upper bound on the shard count (`StoreConfig::shards` is clamped to
+/// it). Shard counts are rounded up to a power of two so the shard of a
+/// query is one hash-and-mask.
+const MAX_SHARDS: usize = 64;
+
+/// Work-stealing sweep granularity: each worker's share of the column
+/// axis is cut into this many tiles, so a worker that finishes early
+/// claims the next tile off the shared cursor instead of idling behind
+/// a static partition.
+const TILES_PER_WORKER: usize = 4;
+
 /// Sentinel for "no bound" in the atomic `max_cached_rows` cell.
 const UNBOUNDED: usize = usize::MAX;
 
@@ -156,6 +203,14 @@ pub struct StoreConfig {
     /// `0` means auto (available parallelism). Small sweeps stay
     /// single-threaded regardless.
     pub batch_threads: usize,
+    /// Label-hash shards the row/partial-row caches are split into, each
+    /// with its own lock and counters, so concurrent `score_rows` callers
+    /// stop serialising on one cache lock. `0` means auto (available
+    /// parallelism); any value is clamped to `MAX_SHARDS` (64) and rounded
+    /// up to a power of two. Sharding never changes results or the
+    /// global LRU policy — eviction still removes the globally
+    /// least-recently-used rows (see [`LabelStore`]'s module docs).
+    pub shards: usize,
 }
 
 /// Receiver for rows evicted from a [`LabelStore`]'s bounded row cache —
@@ -288,10 +343,18 @@ pub struct StoreState {
     pub max_cached_rows: Option<usize>,
     /// The store's sweep worker count ([`StoreConfig::batch_threads`]).
     pub batch_threads: usize,
+    /// The store's configured shard count ([`StoreConfig::shards`];
+    /// `0` = auto). Images exported before sharding decode as `0`.
+    pub shards: usize,
     /// The candidate-generation filter lanes, one entry per label in id
     /// order — `None` for images exported before the filter index
     /// existed (import then rebuilds the lanes from `labels`).
     pub filters: Option<Vec<FilterProfileData>>,
+    /// Per schema slot: `(removed, generation)` tombstone state —
+    /// `None` for images exported before schema mutability existed
+    /// (import then treats every slot as live at generation 0, which is
+    /// exactly what such an image described).
+    pub tombstones: Option<Vec<(bool, u64)>>,
 }
 
 /// A consistent snapshot of a [`LabelStore`]'s work counters.
@@ -338,6 +401,38 @@ pub struct StoreCounters {
     /// Partial-row fill operations: subset requests that ran the kernel
     /// for at least one missing column.
     pub partial_row_fills: u64,
+    /// Schemas removed from the repository
+    /// ([`Repository::remove_schema`](crate::Repository::remove_schema)).
+    pub schema_removes: u64,
+    /// Schemas replaced in place
+    /// ([`Repository::replace_schema`](crate::Repository::replace_schema)).
+    pub schema_replaces: u64,
+}
+
+impl StoreCounters {
+    /// Field-wise sum — the associative merge per-shard counter
+    /// snapshots are combined with ([`StoreCounters::default`] is the
+    /// identity). Each shard's fragment is internally consistent (taken
+    /// under that shard's exclusive lock), so the merged total preserves
+    /// `row_hits + row_misses == row_lookups`.
+    pub fn merge(self, other: StoreCounters) -> StoreCounters {
+        StoreCounters {
+            profile_builds: self.profile_builds + other.profile_builds,
+            pair_evals: self.pair_evals + other.pair_evals,
+            row_hits: self.row_hits + other.row_hits,
+            row_misses: self.row_misses + other.row_misses,
+            row_lookups: self.row_lookups + other.row_lookups,
+            row_evictions: self.row_evictions + other.row_evictions,
+            row_spills: self.row_spills + other.row_spills,
+            row_spill_recoveries: self.row_spill_recoveries + other.row_spill_recoveries,
+            row_spill_failures: self.row_spill_failures + other.row_spill_failures,
+            candidate_hits: self.candidate_hits + other.candidate_hits,
+            candidate_pruned: self.candidate_pruned + other.candidate_pruned,
+            partial_row_fills: self.partial_row_fills + other.partial_row_fills,
+            schema_removes: self.schema_removes + other.schema_removes,
+            schema_replaces: self.schema_replaces + other.schema_replaces,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreCounters {
@@ -352,10 +447,15 @@ impl std::fmt::Display for StoreCounters {
             "  cache: {} evictions, {} spills, {} recoveries, {} spill failures",
             self.row_evictions, self.row_spills, self.row_spill_recoveries, self.row_spill_failures
         )?;
-        write!(
+        writeln!(
             f,
             "  candidate tier: {} column hits, {} columns pruned, {} partial fills",
             self.candidate_hits, self.candidate_pruned, self.partial_row_fills
+        )?;
+        write!(
+            f,
+            "  mutations: {} schema removes, {} schema replaces",
+            self.schema_removes, self.schema_replaces
         )
     }
 }
@@ -397,6 +497,124 @@ fn bit_set(bits: &mut [u64], i: usize) {
     bits[i / 64] |= 1u64 << (i % 64);
 }
 
+/// One label-hash shard of the row/partial-row caches: its slice of the
+/// two maps plus the counters whose lock-consistency invariant is
+/// per-shard (`row_hits + row_misses == row_lookups` holds within every
+/// shard, so it holds for the merged snapshot too).
+struct Shard {
+    /// Query label → distances to the first `row.len()` stored labels,
+    /// for queries hashing to this shard.
+    rows: RwLock<HashMap<String, CachedRow>>,
+    /// Query label → coverage-masked partial row (candidate subsets),
+    /// same hash split as `rows`.
+    partial_rows: RwLock<HashMap<String, PartialRow>>,
+    /// This shard's slice of the row/candidate work counters; updated
+    /// under this shard's locks, merged by [`LabelStore::counters`].
+    counters: ShardCounters,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            rows: RwLock::new(HashMap::new()),
+            partial_rows: RwLock::new(HashMap::new()),
+            counters: ShardCounters::default(),
+        }
+    }
+}
+
+/// The per-shard slice of [`StoreCounters`] — every counter whose
+/// paired-update consistency is guaranteed by a shard's own lock.
+/// Store-global counters (`pair_evals`, `profile_builds`, mutation
+/// counts) stay on [`LabelStore`] itself.
+#[derive(Default)]
+struct ShardCounters {
+    row_hits: AtomicU64,
+    row_misses: AtomicU64,
+    row_lookups: AtomicU64,
+    row_evictions: AtomicU64,
+    row_spills: AtomicU64,
+    row_spill_recoveries: AtomicU64,
+    row_spill_failures: AtomicU64,
+    candidate_hits: AtomicU64,
+    candidate_pruned: AtomicU64,
+    partial_row_fills: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Relaxed-load snapshot as a [`StoreCounters`] fragment. Callers
+    /// hold the shard's exclusive row lock, so the paired
+    /// hit/miss/lookup increments cannot be observed split.
+    fn snapshot(&self) -> StoreCounters {
+        StoreCounters {
+            row_hits: self.row_hits.load(Relaxed),
+            row_misses: self.row_misses.load(Relaxed),
+            row_lookups: self.row_lookups.load(Relaxed),
+            row_evictions: self.row_evictions.load(Relaxed),
+            row_spills: self.row_spills.load(Relaxed),
+            row_spill_recoveries: self.row_spill_recoveries.load(Relaxed),
+            row_spill_failures: self.row_spill_failures.load(Relaxed),
+            candidate_hits: self.candidate_hits.load(Relaxed),
+            candidate_pruned: self.candidate_pruned.load(Relaxed),
+            partial_row_fills: self.partial_row_fills.load(Relaxed),
+            ..StoreCounters::default()
+        }
+    }
+
+    /// A detached copy with the same counts (for [`LabelStore`]'s
+    /// `Clone`).
+    fn detach(&self) -> ShardCounters {
+        let c = self.snapshot();
+        ShardCounters {
+            row_hits: AtomicU64::new(c.row_hits),
+            row_misses: AtomicU64::new(c.row_misses),
+            row_lookups: AtomicU64::new(c.row_lookups),
+            row_evictions: AtomicU64::new(c.row_evictions),
+            row_spills: AtomicU64::new(c.row_spills),
+            row_spill_recoveries: AtomicU64::new(c.row_spill_recoveries),
+            row_spill_failures: AtomicU64::new(c.row_spill_failures),
+            candidate_hits: AtomicU64::new(c.candidate_hits),
+            candidate_pruned: AtomicU64::new(c.candidate_pruned),
+            partial_row_fills: AtomicU64::new(c.partial_row_fills),
+        }
+    }
+}
+
+/// Exact, call-local accounting of one `score_rows` call — what the
+/// tracing wrapper stamps into its span attributes. Derived from the
+/// call's own work, not from global counter deltas, so the attrs stay
+/// exact under concurrent sweeps (the PR-9 approximation this replaces
+/// could misattribute a concurrent caller's work).
+#[derive(Debug, Default, Clone, Copy)]
+struct SweepStats {
+    /// Pending rows this call swept (its own row misses).
+    rows_swept: u64,
+    /// Kernel pair evaluations this call ran.
+    pair_evals: u64,
+}
+
+/// Call-local accounting of one `score_rows_subset` call (see
+/// [`SweepStats`]).
+#[derive(Debug, Default, Clone, Copy)]
+struct SubsetStats {
+    /// Requested columns this call served without kernel work.
+    candidate_hits: u64,
+    /// Kernel pair evaluations this call ran.
+    pair_evals: u64,
+}
+
+/// Resolve a configured shard count: `0` means auto (available
+/// parallelism), everything is clamped to [`MAX_SHARDS`] and rounded up
+/// to a power of two so shard lookup is one hash-and-mask.
+fn resolve_shard_count(configured: usize) -> usize {
+    let want = if configured == 0 {
+        std::thread::available_parallelism().map_or(1, |t| t.get())
+    } else {
+        configured
+    };
+    want.clamp(1, MAX_SHARDS).next_power_of_two()
+}
+
 /// Interner, per-label profiles, token index, and cached score rows for
 /// one repository. Obtained via
 /// [`Repository::store`](crate::Repository::store).
@@ -422,14 +640,24 @@ pub struct LabelStore {
     /// entry per label — maintained in lock-step with `profiles` at
     /// ingest.
     filters: FilterIndex,
-    /// Query label → distances to the first `row.len()` stored labels.
-    /// Rows are append-consistent: label ids are stable, so a short row
-    /// is a valid prefix and only its tail needs computing after adds.
-    rows: RwLock<HashMap<String, CachedRow>>,
-    /// Query label → coverage-masked partial row, for candidate-subset
-    /// scoring ([`Self::score_rows_subset`]). Strictly separate from
-    /// `rows`: partials never serve full-row requests.
-    partial_rows: RwLock<HashMap<String, PartialRow>>,
+    /// Per schema slot: `true` once the schema was removed
+    /// ([`Repository::remove_schema`](crate::Repository::remove_schema)).
+    /// Tombstoned slots keep their id (every `SchemaId` stays valid) but
+    /// hold an empty schema and an empty column map.
+    removed: Vec<bool>,
+    /// Per schema slot: bumped on every remove/replace. Consumers that
+    /// cache per-schema derived state can compare generations instead of
+    /// diffing schema contents.
+    generations: Vec<u64>,
+    /// The label-hash shards of the row/partial-row caches (always a
+    /// power-of-two count ≥ 1). Rows are append-consistent: label ids
+    /// are stable, so a short row is a valid prefix and only its tail
+    /// needs computing after adds. Partials are strictly separate from
+    /// full rows: they never serve full-row requests.
+    shards: Box<[Shard]>,
+    /// The *configured* shard count (`0` = auto), reported by
+    /// [`config`](Self::config); `shards.len()` is the resolved count.
+    config_shards: usize,
     /// Monotonic recency clock for the LRU stamps.
     clock: AtomicU64,
     /// LRU bound on `rows` (`UNBOUNDED` = no bound). Atomic so tests and
@@ -445,16 +673,10 @@ pub struct LabelStore {
     /// How many (query, label) kernel evaluations were ever run
     /// (pair-level work). Repeated queries must not move this.
     pair_evals: AtomicU64,
-    row_hits: AtomicU64,
-    row_misses: AtomicU64,
-    row_lookups: AtomicU64,
-    row_evictions: AtomicU64,
-    row_spills: AtomicU64,
-    row_spill_recoveries: AtomicU64,
-    row_spill_failures: AtomicU64,
-    candidate_hits: AtomicU64,
-    candidate_pruned: AtomicU64,
-    partial_row_fills: AtomicU64,
+    /// Schemas removed ([`Self::remove_schema`]).
+    schema_removes: AtomicU64,
+    /// Schemas replaced in place ([`Self::reingest_schema`]).
+    schema_replaces: AtomicU64,
     /// Salvage events recorded when this store was loaded from a
     /// damaged snapshot (see `smx-persist`'s `RecoveryPolicy::Salvage`).
     salvage_events: AtomicU64,
@@ -475,8 +697,10 @@ impl LabelStore {
         LabelStore::with_config(StoreConfig::default())
     }
 
-    /// An empty store with an explicit cache bound / sweep configuration.
+    /// An empty store with an explicit cache bound / sweep / shard
+    /// configuration.
     pub fn with_config(config: StoreConfig) -> Self {
+        let shard_count = resolve_shard_count(config.shards);
         LabelStore {
             interner: LabelInterner::new(),
             profiles: Vec::new(),
@@ -485,35 +709,45 @@ impl LabelStore {
             label_schemas: Vec::new(),
             index: TokenIndex::default(),
             filters: FilterIndex::new(),
-            rows: RwLock::new(HashMap::new()),
-            partial_rows: RwLock::new(HashMap::new()),
+            removed: Vec::new(),
+            generations: Vec::new(),
+            shards: (0..shard_count).map(|_| Shard::new()).collect(),
+            config_shards: config.shards,
             clock: AtomicU64::new(0),
             max_cached_rows: AtomicUsize::new(config.max_cached_rows.unwrap_or(UNBOUNDED)),
             batch_threads: config.batch_threads,
             sink: RwLock::new(None),
             profile_builds: AtomicU64::new(0),
             pair_evals: AtomicU64::new(0),
-            row_hits: AtomicU64::new(0),
-            row_misses: AtomicU64::new(0),
-            row_lookups: AtomicU64::new(0),
-            row_evictions: AtomicU64::new(0),
-            row_spills: AtomicU64::new(0),
-            row_spill_recoveries: AtomicU64::new(0),
-            row_spill_failures: AtomicU64::new(0),
-            candidate_hits: AtomicU64::new(0),
-            candidate_pruned: AtomicU64::new(0),
-            partial_row_fills: AtomicU64::new(0),
+            schema_removes: AtomicU64::new(0),
+            schema_replaces: AtomicU64::new(0),
             salvage_events: AtomicU64::new(0),
         }
     }
 
-    /// The store's current configuration.
+    /// The store's current configuration. Reports the *configured*
+    /// shard count (`0` for auto); [`shard_count`](Self::shard_count)
+    /// is the resolved one.
     pub fn config(&self) -> StoreConfig {
         let cap = self.max_cached_rows.load(Relaxed);
         StoreConfig {
             max_cached_rows: (cap != UNBOUNDED).then_some(cap),
             batch_threads: self.batch_threads,
+            shards: self.config_shards,
         }
+    }
+
+    /// The resolved number of label-hash cache shards (a power of two,
+    /// ≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `query`'s rows hash to.
+    #[inline]
+    fn shard_of(&self, query: &str) -> &Shard {
+        let h = fnv_extend(FNV_OFFSET, query.as_bytes());
+        &self.shards[h as usize & (self.shards.len() - 1)]
     }
 
     /// Change the LRU bound on a live store, evicting immediately if the
@@ -521,10 +755,7 @@ impl LabelStore {
     pub fn set_max_cached_rows(&self, max: Option<usize>) {
         self.max_cached_rows
             .store(max.unwrap_or(UNBOUNDED), Relaxed);
-        let victims = {
-            let mut cache = self.rows.write();
-            self.evict_over_cap(&mut cache)
-        };
+        let victims = self.evict_over_cap_global();
         self.spill_victims(victims);
     }
 
@@ -546,6 +777,27 @@ impl LabelStore {
     /// schema gets; ids must arrive densely in order.
     pub(crate) fn add_schema(&mut self, sid: SchemaId, schema: &Schema) {
         debug_assert_eq!(sid.index(), self.schema_labels.len());
+        let labels = self.intern_schema_labels(schema);
+        for &lid in &labels {
+            let postings = &mut self.label_schemas[lid.index()];
+            // Ids arrive in order, so a duplicate label within this
+            // schema is always the postings' current tail.
+            if postings.last() != Some(&sid) {
+                postings.push(sid);
+            }
+        }
+        self.schema_labels.push(labels);
+        self.removed.push(false);
+        self.generations.push(0);
+        self.index.add_schema(sid, schema);
+    }
+
+    /// Intern `schema`'s labels, building profiles, filter lanes, and
+    /// prefix fingerprints for labels never seen before, and return the
+    /// arena-order column map. Label-level state stays append-only —
+    /// shared by ingest ([`add_schema`](Self::add_schema)) and replace
+    /// ([`reingest_schema`](Self::reingest_schema)).
+    fn intern_schema_labels(&mut self, schema: &Schema) -> Vec<LabelId> {
         let known = self.interner.len();
         let labels = self.interner.intern_schema(schema);
         for id in known..self.interner.len() {
@@ -563,16 +815,99 @@ impl LabelStore {
             .fetch_add((self.interner.len() - known) as u64, Relaxed);
         self.label_schemas
             .resize_with(self.interner.len(), Vec::new);
-        for &lid in &labels {
+        labels
+    }
+
+    /// Remove schema `sid`: strip it from the token index and the
+    /// label→schema postings (targeted — only the removed schema's own
+    /// tokens and labels are touched, nothing is rebuilt), clear its
+    /// column map, and tombstone the slot. `schema` must be the schema
+    /// the slot held. Called by
+    /// [`Repository::remove_schema`](crate::Repository::remove_schema).
+    ///
+    /// Cached score rows are deliberately **not** invalidated: rows are
+    /// keyed by label *text* and valid per label id, and label-level
+    /// state (interner, profiles, fingerprints) stays append-only even
+    /// across removals — a removed schema's labels simply become
+    /// orphans ([`orphaned_labels`](Self::orphaned_labels)) that no
+    /// live schema references. Schema membership is consulted at
+    /// matrix-build time through the (immediately updated) column maps
+    /// and postings, so stale rows cannot leak removed schemas into
+    /// answers.
+    pub(crate) fn remove_schema(&mut self, sid: SchemaId, schema: &Schema) {
+        debug_assert!(!self.removed[sid.index()], "slot already tombstoned");
+        debug_assert_eq!(self.schema_labels[sid.index()].len(), schema.len());
+        let mut labels = std::mem::take(&mut self.schema_labels[sid.index()]);
+        labels.sort_unstable();
+        labels.dedup();
+        for lid in labels {
             let postings = &mut self.label_schemas[lid.index()];
-            // Ids arrive in order, so a duplicate label within this
-            // schema is always the postings' current tail.
-            if postings.last() != Some(&sid) {
-                postings.push(sid);
+            if let Ok(pos) = postings.binary_search(&sid) {
+                postings.remove(pos);
             }
         }
-        self.schema_labels.push(labels);
-        self.index.add_schema(sid, schema);
+        self.index.remove_schema(sid, schema);
+        self.removed[sid.index()] = true;
+        self.generations[sid.index()] += 1;
+        self.schema_removes.fetch_add(1, Relaxed);
+        if smx_obs::enabled() {
+            smx_obs::registry().counter("store.schema_removes").inc();
+        }
+    }
+
+    /// Fill tombstoned slot `sid` with `schema`: intern its labels (new
+    /// distinct labels append, exactly like ingest), splice the slot
+    /// back into the label→schema postings and token index at its
+    /// sorted position, and bump the slot's generation. Called by
+    /// [`Repository::replace_schema`](crate::Repository::replace_schema)
+    /// after [`remove_schema`](Self::remove_schema).
+    pub(crate) fn reingest_schema(&mut self, sid: SchemaId, schema: &Schema) {
+        debug_assert!(self.removed[sid.index()], "slot must be tombstoned");
+        debug_assert!(self.schema_labels[sid.index()].is_empty());
+        let labels = self.intern_schema_labels(schema);
+        let mut distinct = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for lid in distinct {
+            let postings = &mut self.label_schemas[lid.index()];
+            if let Err(pos) = postings.binary_search(&sid) {
+                postings.insert(pos, sid);
+            }
+        }
+        self.schema_labels[sid.index()] = labels;
+        self.index.insert_schema_sorted(sid, schema);
+        self.removed[sid.index()] = false;
+        self.generations[sid.index()] += 1;
+        self.schema_replaces.fetch_add(1, Relaxed);
+        if smx_obs::enabled() {
+            smx_obs::registry().counter("store.schema_replaces").inc();
+        }
+    }
+
+    /// Whether schema slot `sid` is a tombstone (removed, not
+    /// replaced). Out-of-range ids are not removed.
+    pub fn is_removed(&self, sid: SchemaId) -> bool {
+        self.removed.get(sid.index()).copied().unwrap_or(false)
+    }
+
+    /// The mutation generation of schema slot `sid`: 0 for a slot never
+    /// mutated, bumped on every remove and every replace.
+    pub fn schema_generation(&self, sid: SchemaId) -> u64 {
+        self.generations[sid.index()]
+    }
+
+    /// Number of live (non-tombstoned) schema slots.
+    pub fn live_schema_count(&self) -> usize {
+        self.removed.iter().filter(|&&r| !r).count()
+    }
+
+    /// Number of orphaned labels: distinct labels no live schema
+    /// references anymore. Their profiles and cached row columns stay
+    /// (label-level state is append-only — the price of never
+    /// invalidating a score row), so this gauge is the memory the
+    /// append-only design retains after removals.
+    pub fn orphaned_labels(&self) -> usize {
+        self.label_schemas.iter().filter(|p| p.is_empty()).count()
     }
 
     /// The interner over every distinct label in the repository.
@@ -704,24 +1039,17 @@ impl LabelStore {
     /// compute identical values, so last-write-wins is fine.
     pub fn score_rows(&self, queries: &[&str]) -> Vec<Arc<Vec<f64>>> {
         if !smx_obs::enabled() {
-            return self.score_rows_uninstrumented(queries);
+            return self.score_rows_core(queries).0;
         }
         let mut span = smx_obs::span("store.score_rows");
-        let pairs_before = self.pair_evals.load(Relaxed);
-        let misses_before = self.row_misses.load(Relaxed);
-        let out = self.score_rows_uninstrumented(queries);
-        // Deltas of relaxed counter loads: exact in single-threaded
-        // runs, approximate attribution under concurrent sweeps (the
-        // site-level metrics below stay exact either way).
+        let (out, stats) = self.score_rows_core(queries);
+        // Exact, call-local accounting: the sweep path returns its own
+        // stats, so the attrs are exact even under concurrent sweeps
+        // (this replaces the PR-9 counter-delta approximation, which
+        // could misattribute a concurrent caller's work to this span).
         span.attr("queries", queries.len());
-        span.attr(
-            "rows_swept",
-            self.row_misses.load(Relaxed).saturating_sub(misses_before),
-        );
-        span.attr(
-            "pair_evals",
-            self.pair_evals.load(Relaxed).saturating_sub(pairs_before),
-        );
+        span.attr("rows_swept", stats.rows_swept);
+        span.attr("pair_evals", stats.pair_evals);
         smx_obs::registry()
             .histogram("store.score_rows_ns")
             .observe_ns(span.elapsed_ns());
@@ -729,47 +1057,58 @@ impl LabelStore {
     }
 
     /// The body of [`score_rows`](Self::score_rows) with no tracing
-    /// wrapper — byte-for-byte the pre-instrumentation sweep path. The
-    /// `trace_overhead` bench group measures this as the baseline the
+    /// wrapper — the uninstrumented sweep path. The `trace_overhead`
+    /// bench group measures this as the baseline the
     /// instrumented-but-disabled `score_rows` is held to (≤5% apart);
     /// everyone else should call `score_rows`.
     pub fn score_rows_uninstrumented(&self, queries: &[&str]) -> Vec<Arc<Vec<f64>>> {
+        self.score_rows_core(queries).0
+    }
+
+    /// Shared body of the `score_rows` entry points: serve hits from
+    /// each query's shard under that shard's read lock, sweep the rest.
+    /// Returns the rows plus this call's exact work stats.
+    fn score_rows_core(&self, queries: &[&str]) -> (Vec<Arc<Vec<f64>>>, SweepStats) {
         let n = self.profiles.len();
         let mut out: Vec<Option<Arc<Vec<f64>>>> = vec![None; queries.len()];
         let mut pending: Vec<PendingRow<'_>> = Vec::new();
         let mut pending_of: HashMap<&str, usize> = HashMap::new();
-        {
-            let cache = self.rows.read();
-            for (i, &q) in queries.iter().enumerate() {
-                if let Some(&pi) = pending_of.get(q) {
-                    pending[pi].slots.push(i);
-                    continue;
+        for (i, &q) in queries.iter().enumerate() {
+            if let Some(&pi) = pending_of.get(q) {
+                pending[pi].slots.push(i);
+                continue;
+            }
+            let shard = self.shard_of(q);
+            let cache = shard.rows.read();
+            match cache.get(q) {
+                Some(entry) if entry.row.len() == n => {
+                    entry.last_used.store(self.tick(), Relaxed);
+                    shard.counters.row_lookups.fetch_add(1, Relaxed);
+                    shard.counters.row_hits.fetch_add(1, Relaxed);
+                    out[i] = Some(Arc::clone(&entry.row));
                 }
-                match cache.get(q) {
-                    Some(entry) if entry.row.len() == n => {
-                        entry.last_used.store(self.tick(), Relaxed);
-                        self.row_lookups.fetch_add(1, Relaxed);
-                        self.row_hits.fetch_add(1, Relaxed);
-                        out[i] = Some(Arc::clone(&entry.row));
-                    }
-                    stale => {
-                        let prefix = stale.map(|entry| Arc::clone(&entry.row));
-                        pending_of.insert(q, pending.len());
-                        pending.push(PendingRow {
-                            query: q,
-                            prefix,
-                            slots: vec![i],
-                        });
-                    }
+                stale => {
+                    let prefix = stale.map(|entry| Arc::clone(&entry.row));
+                    pending_of.insert(q, pending.len());
+                    pending.push(PendingRow {
+                        query: q,
+                        prefix,
+                        slots: vec![i],
+                    });
                 }
             }
         }
-        if !pending.is_empty() {
-            self.fill_pending(&mut out, &mut pending, n);
-        }
-        out.into_iter()
-            .map(|row| row.expect("every slot filled"))
-            .collect()
+        let stats = if pending.is_empty() {
+            SweepStats::default()
+        } else {
+            self.fill_pending(&mut out, &mut pending, n)
+        };
+        (
+            out.into_iter()
+                .map(|row| row.expect("every slot filled"))
+                .collect(),
+            stats,
+        )
     }
 
     /// The distance row of each query restricted to the columns in
@@ -794,65 +1133,66 @@ impl LabelStore {
     /// `partial_row_fills`.
     pub fn score_rows_subset(&self, queries: &[&str], cols: &[usize]) -> Vec<Arc<Vec<f64>>> {
         if !smx_obs::enabled() {
-            return self.score_rows_subset_core(queries, cols);
+            return self.score_rows_subset_core(queries, cols).0;
         }
         let mut span = smx_obs::span("store.score_rows_subset");
-        let pairs_before = self.pair_evals.load(Relaxed);
-        let hits_before = self.candidate_hits.load(Relaxed);
-        let out = self.score_rows_subset_core(queries, cols);
+        let (out, stats) = self.score_rows_subset_core(queries, cols);
+        // Exact, call-local accounting — see `score_rows` on why attrs
+        // come from the call's own stats, not counter deltas.
         span.attr("queries", queries.len());
         span.attr("cols", cols.len());
-        span.attr(
-            "candidate_hits",
-            self.candidate_hits
-                .load(Relaxed)
-                .saturating_sub(hits_before),
-        );
-        span.attr(
-            "pair_evals",
-            self.pair_evals.load(Relaxed).saturating_sub(pairs_before),
-        );
+        span.attr("candidate_hits", stats.candidate_hits);
+        span.attr("pair_evals", stats.pair_evals);
         smx_obs::registry()
             .histogram("store.score_rows_subset_ns")
             .observe_ns(span.elapsed_ns());
         out
     }
 
-    fn score_rows_subset_core(&self, queries: &[&str], cols: &[usize]) -> Vec<Arc<Vec<f64>>> {
+    fn score_rows_subset_core(
+        &self,
+        queries: &[&str],
+        cols: &[usize],
+    ) -> (Vec<Arc<Vec<f64>>>, SubsetStats) {
         let n = self.profiles.len();
         debug_assert!(cols.iter().all(|&c| c < n), "columns must be in range");
+        let mut stats = SubsetStats::default();
         let mut out: Vec<Option<Arc<Vec<f64>>>> = vec![None; queries.len()];
         let mut pending: Vec<(&str, Vec<usize>)> = Vec::new();
         let mut pending_of: HashMap<&str, usize> = HashMap::new();
-        {
-            let cache = self.rows.read();
-            for (i, &q) in queries.iter().enumerate() {
-                if let Some(&pi) = pending_of.get(q) {
-                    pending[pi].1.push(i);
-                    continue;
+        for (i, &q) in queries.iter().enumerate() {
+            if let Some(&pi) = pending_of.get(q) {
+                pending[pi].1.push(i);
+                continue;
+            }
+            let shard = self.shard_of(q);
+            let cache = shard.rows.read();
+            match cache.get(q) {
+                Some(entry) if entry.row.len() == n => {
+                    // A full row serves any subset; refresh recency
+                    // so subset traffic keeps hot rows hot.
+                    entry.last_used.store(self.tick(), Relaxed);
+                    shard
+                        .counters
+                        .candidate_hits
+                        .fetch_add(cols.len() as u64, Relaxed);
+                    stats.candidate_hits += cols.len() as u64;
+                    out[i] = Some(Arc::clone(&entry.row));
                 }
-                match cache.get(q) {
-                    Some(entry) if entry.row.len() == n => {
-                        // A full row serves any subset; refresh recency
-                        // so subset traffic keeps hot rows hot.
-                        entry.last_used.store(self.tick(), Relaxed);
-                        self.candidate_hits.fetch_add(cols.len() as u64, Relaxed);
-                        out[i] = Some(Arc::clone(&entry.row));
-                    }
-                    _ => {
-                        pending_of.insert(q, pending.len());
-                        pending.push((q, vec![i]));
-                    }
+                _ => {
+                    pending_of.insert(q, pending.len());
+                    pending.push((q, vec![i]));
                 }
             }
         }
         for (q, slots) in pending {
+            let shard = self.shard_of(q);
             // Snapshot what the partial row already covers, compute the
             // missing columns outside any lock (concurrent fills compute
             // identical values, so last-write-wins merging is safe),
             // then merge under the write lock.
             let (prior, covered): (Option<Arc<Vec<f64>>>, Vec<bool>) = {
-                let partials = self.partial_rows.read();
+                let partials = shard.partial_rows.read();
                 match partials.get(q) {
                     Some(p) => (
                         Some(Arc::clone(&p.row)),
@@ -869,9 +1209,14 @@ impl LabelStore {
                 .filter(|&(_, &hit)| !hit)
                 .map(|(&c, _)| c)
                 .collect();
-            self.candidate_hits
+            shard
+                .counters
+                .candidate_hits
                 .fetch_add((cols.len() - missing.len()) as u64, Relaxed);
-            self.candidate_pruned
+            stats.candidate_hits += (cols.len() - missing.len()) as u64;
+            shard
+                .counters
+                .candidate_pruned
                 .fetch_add((n - cols.len()) as u64, Relaxed);
             if missing.is_empty() {
                 // `cols` may itself be empty (a fully pruned problem
@@ -889,9 +1234,10 @@ impl LabelStore {
                 .map(|&c| kernel.distance(&self.profiles[c]))
                 .collect();
             self.pair_evals.fetch_add(missing.len() as u64, Relaxed);
-            self.partial_row_fills.fetch_add(1, Relaxed);
+            stats.pair_evals += missing.len() as u64;
+            shard.counters.partial_row_fills.fetch_add(1, Relaxed);
             let row = {
-                let mut partials = self.partial_rows.write();
+                let mut partials = shard.partial_rows.write();
                 let entry = partials.entry(q.to_owned()).or_insert_with(|| PartialRow {
                     row: Arc::new(Vec::new()),
                     coverage: Vec::new(),
@@ -914,24 +1260,28 @@ impl LabelStore {
                 out[slot] = Some(Arc::clone(&row));
             }
         }
-        out.into_iter()
-            .map(|row| row.expect("every slot filled"))
-            .collect()
+        (
+            out.into_iter()
+                .map(|row| row.expect("every slot filled"))
+                .collect(),
+            stats,
+        )
     }
 
-    /// Sweep all pending rows and install them under one write lock,
-    /// updating counters and evicting past the LRU bound. Rows absent
+    /// Sweep all pending rows and install each into its query's shard
+    /// (under that shard's write lock), updating counters and then
+    /// evicting past the LRU bound with one global pass. Rows absent
     /// from memory are first offered to the eviction sink: a spilled row
     /// faults back in as a (possibly complete) prefix, so only the tail
     /// the store grew since the spill — often nothing — is recomputed.
     /// All sink I/O and evicted-row spilling happens outside the cache
-    /// lock.
+    /// locks. Returns this call's exact work stats.
     fn fill_pending(
         &self,
         out: &mut [Option<Arc<Vec<f64>>>],
         pending: &mut [PendingRow<'_>],
         n: usize,
-    ) {
+    ) -> SweepStats {
         let sink = self.sink.read().clone();
         let mut recovered = vec![false; pending.len()];
         if let Some(sink) = &sink {
@@ -962,50 +1312,59 @@ impl LabelStore {
             .collect();
         let tails = self.sweep(&kernels, n);
         let computed: u64 = kernels.iter().map(|&(_, start)| (n - start) as u64).sum();
-        let victims;
-        {
-            let mut cache = self.rows.write();
-            self.pair_evals.fetch_add(computed, Relaxed);
-            for ((p, rec), tail) in pending.iter().zip(&recovered).zip(tails) {
-                // One miss per row not served from memory; batch-internal
-                // duplicates were served from the in-flight row and count
-                // as hits.
-                self.row_lookups.fetch_add(p.slots.len() as u64, Relaxed);
-                self.row_misses.fetch_add(1, Relaxed);
-                self.row_hits.fetch_add(p.slots.len() as u64 - 1, Relaxed);
-                if *rec {
-                    self.row_spill_recoveries.fetch_add(1, Relaxed);
-                    if smx_obs::enabled() {
-                        smx_obs::registry().counter("store.spill_recoveries").inc();
+        self.pair_evals.fetch_add(computed, Relaxed);
+        for ((p, rec), tail) in pending.iter().zip(&recovered).zip(tails) {
+            let row = match &p.prefix {
+                // A complete prefix (recovered or cached) is reused
+                // as-is — no copy, no appended tail.
+                Some(prefix) if prefix.len() == n => Arc::clone(prefix),
+                prefix => {
+                    let mut row = Vec::with_capacity(n);
+                    if let Some(prefix) = prefix {
+                        row.extend_from_slice(prefix);
                     }
+                    row.extend(tail);
+                    Arc::new(row)
                 }
-                let row = match &p.prefix {
-                    // A complete prefix (recovered or cached) is reused
-                    // as-is — no copy, no appended tail.
-                    Some(prefix) if prefix.len() == n => Arc::clone(prefix),
-                    prefix => {
-                        let mut row = Vec::with_capacity(n);
-                        if let Some(prefix) = prefix {
-                            row.extend_from_slice(prefix);
-                        }
-                        row.extend(tail);
-                        Arc::new(row)
-                    }
-                };
-                for &slot in &p.slots {
-                    out[slot] = Some(Arc::clone(&row));
-                }
-                cache.insert(
-                    p.query.to_owned(),
-                    CachedRow {
-                        row,
-                        last_used: AtomicU64::new(self.tick()),
-                    },
-                );
+            };
+            for &slot in &p.slots {
+                out[slot] = Some(Arc::clone(&row));
             }
-            victims = self.evict_over_cap(&mut cache);
+            let shard = self.shard_of(p.query);
+            let mut cache = shard.rows.write();
+            // One miss per row not served from memory; batch-internal
+            // duplicates were served from the in-flight row and count
+            // as hits. Counted under the shard's write lock so the
+            // per-shard hit/miss/lookup invariant can't be seen split.
+            shard
+                .counters
+                .row_lookups
+                .fetch_add(p.slots.len() as u64, Relaxed);
+            shard.counters.row_misses.fetch_add(1, Relaxed);
+            shard
+                .counters
+                .row_hits
+                .fetch_add(p.slots.len() as u64 - 1, Relaxed);
+            if *rec {
+                shard.counters.row_spill_recoveries.fetch_add(1, Relaxed);
+                if smx_obs::enabled() {
+                    smx_obs::registry().counter("store.spill_recoveries").inc();
+                }
+            }
+            cache.insert(
+                p.query.to_owned(),
+                CachedRow {
+                    row,
+                    last_used: AtomicU64::new(self.tick()),
+                },
+            );
         }
+        let victims = self.evict_over_cap_global();
         self.spill_victims(victims);
+        SweepStats {
+            rows_swept: pending.len() as u64,
+            pair_evals: computed,
+        }
     }
 
     /// Compute each kernel's missing row tail (`start..n`) by one tiled
@@ -1020,34 +1379,58 @@ impl LabelStore {
         if threads <= 1 {
             return Self::sweep_chunk(kernels, &self.profiles, 0);
         }
-        // Chunk only the columns some kernel actually covers — when every
+        // Tile only the columns some kernel actually covers — when every
         // pending row is a stale-prefix extension (tails starting deep
-        // into the label list), chunking from 0 would hand most workers
+        // into the label list), tiling from 0 would hand most workers
         // empty ranges.
         let base = kernels.iter().map(|&(_, start)| start).min().unwrap_or(0);
-        let chunk = (n - base).div_ceil(threads);
-        let mut parts: Vec<Vec<Vec<f64>>> = Vec::new();
+        // Work-stealing: cut the column axis into more tiles than
+        // workers and let each worker claim the next tile off a shared
+        // cursor — a worker that finishes early (cheap columns, a cold
+        // cache elsewhere) pulls more work instead of idling behind a
+        // static partition. Tile boundaries are deterministic, so the
+        // stitched result is identical no matter which worker computed
+        // which tile.
+        let tiles = (threads * TILES_PER_WORKER).min(n - base).max(1);
+        let tile_size = (n - base).div_ceil(tiles);
+        let cursor = AtomicUsize::new(0);
+        let mut tile_parts: Vec<Option<Vec<Vec<f64>>>> = (0..tiles).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut lo = base;
-            while lo < n {
-                let hi = (lo + chunk).min(n);
-                let profiles = &self.profiles[lo..hi];
-                handles.push(scope.spawn(move || Self::sweep_chunk(kernels, profiles, lo)));
-                lo = hi;
-            }
-            parts = handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut claimed = Vec::new();
+                        loop {
+                            let t = cursor.fetch_add(1, Relaxed);
+                            if t >= tiles {
+                                break;
+                            }
+                            let lo = base + t * tile_size;
+                            let hi = (lo + tile_size).min(n);
+                            if lo >= hi {
+                                continue;
+                            }
+                            claimed
+                                .push((t, Self::sweep_chunk(kernels, &self.profiles[lo..hi], lo)));
+                        }
+                        claimed
+                    })
+                })
                 .collect();
+            for handle in handles {
+                for (t, part) in handle.join().expect("sweep worker panicked") {
+                    tile_parts[t] = Some(part);
+                }
+            }
         });
-        // Stitch the chunks back in column order; per-pair values are
+        // Stitch the tiles back in column order; per-pair values are
         // independent, so this equals the single-threaded pass bitwise.
         let mut rows: Vec<Vec<f64>> = kernels
             .iter()
             .map(|&(_, start)| Vec::with_capacity(n - start))
             .collect();
-        for part in parts {
+        for part in tile_parts.into_iter().flatten() {
             for (row, chunk_row) in rows.iter_mut().zip(part) {
                 row.extend(chunk_row);
             }
@@ -1104,36 +1487,55 @@ impl LabelStore {
         self.clock.fetch_add(1, Relaxed) + 1
     }
 
-    /// Evict least-recently-used rows until the cache respects the
-    /// configured bound, returning the victims so the caller can hand
-    /// them to the eviction sink *after* dropping the lock. Called with
-    /// the write lock held. One stamp scan + one partial sort of the
-    /// victims, so tightening the bound on a large live cache stays
+    /// Evict globally least-recently-used rows until the whole cache
+    /// respects the configured bound, returning `(shard, query, row)`
+    /// victims so the caller can hand them to the eviction sink *after*
+    /// the locks drop. Unbounded stores return immediately without
+    /// touching a single lock.
+    ///
+    /// Bounded stores acquire **every** shard's row lock in index order
+    /// — the store's one multi-lock order, shared with
+    /// [`counters`](Self::counters), `Clone`, and
+    /// [`export_state`](Self::export_state) — so the eviction decision
+    /// is exact across shards: the global LRU rows go, wherever they
+    /// live, and sharding never changes which rows a bounded cache
+    /// keeps. One stamp scan + one partial sort of the victims, so
+    /// tightening the bound on a large live cache stays
     /// `O(len log len)`, not `O(len²)`.
     #[must_use = "victims must be offered to the eviction sink outside the lock"]
-    fn evict_over_cap(
-        &self,
-        cache: &mut HashMap<String, CachedRow>,
-    ) -> Vec<(String, Arc<Vec<f64>>)> {
+    fn evict_over_cap_global(&self) -> Vec<(usize, String, Arc<Vec<f64>>)> {
         let cap = self.max_cached_rows.load(Relaxed);
-        let Some(excess) = cache.len().checked_sub(cap).filter(|&e| e > 0) else {
+        if cap == UNBOUNDED {
+            return Vec::new();
+        }
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.rows.write()).collect();
+        let total: usize = guards.iter().map(|g| g.len()).sum();
+        let Some(excess) = total.checked_sub(cap).filter(|&e| e > 0) else {
             return Vec::new();
         };
-        let mut stamps: Vec<(u64, String)> = cache
+        let mut stamps: Vec<(u64, usize, String)> = guards
             .iter()
-            .map(|(key, entry)| (entry.last_used.load(Relaxed), key.clone()))
+            .enumerate()
+            .flat_map(|(si, cache)| {
+                cache
+                    .iter()
+                    .map(move |(key, entry)| (entry.last_used.load(Relaxed), si, key.clone()))
+            })
             .collect();
         stamps.select_nth_unstable(excess - 1);
         let victims = stamps[..excess]
             .iter()
-            .map(|(_, key)| {
-                let (key, entry) = cache
+            .map(|(_, si, key)| {
+                let (key, entry) = guards[*si]
                     .remove_entry(key)
                     .expect("victim key came from the cache");
-                (key, entry.row)
+                self.shards[*si]
+                    .counters
+                    .row_evictions
+                    .fetch_add(1, Relaxed);
+                (*si, key, entry.row)
             })
             .collect();
-        self.row_evictions.fetch_add(excess as u64, Relaxed);
         if smx_obs::enabled() {
             smx_obs::registry()
                 .counter("store.row_evictions")
@@ -1143,75 +1545,85 @@ impl LabelStore {
     }
 
     /// Offer evicted rows to the installed sink (if any). Runs with no
-    /// cache lock held — sink I/O never blocks row lookups.
-    fn spill_victims(&self, victims: Vec<(String, Arc<Vec<f64>>)>) {
+    /// cache lock held — sink I/O never blocks row lookups. Spill
+    /// outcomes are counted against each victim's own shard.
+    fn spill_victims(&self, victims: Vec<(usize, String, Arc<Vec<f64>>)>) {
         if victims.is_empty() {
             return;
         }
         let Some(sink) = self.sink.read().clone() else {
             return;
         };
-        let spilled = victims
-            .iter()
-            .filter(|(query, row)| {
-                sink.on_evict(query, row.as_slice(), self.prefix_hashes[row.len()])
-            })
-            .count();
-        self.row_spills.fetch_add(spilled as u64, Relaxed);
-        self.row_spill_failures
-            .fetch_add((victims.len() - spilled) as u64, Relaxed);
+        let mut spilled = 0u64;
+        for (si, query, row) in &victims {
+            let counters = &self.shards[*si].counters;
+            if sink.on_evict(query, row.as_slice(), self.prefix_hashes[row.len()]) {
+                counters.row_spills.fetch_add(1, Relaxed);
+                spilled += 1;
+            } else {
+                counters.row_spill_failures.fetch_add(1, Relaxed);
+            }
+        }
         if smx_obs::enabled() {
             let registry = smx_obs::registry();
-            registry.counter("store.row_spills").add(spilled as u64);
+            registry.counter("store.row_spills").add(spilled);
             registry
                 .counter("store.row_spill_failures")
-                .add((victims.len() - spilled) as u64);
+                .add(victims.len() as u64 - spilled);
         }
     }
 
-    /// Number of query labels with a cached score row.
+    /// Number of query labels with a cached score row (summed over the
+    /// shards).
     pub fn cached_rows(&self) -> usize {
-        self.rows.read().len()
+        self.shards.iter().map(|s| s.rows.read().len()).sum()
+    }
+
+    /// Number of cached score rows in shard `shard` (for per-shard
+    /// occupancy gauges; out-of-range shards hold 0 rows).
+    pub fn shard_cached_rows(&self, shard: usize) -> usize {
+        self.shards.get(shard).map_or(0, |s| s.rows.read().len())
     }
 
     /// Whether `query` currently has a cached (possibly stale-prefix)
     /// row. Read-only: does not refresh LRU recency or count a lookup.
     pub fn has_cached_row(&self, query: &str) -> bool {
-        self.rows.read().contains_key(query)
+        self.shard_of(query).rows.read().contains_key(query)
     }
 
     /// Drop every cached score row *and* every partial row (profiles
     /// and indexes stay). Benches use this to measure a genuinely cold
     /// fill.
     pub fn clear_rows(&self) {
-        self.rows.write().clear();
-        self.partial_rows.write().clear();
+        for shard in self.shards.iter() {
+            shard.rows.write().clear();
+            shard.partial_rows.write().clear();
+        }
     }
 
     /// A consistent snapshot of every work counter.
     ///
-    /// Taken under the row cache's exclusive lock, and all row-path
-    /// counter updates happen while that lock is held (shared for hits,
-    /// exclusive for sweeps) — so the snapshot can never observe a
-    /// lookup whose hit/miss classification is still in flight, even
-    /// while parallel matchers are filling rows. Tests should assert on
-    /// this snapshot rather than on individual counter loads.
+    /// Each shard's counter fragment is read under that shard's
+    /// exclusive row lock, and all row-path counter updates happen while
+    /// the owning shard's lock is held (shared for hits, exclusive for
+    /// sweeps) — so no fragment can observe a lookup whose hit/miss
+    /// classification is still in flight, and the merged snapshot keeps
+    /// `row_hits + row_misses == row_lookups` even while parallel
+    /// matchers are filling rows. Tests should assert on this snapshot
+    /// rather than on individual counter loads.
     pub fn counters(&self) -> StoreCounters {
-        let _guard = self.rows.write();
-        StoreCounters {
+        let mut merged = StoreCounters {
             profile_builds: self.profile_builds.load(Relaxed),
             pair_evals: self.pair_evals.load(Relaxed),
-            row_hits: self.row_hits.load(Relaxed),
-            row_misses: self.row_misses.load(Relaxed),
-            row_lookups: self.row_lookups.load(Relaxed),
-            row_evictions: self.row_evictions.load(Relaxed),
-            row_spills: self.row_spills.load(Relaxed),
-            row_spill_recoveries: self.row_spill_recoveries.load(Relaxed),
-            row_spill_failures: self.row_spill_failures.load(Relaxed),
-            candidate_hits: self.candidate_hits.load(Relaxed),
-            candidate_pruned: self.candidate_pruned.load(Relaxed),
-            partial_row_fills: self.partial_row_fills.load(Relaxed),
+            schema_removes: self.schema_removes.load(Relaxed),
+            schema_replaces: self.schema_replaces.load(Relaxed),
+            ..StoreCounters::default()
+        };
+        for shard in self.shards.iter() {
+            let _guard = shard.rows.write();
+            merged = merged.merge(shard.counters.snapshot());
         }
+        merged
     }
 
     /// One consolidated health/degradation view: the installed sink's
@@ -1259,6 +1671,17 @@ impl LabelStore {
         snapshot.set_gauge("store.partial_row_fills", c.partial_row_fills as f64);
         snapshot.set_gauge("store.cached_rows", health.cached_rows as f64);
         snapshot.set_gauge("store.salvage_events", health.salvage_events as f64);
+        snapshot.set_gauge("store.schema_removes", c.schema_removes as f64);
+        snapshot.set_gauge("store.schema_replaces", c.schema_replaces as f64);
+        snapshot.set_gauge("store.live_schemas", self.live_schema_count() as f64);
+        snapshot.set_gauge("store.orphaned_labels", self.orphaned_labels() as f64);
+        snapshot.set_gauge("store.shards", self.shards.len() as f64);
+        for (si, shard) in self.shards.iter().enumerate() {
+            snapshot.set_gauge(
+                &format!("store.shard.{si}.cached_rows"),
+                shard.rows.read().len() as f64,
+            );
+        }
         if let Some(sink) = health.sink {
             snapshot.set_gauge("store.sink.poisoned", u64::from(sink.poisoned) as f64);
             snapshot.set_gauge("store.sink.degraded", u64::from(sink.degraded) as f64);
@@ -1293,19 +1716,23 @@ impl LabelStore {
     /// Work counters are *not* part of the image: they describe the
     /// process, not the repository.
     pub fn export_state(&self) -> StoreState {
-        // Snapshot (stamp, query, Arc) under the exclusive lock — cheap
-        // — then sort and materialise the row copies after releasing
-        // it, so a large export doesn't stall concurrent matchers.
+        // Snapshot (stamp, query, Arc) under the exclusive locks (all
+        // shards, index order — the store's one multi-lock order) —
+        // cheap — then sort and materialise the row copies after
+        // releasing them, so a large export doesn't stall concurrent
+        // matchers.
         let mut rows: Vec<(u64, String, Arc<Vec<f64>>)> = {
-            let cache = self.rows.write();
-            cache
+            let guards: Vec<_> = self.shards.iter().map(|s| s.rows.write()).collect();
+            guards
                 .iter()
-                .map(|(query, entry)| {
-                    (
-                        entry.last_used.load(Relaxed),
-                        query.clone(),
-                        Arc::clone(&entry.row),
-                    )
+                .flat_map(|cache| {
+                    cache.iter().map(|(query, entry)| {
+                        (
+                            entry.last_used.load(Relaxed),
+                            query.clone(),
+                            Arc::clone(&entry.row),
+                        )
+                    })
                 })
                 .collect()
         };
@@ -1332,7 +1759,15 @@ impl LabelStore {
                 .collect(),
             max_cached_rows: self.config().max_cached_rows,
             batch_threads: self.batch_threads,
+            shards: self.config_shards,
             filters: Some(self.filters.export()),
+            tombstones: Some(
+                self.removed
+                    .iter()
+                    .zip(&self.generations)
+                    .map(|(&removed, &generation)| (removed, generation))
+                    .collect(),
+            ),
         }
     }
 
@@ -1391,13 +1826,27 @@ impl LabelStore {
             .and_then(FilterIndex::try_from_data)
             .filter(|f| f.len() == profiles.len())
             .unwrap_or_else(|| FilterIndex::rebuild(&profiles));
+        // Tombstone state: images that predate mutability described a
+        // fully live repository, so absent (or short) tombstone lists
+        // default to live-at-generation-0 per slot.
+        let slots = schema_labels.len();
+        let mut removed = vec![false; slots];
+        let mut generations = vec![0u64; slots];
+        if let Some(tombstones) = state.tombstones {
+            for (i, (r, g)) in tombstones.into_iter().take(slots).enumerate() {
+                removed[i] = r;
+                generations[i] = g;
+            }
+        }
         let cap = state.max_cached_rows.unwrap_or(UNBOUNDED);
         let keep_from = state.rows.len().saturating_sub(cap);
-        let mut rows = HashMap::with_capacity(state.rows.len() - keep_from);
+        let shard_count = resolve_shard_count(state.shards);
+        let shards: Box<[Shard]> = (0..shard_count).map(|_| Shard::new()).collect();
         let mut clock = 0u64;
         for (query, row) in state.rows.into_iter().skip(keep_from) {
             clock += 1;
-            rows.insert(
+            let h = fnv_extend(FNV_OFFSET, query.as_bytes());
+            shards[h as usize & (shard_count - 1)].rows.write().insert(
                 query,
                 CachedRow {
                     row: Arc::new(row),
@@ -1414,23 +1863,17 @@ impl LabelStore {
             label_schemas,
             index: TokenIndex::from_postings(state.postings),
             filters,
-            rows: RwLock::new(rows),
-            partial_rows: RwLock::new(HashMap::new()),
+            removed,
+            generations,
+            shards,
+            config_shards: state.shards,
             clock: AtomicU64::new(clock),
             max_cached_rows: AtomicUsize::new(cap),
             batch_threads: state.batch_threads,
             sink: RwLock::new(None),
             pair_evals: AtomicU64::new(0),
-            row_hits: AtomicU64::new(0),
-            row_misses: AtomicU64::new(0),
-            row_lookups: AtomicU64::new(0),
-            row_evictions: AtomicU64::new(0),
-            row_spills: AtomicU64::new(0),
-            row_spill_recoveries: AtomicU64::new(0),
-            row_spill_failures: AtomicU64::new(0),
-            candidate_hits: AtomicU64::new(0),
-            candidate_pruned: AtomicU64::new(0),
-            partial_row_fills: AtomicU64::new(0),
+            schema_removes: AtomicU64::new(0),
+            schema_replaces: AtomicU64::new(0),
             salvage_events: AtomicU64::new(0),
         }
     }
@@ -1455,11 +1898,23 @@ impl Default for LabelStore {
 
 impl Clone for LabelStore {
     fn clone(&self) -> Self {
-        // Hold the exclusive lock while snapshotting rows *and*
-        // counters: hit-path counter updates happen under the shared
-        // lock, so a read-lock clone could freeze `row_lookups` between
-        // a peer's paired increments and break the counters invariant.
-        let rows = self.rows.write();
+        // Hold every shard's exclusive lock (index order — the store's
+        // one multi-lock order) while snapshotting rows *and* counters:
+        // hit-path counter updates happen under the shared lock, so a
+        // read-lock clone could freeze `row_lookups` between a peer's
+        // paired increments and break the counters invariant.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.rows.write()).collect();
+        let shards: Box<[Shard]> = self
+            .shards
+            .iter()
+            .zip(&guards)
+            .map(|(shard, rows)| Shard {
+                rows: RwLock::new((**rows).clone()),
+                partial_rows: RwLock::new(shard.partial_rows.read().clone()),
+                counters: shard.counters.detach(),
+            })
+            .collect();
+        drop(guards);
         LabelStore {
             interner: self.interner.clone(),
             profiles: self.profiles.clone(),
@@ -1468,24 +1923,18 @@ impl Clone for LabelStore {
             label_schemas: self.label_schemas.clone(),
             index: self.index.clone(),
             filters: self.filters.clone(),
-            rows: RwLock::new((*rows).clone()),
-            partial_rows: RwLock::new(self.partial_rows.read().clone()),
+            removed: self.removed.clone(),
+            generations: self.generations.clone(),
+            shards,
+            config_shards: self.config_shards,
             clock: AtomicU64::new(self.clock.load(Relaxed)),
             max_cached_rows: AtomicUsize::new(self.max_cached_rows.load(Relaxed)),
             batch_threads: self.batch_threads,
             sink: RwLock::new(self.sink.read().clone()),
             profile_builds: AtomicU64::new(self.profile_builds.load(Relaxed)),
             pair_evals: AtomicU64::new(self.pair_evals.load(Relaxed)),
-            row_hits: AtomicU64::new(self.row_hits.load(Relaxed)),
-            row_misses: AtomicU64::new(self.row_misses.load(Relaxed)),
-            row_lookups: AtomicU64::new(self.row_lookups.load(Relaxed)),
-            row_evictions: AtomicU64::new(self.row_evictions.load(Relaxed)),
-            row_spills: AtomicU64::new(self.row_spills.load(Relaxed)),
-            row_spill_recoveries: AtomicU64::new(self.row_spill_recoveries.load(Relaxed)),
-            row_spill_failures: AtomicU64::new(self.row_spill_failures.load(Relaxed)),
-            candidate_hits: AtomicU64::new(self.candidate_hits.load(Relaxed)),
-            candidate_pruned: AtomicU64::new(self.candidate_pruned.load(Relaxed)),
-            partial_row_fills: AtomicU64::new(self.partial_row_fills.load(Relaxed)),
+            schema_removes: AtomicU64::new(self.schema_removes.load(Relaxed)),
+            schema_replaces: AtomicU64::new(self.schema_replaces.load(Relaxed)),
             salvage_events: AtomicU64::new(self.salvage_events.load(Relaxed)),
         }
     }
@@ -1496,8 +1945,17 @@ impl std::fmt::Debug for LabelStore {
         f.debug_struct("LabelStore")
             .field("labels", &self.profiles.len())
             .field("schemas", &self.schema_labels.len())
+            .field("live_schemas", &self.live_schema_count())
             .field("cached_rows", &self.cached_rows())
-            .field("partial_rows", &self.partial_rows.read().len())
+            .field(
+                "partial_rows",
+                &self
+                    .shards
+                    .iter()
+                    .map(|s| s.partial_rows.read().len())
+                    .sum::<usize>(),
+            )
+            .field("shards", &self.shards.len())
             .field("config", &self.config())
             .field("kernel_variant", &KernelVariant::active())
             .field("counters", &self.counters())
@@ -1663,6 +2121,7 @@ mod tests {
             let mut r = Repository::with_store_config(StoreConfig {
                 max_cached_rows: None,
                 batch_threads: threads,
+                shards: 0,
             });
             let mut b = SchemaBuilder::new("wide").root("container");
             for i in 0..300 {
@@ -2060,5 +2519,241 @@ mod tests {
         assert_eq!(c.row_misses, 2);
         assert_eq!(c.row_evictions, 2);
         assert_eq!(c.pair_evals, 2 * store.len() as u64);
+    }
+
+    /// A wider repository so queries actually spread across shards.
+    fn wide_repo(config: StoreConfig) -> (Repository, Vec<String>) {
+        let mut r = Repository::with_store_config(config);
+        let mut b = SchemaBuilder::new("wide").root("container");
+        for i in 0..24 {
+            b = b.leaf(format!("field{i}Value"), PrimitiveType::String);
+        }
+        r.add(b.build());
+        let queries: Vec<String> = (0..16).map(|i| format!("query{i}Label")).collect();
+        (r, queries)
+    }
+
+    #[test]
+    fn shard_count_resolves_to_power_of_two() {
+        for (configured, expect) in [(1, 1), (2, 2), (3, 4), (5, 8), (16, 16), (64, 64)] {
+            let store = LabelStore::with_config(StoreConfig {
+                max_cached_rows: None,
+                batch_threads: 1,
+                shards: configured,
+            });
+            assert_eq!(store.shard_count(), expect, "configured {configured}");
+            // The *configured* value round-trips; only the live layout
+            // is resolved.
+            assert_eq!(store.config().shards, configured);
+        }
+        let auto = LabelStore::with_config(StoreConfig::default());
+        assert!(auto.shard_count().is_power_of_two());
+        assert!(auto.shard_count() <= MAX_SHARDS);
+        // Oversized requests clamp before rounding.
+        let huge = LabelStore::with_config(StoreConfig {
+            max_cached_rows: None,
+            batch_threads: 1,
+            shards: 1000,
+        });
+        assert_eq!(huge.shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn sharded_store_matches_single_shard_bitwise_with_identical_counters() {
+        let config = |shards: usize| StoreConfig {
+            max_cached_rows: None,
+            batch_threads: 1,
+            shards,
+        };
+        let (single, queries) = wide_repo(config(1));
+        let (sharded, _) = wide_repo(config(8));
+        assert_eq!(sharded.store().shard_count(), 8);
+        let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        // Batched fill, then a full re-read (all hits), on both stores.
+        let a = single.store().score_rows(&refs);
+        let b = sharded.store().score_rows(&refs);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.len(), rb.len());
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let _ = single.store().score_rows(&refs);
+        let _ = sharded.store().score_rows(&refs);
+        // Rows spread over several shards, yet the merged counters are
+        // identical to the single-lock store's.
+        let populated = (0..sharded.store().shard_count())
+            .filter(|&s| sharded.store().shard_cached_rows(s) > 0)
+            .count();
+        assert!(populated > 1, "16 queries landed in one shard");
+        let (ca, cb) = (single.store().counters(), sharded.store().counters());
+        assert_eq!(ca, cb);
+        assert_eq!(cb.row_lookups, 32);
+        assert_eq!(cb.row_misses, 16);
+        assert_eq!(cb.row_hits, 16);
+        assert_eq!(cb.row_hits + cb.row_misses, cb.row_lookups);
+        assert_eq!(single.store().cached_rows(), sharded.store().cached_rows());
+    }
+
+    #[test]
+    fn lru_eviction_is_globally_exact_across_shards() {
+        // The bound is a *global* LRU: with 8 shards and capacity 2,
+        // the globally least-recently-used row is evicted no matter
+        // which shard it lives in — same observable behaviour as the
+        // single-shard store.
+        let (r, _) = wide_repo(StoreConfig {
+            max_cached_rows: Some(2),
+            batch_threads: 1,
+            shards: 8,
+        });
+        let store = r.store();
+        let _ = store.score_row("alphaField");
+        let _ = store.score_row("betaField");
+        let _ = store.score_row("alphaField"); // refresh alpha
+        let _ = store.score_row("gammaField"); // must evict beta
+        assert_eq!(store.cached_rows(), 2);
+        assert!(store.has_cached_row("alphaField"));
+        assert!(store.has_cached_row("gammaField"));
+        assert!(!store.has_cached_row("betaField"));
+        assert_eq!(store.counters().row_evictions, 1);
+    }
+
+    #[test]
+    fn remove_schema_strips_postings_and_tombstones_slot() {
+        let mut r = repo();
+        let sid = SchemaId(0);
+        assert_eq!(r.live_schemas(), 2);
+        assert!(!r.token_index().lookup("book").is_empty());
+        assert!(r.remove_schema(sid));
+        assert!(!r.remove_schema(sid), "double remove must report false");
+        assert!(r.is_removed(sid));
+        assert_eq!(r.live_schemas(), 1);
+        assert_eq!(r.len(), 2, "slot stays — ids remain stable");
+        assert_eq!(r.schema(sid).len(), 0, "tombstone is an empty schema");
+        // "book"/"bib" only appeared in schema 0 — their postings are
+        // gone; "title" survives via schema 1.
+        assert!(r.token_index().lookup("book").is_empty());
+        assert!(r.token_index().lookup("bib").is_empty());
+        assert_eq!(r.token_index().lookup("title").len(), 1);
+        let store = r.store();
+        assert!(store.schema_labels(sid).is_empty());
+        // Labels are append-only: "bib" and "book" are orphaned, not
+        // dropped — cached rows keep their exact width.
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.orphaned_labels(), 2);
+        assert_eq!(store.schema_generation(sid), 1);
+        assert_eq!(store.counters().schema_removes, 1);
+    }
+
+    #[test]
+    fn removal_never_invalidates_cached_rows() {
+        let mut r = repo();
+        let before = r.store().score_row("title");
+        let evals = r.store().pair_evals();
+        r.remove_schema(SchemaId(0));
+        // The cached row is untouched — same Arc, no re-evaluation.
+        let after = r.store().score_row("title");
+        assert!(Arc::ptr_eq(&before, &after));
+        assert_eq!(r.store().pair_evals(), evals);
+    }
+
+    #[test]
+    fn replace_schema_reingests_under_same_id() {
+        let mut r = repo();
+        let sid = SchemaId(1);
+        assert!(r.replace_schema(
+            sid,
+            SchemaBuilder::new("shop2")
+                .root("warehouse")
+                .leaf("orderLine", PrimitiveType::String)
+                .build(),
+        ));
+        assert!(!r.is_removed(sid));
+        assert_eq!(r.live_schemas(), 2);
+        assert_eq!(r.schema(sid).name(), "shop2");
+        // New tokens indexed, old ones gone.
+        assert_eq!(r.token_index().lookup("warehouse").len(), 1);
+        assert!(r
+            .token_index()
+            .lookup("shop")
+            .iter()
+            .all(|e| e.schema != sid));
+        let store = r.store();
+        // remove + reingest = two generation bumps.
+        assert_eq!(store.schema_generation(sid), 2);
+        assert_eq!(store.counters().schema_replaces, 1);
+        assert_eq!(store.counters().schema_removes, 1);
+        // The column map resolves the new labels.
+        let labels = store.schema_labels(sid);
+        assert_eq!(store.interner().resolve(labels[0]), "warehouse");
+        assert_eq!(store.interner().resolve(labels[1]), "orderLine");
+    }
+
+    #[test]
+    fn mutated_repository_matches_fresh_rebuild() {
+        // Remove + replace, then compare every derived structure against
+        // a repository built from scratch with the same final schemas
+        // (tombstoned slots as empty placeholder schemas).
+        let mut mutated = repo();
+        mutated.add(
+            SchemaBuilder::new("extra")
+                .root("warehouse")
+                .leaf("isbn", PrimitiveType::String)
+                .build(),
+        );
+        mutated.remove_schema(SchemaId(0));
+        mutated.replace_schema(
+            SchemaId(1),
+            SchemaBuilder::new("shop2")
+                .root("orderDepot")
+                .leaf("orderTitle", PrimitiveType::String)
+                .build(),
+        );
+        let mut fresh = Repository::new();
+        for sid in mutated.schema_ids() {
+            if mutated.is_removed(sid) {
+                fresh.add(Schema::new(""));
+            } else {
+                fresh.add(mutated.schema(sid).clone());
+            }
+        }
+        // Token postings identical to the rebuild (sorted insert = the
+        // incremental-equals-rebuild contract under mutation)...
+        for tok in fresh.token_index().tokens() {
+            assert_eq!(
+                mutated.token_index().lookup(tok),
+                fresh.token_index().lookup(tok),
+                "{tok}"
+            );
+        }
+        assert_eq!(
+            mutated.token_index().vocabulary_size(),
+            fresh.token_index().vocabulary_size()
+        );
+        // ...column maps resolve to identical label text...
+        for sid in mutated.schema_ids() {
+            let (ms, fs) = (mutated.store(), fresh.store());
+            let names = |store: &LabelStore, sid| {
+                store
+                    .schema_labels(sid)
+                    .iter()
+                    .map(|&l| store.interner().resolve(l).to_owned())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(names(ms, sid), names(fs, sid), "{sid}");
+        }
+        // ...and scoring agrees bitwise wherever both vocabularies
+        // overlap (the mutated store keeps orphaned labels; the fresh
+        // one never interned them — compare via each store's own
+        // labels).
+        let m_row = mutated.store().score_row("orderTitle");
+        let f_row = fresh.store().score_row("orderTitle");
+        let m = mutated.store();
+        let f = fresh.store();
+        for (fid, d) in f_row.iter().enumerate() {
+            let label = f.interner().resolve(LabelId(fid as u32));
+            let mid = m.interner().get(label).expect("label in mutated store");
+            assert_eq!(m_row[mid.index()].to_bits(), d.to_bits(), "{label}");
+        }
     }
 }

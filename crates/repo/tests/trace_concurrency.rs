@@ -33,6 +33,7 @@ fn reset_tracing() {
 fn concurrent_sweeps_keep_registry_and_store_counters_in_lockstep() {
     let _guard = guard();
     let repo = small_repository(StoreConfig {
+        shards: 0,
         max_cached_rows: Some(2),
         batch_threads: 0,
     });
@@ -84,6 +85,68 @@ fn concurrent_sweeps_keep_registry_and_store_counters_in_lockstep() {
     );
 }
 
+/// Sweep span attributes are **exact**, not approximations: each traced
+/// `score_rows` call stamps the `rows_swept` / `pair_evals` its own call
+/// computed (threaded through the core's per-call stats, not read back
+/// from the shared counters), so summing the attrs over every span must
+/// reproduce the store's counter deltas exactly — even with concurrent
+/// sweeps interleaving on a bounded sharded cache.
+#[test]
+fn concurrent_span_attrs_sum_exactly_to_counter_deltas() {
+    let _guard = guard();
+    let repo = small_repository(StoreConfig {
+        shards: 0,
+        max_cached_rows: Some(2),
+        batch_threads: 0,
+    });
+
+    let evals_before = repo.store().pair_evals();
+    let misses_before = repo.store().counters().row_misses;
+    let collector = smx_obs::install_collector();
+
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let repo = &repo;
+            scope.spawn(move || {
+                for round in 0..4usize {
+                    for (i, query) in LABEL_POOL.iter().enumerate() {
+                        if (i + t + round) % 3 == 0 {
+                            let rows = repo.store().score_rows(&[query]);
+                            assert_eq!(rows.len(), 1);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    reset_tracing();
+
+    let attr_sum = |key: &str| -> u64 {
+        collector
+            .snapshot()
+            .iter()
+            .filter(|s| s.name == "store.score_rows")
+            .flat_map(|s| &s.attrs)
+            .filter(|(k, _)| *k == key)
+            .map(|(_, v)| match v {
+                smx_obs::AttrValue::U64(n) => *n,
+                other => panic!("attr {key} has non-u64 value {other:?}"),
+            })
+            .sum()
+    };
+    let counters = repo.store().counters();
+    assert_eq!(
+        attr_sum("rows_swept"),
+        counters.row_misses - misses_before,
+        "span rows_swept must sum exactly to rows actually swept"
+    );
+    assert_eq!(
+        attr_sum("pair_evals"),
+        repo.store().pair_evals() - evals_before,
+        "span pair_evals must sum exactly to the pair-eval delta"
+    );
+}
+
 /// The instrumented `score_rows` wrapper returns rows bitwise identical
 /// to the pre-instrumentation baseline path, with tracing both on and
 /// off, and a traced sweep lands observations in the latency histogram.
@@ -91,6 +154,7 @@ fn concurrent_sweeps_keep_registry_and_store_counters_in_lockstep() {
 fn instrumented_wrapper_matches_baseline_bitwise() {
     let _guard = guard();
     let config = StoreConfig {
+        shards: 0,
         max_cached_rows: Some(3),
         batch_threads: 0,
     };

@@ -9,7 +9,7 @@
 //!   `f64` results to the bit (the dispatch differential suites assert
 //!   it), so correctness never depends on which tier runs.
 //! * [`KernelVariant::Swar`] — SIMD-within-a-register on plain `u64`s:
-//!   the Jaro window scan runs on packed [`AsciiLanes`] bitmasks, the
+//!   the Jaro window scan runs on packed `AsciiLanes` bitmasks, the
 //!   gram-profile merge uses four-lane block skipping, and the Myers
 //!   advance loop is unrolled four candidate bytes per iteration.
 //!   Available everywhere.

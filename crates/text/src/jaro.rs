@@ -4,10 +4,10 @@
 //! penalises transpositions; Winkler's variant boosts pairs sharing a common
 //! prefix, which suits identifier names (`custNo` vs `custNum`).
 //!
-//! Two implementations coexist: the scalar window scan ([`jaro_chars`],
+//! Two implementations coexist: the scalar window scan (`jaro_chars`,
 //! the bitwise oracle) and a bitset fast path over packed
-//! [`AsciiLanes`] for ASCII inputs of at most 64 scalars
-//! ([`jaro_winkler_lanes`]), where match flags live in one `u64` per
+//! `AsciiLanes` for ASCII inputs of at most 64 scalars
+//! (`jaro_winkler_lanes`), where match flags live in one `u64` per
 //! side and the greedy window scan collapses to mask arithmetic. The
 //! bitset path replays the oracle's exact greedy choices and final
 //! float expression, so the two agree **bitwise** — the property suites

@@ -1,7 +1,7 @@
 //! The batched row kernel: score one query label against many candidate
 //! labels without re-deriving any per-label data.
 //!
-//! The scalar scoring path ([`NameSimilarity`]) re-normalises, re-splits,
+//! The scalar scoring path ([`NameSimilarity`](crate::NameSimilarity)) re-normalises, re-splits,
 //! and re-profiles *both* strings on every call — for a `k × n` cost
 //! matrix fill that is `O(k·n)` tokenisations and n-gram profile builds
 //! of the *same* handful of labels. This module splits that work at the
@@ -11,7 +11,7 @@
 //!   computed once: the normalised form and its scalar values, the Myers
 //!   bit-vector pattern table (for ASCII labels up to 64 bytes), the
 //!   packed SWAR lanes of the normalised form and of every token
-//!   ([`AsciiLanes`]), the identifier tokens with per-token scalar
+//!   (`AsciiLanes`), the identifier tokens with per-token scalar
 //!   values, the sorted distinct token set, and the flat hashed trigram
 //!   profile ([`GramProfile`]);
 //! * [`RowKernel`] — a query label's profile plus the pair loop: stream a
@@ -22,7 +22,7 @@
 //! # Vectorised dispatch
 //!
 //! The remaining per-pair arithmetic runs under a
-//! [`KernelVariant`](crate::dispatch::KernelVariant) selected at kernel
+//! [`KernelVariant`] selected at kernel
 //! construction ([`RowKernel::new`] uses the process-wide
 //! [`KernelVariant::active`]; [`RowKernel::with_variant`] pins one).
 //! Under the `Swar`/`Arch` tiers, ASCII labels and tokens of at most 64

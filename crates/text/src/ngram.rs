@@ -230,7 +230,7 @@ impl GramProfile {
     }
 
     /// [`intersection`](GramProfile::intersection) with four-lane block
-    /// skipping: whenever the next [`GRAM_BLOCK_LANES`] keys of one side
+    /// skipping: whenever the next `GRAM_BLOCK_LANES` (four) keys of one side
     /// all sit strictly below the other side's current key (one compare
     /// against the block's maximum lane — keys are sorted), the whole
     /// block is skipped without touching its lanes individually. Runs of

@@ -136,6 +136,13 @@ else:
     # score_rows wrapper with tracing off must stay within ~5% of the
     # byte-for-byte pre-instrumentation baseline (ratio is
     # baseline/disabled, so 1.0 means free and 0.95 caps the cost).
+    # The sharded_sweep_over_single_lock floor holds the sharded score
+    # cache to its concurrency contract: multi-thread warm-hit sweeps
+    # over the 16-shard store must beat the identical single-lock store
+    # by >= 1.5x. The bench only emits the ratio on hosts with >= 2
+    # cores (on one core there is no concurrency to measure), so this
+    # floor is in HOST_DEPENDENT: when the fresh run did not measure
+    # it, the guard skips it loudly instead of failing.
     FLOORS = {
         "kernel_reference_over_active": 4.0,
         "kernel_scalar_over_active": 1.25,
@@ -145,23 +152,38 @@ else:
         "candidate_over_exhaustive_1024": 5.0,
         "pipeline_over_exhaustive_1024": 1.2,
         "trace_overhead_disabled": 0.95,
+        "sharded_sweep_over_single_lock": 1.5,
     }
+    # Floors whose ratio a fresh run may legitimately not measure
+    # (emission depends on the host, e.g. core count). Every other
+    # floor key missing from a fresh run is an error.
+    HOST_DEPENDENT = {"sharded_sweep_over_single_lock"}
     c_rel = committed.get("relative")
     if not c_rel:
         sys.exit("bench guard: committed baseline has no 'relative' section "
                  "(regenerate BENCH_matching.json with scripts/bench_matching.sh)")
     f_rel = fresh.get("relative") or {}
-    for key, c in c_rel.items():
-        if c is None:
-            print(f"relative.{key}: no committed ratio — skipped")
-            continue
+    # Iterate the union of committed ratios and floor keys: a floor key
+    # absent from the committed baseline must still be checked (a stale
+    # baseline must not silently disable a guarantee).
+    for key in sorted(set(c_rel) | set(FLOORS)):
+        c = c_rel.get(key)
         f = f_rel.get(key)
-        if f is None:
-            sys.exit(f"bench guard: relative.{key} missing from fresh results")
         if key in FLOORS:
+            if f is None:
+                if key in HOST_DEPENDENT:
+                    print(f"relative.{key}: SKIPPED — not measured in "
+                          f"fresh run (single-core host?)")
+                    continue
+                sys.exit(f"bench guard: relative.{key} missing from fresh results")
             floor = FLOORS[key]
             print(f"relative.{key}: fresh {f:.2f}x (acceptance floor {floor:.1f}x)")
         else:
+            if c is None:
+                print(f"relative.{key}: no committed ratio — skipped")
+                continue
+            if f is None:
+                sys.exit(f"bench guard: relative.{key} missing from fresh results")
             floor = c / BUDGET
             print(f"relative.{key}: committed {c:.2f}x, fresh {f:.2f}x "
                   f"(floor {floor:.2f}x)")

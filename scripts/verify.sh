@@ -11,34 +11,39 @@
 #      and the SMX_KERNEL_FORCE forced-variant tests — see below)
 #   4. clippy with warnings denied (all targets: libs, tests, benches,
 #      examples, figure binaries)
-#   5. benches compile (`cargo bench --no-run`) so perf regressions can
+#   5. rustdoc gate: `cargo doc --no-deps` over every smx crate with
+#      warnings denied (broken intra-doc links, missing docs under the
+#      crates that deny them). Targets the smx packages explicitly —
+#      the vendored shims are workspace members and are not held to the
+#      documentation bar.
+#   6. benches compile (`cargo bench --no-run`) so perf regressions can
 #      always be measured
-#   6. snapshot round-trip smoke check: examples/warm_restart saves a
+#   7. snapshot round-trip smoke check: examples/warm_restart saves a
 #      snapshot, loads it, asserts the loaded repository matches
 #      bitwise, and salvage-loads a deliberately rotten snapshot (it
 #      exits non-zero on any divergence)
-#   7. fault-injection suites, run explicitly and named in the output:
+#   8. fault-injection suites, run explicitly and named in the output:
 #      the crash matrix (a simulated crash at every I/O op and write
 #      byte of a snapshot save / spill compaction leaves old-or-new,
 #      never a hybrid), the chaos gate (randomized fault plans never
 #      change any matcher's answers), and the spill-compaction
 #      properties. They also run inside step 3; this step exists so a
 #      durability regression is named as such, not buried in the suite.
-#   8. certified candidate-tier suites, likewise named: the
+#   9. certified candidate-tier suites, likewise named: the
 #      differential suite (candidate-restricted answers bitwise equal
 #      to the exhaustive oracle's, certificates admissible across
 #      matchers and budgets) and the bound-admissibility property
 #      suite (certified recall never exceeds measured recall,
 #      including budget 0 and budget >= n edges). A certification
 #      regression fails here by name, not buried in step 3.
-#   9. pipeline-algebra suites, likewise named: the pipeline
+#  10. pipeline-algebra suites, likewise named: the pipeline
 #      differential gate (every candidate→refine decomposition bitwise
 #      equal to its monolith; normalize() preserves answers and
 #      certificates exactly), the proptest algebra gate over random
 #      stage compositions, and the certified matrix (what each matcher
 #      class — complete / restriction-monotone / global-budget — can
 #      promise under fixed budgets).
-#  10. observability suites, likewise named: the trace-identity gate
+#  11. observability suites, likewise named: the trace-identity gate
 #      (tracing on/off changes no matcher's answers bitwise — clean
 #      runs, fault storms, and the JSON-lines sink), the metrics
 #      property suite (snapshot/histogram merges associative, trace
@@ -48,11 +53,18 @@
 #      plus an examples/observability smoke run under SMX_TRACE=1
 #      (exits non-zero unless the span tree covers candidate
 #      generation, the restricted fill, and the refine stage).
-#  11. bench-regression guard (scripts/bench_guard.sh): a fresh
+#  12. sharded-store mutation suites, likewise named: the mutation
+#      edge-case + property suite (remove-then-readd, replace under a
+#      bounded store with spilled rows, removal racing concurrent batch
+#      sweeps, arbitrary mutation histories vs fresh rebuilds) and the
+#      mutation differential gate (a sharded, bounded, mutated
+#      repository gives every matcher answers bitwise identical to a
+#      fresh unsharded rebuild).
+#  13. bench-regression guard (scripts/bench_guard.sh): a fresh
 #      scripts/bench_matching.sh run compared against the committed
 #      BENCH_matching.json with a +25% budget.
 #
-# Steps 7–10 run through named_suites(), which fails loudly if any named
+# Steps 8–12 run through named_suites(), which fails loudly if any named
 # test binary reports "running 0 tests" — a renamed file or filter typo
 # must not silently disable a gate.
 #
@@ -101,40 +113,49 @@ named_suites() {
   fi
 }
 
-echo "== [1/11] cargo fmt --all --check"
+echo "== [1/13] cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "== [2/11] cargo build --release"
+echo "== [2/13] cargo build --release"
 cargo build --release
 
-echo "== [3/11] cargo test -q"
+echo "== [3/13] cargo test -q"
 cargo test -q
 
-echo "== [4/11] cargo clippy --all-targets -- -D warnings"
+echo "== [4/13] cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== [5/11] cargo bench --no-run"
+echo "== [5/13] cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p smx -p smx-core -p smx-obs -p smx-text -p smx-xml -p smx-repo \
+  -p smx-match -p smx-persist -p smx-eval -p smx-synth -p smx-bench
+
+echo "== [6/13] cargo bench --no-run"
 cargo bench -p smx-bench --no-run
 
-echo "== [6/11] snapshot round-trip smoke (examples/warm_restart)"
+echo "== [7/13] snapshot round-trip smoke (examples/warm_restart)"
 cargo run --release --example warm_restart >/dev/null
 
-echo "== [7/11] fault-injection suites (crash matrix, chaos, spill compaction)"
+echo "== [8/13] fault-injection suites (crash matrix, chaos, spill compaction)"
 named_suites -p smx-persist --test crash_matrix --test chaos --test spill_compaction
 
-echo "== [8/11] certified candidate-tier suites (differential, bound admissibility)"
+echo "== [9/13] certified candidate-tier suites (differential, bound admissibility)"
 named_suites -p smx-match --test candidate_differential --test bound_admissibility
 
-echo "== [9/11] pipeline-algebra suites (differential, algebra, certified matrix)"
+echo "== [10/13] pipeline-algebra suites (differential, algebra, certified matrix)"
 named_suites -p smx-match --test pipeline_differential --test pipeline_algebra --test certified_matrix
 
-echo "== [10/11] observability suites (trace identity, metrics properties, counter consistency)"
+echo "== [11/13] observability suites (trace identity, metrics properties, counter consistency)"
 named_suites -p smx-persist --test trace_identity
 named_suites -p smx-obs --test metrics_properties
 named_suites -p smx-repo --test trace_concurrency
 SMX_TRACE=1 cargo run --release --example observability >/dev/null
 
-echo "== [11/11] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
+echo "== [12/13] sharded-store mutation suites (edge cases + properties, differential gate)"
+named_suites -p smx-repo --test mutation
+named_suites -p smx-match --test mutation_differential
+
+echo "== [13/13] bench-regression guard (scripts/bench_guard.sh, mode: ${SMX_BENCH_GUARD:-absolute})"
 scripts/bench_guard.sh
 
 echo "verify: OK"
